@@ -1,0 +1,214 @@
+//! The Thinking Machines CM-5 baseline (banded matvec, \[FWPS92\]).
+//!
+//! "The CM-5 used does not have floating-point accelerators. For
+//! problem sizes run, 16K ≤ N ≤ 256K, high performance was not
+//! achieved relative to 32, 256, or 512 processors. The communication
+//! structure of the CM-5 evidently causes these performance
+//! difficulties … the 32-processor CM-5 delivers between 28 and 32
+//! MFLOPS for BW=3 and between 58 and 67 MFLOPS for BW=11."
+//!
+//! The model: each SPARC node (no FPU accelerator) sustains a few
+//! MFLOPS of scalar floating point; a banded matvec moves halo data
+//! through the fat tree, paying a per-element communication charge
+//! that grows slowly with machine size and is *independent of the
+//! bandwidth* — so the narrow band (fewer flops per communicated
+//! element) suffers a worse compute:communication ratio, exactly the
+//! paper's diagnosis.
+
+use cedar_metrics::bands::{classify, PerfBand};
+
+/// CM-5 analytic parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cm5Model {
+    /// Sustained scalar floating-point rate per node in the
+    /// data-parallel code, MFLOPS (no FPU accelerators).
+    pub node_mflops: f64,
+    /// Base per-element communication charge at 32 nodes, µs.
+    pub comm_us_per_element: f64,
+    /// Growth of the communication charge per doubling of machine
+    /// size beyond 32 nodes (fat-tree depth).
+    pub comm_growth_per_doubling: f64,
+    /// Fixed per-operation overhead (reduction/startup), µs.
+    pub fixed_overhead_us: f64,
+    /// How much faster the single-node serial version computes per
+    /// flop than a node of the data-parallel version (no distributed
+    /// addressing, cache-friendly layout); this is what keeps the
+    /// measured 32-node MFLOPS below the high-performance band.
+    pub serial_advantage: f64,
+}
+
+impl Cm5Model {
+    /// Calibrated to the \[FWPS92\] numbers quoted in the paper: solving
+    /// the two published 32-node MFLOPS bands for the per-flop compute
+    /// charge and the (bandwidth-independent) communication charge
+    /// gives 3.3 MFLOPS/node and 4.58 µs/element.
+    #[must_use]
+    pub fn paper() -> Self {
+        Cm5Model {
+            node_mflops: 3.3,
+            comm_us_per_element: 4.58,
+            comm_growth_per_doubling: 0.15,
+            fixed_overhead_us: 400.0,
+            serial_advantage: 1.35,
+        }
+    }
+
+    /// Per-element communication charge at `processors` nodes, µs.
+    #[must_use]
+    pub fn comm_us(&self, processors: usize) -> f64 {
+        let doublings = (processors as f64 / 32.0).log2().max(0.0);
+        self.comm_us_per_element * (1.0 + self.comm_growth_per_doubling * doublings)
+    }
+
+    /// Time of one banded matvec, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    #[must_use]
+    pub fn matvec_seconds(&self, n: usize, bandwidth: usize, processors: usize) -> f64 {
+        assert!(n > 0 && bandwidth > 0 && processors > 0, "arguments must be nonzero");
+        let flops_per_element = 2.0 * bandwidth as f64;
+        let compute_us = flops_per_element / self.node_mflops;
+        let per_element_us = compute_us + self.comm_us(processors);
+        (n as f64 / processors as f64 * per_element_us + self.fixed_overhead_us) * 1e-6
+    }
+
+    /// Achieved MFLOPS of one banded matvec.
+    #[must_use]
+    pub fn matvec_mflops(&self, n: usize, bandwidth: usize, processors: usize) -> f64 {
+        let flops = 2.0 * bandwidth as f64 * n as f64;
+        flops / self.matvec_seconds(n, bandwidth, processors) / 1e6
+    }
+
+    /// Speedup over the single-node serial version (communication-free
+    /// and faster per flop by `serial_advantage`).
+    #[must_use]
+    pub fn speedup(&self, n: usize, bandwidth: usize, processors: usize) -> f64 {
+        let serial = n as f64
+            * (2.0 * bandwidth as f64 / (self.node_mflops * self.serial_advantage))
+            * 1e-6;
+        serial / self.matvec_seconds(n, bandwidth, processors)
+    }
+
+    /// Performance band of a configuration.
+    #[must_use]
+    pub fn band(&self, n: usize, bandwidth: usize, processors: usize) -> PerfBand {
+        classify(self.speedup(n, bandwidth, processors), processors)
+    }
+}
+
+impl Default for Cm5Model {
+    fn default() -> Self {
+        Cm5Model::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_two_node_mflops_match_paper_ranges() {
+        let m = Cm5Model::paper();
+        for n in [16_384usize, 65_536, 262_144] {
+            let bw3 = m.matvec_mflops(n, 3, 32);
+            assert!(
+                (26.0..36.0).contains(&bw3),
+                "BW=3 at N={n}: {bw3} (paper: 28-32)"
+            );
+            let bw11 = m.matvec_mflops(n, 11, 32);
+            assert!(
+                (54.0..70.0).contains(&bw11),
+                "BW=11 at N={n}: {bw11} (paper: 58-67)"
+            );
+        }
+    }
+
+    #[test]
+    fn never_reaches_the_high_band() {
+        // "high performance was not achieved relative to 32, 256, or
+        // 512 processors".
+        let m = Cm5Model::paper();
+        for p in [32, 256, 512] {
+            for bw in [3, 11] {
+                for n in [16_384usize, 262_144] {
+                    assert_ne!(
+                        m.band(n, bw, p),
+                        PerfBand::High,
+                        "N={n} bw={bw} P={p} must not be high"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_at_reported_sizes() {
+        // "scalable intermediate performance" across the reported range.
+        let m = Cm5Model::paper();
+        for p in [32, 256, 512] {
+            for n in [16_384usize, 262_144] {
+                assert_eq!(
+                    m.band(n, 11, p),
+                    PerfBand::Intermediate,
+                    "N={n} P={p} bw=11"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn communication_term_explains_the_band_gap() {
+        // The narrow band has the worse compute:comm ratio and thus
+        // lower per-processor MFLOPS, while both see the *same*
+        // communication charge — the paper's diagnosis.
+        let m = Cm5Model::paper();
+        // Achieved MFLOPS: the wide band amortizes the fixed per-element
+        // communication charge over more flops…
+        let bw3 = m.matvec_mflops(65_536, 3, 32);
+        let bw11 = m.matvec_mflops(65_536, 11, 32);
+        assert!(
+            bw11 > 1.5 * bw3,
+            "wide band amortizes communication better: {bw11} vs {bw3}"
+        );
+        // …while in *element* throughput the narrow band is faster,
+        // confirming communication is not the only term.
+        assert!(bw3 / 6.0 > bw11 / 22.0);
+    }
+
+    #[test]
+    fn per_processor_rate_roughly_matches_cedar_cg() {
+        // "the per-processor MFLOPS of the two systems on these
+        // problems are roughly equivalent": Cedar CG at 32 CEs gives
+        // 34-48 MFLOPS -> 1.1-1.5 per processor; CM-5 BW=11 at 32
+        // nodes gives ~1.9, BW=3 ~1.0.
+        let m = Cm5Model::paper();
+        let per_proc_bw11 = m.matvec_mflops(262_144, 11, 32) / 32.0;
+        let per_proc_bw3 = m.matvec_mflops(262_144, 3, 32) / 32.0;
+        assert!((0.8..2.5).contains(&per_proc_bw11));
+        assert!((0.8..2.5).contains(&per_proc_bw3));
+    }
+
+    #[test]
+    fn comm_grows_with_machine_size() {
+        let m = Cm5Model::paper();
+        assert!(m.comm_us(512) > m.comm_us(256));
+        assert!(m.comm_us(256) > m.comm_us(32));
+        assert_eq!(m.comm_us(32), m.comm_us_per_element);
+    }
+
+    #[test]
+    fn small_problems_hurt_from_fixed_overhead() {
+        let m = Cm5Model::paper();
+        let small = m.matvec_mflops(1_024, 11, 512);
+        let large = m.matvec_mflops(262_144, 11, 512);
+        assert!(small < large / 2.0, "tiny problems drown in overhead");
+    }
+
+    #[test]
+    #[should_panic(expected = "arguments must be nonzero")]
+    fn zero_arguments_rejected() {
+        let _ = Cm5Model::paper().matvec_seconds(0, 3, 32);
+    }
+}

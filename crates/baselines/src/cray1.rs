@@ -1,0 +1,76 @@
+//! The Cray-1 ensemble for Table 5.
+//!
+//! Table 5 compares the instability of Cedar, the Cray YMP/8, and the
+//! Cray-1 on the Perfect codes, concluding that "two exceptions are
+//! sufficient on the Cray 1 and Cedar, whereas the YMP needs six".
+//! The per-code Cray-1 rates come from the Perfect Report addenda,
+//! which the paper cites but does not reprint; the ensemble below is a
+//! documented reconstruction with the right scale (a single-pipe
+//! vector machine of the late 1970s: single-digit MFLOPS typical on
+//! whole applications) and the stated stability structure — a terrible
+//! raw instability driven by one very poor and one very strong
+//! performer, repaired by exactly two exclusions.
+
+/// Reconstructed Cray-1 MFLOPS over the thirteen Perfect codes
+/// (compiled, baseline rules).
+pub const CRAY1_MFLOPS: [(&str, f64); 13] = [
+    ("ADM", 3.0),
+    ("ARC2D", 9.0),
+    ("BDNA", 5.0),
+    ("DYFESM", 6.0),
+    ("FLO52", 11.0),
+    ("MDG", 4.0),
+    ("MG3D", 7.0),
+    ("OCEAN", 5.5),
+    ("QCD", 2.6),
+    ("SPEC77", 8.0),
+    ("SPICE", 0.4),
+    ("TRACK", 2.8),
+    ("TRFD", 28.0),
+];
+
+/// The rates alone, in Table 3 code order.
+#[must_use]
+pub fn rates() -> Vec<f64> {
+    CRAY1_MFLOPS.iter().map(|&(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_metrics::stability::{exceptions_to_stability, instability};
+
+    #[test]
+    fn raw_ensemble_is_terribly_unstable() {
+        let r = rates();
+        assert!(
+            instability(&r, 0) > 20.0,
+            "In(13,0) must be terrible, got {}",
+            instability(&r, 0)
+        );
+    }
+
+    #[test]
+    fn two_exceptions_suffice() {
+        // The paper's headline fact for the Cray-1.
+        let r = rates();
+        assert!(instability(&r, 2) <= 5.0, "In(13,2) = {}", instability(&r, 2));
+        assert_eq!(exceptions_to_stability(&r), Some(2));
+    }
+
+    #[test]
+    fn the_outliers_are_spice_and_trfd() {
+        use cedar_metrics::stability::stability;
+        let r = rates();
+        let report = stability(&r, 2);
+        assert_eq!(report.dropped_low, vec![0.4], "SPICE is the poor outlier");
+        assert_eq!(report.dropped_high, vec![28.0], "TRFD is the star outlier");
+    }
+
+    #[test]
+    fn scale_is_single_pipe_vector_machine() {
+        let r = rates();
+        let max = r.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 40.0, "Cray-1 cannot exceed a few tens of MFLOPS");
+    }
+}

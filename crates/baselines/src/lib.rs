@@ -1,0 +1,28 @@
+//! `cedar-baselines` — the comparison systems of §4.3.
+//!
+//! The paper judges Cedar against the Cray YMP/8 and Cray-1 (Perfect
+//! ensembles) and the Thinking Machines CM-5 (banded matrix-vector
+//! scalability), plus a workstation stability anchor (VAX 780 through
+//! SPARC2/RS6000). None of those machines' raw per-code data sets are
+//! fully printed in the paper, so this crate mixes:
+//!
+//! * **transcribed data** — the YMP:Cedar MFLOPS ratios of Table 3
+//!   ([`ymp`]);
+//! * **analytic models** — the CM-5 banded matvec (compute rate of a
+//!   no-FPU SPARC node plus a fat-tree communication term,
+//!   [`cm5`]);
+//! * **documented reconstructions** — per-code efficiencies and the
+//!   Cray-1 ensemble, synthesized to satisfy exactly the qualitative
+//!   facts the paper states (band censuses, exception counts), and
+//!   flagged as reconstructions in EXPERIMENTS.md ([`ymp`],
+//!   [`cray1`], [`workstation`]).
+
+#![warn(missing_docs)]
+
+pub mod cm5;
+pub mod cray1;
+pub mod workstation;
+pub mod ymp;
+
+pub use cm5::Cm5Model;
+pub use ymp::YmpModel;

@@ -1,0 +1,75 @@
+//! Workstation stability anchors.
+//!
+//! "For the past 20 years, from the VAX 780 through various modern
+//! workstations (Sun SPARC2, IBM RS6000), an instability of about 5
+//! has been common for the Perfect benchmarks." These reference
+//! ensembles define the stability bar Cedar and the Crays are judged
+//! against; the shapes are reconstructions with the documented
+//! instability level.
+
+/// A representative workstation Perfect ensemble (relative rates)
+/// whose raw instability is about 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workstation {
+    /// Machine name.
+    pub name: &'static str,
+    /// Overall scalar MFLOPS scale of the machine.
+    pub scale_mflops: f64,
+}
+
+/// The anchor machines the paper names.
+pub const ANCHORS: [Workstation; 3] = [
+    Workstation { name: "VAX 11/780", scale_mflops: 0.2 },
+    Workstation { name: "Sun SPARC2", scale_mflops: 2.0 },
+    Workstation { name: "IBM RS/6000", scale_mflops: 8.0 },
+];
+
+/// Relative per-code rate factors common to scalar machines on the
+/// Perfect codes: an ~5× spread, no wild outliers (scalar machines
+/// have no vectorization cliff).
+pub const RELATIVE_RATES: [f64; 13] = [
+    0.55, 1.0, 0.70, 0.80, 0.95, 0.45, 0.60, 0.75, 0.35, 0.85, 0.22, 0.40, 1.05,
+];
+
+impl Workstation {
+    /// The machine's Perfect ensemble in MFLOPS.
+    #[must_use]
+    pub fn rates(&self) -> Vec<f64> {
+        RELATIVE_RATES
+            .iter()
+            .map(|r| r * self.scale_mflops)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_metrics::stability::instability;
+
+    #[test]
+    fn anchors_have_workstation_level_instability() {
+        for w in &ANCHORS {
+            let inst = instability(&w.rates(), 0);
+            assert!(
+                (3.0..=5.5).contains(&inst),
+                "{}: In(13,0) = {inst}, expected about 5",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn instability_is_scale_invariant() {
+        let vax = ANCHORS[0].rates();
+        let rs6k = ANCHORS[2].rates();
+        assert!((instability(&vax, 0) - instability(&rs6k, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn performance_spans_the_machines() {
+        // The 10x/7-years improvement curve: RS/6000 >> SPARC2 >> VAX.
+        assert!(ANCHORS[2].scale_mflops > ANCHORS[1].scale_mflops);
+        assert!(ANCHORS[1].scale_mflops > ANCHORS[0].scale_mflops);
+    }
+}

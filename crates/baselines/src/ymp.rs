@@ -1,0 +1,168 @@
+//! The Cray YMP/8 baseline.
+//!
+//! Transcribed facts: 6 ns clock (the paper quotes the 170/6 ≈ 28.33
+//! clock ratio), eight processors, and the per-code YMP:Cedar MFLOPS
+//! ratios of Table 3. Reconstructed: per-code parallel efficiencies
+//! for Table 6 (automatic restructuring: 0 high / 6 intermediate / 7
+//! unacceptable) and Figure 3 (manually optimized: about half high,
+//! half intermediate, one unacceptable) — the paper plots these but
+//! prints no numbers, so the values below are synthetic, ordered by
+//! each code's vectorizability (its YMP:Cedar ratio), and pinned to
+//! the published censuses by the tests.
+
+use cedar_metrics::bands::{classify_efficiency, PerfBand};
+
+/// YMP/8 machine constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YmpModel {
+    /// Clock period in nanoseconds.
+    pub clock_ns: f64,
+    /// Processor count.
+    pub processors: usize,
+}
+
+impl YmpModel {
+    /// The machine as the paper describes it.
+    #[must_use]
+    pub fn paper() -> Self {
+        YmpModel {
+            clock_ns: 6.0,
+            processors: 8,
+        }
+    }
+
+    /// The Cedar:YMP clock ratio the paper quotes (28.33).
+    #[must_use]
+    pub fn clock_ratio_vs_cedar(&self) -> f64 {
+        170.0 / self.clock_ns
+    }
+}
+
+impl Default for YmpModel {
+    fn default() -> Self {
+        YmpModel::paper()
+    }
+}
+
+/// A named efficiency sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeEfficiency {
+    /// Perfect code name.
+    pub name: &'static str,
+    /// Parallel efficiency on the YMP/8.
+    pub efficiency: f64,
+}
+
+/// Reconstructed YMP/8 efficiencies under *automatic* (baseline
+/// compiler) restructuring — the Table 6 column: no code reaches the
+/// high band, six sit in the intermediate band (the highly
+/// vectorizable codes), seven are unacceptable.
+pub const TABLE6_EFFICIENCIES: [CodeEfficiency; 13] = [
+    CodeEfficiency { name: "ARC2D", efficiency: 0.45 },
+    CodeEfficiency { name: "FLO52", efficiency: 0.42 },
+    CodeEfficiency { name: "MDG", efficiency: 0.33 },
+    CodeEfficiency { name: "BDNA", efficiency: 0.28 },
+    CodeEfficiency { name: "MG3D", efficiency: 0.25 },
+    CodeEfficiency { name: "OCEAN", efficiency: 0.20 },
+    CodeEfficiency { name: "SPEC77", efficiency: 0.14 },
+    CodeEfficiency { name: "DYFESM", efficiency: 0.12 },
+    CodeEfficiency { name: "TRFD", efficiency: 0.10 },
+    CodeEfficiency { name: "ADM", efficiency: 0.08 },
+    CodeEfficiency { name: "TRACK", efficiency: 0.05 },
+    CodeEfficiency { name: "QCD", efficiency: 0.02 },
+    CodeEfficiency { name: "SPICE", efficiency: 0.01 },
+];
+
+/// Reconstructed YMP/8 efficiencies for the *manually optimized*
+/// codes — the Figure 3 vertical axis: "about half high and half
+/// intermediate … the YMP has one unacceptable performance".
+pub const FIG3_EFFICIENCIES: [CodeEfficiency; 13] = [
+    CodeEfficiency { name: "ARC2D", efficiency: 0.72 },
+    CodeEfficiency { name: "FLO52", efficiency: 0.68 },
+    CodeEfficiency { name: "MDG", efficiency: 0.60 },
+    CodeEfficiency { name: "BDNA", efficiency: 0.58 },
+    CodeEfficiency { name: "MG3D", efficiency: 0.55 },
+    CodeEfficiency { name: "OCEAN", efficiency: 0.52 },
+    CodeEfficiency { name: "SPEC77", efficiency: 0.40 },
+    CodeEfficiency { name: "DYFESM", efficiency: 0.33 },
+    CodeEfficiency { name: "TRFD", efficiency: 0.30 },
+    CodeEfficiency { name: "ADM", efficiency: 0.25 },
+    CodeEfficiency { name: "TRACK", efficiency: 0.22 },
+    CodeEfficiency { name: "QCD", efficiency: 0.20 },
+    CodeEfficiency { name: "SPICE", efficiency: 0.08 },
+];
+
+/// Band census of an efficiency set on the YMP's eight processors.
+#[must_use]
+pub fn band_census(effs: &[CodeEfficiency]) -> (usize, usize, usize) {
+    let p = YmpModel::paper().processors;
+    let mut high = 0;
+    let mut inter = 0;
+    let mut unacc = 0;
+    for e in effs {
+        match classify_efficiency(e.efficiency, p) {
+            PerfBand::High => high += 1,
+            PerfBand::Intermediate => inter += 1,
+            PerfBand::Unacceptable => unacc += 1,
+        }
+    }
+    (high, inter, unacc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ratio_matches_paper() {
+        let m = YmpModel::paper();
+        assert!((m.clock_ratio_vs_cedar() - 28.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn table6_census_is_0_6_7() {
+        // Paper Table 6, Cray YMP column: 0 high, 6 intermediate, 7
+        // unacceptable. (Intermediate threshold at P=8: E > 1/6.)
+        assert_eq!(band_census(&TABLE6_EFFICIENCIES), (0, 6, 7));
+    }
+
+    #[test]
+    fn fig3_census_half_high_half_intermediate_one_unacceptable() {
+        let (high, inter, unacc) = band_census(&FIG3_EFFICIENCIES);
+        assert_eq!(unacc, 1, "the YMP has one unacceptable performance");
+        assert_eq!(high, 6);
+        assert_eq!(inter, 6);
+    }
+
+    #[test]
+    fn manual_never_loses_to_automatic() {
+        for (auto, manual) in TABLE6_EFFICIENCIES.iter().zip(&FIG3_EFFICIENCIES) {
+            assert_eq!(auto.name, manual.name);
+            assert!(
+                manual.efficiency >= auto.efficiency,
+                "{}: manual {} < auto {}",
+                auto.name,
+                manual.efficiency,
+                auto.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn spice_is_the_unacceptable_one() {
+        let p = YmpModel::paper().processors;
+        let spice = FIG3_EFFICIENCIES.iter().find(|e| e.name == "SPICE").unwrap();
+        assert_eq!(
+            classify_efficiency(spice.efficiency, p),
+            PerfBand::Unacceptable
+        );
+    }
+
+    #[test]
+    fn all_thirteen_codes_present_once() {
+        let mut names: Vec<&str> = TABLE6_EFFICIENCIES.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+}

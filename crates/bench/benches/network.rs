@@ -1,0 +1,56 @@
+//! Criterion microbenches of the network substrate itself: raw omega
+//! step rate, round-trip fabric throughput, and the cost of one
+//! measured memory profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cedar_net::config::NetworkConfig;
+use cedar_net::fabric::{FabricConfig, PrefetchTraffic, RoundTripFabric};
+use cedar_net::network::OmegaNetwork;
+use cedar_net::packet::Packet;
+
+fn bench_omega_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("omega_network");
+    g.bench_function("idle_step", |b| {
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        b.iter(|| {
+            net.step();
+            black_box(net.now())
+        });
+    });
+    g.bench_function("loaded_step", |b| {
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        let mut id = 0u64;
+        b.iter(|| {
+            for src in 0..32 {
+                let _ = net.try_inject(Packet::request(src, (src * 7 + 3) % 64, id));
+                id += 1;
+            }
+            net.step();
+            black_box(net.drain_delivered().len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("roundtrip_fabric");
+    g.sample_size(10);
+    for ces in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("prefetch_experiment", ces), &ces, |b, &ces| {
+            b.iter(|| {
+                let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+                black_box(fabric.run_prefetch_experiment(
+                    ces,
+                    PrefetchTraffic::compiler_default(4),
+                    8_000_000,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(network, bench_omega_step, bench_fabric);
+criterion_main!(network);

@@ -1,0 +1,112 @@
+//! Criterion benches: one per regenerated table/figure, timing the
+//! full regeneration (simulation + analysis). These are the `cargo
+//! bench` face of the experiment harness; the printed tables come
+//! from the binaries in `src/bin`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_rank64_update");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table1::run())));
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_prefetch_contention");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table2::run())));
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_perfect_codes");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table3::run())));
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_manual_codes");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table4::run())));
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_instability");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table5::run())));
+    g.finish();
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_efficiency_bands");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table6::run())));
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_efficiency_scatter");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::fig3::run())));
+    g.finish();
+}
+
+fn bench_ppt4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ppt4_scalability");
+    g.sample_size(10);
+    g.bench_function("cedar_cg_grid", |b| {
+        b.iter(|| black_box(cedar_bench::ppt4::run_cedar()))
+    });
+    g.bench_function("cm5_grid", |b| b.iter(|| black_box(cedar_bench::ppt4::run_cm5())));
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("network_buffering", |b| {
+        b.iter(|| black_box(cedar_bench::ablation_network::run()))
+    });
+    g.bench_function("vm_trfd", |b| {
+        b.iter(|| black_box(cedar_bench::ablation_vm::run()))
+    });
+    g.bench_function("barriers_flo52", |b| {
+        b.iter(|| black_box(cedar_bench::ablation_barriers::run()))
+    });
+    g.bench_function("loops_dyfesm", |b| {
+        b.iter(|| black_box(cedar_bench::ablation_loops::run()))
+    });
+    g.bench_function("io_bdna", |b| {
+        b.iter(|| black_box(cedar_bench::ablation_io::run()))
+    });
+    g.bench_function("hotspot", |b| {
+        b.iter(|| black_box(cedar_bench::hotspot::run()))
+    });
+    g.finish();
+}
+
+fn bench_overheads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("loop_overheads");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::overheads::run())));
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_table6,
+    bench_fig3,
+    bench_ppt4,
+    bench_ablations,
+    bench_overheads
+);
+criterion_main!(tables);

@@ -1,0 +1,6 @@
+//! Regenerates the ablation_barriers study. Run with
+//! `cargo run --release -p cedar-bench --bin ablation_barriers`.
+
+fn main() {
+    cedar_bench::ablation_barriers::print();
+}

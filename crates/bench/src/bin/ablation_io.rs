@@ -1,0 +1,6 @@
+//! Regenerates the ablation_io study. Run with
+//! `cargo run --release -p cedar-bench --bin ablation_io`.
+
+fn main() {
+    cedar_bench::ablation_io::print();
+}

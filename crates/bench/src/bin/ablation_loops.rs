@@ -1,0 +1,6 @@
+//! Regenerates the ablation_loops study. Run with
+//! `cargo run --release -p cedar-bench --bin ablation_loops`.
+
+fn main() {
+    cedar_bench::ablation_loops::print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's ablation_network experiment. Run with
+//! `cargo run --release -p cedar-bench --bin ablation_network`.
+
+fn main() {
+    cedar_bench::ablation_network::print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's ablation_vm experiment. Run with
+//! `cargo run --release -p cedar-bench --bin ablation_vm`.
+
+fn main() {
+    cedar_bench::ablation_vm::print();
+}

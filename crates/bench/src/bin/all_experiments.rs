@@ -1,0 +1,31 @@
+//! Runs every table- and figure-regeneration experiment in sequence —
+//! the one-shot reproduction of the paper's evaluation section.
+
+fn main() {
+    let line = "=".repeat(72);
+    for (name, run) in [
+        ("Figures 1 & 2", cedar_bench::figures::print as fn()),
+        ("Table 1", cedar_bench::table1::print),
+        ("Table 2", cedar_bench::table2::print),
+        ("Table 3", cedar_bench::table3::print),
+        ("Table 4", cedar_bench::table4::print),
+        ("Table 5", cedar_bench::table5::print),
+        ("Table 6", cedar_bench::table6::print),
+        ("Figure 3", cedar_bench::fig3::print),
+        ("PPT4 scalability", cedar_bench::ppt4::print),
+        ("Loop overheads", cedar_bench::overheads::print),
+        ("Network ablation", cedar_bench::ablation_network::print),
+        ("VM ablation", cedar_bench::ablation_vm::print),
+        ("Barrier ablation (FLO52)", cedar_bench::ablation_barriers::print),
+        ("Loop-nest ablation (DYFESM)", cedar_bench::ablation_loops::print),
+        ("I/O ablation (BDNA)", cedar_bench::ablation_io::print),
+        ("Scale-up study (PPT5)", cedar_bench::scaleup::print),
+        ("Sync hot-spot study", cedar_bench::hotspot::print),
+        ("Perfect what-ifs", cedar_bench::whatif::print),
+        ("Network fidelity (32x32 dual-link)", cedar_bench::fidelity32::print),
+    ] {
+        println!("{line}\n{name}\n{line}");
+        run();
+        println!();
+    }
+}

@@ -1,0 +1,6 @@
+//! Runs the network-fidelity study. Run with
+//! `cargo run --release -p cedar-bench --bin fidelity32`.
+
+fn main() {
+    cedar_bench::fidelity32::print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig3 experiment. Run with
+//! `cargo run --release -p cedar-bench --bin fig3`.
+
+fn main() {
+    cedar_bench::fig3::print();
+}

@@ -1,0 +1,6 @@
+//! Renders the paper's Figures 1 and 2 (machine and cluster
+//! organization). Run with `cargo run -p cedar-bench --bin figures`.
+
+fn main() {
+    cedar_bench::figures::print();
+}

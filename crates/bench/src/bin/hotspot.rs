@@ -1,0 +1,6 @@
+//! Runs the synchronization hot-spot study. Run with
+//! `cargo run --release -p cedar-bench --bin hotspot`.
+
+fn main() {
+    cedar_bench::hotspot::print();
+}

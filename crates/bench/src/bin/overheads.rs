@@ -1,0 +1,6 @@
+//! Regenerates the paper's overheads experiment. Run with
+//! `cargo run --release -p cedar-bench --bin overheads`.
+
+fn main() {
+    cedar_bench::overheads::print();
+}

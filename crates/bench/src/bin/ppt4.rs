@@ -1,0 +1,6 @@
+//! Regenerates the paper's ppt4 experiment. Run with
+//! `cargo run --release -p cedar-bench --bin ppt4`.
+
+fn main() {
+    cedar_bench::ppt4::print();
+}

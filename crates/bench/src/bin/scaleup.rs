@@ -1,0 +1,6 @@
+//! Runs the scaled-up Cedar study (PPT5 exploration). Run with
+//! `cargo run --release -p cedar-bench --bin scaleup`.
+
+fn main() {
+    cedar_bench::scaleup::print();
+}

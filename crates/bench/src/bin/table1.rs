@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 experiment. Run with
+//! `cargo run --release -p cedar-bench --bin table1`.
+
+fn main() {
+    cedar_bench::table1::print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 experiment. Run with
+//! `cargo run --release -p cedar-bench --bin table2`.
+
+fn main() {
+    cedar_bench::table2::print();
+}

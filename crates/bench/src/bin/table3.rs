@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 experiment. Run with
+//! `cargo run --release -p cedar-bench --bin table3`.
+
+fn main() {
+    cedar_bench::table3::print();
+}

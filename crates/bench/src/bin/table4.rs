@@ -1,0 +1,6 @@
+//! Regenerates the paper's table4 experiment. Run with
+//! `cargo run --release -p cedar-bench --bin table4`.
+
+fn main() {
+    cedar_bench::table4::print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table5 experiment. Run with
+//! `cargo run --release -p cedar-bench --bin table5`.
+
+fn main() {
+    cedar_bench::table5::print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table6 experiment. Run with
+//! `cargo run --release -p cedar-bench --bin table6`.
+
+fn main() {
+    cedar_bench::table6::print();
+}

@@ -1,0 +1,6 @@
+//! Runs the Perfect-workload machine what-ifs. Run with
+//! `cargo run --release -p cedar-bench --bin whatif`.
+
+fn main() {
+    cedar_bench::whatif::print();
+}

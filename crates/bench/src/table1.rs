@@ -1,0 +1,75 @@
+//! Table 1: MFLOPS for the rank-64 update on Cedar.
+
+use cedar_kernels::rank_update::{self, RankUpdateVersion};
+
+use crate::paper_machine;
+
+/// The paper's Table 1 values, `[version][clusters-1]`.
+pub const PAPER: [(&str, [f64; 4]); 3] = [
+    ("GM/no pref", [14.5, 29.0, 43.0, 55.0]),
+    ("GM/pref", [50.0, 84.0, 96.0, 104.0]),
+    ("GM/Cache", [52.0, 104.0, 152.0, 208.0]),
+];
+
+/// One regenerated row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Version label as printed in the paper.
+    pub label: &'static str,
+    /// MFLOPS at 1..=4 clusters.
+    pub mflops: [f64; 4],
+}
+
+/// Regenerates the table on a fresh paper machine (n = 1K).
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let mut sys = paper_machine();
+    rank_update::table1(&mut sys, 1024)
+        .into_iter()
+        .map(|(v, row)| Row {
+            label: match v {
+                RankUpdateVersion::GmNoPref => "GM/no pref",
+                RankUpdateVersion::GmPref => "GM/pref",
+                RankUpdateVersion::GmCache => "GM/Cache",
+            },
+            mflops: [row[0], row[1], row[2], row[3]],
+        })
+        .collect()
+}
+
+/// Prints the regenerated table next to the paper's values, plus the
+/// in-text derived quantities (prefetch improvement factors, fraction
+/// of effective peak).
+pub fn print() {
+    let rows = run();
+    println!("Table 1: MFLOPS for rank-64 update on Cedar (n = 1K)");
+    println!("{:12} {:>28}   {:>28}", "", "measured (1-4 clusters)", "paper");
+    for (row, (_, paper)) in rows.iter().zip(PAPER.iter()) {
+        print!("{:12}", row.label);
+        for m in row.mflops {
+            print!(" {m:6.1}");
+        }
+        print!("  |");
+        for p in paper {
+            print!(" {p:6.1}");
+        }
+        println!();
+    }
+    let nopref = &rows[0].mflops;
+    let pref = &rows[1].mflops;
+    let cache = &rows[2].mflops;
+    print!("\nprefetch improvement factors: ");
+    for c in 0..4 {
+        print!("{:.1} ", pref[c] / nopref[c]);
+    }
+    println!(" (paper: 3.5 2.9 2.2 1.9)");
+    print!("cache improvement factors:    ");
+    for c in 0..4 {
+        print!("{:.1} ", cache[c] / nopref[c]);
+    }
+    println!(" (paper: 3.5 .. 3.8)");
+    println!(
+        "32-CE cache version at {:.0}% of the 274 MFLOPS effective peak (paper: 74%)",
+        cache[3] / 274.0 * 100.0
+    );
+}

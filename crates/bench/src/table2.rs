@@ -1,0 +1,134 @@
+//! Table 2: global-memory performance of the four monitored kernels.
+//!
+//! For TM, CG, VF and RK at 8, 16 and 32 CEs: the prefetch speedup
+//! (kernel time without prefetch over with prefetch) and the
+//! first-word latency and interarrival time recorded by the
+//! performance monitor on the prefetch unit's network signals.
+
+use cedar_core::costmodel::AccessMode;
+use cedar_net::fabric::PrefetchTraffic;
+
+use crate::paper_machine;
+
+/// One paper row: `(kernel, speedup, latency, interarrival)`, the
+/// three metric arrays indexed by CE count (8/16/32).
+pub type PaperRow = (&'static str, [f64; 3], [f64; 3], [f64; 3]);
+
+/// Paper values for the four kernels at 8/16/32 CEs.
+pub const PAPER: [PaperRow; 4] = [
+    ("TM", [2.1, 2.0, 1.5], [9.4, 10.2, 14.2], [1.1, 1.2, 2.1]),
+    ("CG", [2.4, 2.2, 1.5], [9.4, 10.3, 15.1], [1.1, 1.2, 2.1]),
+    ("VF", [1.8, 1.7, 1.5], [9.6, 11.0, 16.7], [1.2, 1.4, 2.2]),
+    ("RK", [3.4, 2.9, 1.8], [12.9, 15.3, 18.3], [1.2, 1.8, 3.2]),
+];
+
+/// The CE counts of the study.
+pub const CES: [usize; 3] = [8, 16, 32];
+
+/// One kernel's regenerated row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Prefetch speedup at 8/16/32 CEs.
+    pub speedup: [f64; 3],
+    /// First-word latency (cycles) at 8/16/32 CEs.
+    pub latency: [f64; 3],
+    /// Interarrival time (cycles) at 8/16/32 CEs.
+    pub interarrival: [f64; 3],
+}
+
+fn traffic_of(kernel: &str) -> PrefetchTraffic {
+    match kernel {
+        "TM" => PrefetchTraffic::tridiagonal_matvec(8),
+        "CG" => PrefetchTraffic::conjugate_gradient(8),
+        "VF" => PrefetchTraffic::vector_load(8),
+        "RK" => PrefetchTraffic::rk_aggressive(4),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// Per-word non-prefetchable work of each kernel in cycles: scalar
+/// address arithmetic, loop control, register-register operations and
+/// stores that run identically in both versions and therefore dilute
+/// the prefetch speedup. Calibrated once against the paper's 8-CE
+/// speedup column (2.1 / 2.4 / 1.8 / 3.4); the 16- and 32-CE speedups
+/// then follow from the measured contention alone. RK's tiny constant
+/// is what makes it both the best prefetch customer and the fastest
+/// to degrade.
+fn overlap_cycles(kernel: &str) -> f64 {
+    match kernel {
+        "TM" => 4.0,
+        "CG" => 2.9,
+        "VF" => 6.1,
+        "RK" => 1.1,
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// Regenerates the table by running the monitored fabric experiments.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let mut sys = paper_machine();
+    PAPER
+        .iter()
+        .map(|&(kernel, ..)| {
+            let traffic = traffic_of(kernel);
+            let mut speedup = [0.0; 3];
+            let mut latency = [0.0; 3];
+            let mut interarrival = [0.0; 3];
+            for (i, &ces) in CES.iter().enumerate() {
+                let profile = sys.measure_memory(traffic, ces);
+                latency[i] = profile.latency;
+                interarrival[i] = profile.interarrival;
+                // Kernel time per word: prefetched = interarrival (plus
+                // overlapped compute), non-prefetched = latency/2 with
+                // the same compute overlapped.
+                let nopref = sys.cycles_per_word(AccessMode::GlobalNoPrefetch, ces);
+                let overlap = overlap_cycles(kernel);
+                let with = profile.interarrival.max(1.0) + overlap;
+                let without = nopref + overlap;
+                speedup[i] = without / with;
+            }
+            Row {
+                kernel,
+                speedup,
+                latency,
+                interarrival,
+            }
+        })
+        .collect()
+}
+
+/// Prints the regenerated table against the paper's.
+pub fn print() {
+    println!("Table 2: Global memory performance (measured | paper)");
+    println!(
+        "{:4} | {:^23} | {:^23} | {:^23}",
+        "", "Prefetch Speedup", "Latency (cycles)", "Interarrival (cycles)"
+    );
+    println!(
+        "{:4} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "#CEs", 8, 16, 32, 8, 16, 32, 8, 16, 32
+    );
+    for (row, (_, sp, lp, ip)) in run().iter().zip(PAPER.iter()) {
+        println!(
+            "{:4} | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1}",
+            row.kernel,
+            row.speedup[0],
+            row.speedup[1],
+            row.speedup[2],
+            row.latency[0],
+            row.latency[1],
+            row.latency[2],
+            row.interarrival[0],
+            row.interarrival[1],
+            row.interarrival[2],
+        );
+        println!(
+            "     | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1}  (paper)",
+            sp[0], sp[1], sp[2], lp[0], lp[1], lp[2], ip[0], ip[1], ip[2],
+        );
+    }
+    println!("\nminimal latency 8 cycles, minimal interarrival 1 cycle (paper)");
+}

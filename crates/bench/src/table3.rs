@@ -1,0 +1,112 @@
+//! Table 3: Cedar execution time, MFLOPS, and speed improvement for
+//! the Perfect Benchmarks.
+
+use cedar_perfect::model::ExecutionModel;
+use cedar_perfect::published::TABLE3;
+use cedar_perfect::versions::Version;
+
+use crate::paper_machine;
+
+/// One regenerated row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Code name.
+    pub name: &'static str,
+    /// KAP-compiled time (s) and improvement.
+    pub kap: (f64, f64),
+    /// Automatable time (s) and improvement; `None` for SPICE.
+    pub auto: Option<(f64, f64)>,
+    /// No-Cedar-synchronization time (s) and % slowdown vs automatable.
+    pub nosync: Option<(f64, f64)>,
+    /// No-prefetch time (s) and % slowdown vs no-sync.
+    pub nopref: Option<(f64, f64)>,
+    /// Cedar MFLOPS (automatable).
+    pub mflops: f64,
+    /// YMP-8 : Cedar MFLOPS ratio (from the published column).
+    pub ymp_ratio: f64,
+}
+
+/// Regenerates the table from the calibrated forward model.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let mut sys = paper_machine();
+    let model = ExecutionModel::calibrate(&mut sys);
+    TABLE3
+        .iter()
+        .map(|published| {
+            let Some(code) = model.code(published.name) else {
+                // SPICE: no automatable version; report its KAP level.
+                return Row {
+                    name: published.name,
+                    kap: (published.kap_time, published.kap_improvement),
+                    auto: None,
+                    nosync: None,
+                    nopref: None,
+                    mflops: published.mflops,
+                    ymp_ratio: published.ymp_ratio,
+                };
+            };
+            let kap = model.time(code, Version::Kap);
+            let auto = model.time(code, Version::Automatable);
+            let nosync = model.time(code, Version::NoSync);
+            let nopref = model.time(code, Version::NoPrefetch);
+            Row {
+                name: code.name,
+                kap: (kap, model.improvement(code, Version::Kap)),
+                auto: Some((auto, model.improvement(code, Version::Automatable))),
+                nosync: Some((nosync, (nosync / auto - 1.0) * 100.0)),
+                nopref: Some((nopref, (nopref / nosync - 1.0) * 100.0)),
+                mflops: model.mflops(code, Version::Automatable),
+                ymp_ratio: published.ymp_ratio,
+            }
+        })
+        .collect()
+}
+
+/// Prints the regenerated table with the paper values inline.
+pub fn print() {
+    println!("Table 3: Cedar execution time, megaflops, and speed improvement");
+    println!(
+        "{:8} {:>14} {:>16} {:>16} {:>16} {:>8} {:>10}",
+        "Program",
+        "KAP s (imp)",
+        "Auto s (imp)",
+        "NoSync s (%)",
+        "NoPref s (%)",
+        "MFLOPS",
+        "YMP/Cedar"
+    );
+    for (row, paper) in run().iter().zip(TABLE3.iter()) {
+        let auto = row
+            .auto
+            .map_or("      NA       ".to_owned(), |(t, i)| {
+                format!("{t:7.0} ({i:5.1})")
+            });
+        let nosync = row
+            .nosync
+            .map_or("      NA       ".to_owned(), |(t, p)| {
+                format!("{t:7.0} ({p:4.0}%)")
+            });
+        let nopref = row
+            .nopref
+            .map_or("      NA       ".to_owned(), |(t, p)| {
+                format!("{t:7.0} ({p:4.0}%)")
+            });
+        println!(
+            "{:8} {:7.0} ({:4.1}) {} {} {} {:8.1} {:>10.2}",
+            row.name, row.kap.0, row.kap.1, auto, nosync, nopref, row.mflops, row.ymp_ratio
+        );
+        println!(
+            "  paper: {:7.0} ({:4.1}) {:7} ({:5}) {:7} {:7} {:8.1}",
+            paper.kap_time,
+            paper.kap_improvement,
+            paper.auto_time.map_or("NA".into(), |t| format!("{t:.0}")),
+            paper
+                .auto_improvement
+                .map_or("NA".into(), |i| format!("{i:.1}")),
+            paper.nosync_time.map_or("NA".into(), |t| format!("{t:.0}")),
+            paper.nopref_time.map_or("NA".into(), |t| format!("{t:.0}")),
+            paper.mflops,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 5: instability of the Perfect-code MFLOPS ensembles on
+//! Cedar, the Cray YMP/8, and the Cray-1.
+
+use cedar_baselines::cray1;
+use cedar_metrics::stability::{exceptions_to_stability, instability};
+use cedar_perfect::model::ExecutionModel;
+
+use crate::paper_machine;
+
+/// One machine's instability row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Machine name.
+    pub machine: &'static str,
+    /// In(13, e) for e = 0, 2, 6.
+    pub instability: [f64; 3],
+    /// Fewest exclusions reaching workstation-level stability (In ≤ 5).
+    pub exceptions_needed: Option<usize>,
+}
+
+/// Regenerates the study.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let mut sys = paper_machine();
+    let model = ExecutionModel::calibrate(&mut sys);
+    let ensembles: [(&str, Vec<f64>); 3] = [
+        ("Cedar", model.cedar_mflops_ensemble()),
+        ("Cray YMP/8", model.ymp_mflops_ensemble()),
+        ("Cray-1", cray1::rates()),
+    ];
+    ensembles
+        .into_iter()
+        .map(|(machine, rates)| Row {
+            machine,
+            instability: [
+                instability(&rates, 0),
+                instability(&rates, 2),
+                instability(&rates, 6),
+            ],
+            exceptions_needed: exceptions_to_stability(&rates),
+        })
+        .collect()
+}
+
+/// Prints the regenerated table.
+pub fn print() {
+    println!("Table 5: Instability for Perfect codes, In(13, e)");
+    println!(
+        "{:12} {:>9} {:>9} {:>9} {:>18}",
+        "Machine", "In(13,0)", "In(13,2)", "In(13,6)", "exceptions to In<=5"
+    );
+    for row in run() {
+        println!(
+            "{:12} {:>9.1} {:>9.1} {:>9.1} {:>18}",
+            row.machine,
+            row.instability[0],
+            row.instability[1],
+            row.instability[2],
+            row.exceptions_needed
+                .map_or("never".to_owned(), |e| e.to_string())
+        );
+    }
+    println!();
+    println!("paper: raw instabilities are 'terrible' for Cedar and the YMP;");
+    println!("       two exceptions suffice on the Cray-1 and Cedar, the YMP needs six");
+    println!("       (our Cedar ensemble needs 3 — see EXPERIMENTS.md)");
+}

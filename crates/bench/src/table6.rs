@@ -1,0 +1,69 @@
+//! Table 6: restructuring efficiency — how many codes each machine's
+//! automatic/automatable restructuring places in each performance
+//! band.
+
+use cedar_baselines::ymp;
+use cedar_metrics::bands::{classify_efficiency, PerfBand};
+use cedar_perfect::manual::{table6_cedar_efficiencies, MACHINE_CES};
+use cedar_perfect::model::ExecutionModel;
+
+use crate::paper_machine;
+
+/// A machine's band census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Census {
+    /// High-band codes (E_P > .5).
+    pub high: usize,
+    /// Intermediate codes (E_P > 1/(2 log P)).
+    pub intermediate: usize,
+    /// Unacceptable codes.
+    pub unacceptable: usize,
+}
+
+/// The regenerated table: (Cedar, YMP) censuses.
+#[must_use]
+pub fn run() -> (Census, Census) {
+    let mut sys = paper_machine();
+    let model = ExecutionModel::calibrate(&mut sys);
+    let mut cedar = Census {
+        high: 0,
+        intermediate: 0,
+        unacceptable: 0,
+    };
+    for p in table6_cedar_efficiencies(&model) {
+        match classify_efficiency(p.efficiency, MACHINE_CES) {
+            PerfBand::High => cedar.high += 1,
+            PerfBand::Intermediate => cedar.intermediate += 1,
+            PerfBand::Unacceptable => cedar.unacceptable += 1,
+        }
+    }
+    let (h, i, u) = ymp::band_census(&ymp::TABLE6_EFFICIENCIES);
+    (
+        cedar,
+        Census {
+            high: h,
+            intermediate: i,
+            unacceptable: u,
+        },
+    )
+}
+
+/// Prints the regenerated table.
+pub fn print() {
+    let (cedar, ymp_census) = run();
+    println!("Table 6: Restructuring efficiency (band census over 13 Perfect codes)");
+    println!("{:24} {:>8} {:>10}", "Performance level", "Cedar", "Cray YMP");
+    println!(
+        "{:24} {:>8} {:>10}",
+        "High (Ep > .5)", cedar.high, ymp_census.high
+    );
+    println!(
+        "{:24} {:>8} {:>10}",
+        "Intermediate", cedar.intermediate, ymp_census.intermediate
+    );
+    println!(
+        "{:24} {:>8} {:>10}",
+        "Unacceptable", cedar.unacceptable, ymp_census.unacceptable
+    );
+    println!("\npaper: Cedar 1 / 9 / 3, Cray YMP 0 / 6 / 7");
+}

@@ -1,0 +1,123 @@
+//! Golden-value regression tests over the experiment harness: every
+//! regenerated table is pinned to its current measured values (with
+//! tolerance), so a change anywhere in the stack that silently shifts
+//! a reproduced result fails here rather than drifting unnoticed.
+//! EXPERIMENTS.md records these same numbers next to the paper's.
+
+fn within(measured: f64, golden: f64, rel: f64) -> bool {
+    (measured - golden).abs() <= rel * golden.abs()
+}
+
+#[test]
+fn table1_golden() {
+    let rows = cedar_bench::table1::run();
+    let golden: [(&str, [f64; 4]); 3] = [
+        ("GM/no pref", [14.1, 28.3, 41.1, 53.8]),
+        ("GM/pref", [50.8, 100.6, 119.8, 132.1]),
+        ("GM/Cache", [52.1, 104.3, 156.4, 208.6]),
+    ];
+    for (row, (label, values)) in rows.iter().zip(golden.iter()) {
+        assert_eq!(row.label, *label);
+        for (m, g) in row.mflops.iter().zip(values.iter()) {
+            assert!(
+                within(*m, *g, 0.05),
+                "{label}: measured {m} drifted from golden {g}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table2_golden() {
+    let rows = cedar_bench::table2::run();
+    // (kernel, latency[3], interarrival[3]) as currently measured.
+    let golden: [(&str, [f64; 3], [f64; 3]); 4] = [
+        ("TM", [8.4, 8.6, 21.1], [1.1, 1.3, 2.1]),
+        ("CG", [8.5, 9.3, 21.5], [1.0, 1.3, 2.1]),
+        ("VF", [8.4, 9.1, 17.5], [1.0, 1.1, 1.5]),
+        ("RK", [9.2, 19.7, 34.8], [1.0, 1.0, 2.0]),
+    ];
+    for (row, (kernel, lat, inter)) in rows.iter().zip(golden.iter()) {
+        assert_eq!(row.kernel, *kernel);
+        for (m, g) in row.latency.iter().zip(lat.iter()) {
+            assert!(within(*m, *g, 0.10), "{kernel} latency {m} vs {g}");
+        }
+        for (m, g) in row.interarrival.iter().zip(inter.iter()) {
+            assert!(within(*m, *g, 0.10), "{kernel} interarrival {m} vs {g}");
+        }
+    }
+}
+
+#[test]
+fn table5_golden() {
+    let rows = cedar_bench::table5::run();
+    assert_eq!(rows[0].machine, "Cedar");
+    assert!(within(rows[0].instability[0], 63.4, 0.02));
+    assert_eq!(rows[0].exceptions_needed, Some(3));
+    assert_eq!(rows[1].machine, "Cray YMP/8");
+    assert_eq!(rows[1].exceptions_needed, Some(6));
+    assert_eq!(rows[2].machine, "Cray-1");
+    assert_eq!(rows[2].exceptions_needed, Some(2));
+}
+
+#[test]
+fn fig3_golden_censuses() {
+    use cedar_metrics::bands::PerfBand;
+    let points = cedar_bench::fig3::run();
+    let cedar_high = points.iter().filter(|p| p.cedar_band == PerfBand::High).count();
+    let cedar_unacc = points
+        .iter()
+        .filter(|p| p.cedar_band == PerfBand::Unacceptable)
+        .count();
+    let ymp_high = points.iter().filter(|p| p.ymp_band == PerfBand::High).count();
+    let ymp_unacc = points
+        .iter()
+        .filter(|p| p.ymp_band == PerfBand::Unacceptable)
+        .count();
+    assert_eq!((cedar_high, cedar_unacc), (2, 0));
+    assert_eq!((ymp_high, ymp_unacc), (6, 1));
+}
+
+#[test]
+fn overheads_golden() {
+    let o = cedar_bench::overheads::run();
+    assert!(within(o.xdoall_startup_us, 90.1, 0.02), "{}", o.xdoall_startup_us);
+    assert!(within(o.xdoall_fetch_us, 30.1, 0.02), "{}", o.xdoall_fetch_us);
+    assert!(o.cdoall_start_us < 10.0);
+}
+
+#[test]
+fn vm_ablation_golden() {
+    let outcomes = cedar_bench::ablation_vm::run();
+    assert_eq!(outcomes[0].faults, 3_000);
+    assert_eq!(outcomes[1].faults, 12_000);
+    assert_eq!(outcomes[2].faults, 3_000);
+    assert!(within(outcomes[1].vm_fraction, 0.50, 0.05));
+}
+
+#[test]
+fn barrier_ablation_golden() {
+    let outcomes = cedar_bench::ablation_barriers::run();
+    assert!(within(outcomes[0].improvement, 2.70, 0.05));
+    assert!(within(outcomes[0].original_overhead_fraction, 0.84, 0.05));
+}
+
+#[test]
+fn io_ablation_golden() {
+    let a = cedar_bench::ablation_io::run();
+    assert!(within(a.app_formatted_s, 111.0, 0.01));
+    assert!(within(a.app_unformatted_s, 70.0, 0.05));
+}
+
+#[test]
+fn cm5_golden() {
+    let cells = cedar_bench::ppt4::run_cm5();
+    let bw3_32: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.processors == 32 && c.bandwidth == 3)
+        .map(|c| c.mflops)
+        .collect();
+    let lo = bw3_32.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = bw3_32.iter().cloned().fold(0.0, f64::max);
+    assert!(within(lo, 26.7, 0.03) && within(hi, 29.8, 0.03), "{lo}..{hi}");
+}

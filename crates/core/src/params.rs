@@ -1,0 +1,202 @@
+//! Machine parameters: every constant the paper publishes, with
+//! provenance notes, and a builder for what-if configurations.
+
+use cedar_cpu::ce::CeConfig;
+use cedar_mem::cache::CacheConfig;
+use cedar_net::fabric::FabricConfig;
+use cedar_sim::time::ClockPeriod;
+
+/// Full parameterization of a Cedar-like machine.
+///
+/// [`CedarParams::paper`] returns the machine as published; the
+/// builder methods derive variants (fewer clusters, deeper network
+/// queues for the \[Turn93\] ablation, and so on).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_core::params::CedarParams;
+///
+/// let p = CedarParams::paper();
+/// assert_eq!(p.clusters, 4);
+/// assert_eq!(p.ces_per_cluster, 8);
+/// let small = CedarParams::paper().with_clusters(2);
+/// assert_eq!(small.total_ces(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CedarParams {
+    /// Number of Alliant FX/8 clusters. Paper: 4.
+    pub clusters: usize,
+    /// CEs per cluster. Paper: 8.
+    pub ces_per_cluster: usize,
+    /// Per-CE configuration (clock, vector timing).
+    pub ce: CeConfig,
+    /// Cluster shared-cache geometry.
+    pub cache: CacheConfig,
+    /// Global network + memory-module fabric configuration.
+    pub fabric: FabricConfig,
+    /// Cluster-memory size in words.
+    pub cluster_memory_words: usize,
+    /// Global-memory size in words used for functional state. The real
+    /// machine has 64 MB; models default to a smaller arena so tests
+    /// stay light, which affects nothing but capacity checks.
+    pub global_memory_words: usize,
+    /// XDOALL loop startup latency in microseconds. Paper: "a typical
+    /// loop startup latency of 90 µs".
+    pub xdoall_startup_us: f64,
+    /// XDOALL per-iteration fetch cost in microseconds. Paper:
+    /// "fetching the next iteration takes about 30 µs".
+    pub xdoall_fetch_us: f64,
+    /// TLB entries per cluster.
+    pub tlb_entries: usize,
+}
+
+impl CedarParams {
+    /// The machine exactly as the paper describes it.
+    #[must_use]
+    pub fn paper() -> Self {
+        CedarParams {
+            clusters: 4,
+            ces_per_cluster: 8,
+            ce: CeConfig::cedar(),
+            cache: CacheConfig::cedar(),
+            fabric: FabricConfig::cedar(),
+            cluster_memory_words: 1 << 16,
+            global_memory_words: 1 << 18,
+            xdoall_startup_us: 90.0,
+            xdoall_fetch_us: 30.0,
+            tlb_entries: 256,
+        }
+    }
+
+    /// Uses only the first `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    #[must_use]
+    pub fn with_clusters(mut self, clusters: usize) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        self.clusters = clusters;
+        self
+    }
+
+    /// Replaces the fabric configuration (network-ablation studies).
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Total CE count.
+    #[must_use]
+    pub fn total_ces(&self) -> usize {
+        self.clusters * self.ces_per_cluster
+    }
+
+    /// The CE clock.
+    #[must_use]
+    pub fn clock(&self) -> ClockPeriod {
+        self.ce.clock
+    }
+
+    /// Machine peak MFLOPS (2 flops/cycle/CE).
+    #[must_use]
+    pub fn peak_mflops(&self) -> f64 {
+        self.ce.peak_mflops() * self.total_ces() as f64
+    }
+
+    /// Effective peak after unavoidable vector startup (the paper's
+    /// 274 MFLOPS at 32 CEs).
+    #[must_use]
+    pub fn effective_peak_mflops(&self) -> f64 {
+        let reg = 32.0;
+        let startup = self.ce.vector.startup_cycles as f64;
+        self.peak_mflops() * reg / (reg + startup)
+    }
+
+    /// XDOALL startup in CE cycles.
+    #[must_use]
+    pub fn xdoall_startup_cycles(&self) -> u64 {
+        self.clock().to_cycles(self.xdoall_startup_us * 1e-6).as_u64()
+    }
+
+    /// XDOALL per-iteration fetch in CE cycles.
+    #[must_use]
+    pub fn xdoall_fetch_cycles(&self) -> u64 {
+        self.clock().to_cycles(self.xdoall_fetch_us * 1e-6).as_u64()
+    }
+
+    /// Validates cross-parameter consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters == 0 || self.ces_per_cluster == 0 {
+            return Err("machine needs clusters and CEs".to_owned());
+        }
+        self.fabric.net.validate()?;
+        self.cache.validate()?;
+        let ports = self.fabric.net.ports();
+        if self.total_ces() > ports {
+            return Err(format!(
+                "{} CEs exceed the network's {} ports",
+                self.total_ces(),
+                ports
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CedarParams {
+    fn default() -> Self {
+        CedarParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let p = CedarParams::paper();
+        assert_eq!(p.total_ces(), 32);
+        assert!((p.peak_mflops() - 376.5).abs() < 1.0, "~376 MFLOPS peak");
+        assert!(
+            (p.effective_peak_mflops() - 274.0).abs() < 5.0,
+            "~274 MFLOPS effective peak"
+        );
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn loop_overheads_match_paper() {
+        let p = CedarParams::paper();
+        // 90us at 170ns = ~529 cycles; 30us = ~176 cycles.
+        assert_eq!(p.xdoall_startup_cycles(), 530);
+        assert_eq!(p.xdoall_fetch_cycles(), 177);
+    }
+
+    #[test]
+    fn builder_variants() {
+        let p = CedarParams::paper().with_clusters(1);
+        assert_eq!(p.total_ces(), 8);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_too_many_ces() {
+        let mut p = CedarParams::paper();
+        p.ces_per_cluster = 64;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = CedarParams::paper().with_clusters(0);
+    }
+}

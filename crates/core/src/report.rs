@@ -1,0 +1,195 @@
+//! Machine-wide counter reports.
+//!
+//! Everything the subsystem models count — cache hits, sync
+//! operations, VM faults, CE work — gathered into one structure, the
+//! software analogue of dumping the performance-monitor hardware to a
+//! workstation after an experiment.
+
+use std::fmt;
+
+use crate::system::CedarSystem;
+
+/// Per-cluster counter snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterCounters {
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Dirty write-backs.
+    pub cache_writebacks: u64,
+    /// Cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Cluster-memory reads.
+    pub memory_reads: u64,
+    /// Cluster-memory writes.
+    pub memory_writes: u64,
+    /// Concurrency-bus `concurrent start`s.
+    pub bus_starts: u64,
+    /// Concurrency-bus iteration dispatches.
+    pub bus_dispatches: u64,
+    /// Sum of CE busy cycles.
+    pub ce_busy_cycles: u64,
+    /// Sum of CE flops.
+    pub ce_flops: f64,
+}
+
+/// The machine-wide snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineReport {
+    /// One entry per cluster.
+    pub clusters: Vec<ClusterCounters>,
+    /// Global-memory word reads.
+    pub global_reads: u64,
+    /// Global-memory word writes.
+    pub global_writes: u64,
+    /// Synchronization instructions executed at the modules.
+    pub global_sync_ops: u64,
+    /// The busiest synchronization module and its op count, if any
+    /// sync traffic occurred.
+    pub hottest_sync_module: Option<(usize, u64)>,
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// TLB-miss (valid-PTE) faults.
+    pub tlb_miss_faults: u64,
+    /// Hard (first-touch) faults.
+    pub hard_faults: u64,
+    /// VM service cycles accumulated.
+    pub vm_service_cycles: u64,
+}
+
+impl MachineReport {
+    /// Snapshots every counter in the machine.
+    #[must_use]
+    pub fn capture(sys: &CedarSystem) -> Self {
+        let clusters = sys
+            .clusters()
+            .iter()
+            .map(|c| ClusterCounters {
+                cache_hits: c.cache.hit_count(),
+                cache_misses: c.cache.miss_count(),
+                cache_writebacks: c.cache.writeback_count(),
+                cache_hit_rate: c.cache.hit_rate(),
+                memory_reads: c.memory.read_count(),
+                memory_writes: c.memory.write_count(),
+                bus_starts: c.bus.start_count(),
+                bus_dispatches: c.bus.dispatch_count(),
+                ce_busy_cycles: c.ces.iter().map(|ce| ce.busy_cycles().as_u64()).sum(),
+                ce_flops: c.ces.iter().map(|ce| ce.flops()).sum(),
+            })
+            .collect();
+        let hottest_sync_module = sys
+            .global()
+            .sync_ops_per_module()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .max_by_key(|(_, &n)| n)
+            .map(|(m, &n)| (m, n));
+        MachineReport {
+            clusters,
+            global_reads: sys.global().read_count(),
+            global_writes: sys.global().write_count(),
+            global_sync_ops: sys.global().sync_op_count(),
+            hottest_sync_module,
+            tlb_hits: sys.vm().tlb_hits(),
+            tlb_miss_faults: sys.vm().tlb_miss_faults(),
+            hard_faults: sys.vm().hard_faults(),
+            vm_service_cycles: sys.vm().service_cycles(),
+        }
+    }
+
+    /// Total flops across the machine.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.clusters.iter().map(|c| c.ce_flops).sum()
+    }
+
+    /// Total page faults of both kinds.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.tlb_miss_faults + self.hard_faults
+    }
+}
+
+impl fmt::Display for MachineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "machine counters:")?;
+        for (i, c) in self.clusters.iter().enumerate() {
+            writeln!(
+                f,
+                "  cluster {i}: cache {:.0}% hit ({} wb), bus {} starts/{} dispatches, \
+                 {} busy cycles, {:.0} flops",
+                c.cache_hit_rate * 100.0,
+                c.cache_writebacks,
+                c.bus_starts,
+                c.bus_dispatches,
+                c.ce_busy_cycles,
+                c.ce_flops
+            )?;
+        }
+        writeln!(
+            f,
+            "  global: {} reads, {} writes, {} sync ops{}",
+            self.global_reads,
+            self.global_writes,
+            self.global_sync_ops,
+            self.hottest_sync_module
+                .map(|(m, n)| format!(" (hottest module {m}: {n})"))
+                .unwrap_or_default()
+        )?;
+        write!(
+            f,
+            "  vm: {} TLB hits, {} TLB-miss faults, {} hard faults, {} service cycles",
+            self.tlb_hits, self.tlb_miss_faults, self.hard_faults, self.vm_service_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CedarParams;
+    use cedar_mem::address::{PAddr, VAddr};
+    use cedar_mem::sync::SyncInstruction;
+
+    #[test]
+    fn capture_reflects_activity() {
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        sys.cluster_mut(0).cache.access(PAddr::in_cluster(0), false);
+        sys.cluster_mut(0).cache.access(PAddr::in_cluster(0), false);
+        sys.cluster_mut(1).memory.write_word(0, 9);
+        sys.global_mut().sync_op(5, SyncInstruction::test_and_set());
+        sys.vm_mut().translate(0, VAddr(0));
+        sys.cluster_mut(2).ces[0].run_scalar(10, 4.0);
+
+        let report = MachineReport::capture(&sys);
+        assert_eq!(report.clusters[0].cache_hits, 1);
+        assert_eq!(report.clusters[0].cache_misses, 1);
+        assert_eq!(report.clusters[1].memory_writes, 1);
+        assert_eq!(report.global_sync_ops, 1);
+        assert_eq!(report.hottest_sync_module, Some((5, 1)));
+        assert_eq!(report.hard_faults, 1);
+        assert_eq!(report.total_faults(), 1);
+        assert_eq!(report.total_flops(), 4.0);
+    }
+
+    #[test]
+    fn idle_machine_reports_zeroes() {
+        let sys = CedarSystem::new(CedarParams::paper());
+        let report = MachineReport::capture(&sys);
+        assert_eq!(report.global_sync_ops, 0);
+        assert_eq!(report.hottest_sync_module, None);
+        assert_eq!(report.total_flops(), 0.0);
+        assert_eq!(report.total_faults(), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_subsystems() {
+        let sys = CedarSystem::new(CedarParams::paper());
+        let text = MachineReport::capture(&sys).to_string();
+        assert!(text.contains("cluster 0"));
+        assert!(text.contains("global:"));
+        assert!(text.contains("vm:"));
+    }
+}

@@ -1,0 +1,279 @@
+//! The assembled machine.
+//!
+//! [`CedarSystem`] owns the functional state of the whole machine —
+//! global memory with its synchronization processors, the per-cluster
+//! caches, memories and concurrency buses, the CEs, the virtual-memory
+//! system — plus the cost model with its discrete-event measurement
+//! engine and a performance monitor. The runtime (`cedar-runtime`)
+//! executes CEDAR FORTRAN-style programs against it; kernels and
+//! benchmarks query it for timing.
+
+use cedar_cpu::ccbus::ConcurrencyBus;
+use cedar_cpu::ce::ComputationalElement;
+use cedar_mem::cache::SharedCache;
+use cedar_mem::cluster::ClusterMemory;
+use cedar_mem::global::GlobalMemory;
+use cedar_mem::vm::VirtualMemory;
+use cedar_sim::monitor::PerformanceMonitor;
+use cedar_sim::time::CycleDelta;
+
+use crate::costmodel::{AccessMode, CostModel, MemProfile};
+use crate::params::CedarParams;
+
+/// One Alliant FX/8 cluster: eight CEs, a shared cache, cluster
+/// memory, and the concurrency control bus.
+#[derive(Debug)]
+pub struct Cluster {
+    /// The computational elements.
+    pub ces: Vec<ComputationalElement>,
+    /// The 512 KB shared cache.
+    pub cache: SharedCache,
+    /// The 32 MB cluster memory.
+    pub memory: ClusterMemory,
+    /// The concurrency control bus.
+    pub bus: ConcurrencyBus,
+}
+
+impl Cluster {
+    fn new(params: &CedarParams) -> Self {
+        Cluster {
+            ces: (0..params.ces_per_cluster)
+                .map(|_| ComputationalElement::new(params.ce))
+                .collect(),
+            cache: SharedCache::new(params.cache),
+            memory: ClusterMemory::with_words(params.cluster_memory_words),
+            bus: ConcurrencyBus::new(params.ces_per_cluster),
+        }
+    }
+}
+
+/// The Cedar machine.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_core::{CedarParams, CedarSystem};
+/// use cedar_mem::sync::SyncInstruction;
+///
+/// let mut cedar = CedarSystem::new(CedarParams::paper());
+/// // A runtime self-scheduling counter lives in global memory and is
+/// // bumped with the memory-module sync processor.
+/// let first = cedar.global_mut().sync_op(0, SyncInstruction::fetch_and_add(1));
+/// assert_eq!(first.old_value, 0);
+/// ```
+#[derive(Debug)]
+pub struct CedarSystem {
+    params: CedarParams,
+    clusters: Vec<Cluster>,
+    global: GlobalMemory,
+    vm: VirtualMemory,
+    monitor: PerformanceMonitor,
+    cost_model: CostModel,
+}
+
+impl CedarSystem {
+    /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`CedarParams::validate`].
+    #[must_use]
+    pub fn new(params: CedarParams) -> Self {
+        params.validate().expect("invalid machine parameters");
+        let clusters = (0..params.clusters).map(|_| Cluster::new(&params)).collect();
+        let global = GlobalMemory::with_words_and_modules(
+            params.global_memory_words,
+            params.fabric.mem_modules,
+        );
+        let vm = VirtualMemory::new(params.clusters, params.tlb_entries);
+        let cost_model = CostModel::new(params.fabric.clone());
+        CedarSystem {
+            clusters,
+            global,
+            vm,
+            monitor: PerformanceMonitor::new(),
+            cost_model,
+            params,
+        }
+    }
+
+    /// The machine parameters.
+    #[must_use]
+    pub fn params(&self) -> &CedarParams {
+        &self.params
+    }
+
+    /// The clusters.
+    #[must_use]
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Mutable access to one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn cluster_mut(&mut self, idx: usize) -> &mut Cluster {
+        &mut self.clusters[idx]
+    }
+
+    /// The global shared memory.
+    #[must_use]
+    pub fn global(&self) -> &GlobalMemory {
+        &self.global
+    }
+
+    /// Mutable access to global memory (reads, writes, sync ops).
+    pub fn global_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.global
+    }
+
+    /// The virtual-memory system.
+    #[must_use]
+    pub fn vm(&self) -> &VirtualMemory {
+        &self.vm
+    }
+
+    /// Mutable access to the virtual-memory system.
+    pub fn vm_mut(&mut self) -> &mut VirtualMemory {
+        &mut self.vm
+    }
+
+    /// The performance monitor.
+    #[must_use]
+    pub fn monitor(&self) -> &PerformanceMonitor {
+        &self.monitor
+    }
+
+    /// Mutable access to the performance monitor.
+    pub fn monitor_mut(&mut self) -> &mut PerformanceMonitor {
+        &mut self.monitor
+    }
+
+    /// The cost model (measurement engine).
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.cost_model
+    }
+
+    /// Effective cycles per delivered word for `mode` with `ces`
+    /// active processors (delegates to the cost model).
+    pub fn cycles_per_word(&mut self, mode: AccessMode, ces: usize) -> f64 {
+        self.cost_model.cycles_per_word(mode, ces)
+    }
+
+    /// Measures a memory profile on the fabric.
+    pub fn measure_memory(
+        &mut self,
+        traffic: cedar_net::fabric::PrefetchTraffic,
+        ces: usize,
+    ) -> MemProfile {
+        self.cost_model.measure(traffic, ces)
+    }
+
+    /// Converts cycles to seconds at the machine clock.
+    #[must_use]
+    pub fn seconds(&self, cycles: CycleDelta) -> f64 {
+        self.params.clock().to_seconds(cycles)
+    }
+
+    /// Converts floating-point work and elapsed cycles to MFLOPS.
+    #[must_use]
+    pub fn mflops(&self, flops: f64, cycles: f64) -> f64 {
+        if cycles <= 0.0 {
+            return 0.0;
+        }
+        flops / (cycles * self.params.clock().seconds()) / 1e6
+    }
+
+    /// Resets all CE counters across the machine (a fresh experiment).
+    pub fn reset_ce_counters(&mut self) {
+        for cluster in &mut self.clusters {
+            for ce in &mut cluster.ces {
+                ce.reset_counters();
+            }
+        }
+    }
+
+    /// Sum of busy cycles over all CEs.
+    #[must_use]
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.clusters
+            .iter()
+            .flat_map(|c| c.ces.iter())
+            .map(|ce| ce.busy_cycles().as_u64())
+            .sum()
+    }
+
+    /// Sum of flops over all CEs.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.clusters
+            .iter()
+            .flat_map(|c| c.ces.iter())
+            .map(ComputationalElement::flops)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_mem::sync::SyncInstruction;
+
+    #[test]
+    fn machine_assembles_per_paper() {
+        let cedar = CedarSystem::new(CedarParams::paper());
+        assert_eq!(cedar.clusters().len(), 4);
+        assert_eq!(cedar.clusters()[0].ces.len(), 8);
+        assert_eq!(cedar.clusters()[0].bus.ces(), 8);
+        assert_eq!(cedar.vm().clusters(), 4);
+    }
+
+    #[test]
+    fn sync_counter_round_trip() {
+        let mut cedar = CedarSystem::new(CedarParams::paper());
+        for expected in 0..5 {
+            let out = cedar
+                .global_mut()
+                .sync_op(7, SyncInstruction::fetch_and_add(1));
+            assert_eq!(out.old_value, expected);
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let cedar = CedarSystem::new(CedarParams::paper());
+        let secs = cedar.seconds(CycleDelta::new(1_000_000));
+        assert!((secs - 0.17).abs() < 1e-9);
+        // 2 flops/cycle = 11.76 MFLOPS.
+        let mflops = cedar.mflops(2_000_000.0, 1_000_000.0);
+        assert!((mflops - 11.76).abs() < 0.02);
+        assert_eq!(cedar.mflops(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ce_accounting_aggregates() {
+        let mut cedar = CedarSystem::new(CedarParams::paper());
+        cedar.cluster_mut(0).ces[0].run_scalar(100, 50.0);
+        cedar.cluster_mut(1).ces[3].run_scalar(200, 25.0);
+        assert_eq!(cedar.total_busy_cycles(), 300);
+        assert_eq!(cedar.total_flops(), 75.0);
+        cedar.reset_ce_counters();
+        assert_eq!(cedar.total_busy_cycles(), 0);
+    }
+
+    #[test]
+    fn smaller_machine_variants() {
+        let cedar = CedarSystem::new(CedarParams::paper().with_clusters(1));
+        assert_eq!(cedar.clusters().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine parameters")]
+    fn invalid_params_rejected() {
+        let mut p = CedarParams::paper();
+        p.ces_per_cluster = 100;
+        let _ = CedarSystem::new(p);
+    }
+}

@@ -1,0 +1,184 @@
+//! Structural renderings of the paper's Figures 1 and 2.
+//!
+//! Figure 1 shows the machine: four clusters feeding two unidirectional
+//! omega networks in front of the interleaved global memory. Figure 2
+//! shows one cluster: eight CEs on a concurrency control bus, a 4-way
+//! interleaved shared cache, the cluster switch and memory bus, cluster
+//! memory, and the interactive processors. The renderings are derived
+//! from the live parameter set, so a reconfigured machine draws itself
+//! correctly, and the port-map accessors double as structural checks.
+
+use crate::params::CedarParams;
+
+/// Network port assignments implied by a parameter set: CEs on the
+/// forward network's inputs (reverse outputs), memory modules on the
+/// forward outputs (reverse inputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortMap {
+    /// Network input port of each CE, indexed by global CE id.
+    pub ce_ports: Vec<usize>,
+    /// Network output port of each global-memory module.
+    pub module_ports: Vec<usize>,
+}
+
+impl PortMap {
+    /// Derives the port map from machine parameters.
+    #[must_use]
+    pub fn of(params: &CedarParams) -> Self {
+        PortMap {
+            ce_ports: (0..params.total_ces()).collect(),
+            module_ports: (0..params.fabric.mem_modules).collect(),
+        }
+    }
+
+    /// The network port of cluster `cluster`'s CE `ce`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is out of range for the map.
+    #[must_use]
+    pub fn port_of(&self, cluster: usize, ce: usize, ces_per_cluster: usize) -> usize {
+        let id = cluster * ces_per_cluster + ce;
+        self.ce_ports[id]
+    }
+}
+
+/// Renders Figure 1 (machine organization) as ASCII.
+#[must_use]
+pub fn render_figure1(params: &CedarParams) -> String {
+    let mut out = String::new();
+    out.push_str("                 Cedar Architecture (Fig. 1)\n");
+    out.push_str("  ");
+    for c in 0..params.clusters {
+        out.push_str("+----------------+  ");
+        let _ = c;
+    }
+    out.push('\n');
+    out.push_str("  ");
+    for c in 0..params.clusters {
+        out.push_str(&format!("| Cluster {c} (FX/8)|  "));
+    }
+    out.push('\n');
+    out.push_str("  ");
+    for _ in 0..params.clusters {
+        out.push_str(&format!("|  {} CEs + cache |  ", params.ces_per_cluster));
+    }
+    out.push('\n');
+    out.push_str("  ");
+    for _ in 0..params.clusters {
+        out.push_str("+---+--------+---+  ");
+    }
+    out.push('\n');
+    out.push_str("      |        ^ \n");
+    out.push_str(&format!(
+        "      v        |      two unidirectional {}x{} omega networks\n",
+        params.fabric.net.ports(),
+        params.fabric.net.ports()
+    ));
+    out.push_str(&format!(
+        "  [ FORWARD network ]   [ REVERSE network ]   ({} stages of {}x{} crossbars,\n",
+        params.fabric.net.stages, params.fabric.net.radix, params.fabric.net.radix
+    ));
+    out.push_str(&format!(
+        "      |        ^         {}-word queues per port)\n",
+        params.fabric.net.queue_words
+    ));
+    out.push_str("      v        |\n");
+    out.push_str(&format!(
+        "  [ GLOBAL MEMORY: {} interleaved modules, sync processor each ]\n",
+        params.fabric.mem_modules
+    ));
+    out
+}
+
+/// Renders Figure 2 (cluster organization) as ASCII.
+#[must_use]
+pub fn render_figure2(params: &CedarParams) -> String {
+    let mut out = String::new();
+    out.push_str("            Cluster Architecture (Fig. 2)\n");
+    out.push_str("  ");
+    for ce in 0..params.ces_per_cluster {
+        out.push_str(&format!("[CE{ce}]"));
+    }
+    out.push('\n');
+    out.push_str("    |   (concurrency control bus joins all CEs)\n");
+    out.push_str(&format!(
+        "  [ SHARED CACHE: {} KB, {}-way interleaved, {}-byte lines, write-back ]\n",
+        params.cache.capacity_bytes / 1024,
+        params.cache.banks,
+        params.cache.line_bytes
+    ));
+    out.push_str("    |   MEMORY BUS\n");
+    out.push_str("  [ CLUSTER SWITCH ]---[ IPs + IP caches ]\n");
+    out.push_str("    |\n");
+    out.push_str("  [ CLUSTER MEMORY: 32 MB interleaved ]\n");
+    out.push_str("    |\n");
+    out.push_str("  [ GLOBAL INTERFACE -> omega networks ]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_map_covers_all_ces_and_modules() {
+        let p = CedarParams::paper();
+        let map = PortMap::of(&p);
+        assert_eq!(map.ce_ports.len(), 32);
+        assert_eq!(map.module_ports.len(), p.fabric.mem_modules);
+        // Ports are distinct.
+        let mut seen = map.ce_ports.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn port_of_indexes_by_cluster_then_ce() {
+        let p = CedarParams::paper();
+        let map = PortMap::of(&p);
+        assert_eq!(map.port_of(0, 0, 8), 0);
+        assert_eq!(map.port_of(1, 0, 8), 8);
+        assert_eq!(map.port_of(3, 7, 8), 31);
+    }
+
+    #[test]
+    fn ce_ports_fit_network() {
+        let p = CedarParams::paper();
+        let map = PortMap::of(&p);
+        let ports = p.fabric.net.ports();
+        assert!(map.ce_ports.iter().all(|&port| port < ports));
+        assert!(map.module_ports.iter().all(|&port| port < ports));
+    }
+
+    #[test]
+    fn figure1_mentions_every_cluster_and_the_networks() {
+        let text = render_figure1(&CedarParams::paper());
+        for c in 0..4 {
+            assert!(text.contains(&format!("Cluster {c}")));
+        }
+        assert!(text.contains("FORWARD network"));
+        assert!(text.contains("REVERSE network"));
+        assert!(text.contains("GLOBAL MEMORY"));
+        assert!(text.contains("8x8 crossbars"));
+    }
+
+    #[test]
+    fn figure2_shows_cluster_internals() {
+        let text = render_figure2(&CedarParams::paper());
+        assert!(text.contains("[CE0]"));
+        assert!(text.contains("[CE7]"));
+        assert!(text.contains("SHARED CACHE: 512 KB"));
+        assert!(text.contains("CLUSTER MEMORY"));
+        assert!(text.contains("concurrency control bus"));
+    }
+
+    #[test]
+    fn figures_track_parameters() {
+        let p = CedarParams::paper().with_clusters(2);
+        let text = render_figure1(&p);
+        assert!(text.contains("Cluster 1"));
+        assert!(!text.contains("Cluster 2"));
+    }
+}

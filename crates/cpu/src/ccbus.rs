@@ -1,0 +1,300 @@
+//! The concurrency control bus.
+//!
+//! Each CE connects to a cluster-wide concurrency control bus
+//! "designed to support efficient execution of parallel loops.
+//! Concurrency control instructions implement fast fork, join and
+//! synchronization operations. For example: concurrent start is a
+//! single instruction that 'spreads' the iterations of a parallel loop
+//! from one to all the CES in a cluster by broadcasting the program
+//! counter and setting up private, per processor stacks. The whole
+//! cluster is thus 'gang-scheduled.' CES within a cluster can then
+//! 'self-schedule' iterations of the parallel loop among themselves."
+//!
+//! The bus makes intra-cluster loop control orders of magnitude
+//! cheaper than global-memory scheduling: a CDOALL "can typically
+//! start in a few microseconds" versus the XDOALL's 90 µs.
+
+/// Cost constants for bus operations, in CE cycles.
+///
+/// At 170 ns/cycle, the 18-cycle concurrent start is ~3 µs — the
+/// paper's "few microseconds" — and an iteration self-schedule is a
+/// single bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusCosts {
+    /// `concurrent start`: broadcast PC + private stack setup.
+    pub concurrent_start_cycles: u64,
+    /// One self-scheduled iteration fetch over the bus.
+    pub self_schedule_cycles: u64,
+    /// Join/barrier across the cluster over the bus.
+    pub join_cycles: u64,
+}
+
+impl BusCosts {
+    /// Cedar/Alliant values.
+    #[must_use]
+    pub fn cedar() -> Self {
+        BusCosts {
+            concurrent_start_cycles: 18,
+            self_schedule_cycles: 4,
+            join_cycles: 12,
+        }
+    }
+}
+
+impl Default for BusCosts {
+    fn default() -> Self {
+        BusCosts::cedar()
+    }
+}
+
+/// The cluster's concurrency control bus: gang-scheduling state plus
+/// an iteration dispenser for self-scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_cpu::ccbus::ConcurrencyBus;
+///
+/// let mut bus = ConcurrencyBus::new(8);
+/// bus.concurrent_start(20);
+/// let mut iterations_by_ce = vec![0u32; 8];
+/// while let Some((ce, _iter)) = bus.self_schedule_next() {
+///     iterations_by_ce[ce] += 1;
+/// }
+/// assert_eq!(iterations_by_ce.iter().sum::<u32>(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConcurrencyBus {
+    ces: usize,
+    costs: BusCosts,
+    /// Remaining loop bounds for the current concurrent start.
+    next_iteration: u64,
+    total_iterations: u64,
+    /// Round-robin pointer mimicking whichever CE's bus request wins.
+    next_ce: usize,
+    /// CEs that have reached the join point.
+    joined: Vec<bool>,
+    starts: u64,
+    dispatches: u64,
+}
+
+impl ConcurrencyBus {
+    /// Creates a bus for a cluster of `ces` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ces` is zero.
+    #[must_use]
+    pub fn new(ces: usize) -> Self {
+        assert!(ces > 0, "a cluster needs at least one CE");
+        ConcurrencyBus {
+            ces,
+            costs: BusCosts::cedar(),
+            next_iteration: 0,
+            total_iterations: 0,
+            next_ce: 0,
+            joined: vec![false; ces],
+            starts: 0,
+            dispatches: 0,
+        }
+    }
+
+    /// The bus cost constants.
+    #[must_use]
+    pub fn costs(&self) -> &BusCosts {
+        &self.costs
+    }
+
+    /// Number of CEs on the bus.
+    #[must_use]
+    pub fn ces(&self) -> usize {
+        self.ces
+    }
+
+    /// Executes `concurrent start` for a loop of `iterations`: the
+    /// whole cluster is gang-scheduled onto the loop.
+    pub fn concurrent_start(&mut self, iterations: u64) {
+        self.next_iteration = 0;
+        self.total_iterations = iterations;
+        self.joined.iter_mut().for_each(|j| *j = false);
+        self.starts += 1;
+    }
+
+    /// Dispenses the next loop iteration to a CE (round-robin among
+    /// requesters), or `None` when the loop is exhausted.
+    pub fn self_schedule_next(&mut self) -> Option<(usize, u64)> {
+        if self.next_iteration >= self.total_iterations {
+            return None;
+        }
+        let iter = self.next_iteration;
+        self.next_iteration += 1;
+        let ce = self.next_ce;
+        self.next_ce = (self.next_ce + 1) % self.ces;
+        self.dispatches += 1;
+        Some((ce, iter))
+    }
+
+    /// Marks a CE as arrived at the join. Returns `true` when every CE
+    /// has joined (the join completes and arrival state resets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ce` is out of range.
+    pub fn join(&mut self, ce: usize) -> bool {
+        self.joined[ce] = true;
+        if self.joined.iter().all(|&j| j) {
+            self.joined.iter_mut().for_each(|j| *j = false);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Static block partition of `iterations` across the cluster:
+    /// `(start, end)` for each CE, contiguous and balanced. This is the
+    /// statically-scheduled CDOALL alternative to self-scheduling.
+    #[must_use]
+    pub fn static_partition(&self, iterations: u64) -> Vec<(u64, u64)> {
+        let base = iterations / self.ces as u64;
+        let extra = iterations % self.ces as u64;
+        let mut out = Vec::with_capacity(self.ces);
+        let mut start = 0;
+        for ce in 0..self.ces as u64 {
+            let len = base + u64::from(ce < extra);
+            out.push((start, start + len));
+            start += len;
+        }
+        out
+    }
+
+    /// Total `concurrent start` instructions executed.
+    #[must_use]
+    pub fn start_count(&self) -> u64 {
+        self.starts
+    }
+
+    /// Total self-scheduled dispatches served.
+    #[must_use]
+    pub fn dispatch_count(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Cycles to run a self-scheduled cluster loop of `iterations`
+    /// iterations whose bodies each take `body_cycles`: start cost plus
+    /// the per-CE share including dispatch overhead, assuming the bus
+    /// serializes dispatches but bodies run in parallel.
+    #[must_use]
+    pub fn self_scheduled_loop_cycles(&self, iterations: u64, body_cycles: u64) -> u64 {
+        if iterations == 0 {
+            return self.costs.concurrent_start_cycles;
+        }
+        let per_iter = body_cycles + self.costs.self_schedule_cycles;
+        let per_ce = iterations.div_ceil(self.ces as u64) * per_iter;
+        // Bus serialization floor: one dispatch per bus transaction.
+        let bus_floor = iterations * self.costs.self_schedule_cycles;
+        self.costs.concurrent_start_cycles
+            + per_ce.max(bus_floor / self.ces as u64)
+            + self.costs.join_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_start_is_microseconds() {
+        let costs = BusCosts::cedar();
+        let micros = costs.concurrent_start_cycles as f64 * 170e-9 * 1e6;
+        assert!(
+            (1.0..10.0).contains(&micros),
+            "concurrent start should be a few microseconds, got {micros}"
+        );
+    }
+
+    #[test]
+    fn self_scheduling_dispenses_every_iteration_once() {
+        let mut bus = ConcurrencyBus::new(8);
+        bus.concurrent_start(100);
+        let mut seen = [false; 100];
+        while let Some((_, iter)) = bus.self_schedule_next() {
+            assert!(!seen[iter as usize], "iteration dispensed twice");
+            seen[iter as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(bus.dispatch_count(), 100);
+    }
+
+    #[test]
+    fn dispatches_spread_across_ces() {
+        let mut bus = ConcurrencyBus::new(4);
+        bus.concurrent_start(8);
+        let mut per_ce = [0u32; 4];
+        while let Some((ce, _)) = bus.self_schedule_next() {
+            per_ce[ce] += 1;
+        }
+        assert_eq!(per_ce, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn join_completes_only_when_all_arrive() {
+        let mut bus = ConcurrencyBus::new(3);
+        assert!(!bus.join(0));
+        assert!(!bus.join(1));
+        assert!(bus.join(2));
+        // State resets for the next join.
+        assert!(!bus.join(0));
+    }
+
+    #[test]
+    fn static_partition_is_balanced_and_complete() {
+        let bus = ConcurrencyBus::new(8);
+        let parts = bus.static_partition(100);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts[0], (0, 13));
+        assert_eq!(parts.last().unwrap().1, 100);
+        let total: u64 = parts.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 100);
+        let max = parts.iter().map(|(s, e)| e - s).max().unwrap();
+        let min = parts.iter().map(|(s, e)| e - s).min().unwrap();
+        assert!(max - min <= 1, "partition must be balanced");
+    }
+
+    #[test]
+    fn static_partition_fewer_iterations_than_ces() {
+        let bus = ConcurrencyBus::new(8);
+        let parts = bus.static_partition(3);
+        let nonempty = parts.iter().filter(|(s, e)| e > s).count();
+        assert_eq!(nonempty, 3);
+    }
+
+    #[test]
+    fn loop_cost_scales_with_body_and_iterations() {
+        let bus = ConcurrencyBus::new(8);
+        let small = bus.self_scheduled_loop_cycles(8, 100);
+        let more_iters = bus.self_scheduled_loop_cycles(80, 100);
+        let bigger_body = bus.self_scheduled_loop_cycles(8, 1000);
+        assert!(more_iters > small);
+        assert!(bigger_body > small);
+    }
+
+    #[test]
+    fn empty_loop_costs_only_start() {
+        let bus = ConcurrencyBus::new(8);
+        assert_eq!(
+            bus.self_scheduled_loop_cycles(0, 100),
+            BusCosts::cedar().concurrent_start_cycles
+        );
+    }
+
+    #[test]
+    fn restart_resets_iteration_stream() {
+        let mut bus = ConcurrencyBus::new(2);
+        bus.concurrent_start(2);
+        bus.self_schedule_next();
+        bus.concurrent_start(2);
+        let (_, iter) = bus.self_schedule_next().unwrap();
+        assert_eq!(iter, 0, "new loop starts from iteration 0");
+        assert_eq!(bus.start_count(), 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! The computational element: configuration and aggregate counters.
+//!
+//! A CE bundles the scalar engine (a pipelined 68020-compatible core
+//! at 170 ns/instruction), the vector unit, and the prefetch unit. The
+//! cluster couples eight of them to the shared cache and the
+//! concurrency control bus.
+
+use cedar_sim::time::{ClockPeriod, CycleDelta};
+
+use crate::prefetch::PrefetchUnit;
+use crate::vector::{MemOperand, VectorTiming, VectorUnit};
+
+/// Page size the PFU's crossing logic uses, matching the Xylem 4 KB
+/// page (duplicated from `cedar-mem` to keep this crate's dependency
+/// on it interface-only).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Static configuration of one CE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CeConfig {
+    /// Instruction cycle time. Cedar: 170 ns.
+    pub clock: ClockPeriod,
+    /// Vector timing constants.
+    pub vector: VectorTiming,
+    /// Cycles per scalar instruction (the 68020-compatible core
+    /// averages about one instruction per cycle on integer work).
+    pub scalar_cpi: f64,
+}
+
+impl CeConfig {
+    /// The Cedar CE.
+    #[must_use]
+    pub fn cedar() -> Self {
+        CeConfig {
+            clock: ClockPeriod::from_nanos(170.0),
+            vector: VectorTiming::cedar(),
+            scalar_cpi: 1.0,
+        }
+    }
+
+    /// Peak MFLOPS of one CE: two chained flops per cycle.
+    #[must_use]
+    pub fn peak_mflops(&self) -> f64 {
+        2.0 / self.clock.seconds() / 1e6
+    }
+}
+
+impl Default for CeConfig {
+    fn default() -> Self {
+        CeConfig::cedar()
+    }
+}
+
+/// One computational element with its vector and prefetch units and
+/// cycle/flop accounting.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_cpu::ce::{CeConfig, ComputationalElement};
+/// use cedar_cpu::vector::MemOperand;
+///
+/// let mut ce = ComputationalElement::new(CeConfig::cedar());
+/// ce.run_vector(1024, 2.0, MemOperand::ClusterCache);
+/// assert_eq!(ce.flops(), 2048.0);
+/// assert!(ce.busy_cycles().as_u64() > 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComputationalElement {
+    cfg: CeConfig,
+    vector_unit: VectorUnit,
+    prefetch_unit: PrefetchUnit,
+    busy: CycleDelta,
+    flops: f64,
+    vector_instructions: u64,
+    scalar_instructions: u64,
+}
+
+impl ComputationalElement {
+    /// Creates an idle CE.
+    #[must_use]
+    pub fn new(cfg: CeConfig) -> Self {
+        ComputationalElement {
+            cfg,
+            vector_unit: VectorUnit::cedar(),
+            prefetch_unit: PrefetchUnit::new(),
+            busy: CycleDelta::ZERO,
+            flops: 0.0,
+            vector_instructions: 0,
+            scalar_instructions: 0,
+        }
+    }
+
+    /// The CE's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CeConfig {
+        &self.cfg
+    }
+
+    /// The vector unit.
+    #[must_use]
+    pub fn vector_unit(&self) -> &VectorUnit {
+        &self.vector_unit
+    }
+
+    /// The prefetch unit.
+    #[must_use]
+    pub fn prefetch_unit(&self) -> &PrefetchUnit {
+        &self.prefetch_unit
+    }
+
+    /// Mutable access to the prefetch unit.
+    pub fn prefetch_unit_mut(&mut self) -> &mut PrefetchUnit {
+        &mut self.prefetch_unit
+    }
+
+    /// Executes an `n`-element strip-mined vector stream with
+    /// `flops_per_element` useful flops per element and the given
+    /// memory operand, accumulating busy time and flops.
+    pub fn run_vector(&mut self, n: usize, flops_per_element: f64, operand: MemOperand) {
+        let cycles = self
+            .vector_unit
+            .strip_mined_cycles(n, operand, &self.cfg.vector);
+        self.busy += CycleDelta::new(cycles);
+        self.flops += n as f64 * flops_per_element;
+        let reg = self.vector_unit.register_words();
+        self.vector_instructions += n.div_ceil(reg) as u64;
+    }
+
+    /// Executes `n` scalar instructions, of which `flops` are
+    /// floating-point operations.
+    pub fn run_scalar(&mut self, n: u64, flops: f64) {
+        self.busy += CycleDelta::new((n as f64 * self.cfg.scalar_cpi).ceil() as u64);
+        self.flops += flops;
+        self.scalar_instructions += n;
+    }
+
+    /// Adds raw stall/overhead cycles (memory waits, sync waits).
+    pub fn stall(&mut self, cycles: CycleDelta) {
+        self.busy += cycles;
+    }
+
+    /// Total busy time.
+    #[must_use]
+    pub fn busy_cycles(&self) -> CycleDelta {
+        self.busy
+    }
+
+    /// Busy time in seconds at the configured clock.
+    #[must_use]
+    pub fn busy_seconds(&self) -> f64 {
+        self.cfg.clock.to_seconds(self.busy)
+    }
+
+    /// Accumulated floating-point operations.
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        self.flops
+    }
+
+    /// Achieved MFLOPS over the busy period (0 when idle).
+    #[must_use]
+    pub fn achieved_mflops(&self) -> f64 {
+        let secs = self.busy_seconds();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.flops / secs / 1e6
+        }
+    }
+
+    /// Vector instructions issued.
+    #[must_use]
+    pub fn vector_instruction_count(&self) -> u64 {
+        self.vector_instructions
+    }
+
+    /// Scalar instructions issued.
+    #[must_use]
+    pub fn scalar_instruction_count(&self) -> u64 {
+        self.scalar_instructions
+    }
+
+    /// Clears accounting but keeps unit state.
+    pub fn reset_counters(&mut self) {
+        self.busy = CycleDelta::ZERO;
+        self.flops = 0.0;
+        self.vector_instructions = 0;
+        self.scalar_instructions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_mflops_is_11_76() {
+        let cfg = CeConfig::cedar();
+        assert!((cfg.peak_mflops() - 11.76).abs() < 0.02);
+    }
+
+    #[test]
+    fn vector_run_accumulates_time_and_flops() {
+        let mut ce = ComputationalElement::new(CeConfig::cedar());
+        ce.run_vector(64, 2.0, MemOperand::ClusterCache);
+        assert_eq!(ce.flops(), 128.0);
+        assert_eq!(ce.busy_cycles().as_u64(), 2 * (12 + 32));
+        assert_eq!(ce.vector_instruction_count(), 2);
+    }
+
+    #[test]
+    fn cache_fed_chained_stream_approaches_effective_peak() {
+        let mut ce = ComputationalElement::new(CeConfig::cedar());
+        ce.run_vector(1 << 16, 2.0, MemOperand::ClusterCache);
+        let mflops = ce.achieved_mflops();
+        // 274/32 = 8.56 MFLOPS effective per CE.
+        assert!(
+            (mflops - 8.56).abs() < 0.2,
+            "cache-fed sustained {mflops} should be near 8.56"
+        );
+    }
+
+    #[test]
+    fn unmasked_global_latency_cripples_throughput() {
+        let mut slow = ComputationalElement::new(CeConfig::cedar());
+        // 13-cycle unmasked latency per element, two outstanding
+        // requests overlap -> ~6.5 effective cycles per element.
+        slow.run_vector(1 << 12, 2.0, MemOperand::global(6.5));
+        let mut fast = ComputationalElement::new(CeConfig::cedar());
+        fast.run_vector(1 << 12, 2.0, MemOperand::global(1.1));
+        assert!(slow.achieved_mflops() * 3.0 < fast.achieved_mflops() * 1.2);
+    }
+
+    #[test]
+    fn scalar_work_counts_instructions() {
+        let mut ce = ComputationalElement::new(CeConfig::cedar());
+        ce.run_scalar(1000, 10.0);
+        assert_eq!(ce.scalar_instruction_count(), 1000);
+        assert_eq!(ce.busy_cycles().as_u64(), 1000);
+        assert_eq!(ce.flops(), 10.0);
+    }
+
+    #[test]
+    fn stall_adds_dead_time() {
+        let mut ce = ComputationalElement::new(CeConfig::cedar());
+        ce.run_vector(32, 2.0, MemOperand::None);
+        let before = ce.achieved_mflops();
+        ce.stall(CycleDelta::new(1000));
+        assert!(ce.achieved_mflops() < before);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut ce = ComputationalElement::new(CeConfig::cedar());
+        ce.run_vector(32, 2.0, MemOperand::None);
+        ce.reset_counters();
+        assert_eq!(ce.flops(), 0.0);
+        assert_eq!(ce.busy_cycles(), CycleDelta::ZERO);
+        assert_eq!(ce.achieved_mflops(), 0.0);
+    }
+}

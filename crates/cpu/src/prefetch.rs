@@ -1,0 +1,418 @@
+//! The data prefetch unit (PFU).
+//!
+//! From the paper (§2, "Data Prefetch"): each CE has its own PFU
+//! supporting one vector load from global memory. The PFU is *armed*
+//! with the length, stride and mask of the vector, then *fired* with
+//! the physical address of the first word. Autonomous prefetch (from a
+//! special instruction) overlaps with computation; an implicit fire
+//! (from a vector load's first address) overlaps only with that
+//! instruction. When a prefetch crosses a page boundary the PFU
+//! suspends until the processor supplies the first address in the new
+//! page, because the PFU sees only physical addresses. Absent page
+//! crossings it issues up to 512 requests without pausing. Data lands
+//! in a 512-word buffer, invalidated when another prefetch starts;
+//! words may return out of order, and a full/empty bit per word lets
+//! the CE consume in-order without waiting for the whole block.
+
+use crate::ce::PAGE_BYTES;
+
+/// Capacity of the prefetch buffer in 64-bit words, per the paper.
+pub const BUFFER_WORDS: usize = 512;
+
+/// One word slot of the prefetch buffer with its full/empty bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    Full(u64),
+}
+
+/// The 512-word prefetch data buffer with full/empty bits.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_cpu::prefetch::PrefetchBuffer;
+///
+/// let mut buf = PrefetchBuffer::new();
+/// buf.fill(3, 0xAB);          // data may arrive out of order
+/// assert_eq!(buf.consume(0), None); // word 0 not here yet
+/// buf.fill(0, 0xCD);
+/// assert_eq!(buf.consume(0), Some(0xCD));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    slots: Vec<Slot>,
+}
+
+impl PrefetchBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        PrefetchBuffer {
+            slots: vec![Slot::Empty; BUFFER_WORDS],
+        }
+    }
+
+    /// Marks slot `index` full with `data` (a word returning from the
+    /// reverse network, possibly out of order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fill(&mut self, index: usize, data: u64) {
+        self.slots[index] = Slot::Full(data);
+    }
+
+    /// Reads slot `index` if its full bit is set. The CE uses this to
+    /// access the buffer without waiting for the whole prefetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn consume(&self, index: usize) -> Option<u64> {
+        match self.slots[index] {
+            Slot::Full(d) => Some(d),
+            Slot::Empty => None,
+        }
+    }
+
+    /// Number of full slots.
+    #[must_use]
+    pub fn full_count(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, Slot::Full(_))).count()
+    }
+
+    /// Invalidates every slot — what happens when another prefetch is
+    /// started.
+    pub fn invalidate(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = Slot::Empty);
+    }
+}
+
+impl Default for PrefetchBuffer {
+    fn default() -> Self {
+        PrefetchBuffer::new()
+    }
+}
+
+/// PFU control state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PfuState {
+    /// No prefetch parameters loaded.
+    Idle,
+    /// Armed with length/stride/mask, awaiting fire.
+    Armed,
+    /// Firing: issuing requests.
+    Active,
+    /// Crossed a page boundary; waiting for the CPU to supply the
+    /// first physical address in the new page.
+    SuspendedAtPage,
+    /// All requests issued.
+    Done,
+}
+
+/// The prefetch unit state machine.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_cpu::prefetch::PrefetchUnit;
+///
+/// let mut pfu = PrefetchUnit::new();
+/// pfu.arm(64, 1, u64::MAX);
+/// pfu.fire(0x1000);
+/// // Issue addresses until the page boundary or the block ends.
+/// let mut issued = 0;
+/// while let Some(_addr) = pfu.next_request() {
+///     issued += 1;
+/// }
+/// assert_eq!(issued, 64); // 64 stride-1 words fit in the page
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchUnit {
+    state: PfuState,
+    length: u32,
+    stride: u64,
+    mask: u64,
+    issued: u32,
+    next_addr: u64,
+    /// Page of the most recently issued element.
+    current_page: u64,
+    /// Set right after fire/resume: the next issue defines the page
+    /// rather than checking against it.
+    fresh_page: bool,
+    buffer: PrefetchBuffer,
+    page_suspensions: u64,
+    prefetches_started: u64,
+}
+
+impl PrefetchUnit {
+    /// Creates an idle PFU with an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        PrefetchUnit {
+            state: PfuState::Idle,
+            length: 0,
+            stride: 1,
+            mask: u64::MAX,
+            issued: 0,
+            next_addr: 0,
+            current_page: 0,
+            fresh_page: false,
+            buffer: PrefetchBuffer::new(),
+            page_suspensions: 0,
+            prefetches_started: 0,
+        }
+    }
+
+    /// Arms the PFU with the vector's length (in words), stride (in
+    /// words) and mask (bit `i` set = element `i` wanted). Masked-off
+    /// elements are skipped without a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` exceeds the buffer capacity or `stride` is
+    /// zero.
+    pub fn arm(&mut self, length: u32, stride: u64, mask: u64) {
+        assert!(
+            (length as usize) <= BUFFER_WORDS,
+            "prefetch length {length} exceeds the {BUFFER_WORDS}-word buffer"
+        );
+        assert!(stride > 0, "stride must be nonzero");
+        self.length = length;
+        self.stride = stride;
+        self.mask = mask;
+        self.state = PfuState::Armed;
+    }
+
+    /// Fires an armed PFU with the physical byte address of the first
+    /// word. Starting a prefetch invalidates the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PFU is not armed.
+    pub fn fire(&mut self, first_paddr: u64) {
+        assert_eq!(
+            self.state,
+            PfuState::Armed,
+            "fire requires an armed PFU (state {:?})",
+            self.state
+        );
+        self.buffer.invalidate();
+        self.issued = 0;
+        self.next_addr = first_paddr;
+        self.fresh_page = true;
+        self.state = PfuState::Active;
+        self.prefetches_started += 1;
+    }
+
+    /// Produces the next request address, or `None` if the PFU is done,
+    /// suspended at a page crossing, or not active. Masked elements are
+    /// skipped. On a page crossing the PFU suspends ([`is_suspended`]
+    /// becomes true) until [`resume_at`] supplies the new page address.
+    ///
+    /// [`is_suspended`]: Self::is_suspended
+    /// [`resume_at`]: Self::resume_at
+    pub fn next_request(&mut self) -> Option<u64> {
+        loop {
+            if self.state != PfuState::Active {
+                return None;
+            }
+            if self.issued >= self.length {
+                self.state = PfuState::Done;
+                return None;
+            }
+            let element = self.issued;
+            let addr = self.next_addr;
+            // A request that would land in a new page suspends the PFU
+            // *before* issuing into that page: only physical addresses
+            // are available to it, so the CPU must translate the new
+            // page. The first element after fire/resume never suspends.
+            if !self.fresh_page && Self::page_of(addr) != self.current_page {
+                self.page_suspensions += 1;
+                self.state = PfuState::SuspendedAtPage;
+                return None;
+            }
+            self.fresh_page = false;
+            self.current_page = Self::page_of(addr);
+            self.issued += 1;
+            self.next_addr = addr + self.stride * 8;
+            if self.mask & (1u64 << (element % 64)) != 0 {
+                return Some(addr);
+            }
+            // Masked off: continue to the next element silently.
+        }
+    }
+
+    fn page_of(addr: u64) -> u64 {
+        addr / PAGE_BYTES
+    }
+
+    /// Whether the PFU is suspended waiting for a new-page address.
+    #[must_use]
+    pub fn is_suspended(&self) -> bool {
+        self.state == PfuState::SuspendedAtPage
+    }
+
+    /// Whether every element's request has been issued.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == PfuState::Done
+    }
+
+    /// Supplies the first physical address in the new page, resuming a
+    /// suspended prefetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PFU is not suspended.
+    pub fn resume_at(&mut self, paddr: u64) {
+        assert!(self.is_suspended(), "resume requires a suspended PFU");
+        self.next_addr = paddr;
+        self.fresh_page = true;
+        self.state = PfuState::Active;
+    }
+
+    /// Requests issued so far in the current prefetch.
+    #[must_use]
+    pub fn issued(&self) -> u32 {
+        self.issued
+    }
+
+    /// Page-boundary suspensions observed over the PFU's lifetime.
+    #[must_use]
+    pub fn page_suspension_count(&self) -> u64 {
+        self.page_suspensions
+    }
+
+    /// Prefetches fired over the PFU's lifetime.
+    #[must_use]
+    pub fn prefetch_count(&self) -> u64 {
+        self.prefetches_started
+    }
+
+    /// The data buffer.
+    #[must_use]
+    pub fn buffer(&self) -> &PrefetchBuffer {
+        &self.buffer
+    }
+
+    /// Mutable access to the data buffer (the reverse network fills it).
+    pub fn buffer_mut(&mut self) -> &mut PrefetchBuffer {
+        &mut self.buffer
+    }
+}
+
+impl Default for PrefetchUnit {
+    fn default() -> Self {
+        PrefetchUnit::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_out_of_order_fill_in_order_consume() {
+        let mut buf = PrefetchBuffer::new();
+        buf.fill(2, 22);
+        buf.fill(0, 0);
+        assert_eq!(buf.consume(0), Some(0));
+        assert_eq!(buf.consume(1), None);
+        assert_eq!(buf.consume(2), Some(22));
+        assert_eq!(buf.full_count(), 2);
+    }
+
+    #[test]
+    fn buffer_invalidate_clears_full_bits() {
+        let mut buf = PrefetchBuffer::new();
+        buf.fill(0, 1);
+        buf.invalidate();
+        assert_eq!(buf.consume(0), None);
+        assert_eq!(buf.full_count(), 0);
+    }
+
+    #[test]
+    fn issues_exactly_length_requests() {
+        let mut pfu = PrefetchUnit::new();
+        pfu.arm(32, 1, u64::MAX);
+        pfu.fire(0);
+        let addrs: Vec<u64> = std::iter::from_fn(|| pfu.next_request()).collect();
+        assert_eq!(addrs.len(), 32);
+        assert_eq!(addrs[0], 0);
+        assert_eq!(addrs[31], 31 * 8);
+        assert!(pfu.is_done());
+    }
+
+    #[test]
+    fn stride_walks_by_words() {
+        let mut pfu = PrefetchUnit::new();
+        pfu.arm(4, 4, u64::MAX);
+        pfu.fire(0);
+        let addrs: Vec<u64> = std::iter::from_fn(|| pfu.next_request()).collect();
+        assert_eq!(addrs, vec![0, 32, 64, 96]);
+    }
+
+    #[test]
+    fn mask_skips_elements() {
+        let mut pfu = PrefetchUnit::new();
+        pfu.arm(8, 1, 0b1010_1010);
+        pfu.fire(0);
+        let addrs: Vec<u64> = std::iter::from_fn(|| pfu.next_request()).collect();
+        assert_eq!(addrs, vec![8, 24, 40, 56], "odd elements only");
+    }
+
+    #[test]
+    fn suspends_at_page_crossing_and_resumes() {
+        let mut pfu = PrefetchUnit::new();
+        // Start 16 words before a page boundary, fetch 32.
+        let start = PAGE_BYTES - 16 * 8;
+        pfu.arm(32, 1, u64::MAX);
+        pfu.fire(start);
+        let first: Vec<u64> = std::iter::from_fn(|| pfu.next_request()).collect();
+        assert_eq!(first.len(), 16, "issues up to the page boundary");
+        assert!(pfu.is_suspended());
+        assert_eq!(pfu.page_suspension_count(), 1);
+        pfu.resume_at(PAGE_BYTES);
+        let rest: Vec<u64> = std::iter::from_fn(|| pfu.next_request()).collect();
+        assert_eq!(rest.len(), 16);
+        assert_eq!(rest[0], PAGE_BYTES);
+        assert!(pfu.is_done());
+    }
+
+    #[test]
+    fn no_crossing_when_block_fits_page() {
+        let mut pfu = PrefetchUnit::new();
+        pfu.arm(512, 1, u64::MAX);
+        pfu.fire(0);
+        let n = std::iter::from_fn(|| pfu.next_request()).count();
+        assert_eq!(n, 512, "512 stride-1 words fit in a 4KB page");
+        assert_eq!(pfu.page_suspension_count(), 0);
+    }
+
+    #[test]
+    fn refire_invalidates_buffer() {
+        let mut pfu = PrefetchUnit::new();
+        pfu.arm(4, 1, u64::MAX);
+        pfu.fire(0);
+        pfu.buffer_mut().fill(0, 7);
+        pfu.arm(4, 1, u64::MAX);
+        pfu.fire(4096);
+        assert_eq!(pfu.buffer().consume(0), None, "new prefetch invalidates");
+        assert_eq!(pfu.prefetch_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 512-word buffer")]
+    fn overlong_arm_rejected() {
+        PrefetchUnit::new().arm(513, 1, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "fire requires an armed PFU")]
+    fn fire_without_arm_rejected() {
+        PrefetchUnit::new().fire(0);
+    }
+}

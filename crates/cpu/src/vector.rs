@@ -1,0 +1,294 @@
+//! Vector-unit timing model.
+//!
+//! The CE's vector unit implements 64-bit floating-point and integer
+//! operations over eight 32-word vector registers. Instructions can
+//! take a register-memory form with one memory operand, so a chained
+//! multiply-add sustains two flops per element delivered — the source
+//! of the 11.8 MFLOPS per-CE peak (2 flops / 170 ns cycle).
+//!
+//! The paper distinguishes the machine's 376 MFLOPS "absolute peak"
+//! from a 274 MFLOPS "effective peak due to unavoidable vector
+//! startup"; with 32-element registers that ratio pins the startup
+//! cost at about 12 cycles per vector instruction, which is the
+//! default here.
+
+/// Where a register-memory vector instruction's memory operand lives,
+/// which sets the per-element delivery rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOperand {
+    /// No memory operand: register-register.
+    None,
+    /// Cluster shared cache: one word per cycle per CE (the cache
+    /// supplies one input stream to a vector instruction in each CE).
+    ClusterCache,
+    /// Cluster memory (cache miss traffic): half the cache bandwidth.
+    ClusterMemory,
+    /// Global memory through the network with the given effective
+    /// cycles-per-word (measured by the fabric under the prevailing
+    /// load; ~1 when prefetch pipelines perfectly, 13 when each
+    /// element pays the full unmasked latency).
+    Global {
+        /// Effective delivery cost per element, in hundredths of a
+        /// cycle (fixed-point so the type stays `Eq`/`Hash`).
+        centi_cycles_per_word: u32,
+    },
+}
+
+impl MemOperand {
+    /// Builds a global operand from a float cycles-per-word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_word` is negative or not finite.
+    #[must_use]
+    pub fn global(cycles_per_word: f64) -> Self {
+        assert!(
+            cycles_per_word.is_finite() && cycles_per_word >= 0.0,
+            "cycles per word must be a non-negative finite number"
+        );
+        MemOperand::Global {
+            centi_cycles_per_word: (cycles_per_word * 100.0).round() as u32,
+        }
+    }
+
+    /// The per-element delivery cost in cycles.
+    #[must_use]
+    pub fn cycles_per_word(self, timing: &VectorTiming) -> f64 {
+        match self {
+            MemOperand::None => 0.0,
+            MemOperand::ClusterCache => timing.cache_cycles_per_word,
+            MemOperand::ClusterMemory => timing.cluster_mem_cycles_per_word,
+            MemOperand::Global {
+                centi_cycles_per_word,
+            } => f64::from(centi_cycles_per_word) / 100.0,
+        }
+    }
+}
+
+/// Per-machine vector timing constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorTiming {
+    /// Pipeline fill cost per vector instruction, in cycles.
+    pub startup_cycles: u64,
+    /// Per-element compute rate in cycles (1.0: one element per cycle,
+    /// with chaining delivering up to 2 flops in that element).
+    pub compute_cycles_per_element: f64,
+    /// Cache delivery rate, cycles per word.
+    pub cache_cycles_per_word: f64,
+    /// Cluster-memory delivery rate, cycles per word (half the cache
+    /// bandwidth per the paper).
+    pub cluster_mem_cycles_per_word: f64,
+}
+
+impl VectorTiming {
+    /// Cedar/Alliant values.
+    #[must_use]
+    pub fn cedar() -> Self {
+        VectorTiming {
+            startup_cycles: 12,
+            compute_cycles_per_element: 1.0,
+            cache_cycles_per_word: 1.0,
+            cluster_mem_cycles_per_word: 2.0,
+        }
+    }
+}
+
+impl Default for VectorTiming {
+    fn default() -> Self {
+        VectorTiming::cedar()
+    }
+}
+
+/// The vector unit itself: register geometry plus timing queries.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_cpu::vector::{MemOperand, VectorTiming, VectorUnit};
+///
+/// let vu = VectorUnit::cedar();
+/// assert_eq!(vu.register_words(), 32);
+/// let t = VectorTiming::cedar();
+/// // Register-register op on a full register: startup + 32 cycles.
+/// assert_eq!(vu.op_cycles(32, MemOperand::None, &t), 44);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorUnit {
+    registers: usize,
+    register_words: usize,
+}
+
+impl VectorUnit {
+    /// The Cedar CE vector unit: eight 32-word registers.
+    #[must_use]
+    pub fn cedar() -> Self {
+        VectorUnit {
+            registers: 8,
+            register_words: 32,
+        }
+    }
+
+    /// Number of vector registers.
+    #[must_use]
+    pub fn registers(&self) -> usize {
+        self.registers
+    }
+
+    /// Words per vector register (the maximum vector instruction
+    /// length).
+    #[must_use]
+    pub fn register_words(&self) -> usize {
+        self.register_words
+    }
+
+    /// Cycles for one vector instruction over `len` elements with the
+    /// given memory operand. The per-element cost is the larger of the
+    /// compute rate and the operand delivery rate (the pipeline runs
+    /// at the slower of the two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the register length.
+    #[must_use]
+    pub fn op_cycles(&self, len: usize, operand: MemOperand, timing: &VectorTiming) -> u64 {
+        assert!(
+            len <= self.register_words,
+            "vector length {len} exceeds register length {}",
+            self.register_words
+        );
+        let per_element = timing
+            .compute_cycles_per_element
+            .max(operand.cycles_per_word(timing));
+        timing.startup_cycles + (len as f64 * per_element).ceil() as u64
+    }
+
+    /// Cycles to stream an `n`-element vector operation by strip-mining
+    /// into register-length chunks, each a separate instruction paying
+    /// startup.
+    #[must_use]
+    pub fn strip_mined_cycles(&self, n: usize, operand: MemOperand, timing: &VectorTiming) -> u64 {
+        let full = n / self.register_words;
+        let rem = n % self.register_words;
+        let mut total = full as u64 * self.op_cycles(self.register_words, operand, timing);
+        if rem > 0 {
+            total += self.op_cycles(rem, operand, timing);
+        }
+        total
+    }
+
+    /// Sustained MFLOPS for a strip-mined stream of chained
+    /// (2-flop-per-element) vector operations at the given clock.
+    #[must_use]
+    pub fn sustained_mflops(
+        &self,
+        n: usize,
+        flops_per_element: f64,
+        operand: MemOperand,
+        timing: &VectorTiming,
+        cycle_seconds: f64,
+    ) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let cycles = self.strip_mined_cycles(n, operand, timing);
+        let flops = n as f64 * flops_per_element;
+        flops / (cycles as f64 * cycle_seconds) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CYCLE: f64 = 170e-9;
+
+    #[test]
+    fn register_geometry() {
+        let vu = VectorUnit::cedar();
+        assert_eq!(vu.registers(), 8);
+        assert_eq!(vu.register_words(), 32);
+    }
+
+    #[test]
+    fn peak_mflops_matches_paper() {
+        // 2 flops per cycle at 170ns = 11.76 MFLOPS absolute peak.
+        let peak = 2.0 / CYCLE / 1e6;
+        assert!((peak - 11.76).abs() < 0.02);
+    }
+
+    #[test]
+    fn effective_peak_matches_paper() {
+        // Chained ops from cache on full registers: the 274/376 ratio.
+        let vu = VectorUnit::cedar();
+        let t = VectorTiming::cedar();
+        let sustained =
+            vu.sustained_mflops(1 << 20, 2.0, MemOperand::ClusterCache, &t, CYCLE);
+        let machine_effective = sustained * 32.0;
+        assert!(
+            (machine_effective - 274.0).abs() < 6.0,
+            "32-CE effective peak {machine_effective} should be about 274 MFLOPS"
+        );
+    }
+
+    #[test]
+    fn slower_operand_dominates_rate() {
+        let vu = VectorUnit::cedar();
+        let t = VectorTiming::cedar();
+        let cache = vu.op_cycles(32, MemOperand::ClusterCache, &t);
+        let mem = vu.op_cycles(32, MemOperand::ClusterMemory, &t);
+        let slow_global = vu.op_cycles(32, MemOperand::global(13.0), &t);
+        assert_eq!(cache, 44);
+        assert_eq!(mem, 76);
+        assert_eq!(slow_global, 12 + 32 * 13);
+    }
+
+    #[test]
+    fn fast_global_behaves_like_compute_bound() {
+        let vu = VectorUnit::cedar();
+        let t = VectorTiming::cedar();
+        // Prefetch pipelining can deliver ~1 word/cycle; compute rate
+        // then dominates.
+        assert_eq!(
+            vu.op_cycles(32, MemOperand::global(0.5), &t),
+            vu.op_cycles(32, MemOperand::None, &t)
+        );
+    }
+
+    #[test]
+    fn strip_mining_pays_startup_per_chunk() {
+        let vu = VectorUnit::cedar();
+        let t = VectorTiming::cedar();
+        let one = vu.op_cycles(32, MemOperand::None, &t);
+        assert_eq!(vu.strip_mined_cycles(64, MemOperand::None, &t), 2 * one);
+        let with_rem = vu.strip_mined_cycles(40, MemOperand::None, &t);
+        assert_eq!(with_rem, one + vu.op_cycles(8, MemOperand::None, &t));
+    }
+
+    #[test]
+    fn zero_length_costs_nothing() {
+        let vu = VectorUnit::cedar();
+        let t = VectorTiming::cedar();
+        assert_eq!(vu.strip_mined_cycles(0, MemOperand::None, &t), 0);
+        assert_eq!(vu.sustained_mflops(0, 2.0, MemOperand::None, &t, CYCLE), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds register length")]
+    fn overlong_vector_rejected() {
+        let vu = VectorUnit::cedar();
+        let _ = vu.op_cycles(33, MemOperand::None, &VectorTiming::cedar());
+    }
+
+    #[test]
+    fn global_operand_fixed_point_round_trips() {
+        let op = MemOperand::global(2.13);
+        let t = VectorTiming::cedar();
+        assert!((op.cycles_per_word(&t) - 2.13).abs() < 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative finite")]
+    fn negative_global_rate_rejected() {
+        let _ = MemOperand::global(-1.0);
+    }
+}

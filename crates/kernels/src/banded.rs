@@ -1,0 +1,158 @@
+//! Banded matrix-vector products, bandwidths 3 and 11.
+//!
+//! §4.3 compares Cedar's CG against CM-5 measurements of "matrix-vector
+//! products with bandwidths 3 and 11" from \[FWPS92\]. This module
+//! provides the functional kernel (used to validate the baseline
+//! model's flop accounting) and the flop/word counts the analytic CM-5
+//! model in `cedar-baselines` consumes.
+
+/// A symmetric banded matrix stored by diagonals: `bands` holds the
+/// main diagonal first, then the superdiagonals at offsets `1..=half`,
+/// with symmetry supplying the subdiagonals. Total bandwidth is
+/// `2 * half + 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Banded {
+    n: usize,
+    half: usize,
+    /// `bands[d][i]` is `A[i][i + d]` for `d` in `0..=half` (row `i`
+    /// valid while `i + d < n`).
+    bands: Vec<Vec<f64>>,
+}
+
+impl Banded {
+    /// Builds a symmetric banded matrix of order `n` and total
+    /// bandwidth `bw` (odd), with every in-band entry set by
+    /// `f(row, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bw` is even, zero, or wider than the matrix.
+    #[must_use]
+    pub fn from_fn(n: usize, bw: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        assert!(bw % 2 == 1, "bandwidth must be odd");
+        assert!(bw >= 1 && bw < 2 * n, "bandwidth must fit the matrix");
+        let half = bw / 2;
+        let bands = (0..=half)
+            .map(|d| (0..n - d).map(|i| f(i, d)).collect())
+            .collect();
+        Banded { n, half, bands }
+    }
+
+    /// Matrix order.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total bandwidth `2*half + 1`.
+    #[must_use]
+    pub fn bandwidth(&self) -> usize {
+        2 * self.half + 1
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut acc = self.bands[0][i] * x[i];
+            for d in 1..=self.half {
+                if i + d < self.n {
+                    acc += self.bands[d][i] * x[i + d];
+                }
+                if i >= d {
+                    acc += self.bands[d][i - d] * x[i - d];
+                }
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Flops in one matvec: one multiply-add per in-band entry (about
+    /// `2 * bw * n` for interior-dominated sizes).
+    #[must_use]
+    pub fn matvec_flops(&self) -> f64 {
+        let mut entries = self.n as f64; // main diagonal
+        for d in 1..=self.half {
+            entries += 2.0 * (self.n - d) as f64;
+        }
+        2.0 * entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_three_equals_tridiagonal() {
+        let n = 8;
+        let banded = Banded::from_fn(n, 3, |_, d| if d == 0 { 2.0 } else { -1.0 });
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y = vec![0.0; n];
+        banded.matvec(&x, &mut y);
+        // -1,2,-1 against the ramp: interior rows give 0.
+        #[allow(clippy::needless_range_loop)]
+        for i in 1..n - 1 {
+            assert!((y[i]).abs() < 1e-12, "row {i}: {}", y[i]);
+        }
+        assert_eq!(y[0], -1.0);
+        assert_eq!(y[n - 1], 2.0 * (n - 1) as f64 - (n - 2) as f64);
+    }
+
+    #[test]
+    fn matches_dense_reference_bw11() {
+        let n = 20;
+        let banded = Banded::from_fn(n, 11, |i, d| (i + d) as f64 * 0.1 + 1.0);
+        let x: Vec<f64> = (0..n).map(|i| ((i * i) % 5) as f64 - 2.0).collect();
+        let mut y = vec![0.0; n];
+        banded.matvec(&x, &mut y);
+        // Dense reconstruction.
+        let mut dense = vec![vec![0.0; n]; n];
+        for d in 0..=5usize {
+            for i in 0..n - d {
+                let v = (i + d) as f64 * 0.1 + 1.0;
+                dense[i][i + d] = v;
+                dense[i + d][i] = v;
+            }
+        }
+        for i in 0..n {
+            let acc: f64 = (0..n).map(|j| dense[i][j] * x[j]).sum();
+            assert!((y[i] - acc).abs() < 1e-10, "row {i}");
+        }
+    }
+
+    #[test]
+    fn symmetry_of_the_operator() {
+        let n = 12;
+        let a = Banded::from_fn(n, 5, |i, d| (i * 3 + d) as f64);
+        let u: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let v: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut au = vec![0.0; n];
+        let mut av = vec![0.0; n];
+        a.matvec(&u, &mut au);
+        a.matvec(&v, &mut av);
+        let uav: f64 = u.iter().zip(&av).map(|(a, b)| a * b).sum();
+        let vau: f64 = v.iter().zip(&au).map(|(a, b)| a * b).sum();
+        assert!((uav - vau).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flop_counts() {
+        let bw3 = Banded::from_fn(100, 3, |_, _| 1.0);
+        assert_eq!(bw3.matvec_flops(), 2.0 * (100.0 + 2.0 * 99.0));
+        let bw11 = Banded::from_fn(100, 11, |_, _| 1.0);
+        let entries = 100.0 + 2.0 * (99.0 + 98.0 + 97.0 + 96.0 + 95.0);
+        assert_eq!(bw11.matvec_flops(), 2.0 * entries);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be odd")]
+    fn even_bandwidth_rejected() {
+        let _ = Banded::from_fn(10, 4, |_, _| 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Parallel random-number generation — the QCD optimization.
+//!
+//! QCD's automatable version improves only 1.8× because its Monte
+//! Carlo sweep serializes on a random-number generator; "if a
+//! hand-coded parallel random number generator is used, QCD can be
+//! improved to yield a speed improvement of 20.8 rather than the 1.8
+//! reported for the automatable code."
+//!
+//! The classic fix is a *leapfrog* linear congruential generator: CE
+//! `k` of `P` starts at the `k`-th value and strides by `P`, using the
+//! algebraically derived stride constants, so the union of the `P`
+//! streams is exactly the serial sequence. [`Lcg64`] is the serial
+//! generator, [`leapfrog`] builds the per-CE streams, and
+//! [`qcd_speed_improvement`] shows the Amdahl arithmetic of the fix.
+
+/// Multiplier of the 64-bit LCG (Knuth's MMIX constants).
+pub const LCG_MUL: u64 = 6364136223846793005;
+/// Increment of the 64-bit LCG.
+pub const LCG_INC: u64 = 1442695040888963407;
+
+/// A 64-bit linear congruential generator.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_kernels::prng::Lcg64;
+///
+/// let mut a = Lcg64::new(1);
+/// let mut b = Lcg64::new(1);
+/// assert_eq!(a.next_value(), b.next_value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lcg64 {
+    state: u64,
+    mul: u64,
+    inc: u64,
+}
+
+impl Lcg64 {
+    /// Creates the serial generator (stride one).
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Lcg64 {
+            state: seed,
+            mul: LCG_MUL,
+            inc: LCG_INC,
+        }
+    }
+
+    /// Creates a generator with explicit constants (used by leapfrog).
+    #[must_use]
+    pub const fn with_constants(seed: u64, mul: u64, inc: u64) -> Self {
+        Lcg64 {
+            state: seed,
+            mul,
+            inc,
+        }
+    }
+
+    /// Advances and returns the next value.
+    pub fn next_value(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(self.mul).wrapping_add(self.inc);
+        self.state
+    }
+
+    /// The current state without advancing.
+    #[must_use]
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Jumps the generator `n` steps in O(log n) via modular
+    /// exponentiation of the affine map.
+    pub fn jump(&mut self, n: u64) {
+        let (mul, inc) = affine_power(self.mul, self.inc, n);
+        self.state = self.state.wrapping_mul(mul).wrapping_add(inc);
+    }
+}
+
+/// Computes the affine map `x -> mul^n x + inc·(mul^(n-1)+…+1)`
+/// composed `n` times, returning the composed `(mul, inc)`.
+fn affine_power(mul: u64, inc: u64, mut n: u64) -> (u64, u64) {
+    // Square-and-multiply over affine maps.
+    let mut acc_mul: u64 = 1;
+    let mut acc_inc: u64 = 0;
+    let mut base_mul = mul;
+    let mut base_inc = inc;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc_mul = acc_mul.wrapping_mul(base_mul);
+            acc_inc = acc_inc.wrapping_mul(base_mul).wrapping_add(base_inc);
+        }
+        base_inc = base_inc.wrapping_mul(base_mul).wrapping_add(base_inc);
+        base_mul = base_mul.wrapping_mul(base_mul);
+        n >>= 1;
+    }
+    (acc_mul, acc_inc)
+}
+
+/// Builds `p` leapfrog streams over the serial sequence from `seed`:
+/// stream `k` produces values `k, k+p, k+2p, …` of the serial stream
+/// (zero-indexed over the serial generator's outputs).
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+#[must_use]
+pub fn leapfrog(seed: u64, p: usize) -> Vec<Lcg64> {
+    assert!(p > 0, "need at least one stream");
+    let (stride_mul, stride_inc) = affine_power(LCG_MUL, LCG_INC, p as u64);
+    // `next_value` advances by one stride before returning, so each
+    // stream starts one stride *behind* its first output: at serial
+    // position k+1-p, reached by jumping k+1 forward and one stride
+    // back (the multiplier is odd, hence invertible mod 2^64).
+    let inv_mul = inverse_mod_pow2(stride_mul);
+    (0..p)
+        .map(|k| {
+            let mut start = Lcg64::new(seed);
+            start.jump(k as u64 + 1);
+            let rewound = inv_mul.wrapping_mul(start.state().wrapping_sub(stride_inc));
+            Lcg64::with_constants(rewound, stride_mul, stride_inc)
+        })
+        .collect()
+}
+
+/// Multiplicative inverse of an odd number modulo 2^64 (Newton
+/// iteration, five steps double the correct bits to 64).
+fn inverse_mod_pow2(m: u64) -> u64 {
+    debug_assert!(m % 2 == 1, "only odd numbers are invertible");
+    let mut x = m; // correct to 3 bits
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
+    }
+    x
+}
+
+/// The Amdahl arithmetic of the QCD fix on `p` processors: with the
+/// serial generator, the RNG fraction `rng_fraction` of the work runs
+/// on one CE; leapfrogging parallelizes it.
+///
+/// # Panics
+///
+/// Panics if the fraction is outside `[0, 1]` or `p` is zero.
+#[must_use]
+pub fn qcd_speed_improvement(rng_fraction: f64, parallel_speed: f64, p: usize) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&rng_fraction), "fraction in [0,1]");
+    assert!(p > 0, "need processors");
+    let rest = 1.0 - rng_fraction;
+    // Serial RNG: the RNG runs at speed 1; the rest parallelizes.
+    let with_serial_rng = 1.0 / (rng_fraction + rest / parallel_speed);
+    // Leapfrog: everything parallelizes.
+    let with_leapfrog = parallel_speed / 1.0;
+    (with_serial_rng, with_leapfrog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_matches_stepping() {
+        let mut stepped = Lcg64::new(42);
+        for _ in 0..1000 {
+            stepped.next_value();
+        }
+        let mut jumped = Lcg64::new(42);
+        jumped.jump(1000);
+        assert_eq!(jumped.state(), stepped.state());
+    }
+
+    #[test]
+    fn jump_zero_is_identity() {
+        let mut g = Lcg64::new(7);
+        g.jump(0);
+        assert_eq!(g.state(), 7);
+    }
+
+    #[test]
+    fn leapfrog_streams_interleave_to_the_serial_sequence() {
+        let p = 8;
+        let n = 64;
+        let mut serial = Lcg64::new(123);
+        let serial_seq: Vec<u64> = (0..n * p).map(|_| serial.next_value()).collect();
+        let mut streams = leapfrog(123, p);
+        for (k, stream) in streams.iter_mut().enumerate() {
+            for i in 0..n {
+                let got = stream.next_value();
+                assert_eq!(
+                    got,
+                    serial_seq[i * p + k],
+                    "stream {k} element {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leapfrog_works_for_odd_stream_counts() {
+        let p = 5;
+        let mut serial = Lcg64::new(9);
+        let serial_seq: Vec<u64> = (0..50).map(|_| serial.next_value()).collect();
+        let mut streams = leapfrog(9, p);
+        for (k, stream) in streams.iter_mut().enumerate() {
+            for i in 0..10 {
+                assert_eq!(stream.next_value(), serial_seq[i * p + k]);
+            }
+        }
+    }
+
+    #[test]
+    fn qcd_improvement_matches_paper_scale() {
+        // Automatable QCD improves only 1.8x; the parallel RNG takes it
+        // to ~20.8x. With a restructured-section speed of ~22 (QCD is
+        // not fully vectorizable), the serial-RNG fraction that yields
+        // 1.8 is ~51%, and removing it recovers the full 22.
+        let (serial_rng, leapfrog) = qcd_speed_improvement(0.51, 22.0, 32);
+        assert!((1.6..2.1).contains(&serial_rng), "serial RNG gives {serial_rng}");
+        assert!(
+            (20.0..23.0).contains(&leapfrog),
+            "parallel RNG gives {leapfrog} (paper: 20.8)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stream")]
+    fn zero_streams_rejected() {
+        let _ = leapfrog(0, 0);
+    }
+}

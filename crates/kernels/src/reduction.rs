@@ -1,0 +1,141 @@
+//! Parallel reductions: dot products and global sums.
+//!
+//! "Parallel reductions" head the paper's list of automatable
+//! transformations (§3.3), and CG's dot products are why its
+//! iteration pays two multicluster synchronizations (§4.3). The Cedar
+//! reduction shape is hierarchical: each CE reduces its strip with
+//! chained vector operations, the cluster combines over the
+//! concurrency bus, and the four cluster partials combine through
+//! global-memory synchronization cells.
+
+use cedar_core::system::CedarSystem;
+use cedar_runtime::sync::{cluster_barrier_cycles, multicluster_barrier_cycles};
+
+use crate::KernelReport;
+
+/// Functional dot product (the numerics the timing model charges for).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product needs equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Functional hierarchical sum, organized exactly as the machine
+/// reduces: per-CE strips, per-cluster combines, machine combine.
+/// Algebraically equal to the serial sum up to floating-point
+/// reassociation; the tests bound the difference.
+#[must_use]
+pub fn hierarchical_sum(values: &[f64], clusters: usize, ces_per_cluster: usize) -> f64 {
+    let p = clusters * ces_per_cluster;
+    if p == 0 || values.is_empty() {
+        return values.iter().sum();
+    }
+    let strip = values.len().div_ceil(p);
+    let mut cluster_partials = vec![0.0; clusters];
+    for (ce, chunk) in values.chunks(strip).enumerate() {
+        let cluster = (ce / ces_per_cluster).min(clusters - 1);
+        let ce_partial: f64 = chunk.iter().sum();
+        cluster_partials[cluster] += ce_partial;
+    }
+    cluster_partials.iter().sum()
+}
+
+/// Simulated time of a length-`n` dot product on `ces` CEs with
+/// cluster-cached operands: vector multiply-adds at cache rate, an
+/// intracluster combine on the bus, and a multicluster combine through
+/// the sync cells.
+pub fn simulate_dot(sys: &mut CedarSystem, n: usize, ces: usize) -> KernelReport {
+    let p = sys.params();
+    let ces_per_cluster = p.ces_per_cluster;
+    let clusters_used = ces.div_ceil(ces_per_cluster);
+    // Each CE streams 2 operands per element at cache rate (1 w/c per
+    // stream via the two cache banks feeding it) and chains the
+    // multiply-add: per-element cost ~2 cycles, plus strip startup.
+    let per_ce_elems = n.div_ceil(ces.max(1));
+    let strip_factor = 1.0 + 12.0 / 32.0;
+    let compute = per_ce_elems as f64 * 2.0 * strip_factor;
+    let combine = cluster_barrier_cycles()
+        + if clusters_used > 1 {
+            multicluster_barrier_cycles(clusters_used)
+        } else {
+            0.0
+        };
+    KernelReport::new(2.0 * n as f64, compute + combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_core::params::CedarParams;
+
+    #[test]
+    fn dot_matches_hand_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn hierarchical_sum_matches_serial() {
+        let values: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let serial: f64 = values.iter().sum();
+        let parallel = hierarchical_sum(&values, 4, 8);
+        assert!(
+            (serial - parallel).abs() < 1e-9 * (1.0 + serial.abs()),
+            "{serial} vs {parallel}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_sum_handles_ragged_lengths() {
+        for n in [0usize, 1, 31, 32, 33, 1000, 1023] {
+            let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let expected = (n as f64 - 1.0) * n as f64 / 2.0;
+            let got = hierarchical_sum(&values, 4, 8);
+            assert!((got - expected.max(0.0)).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn small_reductions_are_dominated_by_synchronization() {
+        // The CG story: at small N the reduction's combine overhead
+        // dwarfs the arithmetic, which is why CG's bands degrade for
+        // small problems.
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        let small = simulate_dot(&mut sys, 256, 32);
+        let combine = cluster_barrier_cycles() + multicluster_barrier_cycles(4);
+        assert!(
+            combine > small.cycles * 0.3,
+            "combine ({combine}) should dominate a 256-element dot ({})",
+            small.cycles
+        );
+        let large = simulate_dot(&mut sys, 1 << 20, 32);
+        assert!(
+            combine < large.cycles * 0.01,
+            "and vanish for a megaword dot ({})",
+            large.cycles
+        );
+    }
+
+    #[test]
+    fn dot_speedup_saturates_with_ces_at_fixed_n() {
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        let t1 = simulate_dot(&mut sys, 4096, 1).cycles;
+        let t8 = simulate_dot(&mut sys, 4096, 8).cycles;
+        let t32 = simulate_dot(&mut sys, 4096, 32).cycles;
+        assert!(t8 < t1 / 4.0, "8 CEs should speed up well: {t1} -> {t8}");
+        let marginal = t8 / t32;
+        assert!(
+            marginal < 4.0,
+            "the last 24 CEs buy less than linear: {marginal}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_dot_rejected() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

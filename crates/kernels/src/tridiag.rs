@@ -1,0 +1,204 @@
+//! The TM kernel: tridiagonal matrix-vector multiply.
+//!
+//! `y = A·x` where `A` is tridiagonal, stored as three diagonals. Per
+//! the paper, TM (like CG) is "affected less than the others due to
+//! the presence of register-register vector operations which reduce
+//! the demand on the memory system."
+
+use cedar_core::costmodel::AccessMode;
+use cedar_core::system::CedarSystem;
+use cedar_net::fabric::PrefetchTraffic;
+
+use crate::KernelReport;
+
+/// A tridiagonal matrix stored by diagonals: `sub` (length n-1),
+/// `diag` (length n), `sup` (length n-1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiagonal {
+    /// Subdiagonal.
+    pub sub: Vec<f64>,
+    /// Main diagonal.
+    pub diag: Vec<f64>,
+    /// Superdiagonal.
+    pub sup: Vec<f64>,
+}
+
+impl Tridiagonal {
+    /// Builds a tridiagonal matrix, validating the diagonal lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths are inconsistent.
+    #[must_use]
+    pub fn new(sub: Vec<f64>, diag: Vec<f64>, sup: Vec<f64>) -> Self {
+        let n = diag.len();
+        assert!(n > 0, "matrix must be non-empty");
+        assert_eq!(sub.len(), n - 1, "subdiagonal length must be n-1");
+        assert_eq!(sup.len(), n - 1, "superdiagonal length must be n-1");
+        Tridiagonal { sub, diag, sup }
+    }
+
+    /// Order of the matrix.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Computes `y = A·x` functionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` length differs from the matrix order.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(x.len(), n, "x length");
+        assert_eq!(y.len(), n, "y length");
+        for i in 0..n {
+            let mut acc = self.diag[i] * x[i];
+            if i > 0 {
+                acc += self.sub[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                acc += self.sup[i] * x[i + 1];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Flops in one matvec: ~5 per interior row (3 multiplies, 2 adds).
+    #[must_use]
+    pub fn matvec_flops(&self) -> f64 {
+        let n = self.n() as f64;
+        5.0 * n - 4.0
+    }
+}
+
+/// Simulates one tridiagonal matvec of order `n` on `ces` CEs with
+/// global data and prefetch: four streamed words per element (three
+/// diagonals plus `x`), five flops, register-register accumulation.
+pub fn simulate(sys: &mut CedarSystem, n: usize, ces: usize) -> KernelReport {
+    let traffic = PrefetchTraffic::tridiagonal_matvec(4);
+    let cpw = sys.cycles_per_word(AccessMode::GlobalPrefetch(traffic), ces);
+    let words_per_element = 4.0;
+    let compute_cycles_per_element = 2.0; // register-register adds
+    let cpe = (words_per_element * cpw).max(words_per_element) + compute_cycles_per_element;
+    let flops = 5.0 * n as f64;
+    let cycles = n as f64 * cpe / ces as f64;
+    KernelReport::new(flops, cycles)
+}
+
+/// The same matvec without prefetch.
+pub fn simulate_no_prefetch(sys: &mut CedarSystem, n: usize, ces: usize) -> KernelReport {
+    let cpw = sys.cycles_per_word(AccessMode::GlobalNoPrefetch, ces);
+    let cpe = 4.0 * cpw + 2.0;
+    let flops = 5.0 * n as f64;
+    KernelReport::new(flops, n as f64 * cpe / ces as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_core::params::CedarParams;
+
+    fn identity(n: usize) -> Tridiagonal {
+        Tridiagonal::new(vec![0.0; n - 1], vec![1.0; n], vec![0.0; n - 1])
+    }
+
+    #[test]
+    fn identity_matvec_copies() {
+        let a = identity(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = [0.0; 5];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn laplacian_matvec_known_values() {
+        // -1, 2, -1 stencil against a constant vector gives zero in the
+        // interior, 1 at the ends.
+        let n = 6;
+        let a = Tridiagonal::new(vec![-1.0; n - 1], vec![2.0; n], vec![-1.0; n - 1]);
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, [1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense_reference() {
+        let n = 16;
+        let a = Tridiagonal::new(
+            (0..n - 1).map(|i| i as f64 * 0.3 - 1.0).collect(),
+            (0..n).map(|i| i as f64 + 1.0).collect(),
+            (0..n - 1).map(|i| 0.5 - i as f64 * 0.1).collect(),
+        );
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut y = vec![0.0; n];
+        a.matvec(&x, &mut y);
+        // Dense reference.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                let v = if j + 1 == i {
+                    a.sub[j]
+                } else if j == i {
+                    a.diag[i]
+                } else if j == i + 1 {
+                    a.sup[i]
+                } else {
+                    0.0
+                };
+                acc += v * x[j];
+            }
+            assert!((y[i] - acc).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(identity(10).matvec_flops(), 46.0);
+    }
+
+    #[test]
+    fn prefetch_speedup_in_band() {
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        let with = simulate(&mut sys, 8192, 8);
+        let without = simulate_no_prefetch(&mut sys, 8192, 8);
+        let speedup = without.cycles / with.cycles;
+        // Paper Table 2: TM prefetch speedup 2.1 at 8 CEs.
+        assert!(
+            (1.5..6.0).contains(&speedup),
+            "TM prefetch speedup {speedup} outside band"
+        );
+    }
+
+    #[test]
+    fn degrades_less_than_rank_update() {
+        // TM's register-register work lowers its memory intensity, so
+        // its prefetched cost per word should grow less from 8 to 32
+        // CEs than RK's.
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        use cedar_core::costmodel::AccessMode;
+        let tm = PrefetchTraffic::tridiagonal_matvec(4);
+        let rk = PrefetchTraffic::rk_aggressive(4);
+        let growth = |t: PrefetchTraffic, sys: &mut CedarSystem| {
+            let a = sys.cycles_per_word(AccessMode::GlobalPrefetch(t), 8);
+            let b = sys.cycles_per_word(AccessMode::GlobalPrefetch(t), 32);
+            b / a
+        };
+        let tm_growth = growth(tm, &mut sys);
+        let rk_growth = growth(rk, &mut sys);
+        assert!(
+            tm_growth < rk_growth * 1.3,
+            "TM ({tm_growth}) should not degrade much faster than RK ({rk_growth})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "subdiagonal length")]
+    fn bad_diagonal_lengths_rejected() {
+        let _ = Tridiagonal::new(vec![1.0; 5], vec![1.0; 5], vec![1.0; 4]);
+    }
+}

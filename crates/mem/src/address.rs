@@ -1,0 +1,234 @@
+//! Addresses, pages, and the cluster/global physical split.
+//!
+//! Cedar's physical address space is divided into two equal halves:
+//! cluster memory occupies the lower half and globally shared memory
+//! the upper half. Virtual memory uses 4 KB pages. Global memory is
+//! double-word (8-byte) interleaved and aligned.
+
+use std::fmt;
+
+/// Bytes per page (the paper: "a virtual memory system with a 4KB
+/// page size").
+pub const PAGE_SIZE_BYTES: u64 = 4096;
+
+/// Bytes per machine word (64-bit).
+pub const WORD_BYTES: u64 = 8;
+
+/// Words per page.
+pub const PAGE_SIZE_WORDS: u64 = PAGE_SIZE_BYTES / WORD_BYTES;
+
+/// Size of the physical address space in bytes. Each half holds one
+/// region; the value is far larger than the installed memory, as on
+/// the real machine.
+pub const PHYSICAL_SPACE_BYTES: u64 = 1 << 32;
+
+/// A virtual byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    /// The virtual page number containing this address.
+    #[must_use]
+    pub const fn page(self) -> u64 {
+        self.0 / PAGE_SIZE_BYTES
+    }
+
+    /// The byte offset within the page.
+    #[must_use]
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE_BYTES
+    }
+
+    /// The address `bytes` later.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> VAddr {
+        VAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:#010x}", self.0)
+    }
+}
+
+/// A physical byte address. The top half of the space is global
+/// memory; the bottom half is cluster memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// Builds a physical address inside the cluster-memory half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` reaches into the global half.
+    #[must_use]
+    pub fn in_cluster(offset: u64) -> PAddr {
+        assert!(
+            offset < PHYSICAL_SPACE_BYTES / 2,
+            "cluster offset {offset:#x} overflows the lower half"
+        );
+        PAddr(offset)
+    }
+
+    /// Builds a physical address inside the global-memory half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` overflows the upper half.
+    #[must_use]
+    pub fn in_global(offset: u64) -> PAddr {
+        assert!(
+            offset < PHYSICAL_SPACE_BYTES / 2,
+            "global offset {offset:#x} overflows the upper half"
+        );
+        PAddr(PHYSICAL_SPACE_BYTES / 2 + offset)
+    }
+
+    /// Which half of the physical space this address falls in.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cedar_mem::address::{PAddr, Region};
+    ///
+    /// assert_eq!(PAddr::in_cluster(64).region(), Region::Cluster);
+    /// assert_eq!(PAddr::in_global(64).region(), Region::Global);
+    /// ```
+    #[must_use]
+    pub fn region(self) -> Region {
+        if self.0 < PHYSICAL_SPACE_BYTES / 2 {
+            Region::Cluster
+        } else {
+            Region::Global
+        }
+    }
+
+    /// The offset within its half.
+    #[must_use]
+    pub fn region_offset(self) -> u64 {
+        self.0 % (PHYSICAL_SPACE_BYTES / 2)
+    }
+
+    /// The word index within its half (addresses are expected to be
+    /// word-aligned for word accesses).
+    #[must_use]
+    pub fn word_index(self) -> u64 {
+        self.region_offset() / WORD_BYTES
+    }
+
+    /// The global-memory module serving this address under `modules`-way
+    /// double-word interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modules` is zero.
+    #[must_use]
+    pub fn interleaved_module(self, modules: usize) -> usize {
+        assert!(modules > 0, "need at least one module");
+        (self.word_index() % modules as u64) as usize
+    }
+
+    /// The physical page number.
+    #[must_use]
+    pub const fn page(self) -> u64 {
+        self.0 / PAGE_SIZE_BYTES
+    }
+
+    /// The address `bytes` later.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> PAddr {
+        PAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{:#010x}", self.0)
+    }
+}
+
+/// The two halves of Cedar's physical memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Cluster memory: private to one cluster, cached by the shared
+    /// cluster cache.
+    Cluster,
+    /// Global shared memory: reached through the omega networks,
+    /// visible to all CEs, never cached by hardware.
+    Global,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Cluster => write!(f, "cluster"),
+            Region::Global => write!(f, "global"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        let a = VAddr(PAGE_SIZE_BYTES * 3 + 100);
+        assert_eq!(a.page(), 3);
+        assert_eq!(a.page_offset(), 100);
+        assert_eq!(a.offset(28).0, PAGE_SIZE_BYTES * 3 + 128);
+    }
+
+    #[test]
+    fn physical_split_is_half_and_half() {
+        assert_eq!(PAddr(0).region(), Region::Cluster);
+        assert_eq!(PAddr(PHYSICAL_SPACE_BYTES / 2 - 1).region(), Region::Cluster);
+        assert_eq!(PAddr(PHYSICAL_SPACE_BYTES / 2).region(), Region::Global);
+    }
+
+    #[test]
+    fn region_offsets_round_trip() {
+        let g = PAddr::in_global(4096);
+        assert_eq!(g.region(), Region::Global);
+        assert_eq!(g.region_offset(), 4096);
+        let c = PAddr::in_cluster(4096);
+        assert_eq!(c.region(), Region::Cluster);
+        assert_eq!(c.region_offset(), 4096);
+    }
+
+    #[test]
+    fn double_word_interleaving() {
+        // Consecutive words land on consecutive modules, wrapping.
+        let modules = 32;
+        for w in 0..100u64 {
+            let addr = PAddr::in_global(w * WORD_BYTES);
+            assert_eq!(addr.interleaved_module(modules), (w % 32) as usize);
+        }
+    }
+
+    #[test]
+    fn word_index_ignores_region() {
+        assert_eq!(PAddr::in_global(24).word_index(), 3);
+        assert_eq!(PAddr::in_cluster(24).word_index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the lower half")]
+    fn cluster_offset_bounds_checked() {
+        let _ = PAddr::in_cluster(PHYSICAL_SPACE_BYTES);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VAddr(0x10).to_string(), "v0x00000010");
+        assert_eq!(Region::Global.to_string(), "global");
+    }
+
+    #[test]
+    fn page_size_constants_consistent() {
+        assert_eq!(PAGE_SIZE_WORDS * WORD_BYTES, PAGE_SIZE_BYTES);
+        assert_eq!(PAGE_SIZE_BYTES, 4096, "paper: 4KB page size");
+    }
+}

@@ -1,0 +1,423 @@
+//! The cluster shared cache.
+//!
+//! Per the paper (§2, "Alliant clusters"): all references to cluster
+//! memory first check a 512 KB physically-addressed shared cache with
+//! 32-byte lines. The cache is write-back and lockup-free, allowing
+//! each CE two outstanding misses; writes do not stall a CE. Its
+//! bandwidth is eight 64-bit words per instruction cycle (one input
+//! stream per vector instruction in each of the eight CEs), twice the
+//! cluster-memory bandwidth behind it.
+//!
+//! The model is a set-associative tag store with per-set LRU and a
+//! 4-way bank interleave; it reports hit/miss/writeback outcomes and
+//! keeps the counters the cost model and the GM/cache experiments
+//! need.
+
+use crate::address::PAddr;
+
+/// Cache geometry and behaviour parameters.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_mem::cache::CacheConfig;
+///
+/// let cfg = CacheConfig::cedar();
+/// assert_eq!(cfg.capacity_bytes, 512 * 1024);
+/// assert_eq!(cfg.line_bytes, 32);
+/// assert_eq!(cfg.banks, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total data capacity in bytes. Cedar: 512 KB.
+    pub capacity_bytes: u64,
+    /// Line size in bytes. Cedar: 32.
+    pub line_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Interleaved banks. Cedar: 4.
+    pub banks: usize,
+    /// Outstanding misses allowed per CE (lockup-free depth). Cedar: 2.
+    pub outstanding_misses_per_ce: u32,
+}
+
+impl CacheConfig {
+    /// The Cedar / Alliant FX/8 shared-cache configuration.
+    #[must_use]
+    pub fn cedar() -> Self {
+        CacheConfig {
+            capacity_bytes: 512 * 1024,
+            line_bytes: 32,
+            ways: 4,
+            banks: 4,
+            outstanding_misses_per_ce: 2,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes) as usize / self.ways
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err("line size must be a power of two".to_owned());
+        }
+        if self.ways == 0 {
+            return Err("associativity must be nonzero".to_owned());
+        }
+        if self.banks == 0 {
+            return Err("bank count must be nonzero".to_owned());
+        }
+        let lines = self.capacity_bytes / self.line_bytes;
+        if lines == 0 || !lines.is_multiple_of(self.ways as u64) {
+            return Err(format!(
+                "{} lines do not divide into {}-way sets",
+                lines, self.ways
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::cedar()
+    }
+}
+
+/// The result of presenting one access to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and filled a free/clean way.
+    Miss,
+    /// The line was absent and evicted a dirty line, which must be
+    /// written back to cluster memory first.
+    MissWithWriteback,
+}
+
+impl CacheOutcome {
+    /// Whether the access hit.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+/// One cached line's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU stamp: larger = more recently used.
+    stamp: u64,
+    valid: bool,
+}
+
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    dirty: false,
+    stamp: 0,
+    valid: false,
+};
+
+/// The shared cluster cache (tag store model).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_mem::cache::{CacheConfig, CacheOutcome, SharedCache};
+/// use cedar_mem::address::PAddr;
+///
+/// let mut cache = SharedCache::new(CacheConfig::cedar());
+/// let addr = PAddr::in_cluster(0x1000);
+/// assert_eq!(cache.access(addr, false), CacheOutcome::Miss);
+/// assert_eq!(cache.access(addr, false), CacheOutcome::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    /// Accesses per bank, for interleave-conflict analysis.
+    bank_accesses: Vec<u64>,
+}
+
+impl SharedCache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CacheConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache configuration");
+        SharedCache {
+            sets: vec![vec![INVALID_LINE; cfg.ways]; cfg.sets()],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            bank_accesses: vec![0; cfg.banks],
+            cfg,
+        }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Presents an access (read or write) for the line containing
+    /// `addr`. Writes mark the line dirty; the write-back policy means
+    /// a write miss allocates and dirties the line without stalling.
+    pub fn access(&mut self, addr: PAddr, is_write: bool) -> CacheOutcome {
+        self.clock += 1;
+        let line_number = addr.0 / self.cfg.line_bytes;
+        let set_idx = (line_number % self.cfg.sets() as u64) as usize;
+        let tag = line_number / self.cfg.sets() as u64;
+        let bank = (line_number % self.cfg.banks as u64) as usize;
+        self.bank_accesses[bank] += 1;
+
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = clock;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        self.misses += 1;
+        // Victim: an invalid way if any, else the LRU way.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp + 1 } else { 0 })
+            .expect("sets are non-empty");
+        let needs_writeback = victim.valid && victim.dirty;
+        *victim = Line {
+            tag,
+            dirty: is_write,
+            stamp: clock,
+            valid: true,
+        };
+        if needs_writeback {
+            self.writebacks += 1;
+            CacheOutcome::MissWithWriteback
+        } else {
+            CacheOutcome::Miss
+        }
+    }
+
+    /// Whether the line containing `addr` is currently resident.
+    #[must_use]
+    pub fn contains(&self, addr: PAddr) -> bool {
+        let line_number = addr.0 / self.cfg.line_bytes;
+        let set_idx = (line_number % self.cfg.sets() as u64) as usize;
+        let tag = line_number / self.cfg.sets() as u64;
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates every line, discarding dirty state (used when
+    /// software re-purposes the physical pages under the cache).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            set.iter_mut().for_each(|l| *l = INVALID_LINE);
+        }
+    }
+
+    /// Hits served so far.
+    #[must_use]
+    pub fn hit_count(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses taken so far.
+    #[must_use]
+    pub fn miss_count(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions so far.
+    #[must_use]
+    pub fn writeback_count(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Hit fraction over all accesses, or 0 when idle.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accesses observed per interleaved bank.
+    #[must_use]
+    pub fn bank_accesses(&self) -> &[u64] {
+        &self.bank_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> SharedCache {
+        // 4 sets x 2 ways x 32-byte lines = 256 bytes.
+        SharedCache::new(CacheConfig {
+            capacity_bytes: 256,
+            line_bytes: 32,
+            ways: 2,
+            banks: 4,
+            outstanding_misses_per_ce: 2,
+        })
+    }
+
+    #[test]
+    fn cedar_geometry() {
+        let cfg = CacheConfig::cedar();
+        assert_eq!(cfg.sets(), 512 * 1024 / 32 / 4);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = small_cache();
+        let a = PAddr::in_cluster(0);
+        assert_eq!(c.access(a, false), CacheOutcome::Miss);
+        assert_eq!(c.access(a, false), CacheOutcome::Hit);
+        assert_eq!(c.hit_count(), 1);
+        assert_eq!(c.miss_count(), 1);
+    }
+
+    #[test]
+    fn same_line_different_words_hit() {
+        let mut c = small_cache();
+        c.access(PAddr::in_cluster(0), false);
+        assert_eq!(c.access(PAddr::in_cluster(24), false), CacheOutcome::Hit);
+        assert_eq!(c.access(PAddr::in_cluster(32), false), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small_cache();
+        // Set 0 holds lines whose line_number % 4 == 0: addresses 0,
+        // 128, 256 (lines 0, 4, 8).
+        c.access(PAddr::in_cluster(0), false);
+        c.access(PAddr::in_cluster(128), false);
+        c.access(PAddr::in_cluster(0), false); // touch: 128 becomes LRU
+        c.access(PAddr::in_cluster(256), false); // evicts 128
+        assert!(c.contains(PAddr::in_cluster(0)));
+        assert!(!c.contains(PAddr::in_cluster(128)));
+        assert!(c.contains(PAddr::in_cluster(256)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_cache();
+        c.access(PAddr::in_cluster(0), true); // dirty line 0
+        c.access(PAddr::in_cluster(128), false);
+        // Evict line 0 (LRU, dirty).
+        let outcome = c.access(PAddr::in_cluster(256), false);
+        assert_eq!(outcome, CacheOutcome::MissWithWriteback);
+        assert_eq!(c.writeback_count(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small_cache();
+        c.access(PAddr::in_cluster(0), false);
+        c.access(PAddr::in_cluster(128), false);
+        assert_eq!(c.access(PAddr::in_cluster(256), false), CacheOutcome::Miss);
+        assert_eq!(c.writeback_count(), 0);
+    }
+
+    #[test]
+    fn write_hit_dirties_line() {
+        let mut c = small_cache();
+        c.access(PAddr::in_cluster(0), false);
+        c.access(PAddr::in_cluster(0), true); // hit, now dirty
+        c.access(PAddr::in_cluster(128), false);
+        let outcome = c.access(PAddr::in_cluster(256), false);
+        assert_eq!(outcome, CacheOutcome::MissWithWriteback);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = small_cache();
+        c.access(PAddr::in_cluster(0), true);
+        c.invalidate_all();
+        assert!(!c.contains(PAddr::in_cluster(0)));
+        assert_eq!(c.access(PAddr::in_cluster(0), false), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = small_cache();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(PAddr::in_cluster(0), false);
+        c.access(PAddr::in_cluster(0), false);
+        c.access(PAddr::in_cluster(0), false);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banks_interleave_by_line() {
+        let mut c = small_cache();
+        for line in 0..8u64 {
+            c.access(PAddr::in_cluster(line * 32), false);
+        }
+        assert_eq!(c.bank_accesses(), &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = small_cache(); // 256 bytes
+        // Stream 4 KB twice: second pass must still miss everywhere.
+        for pass in 0..2 {
+            for line in 0..128u64 {
+                let outcome = c.access(PAddr::in_cluster(line * 32), false);
+                assert!(!outcome.is_hit(), "pass {pass} line {line} unexpectedly hit");
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_on_reuse() {
+        let mut c = small_cache(); // 8 lines
+        for line in 0..8u64 {
+            c.access(PAddr::in_cluster(line * 32), false);
+        }
+        for line in 0..8u64 {
+            assert!(c.access(PAddr::in_cluster(line * 32), false).is_hit());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache configuration")]
+    fn bad_geometry_rejected() {
+        let _ = SharedCache::new(CacheConfig {
+            capacity_bytes: 256,
+            line_bytes: 32,
+            ways: 3, // 8 lines do not divide into 3-way sets
+            banks: 4,
+            outstanding_misses_per_ce: 2,
+        });
+    }
+}

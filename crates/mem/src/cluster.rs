@@ -1,0 +1,176 @@
+//! Cluster memory: the per-cluster interleaved DRAM behind the shared
+//! cache.
+//!
+//! Each Alliant FX/8 cluster has 32 MB of cluster memory, accessible
+//! only to the CEs within that cluster, with half the cache's
+//! bandwidth: 192 MB/s per cluster (the cache supplies 384 MB/s, eight
+//! 64-bit words per instruction cycle).
+
+use crate::address::WORD_BYTES;
+
+/// Default capacity: 32 MB, per the paper.
+pub const DEFAULT_CAPACITY_BYTES: u64 = 32 << 20;
+
+/// Cluster-memory bandwidth in 64-bit words per CE instruction cycle,
+/// per the paper's 192 MB/s at the 170 ns clock:
+/// 192 MB/s × 170 ns ≈ 32.6 bytes ≈ 4 words per cycle.
+pub const WORDS_PER_CYCLE: f64 = 4.0;
+
+/// Cache-to-CE bandwidth in words per cycle per cluster (the paper:
+/// "eight 64-bit words per instruction cycle", 384 MB/s).
+pub const CACHE_WORDS_PER_CYCLE: f64 = 8.0;
+
+/// One cluster's private memory.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_mem::cluster::ClusterMemory;
+///
+/// let mut cm = ClusterMemory::with_words(128);
+/// cm.write_word(5, 7);
+/// assert_eq!(cm.read_word(5), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterMemory {
+    words: Vec<u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl ClusterMemory {
+    /// Creates a cluster memory holding `words` 64-bit words,
+    /// zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    #[must_use]
+    pub fn with_words(words: usize) -> Self {
+        assert!(words > 0, "memory must hold at least one word");
+        ClusterMemory {
+            words: vec![0; words],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The production configuration: 32 MB.
+    #[must_use]
+    pub fn cedar() -> Self {
+        ClusterMemory::with_words((DEFAULT_CAPACITY_BYTES / WORD_BYTES) as usize)
+    }
+
+    /// Capacity in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero capacity (never true after
+    /// construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read_word(&mut self, index: u64) -> u64 {
+        self.reads += 1;
+        self.words[index as usize]
+    }
+
+    /// Writes the word at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn write_word(&mut self, index: u64, value: u64) {
+        self.writes += 1;
+        self.words[index as usize] = value;
+    }
+
+    /// Bulk copy out of cluster memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn copy_out(&mut self, src: u64, dst: &mut [u64]) {
+        let s = src as usize;
+        dst.copy_from_slice(&self.words[s..s + dst.len()]);
+        self.reads += dst.len() as u64;
+    }
+
+    /// Bulk copy into cluster memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn copy_in(&mut self, dst: u64, src: &[u64]) {
+        let d = dst as usize;
+        self.words[d..d + src.len()].copy_from_slice(src);
+        self.writes += src.len() as u64;
+    }
+
+    /// Total word reads served.
+    #[must_use]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total word writes served.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut cm = ClusterMemory::with_words(32);
+        cm.write_word(0, 11);
+        cm.write_word(31, 22);
+        assert_eq!(cm.read_word(0), 11);
+        assert_eq!(cm.read_word(31), 22);
+    }
+
+    #[test]
+    fn cedar_capacity_is_32_mb() {
+        let cm = ClusterMemory::cedar();
+        assert_eq!(cm.len() as u64 * WORD_BYTES, 32 << 20);
+    }
+
+    #[test]
+    fn bandwidth_constants_match_paper_ratios() {
+        // Cluster memory bandwidth is half the cache bandwidth.
+        assert!((CACHE_WORDS_PER_CYCLE / WORDS_PER_CYCLE - 2.0).abs() < 1e-12);
+        // 8 words x 8 bytes / 170ns = 376 MB/s ≈ the paper's 384 MB/s.
+        let bytes_per_sec = CACHE_WORDS_PER_CYCLE * 8.0 / 170e-9;
+        assert!((bytes_per_sec / 1e6 - 376.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn bulk_copies() {
+        let mut cm = ClusterMemory::with_words(16);
+        cm.copy_in(4, &[9, 8, 7]);
+        let mut out = [0u64; 3];
+        cm.copy_out(4, &mut out);
+        assert_eq!(out, [9, 8, 7]);
+        assert_eq!(cm.write_count(), 3);
+        assert_eq!(cm.read_count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_write_panics() {
+        ClusterMemory::with_words(4).write_word(9, 0);
+    }
+}

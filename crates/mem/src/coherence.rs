@@ -1,0 +1,373 @@
+//! Software-managed coherence for cluster copies of global data.
+//!
+//! §2: "Cluster memories form a distributed memory system in addition
+//! to the global shared memory. **Coherence between multiple copies of
+//! globally shared data residing in cluster memory is maintained in
+//! software.**" There is no hardware protocol: the compiler/runtime
+//! tracks which clusters hold copies of a global block and issues
+//! explicit invalidations and write-backs around the parallel
+//! constructs (this is exactly what CEDAR FORTRAN's loop-local
+//! placement and explicit moves lean on).
+//!
+//! [`CoherenceDirectory`] is that software directory: blocks of global
+//! words, per-cluster copy state, and the operations the runtime
+//! performs — `acquire_read`, `acquire_write`, `release` — with their
+//! protocol actions reported so the caller can charge movement costs.
+
+use std::collections::BTreeMap;
+
+/// A block of global memory tracked by the directory, identified by
+/// its starting word index (blocks are non-overlapping by
+/// construction: the directory is keyed on the start).
+pub type BlockId = u64;
+
+/// A cluster's relationship to a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyState {
+    /// No copy in this cluster's memory.
+    None,
+    /// A read-only copy.
+    Shared,
+    /// A writable copy (exclusive machine-wide).
+    Exclusive,
+}
+
+/// What the runtime must do to honour an acquire — each action has an
+/// obvious cost in explicit-move traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolAction {
+    /// Copy the block from global memory into the cluster.
+    FetchFromGlobal {
+        /// Destination cluster.
+        cluster: usize,
+    },
+    /// Write a dirty copy back to global memory first.
+    WriteBack {
+        /// Cluster holding the dirty copy.
+        cluster: usize,
+    },
+    /// Drop a stale copy from a cluster.
+    Invalidate {
+        /// Cluster losing its copy.
+        cluster: usize,
+    },
+    /// Nothing to do: the copy is already valid.
+    Hit,
+}
+
+/// Per-block directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    states: Vec<CopyState>,
+}
+
+/// The software coherence directory.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_mem::coherence::{CoherenceDirectory, ProtocolAction};
+///
+/// let mut dir = CoherenceDirectory::new(4);
+/// // Cluster 0 reads block 16: fetched from global.
+/// let actions = dir.acquire_read(0, 16);
+/// assert_eq!(actions, vec![ProtocolAction::FetchFromGlobal { cluster: 0 }]);
+/// // A second read hits the local copy.
+/// assert_eq!(dir.acquire_read(0, 16), vec![ProtocolAction::Hit]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceDirectory {
+    clusters: usize,
+    entries: BTreeMap<BlockId, Entry>,
+    fetches: u64,
+    writebacks: u64,
+    invalidations: u64,
+}
+
+impl CoherenceDirectory {
+    /// Creates a directory for `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    #[must_use]
+    pub fn new(clusters: usize) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        CoherenceDirectory {
+            clusters,
+            entries: BTreeMap::new(),
+            fetches: 0,
+            writebacks: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn entry(&mut self, block: BlockId) -> &mut Entry {
+        let clusters = self.clusters;
+        self.entries.entry(block).or_insert_with(|| Entry {
+            states: vec![CopyState::None; clusters],
+        })
+    }
+
+    /// The state of `cluster`'s copy of `block`.
+    #[must_use]
+    pub fn state(&self, cluster: usize, block: BlockId) -> CopyState {
+        self.entries
+            .get(&block)
+            .map_or(CopyState::None, |e| e.states[cluster])
+    }
+
+    /// Acquires a read-only copy of `block` for `cluster`, returning
+    /// the protocol actions performed in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn acquire_read(&mut self, cluster: usize, block: BlockId) -> Vec<ProtocolAction> {
+        assert!(cluster < self.clusters, "cluster out of range");
+        let mut actions = Vec::new();
+        let clusters = self.clusters;
+        let mut writebacks = 0;
+        {
+            let entry = self.entry(block);
+            match entry.states[cluster] {
+                CopyState::Shared | CopyState::Exclusive => {
+                    actions.push(ProtocolAction::Hit);
+                    return actions;
+                }
+                CopyState::None => {}
+            }
+            // A writer elsewhere must write back and demote to shared.
+            for c in 0..clusters {
+                if entry.states[c] == CopyState::Exclusive {
+                    entry.states[c] = CopyState::Shared;
+                    actions.push(ProtocolAction::WriteBack { cluster: c });
+                    writebacks += 1;
+                }
+            }
+            entry.states[cluster] = CopyState::Shared;
+        }
+        self.writebacks += writebacks;
+        actions.push(ProtocolAction::FetchFromGlobal { cluster });
+        self.fetches += 1;
+        actions
+    }
+
+    /// Acquires an exclusive (writable) copy of `block` for `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn acquire_write(&mut self, cluster: usize, block: BlockId) -> Vec<ProtocolAction> {
+        assert!(cluster < self.clusters, "cluster out of range");
+        let mut actions = Vec::new();
+        let clusters = self.clusters;
+        let mut writebacks = 0;
+        let mut invalidations = 0;
+        let had_copy;
+        {
+            let entry = self.entry(block);
+            if entry.states[cluster] == CopyState::Exclusive {
+                actions.push(ProtocolAction::Hit);
+                return actions;
+            }
+            had_copy = entry.states[cluster] == CopyState::Shared;
+            for c in 0..clusters {
+                if c == cluster {
+                    continue;
+                }
+                match entry.states[c] {
+                    CopyState::Exclusive => {
+                        entry.states[c] = CopyState::None;
+                        actions.push(ProtocolAction::WriteBack { cluster: c });
+                        actions.push(ProtocolAction::Invalidate { cluster: c });
+                        writebacks += 1;
+                        invalidations += 1;
+                    }
+                    CopyState::Shared => {
+                        entry.states[c] = CopyState::None;
+                        actions.push(ProtocolAction::Invalidate { cluster: c });
+                        invalidations += 1;
+                    }
+                    CopyState::None => {}
+                }
+            }
+            entry.states[cluster] = CopyState::Exclusive;
+        }
+        self.writebacks += writebacks;
+        self.invalidations += invalidations;
+        if had_copy {
+            actions.push(ProtocolAction::Hit);
+        } else {
+            actions.push(ProtocolAction::FetchFromGlobal { cluster });
+            self.fetches += 1;
+        }
+        actions
+    }
+
+    /// Releases `cluster`'s copy of `block` (end of a parallel
+    /// section): dirty copies write back, all copies drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn release(&mut self, cluster: usize, block: BlockId) -> Vec<ProtocolAction> {
+        assert!(cluster < self.clusters, "cluster out of range");
+        let mut actions = Vec::new();
+        let state = {
+            let entry = self.entry(block);
+            let state = entry.states[cluster];
+            if state != CopyState::None {
+                entry.states[cluster] = CopyState::None;
+            }
+            state
+        };
+        match state {
+            CopyState::Exclusive => {
+                actions.push(ProtocolAction::WriteBack { cluster });
+                self.writebacks += 1;
+            }
+            CopyState::Shared => {
+                actions.push(ProtocolAction::Invalidate { cluster });
+                self.invalidations += 1;
+            }
+            CopyState::None => {}
+        }
+        actions
+    }
+
+    /// Machine-wide invariant: at most one exclusive copy per block,
+    /// and never exclusive alongside shared copies.
+    #[must_use]
+    pub fn invariant_holds(&self) -> bool {
+        self.entries.values().all(|e| {
+            let exclusive = e
+                .states
+                .iter()
+                .filter(|&&s| s == CopyState::Exclusive)
+                .count();
+            let shared = e.states.iter().filter(|&&s| s == CopyState::Shared).count();
+            exclusive <= 1 && (exclusive == 0 || shared == 0)
+        })
+    }
+
+    /// Global fetches performed.
+    #[must_use]
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Write-backs performed.
+    #[must_use]
+    pub fn writeback_count(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Invalidations performed.
+    #[must_use]
+    pub fn invalidation_count(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_sharing_spreads_copies() {
+        let mut dir = CoherenceDirectory::new(4);
+        for c in 0..4 {
+            dir.acquire_read(c, 0);
+        }
+        for c in 0..4 {
+            assert_eq!(dir.state(c, 0), CopyState::Shared);
+        }
+        assert_eq!(dir.fetch_count(), 4);
+        assert!(dir.invariant_holds());
+    }
+
+    #[test]
+    fn write_invalidates_all_readers() {
+        let mut dir = CoherenceDirectory::new(4);
+        for c in 0..4 {
+            dir.acquire_read(c, 0);
+        }
+        let actions = dir.acquire_write(1, 0);
+        let invalidations = actions
+            .iter()
+            .filter(|a| matches!(a, ProtocolAction::Invalidate { .. }))
+            .count();
+        assert_eq!(invalidations, 3, "the three other clusters drop copies");
+        assert_eq!(dir.state(1, 0), CopyState::Exclusive);
+        assert_eq!(dir.state(0, 0), CopyState::None);
+        assert!(dir.invariant_holds());
+    }
+
+    #[test]
+    fn reader_after_writer_forces_writeback() {
+        let mut dir = CoherenceDirectory::new(4);
+        dir.acquire_write(2, 8);
+        let actions = dir.acquire_read(0, 8);
+        assert!(actions.contains(&ProtocolAction::WriteBack { cluster: 2 }));
+        assert_eq!(dir.state(2, 8), CopyState::Shared, "writer demotes");
+        assert_eq!(dir.state(0, 8), CopyState::Shared);
+        assert!(dir.invariant_holds());
+    }
+
+    #[test]
+    fn writer_handoff_writes_back_and_invalidates() {
+        let mut dir = CoherenceDirectory::new(2);
+        dir.acquire_write(0, 0);
+        let actions = dir.acquire_write(1, 0);
+        assert!(actions.contains(&ProtocolAction::WriteBack { cluster: 0 }));
+        assert!(actions.contains(&ProtocolAction::Invalidate { cluster: 0 }));
+        assert_eq!(dir.state(0, 0), CopyState::None);
+        assert_eq!(dir.state(1, 0), CopyState::Exclusive);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut dir = CoherenceDirectory::new(2);
+        dir.acquire_write(0, 0);
+        assert_eq!(dir.acquire_write(0, 0), vec![ProtocolAction::Hit]);
+        assert_eq!(dir.acquire_read(0, 0), vec![ProtocolAction::Hit]);
+        assert_eq!(dir.fetch_count(), 1);
+    }
+
+    #[test]
+    fn shared_upgrade_needs_no_refetch() {
+        let mut dir = CoherenceDirectory::new(2);
+        dir.acquire_read(0, 0);
+        let actions = dir.acquire_write(0, 0);
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ProtocolAction::FetchFromGlobal { .. })),
+            "upgrading a shared copy must not refetch: {actions:?}"
+        );
+        assert_eq!(dir.state(0, 0), CopyState::Exclusive);
+    }
+
+    #[test]
+    fn release_writes_back_dirty_copies() {
+        let mut dir = CoherenceDirectory::new(2);
+        dir.acquire_write(0, 0);
+        let actions = dir.release(0, 0);
+        assert_eq!(actions, vec![ProtocolAction::WriteBack { cluster: 0 }]);
+        assert_eq!(dir.state(0, 0), CopyState::None);
+        // Releasing again is a no-op.
+        assert!(dir.release(0, 0).is_empty());
+    }
+
+    #[test]
+    fn distinct_blocks_are_independent() {
+        let mut dir = CoherenceDirectory::new(2);
+        dir.acquire_write(0, 0);
+        dir.acquire_write(1, 64);
+        assert_eq!(dir.state(0, 0), CopyState::Exclusive);
+        assert_eq!(dir.state(1, 64), CopyState::Exclusive);
+        assert!(dir.invariant_holds());
+        assert_eq!(dir.invalidation_count(), 0);
+    }
+}

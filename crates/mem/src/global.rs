@@ -1,0 +1,301 @@
+//! The globally shared memory: interleaved modules with per-module
+//! synchronization processors.
+//!
+//! Global memory is 64 MB, double-word (8-byte) interleaved and
+//! aligned, directly addressable and shared by all CEs, with a peak
+//! bandwidth of 768 MB/s (24 MB/s per processor). Synchronization
+//! instructions are "performed by a special processor in each memory
+//! module", making them indivisible without network lock cycles.
+//!
+//! This model stores real 64-bit words (so the runtime's
+//! self-scheduling counters and barriers operate on genuine state) and
+//! tracks per-module service occupancy for the timing layer.
+
+use crate::address::WORD_BYTES;
+use crate::sync::{SyncInstruction, SyncOutcome};
+
+/// Number of interleaved modules in the production configuration.
+/// Matching the network fabric's port mapping: 32 modules at 2 CE
+/// cycles per word gives the machine's 768 MB/s aggregate bandwidth.
+pub const DEFAULT_MODULES: usize = 32;
+
+/// Default capacity: 64 MB, per the paper.
+pub const DEFAULT_CAPACITY_BYTES: u64 = 64 << 20;
+
+/// The global shared memory.
+///
+/// Word addresses used by [`read_word`], [`write_word`] and
+/// [`sync_op`] are *word indexes* into the global region (i.e.
+/// [`crate::address::PAddr::word_index`] of a global physical
+/// address).
+///
+/// [`read_word`]: GlobalMemory::read_word
+/// [`write_word`]: GlobalMemory::write_word
+/// [`sync_op`]: GlobalMemory::sync_op
+///
+/// # Examples
+///
+/// ```
+/// use cedar_mem::global::GlobalMemory;
+///
+/// let mut gm = GlobalMemory::with_words(256);
+/// gm.write_word(10, 0xDEAD_BEEF);
+/// assert_eq!(gm.read_word(10), 0xDEAD_BEEF);
+/// assert_eq!(gm.module_of_word(10), 10 % 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    words: Vec<u64>,
+    modules: usize,
+    reads: u64,
+    writes: u64,
+    sync_ops: u64,
+    /// Per-module count of sync instructions executed, a signal the
+    /// performance monitor can tap.
+    sync_per_module: Vec<u64>,
+}
+
+impl GlobalMemory {
+    /// Creates a memory holding `words` 64-bit words across the
+    /// default module count, zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    #[must_use]
+    pub fn with_words(words: usize) -> Self {
+        GlobalMemory::with_words_and_modules(words, DEFAULT_MODULES)
+    }
+
+    /// Creates a memory with an explicit module count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `modules` is zero.
+    #[must_use]
+    pub fn with_words_and_modules(words: usize, modules: usize) -> Self {
+        assert!(words > 0, "memory must hold at least one word");
+        assert!(modules > 0, "need at least one module");
+        GlobalMemory {
+            words: vec![0; words],
+            modules,
+            reads: 0,
+            writes: 0,
+            sync_ops: 0,
+            sync_per_module: vec![0; modules],
+        }
+    }
+
+    /// The production configuration: 64 MB over 32 modules.
+    #[must_use]
+    pub fn cedar() -> Self {
+        GlobalMemory::with_words_and_modules(
+            (DEFAULT_CAPACITY_BYTES / WORD_BYTES) as usize,
+            DEFAULT_MODULES,
+        )
+    }
+
+    /// Capacity in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero capacity (never true — construction
+    /// requires at least one word).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of interleaved modules.
+    #[must_use]
+    pub fn modules(&self) -> usize {
+        self.modules
+    }
+
+    /// The module serving word `index` under double-word interleaving.
+    #[must_use]
+    pub fn module_of_word(&self, index: u64) -> usize {
+        (index % self.modules as u64) as usize
+    }
+
+    /// Reads the word at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read_word(&mut self, index: u64) -> u64 {
+        self.reads += 1;
+        self.words[index as usize]
+    }
+
+    /// Writes the word at `index`. Writes do not stall the issuing CE
+    /// (the global system is weakly ordered); the model simply applies
+    /// them immediately in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn write_word(&mut self, index: u64, value: u64) {
+        self.writes += 1;
+        self.words[index as usize] = value;
+    }
+
+    /// Executes a synchronization instruction indivisibly at the
+    /// module owning word `index`. The cell is the low 32 bits of the
+    /// word, as the instructions operate on 32-bit data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn sync_op(&mut self, index: u64, instr: SyncInstruction) -> SyncOutcome {
+        self.sync_ops += 1;
+        let module = self.module_of_word(index);
+        self.sync_per_module[module] += 1;
+        let word = &mut self.words[index as usize];
+        let mut cell = *word as u32 as i32;
+        let outcome = instr.execute(&mut cell);
+        *word = (*word & 0xFFFF_FFFF_0000_0000) | u64::from(cell as u32);
+        outcome
+    }
+
+    /// Copies `len` words starting at `src` into a slice — the
+    /// "explicit move under software control" from global memory to a
+    /// cluster buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or lengths mismatch.
+    pub fn copy_out(&mut self, src: u64, dst: &mut [u64]) {
+        let s = src as usize;
+        dst.copy_from_slice(&self.words[s..s + dst.len()]);
+        self.reads += dst.len() as u64;
+    }
+
+    /// Copies a slice into global memory starting at `dst` — the
+    /// explicit move from a cluster buffer to global memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn copy_in(&mut self, dst: u64, src: &[u64]) {
+        let d = dst as usize;
+        self.words[d..d + src.len()].copy_from_slice(src);
+        self.writes += src.len() as u64;
+    }
+
+    /// Total word reads served.
+    #[must_use]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total word writes served.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total synchronization instructions executed.
+    #[must_use]
+    pub fn sync_op_count(&self) -> u64 {
+        self.sync_ops
+    }
+
+    /// Synchronization instructions executed per module, exposing hot
+    /// synchronization cells.
+    #[must_use]
+    pub fn sync_ops_per_module(&self) -> &[u64] {
+        &self.sync_per_module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{AtomicOp, TestOp};
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut gm = GlobalMemory::with_words(64);
+        gm.write_word(3, 99);
+        assert_eq!(gm.read_word(3), 99);
+        assert_eq!(gm.read_word(4), 0, "untouched words are zero");
+    }
+
+    #[test]
+    fn cedar_capacity_is_64_mb() {
+        let gm = GlobalMemory::cedar();
+        assert_eq!(gm.len() as u64 * WORD_BYTES, 64 << 20);
+        assert_eq!(gm.modules(), 32);
+    }
+
+    #[test]
+    fn interleaving_spreads_consecutive_words() {
+        let gm = GlobalMemory::with_words_and_modules(128, 8);
+        let modules: Vec<usize> = (0..8).map(|w| gm.module_of_word(w)).collect();
+        assert_eq!(modules, [0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(gm.module_of_word(8), 0);
+    }
+
+    #[test]
+    fn sync_op_is_atomic_and_reports_old_value() {
+        let mut gm = GlobalMemory::with_words(16);
+        gm.write_word(0, 41);
+        let out = gm.sync_op(0, SyncInstruction::fetch_and_add(1));
+        assert_eq!(out.old_value, 41);
+        assert_eq!(gm.read_word(0), 42);
+    }
+
+    #[test]
+    fn sync_op_touches_only_low_half() {
+        let mut gm = GlobalMemory::with_words(16);
+        gm.write_word(0, 0xAAAA_BBBB_0000_0001);
+        gm.sync_op(0, SyncInstruction::fetch_and_add(1));
+        assert_eq!(gm.read_word(0), 0xAAAA_BBBB_0000_0002);
+    }
+
+    #[test]
+    fn sync_op_negative_values() {
+        let mut gm = GlobalMemory::with_words(16);
+        gm.sync_op(0, SyncInstruction::write(-5));
+        let out = gm.sync_op(
+            0,
+            SyncInstruction::test_and_op(TestOp::Less, 0, AtomicOp::Add, 10),
+        );
+        assert!(out.test_passed);
+        assert_eq!(out.old_value, -5);
+        let final_val = gm.sync_op(0, SyncInstruction::read());
+        assert_eq!(final_val.old_value, 5);
+    }
+
+    #[test]
+    fn explicit_moves_copy_blocks() {
+        let mut gm = GlobalMemory::with_words(64);
+        gm.copy_in(8, &[1, 2, 3, 4]);
+        let mut buf = [0u64; 4];
+        gm.copy_out(8, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut gm = GlobalMemory::with_words(64);
+        gm.write_word(0, 1);
+        gm.read_word(0);
+        gm.copy_in(0, &[1, 2]);
+        gm.copy_out(0, &mut [0u64; 2]);
+        gm.sync_op(5, SyncInstruction::test_and_set());
+        assert_eq!(gm.write_count(), 3);
+        assert_eq!(gm.read_count(), 3);
+        assert_eq!(gm.sync_op_count(), 1);
+        assert_eq!(gm.sync_ops_per_module()[5], 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        GlobalMemory::with_words(4).read_word(4);
+    }
+}

@@ -1,0 +1,284 @@
+//! Memory-based synchronization instructions.
+//!
+//! The paper (§2, "Memory-based Synchronization"): given a multistage
+//! network, ordinary lock cycles are impossible, so "Cedar implements
+//! a set of indivisible synchronization instructions in each memory
+//! module. These include Test-And-Set and Cedar synchronization
+//! instructions based on \[ZhYe87\] … Cedar synchronization
+//! instructions implement Test-And-Operate, where Test is any
+//! relational operation on 32-bit data (e.g. >) and Operate is a
+//! Read, Write, Add, Subtract, or Logical operation on 32-bit data."
+//!
+//! Each instruction executes atomically at the memory module's
+//! synchronization processor; the CE receives the old value and the
+//! test outcome in the reply.
+
+use std::fmt;
+
+/// The relational test half of a Test-And-Operate instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestOp {
+    /// Always passes (an unconditional Operate).
+    Always,
+    /// `mem == operand`
+    Equal,
+    /// `mem != operand`
+    NotEqual,
+    /// `mem < operand`
+    Less,
+    /// `mem <= operand`
+    LessEqual,
+    /// `mem > operand`
+    Greater,
+    /// `mem >= operand`
+    GreaterEqual,
+}
+
+impl TestOp {
+    /// Evaluates the test against the memory value.
+    #[must_use]
+    pub fn evaluate(self, mem: i32, operand: i32) -> bool {
+        match self {
+            TestOp::Always => true,
+            TestOp::Equal => mem == operand,
+            TestOp::NotEqual => mem != operand,
+            TestOp::Less => mem < operand,
+            TestOp::LessEqual => mem <= operand,
+            TestOp::Greater => mem > operand,
+            TestOp::GreaterEqual => mem >= operand,
+        }
+    }
+}
+
+impl fmt::Display for TestOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TestOp::Always => "true",
+            TestOp::Equal => "==",
+            TestOp::NotEqual => "!=",
+            TestOp::Less => "<",
+            TestOp::LessEqual => "<=",
+            TestOp::Greater => ">",
+            TestOp::GreaterEqual => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Operate half of a Test-And-Operate instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// Leave memory unchanged (fetch only).
+    Read,
+    /// Store the operand.
+    Write,
+    /// Add the operand.
+    Add,
+    /// Subtract the operand.
+    Sub,
+    /// Bitwise AND with the operand.
+    And,
+    /// Bitwise OR with the operand.
+    Or,
+    /// Bitwise XOR with the operand.
+    Xor,
+}
+
+impl AtomicOp {
+    /// Applies the operation, returning the new memory value.
+    #[must_use]
+    pub fn apply(self, mem: i32, operand: i32) -> i32 {
+        match self {
+            AtomicOp::Read => mem,
+            AtomicOp::Write => operand,
+            AtomicOp::Add => mem.wrapping_add(operand),
+            AtomicOp::Sub => mem.wrapping_sub(operand),
+            AtomicOp::And => mem & operand,
+            AtomicOp::Or => mem | operand,
+            AtomicOp::Xor => mem ^ operand,
+        }
+    }
+}
+
+/// A complete synchronization instruction as shipped to a memory
+/// module: test, test operand, operate, operate operand.
+///
+/// # Examples
+///
+/// A classic Test-And-Set built from the primitives:
+///
+/// ```
+/// use cedar_mem::sync::{SyncInstruction, SyncOutcome};
+///
+/// let tas = SyncInstruction::test_and_set();
+/// let mut cell = 0i32;
+/// let first = tas.execute(&mut cell);
+/// let second = tas.execute(&mut cell);
+/// assert!(first.test_passed && !second.test_passed);
+/// assert_eq!(cell, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncInstruction {
+    /// Relational test applied to the 32-bit memory cell.
+    pub test: TestOp,
+    /// Right-hand operand of the test.
+    pub test_operand: i32,
+    /// Operation performed when the test passes.
+    pub op: AtomicOp,
+    /// Operand of the operation.
+    pub op_operand: i32,
+}
+
+impl SyncInstruction {
+    /// Builds a Test-And-Operate instruction.
+    #[must_use]
+    pub fn test_and_op(test: TestOp, test_operand: i32, op: AtomicOp, op_operand: i32) -> Self {
+        SyncInstruction {
+            test,
+            test_operand,
+            op,
+            op_operand,
+        }
+    }
+
+    /// Test-And-Set: if the cell is 0, set it to 1. The lock is
+    /// acquired iff the test passed.
+    #[must_use]
+    pub fn test_and_set() -> Self {
+        SyncInstruction::test_and_op(TestOp::Equal, 0, AtomicOp::Write, 1)
+    }
+
+    /// Unconditional fetch-and-add, the workhorse of loop
+    /// self-scheduling in the Cedar runtime library.
+    #[must_use]
+    pub fn fetch_and_add(n: i32) -> Self {
+        SyncInstruction::test_and_op(TestOp::Always, 0, AtomicOp::Add, n)
+    }
+
+    /// Unconditional atomic read.
+    #[must_use]
+    pub fn read() -> Self {
+        SyncInstruction::test_and_op(TestOp::Always, 0, AtomicOp::Read, 0)
+    }
+
+    /// Unconditional atomic write.
+    #[must_use]
+    pub fn write(value: i32) -> Self {
+        SyncInstruction::test_and_op(TestOp::Always, 0, AtomicOp::Write, value)
+    }
+
+    /// Executes the instruction atomically against a memory cell,
+    /// returning the old value and whether the test passed. The
+    /// operation is applied only when the test passes.
+    pub fn execute(self, cell: &mut i32) -> SyncOutcome {
+        let old_value = *cell;
+        let test_passed = self.test.evaluate(old_value, self.test_operand);
+        if test_passed {
+            *cell = self.op.apply(old_value, self.op_operand);
+        }
+        SyncOutcome {
+            old_value,
+            test_passed,
+        }
+    }
+}
+
+/// What a synchronization instruction reports back to the CE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncOutcome {
+    /// The cell's value before the operation.
+    pub old_value: i32,
+    /// Whether the relational test passed (and thus the operation ran).
+    pub test_passed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tests_evaluate_correctly() {
+        assert!(TestOp::Always.evaluate(i32::MIN, i32::MAX));
+        assert!(TestOp::Equal.evaluate(3, 3));
+        assert!(!TestOp::Equal.evaluate(3, 4));
+        assert!(TestOp::NotEqual.evaluate(3, 4));
+        assert!(TestOp::Less.evaluate(-1, 0));
+        assert!(TestOp::LessEqual.evaluate(0, 0));
+        assert!(TestOp::Greater.evaluate(1, 0));
+        assert!(TestOp::GreaterEqual.evaluate(0, 0));
+        assert!(!TestOp::Greater.evaluate(0, 0));
+    }
+
+    #[test]
+    fn all_ops_apply_correctly() {
+        assert_eq!(AtomicOp::Read.apply(7, 99), 7);
+        assert_eq!(AtomicOp::Write.apply(7, 99), 99);
+        assert_eq!(AtomicOp::Add.apply(7, 3), 10);
+        assert_eq!(AtomicOp::Sub.apply(7, 3), 4);
+        assert_eq!(AtomicOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AtomicOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AtomicOp::Xor.apply(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn add_wraps_instead_of_panicking() {
+        assert_eq!(AtomicOp::Add.apply(i32::MAX, 1), i32::MIN);
+        assert_eq!(AtomicOp::Sub.apply(i32::MIN, 1), i32::MAX);
+    }
+
+    #[test]
+    fn test_and_set_acquires_once() {
+        let mut lock = 0;
+        let tas = SyncInstruction::test_and_set();
+        assert!(tas.execute(&mut lock).test_passed);
+        for _ in 0..5 {
+            assert!(!tas.execute(&mut lock).test_passed);
+        }
+        assert_eq!(lock, 1);
+    }
+
+    #[test]
+    fn failed_test_leaves_memory_unchanged() {
+        let mut cell = 10;
+        let instr = SyncInstruction::test_and_op(TestOp::Less, 5, AtomicOp::Write, 0);
+        let out = instr.execute(&mut cell);
+        assert!(!out.test_passed);
+        assert_eq!(out.old_value, 10);
+        assert_eq!(cell, 10);
+    }
+
+    #[test]
+    fn fetch_and_add_returns_old_value() {
+        let mut counter = 0;
+        let faa = SyncInstruction::fetch_and_add(1);
+        let olds: Vec<i32> = (0..4).map(|_| faa.execute(&mut counter).old_value).collect();
+        assert_eq!(olds, [0, 1, 2, 3]);
+        assert_eq!(counter, 4);
+    }
+
+    #[test]
+    fn bounded_counter_with_test_and_op() {
+        // Increment only while below a bound — a ticket dispenser that
+        // cannot overshoot, straight out of [ZhYe87]-style usage.
+        let mut counter = 0;
+        let instr = SyncInstruction::test_and_op(TestOp::Less, 3, AtomicOp::Add, 1);
+        let grants = (0..10).filter(|_| instr.execute(&mut counter).test_passed).count();
+        assert_eq!(grants, 3);
+        assert_eq!(counter, 3);
+    }
+
+    #[test]
+    fn read_and_write_helpers() {
+        let mut cell = 42;
+        assert_eq!(SyncInstruction::read().execute(&mut cell).old_value, 42);
+        assert_eq!(cell, 42);
+        SyncInstruction::write(7).execute(&mut cell);
+        assert_eq!(cell, 7);
+    }
+
+    #[test]
+    fn display_of_test_ops() {
+        assert_eq!(TestOp::Greater.to_string(), ">");
+        assert_eq!(TestOp::Always.to_string(), "true");
+    }
+}

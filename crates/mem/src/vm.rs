@@ -1,0 +1,449 @@
+//! The Xylem virtual-memory model: 4 KB pages, per-cluster TLBs, and
+//! page tables living in global memory.
+//!
+//! This module exists because of the paper's TRFD analysis (§4.2): the
+//! multicluster TRFD "was shown to have almost four times the number
+//! of page faults relative to the one-cluster version and was spending
+//! close to 50% of the time in virtual memory activity. The extra
+//! faults are TLB miss faults as each additional cluster of a
+//! multicluster version first accesses pages for which a valid PTE
+//! exists in global memory." The fix was a distributed-memory version
+//! of the code (\[MaEG92\]); the `ablation_vm` bench regenerates that
+//! comparison.
+
+use std::collections::HashMap;
+
+use crate::address::{PAddr, Region, VAddr, PAGE_SIZE_BYTES};
+
+/// A page-table entry: where a virtual page lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PageEntry {
+    region: Region,
+    /// Physical page number within the region.
+    ppage: u64,
+    /// For cluster pages, which cluster owns the frame.
+    home_cluster: usize,
+}
+
+/// What a translation cost: the three rungs of the VM ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageFaultKind {
+    /// The TLB held the translation; no fault.
+    TlbHit,
+    /// The TLB missed but a valid PTE existed in global memory — the
+    /// fault class that dominates multicluster TRFD.
+    TlbMissPteValid,
+    /// No PTE existed: first touch, page allocated.
+    HardFault,
+}
+
+/// A simple fully-associative LRU TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    /// vpage → (ppage key, stamp)
+    entries: HashMap<u64, u64>,
+    clock: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with room for `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Looks up a virtual page, refreshing its recency on hit.
+    pub fn lookup(&mut self, vpage: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&vpage) {
+            Some(stamp) => {
+                *stamp = clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a translation, evicting the least recently used if full.
+    pub fn insert(&mut self, vpage: u64) {
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&vpage) {
+            if let Some((&lru, _)) = self.entries.iter().min_by_key(|(_, &stamp)| stamp) {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(vpage, self.clock);
+    }
+
+    /// Drops every cached translation (context switch / task migration).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached translations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no translations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Cost parameters for VM events, in CE cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmCosts {
+    /// Servicing a TLB miss whose PTE is valid in global memory:
+    /// a kernel trap plus global-memory page-table reads.
+    pub tlb_miss_cycles: u64,
+    /// Servicing a hard fault: allocation, zeroing, table update.
+    pub hard_fault_cycles: u64,
+}
+
+impl VmCosts {
+    /// Defaults consistent with the TRFD observation (\[MaEG92\]): a
+    /// TLB-miss fault walks the page table in global memory through
+    /// the kernel (~0.5 ms at 170 ns cycles), a hard fault roughly
+    /// doubles that with allocation — enough that quadrupled faults
+    /// consume about half of TRFD's optimized run time.
+    #[must_use]
+    pub fn cedar() -> Self {
+        VmCosts {
+            tlb_miss_cycles: 3_000,
+            hard_fault_cycles: 6_000,
+        }
+    }
+}
+
+impl Default for VmCosts {
+    fn default() -> Self {
+        VmCosts::cedar()
+    }
+}
+
+/// The machine-wide virtual memory system: one page table (kept in
+/// global memory) plus one TLB per cluster.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_mem::vm::{PageFaultKind, VirtualMemory};
+/// use cedar_mem::address::VAddr;
+///
+/// let mut vm = VirtualMemory::new(4, 64);
+/// // First touch from cluster 0: hard fault.
+/// let (_, kind) = vm.translate(0, VAddr(0x1000));
+/// assert_eq!(kind, PageFaultKind::HardFault);
+/// // Second touch from cluster 0: TLB hit.
+/// let (_, kind) = vm.translate(0, VAddr(0x1008));
+/// assert_eq!(kind, PageFaultKind::TlbHit);
+/// // First touch from cluster 1: the PTE is valid in global memory,
+/// // but cluster 1's TLB must fault to find it — the TRFD effect.
+/// let (_, kind) = vm.translate(1, VAddr(0x1000));
+/// assert_eq!(kind, PageFaultKind::TlbMissPteValid);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualMemory {
+    page_table: HashMap<u64, PageEntry>,
+    tlbs: Vec<Tlb>,
+    next_global_page: u64,
+    next_cluster_page: Vec<u64>,
+    /// Fault tallies per kind: [hits, tlb_miss, hard].
+    counts: [u64; 3],
+    /// Fault tallies per cluster (tlb_miss + hard).
+    faults_per_cluster: Vec<u64>,
+    costs: VmCosts,
+    /// Accumulated VM service time in CE cycles.
+    service_cycles: u64,
+}
+
+impl VirtualMemory {
+    /// Creates a VM system for `clusters` clusters with
+    /// `tlb_entries`-entry TLBs and default costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` or `tlb_entries` is zero.
+    #[must_use]
+    pub fn new(clusters: usize, tlb_entries: usize) -> Self {
+        VirtualMemory::with_costs(clusters, tlb_entries, VmCosts::cedar())
+    }
+
+    /// Creates a VM system with explicit fault costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` or `tlb_entries` is zero.
+    #[must_use]
+    pub fn with_costs(clusters: usize, tlb_entries: usize, costs: VmCosts) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        VirtualMemory {
+            page_table: HashMap::new(),
+            tlbs: (0..clusters).map(|_| Tlb::new(tlb_entries)).collect(),
+            next_global_page: 0,
+            next_cluster_page: vec![0; clusters],
+            counts: [0; 3],
+            faults_per_cluster: vec![0; clusters],
+            costs,
+            service_cycles: 0,
+        }
+    }
+
+    /// Number of clusters served.
+    #[must_use]
+    pub fn clusters(&self) -> usize {
+        self.tlbs.len()
+    }
+
+    /// Translates `vaddr` on behalf of `cluster`, allocating on first
+    /// touch (demand paging into global memory by default) and
+    /// tracking fault costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn translate(&mut self, cluster: usize, vaddr: VAddr) -> (PAddr, PageFaultKind) {
+        let vpage = vaddr.page();
+        let kind = if self.tlbs[cluster].lookup(vpage) {
+            self.counts[0] += 1;
+            PageFaultKind::TlbHit
+        } else if self.page_table.contains_key(&vpage) {
+            self.counts[1] += 1;
+            self.faults_per_cluster[cluster] += 1;
+            self.service_cycles += self.costs.tlb_miss_cycles;
+            self.tlbs[cluster].insert(vpage);
+            PageFaultKind::TlbMissPteValid
+        } else {
+            self.counts[2] += 1;
+            self.faults_per_cluster[cluster] += 1;
+            self.service_cycles += self.costs.hard_fault_cycles;
+            let ppage = self.next_global_page;
+            self.next_global_page += 1;
+            self.page_table.insert(
+                vpage,
+                PageEntry {
+                    region: Region::Global,
+                    ppage,
+                    home_cluster: 0,
+                },
+            );
+            self.tlbs[cluster].insert(vpage);
+            PageFaultKind::HardFault
+        };
+        let entry = self.page_table[&vpage];
+        let paddr = match entry.region {
+            Region::Global => PAddr::in_global(entry.ppage * PAGE_SIZE_BYTES + vaddr.page_offset()),
+            Region::Cluster => {
+                PAddr::in_cluster(entry.ppage * PAGE_SIZE_BYTES + vaddr.page_offset())
+            }
+        };
+        (paddr, kind)
+    }
+
+    /// Pre-maps `pages` consecutive virtual pages starting at `vpage`
+    /// into `cluster`'s own memory — the distributed-memory placement
+    /// that fixed TRFD. Pages already mapped are left alone.
+    pub fn map_into_cluster(&mut self, cluster: usize, vpage: u64, pages: u64) {
+        for p in vpage..vpage + pages {
+            if self.page_table.contains_key(&p) {
+                continue;
+            }
+            let ppage = self.next_cluster_page[cluster];
+            self.next_cluster_page[cluster] += 1;
+            self.page_table.insert(
+                p,
+                PageEntry {
+                    region: Region::Cluster,
+                    ppage,
+                    home_cluster: cluster,
+                },
+            );
+        }
+    }
+
+    /// The region and home cluster of a mapped page, if present.
+    #[must_use]
+    pub fn page_home(&self, vpage: u64) -> Option<(Region, usize)> {
+        self.page_table
+            .get(&vpage)
+            .map(|e| (e.region, e.home_cluster))
+    }
+
+    /// Flushes one cluster's TLB.
+    pub fn flush_tlb(&mut self, cluster: usize) {
+        self.tlbs[cluster].flush();
+    }
+
+    /// TLB hits observed.
+    #[must_use]
+    pub fn tlb_hits(&self) -> u64 {
+        self.counts[0]
+    }
+
+    /// TLB-miss-with-valid-PTE faults observed.
+    #[must_use]
+    pub fn tlb_miss_faults(&self) -> u64 {
+        self.counts[1]
+    }
+
+    /// Hard (first-touch) faults observed.
+    #[must_use]
+    pub fn hard_faults(&self) -> u64 {
+        self.counts[2]
+    }
+
+    /// All faults (both kinds) per cluster.
+    #[must_use]
+    pub fn faults_per_cluster(&self) -> &[u64] {
+        &self.faults_per_cluster
+    }
+
+    /// Accumulated VM service time in CE cycles.
+    #[must_use]
+    pub fn service_cycles(&self) -> u64 {
+        self.service_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlb_lru_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(1);
+        tlb.insert(2);
+        assert!(tlb.lookup(1)); // 2 becomes LRU
+        tlb.insert(3); // evicts 2
+        assert!(tlb.lookup(1));
+        assert!(!tlb.lookup(2));
+        assert!(tlb.lookup(3));
+        assert_eq!(tlb.len(), 2);
+    }
+
+    #[test]
+    fn tlb_flush_empties() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(1);
+        tlb.flush();
+        assert!(tlb.is_empty());
+        assert!(!tlb.lookup(1));
+    }
+
+    #[test]
+    fn reinserting_resident_page_does_not_evict() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(1);
+        tlb.insert(2);
+        tlb.insert(1); // already resident
+        assert!(tlb.lookup(2), "2 must not have been evicted");
+    }
+
+    #[test]
+    fn first_touch_hard_faults_then_hits() {
+        let mut vm = VirtualMemory::new(1, 16);
+        let (_, k1) = vm.translate(0, VAddr(0));
+        let (_, k2) = vm.translate(0, VAddr(8));
+        let (_, k3) = vm.translate(0, VAddr(PAGE_SIZE_BYTES));
+        assert_eq!(k1, PageFaultKind::HardFault);
+        assert_eq!(k2, PageFaultKind::TlbHit);
+        assert_eq!(k3, PageFaultKind::HardFault);
+        assert_eq!(vm.hard_faults(), 2);
+        assert_eq!(vm.tlb_hits(), 1);
+    }
+
+    #[test]
+    fn trfd_effect_second_cluster_tlb_faults() {
+        // Cluster 0 touches N pages; clusters 1..4 then touch the same
+        // pages: every one is a TLB-miss-with-valid-PTE fault, nearly
+        // quadrupling total faults — the paper's TRFD observation.
+        let pages = 100u64;
+        let mut vm = VirtualMemory::new(4, 1024);
+        for p in 0..pages {
+            vm.translate(0, VAddr(p * PAGE_SIZE_BYTES));
+        }
+        let single_cluster_faults: u64 = vm.faults_per_cluster().iter().sum();
+        for c in 1..4 {
+            for p in 0..pages {
+                let (_, kind) = vm.translate(c, VAddr(p * PAGE_SIZE_BYTES));
+                assert_eq!(kind, PageFaultKind::TlbMissPteValid);
+            }
+        }
+        let total: u64 = vm.faults_per_cluster().iter().sum();
+        assert_eq!(single_cluster_faults, pages);
+        assert_eq!(total, 4 * pages, "almost four times the faults");
+    }
+
+    #[test]
+    fn translations_are_stable_and_distinct() {
+        let mut vm = VirtualMemory::new(2, 64);
+        let (a1, _) = vm.translate(0, VAddr(0));
+        let (b1, _) = vm.translate(0, VAddr(PAGE_SIZE_BYTES * 5));
+        let (a2, _) = vm.translate(1, VAddr(0));
+        assert_eq!(a1, a2, "same page maps to same frame for all clusters");
+        assert_ne!(a1.page(), b1.page(), "different pages get different frames");
+    }
+
+    #[test]
+    fn offsets_preserved_through_translation() {
+        let mut vm = VirtualMemory::new(1, 16);
+        let (p, _) = vm.translate(0, VAddr(PAGE_SIZE_BYTES + 123));
+        assert_eq!(p.0 % PAGE_SIZE_BYTES, 123);
+    }
+
+    #[test]
+    fn distributed_placement_maps_into_cluster_memory() {
+        let mut vm = VirtualMemory::new(4, 64);
+        vm.map_into_cluster(2, 10, 5);
+        assert_eq!(vm.page_home(10), Some((Region::Cluster, 2)));
+        let (paddr, kind) = vm.translate(2, VAddr(10 * PAGE_SIZE_BYTES));
+        assert_eq!(kind, PageFaultKind::TlbMissPteValid, "PTE pre-exists");
+        assert_eq!(paddr.region(), Region::Cluster);
+    }
+
+    #[test]
+    fn map_into_cluster_respects_existing_mappings() {
+        let mut vm = VirtualMemory::new(2, 64);
+        vm.translate(0, VAddr(0)); // page 0 now global
+        vm.map_into_cluster(1, 0, 2); // page 0 skipped, page 1 mapped
+        assert_eq!(vm.page_home(0), Some((Region::Global, 0)));
+        assert_eq!(vm.page_home(1), Some((Region::Cluster, 1)));
+    }
+
+    #[test]
+    fn service_cycles_accumulate_by_kind() {
+        let costs = VmCosts {
+            tlb_miss_cycles: 10,
+            hard_fault_cycles: 100,
+        };
+        let mut vm = VirtualMemory::with_costs(2, 16, costs);
+        vm.translate(0, VAddr(0)); // hard: 100
+        vm.translate(1, VAddr(0)); // tlb miss: 10
+        vm.translate(1, VAddr(8)); // hit: 0
+        assert_eq!(vm.service_cycles(), 110);
+    }
+
+    #[test]
+    fn tlb_flush_forces_refaults() {
+        let mut vm = VirtualMemory::new(1, 16);
+        vm.translate(0, VAddr(0));
+        vm.flush_tlb(0);
+        let (_, kind) = vm.translate(0, VAddr(0));
+        assert_eq!(kind, PageFaultKind::TlbMissPteValid);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the memory hierarchy.
+
+use proptest::prelude::*;
+
+use cedar_mem::address::PAddr;
+use cedar_mem::cache::{CacheConfig, CacheOutcome, SharedCache};
+use cedar_mem::global::GlobalMemory;
+use cedar_mem::sync::{AtomicOp, SyncInstruction, TestOp};
+use cedar_mem::address::PAGE_SIZE_BYTES;
+use cedar_mem::vm::VirtualMemory;
+
+use std::collections::HashMap;
+
+fn small_cache() -> SharedCache {
+    SharedCache::new(CacheConfig {
+        capacity_bytes: 1024,
+        line_bytes: 32,
+        ways: 2,
+        banks: 4,
+        outstanding_misses_per_ce: 2,
+    })
+}
+
+proptest! {
+    /// The cache agrees with a reference LRU model on every access of
+    /// a random trace: same hit/miss classification throughout.
+    #[test]
+    fn cache_matches_reference_lru(
+        trace in prop::collection::vec((0u64..64, any::<bool>()), 1..400)
+    ) {
+        let mut cache = small_cache();
+        // Reference: per-set LRU lists over line numbers.
+        let sets = 1024 / 32 / 2;
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for &(line, is_write) in &trace {
+            let addr = PAddr::in_cluster(line * 32);
+            let set = (line % sets as u64) as usize;
+            let got = cache.access(addr, is_write);
+            let hit = model[set].contains(&line);
+            prop_assert_eq!(got.is_hit(), hit, "line {} in set {}", line, set);
+            model[set].retain(|&l| l != line);
+            model[set].push(line);
+            if model[set].len() > 2 {
+                model[set].remove(0);
+            }
+        }
+    }
+
+    /// Conservation: hits + misses equals accesses; writebacks never
+    /// exceed misses.
+    #[test]
+    fn cache_counter_conservation(
+        trace in prop::collection::vec((0u64..256, any::<bool>()), 1..300)
+    ) {
+        let mut cache = small_cache();
+        for &(line, w) in &trace {
+            cache.access(PAddr::in_cluster(line * 32), w);
+        }
+        prop_assert_eq!(cache.hit_count() + cache.miss_count(), trace.len() as u64);
+        prop_assert!(cache.writeback_count() <= cache.miss_count());
+    }
+
+    /// Global memory behaves as an array: the last write to each word
+    /// is what reads observe, regardless of interleaving.
+    #[test]
+    fn global_memory_is_a_map(
+        ops in prop::collection::vec((0u64..128, any::<u64>()), 1..200)
+    ) {
+        let mut gm = GlobalMemory::with_words(128);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(idx, val) in &ops {
+            gm.write_word(idx, val);
+            model.insert(idx, val);
+        }
+        for (&idx, &val) in &model {
+            prop_assert_eq!(gm.read_word(idx), val);
+        }
+    }
+
+    /// Sync instructions are equivalent to their sequential semantics:
+    /// replaying any instruction sequence against a plain i32 matches
+    /// the memory module's outcomes.
+    #[test]
+    fn sync_ops_match_sequential_semantics(
+        ops in prop::collection::vec((0u8..7, 0u8..7, -100i32..100, -100i32..100), 1..100)
+    ) {
+        let tests = [TestOp::Always, TestOp::Equal, TestOp::NotEqual, TestOp::Less,
+                     TestOp::LessEqual, TestOp::Greater, TestOp::GreaterEqual];
+        let aops = [AtomicOp::Read, AtomicOp::Write, AtomicOp::Add, AtomicOp::Sub,
+                    AtomicOp::And, AtomicOp::Or, AtomicOp::Xor];
+        let mut gm = GlobalMemory::with_words(4);
+        let mut model: i32 = 0;
+        for &(t, a, t_op, a_op) in &ops {
+            let instr = SyncInstruction::test_and_op(
+                tests[t as usize], t_op, aops[a as usize], a_op,
+            );
+            let out = gm.sync_op(0, instr);
+            // Sequential reference.
+            let old = model;
+            let pass = instr.test.evaluate(old, t_op);
+            if pass {
+                model = instr.op.apply(old, a_op);
+            }
+            prop_assert_eq!(out.old_value, old);
+            prop_assert_eq!(out.test_passed, pass);
+        }
+        let final_read = gm.sync_op(0, SyncInstruction::read());
+        prop_assert_eq!(final_read.old_value, model);
+    }
+
+    /// Fetch-and-add tickets are a permutation-free sequence: n takes
+    /// return exactly 0..n in order.
+    #[test]
+    fn fetch_and_add_is_sequential(n in 1usize..200) {
+        let mut gm = GlobalMemory::with_words(8);
+        for expected in 0..n {
+            let out = gm.sync_op(3, SyncInstruction::fetch_and_add(1));
+            prop_assert_eq!(out.old_value, expected as i32);
+        }
+    }
+
+    /// VM translation is a function: the same virtual address always
+    /// maps to the same physical address, from any cluster, and
+    /// distinct pages get distinct frames.
+    #[test]
+    fn vm_translation_is_stable_and_injective(
+        pages in prop::collection::vec(0u64..500, 1..100),
+        clusters in prop::collection::vec(0usize..4, 1..100),
+    ) {
+        let mut vm = VirtualMemory::new(4, 64);
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        for (&page, &cluster) in pages.iter().zip(clusters.iter().cycle()) {
+            let (paddr, _) = vm.translate(cluster, cedar_mem::address::VAddr(page * PAGE_SIZE_BYTES));
+            match seen.get(&page) {
+                Some(&prev) => prop_assert_eq!(prev, paddr.0, "page {} moved", page),
+                None => {
+                    prop_assert!(
+                        !seen.values().any(|&v| v == paddr.0),
+                        "frame reused for two pages"
+                    );
+                    seen.insert(page, paddr.0);
+                }
+            }
+        }
+    }
+
+    /// Cache classification never depends on write-vs-read of earlier
+    /// accesses (writes only affect dirtiness, not residency).
+    #[test]
+    fn cache_residency_ignores_write_flag(
+        lines in prop::collection::vec(0u64..64, 1..200)
+    ) {
+        let mut as_reads = small_cache();
+        let mut as_writes = small_cache();
+        for &line in &lines {
+            let a = as_reads.access(PAddr::in_cluster(line * 32), false);
+            let b = as_writes.access(PAddr::in_cluster(line * 32), true);
+            prop_assert_eq!(a.is_hit(), b.is_hit());
+            // Clean traffic never writes back.
+            prop_assert!(a != CacheOutcome::MissWithWriteback);
+        }
+    }
+}

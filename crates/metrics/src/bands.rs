@@ -1,0 +1,191 @@
+//! Speedup, efficiency, and the paper's acceptable-performance levels.
+//!
+//! "We shall use P/2 and P/(2 log P), for P ≥ 8, as levels that denote
+//! **high performance** and **acceptable performance**, respectively.
+//! We refer to speedups in the three bands defined by these two levels
+//! as high, intermediate, or unacceptable."
+
+use std::fmt;
+
+/// Speedup of a parallel time over a reference (serial) time.
+///
+/// # Panics
+///
+/// Panics if `parallel_time` is not strictly positive.
+#[must_use]
+pub fn speedup(serial_time: f64, parallel_time: f64) -> f64 {
+    assert!(
+        parallel_time > 0.0,
+        "parallel time must be positive, got {parallel_time}"
+    );
+    serial_time / parallel_time
+}
+
+/// Efficiency: speedup over processor count.
+///
+/// # Panics
+///
+/// Panics if `processors` is zero.
+#[must_use]
+pub fn efficiency(speedup: f64, processors: usize) -> f64 {
+    assert!(processors > 0, "need at least one processor");
+    speedup / processors as f64
+}
+
+/// The three performance bands of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PerfBand {
+    /// Below P / (2·log₂ P).
+    Unacceptable,
+    /// Between the two levels.
+    Intermediate,
+    /// At or above P/2.
+    High,
+}
+
+impl fmt::Display for PerfBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfBand::High => write!(f, "high"),
+            PerfBand::Intermediate => write!(f, "intermediate"),
+            PerfBand::Unacceptable => write!(f, "unacceptable"),
+        }
+    }
+}
+
+/// The high-performance speedup threshold: P/2.
+#[must_use]
+pub fn high_threshold(processors: usize) -> f64 {
+    processors as f64 / 2.0
+}
+
+/// The acceptable-performance speedup threshold: P / (2·log₂ P).
+///
+/// # Panics
+///
+/// Panics if `processors` < 2 (the log is degenerate).
+#[must_use]
+pub fn acceptable_threshold(processors: usize) -> f64 {
+    assert!(processors >= 2, "thresholds need P >= 2");
+    let p = processors as f64;
+    p / (2.0 * p.log2())
+}
+
+/// Classifies a speedup on `processors` processors into its band.
+#[must_use]
+pub fn classify(speedup: f64, processors: usize) -> PerfBand {
+    if speedup >= high_threshold(processors) {
+        PerfBand::High
+    } else if speedup >= acceptable_threshold(processors) {
+        PerfBand::Intermediate
+    } else {
+        PerfBand::Unacceptable
+    }
+}
+
+/// Classifies by efficiency (the Table 6 formulation: E_P > .5 high,
+/// E_P > 1/(2 log P) intermediate).
+#[must_use]
+pub fn classify_efficiency(efficiency: f64, processors: usize) -> PerfBand {
+    classify(efficiency * processors as f64, processors)
+}
+
+/// Band census of an ensemble — the shape of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BandCount {
+    /// Codes in the high band.
+    pub high: usize,
+    /// Codes in the intermediate band.
+    pub intermediate: usize,
+    /// Codes in the unacceptable band.
+    pub unacceptable: usize,
+}
+
+impl BandCount {
+    /// Counts bands over an ensemble of speedups.
+    #[must_use]
+    pub fn of_speedups(speedups: &[f64], processors: usize) -> Self {
+        let mut count = BandCount::default();
+        for &s in speedups {
+            match classify(s, processors) {
+                PerfBand::High => count.high += 1,
+                PerfBand::Intermediate => count.intermediate += 1,
+                PerfBand::Unacceptable => count.unacceptable += 1,
+            }
+        }
+        count
+    }
+
+    /// Total codes counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.high + self.intermediate + self.unacceptable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency_basics() {
+        assert_eq!(speedup(100.0, 10.0), 10.0);
+        assert_eq!(efficiency(16.0, 32), 0.5);
+    }
+
+    #[test]
+    fn thresholds_match_paper_examples() {
+        // P = 32: high at 16, acceptable at 32/(2*5) = 3.2.
+        assert_eq!(high_threshold(32), 16.0);
+        assert!((acceptable_threshold(32) - 3.2).abs() < 1e-12);
+        // P = 8: high at 4, acceptable at 8/6 = 1.333.
+        assert_eq!(high_threshold(8), 4.0);
+        assert!((acceptable_threshold(8) - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(classify(16.0, 32), PerfBand::High);
+        assert_eq!(classify(15.99, 32), PerfBand::Intermediate);
+        assert_eq!(classify(3.2, 32), PerfBand::Intermediate);
+        assert_eq!(classify(3.19, 32), PerfBand::Unacceptable);
+    }
+
+    #[test]
+    fn efficiency_classification_is_consistent() {
+        assert_eq!(classify_efficiency(0.5, 32), PerfBand::High);
+        assert_eq!(classify_efficiency(0.2, 32), PerfBand::Intermediate);
+        assert_eq!(
+            classify_efficiency(0.05, 32),
+            PerfBand::Unacceptable
+        );
+    }
+
+    #[test]
+    fn band_count_census() {
+        let speedups = [20.0, 10.0, 5.0, 1.0, 17.0];
+        let count = BandCount::of_speedups(&speedups, 32);
+        assert_eq!(count.high, 2);
+        assert_eq!(count.intermediate, 2);
+        assert_eq!(count.unacceptable, 1);
+        assert_eq!(count.total(), 5);
+    }
+
+    #[test]
+    fn bands_are_ordered() {
+        assert!(PerfBand::High > PerfBand::Intermediate);
+        assert!(PerfBand::Intermediate > PerfBand::Unacceptable);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PerfBand::High.to_string(), "high");
+        assert_eq!(PerfBand::Unacceptable.to_string(), "unacceptable");
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel time must be positive")]
+    fn zero_time_rejected() {
+        let _ = speedup(1.0, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The Fundamental Principle of Parallel Processing (FPPP).
+//!
+//! §4.3: "**Clock speed is interchangeable with parallelism while (A)
+//! maintaining delivered performance, that is (B) stable over a
+//! certain class of computations.**" A slow-clocked, wide machine
+//! demonstrates the FPPP against a fast-clocked, narrow one if it
+//! delivers comparable rates (A) with comparable stability (B). This
+//! module scores that comparison — the laboratory-level criterion the
+//! paper builds PPT1 and PPT2 from.
+
+use crate::stability::{instability, STABLE_INSTABILITY_BOUND};
+
+/// One machine's side of an FPPP comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineEnsemble {
+    /// Machine name.
+    pub name: String,
+    /// Clock period in nanoseconds.
+    pub clock_ns: f64,
+    /// Processor count.
+    pub processors: usize,
+    /// Delivered rates over the common code ensemble (e.g. MFLOPS).
+    pub rates: Vec<f64>,
+}
+
+impl MachineEnsemble {
+    /// Builds an ensemble record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rates are empty or the clock/processor counts are
+    /// degenerate.
+    #[must_use]
+    pub fn new(name: &str, clock_ns: f64, processors: usize, rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty(), "need at least one rate");
+        assert!(clock_ns > 0.0, "clock period must be positive");
+        assert!(processors > 0, "need processors");
+        MachineEnsemble {
+            name: name.to_owned(),
+            clock_ns,
+            processors,
+            rates,
+        }
+    }
+
+    /// Harmonic-mean delivered rate (the ensemble-level "delivered
+    /// performance" the FPPP's part A compares).
+    #[must_use]
+    pub fn harmonic_mean_rate(&self) -> f64 {
+        let inv: f64 = self.rates.iter().map(|r| 1.0 / r).sum();
+        self.rates.len() as f64 / inv
+    }
+
+    /// Raw parallelism × clock product relative to a 1-processor
+    /// machine at this clock: the "interchangeability budget".
+    #[must_use]
+    pub fn parallelism_clock_product(&self) -> f64 {
+        self.processors as f64 / self.clock_ns
+    }
+}
+
+/// The FPPP verdict for a wide/slow machine against a narrow/fast one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpppVerdict {
+    /// Delivered-rate ratio (wide / narrow), harmonic means.
+    pub delivered_ratio: f64,
+    /// Part A: delivered performance maintained within `tolerance`.
+    pub maintains_performance: bool,
+    /// Instability of the wide machine at the given exception count.
+    pub wide_instability: f64,
+    /// Instability of the narrow machine.
+    pub narrow_instability: f64,
+    /// Part B: the wide machine is at least workstation-stable.
+    pub stable: bool,
+    /// Both parts hold.
+    pub demonstrated: bool,
+}
+
+/// Scores the FPPP: does `wide` (high parallelism, slow clock) match
+/// `narrow` (low parallelism, fast clock) in delivered performance
+/// within `tolerance` (e.g. 0.5 = within 2×), with workstation-level
+/// stability at `exceptions` exclusions?
+///
+/// # Panics
+///
+/// Panics if the ensembles have different lengths (the comparison must
+/// run the same codes) or `tolerance` is not in `(0, 1]`.
+#[must_use]
+pub fn fppp_check(
+    wide: &MachineEnsemble,
+    narrow: &MachineEnsemble,
+    exceptions: usize,
+    tolerance: f64,
+) -> FpppVerdict {
+    assert_eq!(
+        wide.rates.len(),
+        narrow.rates.len(),
+        "ensembles must cover the same codes"
+    );
+    assert!(
+        tolerance > 0.0 && tolerance <= 1.0,
+        "tolerance must be in (0, 1]"
+    );
+    let delivered_ratio = wide.harmonic_mean_rate() / narrow.harmonic_mean_rate();
+    let maintains_performance = delivered_ratio >= tolerance;
+    let wide_instability = instability(&wide.rates, exceptions);
+    let narrow_instability = instability(&narrow.rates, exceptions);
+    let stable = wide_instability <= STABLE_INSTABILITY_BOUND;
+    FpppVerdict {
+        delivered_ratio,
+        maintains_performance,
+        wide_instability,
+        narrow_instability,
+        stable,
+        demonstrated: maintains_performance && stable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn narrow() -> MachineEnsemble {
+        // A YMP-like machine: fast clock, few processors.
+        MachineEnsemble::new("fast-narrow", 6.0, 8, vec![20.0, 25.0, 30.0, 18.0, 22.0])
+    }
+
+    #[test]
+    fn interchangeability_demonstrated_when_both_parts_hold() {
+        let wide = MachineEnsemble::new(
+            "slow-wide",
+            170.0,
+            32,
+            vec![15.0, 18.0, 22.0, 14.0, 17.0],
+        );
+        let v = fppp_check(&wide, &narrow(), 0, 0.5);
+        assert!(v.maintains_performance, "within 2x: {}", v.delivered_ratio);
+        assert!(v.stable, "In = {}", v.wide_instability);
+        assert!(v.demonstrated);
+    }
+
+    #[test]
+    fn unstable_wide_machine_fails_part_b() {
+        let wide = MachineEnsemble::new(
+            "erratic-wide",
+            170.0,
+            32,
+            vec![40.0, 0.5, 35.0, 30.0, 28.0],
+        );
+        let v = fppp_check(&wide, &narrow(), 0, 0.5);
+        assert!(!v.stable);
+        assert!(!v.demonstrated, "instability must veto the FPPP");
+    }
+
+    #[test]
+    fn slow_wide_machine_fails_part_a() {
+        let wide = MachineEnsemble::new("weak-wide", 170.0, 32, vec![2.0, 2.5, 3.0, 2.2, 2.4]);
+        let v = fppp_check(&wide, &narrow(), 0, 0.5);
+        assert!(!v.maintains_performance);
+        assert!(!v.demonstrated);
+    }
+
+    #[test]
+    fn exceptions_can_rescue_stability() {
+        let wide = MachineEnsemble::new(
+            "one-outlier",
+            170.0,
+            32,
+            vec![15.0, 0.5, 18.0, 16.0, 17.0],
+        );
+        assert!(!fppp_check(&wide, &narrow(), 0, 0.5).stable);
+        assert!(fppp_check(&wide, &narrow(), 1, 0.5).stable);
+    }
+
+    #[test]
+    fn parallelism_clock_product() {
+        // 32 CEs at 170 ns vs 8 at 6 ns: the narrow machine has ~7x the
+        // raw budget — which is why Cedar's delivered deficit (the
+        // paper's harmonic-mean ratio of 7.4) is exactly the clock gap,
+        // not a parallelism failure.
+        let wide = MachineEnsemble::new("cedar", 170.0, 32, vec![1.0]);
+        let ratio =
+            narrow().parallelism_clock_product() / wide.parallelism_clock_product();
+        assert!((ratio - 7.08).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same codes")]
+    fn mismatched_ensembles_rejected() {
+        let wide = MachineEnsemble::new("w", 170.0, 32, vec![1.0, 2.0]);
+        let _ = fppp_check(&wide, &narrow(), 0, 0.5);
+    }
+}

@@ -1,0 +1,217 @@
+//! The Practical Parallelism Tests.
+//!
+//! PPT1 (Delivered Performance), PPT2 (Stable Performance), PPT3
+//! (Portability/Programmability — evaluated through restructuring
+//! efficiency, Table 6), and PPT4 (Code and Architecture Scalability).
+//! PPT5 (reimplementability) is a design property the paper defers,
+//! as do we.
+
+use crate::bands::{classify, BandCount, PerfBand};
+use crate::stability::{stability, StabilityReport, STABLE_INSTABILITY_BOUND};
+
+/// PPT1: "The parallel system delivers performance, as measured in
+/// speedup or computational rate, for a useful set of codes." The
+/// paper passes a machine whose ensemble is *on average acceptable* —
+/// delivering at least intermediate parallel performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt1Verdict {
+    /// Band census of the ensemble.
+    pub bands: BandCount,
+    /// Whether the machine passes (no majority of unacceptables, and
+    /// at least one non-unacceptable code).
+    pub passes: bool,
+}
+
+/// Evaluates PPT1 over per-code speedups.
+#[must_use]
+pub fn ppt1(speedups: &[f64], processors: usize) -> Ppt1Verdict {
+    let bands = BandCount::of_speedups(speedups, processors);
+    let acceptable = bands.high + bands.intermediate;
+    Ppt1Verdict {
+        passes: acceptable > bands.unacceptable && acceptable > 0,
+        bands,
+    }
+}
+
+/// PPT2: "The performance demonstrated in Test 1 is within a specified
+/// stability range as the computations vary."
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt2Verdict {
+    /// The stability report at the given exclusion count.
+    pub report: StabilityReport,
+    /// Exclusions used.
+    pub exceptions: usize,
+    /// Whether the machine reaches workstation-level stability
+    /// (In ≤ 5) with those exclusions.
+    pub passes: bool,
+}
+
+/// Evaluates PPT2 over per-code computational rates with `e` allowed
+/// exceptions.
+#[must_use]
+pub fn ppt2(rates: &[f64], e: usize) -> Ppt2Verdict {
+    let report = stability(rates, e);
+    Ppt2Verdict {
+        passes: report.instability <= STABLE_INSTABILITY_BOUND,
+        exceptions: e,
+        report,
+    }
+}
+
+/// One point of a PPT4 scalability study: a (processors, problem
+/// size) cell with its speedup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityPoint {
+    /// Processor count.
+    pub processors: usize,
+    /// Problem size N.
+    pub problem_size: usize,
+    /// Speedup over the serial version.
+    pub speedup: f64,
+}
+
+/// PPT4 verdict over a (P, N) grid: the band reached in every cell,
+/// and the acceptability criterion of §4.3 — High/Intermediate
+/// efficiency plus a size-stability range of
+/// `.5 < St(P, N, 1, 0) ≤ 1` as N varies at fixed P.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt4Verdict {
+    /// Band of each grid point, in input order.
+    pub bands: Vec<(ScalabilityPoint, PerfBand)>,
+    /// Whether any point fell in the unacceptable band.
+    pub any_unacceptable: bool,
+    /// Whether performance is size-stable (per-processor-count rate
+    /// variation within 2× across problem sizes).
+    pub size_stable: bool,
+    /// Scalable with at least this band everywhere.
+    pub overall_band: PerfBand,
+}
+
+/// Evaluates PPT4 over scalability measurements. `rates` gives the
+/// computational rate (e.g. MFLOPS) of each point for the
+/// size-stability check; it must parallel `points`.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length or are empty.
+#[must_use]
+pub fn ppt4(points: &[ScalabilityPoint], rates: &[f64]) -> Ppt4Verdict {
+    assert_eq!(points.len(), rates.len(), "points and rates must pair up");
+    assert!(!points.is_empty(), "need at least one point");
+    let bands: Vec<(ScalabilityPoint, PerfBand)> = points
+        .iter()
+        .map(|&pt| (pt, classify(pt.speedup, pt.processors)))
+        .collect();
+    let any_unacceptable = bands.iter().any(|(_, b)| *b == PerfBand::Unacceptable);
+    // Size stability: at each processor count, min/max rate over N
+    // must stay above 0.5 (instability of 2, the workstation
+    // data-size-variation level the paper cites).
+    let mut size_stable = true;
+    let mut procs: Vec<usize> = points.iter().map(|p| p.processors).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    for p in procs {
+        let rs: Vec<f64> = points
+            .iter()
+            .zip(rates)
+            .filter(|(pt, _)| pt.processors == p)
+            .map(|(_, &r)| r)
+            .collect();
+        if rs.len() >= 2 {
+            let min = rs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = rs.iter().cloned().fold(0.0, f64::max);
+            if min / max <= 0.5 {
+                size_stable = false;
+            }
+        }
+    }
+    let overall_band = bands
+        .iter()
+        .map(|(_, b)| *b)
+        .min()
+        .expect("non-empty grid");
+    Ppt4Verdict {
+        bands,
+        any_unacceptable,
+        size_stable,
+        overall_band,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppt1_passes_intermediate_ensemble() {
+        // Mostly intermediate speedups on 32 processors.
+        let speedups = [10.0, 8.0, 5.0, 4.0, 20.0, 2.0];
+        let v = ppt1(&speedups, 32);
+        assert!(v.passes);
+        assert_eq!(v.bands.high, 1);
+        assert_eq!(v.bands.unacceptable, 1);
+    }
+
+    #[test]
+    fn ppt1_fails_mostly_unacceptable() {
+        let speedups = [1.0, 2.0, 1.5, 20.0];
+        let v = ppt1(&speedups, 32);
+        assert!(!v.passes);
+    }
+
+    #[test]
+    fn ppt2_with_exceptions() {
+        // SPICE-like poor performer plus a star performer.
+        let rates = [0.5, 6.9, 8.2, 9.2, 11.2, 31.7];
+        assert!(!ppt2(&rates, 0).passes, "raw ensemble unstable");
+        let with_two = ppt2(&rates, 2);
+        assert!(with_two.passes, "two exceptions suffice here");
+        assert_eq!(with_two.exceptions, 2);
+    }
+
+    #[test]
+    fn ppt4_grid_bands_and_size_stability() {
+        let points = vec![
+            ScalabilityPoint { processors: 32, problem_size: 10_000, speedup: 17.0 },
+            ScalabilityPoint { processors: 32, problem_size: 172_000, speedup: 20.0 },
+            ScalabilityPoint { processors: 8, problem_size: 10_000, speedup: 5.0 },
+        ];
+        let rates = vec![34.0, 48.0, 20.0];
+        let v = ppt4(&points, &rates);
+        assert!(!v.any_unacceptable);
+        assert_eq!(v.bands[0].1, PerfBand::High);
+        assert_eq!(v.overall_band, PerfBand::High);
+        assert!(v.size_stable, "34/48 = 0.71 > 0.5");
+    }
+
+    #[test]
+    fn ppt4_flags_size_instability() {
+        let points = vec![
+            ScalabilityPoint { processors: 32, problem_size: 1_000, speedup: 16.5 },
+            ScalabilityPoint { processors: 32, problem_size: 172_000, speedup: 20.0 },
+        ];
+        let rates = vec![10.0, 48.0]; // 10/48 < 0.5
+        let v = ppt4(&points, &rates);
+        assert!(!v.size_stable);
+    }
+
+    #[test]
+    fn ppt4_overall_band_is_the_weakest_cell() {
+        let points = vec![
+            ScalabilityPoint { processors: 32, problem_size: 1_000, speedup: 5.0 },
+            ScalabilityPoint { processors: 32, problem_size: 172_000, speedup: 20.0 },
+        ];
+        let rates = vec![30.0, 48.0];
+        let v = ppt4(&points, &rates);
+        assert_eq!(v.overall_band, PerfBand::Intermediate);
+    }
+
+    #[test]
+    #[should_panic(expected = "must pair up")]
+    fn ppt4_mismatched_inputs_rejected() {
+        let _ = ppt4(
+            &[ScalabilityPoint { processors: 8, problem_size: 1, speedup: 1.0 }],
+            &[],
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Stability and instability over an ensemble of computations.
+//!
+//! "We now define stability, St, on P processors of an ensemble of
+//! computations over K codes as follows:
+//! St(P, Nᵢ, K, e) = min performance(K, e) / max performance(K, e),
+//! where … e computations are excluded from the ensemble because their
+//! results are outliers … Instability, In, is defined as the inverse
+//! of Stability."
+//!
+//! Excluded computations are chosen to *maximize* stability (that is
+//! what "outlier" means operationally: the e codes whose removal most
+//! tightens the ensemble). For a sorted ensemble the optimum always
+//! removes a prefix and/or suffix, so the exact optimum is found by
+//! scanning the e+1 prefix/suffix splits.
+//!
+//! "We will define a system as *stable* if 1/5 < St(K, e) for small e,
+//! and as unstable otherwise" — the workstation-level instability of
+//! about 5 observed from the VAX 780 through modern workstations.
+
+/// The workstation-level instability bound: systems with In ≤ 5 are
+/// stable in the paper's sense.
+pub const STABLE_INSTABILITY_BOUND: f64 = 5.0;
+
+/// Outcome of a stability computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityReport {
+    /// St = min/max over the retained ensemble.
+    pub stability: f64,
+    /// In = 1/St.
+    pub instability: f64,
+    /// Values dropped from the low end.
+    pub dropped_low: Vec<f64>,
+    /// Values dropped from the high end.
+    pub dropped_high: Vec<f64>,
+}
+
+impl StabilityReport {
+    /// Whether the system is stable by the workstation criterion.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.instability <= STABLE_INSTABILITY_BOUND
+    }
+}
+
+/// Computes St(·, K, e): the best achievable min/max ratio after
+/// excluding `e` outliers.
+///
+/// # Panics
+///
+/// Panics if fewer than `e + 2` values remain to form a ratio, or if
+/// any performance value is not strictly positive.
+#[must_use]
+pub fn stability(performances: &[f64], e: usize) -> StabilityReport {
+    assert!(
+        performances.len() >= e + 2,
+        "need at least e+2 = {} values, got {}",
+        e + 2,
+        performances.len()
+    );
+    assert!(
+        performances.iter().all(|&p| p > 0.0 && p.is_finite()),
+        "performances must be positive and finite"
+    );
+    let mut sorted = performances.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let k = sorted.len();
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for low in 0..=e {
+        let high = e - low;
+        let ratio = sorted[low] / sorted[k - 1 - high];
+        if ratio > best.1 {
+            best = (low, ratio);
+        }
+    }
+    let (low, ratio) = best;
+    let high = e - low;
+    StabilityReport {
+        stability: ratio,
+        instability: 1.0 / ratio,
+        dropped_low: sorted[..low].to_vec(),
+        dropped_high: sorted[k - high..].to_vec(),
+    }
+}
+
+/// Convenience: the instability In(K, e).
+#[must_use]
+pub fn instability(performances: &[f64], e: usize) -> f64 {
+    stability(performances, e).instability
+}
+
+/// The smallest number of exclusions that brings the ensemble to
+/// workstation-level stability (In ≤ 5), or `None` if even dropping
+/// all but two cannot.
+#[must_use]
+pub fn exceptions_to_stability(performances: &[f64]) -> Option<usize> {
+    (0..=performances.len().saturating_sub(2))
+        .find(|&e| instability(performances, e) <= STABLE_INSTABILITY_BOUND)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ensemble_is_perfectly_stable() {
+        let r = stability(&[3.0, 3.0, 3.0], 0);
+        assert_eq!(r.stability, 1.0);
+        assert_eq!(r.instability, 1.0);
+        assert!(r.is_stable());
+    }
+
+    #[test]
+    fn instability_is_max_over_min() {
+        let r = stability(&[1.0, 2.0, 10.0], 0);
+        assert_eq!(r.instability, 10.0);
+        assert!(!r.is_stable());
+    }
+
+    #[test]
+    fn exclusions_pick_the_best_side() {
+        // One terrible outlier: dropping it from the low side is best.
+        let perf = [0.1, 5.0, 6.0, 7.0];
+        let r = stability(&perf, 1);
+        assert_eq!(r.dropped_low, vec![0.1]);
+        assert!(r.dropped_high.is_empty());
+        assert!((r.instability - 7.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusions_split_both_sides_when_optimal() {
+        // One low and one high outlier: e = 2 should drop one each.
+        let perf = [0.1, 4.0, 5.0, 6.0, 100.0];
+        let r = stability(&perf, 2);
+        assert_eq!(r.dropped_low, vec![0.1]);
+        assert_eq!(r.dropped_high, vec![100.0]);
+        assert!((r.instability - 6.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusion_result_beats_all_alternatives() {
+        // Exhaustive cross-check on a small ensemble.
+        let perf = [0.5, 1.0, 3.0, 9.0, 12.0, 40.0];
+        let e = 2;
+        let best = stability(&perf, e).stability;
+        // Brute force: all C(6,2) exclusion pairs.
+        let mut brute = f64::NEG_INFINITY;
+        for i in 0..perf.len() {
+            for j in i + 1..perf.len() {
+                let kept: Vec<f64> = perf
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != i && k != j)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let min = kept.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = kept.iter().cloned().fold(0.0, f64::max);
+                brute = brute.max(min / max);
+            }
+        }
+        assert!((best - brute).abs() < 1e-12, "prefix/suffix scan must be optimal");
+    }
+
+    #[test]
+    fn workstation_level_example() {
+        // Instability ~5 is the historical workstation level: stable.
+        let perf = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = stability(&perf, 0);
+        assert_eq!(r.instability, 5.0);
+        assert!(r.is_stable());
+    }
+
+    #[test]
+    fn exceptions_to_stability_counts_minimum() {
+        // 100 and 0.1 both need to go before In <= 5.
+        let perf = [0.1, 1.0, 2.0, 4.0, 100.0];
+        assert_eq!(exceptions_to_stability(&perf), Some(2));
+        let stable = [1.0, 2.0, 3.0];
+        assert_eq!(exceptions_to_stability(&stable), Some(0));
+    }
+
+    #[test]
+    fn exceptions_none_when_hopeless() {
+        // Only two values, wildly apart, no room to drop any.
+        assert_eq!(exceptions_to_stability(&[1.0, 1000.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_performance_rejected() {
+        let _ = stability(&[1.0, 0.0, 2.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_many_exclusions_rejected() {
+        let _ = stability(&[1.0, 2.0, 3.0], 2);
+    }
+}

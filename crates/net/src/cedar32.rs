@@ -1,0 +1,474 @@
+//! The production 32×32 network variant with dual links.
+//!
+//! The shipped Cedar network was not a regular 64-position omega: it
+//! was a 32×32 two-stage network built from the same 8×8 crossbars,
+//! four switches per stage, with **two parallel links** between every
+//! first-stage/second-stage switch pair (8 outputs ÷ 4 destination
+//! switches). A packet's first hop may take either link — chosen
+//! adaptively by queue occupancy — which gives the path diversity the
+//! regular omega lacks and softens head-of-line blocking.
+//!
+//! [`DualLinkNetwork`] models that variant;
+//! [`run_dual_link_experiment`] drives it closed-loop, and the
+//! `fidelity32` bench compares it against the regular omega to
+//! quantify what the main model's simplification costs.
+
+use std::collections::VecDeque;
+
+use crate::packet::{Packet, Word};
+
+/// Ports on each side (32 CEs in, 32 memory modules out).
+pub const PORTS: usize = 32;
+/// Switches per stage.
+const SWITCHES: usize = 4;
+/// Crossbar radix.
+const RADIX: usize = 8;
+/// Parallel links between each switch pair.
+const LINKS: usize = 2;
+
+/// One buffered port queue.
+type PortQueue = VecDeque<Word>;
+
+/// An 8×8 crossbar with adaptive output choice: a head word routed to
+/// a destination switch may take either of its two links, preferring
+/// the emptier queue.
+#[derive(Debug)]
+struct AdaptiveSwitch {
+    inputs: Vec<PortQueue>,
+    outputs: Vec<PortQueue>,
+    queue_words: usize,
+    /// Wormhole locks: input → output while mid-packet.
+    input_lock: Vec<Option<usize>>,
+    /// Output → (input, packet id) while mid-packet.
+    output_lock: Vec<Option<(usize, crate::packet::PacketId)>>,
+    rr_next: Vec<usize>,
+    /// Whether this is the final stage (route by `dest % 8`) or the
+    /// first (route adaptively to switch `dest / 8`).
+    is_final: bool,
+}
+
+impl AdaptiveSwitch {
+    fn new(queue_words: usize, is_final: bool) -> Self {
+        AdaptiveSwitch {
+            inputs: (0..RADIX).map(|_| VecDeque::new()).collect(),
+            outputs: (0..RADIX).map(|_| VecDeque::new()).collect(),
+            queue_words,
+            input_lock: vec![None; RADIX],
+            output_lock: vec![None; RADIX],
+            rr_next: vec![0; RADIX],
+            is_final,
+        }
+    }
+
+    fn can_accept(&self, input: usize) -> bool {
+        self.inputs[input].len() < self.queue_words
+    }
+
+    fn try_accept(&mut self, input: usize, word: Word) -> bool {
+        if self.can_accept(input) {
+            self.inputs[input].push_back(word);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The output ports a head word may use from this switch.
+    fn candidate_outputs(&self, dest: usize) -> Vec<usize> {
+        if self.is_final {
+            vec![dest % RADIX]
+        } else {
+            let target_switch = dest / RADIX;
+            (0..LINKS).map(|l| target_switch * LINKS + l).collect()
+        }
+    }
+
+    /// One cycle of internal transfer with adaptive link choice.
+    fn transfer(&mut self) {
+        // Continuations first: locked outputs pull from their inputs.
+        for output in 0..RADIX {
+            if self.outputs[output].len() >= self.queue_words {
+                continue;
+            }
+            let Some((input, locked_id)) = self.output_lock[output] else {
+                continue;
+            };
+            let Some(&word) = self.inputs[input].front() else {
+                continue;
+            };
+            debug_assert_eq!(word.packet.id, locked_id, "wormhole violation");
+            self.inputs[input].pop_front();
+            if word.is_tail() {
+                self.input_lock[input] = None;
+                self.output_lock[output] = None;
+            }
+            self.outputs[output].push_back(word);
+        }
+        // New head words: round-robin over inputs, adaptive over links.
+        let start = self.rr_next[0];
+        for offset in 0..RADIX {
+            let input = (start + offset) % RADIX;
+            if self.input_lock[input].is_some() {
+                continue;
+            }
+            let Some(&word) = self.inputs[input].front() else {
+                continue;
+            };
+            if !word.is_head() {
+                continue;
+            }
+            // Pick the candidate output with the most room that is
+            // unlocked; skip if none available this cycle.
+            let output = self
+                .candidate_outputs(word.packet.dest)
+                .into_iter()
+                .filter(|&o| {
+                    self.output_lock[o].is_none() && self.outputs[o].len() < self.queue_words
+                })
+                .min_by_key(|&o| self.outputs[o].len());
+            let Some(output) = output else { continue };
+            self.inputs[input].pop_front();
+            if !word.is_tail() {
+                self.input_lock[input] = Some(output);
+                self.output_lock[output] = Some((input, word.packet.id));
+            }
+            self.outputs[output].push_back(word);
+        }
+        self.rr_next[0] = (start + 1) % RADIX;
+    }
+}
+
+/// The dual-link 32×32 network.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_net::cedar32::DualLinkNetwork;
+/// use cedar_net::packet::Packet;
+///
+/// let mut net = DualLinkNetwork::new(2);
+/// assert!(net.try_inject(Packet::request(3, 17, 1)));
+/// for _ in 0..20 {
+///     net.step();
+/// }
+/// let (word, _) = net.pop_output(17).expect("delivered");
+/// assert_eq!(word.packet.dest, 17);
+/// ```
+#[derive(Debug)]
+pub struct DualLinkNetwork {
+    stage0: Vec<AdaptiveSwitch>,
+    stage1: Vec<AdaptiveSwitch>,
+    inject_fifo: Vec<VecDeque<Word>>,
+    exit_fifo: Vec<VecDeque<(Word, u64)>>,
+    exit_capacity: usize,
+    now: u64,
+}
+
+impl DualLinkNetwork {
+    /// Builds an idle network with the given per-port queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_words` is zero.
+    #[must_use]
+    pub fn new(queue_words: usize) -> Self {
+        assert!(queue_words > 0, "queues must hold at least one word");
+        DualLinkNetwork {
+            stage0: (0..SWITCHES).map(|_| AdaptiveSwitch::new(queue_words, false)).collect(),
+            stage1: (0..SWITCHES).map(|_| AdaptiveSwitch::new(queue_words, true)).collect(),
+            inject_fifo: (0..PORTS).map(|_| VecDeque::new()).collect(),
+            exit_fifo: (0..PORTS).map(|_| VecDeque::new()).collect(),
+            exit_capacity: queue_words,
+            now: 0,
+        }
+    }
+
+    /// Current time in network cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Queues a packet at its source port (8-word source FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ports are out of range.
+    pub fn try_inject(&mut self, packet: Packet) -> bool {
+        assert!(packet.src < PORTS && packet.dest < PORTS, "port out of range");
+        let fifo = &mut self.inject_fifo[packet.src];
+        if fifo.len() + packet.words as usize > crate::network::INJECT_FIFO_WORDS {
+            return false;
+        }
+        fifo.extend(Word::of_packet(packet));
+        true
+    }
+
+    /// Advances one network cycle (two per CE cycle, as in the omega
+    /// model).
+    pub fn step(&mut self) {
+        self.now += 1;
+        // Exit: stage-1 outputs → exit FIFOs (bounded: backpressure).
+        for sw in 0..SWITCHES {
+            for port in 0..RADIX {
+                let pos = sw * RADIX + port;
+                if self.exit_fifo[pos].len() >= self.exit_capacity {
+                    continue;
+                }
+                if let Some(word) = self.stage1[sw].outputs[port].pop_front() {
+                    self.exit_fifo[pos].push_back((word, self.now));
+                }
+            }
+        }
+        // Links: stage-0 outputs → stage-1 inputs. Output `o` of
+        // stage-0 switch `s` is link `o % LINKS` to stage-1 switch
+        // `o / LINKS`; it lands on that switch's input `s*LINKS + o%LINKS`.
+        for s in 0..SWITCHES {
+            for o in 0..RADIX {
+                let target = o / LINKS;
+                let input = s * LINKS + o % LINKS;
+                if self.stage0[s].outputs[o].front().is_some()
+                    && self.stage1[target].can_accept(input)
+                {
+                    let word = self.stage0[s].outputs[o].pop_front().expect("peeked");
+                    let ok = self.stage1[target].try_accept(input, word);
+                    debug_assert!(ok);
+                }
+            }
+        }
+        // Internal transfers.
+        for sw in &mut self.stage1 {
+            sw.transfer();
+        }
+        for sw in &mut self.stage0 {
+            sw.transfer();
+        }
+        // Injection, gated to CE-cycle boundaries (every 2 net cycles).
+        if self.now.is_multiple_of(2) {
+            for src in 0..PORTS {
+                let Some(&word) = self.inject_fifo[src].front() else {
+                    continue;
+                };
+                let (sw, input) = (src / RADIX, src % RADIX);
+                if self.stage0[sw].try_accept(input, word) {
+                    self.inject_fifo[src].pop_front();
+                }
+            }
+        }
+    }
+
+    /// Consumes the oldest word at output `pos` with its exit time.
+    pub fn pop_output(&mut self, pos: usize) -> Option<(Word, u64)> {
+        self.exit_fifo[pos].pop_front()
+    }
+
+    /// Peeks the oldest word at output `pos`.
+    #[must_use]
+    pub fn peek_output(&self, pos: usize) -> Option<&(Word, u64)> {
+        self.exit_fifo[pos].front()
+    }
+}
+
+/// Outcome of the side-by-side fidelity experiment (one network).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityPoint {
+    /// Active CEs.
+    pub ces: usize,
+    /// Mean first-word round-trip latency in CE cycles (with the same
+    /// +2.5-cycle port offset the main fabric applies).
+    pub latency: f64,
+    /// Mean interarrival in CE cycles.
+    pub interarrival: f64,
+}
+
+/// Runs a compact closed-loop read experiment on the dual-link
+/// network: `ces` CEs each fetch `blocks` 32-word blocks (one block in
+/// flight, random base module per block), with the 32 memory modules
+/// on the output side at the Cedar service rate.
+#[must_use]
+pub fn run_dual_link_experiment(ces: usize, blocks: u32, queue_words: usize) -> FidelityPoint {
+    assert!(ces <= PORTS, "at most 32 CEs");
+    let mut forward = DualLinkNetwork::new(queue_words);
+    let mut reverse = DualLinkNetwork::new(queue_words);
+    let mut rng = cedar_sim::rng::SplitMix64::new(0xCEDA32);
+    // Per-CE state.
+    let block_len = 32u32;
+    let mut next_index = vec![0u32; ces];
+    let mut next_block = vec![0u32; ces];
+    let mut returned_in_block = vec![0u32; ces];
+    let mut base = vec![0usize; ces];
+    let mut issue_time = vec![vec![0u64; (blocks * block_len) as usize]; ces];
+    let mut latencies = Vec::new();
+    let mut inter = Vec::new();
+    let mut last_ret = vec![None::<u64>; ces];
+    // Modules.
+    let service = 4u64;
+    let mut busy_until = vec![0u64; PORTS];
+    let mut pending: Vec<VecDeque<Packet>> = (0..PORTS).map(|_| VecDeque::new()).collect();
+    let mut outgoing: Vec<Option<Packet>> = vec![None; PORTS];
+    let total = ces as u64 * u64::from(blocks) * u64::from(block_len);
+    let mut done = 0u64;
+    let mut now = 0u64;
+    while done < total && now < 64_000_000 {
+        now += 1;
+        forward.step();
+        reverse.step();
+        // Modules consume requests and emit replies.
+        for m in 0..PORTS {
+            if pending[m].len() < 2 {
+                if let Some(&(word, _)) = forward.peek_output(m) {
+                    pending[m].push_back(word.packet);
+                    forward.pop_output(m);
+                }
+            }
+            if let Some(reply) = outgoing[m].take() {
+                if !reverse.try_inject(reply) {
+                    outgoing[m] = Some(reply);
+                    continue;
+                }
+            }
+            if now >= busy_until[m] {
+                if let Some(req) = pending[m].pop_front() {
+                    busy_until[m] = now + service;
+                    outgoing[m] = req.reply();
+                }
+            }
+        }
+        // CE side on CE boundaries.
+        if now.is_multiple_of(2) {
+            for ce in 0..ces {
+                // Absorb replies.
+                while let Some((word, at)) = reverse.pop_output(ce) {
+                    let local = (word.packet.id.0 & 0xFFFF_FFFF) as usize;
+                    let lat = (at - issue_time[ce][local]) as f64 / 2.0 + 2.5;
+                    let in_block = local as u32 % block_len;
+                    if in_block == 0 {
+                        latencies.push(lat);
+                        last_ret[ce] = Some(at);
+                    } else if let Some(prev) = last_ret[ce] {
+                        inter.push((at.saturating_sub(prev)) as f64 / 2.0);
+                        last_ret[ce] = Some(at);
+                    }
+                    returned_in_block[ce] += 1;
+                    if returned_in_block[ce] == block_len {
+                        returned_in_block[ce] = 0;
+                        last_ret[ce] = None;
+                    }
+                    done += 1;
+                }
+                // Issue next request (one block in flight).
+                if next_block[ce] >= blocks {
+                    continue;
+                }
+                // Gate: start a block only when the previous drained.
+                if next_index[ce] == 0 && returned_in_block[ce] != 0 {
+                    continue;
+                }
+                if next_index[ce] == 0 {
+                    base[ce] = rng.next_below(PORTS as u64) as usize;
+                }
+                let local = next_block[ce] * block_len + next_index[ce];
+                let module = (base[ce] + next_index[ce] as usize) % PORTS;
+                let packet = Packet::new(
+                    crate::packet::PacketId(((ce as u64) << 40) | u64::from(local)),
+                    ce,
+                    module,
+                    1,
+                    crate::packet::PacketKind::ReadRequest,
+                );
+                if forward.try_inject(packet) {
+                    issue_time[ce][local as usize] = now;
+                    next_index[ce] += 1;
+                    if next_index[ce] == block_len {
+                        next_index[ce] = 0;
+                        next_block[ce] += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    FidelityPoint {
+        ces,
+        latency: mean(&latencies),
+        interarrival: mean(&inter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pair_routes() {
+        for src in 0..PORTS {
+            for dest in (0..PORTS).step_by(5) {
+                let mut net = DualLinkNetwork::new(2);
+                net.try_inject(Packet::request(src, dest, 1));
+                let mut delivered = false;
+                for _ in 0..60 {
+                    net.step();
+                    if let Some((word, _)) = net.pop_output(dest) {
+                        assert_eq!(word.packet.dest, dest);
+                        delivered = true;
+                        break;
+                    }
+                }
+                assert!(delivered, "{src} -> {dest} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_links_split_contention() {
+        // Eight packets from one first-stage switch to one second-stage
+        // switch: with two links they drain roughly twice as fast as a
+        // single serialized link could.
+        let mut net = DualLinkNetwork::new(4);
+        for src in 0..8 {
+            // All to switch 1 (outputs 8..16), distinct final ports.
+            net.try_inject(Packet::request(src, 8 + src, src as u64));
+        }
+        let mut exits = Vec::new();
+        for _ in 0..100 {
+            net.step();
+            for dest in 8..16 {
+                if let Some((_, at)) = net.pop_output(dest) {
+                    exits.push(at);
+                }
+            }
+        }
+        assert_eq!(exits.len(), 8);
+        let span = exits.iter().max().unwrap() - exits.iter().min().unwrap();
+        assert!(
+            span <= 8,
+            "two links should move 8 packets in ~4 pair-cycles, span {span}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_experiment_runs_to_completion() {
+        let p = run_dual_link_experiment(8, 4, 2);
+        assert!(p.latency > 7.0, "latency {}", p.latency);
+        assert!(p.interarrival >= 0.99, "interarrival {}", p.interarrival);
+    }
+
+    #[test]
+    fn contention_grows_but_less_than_double_queueing() {
+        let p8 = run_dual_link_experiment(8, 8, 2);
+        let p32 = run_dual_link_experiment(32, 8, 2);
+        assert!(
+            p32.latency > p8.latency,
+            "32 CEs must see more latency: {} vs {}",
+            p32.latency,
+            p8.latency
+        );
+        assert!(p32.interarrival > p8.interarrival);
+    }
+}

@@ -1,0 +1,165 @@
+//! Network configuration parameters.
+
+/// Parameters of one unidirectional omega network.
+///
+/// The defaults in [`NetworkConfig::cedar`] are taken from the paper:
+/// 8×8 crossbar switches, two-word queues on every input and output
+/// port, and enough stages to span the machine's ports.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_net::config::NetworkConfig;
+///
+/// let cfg = NetworkConfig::cedar();
+/// assert_eq!(cfg.radix, 8);
+/// assert_eq!(cfg.stages, 2);
+/// assert_eq!(cfg.ports(), 64);
+/// assert_eq!(cfg.queue_words, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Crossbar radix (ports per switch). Cedar: 8.
+    pub radix: usize,
+    /// Number of switch stages. Cedar: 2 (64 network positions for the
+    /// 32 CEs and 32 memory-module ports).
+    pub stages: usize,
+    /// Capacity of each input and each output queue, in 64-bit words.
+    /// Cedar: 2. The \[Turn93\] ablation deepens this.
+    pub queue_words: usize,
+    /// Network clock cycles per CE instruction cycle. Cedar's switch
+    /// clock ran faster than the 170 ns CE cycle; 2 reproduces the
+    /// paper's minimum latencies.
+    pub net_cycles_per_ce_cycle: u64,
+    /// Capacity in words of the buffer at each network *exit* port
+    /// (the consumer-side input buffer). When it fills, the final
+    /// switch stage backs up — this is how memory-module congestion
+    /// propagates into the network and produces tree saturation.
+    pub exit_fifo_words: usize,
+}
+
+impl NetworkConfig {
+    /// The Cedar production configuration.
+    #[must_use]
+    pub fn cedar() -> Self {
+        NetworkConfig {
+            radix: 8,
+            stages: 2,
+            queue_words: 2,
+            net_cycles_per_ce_cycle: 2,
+            exit_fifo_words: 2,
+        }
+    }
+
+    /// A Cedar-like network with deeper queues, for the \[Turn93\]
+    /// ablation showing that the latency degradation of Table 2 is an
+    /// implementation constraint, not inherent to omega networks.
+    #[must_use]
+    pub fn cedar_with_queue_words(queue_words: usize) -> Self {
+        NetworkConfig {
+            queue_words,
+            ..NetworkConfig::cedar()
+        }
+    }
+
+    /// Total network positions: `radix ^ stages`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cedar_net::config::NetworkConfig;
+    /// assert_eq!(NetworkConfig::cedar().ports(), 64);
+    /// ```
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.radix.pow(self.stages as u32)
+    }
+
+    /// Switches per stage: `ports / radix`.
+    #[must_use]
+    pub fn switches_per_stage(&self) -> usize {
+        self.ports() / self.radix
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint if the radix
+    /// is not a power of two ≥ 2, there are no stages, or a queue
+    /// cannot hold at least one word.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.radix < 2 || !self.radix.is_power_of_two() {
+            return Err(format!(
+                "radix must be a power of two >= 2, got {}",
+                self.radix
+            ));
+        }
+        if self.stages == 0 {
+            return Err("network needs at least one stage".to_owned());
+        }
+        if self.queue_words == 0 {
+            return Err("queues must hold at least one word".to_owned());
+        }
+        if self.net_cycles_per_ce_cycle == 0 {
+            return Err("network clock ratio must be nonzero".to_owned());
+        }
+        if self.exit_fifo_words == 0 {
+            return Err("exit buffers must hold at least one word".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::cedar()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cedar_defaults_match_paper() {
+        let cfg = NetworkConfig::cedar();
+        assert_eq!(cfg.radix, 8, "8x8 crossbar switches");
+        assert_eq!(cfg.queue_words, 2, "two word queue per port");
+        assert_eq!(cfg.ports(), 64);
+        assert_eq!(cfg.switches_per_stage(), 8);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn ablation_config_only_changes_queues() {
+        let deep = NetworkConfig::cedar_with_queue_words(16);
+        assert_eq!(deep.queue_words, 16);
+        assert_eq!(deep.radix, NetworkConfig::cedar().radix);
+        deep.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut cfg = NetworkConfig::cedar();
+        cfg.radix = 3;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = NetworkConfig::cedar();
+        cfg.stages = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = NetworkConfig::cedar();
+        cfg.queue_words = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = NetworkConfig::cedar();
+        cfg.net_cycles_per_ce_cycle = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_cedar() {
+        assert_eq!(NetworkConfig::default(), NetworkConfig::cedar());
+    }
+}

@@ -1,0 +1,473 @@
+//! One unidirectional omega network assembled from crossbar stages.
+//!
+//! Words advance one switch per network cycle: each [`step`] performs
+//! inter-stage link transfers (oldest stage first, so a word never
+//! teleports through the whole network in one cycle), then internal
+//! crossbar switching, then injection from the per-port source FIFOs.
+//! Injection is gated to the CE clock (one word per CE cycle per
+//! port), modelling the processor-side interface running at the
+//! slower 170 ns instruction clock.
+//!
+//! [`step`]: OmegaNetwork::step
+
+use std::collections::VecDeque;
+
+use crate::config::NetworkConfig;
+use crate::packet::{Packet, Word};
+use crate::switch::Crossbar;
+use crate::topology::{Hop, Topology};
+
+/// Capacity of the per-port injection FIFO, in words. This models the
+/// small buffer between a CE (or memory module) and its network port;
+/// sources see backpressure through [`OmegaNetwork::try_inject`].
+pub const INJECT_FIFO_WORDS: usize = 8;
+
+/// A packet that has fully exited the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The delivered packet.
+    pub packet: Packet,
+    /// Network cycle at which the head word exited.
+    pub head_exit: u64,
+    /// Network cycle at which the tail word exited.
+    pub tail_exit: u64,
+}
+
+/// Progress of a packet's words through the final output.
+#[derive(Debug, Clone, Copy)]
+struct ExitProgress {
+    packet: Packet,
+    head_exit: u64,
+    words_seen: u8,
+}
+
+/// One unidirectional multistage shuffle-exchange network.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct OmegaNetwork {
+    cfg: NetworkConfig,
+    topo: Topology,
+    stages: Vec<Vec<Crossbar>>,
+    inject_fifo: Vec<VecDeque<Word>>,
+    /// Words that exited but have not been consumed yet, per output
+    /// position. The consumer (memory module or CE interface) pops at
+    /// its own rate; this queue is bounded by the switch output queue
+    /// upstream, so it holds at most one word added per cycle and is
+    /// drained by `pop_output`.
+    exit_fifo: Vec<VecDeque<(Word, u64)>>,
+    exit_progress: Vec<Option<ExitProgress>>,
+    delivered: Vec<Delivery>,
+    now: u64,
+    words_injected: u64,
+    words_exited: u64,
+}
+
+impl OmegaNetwork {
+    /// Builds an idle network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NetworkConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: NetworkConfig) -> Self {
+        cfg.validate().expect("invalid network configuration");
+        let topo = Topology::new(cfg.radix, cfg.stages);
+        let stages = (0..cfg.stages)
+            .map(|s| {
+                (0..topo.switches_per_stage())
+                    .map(|_| Crossbar::new(cfg.radix, cfg.queue_words, s))
+                    .collect()
+            })
+            .collect();
+        let ports = topo.ports();
+        OmegaNetwork {
+            cfg,
+            topo,
+            stages,
+            inject_fifo: (0..ports).map(|_| VecDeque::new()).collect(),
+            exit_fifo: (0..ports).map(|_| VecDeque::new()).collect(),
+            exit_progress: vec![None; ports],
+            delivered: Vec::new(),
+            now: 0,
+            words_injected: 0,
+            words_exited: 0,
+        }
+    }
+
+    /// The network's topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration this network was built with.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time in network cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Queues a packet for injection at its source port. Returns
+    /// `false` without queueing if the port's injection FIFO lacks
+    /// room for the whole packet — the source must retry later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's source or destination port is out of
+    /// range.
+    pub fn try_inject(&mut self, packet: Packet) -> bool {
+        assert!(packet.src < self.topo.ports(), "src out of range");
+        assert!(packet.dest < self.topo.ports(), "dest out of range");
+        let fifo = &mut self.inject_fifo[packet.src];
+        if fifo.len() + packet.words as usize > INJECT_FIFO_WORDS {
+            return false;
+        }
+        fifo.extend(Word::of_packet(packet));
+        true
+    }
+
+    /// Words waiting in the injection FIFO of `port`.
+    #[must_use]
+    pub fn inject_backlog(&self, port: usize) -> usize {
+        self.inject_fifo[port].len()
+    }
+
+    /// Advances the network by one network cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        self.collect_exits();
+        self.link_transfers();
+        for stage in &mut self.stages {
+            for sw in stage {
+                sw.transfer(&self.topo);
+            }
+        }
+        self.injection();
+    }
+
+    /// Moves words from final-stage switch outputs to the exit FIFOs
+    /// (one word per output position per cycle). A full exit buffer
+    /// refuses the word, backing the final stage up — the consumer's
+    /// congestion thereby propagates into the network.
+    fn collect_exits(&mut self) {
+        let last = self.cfg.stages - 1;
+        let radix = self.cfg.radix;
+        for sw_idx in 0..self.topo.switches_per_stage() {
+            for out_port in 0..radix {
+                let pos = match self.topo.next_hop(last, sw_idx, out_port) {
+                    Hop::Output(p) => p,
+                    Hop::Switch { .. } => unreachable!("last stage exits the network"),
+                };
+                if self.exit_fifo[pos].len() >= self.cfg.exit_fifo_words {
+                    continue;
+                }
+                if let Some(word) = self.stages[last][sw_idx].pop_output(out_port) {
+                    self.exit_fifo[pos].push_back((word, self.now));
+                    self.words_exited += 1;
+                }
+            }
+        }
+    }
+
+    /// Inter-stage link transfers, earliest stage first so that a word
+    /// moves at most one switch per cycle (its arrival at stage `s+1`
+    /// happens before stage `s+1`'s internal transfer this cycle,
+    /// giving one full switch traversal per cycle).
+    fn link_transfers(&mut self) {
+        let radix = self.cfg.radix;
+        for s in (0..self.cfg.stages - 1).rev() {
+            for sw_idx in 0..self.topo.switches_per_stage() {
+                for out_port in 0..radix {
+                    let Hop::Switch {
+                        switch: next_sw,
+                        input: next_in,
+                    } = self.topo.next_hop(s, sw_idx, out_port)
+                    else {
+                        unreachable!("non-final stage feeds a switch");
+                    };
+                    let can_move = self.stages[s][sw_idx].peek_output(out_port).is_some()
+                        && self.stages[s + 1][next_sw].can_accept(next_in);
+                    if can_move {
+                        let word = self.stages[s][sw_idx]
+                            .pop_output(out_port)
+                            .expect("peeked word");
+                        let accepted = self.stages[s + 1][next_sw].try_accept(next_in, word);
+                        debug_assert!(accepted, "can_accept said there was space");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves at most one word per port from the injection FIFOs into
+    /// the stage-0 input queues, only on CE-cycle boundaries.
+    fn injection(&mut self) {
+        if !self.now.is_multiple_of(self.cfg.net_cycles_per_ce_cycle) {
+            return;
+        }
+        for src in 0..self.topo.ports() {
+            let Some(&word) = self.inject_fifo[src].front() else {
+                continue;
+            };
+            let (sw_idx, input) = self.topo.injection_switch(src);
+            if self.stages[0][sw_idx].try_accept(input, word) {
+                self.inject_fifo[src].pop_front();
+                self.words_injected += 1;
+            }
+        }
+    }
+
+    /// The oldest unconsumed word at network output `pos`, with its
+    /// exit cycle, without removing it.
+    #[must_use]
+    pub fn peek_output(&self, pos: usize) -> Option<&(Word, u64)> {
+        self.exit_fifo[pos].front()
+    }
+
+    /// Consumes the oldest word at network output `pos`. Packet
+    /// completions are tracked and surface via [`drain_delivered`].
+    ///
+    /// [`drain_delivered`]: Self::drain_delivered
+    pub fn pop_output(&mut self, pos: usize) -> Option<(Word, u64)> {
+        let (word, at) = self.exit_fifo[pos].pop_front()?;
+        let progress = &mut self.exit_progress[pos];
+        let entry = progress.get_or_insert(ExitProgress {
+            packet: word.packet,
+            head_exit: at,
+            words_seen: 0,
+        });
+        debug_assert_eq!(entry.packet.id, word.packet.id, "interleaved exit words");
+        entry.words_seen += 1;
+        if entry.words_seen == entry.packet.words {
+            self.delivered.push(Delivery {
+                packet: entry.packet,
+                head_exit: entry.head_exit,
+                tail_exit: at,
+            });
+            *progress = None;
+        }
+        Some((word, at))
+    }
+
+    /// Pops every available exit word at every port (an infinite-sink
+    /// consumer) and returns packets completed so far.
+    pub fn drain_delivered(&mut self) -> Vec<Delivery> {
+        for pos in 0..self.topo.ports() {
+            while self.pop_output(pos).is_some() {}
+        }
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Packets fully delivered and not yet taken by
+    /// [`drain_delivered`](Self::drain_delivered).
+    #[must_use]
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Whether any word is buffered anywhere in the network, the
+    /// injection FIFOs, or the exit FIFOs.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.inject_fifo.iter().all(VecDeque::is_empty)
+            && self.exit_fifo.iter().all(VecDeque::is_empty)
+            && self.stages.iter().flatten().all(|sw| {
+                sw.words_in_inputs() == 0 && sw.words_in_outputs() == 0
+            })
+    }
+
+    /// Total words injected into stage 0 so far.
+    #[must_use]
+    pub fn words_injected(&self) -> u64 {
+        self.words_injected
+    }
+
+    /// Total words that exited the final stage so far.
+    #[must_use]
+    pub fn words_exited(&self) -> u64 {
+        self.words_exited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketId, PacketKind};
+
+    fn run_until_delivered(net: &mut OmegaNetwork, max_cycles: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for _ in 0..max_cycles {
+            net.step();
+            out.extend(net.drain_delivered());
+        }
+        out
+    }
+
+    #[test]
+    fn single_packet_reaches_destination() {
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        assert!(net.try_inject(Packet::request(5, 42, 1)));
+        let deliveries = run_until_delivered(&mut net, 30);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].packet.dest, 42);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn every_src_dest_pair_is_routable() {
+        // Smaller radix keeps this exhaustive test fast: 16-port net.
+        let cfg = NetworkConfig {
+            radix: 4,
+            stages: 2,
+            queue_words: 2,
+            net_cycles_per_ce_cycle: 1,
+            exit_fifo_words: 64,
+        };
+        for src in 0..16 {
+            for dest in 0..16 {
+                let mut net = OmegaNetwork::new(cfg);
+                net.try_inject(Packet::request(src, dest, 1));
+                let d = run_until_delivered(&mut net, 40);
+                assert_eq!(d.len(), 1, "{src}->{dest} lost");
+                assert_eq!(d[0].packet.dest, dest);
+            }
+        }
+    }
+
+    #[test]
+    fn min_one_way_latency_is_two_net_cycles_per_stage() {
+        // With net_cycles_per_ce_cycle = 1 a word injected at cycle 1
+        // enters stage 0 at cycle 1, switches at cycle 2, links+switches
+        // at cycle 3, and exits at cycle 4: ~2 cycles/stage + exit.
+        let cfg = NetworkConfig {
+            radix: 8,
+            stages: 2,
+            queue_words: 2,
+            net_cycles_per_ce_cycle: 1,
+            exit_fifo_words: 64,
+        };
+        let mut net = OmegaNetwork::new(cfg);
+        net.try_inject(Packet::request(0, 63, 7));
+        let d = run_until_delivered(&mut net, 20);
+        assert_eq!(d.len(), 1);
+        assert!(
+            (3..=5).contains(&d[0].head_exit),
+            "unloaded latency {} outside expected envelope",
+            d[0].head_exit
+        );
+    }
+
+    #[test]
+    fn multiword_packet_exits_contiguously() {
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        net.try_inject(Packet::write(3, 40, 1, 3));
+        let d = run_until_delivered(&mut net, 40);
+        assert_eq!(d.len(), 1);
+        let delivery = d[0];
+        assert_eq!(delivery.packet.words, 4);
+        assert!(delivery.tail_exit > delivery.head_exit);
+    }
+
+    #[test]
+    fn pipelined_stream_achieves_one_word_per_ce_cycle() {
+        // One CE streaming single-word packets to one destination:
+        // throughput is injection-limited to 1 packet per CE cycle.
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        let total = 32u64;
+        let mut injected = 0;
+        let mut exits = Vec::new();
+        let mut cycles = 0;
+        while exits.len() < total as usize {
+            if injected < total && net.try_inject(Packet::request(0, 32, injected)) {
+                injected += 1;
+            }
+            net.step();
+            for d in net.drain_delivered() {
+                exits.push(d.head_exit);
+            }
+            cycles += 1;
+            assert!(cycles < 10_000, "stream did not complete");
+        }
+        let gaps: Vec<u64> = exits.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean_gap = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        let per_ce = NetworkConfig::cedar().net_cycles_per_ce_cycle as f64;
+        assert!(
+            (mean_gap - per_ce).abs() < 0.3,
+            "steady-state gap {mean_gap} net cycles; expected about {per_ce}"
+        );
+    }
+
+    #[test]
+    fn contention_to_one_port_serializes() {
+        // All 8 sources of one first-stage switch target the same
+        // destination: deliveries must be ~1 per CE cycle total.
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        for src in 0..8 {
+            net.try_inject(Packet::request(src, 9, src as u64));
+        }
+        let d = run_until_delivered(&mut net, 200);
+        assert_eq!(d.len(), 8);
+        let mut exits: Vec<u64> = d.iter().map(|x| x.head_exit).collect();
+        exits.sort_unstable();
+        let span = exits.last().unwrap() - exits.first().unwrap();
+        assert!(span >= 7, "eight packets through one port need >= 7 gaps, span {span}");
+    }
+
+    #[test]
+    fn distinct_destinations_proceed_in_parallel() {
+        // A permutation with no shared switches: src i -> dest i*8 for
+        // i in 0..8 (each lands on a distinct final switch) should be
+        // much faster than the serialized case.
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        for i in 0..8usize {
+            net.try_inject(Packet::request(i, i * 8, i as u64));
+        }
+        let d = run_until_delivered(&mut net, 60);
+        assert_eq!(d.len(), 8);
+        let mut exits: Vec<u64> = d.iter().map(|x| x.head_exit).collect();
+        exits.sort_unstable();
+        let span = exits.last().unwrap() - exits.first().unwrap();
+        assert!(span <= 2, "conflict-free traffic should exit nearly together, span {span}");
+    }
+
+    #[test]
+    fn injection_backpressure_reported() {
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        let mut accepted = 0;
+        for id in 0..20 {
+            if net.try_inject(Packet::request(0, 1, id)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, INJECT_FIFO_WORDS, "FIFO capacity bounds acceptance");
+        assert_eq!(net.inject_backlog(0), INJECT_FIFO_WORDS);
+    }
+
+    #[test]
+    fn word_accounting_balances() {
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        for id in 0..5 {
+            net.try_inject(Packet::request(id as usize, 8 + id as usize, id));
+        }
+        let _ = run_until_delivered(&mut net, 60);
+        assert_eq!(net.words_injected(), 5);
+        assert_eq!(net.words_exited(), 5);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn sync_ops_flow_like_reads() {
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        let pkt = Packet::new(PacketId(1), 2, 33, 2, PacketKind::SyncOp);
+        net.try_inject(pkt);
+        let d = run_until_delivered(&mut net, 40);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.kind, PacketKind::SyncOp);
+    }
+}

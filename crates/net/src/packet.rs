@@ -1,0 +1,234 @@
+//! Network packets and word-level flits.
+//!
+//! "Each network packet consists of one to four 64-bit words, the
+//! first word containing routing and control information and the
+//! memory address." Requests are one word (plus up to three data
+//! words for writes); replies carry the returning data.
+
+use std::fmt;
+
+/// Unique identifier of a packet within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// What a packet is doing, which determines how the far-end port
+/// responds to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Memory read request; the reply carries one data word.
+    ReadRequest,
+    /// Memory write; data travels with the request, no reply needed
+    /// (the global memory system is weakly ordered and writes do not
+    /// stall a CE).
+    Write,
+    /// Synchronization instruction (Test-And-Set / Test-And-Operate)
+    /// executed by the memory module's synchronization processor; the
+    /// reply carries the test outcome and old value.
+    SyncOp,
+    /// Data returning to a CE on the reverse network.
+    Reply,
+}
+
+/// A packet: one to four 64-bit words moving through one network.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_net::packet::{Packet, PacketKind};
+///
+/// let p = Packet::request(3, 40, 1);
+/// assert_eq!(p.kind, PacketKind::ReadRequest);
+/// assert_eq!(p.words, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Identity, assigned by the traffic source.
+    pub id: PacketId,
+    /// Source network port.
+    pub src: usize,
+    /// Destination network port (the routing tag).
+    pub dest: usize,
+    /// Total length in 64-bit words, 1..=4.
+    pub words: u8,
+    /// Role of the packet.
+    pub kind: PacketKind,
+}
+
+/// Maximum packet length in words, per the paper.
+pub const MAX_PACKET_WORDS: u8 = 4;
+
+impl Packet {
+    /// Creates a packet, validating the length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero or exceeds [`MAX_PACKET_WORDS`].
+    #[must_use]
+    pub fn new(id: PacketId, src: usize, dest: usize, words: u8, kind: PacketKind) -> Self {
+        assert!(
+            (1..=MAX_PACKET_WORDS).contains(&words),
+            "packet length must be 1..=4 words, got {words}"
+        );
+        Packet {
+            id,
+            src,
+            dest,
+            words,
+            kind,
+        }
+    }
+
+    /// Convenience constructor for a single-word read request.
+    /// `id` is the raw packet number.
+    #[must_use]
+    pub fn request(src: usize, dest: usize, id: u64) -> Self {
+        Packet::new(PacketId(id), src, dest, 1, PacketKind::ReadRequest)
+    }
+
+    /// Convenience constructor for a write carrying `data_words` of
+    /// payload (total length `1 + data_words`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total length exceeds [`MAX_PACKET_WORDS`].
+    #[must_use]
+    pub fn write(src: usize, dest: usize, id: u64, data_words: u8) -> Self {
+        Packet::new(
+            PacketId(id),
+            src,
+            dest,
+            1 + data_words,
+            PacketKind::Write,
+        )
+    }
+
+    /// The reply a memory port generates for this packet, if any:
+    /// reads and sync ops answer with a packet headed back to `src`;
+    /// writes are fire-and-forget.
+    #[must_use]
+    pub fn reply(&self) -> Option<Packet> {
+        match self.kind {
+            PacketKind::ReadRequest | PacketKind::SyncOp => Some(Packet {
+                id: self.id,
+                src: self.dest,
+                dest: self.src,
+                // One 64-bit word: the datum rides with its routing tag
+                // on the 64-bit-plus-control-wide reverse data path.
+                words: 1,
+                kind: PacketKind::Reply,
+            }),
+            PacketKind::Write | PacketKind::Reply => None,
+        }
+    }
+}
+
+/// A single 64-bit word in flight: the flit unit of the word-level
+/// simulation. Words of a packet travel contiguously (wormhole
+/// integrity enforced by the switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Word {
+    /// The packet this word belongs to.
+    pub packet: Packet,
+    /// Position within the packet, 0 = header.
+    pub index: u8,
+}
+
+impl Word {
+    /// Whether this is the header (routing) word.
+    #[must_use]
+    pub fn is_head(&self) -> bool {
+        self.index == 0
+    }
+
+    /// Whether this is the final word of its packet.
+    #[must_use]
+    pub fn is_tail(&self) -> bool {
+        self.index + 1 == self.packet.words
+    }
+
+    /// Expands a packet into its constituent words, head first.
+    pub fn of_packet(packet: Packet) -> impl Iterator<Item = Word> {
+        (0..packet.words).map(move |index| Word { packet, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_is_single_word() {
+        let p = Packet::request(0, 5, 9);
+        assert_eq!(p.words, 1);
+        assert_eq!(p.id, PacketId(9));
+    }
+
+    #[test]
+    fn write_carries_data() {
+        let p = Packet::write(1, 2, 0, 3);
+        assert_eq!(p.words, 4);
+        assert_eq!(p.kind, PacketKind::Write);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4 words")]
+    fn oversized_packet_rejected() {
+        let _ = Packet::write(0, 0, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4 words")]
+    fn zero_length_packet_rejected() {
+        let _ = Packet::new(PacketId(0), 0, 0, 0, PacketKind::ReadRequest);
+    }
+
+    #[test]
+    fn read_reply_reverses_route() {
+        let p = Packet::request(3, 40, 1);
+        let r = p.reply().unwrap();
+        assert_eq!(r.src, 40);
+        assert_eq!(r.dest, 3);
+        assert_eq!(r.words, 1, "one data word carrying its own tag");
+        assert_eq!(r.kind, PacketKind::Reply);
+        assert_eq!(r.id, p.id, "reply keeps the request id");
+    }
+
+    #[test]
+    fn writes_and_replies_generate_no_reply() {
+        assert!(Packet::write(0, 1, 0, 1).reply().is_none());
+        let reply = Packet::request(0, 1, 0).reply().unwrap();
+        assert!(reply.reply().is_none());
+    }
+
+    #[test]
+    fn sync_op_replies() {
+        let p = Packet::new(PacketId(7), 2, 9, 2, PacketKind::SyncOp);
+        assert!(p.reply().is_some());
+    }
+
+    #[test]
+    fn word_expansion_marks_head_and_tail() {
+        let p = Packet::write(0, 1, 0, 2); // 3 words
+        let words: Vec<Word> = Word::of_packet(p).collect();
+        assert_eq!(words.len(), 3);
+        assert!(words[0].is_head());
+        assert!(!words[0].is_tail());
+        assert!(!words[1].is_head());
+        assert!(!words[1].is_tail());
+        assert!(words[2].is_tail());
+    }
+
+    #[test]
+    fn single_word_packet_is_head_and_tail() {
+        let p = Packet::request(0, 1, 0);
+        let w: Vec<Word> = Word::of_packet(p).collect();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].is_head() && w[0].is_tail());
+    }
+}

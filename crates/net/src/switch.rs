@@ -1,0 +1,338 @@
+//! The 8×8 crossbar switch.
+//!
+//! Each switch has `radix` input ports and `radix` output ports, a
+//! two-word queue on every port (configurable for the \[Turn93\]
+//! ablation), round-robin arbitration among inputs contending for the
+//! same output, and wormhole packet integrity: once a packet's header
+//! word is granted an output, that output carries the packet's words
+//! contiguously until the tail passes. Flow control between stages
+//! prevents queue overflow — a word moves only if the downstream
+//! queue has space.
+
+use std::collections::VecDeque;
+
+use crate::packet::Word;
+use crate::topology::Topology;
+
+/// An `r × r` crossbar switch with buffered, flow-controlled ports.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_net::switch::Crossbar;
+/// use cedar_net::topology::Topology;
+/// use cedar_net::packet::{Packet, Word};
+///
+/// let topo = Topology::new(8, 2);
+/// let mut sw = Crossbar::new(8, 2, 0);
+/// let pkt = Packet::request(0, 0o35, 1);
+/// let word = Word::of_packet(pkt).next().unwrap();
+/// assert!(sw.try_accept(0, word));
+/// sw.transfer(&topo);
+/// // Routing digit for stage 0 of dest 0o35 is 3.
+/// assert!(sw.peek_output(3).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    radix: usize,
+    queue_words: usize,
+    stage: usize,
+    inputs: Vec<VecDeque<Word>>,
+    outputs: Vec<VecDeque<Word>>,
+    /// While an input is mid-packet, the output it is locked to.
+    input_lock: Vec<Option<usize>>,
+    /// While an output is mid-packet, the input and packet it is
+    /// locked to.
+    output_lock: Vec<Option<(usize, crate::packet::PacketId)>>,
+    /// Per-output round-robin pointer: the input examined first.
+    rr_next: Vec<usize>,
+    words_switched: u64,
+}
+
+impl Crossbar {
+    /// Creates a switch for `stage` with the given port count and
+    /// per-port queue capacity in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` or `queue_words` is zero.
+    #[must_use]
+    pub fn new(radix: usize, queue_words: usize, stage: usize) -> Self {
+        assert!(radix > 0, "radix must be nonzero");
+        assert!(queue_words > 0, "queue capacity must be nonzero");
+        Crossbar {
+            radix,
+            queue_words,
+            stage,
+            inputs: (0..radix).map(|_| VecDeque::new()).collect(),
+            outputs: (0..radix).map(|_| VecDeque::new()).collect(),
+            input_lock: vec![None; radix],
+            output_lock: vec![None; radix],
+            rr_next: vec![0; radix],
+            words_switched: 0,
+        }
+    }
+
+    /// Offers a word to input port `input`. Returns `false` (word not
+    /// consumed) if the input queue is full — this is the inter-stage
+    /// flow control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn try_accept(&mut self, input: usize, word: Word) -> bool {
+        let q = &mut self.inputs[input];
+        if q.len() >= self.queue_words {
+            return false;
+        }
+        q.push_back(word);
+        true
+    }
+
+    /// Whether input port `input` can accept a word this cycle.
+    #[must_use]
+    pub fn can_accept(&self, input: usize) -> bool {
+        self.inputs[input].len() < self.queue_words
+    }
+
+    /// The word at the head of output queue `output`, if any.
+    #[must_use]
+    pub fn peek_output(&self, output: usize) -> Option<&Word> {
+        self.outputs[output].front()
+    }
+
+    /// Removes and returns the head word of output queue `output`.
+    pub fn pop_output(&mut self, output: usize) -> Option<Word> {
+        self.outputs[output].pop_front()
+    }
+
+    /// Performs one cycle of internal switching: every output with
+    /// queue space accepts at most one word, every input sends at most
+    /// one word, contention is resolved round-robin, and wormhole
+    /// locks keep packets contiguous.
+    pub fn transfer(&mut self, topo: &Topology) {
+        for output in 0..self.radix {
+            if self.outputs[output].len() >= self.queue_words {
+                continue; // output queue full: downstream backpressure
+            }
+            let source = match self.output_lock[output] {
+                Some((input, _)) => Some(input),
+                None => self.arbitrate(output, topo),
+            };
+            let Some(input) = source else { continue };
+            let Some(word) = self.inputs[input].front().copied() else {
+                continue; // locked input has no word buffered yet
+            };
+            if let Some((_, locked_id)) = self.output_lock[output] {
+                debug_assert_eq!(
+                    word.packet.id, locked_id,
+                    "wormhole violation: interleaved packet on a locked output"
+                );
+            }
+            self.inputs[input].pop_front();
+            if word.is_head() && !word.is_tail() {
+                self.input_lock[input] = Some(output);
+                self.output_lock[output] = Some((input, word.packet.id));
+            }
+            if word.is_tail() {
+                self.input_lock[input] = None;
+                self.output_lock[output] = None;
+            }
+            self.outputs[output].push_back(word);
+            self.words_switched += 1;
+        }
+    }
+
+    /// Round-robin selection of an input whose queued head word is a
+    /// packet header routed to `output`.
+    fn arbitrate(&mut self, output: usize, topo: &Topology) -> Option<usize> {
+        let start = self.rr_next[output];
+        for offset in 0..self.radix {
+            let input = (start + offset) % self.radix;
+            if self.input_lock[input].is_some() {
+                continue; // input is mid-packet toward another output
+            }
+            let Some(word) = self.inputs[input].front() else {
+                continue;
+            };
+            if !word.is_head() {
+                // A continuation word must follow its own lock; if the
+                // input is unlocked the tail already passed, so this
+                // cannot happen with contiguous arrivals.
+                debug_assert!(false, "continuation word on unlocked input");
+                continue;
+            }
+            if topo.routing_digit(self.stage, word.packet.dest) == output {
+                self.rr_next[output] = (input + 1) % self.radix;
+                return Some(input);
+            }
+        }
+        None
+    }
+
+    /// Words buffered across all input queues.
+    #[must_use]
+    pub fn words_in_inputs(&self) -> usize {
+        self.inputs.iter().map(VecDeque::len).sum()
+    }
+
+    /// Words buffered across all output queues.
+    #[must_use]
+    pub fn words_in_outputs(&self) -> usize {
+        self.outputs.iter().map(VecDeque::len).sum()
+    }
+
+    /// Total words this switch has moved input→output.
+    #[must_use]
+    pub fn words_switched(&self) -> u64 {
+        self.words_switched
+    }
+
+    /// The switch's port count.
+    #[must_use]
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketId, PacketKind};
+
+    fn topo() -> Topology {
+        Topology::new(8, 2)
+    }
+
+    fn head(src: usize, dest: usize, id: u64) -> Word {
+        Word::of_packet(Packet::request(src, dest, id)).next().unwrap()
+    }
+
+    #[test]
+    fn routes_to_digit_output() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 2, 1);
+        // Stage 1 uses the least-significant digit: dest 0o26 -> port 6.
+        sw.try_accept(2, head(0, 0o26, 1));
+        sw.transfer(&t);
+        assert!(sw.peek_output(6).is_some());
+        assert_eq!(sw.words_switched(), 1);
+    }
+
+    #[test]
+    fn respects_input_queue_capacity() {
+        let mut sw = Crossbar::new(8, 2, 0);
+        assert!(sw.try_accept(0, head(0, 0, 1)));
+        assert!(sw.try_accept(0, head(0, 0, 2)));
+        assert!(!sw.try_accept(0, head(0, 0, 3)), "third word must be refused");
+        assert!(!sw.can_accept(0));
+    }
+
+    #[test]
+    fn output_backpressure_stalls_transfer() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 2, 0);
+        // Fill output 0 by routing two words (two cycles), then offer more.
+        for id in 0..4 {
+            sw.try_accept(id as usize, head(0, 0, id));
+        }
+        sw.transfer(&t); // one word to output 0
+        sw.transfer(&t); // second word: queue now full
+        assert_eq!(sw.words_in_outputs(), 2);
+        sw.transfer(&t); // no space: nothing moves
+        assert_eq!(sw.words_in_outputs(), 2);
+        assert_eq!(sw.words_switched(), 2);
+        // Draining the output resumes flow.
+        sw.pop_output(0);
+        sw.transfer(&t);
+        assert_eq!(sw.words_switched(), 3);
+    }
+
+    #[test]
+    fn round_robin_alternates_between_contenders() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 4, 0);
+        // Inputs 1 and 2 both route to output 0 (dest digit 0).
+        sw.try_accept(1, head(1, 0o01, 10));
+        sw.try_accept(1, head(1, 0o02, 11));
+        sw.try_accept(2, head(2, 0o03, 20));
+        sw.try_accept(2, head(2, 0o04, 21));
+        let mut order = Vec::new();
+        for _ in 0..4 {
+            sw.transfer(&t);
+            if let Some(w) = sw.pop_output(0) {
+                order.push(w.packet.id);
+            }
+        }
+        // RR pointer starts at input 0, so input 1 wins first, then 2, ...
+        assert_eq!(
+            order,
+            vec![PacketId(10), PacketId(20), PacketId(11), PacketId(21)]
+        );
+    }
+
+    #[test]
+    fn wormhole_keeps_multiword_packets_contiguous() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 4, 0);
+        // A three-word write from input 0 and a competing one-word read
+        // from input 1, both to output 0.
+        let write = Packet::write(0, 0o00, 1, 2);
+        let mut write_words = Word::of_packet(write);
+        sw.try_accept(0, write_words.next().unwrap());
+        sw.try_accept(0, write_words.next().unwrap());
+        sw.try_accept(0, write_words.next().unwrap());
+        sw.try_accept(1, head(1, 0o00, 2));
+        let mut out = Vec::new();
+        for _ in 0..6 {
+            sw.transfer(&t);
+            while let Some(w) = sw.pop_output(0) {
+                out.push((w.packet.id, w.index));
+            }
+        }
+        assert_eq!(
+            out,
+            vec![
+                (PacketId(1), 0),
+                (PacketId(1), 1),
+                (PacketId(1), 2),
+                (PacketId(2), 0)
+            ],
+            "write words must not be interleaved with the read"
+        );
+    }
+
+    #[test]
+    fn distinct_outputs_switch_in_parallel() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 2, 1);
+        for digit in 0..8usize {
+            sw.try_accept(digit, head(digit, digit, digit as u64));
+        }
+        sw.transfer(&t);
+        assert_eq!(sw.words_switched(), 8, "all eight ports move in one cycle");
+        for digit in 0..8 {
+            assert!(sw.peek_output(digit).is_some());
+        }
+    }
+
+    #[test]
+    fn sync_packets_route_like_any_other() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 2, 1);
+        let pkt = Packet::new(PacketId(5), 0, 0o07, 2, PacketKind::SyncOp);
+        let mut words = Word::of_packet(pkt);
+        sw.try_accept(3, words.next().unwrap());
+        sw.try_accept(3, words.next().unwrap());
+        sw.transfer(&t);
+        sw.transfer(&t);
+        assert_eq!(sw.words_in_outputs(), 2);
+        assert!(sw.peek_output(7).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be nonzero")]
+    fn rejects_zero_capacity() {
+        let _ = Crossbar::new(8, 0, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the omega network: delivery, conservation,
+//! and wormhole integrity under randomized traffic.
+
+use proptest::prelude::*;
+
+use cedar_net::config::NetworkConfig;
+use cedar_net::network::OmegaNetwork;
+use cedar_net::packet::{Packet, PacketId, PacketKind};
+use cedar_net::topology::Topology;
+
+fn cfg() -> NetworkConfig {
+    NetworkConfig::cedar()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every injected packet is delivered exactly once, at its
+    /// destination, with all its words, no matter the traffic mix.
+    #[test]
+    fn all_packets_delivered_to_their_destinations(
+        specs in prop::collection::vec((0usize..64, 0usize..64, 1u8..=4), 1..80)
+    ) {
+        let mut net = OmegaNetwork::new(cfg());
+        let mut pending: Vec<Packet> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(src, dest, words))| {
+                Packet::new(PacketId(i as u64), src, dest, words, PacketKind::Write)
+            })
+            .collect();
+        let total = pending.len();
+        let mut delivered = Vec::new();
+        let mut cycles = 0u64;
+        while delivered.len() < total {
+            pending.retain(|&p| !net.try_inject(p));
+            net.step();
+            delivered.extend(net.drain_delivered());
+            cycles += 1;
+            prop_assert!(cycles < 200_000, "network livelocked");
+        }
+        prop_assert_eq!(delivered.len(), total);
+        let mut seen = vec![false; total];
+        for d in &delivered {
+            let idx = d.packet.id.0 as usize;
+            prop_assert!(!seen[idx], "duplicate delivery");
+            seen[idx] = true;
+            let (_, dest, words) = specs[idx];
+            prop_assert_eq!(d.packet.dest, dest);
+            prop_assert_eq!(d.packet.words, words);
+            prop_assert!(d.tail_exit >= d.head_exit);
+        }
+        prop_assert!(net.is_idle(), "no residue after all deliveries");
+        prop_assert_eq!(net.words_injected(), net.words_exited());
+    }
+
+    /// Tag routing agrees with the analytic route for every pair on
+    /// every supported geometry.
+    #[test]
+    fn analytic_route_terminates_at_destination(
+        src in 0usize..64,
+        dest in 0usize..64,
+        radix_pow in 1u32..=3,
+    ) {
+        let radix = 2usize.pow(radix_pow);
+        let stages = match radix {
+            2 => 6, 4 => 3, _ => 2,
+        };
+        let t = Topology::new(radix, stages);
+        let src = src % t.ports();
+        let dest = dest % t.ports();
+        let route = t.route(src, dest);
+        prop_assert_eq!(route.len(), stages);
+        let (last_switch, _, last_out) = *route.last().unwrap();
+        match t.next_hop(stages - 1, last_switch, last_out) {
+            cedar_net::topology::Hop::Output(pos) => prop_assert_eq!(pos, dest),
+            cedar_net::topology::Hop::Switch { .. } => prop_assert!(false, "did not exit"),
+        }
+    }
+
+    /// The shuffle is always a permutation whose k-fold composition is
+    /// the identity (rotating k digits k times).
+    #[test]
+    fn shuffle_order_divides_stage_count(radix_pow in 1u32..=3) {
+        let radix = 2usize.pow(radix_pow);
+        let stages = match radix { 2 => 6, 4 => 3, _ => 2 };
+        let t = Topology::new(radix, stages);
+        for p in 0..t.ports() {
+            let mut q = p;
+            for _ in 0..stages {
+                q = t.shuffle(q);
+            }
+            prop_assert_eq!(q, p, "k-fold shuffle must be identity");
+        }
+    }
+
+    /// Theory meets simulation: a pair of routes the topology calls
+    /// conflict-free travels with zero mutual interference — each
+    /// packet's exit time equals its solo exit time.
+    #[test]
+    fn conflict_free_pairs_do_not_interfere(
+        src_a in 0usize..64,
+        dest_a in 0usize..64,
+        src_b in 0usize..64,
+        dest_b in 0usize..64,
+    ) {
+        let topo = cedar_net::topology::Topology::new(8, 2);
+        prop_assume!(!topo.routes_conflict(src_a, dest_a, src_b, dest_b));
+        let solo = |src: usize, dest: usize| {
+            let mut net = OmegaNetwork::new(cfg());
+            net.try_inject(Packet::request(src, dest, 0));
+            for _ in 0..50 {
+                net.step();
+                if let Some(d) = net.drain_delivered().pop() {
+                    return d.head_exit;
+                }
+            }
+            panic!("packet lost");
+        };
+        let t_a = solo(src_a, dest_a);
+        let t_b = solo(src_b, dest_b);
+        let mut net = OmegaNetwork::new(cfg());
+        net.try_inject(Packet::request(src_a, dest_a, 0));
+        net.try_inject(Packet::request(src_b, dest_b, 1));
+        let mut exits = std::collections::HashMap::new();
+        for _ in 0..100 {
+            net.step();
+            for d in net.drain_delivered() {
+                exits.insert(d.packet.id.0, d.head_exit);
+            }
+        }
+        prop_assert_eq!(exits.get(&0).copied(), Some(t_a), "packet A delayed");
+        prop_assert_eq!(exits.get(&1).copied(), Some(t_b), "packet B delayed");
+    }
+
+    /// Determinism: the same injection schedule produces the identical
+    /// delivery schedule.
+    #[test]
+    fn network_is_deterministic(
+        specs in prop::collection::vec((0usize..64, 0usize..64), 1..40)
+    ) {
+        let run = || {
+            let mut net = OmegaNetwork::new(cfg());
+            let mut out = Vec::new();
+            for (i, &(src, dest)) in specs.iter().enumerate() {
+                let _ = net.try_inject(Packet::request(src, dest, i as u64));
+            }
+            for _ in 0..5_000 {
+                net.step();
+                out.extend(net.drain_delivered());
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

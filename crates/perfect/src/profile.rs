@@ -1,0 +1,282 @@
+//! Mechanistic code profiles and their calibration.
+//!
+//! A [`CodeProfile`] holds the quantities the paper attributes its
+//! per-code observations to:
+//!
+//! * `serial_seconds` — the uniprocessor scalar run;
+//! * `coverage_kap`, `coverage_auto` — the fraction of serial work the
+//!   KAP and automatable restructurings parallelize/vectorize;
+//! * `sched_events` — loop scheduling events (the inverse of
+//!   granularity): DYFESM and OCEAN have many, so removing the cheap
+//!   Cedar-synchronization self-scheduling hurts them;
+//! * `prefetched_seconds` — time spent in prefetched global vector
+//!   fetches within the automatable version: large for DYFESM ("large
+//!   number of vector fetches … on a small number of processors"),
+//!   zero for TRACK ("domination of scalar accesses");
+//! * `vector_gain` — the per-code uniprocessor vectorization gain,
+//!   used to convert improvements (which are against *scalar* runs)
+//!   into the parallel efficiencies of Table 6 and Figure 3;
+//! * `width_ces` — how many CEs the code effectively uses ("in a few
+//!   cases program execution was confined to a single cluster").
+//!
+//! Calibration inverts the forward model of [`crate::model`] against
+//! the published Table 3 row, using the machine's own measured costs
+//! (XDOALL fetch cost, prefetch vs no-prefetch cycles per word), so
+//! the profiles stay consistent with the simulated machine.
+
+use cedar_core::costmodel::AccessMode;
+use cedar_core::system::CedarSystem;
+use cedar_net::fabric::PrefetchTraffic;
+
+use crate::published::PublishedRow;
+
+/// Parallel-section speed ratio cap: 32 CEs times the typical ~2.5×
+/// vectorization gain. The coverage inversion uses this as the speed
+/// of a fully restructured section relative to scalar.
+pub const PARALLEL_SECTION_SPEED: f64 = 80.0;
+
+/// A calibrated mechanistic profile of one Perfect code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeProfile {
+    /// Code name.
+    pub name: &'static str,
+    /// Uniprocessor scalar time, seconds.
+    pub serial_seconds: f64,
+    /// Total floating-point work (from the published MFLOPS).
+    pub flops: f64,
+    /// Coverage of the KAP restructuring (fraction of serial work).
+    pub coverage_kap: f64,
+    /// Coverage of the automatable restructuring.
+    pub coverage_auto: f64,
+    /// Loop scheduling events in one run.
+    pub sched_events: f64,
+    /// Seconds of prefetched global vector fetching in the automatable
+    /// version.
+    pub prefetched_seconds: f64,
+    /// Per-code uniprocessor vectorization gain (see Table 6 / Fig. 3
+    /// discussion in DESIGN.md).
+    pub vector_gain: f64,
+    /// Effective processor count the code exploits.
+    pub width_ces: usize,
+    /// The published row this profile was calibrated against.
+    pub published: PublishedRow,
+}
+
+/// Machine-derived constants the calibration and forward model share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineCosts {
+    /// Seconds per scheduling event with Cedar synchronization (the
+    /// 30 µs XDOALL iteration fetch).
+    pub sched_cedar_s: f64,
+    /// Seconds per scheduling event without Cedar synchronization
+    /// (Test-And-Set emulation: three global round trips).
+    pub sched_tas_s: f64,
+    /// Slowdown multiplier of global vector fetches when prefetch is
+    /// disabled, at full machine width.
+    pub nopref_factor_wide: f64,
+    /// The same at single-cluster width (lower contention, larger
+    /// prefetch advantage).
+    pub nopref_factor_narrow: f64,
+}
+
+impl MachineCosts {
+    /// Derives the constants from the simulated machine.
+    pub fn measure(sys: &mut CedarSystem) -> Self {
+        let fetch_s = sys.params().xdoall_fetch_us * 1e-6;
+        let pref_wide = sys
+            .cycles_per_word(AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4)), 32)
+            .max(1.0);
+        let nopref_wide = sys.cycles_per_word(AccessMode::GlobalNoPrefetch, 32);
+        let pref_narrow = sys
+            .cycles_per_word(AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4)), 8)
+            .max(1.0);
+        let nopref_narrow = sys.cycles_per_word(AccessMode::GlobalNoPrefetch, 8);
+        MachineCosts {
+            sched_cedar_s: fetch_s,
+            sched_tas_s: 3.0 * fetch_s,
+            nopref_factor_wide: nopref_wide / pref_wide,
+            nopref_factor_narrow: nopref_narrow / pref_narrow,
+        }
+    }
+
+    /// The no-prefetch slowdown factor at a given width.
+    #[must_use]
+    pub fn nopref_factor(&self, width_ces: usize) -> f64 {
+        if width_ces <= 8 {
+            self.nopref_factor_narrow
+        } else {
+            self.nopref_factor_wide
+        }
+    }
+}
+
+/// Per-code vectorization gains and effective widths. The gains are
+/// the one free parameter family of the reproduction (the paper never
+/// publishes per-code uniprocessor vector speedups); they are chosen
+/// once, documented here, and produce Table 6's published band census
+/// as the tests verify. Width 8 marks the codes the paper notes were
+/// "confined to a single cluster" or parallelism-limited.
+fn vector_gain_and_width(name: &str) -> (f64, usize) {
+    match name {
+        "ADM" => (2.0, 32),
+        "ARC2D" => (2.5, 32),
+        "BDNA" => (2.0, 32),
+        "DYFESM" => (2.0, 8),
+        "FLO52" => (2.5, 32),
+        "MDG" => (2.0, 32),
+        "MG3D" => (3.0, 32),
+        "OCEAN" => (2.5, 32),
+        "QCD" => (2.0, 32),
+        "SPEC77" => (2.5, 32),
+        "SPICE" => (1.0, 8),
+        "TRACK" => (2.0, 8),
+        "TRFD" => (2.5, 32),
+        _ => (2.0, 32),
+    }
+}
+
+impl CodeProfile {
+    /// Calibrates a profile from a published row and the machine's
+    /// measured costs. Returns `None` for rows without automatable
+    /// data (SPICE), which the model carries at its KAP level only.
+    #[must_use]
+    pub fn calibrate(row: &PublishedRow, costs: &MachineCosts) -> Option<CodeProfile> {
+        let auto_time = row.auto_time?;
+        let auto_imp = row.auto_improvement?;
+        let nosync_time = row.nosync_time?;
+        let nopref_time = row.nopref_time?;
+        let serial = auto_time * auto_imp;
+        let (vector_gain, width) = vector_gain_and_width(row.name);
+
+        // Scheduling events from the no-sync delta: each event costs
+        // sched_tas - sched_cedar more without the sync instructions.
+        let sched_events =
+            ((nosync_time - auto_time) / (costs.sched_tas_s - costs.sched_cedar_s)).max(0.0);
+        let sync_overhead = sched_events * costs.sched_cedar_s;
+
+        // Coverage from the automatable time net of scheduling.
+        let coverage_auto = coverage_from_time(serial, auto_time - sync_overhead);
+        // KAP runs with (at least) the same scheduling style; its
+        // events are unknown, so attribute its whole time to coverage.
+        let coverage_kap = coverage_from_time(serial, row.kap_time);
+
+        // Prefetched fetch volume from the no-prefetch delta, bounded
+        // by the restructured section's execution time.
+        let k = costs.nopref_factor(width);
+        let parallel_section_time = coverage_auto * serial / PARALLEL_SECTION_SPEED;
+        let prefetched_seconds =
+            ((nopref_time - nosync_time) / (k - 1.0).max(0.1)).clamp(0.0, parallel_section_time);
+
+        Some(CodeProfile {
+            name: row.name,
+            serial_seconds: serial,
+            flops: row.mflops * auto_time * 1e6,
+            coverage_kap,
+            coverage_auto,
+            sched_events,
+            prefetched_seconds,
+            vector_gain,
+            width_ces: width,
+            published: *row,
+        })
+    }
+}
+
+/// Inverts Amdahl's law: the coverage `f` such that
+/// `(1-f)·serial + f·serial/s = time`, clamped to `[0, 1]`.
+fn coverage_from_time(serial: f64, time: f64) -> f64 {
+    let s = PARALLEL_SECTION_SPEED;
+    let f = (serial - time) / (serial * (1.0 - 1.0 / s));
+    f.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::published::TABLE3;
+    use cedar_core::params::CedarParams;
+
+    fn costs() -> MachineCosts {
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        MachineCosts::measure(&mut sys)
+    }
+
+    #[test]
+    fn machine_costs_sane() {
+        let c = costs();
+        assert!((c.sched_cedar_s - 30e-6).abs() < 1e-9);
+        assert_eq!(c.sched_tas_s, 3.0 * c.sched_cedar_s);
+        assert!(c.nopref_factor_narrow > c.nopref_factor_wide);
+        assert!(c.nopref_factor_wide > 1.5);
+    }
+
+    #[test]
+    fn every_code_but_spice_calibrates() {
+        let c = costs();
+        let calibrated: Vec<_> = TABLE3
+            .iter()
+            .filter_map(|r| CodeProfile::calibrate(r, &c))
+            .collect();
+        assert_eq!(calibrated.len(), 12);
+    }
+
+    #[test]
+    fn coverages_are_probabilities_and_ordered() {
+        let c = costs();
+        for row in &TABLE3 {
+            let Some(p) = CodeProfile::calibrate(row, &c) else {
+                continue;
+            };
+            assert!((0.0..=1.0).contains(&p.coverage_auto), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.coverage_kap), "{}", p.name);
+            assert!(
+                p.coverage_auto >= p.coverage_kap - 1e-9,
+                "{}: automatable must cover at least what KAP covers",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn dyfesm_has_fine_granularity() {
+        // DYFESM's no-sync slowdown means many scheduling events.
+        let c = costs();
+        let dyfesm = CodeProfile::calibrate(&TABLE3[3], &c).unwrap();
+        let trfd = CodeProfile::calibrate(&TABLE3[12], &c).unwrap();
+        assert!(
+            dyfesm.sched_events > 50.0 * (trfd.sched_events + 1.0),
+            "DYFESM {} events vs TRFD {}",
+            dyfesm.sched_events,
+            trfd.sched_events
+        );
+    }
+
+    #[test]
+    fn track_is_scalar_dominated() {
+        let c = costs();
+        let track = CodeProfile::calibrate(&TABLE3[11], &c).unwrap();
+        assert!(
+            track.prefetched_seconds < 0.5,
+            "TRACK should have ~no prefetched fetch time, got {}",
+            track.prefetched_seconds
+        );
+    }
+
+    #[test]
+    fn dyfesm_prefetch_volume_is_large() {
+        let c = costs();
+        let dyfesm = CodeProfile::calibrate(&TABLE3[3], &c).unwrap();
+        assert!(
+            dyfesm.prefetched_seconds > 2.0,
+            "DYFESM prefetched volume {}",
+            dyfesm.prefetched_seconds
+        );
+    }
+
+    #[test]
+    fn flops_match_published_mflops() {
+        let c = costs();
+        let adm = CodeProfile::calibrate(&TABLE3[0], &c).unwrap();
+        assert!((adm.flops - 6.9e6 * 73.0).abs() < 1.0);
+    }
+}

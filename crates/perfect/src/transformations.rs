@@ -1,0 +1,164 @@
+//! The automatable restructuring transformations (§3.3).
+//!
+//! "These transformations include array privatization, parallel
+//! reductions, advanced induction variable substitution, runtime data
+//! dependence tests, balanced stripmining, and parallelization in the
+//! presence of SAVE and RETURN statements. Many of these
+//! transformations require advanced symbolic and interprocedural
+//! analysis methods." The paper reports them applied by hand pending
+//! an actual parallelizer ([EHLP91, EHJL91, EHJP92]).
+//!
+//! This module is the catalogue: the transformation set, what each
+//! does, what analysis it needs, and which machine feature it feeds —
+//! the structured version of §3.3 that the `perfect_study` example and
+//! documentation draw on.
+
+use std::fmt;
+
+/// One automatable transformation from the paper's list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transformation {
+    /// Give each iteration a private copy of an array written then
+    /// read within the iteration, removing a spurious dependence.
+    ArrayPrivatization,
+    /// Recognize reductions (sums, minima) and compute them with
+    /// per-processor partials plus a combine.
+    ParallelReductions,
+    /// Replace induction variables with closed forms so iterations
+    /// decouple (beyond simple `i*stride` patterns).
+    InductionVariableSubstitution,
+    /// Emit a runtime test choosing between parallel and serial loop
+    /// versions when dependence cannot be settled statically.
+    RuntimeDependenceTests,
+    /// Strip-mine loops into balanced chunks matched to the register
+    /// length and the cluster/machine hierarchy.
+    BalancedStripmining,
+    /// Parallelize despite Fortran `SAVE` and `RETURN` statements by
+    /// proving or privatizing the carried state.
+    SaveReturnParallelization,
+}
+
+impl Transformation {
+    /// Every transformation, in the paper's order.
+    pub const ALL: [Transformation; 6] = [
+        Transformation::ArrayPrivatization,
+        Transformation::ParallelReductions,
+        Transformation::InductionVariableSubstitution,
+        Transformation::RuntimeDependenceTests,
+        Transformation::BalancedStripmining,
+        Transformation::SaveReturnParallelization,
+    ];
+
+    /// Short name as the paper phrases it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Transformation::ArrayPrivatization => "array privatization",
+            Transformation::ParallelReductions => "parallel reductions",
+            Transformation::InductionVariableSubstitution => {
+                "advanced induction variable substitution"
+            }
+            Transformation::RuntimeDependenceTests => "runtime data dependence tests",
+            Transformation::BalancedStripmining => "balanced stripmining",
+            Transformation::SaveReturnParallelization => {
+                "parallelization in the presence of SAVE and RETURN statements"
+            }
+        }
+    }
+
+    /// The analysis machinery the transformation needs.
+    #[must_use]
+    pub fn required_analysis(self) -> &'static str {
+        match self {
+            Transformation::ArrayPrivatization => {
+                "array data-flow: last-write-before-read within an iteration"
+            }
+            Transformation::ParallelReductions => {
+                "pattern recognition of associative updates plus a combine strategy"
+            }
+            Transformation::InductionVariableSubstitution => {
+                "symbolic evaluation of recurrences to closed form"
+            }
+            Transformation::RuntimeDependenceTests => {
+                "subscript analysis that can defer the decision to runtime"
+            }
+            Transformation::BalancedStripmining => {
+                "iteration-count and cost estimates across the loop nest"
+            }
+            Transformation::SaveReturnParallelization => {
+                "interprocedural analysis of carried state"
+            }
+        }
+    }
+
+    /// Which machine feature or runtime mechanism the transformed code
+    /// leans on in this reproduction.
+    #[must_use]
+    pub fn machine_hook(self) -> &'static str {
+        match self {
+            Transformation::ArrayPrivatization => {
+                "loop-local placement: a private per-CE copy in cluster memory"
+            }
+            Transformation::ParallelReductions => {
+                "concurrency-bus combine within a cluster, Test-And-Operate cells across clusters"
+            }
+            Transformation::InductionVariableSubstitution => {
+                "self-scheduled DOALLs: iterations become independent"
+            }
+            Transformation::RuntimeDependenceTests => {
+                "both loop versions compiled; a scalar test picks at entry"
+            }
+            Transformation::BalancedStripmining => {
+                "32-word vector registers and the SDOALL/CDOALL hierarchy"
+            }
+            Transformation::SaveReturnParallelization => {
+                "cluster-task private state under the Xylem scheduler"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Transformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_transformations_present() {
+        assert_eq!(Transformation::ALL.len(), 6);
+        let mut names: Vec<&str> = Transformation::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "names must be distinct");
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_distinct() {
+        for t in Transformation::ALL {
+            assert!(!t.required_analysis().is_empty());
+            assert!(!t.machine_hook().is_empty());
+        }
+        let hooks: std::collections::HashSet<&str> = Transformation::ALL
+            .iter()
+            .map(|t| t.machine_hook())
+            .collect();
+        assert_eq!(hooks.len(), 6);
+    }
+
+    #[test]
+    fn display_matches_paper_wording() {
+        assert_eq!(
+            Transformation::ArrayPrivatization.to_string(),
+            "array privatization"
+        );
+        assert_eq!(
+            Transformation::BalancedStripmining.to_string(),
+            "balanced stripmining"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Restructuring levels of a Perfect code.
+
+use std::fmt;
+
+/// The program versions the paper measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// Uniprocessor scalar: the improvement baseline.
+    Serial,
+    /// Automatically restructured by the KAP/Cedar compiler.
+    Kap,
+    /// The "automatable" hand-applied transformations (array
+    /// privatization, parallel reductions, induction-variable
+    /// substitution, runtime dependence tests, balanced stripmining…).
+    Automatable,
+    /// Automatable but scheduling loops without the Cedar
+    /// synchronization instructions.
+    NoSync,
+    /// NoSync and additionally without compiler-generated prefetch.
+    NoPrefetch,
+    /// Hand-optimized with algorithmic and architectural knowledge
+    /// (§4.2 / Table 4).
+    Manual,
+}
+
+impl Version {
+    /// The versions of Table 3, in column order.
+    pub const TABLE3: [Version; 4] = [
+        Version::Kap,
+        Version::Automatable,
+        Version::NoSync,
+        Version::NoPrefetch,
+    ];
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Version::Serial => "serial",
+            Version::Kap => "KAP/Cedar",
+            Version::Automatable => "automatable",
+            Version::NoSync => "w/o Cedar synchronization",
+            Version::NoPrefetch => "w/o prefetch",
+            Version::Manual => "manual",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_order() {
+        assert_eq!(Version::TABLE3[0], Version::Kap);
+        assert_eq!(Version::TABLE3[3], Version::NoPrefetch);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(Version::NoSync.to_string(), "w/o Cedar synchronization");
+    }
+}

@@ -1,0 +1,355 @@
+//! The parallel-loop constructs: XDOALL, SDOALL, CDOALL.
+//!
+//! From the paper (§3.2):
+//!
+//! > "XDOALL makes use of all the processors in the machine and
+//! > schedules each iteration on a processor … Since these operations
+//! > work through the global memory there is a typical loop startup
+//! > latency of 90 µs and fetching the next iteration takes about
+//! > 30 µs. The second type of parallel loop is the SDOALL which
+//! > schedules each iteration on an entire cluster … The CDOALL makes
+//! > use of the concurrency control bus to schedule loops on all
+//! > processors in a cluster and can typically start in a few
+//! > microseconds. The XDOALL has more scheduling flexibility but also
+//! > higher overhead. An SDOALL/CDOALL nest has a lower scheduling
+//! > cost … Both SDOALL and XDOALL loops can be statically scheduled
+//! > or self-scheduled via run-time library options."
+//!
+//! Loop bodies run for real on the host (so programs compute genuine
+//! results) while simulated time is accounted by a deterministic list
+//! scheduler that charges the published overheads.
+
+use cedar_core::system::CedarSystem;
+
+/// How iterations are handed to processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Contiguous blocks assigned up front: no per-iteration fetch
+    /// cost, but imbalance is not corrected.
+    Static,
+    /// Iterations dispensed one at a time from a shared counter: each
+    /// fetch pays the scheduling overhead, but load balances.
+    SelfScheduled,
+}
+
+/// Simulated cost of one loop iteration, as reported by the body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Work {
+    /// CE cycles the iteration keeps its processor busy.
+    pub cycles: f64,
+    /// Useful floating-point operations performed.
+    pub flops: f64,
+}
+
+impl Work {
+    /// Work of `cycles` cycles and no flops.
+    #[must_use]
+    pub fn cycles(cycles: f64) -> Self {
+        Work { cycles, flops: 0.0 }
+    }
+
+    /// Work of `cycles` cycles performing `flops` flops.
+    #[must_use]
+    pub fn new(cycles: f64, flops: f64) -> Self {
+        Work { cycles, flops }
+    }
+}
+
+/// The outcome of one parallel loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopReport {
+    /// Simulated wall-clock of the loop, including startup, fetches
+    /// and the final join, in CE cycles.
+    pub makespan_cycles: f64,
+    /// Busy time per worker (CE for XDOALL/CDOALL, cluster for
+    /// SDOALL), excluding startup.
+    pub per_worker_busy: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Total scheduling overhead charged (startup + fetches + join).
+    pub overhead_cycles: f64,
+    /// Total flops reported by the bodies.
+    pub flops: f64,
+}
+
+impl LoopReport {
+    /// Makespan in seconds at the Cedar clock (170 ns).
+    #[must_use]
+    pub fn makespan_seconds(&self) -> f64 {
+        self.makespan_cycles * 170e-9
+    }
+
+    /// Load imbalance: max worker busy over mean worker busy (1.0 =
+    /// perfectly balanced). Returns 0 for an empty loop.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let n = self.per_worker_busy.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let max = self.per_worker_busy.iter().cloned().fold(0.0, f64::max);
+        let mean: f64 = self.per_worker_busy.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Deterministic list scheduler shared by all three loop flavours.
+///
+/// `fetch_cycles` is charged per iteration under self-scheduling (and
+/// serialized through the shared dispenser); statics pay nothing per
+/// iteration. Bodies are invoked in iteration order so host-side
+/// computation is deterministic.
+fn run_loop<F>(
+    workers: usize,
+    iterations: u64,
+    schedule: Schedule,
+    startup_cycles: f64,
+    fetch_cycles: f64,
+    join_cycles: f64,
+    mut body: F,
+) -> LoopReport
+where
+    F: FnMut(u64) -> Work,
+{
+    assert!(workers > 0, "a loop needs at least one worker");
+    let mut busy = vec![0.0f64; workers];
+    let mut flops = 0.0;
+    let mut overhead = startup_cycles + join_cycles;
+    match schedule {
+        Schedule::Static => {
+            // Contiguous blocks, like the runtime library's static
+            // option: iteration i goes to worker i * workers / n.
+            for i in 0..iterations {
+                let w = ((i * workers as u64) / iterations.max(1)) as usize;
+                let work = body(i);
+                busy[w] += work.cycles;
+                flops += work.flops;
+            }
+        }
+        Schedule::SelfScheduled => {
+            // Greedy dispenser: each fetch goes to the earliest-free
+            // worker and pays the fetch overhead. The dispenser itself
+            // serializes, so the floor is iterations x fetch.
+            for i in 0..iterations {
+                let w = busy
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                    .map(|(idx, _)| idx)
+                    .expect("workers is nonzero");
+                let work = body(i);
+                busy[w] += work.cycles + fetch_cycles;
+                overhead += fetch_cycles;
+                flops += work.flops;
+            }
+        }
+    }
+    let longest = busy.iter().cloned().fold(0.0, f64::max);
+    LoopReport {
+        makespan_cycles: startup_cycles + longest + join_cycles,
+        per_worker_busy: busy,
+        iterations,
+        overhead_cycles: overhead,
+        flops,
+    }
+}
+
+/// Runs an XDOALL: every CE in the machine, scheduled through global
+/// memory (90 µs startup, 30 µs per self-scheduled iteration fetch).
+///
+/// The body receives the iteration index and returns its simulated
+/// [`Work`]; it runs on the host in iteration order, so captured state
+/// computes real results.
+pub fn xdoall<F>(sys: &mut CedarSystem, iterations: u64, schedule: Schedule, body: F) -> LoopReport
+where
+    F: FnMut(u64) -> Work,
+{
+    let p = sys.params();
+    run_loop(
+        p.total_ces(),
+        iterations,
+        schedule,
+        p.xdoall_startup_cycles() as f64,
+        p.xdoall_fetch_cycles() as f64,
+        // The final join also goes through global memory: charge one
+        // more fetch-equivalent round.
+        p.xdoall_fetch_cycles() as f64,
+        body,
+    )
+}
+
+/// Runs a CDOALL on one cluster: gang-scheduled over the concurrency
+/// control bus, starting in a few microseconds.
+///
+/// # Panics
+///
+/// Panics if `cluster` is out of range.
+pub fn cdoall<F>(
+    sys: &mut CedarSystem,
+    cluster: usize,
+    iterations: u64,
+    schedule: Schedule,
+    body: F,
+) -> LoopReport
+where
+    F: FnMut(u64) -> Work,
+{
+    assert!(cluster < sys.params().clusters, "cluster out of range");
+    let costs = *sys.clusters()[cluster].bus.costs();
+    run_loop(
+        sys.params().ces_per_cluster,
+        iterations,
+        schedule,
+        costs.concurrent_start_cycles as f64,
+        costs.self_schedule_cycles as f64,
+        costs.join_cycles as f64,
+        body,
+    )
+}
+
+/// Runs an SDOALL: iterations are scheduled on entire clusters through
+/// global memory; each body typically runs a [`cdoall`]-shaped
+/// computation and reports the *cluster's* busy cycles for its
+/// iteration.
+pub fn sdoall<F>(sys: &mut CedarSystem, iterations: u64, schedule: Schedule, body: F) -> LoopReport
+where
+    F: FnMut(u64) -> Work,
+{
+    let p = sys.params();
+    run_loop(
+        p.clusters,
+        iterations,
+        schedule,
+        p.xdoall_startup_cycles() as f64,
+        p.xdoall_fetch_cycles() as f64,
+        p.xdoall_fetch_cycles() as f64,
+        body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_core::params::CedarParams;
+
+    fn machine() -> CedarSystem {
+        CedarSystem::new(CedarParams::paper())
+    }
+
+    #[test]
+    fn xdoall_runs_every_iteration_in_order() {
+        let mut sys = machine();
+        let mut seen = Vec::new();
+        xdoall(&mut sys, 10, Schedule::SelfScheduled, |i| {
+            seen.push(i);
+            Work::cycles(1.0)
+        });
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xdoall_startup_matches_90_us() {
+        let mut sys = machine();
+        let report = xdoall(&mut sys, 0, Schedule::Static, |_| Work::cycles(0.0));
+        let us = report.makespan_seconds() * 1e6;
+        assert!(
+            (85.0..125.0).contains(&us),
+            "empty XDOALL costs about startup+join, got {us} us"
+        );
+    }
+
+    #[test]
+    fn cdoall_startup_is_microseconds() {
+        let mut sys = machine();
+        let report = cdoall(&mut sys, 0, 0, Schedule::Static, |_| Work::cycles(0.0));
+        let us = report.makespan_seconds() * 1e6;
+        assert!(us < 10.0, "CDOALL must start in a few microseconds, got {us}");
+    }
+
+    #[test]
+    fn cdoall_is_much_cheaper_than_xdoall() {
+        let mut sys = machine();
+        let x = xdoall(&mut sys, 64, Schedule::SelfScheduled, |_| Work::cycles(100.0));
+        let c = cdoall(&mut sys, 0, 64, Schedule::SelfScheduled, |_| {
+            Work::cycles(100.0)
+        });
+        assert!(
+            x.overhead_cycles > 10.0 * c.overhead_cycles,
+            "global scheduling {} should dwarf bus scheduling {}",
+            x.overhead_cycles,
+            c.overhead_cycles
+        );
+    }
+
+    #[test]
+    fn static_schedule_has_no_fetch_overhead() {
+        let mut sys = machine();
+        let s = xdoall(&mut sys, 320, Schedule::Static, |_| Work::cycles(100.0));
+        let d = xdoall(&mut sys, 320, Schedule::SelfScheduled, |_| Work::cycles(100.0));
+        assert!(s.overhead_cycles < d.overhead_cycles);
+    }
+
+    #[test]
+    fn self_scheduling_balances_irregular_work() {
+        let mut sys = machine();
+        // Pathological: iteration cost alternates tiny/huge.
+        let cost = |i: u64| if i.is_multiple_of(32) { 50_000.0 } else { 10.0 };
+        let s = xdoall(&mut sys, 320, Schedule::Static, |i| Work::cycles(cost(i)));
+        let d = xdoall(&mut sys, 320, Schedule::SelfScheduled, |i| {
+            Work::cycles(cost(i))
+        });
+        assert!(
+            d.imbalance() < s.imbalance(),
+            "self-scheduling should balance: static {} vs dynamic {}",
+            s.imbalance(),
+            d.imbalance()
+        );
+    }
+
+    #[test]
+    fn small_granularity_is_dominated_by_fetch_overhead() {
+        // The DYFESM/OCEAN effect: parallel loops with small
+        // granularity need low-overhead scheduling support.
+        let mut sys = machine();
+        let tiny = xdoall(&mut sys, 1000, Schedule::SelfScheduled, |_| Work::cycles(10.0));
+        assert!(
+            tiny.overhead_cycles > 10.0 * 1000.0,
+            "fetch overhead should dwarf tiny bodies"
+        );
+    }
+
+    #[test]
+    fn sdoall_uses_clusters_as_workers() {
+        let mut sys = machine();
+        let report = sdoall(&mut sys, 8, Schedule::Static, |_| Work::cycles(1000.0));
+        assert_eq!(report.per_worker_busy.len(), 4);
+        assert_eq!(report.iterations, 8);
+    }
+
+    #[test]
+    fn flops_accumulate() {
+        let mut sys = machine();
+        let report = xdoall(&mut sys, 10, Schedule::Static, |_| Work::new(10.0, 20.0));
+        assert_eq!(report.flops, 200.0);
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path() {
+        let mut sys = machine();
+        let report = xdoall(&mut sys, 32, Schedule::Static, |_| Work::cycles(1000.0));
+        assert!(report.makespan_cycles >= 1000.0);
+        // 32 iterations on 32 CEs: one body each.
+        assert!(report.makespan_cycles < 1000.0 * 2.0 + 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster out of range")]
+    fn cdoall_bad_cluster_panics() {
+        let mut sys = machine();
+        cdoall(&mut sys, 9, 1, Schedule::Static, |_| Work::cycles(0.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Data placement: the `GLOBAL` attribute and loop-local declarations.
+//!
+//! "Data can be placed in either cluster or shared global memory on
+//! Cedar. A user can control this using a GLOBAL attribute. Variable
+//! placement is in cluster memory by default. A variable can also be
+//! declared inside a parallel loop. The loop-local declaration of a
+//! variable makes a private copy for each processor which is placed in
+//! cluster memory."
+
+use std::fmt;
+
+/// Where a CEDAR FORTRAN variable lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Cluster memory, the default.
+    #[default]
+    Cluster,
+    /// Globally shared memory (the `GLOBAL` attribute).
+    Global,
+    /// Declared inside a parallel loop: a private per-processor copy
+    /// in cluster memory. The paper: "In all Perfect programs we have
+    /// found loop-local data placement to be an important factor in
+    /// reducing data access latencies."
+    LoopLocal,
+}
+
+impl Placement {
+    /// Whether reads of this data traverse the global network.
+    #[must_use]
+    pub fn is_global(self) -> bool {
+        matches!(self, Placement::Global)
+    }
+
+    /// Whether each processor gets its own private copy.
+    #[must_use]
+    pub fn is_private(self) -> bool {
+        matches!(self, Placement::LoopLocal)
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::Cluster => write!(f, "cluster"),
+            Placement::Global => write!(f, "global"),
+            Placement::LoopLocal => write!(f, "loop-local"),
+        }
+    }
+}
+
+/// A declared array: its logical length and placement. The runtime
+/// uses this to cost accesses and moves; element storage itself lives
+/// with the program (host vectors), matching the two-level modelling
+/// approach described in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Number of 64-bit elements.
+    pub words: u64,
+    /// Where the array lives.
+    pub placement: Placement,
+}
+
+impl ArrayDecl {
+    /// Declares an array of `words` elements in cluster memory (the
+    /// default placement).
+    #[must_use]
+    pub fn new(words: u64) -> Self {
+        ArrayDecl {
+            words,
+            placement: Placement::Cluster,
+        }
+    }
+
+    /// Applies the `GLOBAL` attribute.
+    #[must_use]
+    pub fn global(mut self) -> Self {
+        self.placement = Placement::Global;
+        self
+    }
+
+    /// Declares the array loop-local (private per-CE copies).
+    #[must_use]
+    pub fn loop_local(mut self) -> Self {
+        self.placement = Placement::LoopLocal;
+        self
+    }
+
+    /// Total words the declaration occupies machine-wide: loop-local
+    /// data is replicated once per processor.
+    #[must_use]
+    pub fn footprint_words(&self, processors: u64) -> u64 {
+        match self.placement {
+            Placement::LoopLocal => self.words * processors,
+            _ => self.words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_placement_is_cluster() {
+        assert_eq!(Placement::default(), Placement::Cluster);
+        assert_eq!(ArrayDecl::new(10).placement, Placement::Cluster);
+    }
+
+    #[test]
+    fn attributes_chain() {
+        let a = ArrayDecl::new(100).global();
+        assert!(a.placement.is_global());
+        let b = ArrayDecl::new(100).loop_local();
+        assert!(b.placement.is_private());
+    }
+
+    #[test]
+    fn loop_local_footprint_replicates() {
+        let a = ArrayDecl::new(100).loop_local();
+        assert_eq!(a.footprint_words(32), 3200);
+        let g = ArrayDecl::new(100).global();
+        assert_eq!(g.footprint_words(32), 100);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Placement::Global.to_string(), "global");
+        assert_eq!(Placement::LoopLocal.to_string(), "loop-local");
+    }
+}

@@ -1,0 +1,465 @@
+//! CEDAR FORTRAN program descriptions.
+//!
+//! §3 of the paper: "A program for Cedar can be written using explicit
+//! parallelism and memory hierarchy placement directives. Parallelism
+//! can be in the form of DOALL loops or concurrent tasks." This module
+//! is the structural counterpart: a [`Program`] is a sequence of
+//! [`Stmt`]s — serial sections, XDOALL loops, SDOALL/CDOALL nests,
+//! explicit global↔cluster moves, barriers, and I/O — built with a
+//! fluent builder and executed against a [`CedarSystem`] to produce a
+//! time breakdown. It is how the examples and ablations express
+//! whole-application structure without hand-wiring every loop.
+
+use cedar_core::costmodel::AccessMode;
+use cedar_core::system::CedarSystem;
+use cedar_net::fabric::PrefetchTraffic;
+
+use crate::io::{IoSubsystem, RecordFormat};
+use crate::loops::{cdoall, sdoall, xdoall, Schedule, Work};
+use crate::sync::{cluster_barrier_cycles, multicluster_barrier_cycles};
+
+/// Vector startup surcharge on loop bodies: 12 pipeline-fill cycles
+/// per 32-element strip (the 376 vs 274 MFLOPS effective-peak ratio).
+const STRIP_STARTUP_FACTOR: f64 = 1.0 + 12.0 / 32.0;
+
+/// Where a parallel loop's vector operands live, determining the
+/// per-word cost its body pays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OperandHome {
+    /// Cluster cache (after explicit moves or loop-local placement).
+    ClusterCache,
+    /// Cluster memory.
+    ClusterMemory,
+    /// Global memory with compiler prefetch.
+    GlobalPrefetched,
+    /// Global memory without prefetch.
+    GlobalUnprefetched,
+}
+
+impl OperandHome {
+    fn access_mode(self) -> AccessMode {
+        match self {
+            OperandHome::ClusterCache => AccessMode::ClusterCache,
+            OperandHome::ClusterMemory => AccessMode::ClusterMemory,
+            OperandHome::GlobalPrefetched => {
+                AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4))
+            }
+            OperandHome::GlobalUnprefetched => AccessMode::GlobalNoPrefetch,
+        }
+    }
+}
+
+/// A statement of a CEDAR FORTRAN program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stmt {
+    /// Scalar section on one CE.
+    Serial {
+        /// Instructions executed.
+        instructions: u64,
+        /// Flops among them.
+        flops: f64,
+    },
+    /// An XDOALL over every CE: each iteration streams `words` operand
+    /// words from `home` and performs `flops` flops.
+    XDoall {
+        /// Iteration count.
+        iterations: u64,
+        /// Scheduling policy.
+        schedule: Schedule,
+        /// Operand words per iteration.
+        words: f64,
+        /// Flops per iteration.
+        flops: f64,
+        /// Operand placement.
+        home: OperandHome,
+    },
+    /// An SDOALL over clusters whose body is a CDOALL over the
+    /// cluster's CEs.
+    SdoallCdoall {
+        /// Outer (cluster-level) iterations.
+        outer: u64,
+        /// Inner (CE-level) iterations per outer iteration.
+        inner: u64,
+        /// Operand words per inner iteration.
+        words: f64,
+        /// Flops per inner iteration.
+        flops: f64,
+        /// Operand placement for the inner loops.
+        home: OperandHome,
+    },
+    /// Explicit block move from global to one cluster's memory.
+    MoveToCluster {
+        /// Words moved.
+        words: u64,
+    },
+    /// Explicit block move from cluster memory back to global.
+    MoveToGlobal {
+        /// Words moved.
+        words: u64,
+    },
+    /// A machine-wide barrier through global-memory sync cells.
+    MulticlusterBarrier,
+    /// A per-cluster barrier on the concurrency bus.
+    ClusterBarrier,
+    /// Fortran I/O through the Xylem file service.
+    Io {
+        /// Record encoding.
+        format: RecordFormat,
+        /// Words transferred.
+        words: u64,
+    },
+}
+
+/// A program: an ordered statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends a serial section.
+    #[must_use]
+    pub fn serial(mut self, instructions: u64, flops: f64) -> Self {
+        self.stmts.push(Stmt::Serial {
+            instructions,
+            flops,
+        });
+        self
+    }
+
+    /// Appends an XDOALL.
+    #[must_use]
+    pub fn xdoall(
+        mut self,
+        iterations: u64,
+        schedule: Schedule,
+        words: f64,
+        flops: f64,
+        home: OperandHome,
+    ) -> Self {
+        self.stmts.push(Stmt::XDoall {
+            iterations,
+            schedule,
+            words,
+            flops,
+            home,
+        });
+        self
+    }
+
+    /// Appends an SDOALL/CDOALL nest.
+    #[must_use]
+    pub fn sdoall_cdoall(
+        mut self,
+        outer: u64,
+        inner: u64,
+        words: f64,
+        flops: f64,
+        home: OperandHome,
+    ) -> Self {
+        self.stmts.push(Stmt::SdoallCdoall {
+            outer,
+            inner,
+            words,
+            flops,
+            home,
+        });
+        self
+    }
+
+    /// Appends a global→cluster block move.
+    #[must_use]
+    pub fn move_to_cluster(mut self, words: u64) -> Self {
+        self.stmts.push(Stmt::MoveToCluster { words });
+        self
+    }
+
+    /// Appends a cluster→global block move.
+    #[must_use]
+    pub fn move_to_global(mut self, words: u64) -> Self {
+        self.stmts.push(Stmt::MoveToGlobal { words });
+        self
+    }
+
+    /// Appends a multicluster barrier.
+    #[must_use]
+    pub fn multicluster_barrier(mut self) -> Self {
+        self.stmts.push(Stmt::MulticlusterBarrier);
+        self
+    }
+
+    /// Appends a per-cluster barrier.
+    #[must_use]
+    pub fn cluster_barrier(mut self) -> Self {
+        self.stmts.push(Stmt::ClusterBarrier);
+        self
+    }
+
+    /// Appends an I/O statement.
+    #[must_use]
+    pub fn io(mut self, format: RecordFormat, words: u64) -> Self {
+        self.stmts.push(Stmt::Io { format, words });
+        self
+    }
+
+    /// The statement list.
+    #[must_use]
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+}
+
+/// Per-category time breakdown of a program run, in CE cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Serial sections.
+    pub serial: f64,
+    /// Parallel loop bodies (critical path).
+    pub parallel: f64,
+    /// Loop scheduling overhead.
+    pub scheduling: f64,
+    /// Explicit data movement.
+    pub movement: f64,
+    /// Barriers.
+    pub barriers: f64,
+    /// I/O.
+    pub io: f64,
+}
+
+impl Breakdown {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.serial + self.parallel + self.scheduling + self.movement + self.barriers + self.io
+    }
+}
+
+/// The outcome of executing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramReport {
+    /// Total simulated time, CE cycles.
+    pub cycles: f64,
+    /// Total time in seconds at the 170 ns clock.
+    pub seconds: f64,
+    /// Total flops.
+    pub flops: f64,
+    /// Achieved MFLOPS.
+    pub mflops: f64,
+    /// Where the time went.
+    pub breakdown: Breakdown,
+}
+
+/// Executes a program against the machine, returning the report.
+pub fn execute(sys: &mut CedarSystem, program: &Program) -> ProgramReport {
+    let total_ces = sys.params().total_ces();
+    let clusters = sys.params().clusters;
+    let ces_per_cluster = sys.params().ces_per_cluster;
+    let mut b = Breakdown::default();
+    let mut flops = 0.0;
+    let mut io = IoSubsystem::new();
+
+    for stmt in program.stmts() {
+        match *stmt {
+            Stmt::Serial {
+                instructions,
+                flops: f,
+            } => {
+                b.serial += instructions as f64;
+                flops += f;
+            }
+            Stmt::XDoall {
+                iterations,
+                schedule,
+                words,
+                flops: f,
+                home,
+            } => {
+                let cpw = sys.cycles_per_word(home.access_mode(), total_ces);
+                let body = (words * cpw).max(f / 2.0) * STRIP_STARTUP_FACTOR;
+                let report = xdoall(sys, iterations, schedule, |_| Work::new(body, f));
+                // Ideal work spread is the parallel share; everything
+                // the machine adds on top (startup, fetches, join,
+                // imbalance) is scheduling.
+                let ideal = iterations as f64 * body / total_ces as f64;
+                b.parallel += ideal;
+                b.scheduling += (report.makespan_cycles - ideal).max(0.0);
+                flops += report.flops;
+            }
+            Stmt::SdoallCdoall {
+                outer,
+                inner,
+                words,
+                flops: f,
+                home,
+            } => {
+                let cpw = sys.cycles_per_word(home.access_mode(), ces_per_cluster);
+                let body = (words * cpw).max(f / 2.0) * STRIP_STARTUP_FACTOR;
+                // Cost one representative inner CDOALL, then spread the
+                // outer iterations over the clusters via SDOALL.
+                let inner_report =
+                    cdoall(sys, 0, inner, Schedule::SelfScheduled, |_| Work::new(body, f));
+                let outer_report = sdoall(sys, outer, Schedule::SelfScheduled, |_| {
+                    Work::cycles(inner_report.makespan_cycles)
+                });
+                let ideal =
+                    outer as f64 * inner as f64 * body / (clusters * ces_per_cluster) as f64;
+                b.parallel += ideal;
+                b.scheduling += (outer_report.makespan_cycles - ideal).max(0.0);
+                flops += outer as f64 * inner as f64 * f;
+            }
+            Stmt::MoveToCluster { words } => {
+                let cpw = sys.cycles_per_word(
+                    AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4)),
+                    ces_per_cluster,
+                );
+                b.movement += words as f64 * cpw / ces_per_cluster as f64;
+            }
+            Stmt::MoveToGlobal { words } => {
+                b.movement += words as f64 * 2.0 / ces_per_cluster as f64;
+            }
+            Stmt::MulticlusterBarrier => {
+                b.barriers += multicluster_barrier_cycles(clusters);
+            }
+            Stmt::ClusterBarrier => {
+                b.barriers += cluster_barrier_cycles();
+            }
+            Stmt::Io { format, words } => {
+                let report = io.transfer(format, words);
+                b.io += report.seconds / 170e-9;
+            }
+        }
+    }
+
+    let cycles = b.total();
+    let seconds = cycles * 170e-9;
+    ProgramReport {
+        cycles,
+        seconds,
+        flops,
+        mflops: if seconds > 0.0 {
+            flops / seconds / 1e6
+        } else {
+            0.0
+        },
+        breakdown: b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_core::params::CedarParams;
+
+    fn machine() -> CedarSystem {
+        CedarSystem::new(CedarParams::paper())
+    }
+
+    fn stencil_program(home: OperandHome) -> Program {
+        Program::new()
+            .serial(10_000, 0.0)
+            .move_to_cluster(32_768)
+            .xdoall(1_024, Schedule::Static, 512.0, 1_024.0, home)
+            .multicluster_barrier()
+            .move_to_global(32_768)
+            .io(RecordFormat::Unformatted, 4_096)
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut sys = machine();
+        let report = execute(&mut sys, &stencil_program(OperandHome::ClusterCache));
+        assert!((report.breakdown.total() - report.cycles).abs() < 1e-6);
+        assert!(report.breakdown.serial > 0.0);
+        assert!(report.breakdown.parallel > 0.0);
+        assert!(report.breakdown.movement > 0.0);
+        assert!(report.breakdown.barriers > 0.0);
+        assert!(report.breakdown.io > 0.0);
+        assert_eq!(report.flops, 1_024.0 * 1_024.0);
+    }
+
+    #[test]
+    fn placement_changes_program_time() {
+        let mut sys = machine();
+        let cached = execute(&mut sys, &stencil_program(OperandHome::ClusterCache));
+        let global = execute(&mut sys, &stencil_program(OperandHome::GlobalUnprefetched));
+        assert!(
+            global.cycles > 2.0 * cached.cycles,
+            "unprefetched global operands must dominate: {} vs {}",
+            global.cycles,
+            cached.cycles
+        );
+    }
+
+    #[test]
+    fn prefetch_sits_between_cache_and_unprefetched() {
+        let mut sys = machine();
+        let cached = execute(&mut sys, &stencil_program(OperandHome::ClusterCache)).cycles;
+        let pref = execute(&mut sys, &stencil_program(OperandHome::GlobalPrefetched)).cycles;
+        let raw = execute(&mut sys, &stencil_program(OperandHome::GlobalUnprefetched)).cycles;
+        assert!(cached <= pref + 1e-6);
+        assert!(pref < raw);
+    }
+
+    #[test]
+    fn nested_loops_schedule_cheaper_than_flat_for_fine_grain() {
+        let mut sys = machine();
+        let flat = Program::new().xdoall(
+            8_192,
+            Schedule::SelfScheduled,
+            4.0,
+            8.0,
+            OperandHome::ClusterCache,
+        );
+        let nested = Program::new().sdoall_cdoall(
+            64,
+            128,
+            4.0,
+            8.0,
+            OperandHome::ClusterCache,
+        );
+        let t_flat = execute(&mut sys, &flat);
+        let t_nested = execute(&mut sys, &nested);
+        assert!(
+            t_nested.breakdown.scheduling < t_flat.breakdown.scheduling,
+            "nest schedules cheaper: {} vs {}",
+            t_nested.breakdown.scheduling,
+            t_flat.breakdown.scheduling
+        );
+    }
+
+    #[test]
+    fn formatted_io_dominates_a_io_heavy_program() {
+        let mut sys = machine();
+        let formatted = Program::new().io(RecordFormat::Formatted, 1_000_000);
+        let unformatted = Program::new().io(RecordFormat::Unformatted, 1_000_000);
+        let f = execute(&mut sys, &formatted);
+        let u = execute(&mut sys, &unformatted);
+        assert!(f.seconds > 10.0 * u.seconds);
+    }
+
+    #[test]
+    fn empty_program_costs_nothing() {
+        let mut sys = machine();
+        let report = execute(&mut sys, &Program::new());
+        assert_eq!(report.cycles, 0.0);
+        assert_eq!(report.mflops, 0.0);
+    }
+
+    #[test]
+    fn builder_preserves_statement_order() {
+        let p = Program::new()
+            .serial(1, 0.0)
+            .multicluster_barrier()
+            .io(RecordFormat::Formatted, 1);
+        assert_eq!(p.stmts().len(), 3);
+        assert!(matches!(p.stmts()[0], Stmt::Serial { .. }));
+        assert!(matches!(p.stmts()[1], Stmt::MulticlusterBarrier));
+        assert!(matches!(p.stmts()[2], Stmt::Io { .. }));
+    }
+}

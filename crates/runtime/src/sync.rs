@@ -1,0 +1,217 @@
+//! The run-time synchronization library.
+//!
+//! "The Cedar synchronization instructions have been mainly used in
+//! the implementation of the runtime library, where they have proven
+//! useful to control loop self-scheduling. They are also available to
+//! a Fortran programmer via run-time library routines."
+//!
+//! Two barrier flavours matter for the paper's results: the
+//! *multicluster* barrier through global-memory sync cells (the FLO52
+//! bottleneck) and the *intracluster* barrier on the concurrency
+//! control bus (the cheap replacement the hand optimization exploited).
+
+use cedar_core::system::CedarSystem;
+use cedar_mem::sync::SyncInstruction;
+
+/// A ticket dispenser backed by a real global-memory sync cell: the
+/// runtime library's loop self-scheduling mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_core::{CedarParams, CedarSystem};
+/// use cedar_runtime::sync::Ticket;
+///
+/// let mut cedar = CedarSystem::new(CedarParams::paper());
+/// let mut ticket = Ticket::new(5);
+/// assert_eq!(ticket.take(&mut cedar), 0);
+/// assert_eq!(ticket.take(&mut cedar), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    /// Global-memory word index of the counter cell.
+    cell: u64,
+}
+
+impl Ticket {
+    /// Creates a dispenser over the global word at `cell`. The caller
+    /// is responsible for zeroing the cell (or calling [`reset`]).
+    ///
+    /// [`reset`]: Ticket::reset
+    #[must_use]
+    pub fn new(cell: u64) -> Self {
+        Ticket { cell }
+    }
+
+    /// Takes the next ticket with an indivisible fetch-and-add at the
+    /// memory module.
+    pub fn take(&mut self, sys: &mut CedarSystem) -> i32 {
+        sys.global_mut()
+            .sync_op(self.cell, SyncInstruction::fetch_and_add(1))
+            .old_value
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self, sys: &mut CedarSystem) {
+        sys.global_mut().sync_op(self.cell, SyncInstruction::write(0));
+    }
+
+    /// Reads the counter without changing it.
+    pub fn peek(&self, sys: &mut CedarSystem) -> i32 {
+        sys.global_mut()
+            .sync_op(self.cell, SyncInstruction::read())
+            .old_value
+    }
+}
+
+/// Round-trip cost of one global sync operation in CE cycles: the full
+/// 13-cycle unloaded path (the sync processor executes within the
+/// module's service slot).
+pub const GLOBAL_SYNC_ROUND_TRIP_CYCLES: f64 = 13.0;
+
+/// Poll interval while spinning on a global cell, in CE cycles. Spins
+/// back off to avoid hammering the module.
+pub const GLOBAL_SPIN_INTERVAL_CYCLES: f64 = 26.0;
+
+/// Cost in CE cycles of a barrier among `participants` arriving
+/// through global-memory sync cells: each arrival is a serialized
+/// fetch-and-add at one module, then everyone spins until the count
+/// completes. This is the multicluster barrier whose overhead
+/// "degrades performance for problems that are not sufficiently
+/// large" in FLO52.
+#[must_use]
+pub fn multicluster_barrier_cycles(participants: usize) -> f64 {
+    if participants <= 1 {
+        return 0.0;
+    }
+    let p = participants as f64;
+    // Arrivals serialize at the sync cell's module (2 cycles service
+    // each) after a 13-cycle round trip; the last arriver then releases
+    // everyone, observed one spin-poll later on average.
+    GLOBAL_SYNC_ROUND_TRIP_CYCLES + 2.0 * p + GLOBAL_SPIN_INTERVAL_CYCLES
+        + GLOBAL_SYNC_ROUND_TRIP_CYCLES
+}
+
+/// Cost in CE cycles of an intracluster barrier over the concurrency
+/// control bus — the cheap join the FLO52 hand optimization
+/// substitutes for most multicluster barriers.
+#[must_use]
+pub fn cluster_barrier_cycles() -> f64 {
+    // One bus join transaction.
+    12.0
+}
+
+/// A software barrier over real global-memory cells: `arrive` returns
+/// `true` for the participant that completed the barrier (the one that
+/// observed the full count and reset it). Functional counterpart of
+/// [`multicluster_barrier_cycles`].
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalBarrier {
+    cell: u64,
+    participants: i32,
+}
+
+impl GlobalBarrier {
+    /// Creates a barrier for `participants` over global word `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    #[must_use]
+    pub fn new(cell: u64, participants: usize) -> Self {
+        assert!(participants > 0, "barrier needs participants");
+        GlobalBarrier {
+            cell,
+            participants: participants as i32,
+        }
+    }
+
+    /// Registers one arrival; the arrival that completes the count
+    /// resets the cell and returns `true`.
+    pub fn arrive(&self, sys: &mut CedarSystem) -> bool {
+        let old = sys
+            .global_mut()
+            .sync_op(self.cell, SyncInstruction::fetch_and_add(1))
+            .old_value;
+        if old + 1 == self.participants {
+            sys.global_mut().sync_op(self.cell, SyncInstruction::write(0));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_core::params::CedarParams;
+
+    fn machine() -> CedarSystem {
+        CedarSystem::new(CedarParams::paper())
+    }
+
+    #[test]
+    fn tickets_are_sequential() {
+        let mut sys = machine();
+        let mut t = Ticket::new(0);
+        let taken: Vec<i32> = (0..5).map(|_| t.take(&mut sys)).collect();
+        assert_eq!(taken, [0, 1, 2, 3, 4]);
+        assert_eq!(t.peek(&mut sys), 5);
+        t.reset(&mut sys);
+        assert_eq!(t.peek(&mut sys), 0);
+    }
+
+    #[test]
+    fn distinct_cells_are_independent() {
+        let mut sys = machine();
+        let mut a = Ticket::new(1);
+        let mut b = Ticket::new(2);
+        a.take(&mut sys);
+        a.take(&mut sys);
+        assert_eq!(b.take(&mut sys), 0);
+    }
+
+    #[test]
+    fn barrier_completes_on_last_arrival() {
+        let mut sys = machine();
+        let barrier = GlobalBarrier::new(10, 4);
+        assert!(!barrier.arrive(&mut sys));
+        assert!(!barrier.arrive(&mut sys));
+        assert!(!barrier.arrive(&mut sys));
+        assert!(barrier.arrive(&mut sys));
+        // Reusable after completion.
+        assert!(!barrier.arrive(&mut sys));
+    }
+
+    #[test]
+    fn multicluster_barrier_is_tens_of_microseconds_scale() {
+        let cycles = multicluster_barrier_cycles(4);
+        let us = cycles * 170e-9 * 1e6;
+        assert!(
+            (5.0..50.0).contains(&us),
+            "4-way multicluster barrier should be ~10 us, got {us}"
+        );
+    }
+
+    #[test]
+    fn cluster_barrier_is_far_cheaper() {
+        assert!(cluster_barrier_cycles() * 4.0 < multicluster_barrier_cycles(4));
+    }
+
+    #[test]
+    fn barrier_cost_grows_with_participants() {
+        assert!(multicluster_barrier_cycles(32) > multicluster_barrier_cycles(4));
+        assert_eq!(multicluster_barrier_cycles(1), 0.0);
+    }
+
+    #[test]
+    fn sync_traffic_is_visible_to_the_module_counters() {
+        let mut sys = machine();
+        let mut t = Ticket::new(5);
+        t.take(&mut sys);
+        t.take(&mut sys);
+        let module = sys.global().module_of_word(5);
+        assert_eq!(sys.global().sync_ops_per_module()[module], 2);
+    }
+}

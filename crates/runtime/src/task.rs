@@ -1,0 +1,349 @@
+//! The Xylem task abstraction.
+//!
+//! "All of these make use of the abstractions provided by the Xylem
+//! kernel which links the four separate operating systems in Alliant
+//! clusters into the Cedar OS. Xylem exports virtual memory,
+//! scheduling, and file system services for Cedar."
+//!
+//! A Xylem *cluster task* is the schedulable unit: it owns a cluster
+//! (whose CEs are gang-scheduled onto it via `concurrent start`) and
+//! runs until it blocks or completes. This module provides the
+//! scheduler the SDOALL machinery stands on: task creation, cluster
+//! assignment, and a deterministic run queue, with the global-memory
+//! scheduling costs the paper quotes.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cedar_sim::event::EventQueue;
+use cedar_sim::time::Cycle;
+
+/// Identifies a Xylem task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// A task's scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// On the run queue, no cluster yet.
+    Ready,
+    /// Gang-scheduled on a cluster.
+    Running {
+        /// The cluster it owns.
+        cluster: usize,
+    },
+    /// Finished; its cluster has been released.
+    Completed,
+}
+
+/// One cluster task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Identity.
+    pub id: TaskId,
+    /// Human-readable label.
+    pub label: String,
+    /// Scheduling state.
+    pub state: TaskState,
+    /// Simulated work remaining, in CE cycles of one cluster.
+    pub remaining_cycles: f64,
+}
+
+/// The Xylem scheduler: a run queue of cluster tasks over a fixed set
+/// of clusters, dispatched deterministically (FIFO, lowest-numbered
+/// free cluster first).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_runtime::task::XylemScheduler;
+///
+/// let mut xylem = XylemScheduler::new(4);
+/// let a = xylem.spawn("sweep-a", 10_000.0);
+/// let _b = xylem.spawn("sweep-b", 5_000.0);
+/// xylem.dispatch();
+/// assert!(xylem.task(a).unwrap().state != cedar_runtime::task::TaskState::Ready);
+/// ```
+#[derive(Debug, Clone)]
+pub struct XylemScheduler {
+    clusters_free: Vec<bool>,
+    tasks: Vec<Task>,
+    run_queue: VecDeque<TaskId>,
+    next_id: u64,
+    dispatches: u64,
+    /// Simulated scheduler time spent, CE cycles (each dispatch goes
+    /// through global memory like an XDOALL startup).
+    overhead_cycles: f64,
+}
+
+/// Scheduling cost per dispatch, CE cycles: a global-memory scheduling
+/// transaction, same order as the XDOALL startup path.
+pub const DISPATCH_CYCLES: f64 = 530.0;
+
+impl XylemScheduler {
+    /// Creates a scheduler over `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    #[must_use]
+    pub fn new(clusters: usize) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        XylemScheduler {
+            clusters_free: vec![true; clusters],
+            tasks: Vec::new(),
+            run_queue: VecDeque::new(),
+            next_id: 0,
+            dispatches: 0,
+            overhead_cycles: 0.0,
+        }
+    }
+
+    /// Creates a ready task with `cycles` of cluster work.
+    pub fn spawn(&mut self, label: &str, cycles: f64) -> TaskId {
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        self.tasks.push(Task {
+            id,
+            label: label.to_owned(),
+            state: TaskState::Ready,
+            remaining_cycles: cycles,
+        });
+        self.run_queue.push_back(id);
+        id
+    }
+
+    /// Assigns ready tasks to free clusters (FIFO × lowest cluster).
+    /// Returns how many tasks started.
+    pub fn dispatch(&mut self) -> usize {
+        let mut started = 0;
+        while let Some(&next) = self.run_queue.front() {
+            let Some(cluster) = self.clusters_free.iter().position(|&f| f) else {
+                break;
+            };
+            self.run_queue.pop_front();
+            self.clusters_free[cluster] = false;
+            let task = self
+                .tasks
+                .iter_mut()
+                .find(|t| t.id == next)
+                .expect("queued task exists");
+            task.state = TaskState::Running { cluster };
+            self.dispatches += 1;
+            self.overhead_cycles += DISPATCH_CYCLES;
+            started += 1;
+        }
+        started
+    }
+
+    /// Advances every running task by `cycles`; completed tasks release
+    /// their clusters. Returns the tasks that completed this step.
+    pub fn advance(&mut self, cycles: f64) -> Vec<TaskId> {
+        let mut done = Vec::new();
+        for task in &mut self.tasks {
+            if let TaskState::Running { cluster } = task.state {
+                task.remaining_cycles -= cycles;
+                if task.remaining_cycles <= 0.0 {
+                    task.remaining_cycles = 0.0;
+                    task.state = TaskState::Completed;
+                    self.clusters_free[cluster] = true;
+                    done.push(task.id);
+                }
+            }
+        }
+        done
+    }
+
+    /// Runs dispatch/advance to completion with a fixed time quantum,
+    /// returning the simulated makespan in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is not positive.
+    pub fn run_to_completion(&mut self, quantum: f64) -> f64 {
+        assert!(quantum > 0.0, "quantum must be positive");
+        let mut elapsed = 0.0;
+        loop {
+            self.dispatch();
+            if self.tasks.iter().all(|t| t.state == TaskState::Completed) {
+                return elapsed + self.overhead_cycles;
+            }
+            self.advance(quantum);
+            elapsed += quantum;
+        }
+    }
+
+    /// Runs to completion *event-driven*: instead of stepping a fixed
+    /// quantum, completion events are scheduled on a discrete-event
+    /// queue, so the makespan is exact. Returns the makespan in
+    /// cycles (including dispatch overhead), and leaves every task
+    /// completed.
+    pub fn run_event_driven(&mut self) -> f64 {
+        let mut queue: EventQueue<TaskId> = EventQueue::new();
+        let mut now = 0.0f64;
+        loop {
+            self.dispatch();
+            // (Re)build the completion schedule for the running set at
+            // absolute times. Rebuilding per wave is deterministic and
+            // O(n log n); waves are bounded by the task count.
+            queue.clear();
+            let running: Vec<(TaskId, f64)> = self
+                .tasks
+                .iter()
+                .filter(|t| matches!(t.state, TaskState::Running { .. }))
+                .map(|t| (t.id, t.remaining_cycles))
+                .collect();
+            for (id, remaining) in &running {
+                queue.schedule(Cycle::new((now + remaining).ceil() as u64), *id);
+            }
+            let Some((at, id)) = queue.pop() else {
+                debug_assert!(
+                    self.tasks.iter().all(|t| t.state == TaskState::Completed),
+                    "no running tasks but not all completed"
+                );
+                return now + self.overhead_cycles;
+            };
+            let completed_at = at.as_u64() as f64;
+            let delta = completed_at - now;
+            now = completed_at;
+            // Advance every running task by the elapsed span; `id`
+            // completes (floating-point ceil may complete others too).
+            let done = self.advance(delta);
+            debug_assert!(
+                done.contains(&id) || delta == 0.0,
+                "the popped event's task must complete"
+            );
+        }
+    }
+
+    /// Looks up a task.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// All tasks, in spawn order.
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Tasks dispatched so far.
+    #[must_use]
+    pub fn dispatch_count(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Accumulated scheduling overhead, CE cycles.
+    #[must_use]
+    pub fn overhead_cycles(&self) -> f64 {
+        self.overhead_cycles
+    }
+
+    /// Number of currently free clusters.
+    #[must_use]
+    pub fn free_clusters(&self) -> usize {
+        self.clusters_free.iter().filter(|&&f| f).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_dispatch_fifo_onto_lowest_clusters() {
+        let mut x = XylemScheduler::new(2);
+        let a = x.spawn("a", 100.0);
+        let b = x.spawn("b", 100.0);
+        let c = x.spawn("c", 100.0);
+        assert_eq!(x.dispatch(), 2, "two clusters, two starts");
+        assert_eq!(x.task(a).unwrap().state, TaskState::Running { cluster: 0 });
+        assert_eq!(x.task(b).unwrap().state, TaskState::Running { cluster: 1 });
+        assert_eq!(x.task(c).unwrap().state, TaskState::Ready);
+        assert_eq!(x.free_clusters(), 0);
+    }
+
+    #[test]
+    fn completion_releases_clusters_for_queued_tasks() {
+        let mut x = XylemScheduler::new(1);
+        let a = x.spawn("a", 50.0);
+        let b = x.spawn("b", 50.0);
+        x.dispatch();
+        let done = x.advance(60.0);
+        assert_eq!(done, vec![a]);
+        assert_eq!(x.free_clusters(), 1);
+        x.dispatch();
+        assert_eq!(x.task(b).unwrap().state, TaskState::Running { cluster: 0 });
+    }
+
+    #[test]
+    fn run_to_completion_accounts_overhead() {
+        let mut x = XylemScheduler::new(4);
+        for i in 0..8 {
+            x.spawn(&format!("t{i}"), 1_000.0);
+        }
+        let makespan = x.run_to_completion(100.0);
+        // 8 tasks over 4 clusters: two waves of ~1000 cycles plus 8
+        // dispatches of overhead.
+        assert!(makespan >= 2_000.0 + 8.0 * DISPATCH_CYCLES);
+        assert_eq!(x.dispatch_count(), 8);
+        assert!(x.tasks().iter().all(|t| t.state == TaskState::Completed));
+    }
+
+    #[test]
+    fn event_driven_matches_quantum_stepping() {
+        let build = || {
+            let mut x = XylemScheduler::new(3);
+            for (i, w) in [700.0, 1200.0, 300.0, 900.0, 100.0].iter().enumerate() {
+                x.spawn(&format!("t{i}"), *w);
+            }
+            x
+        };
+        let quantum = build().run_to_completion(1.0);
+        let event = build().run_event_driven();
+        assert!(
+            (quantum - event).abs() <= 2.0,
+            "fine-quantum stepping {quantum} and event-driven {event} must agree"
+        );
+    }
+
+    #[test]
+    fn event_driven_completes_everything() {
+        let mut x = XylemScheduler::new(2);
+        for i in 0..7 {
+            x.spawn(&format!("t{i}"), 100.0 * (i + 1) as f64);
+        }
+        let makespan = x.run_event_driven();
+        assert!(x.tasks().iter().all(|t| t.state == TaskState::Completed));
+        // 2800 total cycles over 2 clusters: at least 1400 + overhead.
+        assert!(makespan >= 1400.0);
+    }
+
+    #[test]
+    fn more_clusters_shorten_the_makespan() {
+        let run = |clusters: usize| {
+            let mut x = XylemScheduler::new(clusters);
+            for i in 0..8 {
+                x.spawn(&format!("t{i}"), 10_000.0);
+            }
+            x.run_to_completion(100.0)
+        };
+        assert!(run(4) < run(1));
+    }
+
+    #[test]
+    fn display_and_lookup() {
+        let mut x = XylemScheduler::new(1);
+        let id = x.spawn("solver", 1.0);
+        assert_eq!(id.to_string(), "task#0");
+        assert_eq!(x.task(id).unwrap().label, "solver");
+        assert!(x.task(TaskId(99)).is_none());
+    }
+}

@@ -1,0 +1,458 @@
+//! Model of Cedar's performance-monitoring hardware.
+//!
+//! The paper (§2, "Performance monitoring") describes external
+//! hardware that collects time-stamped event traces and histograms of
+//! hardware signals: "The event tracers can each collect 1M events and
+//! the histogrammers have 64K 32-bit counters. These can be cascaded
+//! to capture more events." Software can also post events, enabling
+//! software event tracing.
+//!
+//! [`EventTracer`] and [`Histogrammer`] reproduce those units,
+//! including the capacity limits and cascading. [`PerformanceMonitor`]
+//! bundles tracers and histogrammers behind named signals, and is what
+//! the Table 2 experiments attach to the prefetch unit to measure
+//! first-word latency and interarrival time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stats::RunningStats;
+use crate::time::Cycle;
+
+/// Identifies a monitored hardware signal.
+///
+/// The real monitor could attach to "any accessible hardware signal";
+/// here signals are named strings interned by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(usize);
+
+impl SignalId {
+    /// The raw index of this signal in its monitor.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signal#{}", self.0)
+    }
+}
+
+/// One recorded event: a time stamp plus a 32-bit payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event occurred.
+    pub at: Cycle,
+    /// Event payload (e.g. a request id or an address tag).
+    pub value: u32,
+}
+
+/// Capacity of one event-tracer unit, per the paper: 1M events.
+pub const TRACER_UNIT_CAPACITY: usize = 1 << 20;
+
+/// Number of counters in one histogrammer unit, per the paper: 64K.
+pub const HISTOGRAMMER_UNIT_COUNTERS: usize = 1 << 16;
+
+/// A time-stamped event capture buffer.
+///
+/// A single unit holds [`TRACER_UNIT_CAPACITY`] events; `cascade`
+/// units multiply that. Once full, further events are dropped and
+/// counted, exactly as a full hardware buffer would miss them.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_sim::monitor::EventTracer;
+/// use cedar_sim::time::Cycle;
+///
+/// let mut t = EventTracer::new(1);
+/// t.post(Cycle::new(10), 0xBEEF);
+/// assert_eq!(t.records().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTracer {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventTracer {
+    /// Creates a tracer backed by `cascade` hardware units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cascade` is zero.
+    #[must_use]
+    pub fn new(cascade: usize) -> Self {
+        assert!(cascade > 0, "tracer needs at least one unit");
+        EventTracer {
+            records: Vec::new(),
+            capacity: TRACER_UNIT_CAPACITY * cascade,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, or counts it as dropped if the buffer is full.
+    pub fn post(&mut self, at: Cycle, value: u32) {
+        if self.records.len() < self.capacity {
+            self.records.push(TraceRecord { at, value });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The captured events, in arrival order.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Events that arrived after the buffer filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears the buffer (the "move data to workstation" step).
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.dropped = 0;
+        std::mem::take(&mut self.records)
+    }
+
+    /// Inter-event gaps in cycles between consecutive records, the raw
+    /// material for interarrival-time analysis (Table 2).
+    #[must_use]
+    pub fn interarrival_cycles(&self) -> Vec<u64> {
+        self.records
+            .windows(2)
+            .map(|w| (w[1].at - w[0].at).as_u64())
+            .collect()
+    }
+}
+
+/// A bank of saturating 32-bit counters indexed by sample value.
+///
+/// A single unit provides [`HISTOGRAMMER_UNIT_COUNTERS`] counters;
+/// `cascade` units extend the indexable range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogrammer {
+    counters: Vec<u32>,
+    out_of_range: u64,
+}
+
+impl Histogrammer {
+    /// Creates a histogrammer backed by `cascade` hardware units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cascade` is zero.
+    #[must_use]
+    pub fn new(cascade: usize) -> Self {
+        assert!(cascade > 0, "histogrammer needs at least one unit");
+        Histogrammer {
+            counters: vec![0; HISTOGRAMMER_UNIT_COUNTERS * cascade],
+            out_of_range: 0,
+        }
+    }
+
+    /// Increments the counter for `sample`, saturating at `u32::MAX`;
+    /// samples beyond the counter range are tallied separately.
+    pub fn record(&mut self, sample: u64) {
+        match self.counters.get_mut(sample as usize) {
+            Some(c) => *c = c.saturating_add(1),
+            None => self.out_of_range += 1,
+        }
+    }
+
+    /// The count for `sample`, or `None` if beyond the range.
+    #[must_use]
+    pub fn count(&self, sample: u64) -> Option<u32> {
+        self.counters.get(sample as usize).copied()
+    }
+
+    /// Samples that fell beyond the counter range.
+    #[must_use]
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Number of counters available.
+    #[must_use]
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The mean sample value over all in-range records.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let mut n = 0u64;
+        let mut sum = 0u128;
+        for (v, &c) in self.counters.iter().enumerate() {
+            n += u64::from(c);
+            sum += (v as u128) * u128::from(c);
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+        self.out_of_range = 0;
+    }
+}
+
+/// Whether an experiment is currently collecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MonitorState {
+    Stopped,
+    Running,
+}
+
+/// The assembled performance monitor: named signals, each with a
+/// tracer, a histogrammer, and running statistics.
+///
+/// Software tools "start and stop the experiments"; events posted
+/// while stopped are ignored, mirroring the hardware gating.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_sim::monitor::PerformanceMonitor;
+/// use cedar_sim::time::Cycle;
+///
+/// let mut mon = PerformanceMonitor::new();
+/// let lat = mon.signal("prefetch.first_word_latency");
+/// mon.start();
+/// mon.post(lat, Cycle::new(100), 13);
+/// mon.stop();
+/// assert_eq!(mon.stats(lat).unwrap().count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PerformanceMonitor {
+    names: BTreeMap<String, SignalId>,
+    tracers: Vec<EventTracer>,
+    histograms: Vec<Histogrammer>,
+    stats: Vec<RunningStats>,
+    state: MonitorState,
+}
+
+impl PerformanceMonitor {
+    /// Creates a monitor with no signals attached, in the stopped state.
+    #[must_use]
+    pub fn new() -> Self {
+        PerformanceMonitor {
+            names: BTreeMap::new(),
+            tracers: Vec::new(),
+            histograms: Vec::new(),
+            stats: Vec::new(),
+            state: MonitorState::Stopped,
+        }
+    }
+
+    /// Returns the id for `name`, attaching probes on first use.
+    pub fn signal(&mut self, name: &str) -> SignalId {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = SignalId(self.tracers.len());
+        self.names.insert(name.to_owned(), id);
+        self.tracers.push(EventTracer::new(1));
+        self.histograms.push(Histogrammer::new(1));
+        self.stats.push(RunningStats::new());
+        id
+    }
+
+    /// Looks up a signal id without attaching.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<SignalId> {
+        self.names.get(name).copied()
+    }
+
+    /// Begins collecting.
+    pub fn start(&mut self) {
+        self.state = MonitorState::Running;
+    }
+
+    /// Stops collecting; subsequent posts are ignored.
+    pub fn stop(&mut self) {
+        self.state = MonitorState::Stopped;
+    }
+
+    /// Whether the monitor is collecting.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.state == MonitorState::Running
+    }
+
+    /// Posts an event with sample `value` at time `at`. Ignored while
+    /// stopped or if `id` came from a different monitor.
+    pub fn post(&mut self, id: SignalId, at: Cycle, value: u32) {
+        if self.state != MonitorState::Running {
+            return;
+        }
+        let Some(tracer) = self.tracers.get_mut(id.0) else {
+            return;
+        };
+        tracer.post(at, value);
+        self.histograms[id.0].record(u64::from(value));
+        self.stats[id.0].record(f64::from(value));
+    }
+
+    /// Running statistics for a signal.
+    #[must_use]
+    pub fn stats(&self, id: SignalId) -> Option<&RunningStats> {
+        self.stats.get(id.0)
+    }
+
+    /// The event trace for a signal.
+    #[must_use]
+    pub fn tracer(&self, id: SignalId) -> Option<&EventTracer> {
+        self.tracers.get(id.0)
+    }
+
+    /// The histogram for a signal.
+    #[must_use]
+    pub fn histogrammer(&self, id: SignalId) -> Option<&Histogrammer> {
+        self.histograms.get(id.0)
+    }
+
+    /// Names of every attached signal, in sorted order.
+    pub fn signal_names(&self) -> impl Iterator<Item = &str> {
+        self.names.keys().map(String::as_str)
+    }
+
+    /// Clears all collected data but keeps signal attachments.
+    pub fn reset(&mut self) {
+        for t in &mut self.tracers {
+            t.drain();
+        }
+        for h in &mut self.histograms {
+            h.reset();
+        }
+        for s in &mut self.stats {
+            *s = RunningStats::new();
+        }
+    }
+}
+
+impl Default for PerformanceMonitor {
+    fn default() -> Self {
+        PerformanceMonitor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_records_in_order() {
+        let mut t = EventTracer::new(1);
+        t.post(Cycle::new(1), 10);
+        t.post(Cycle::new(4), 20);
+        t.post(Cycle::new(9), 30);
+        assert_eq!(t.interarrival_cycles(), vec![3, 5]);
+    }
+
+    #[test]
+    fn tracer_capacity_is_one_meg_per_unit() {
+        let t = EventTracer::new(2);
+        assert_eq!(t.capacity(), 2 * (1 << 20));
+    }
+
+    #[test]
+    fn tracer_drops_when_full() {
+        let mut t = EventTracer::new(1);
+        for i in 0..(TRACER_UNIT_CAPACITY as u64 + 5) {
+            t.post(Cycle::new(i), 0);
+        }
+        assert_eq!(t.records().len(), TRACER_UNIT_CAPACITY);
+        assert_eq!(t.dropped(), 5);
+    }
+
+    #[test]
+    fn tracer_drain_empties() {
+        let mut t = EventTracer::new(1);
+        t.post(Cycle::new(0), 1);
+        let drained = t.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn histogrammer_counts_and_mean() {
+        let mut h = Histogrammer::new(1);
+        h.record(5);
+        h.record(5);
+        h.record(7);
+        assert_eq!(h.count(5), Some(2));
+        assert_eq!(h.count(7), Some(1));
+        assert!((h.mean() - 17.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogrammer_range_is_64k_per_unit() {
+        let mut h = Histogrammer::new(1);
+        assert_eq!(h.counter_count(), 1 << 16);
+        h.record(1 << 16);
+        assert_eq!(h.out_of_range(), 1);
+        let mut h2 = Histogrammer::new(2);
+        h2.record(1 << 16);
+        assert_eq!(h2.out_of_range(), 0);
+    }
+
+    #[test]
+    fn monitor_gates_on_start_stop() {
+        let mut mon = PerformanceMonitor::new();
+        let sig = mon.signal("s");
+        mon.post(sig, Cycle::new(0), 1); // ignored: stopped
+        mon.start();
+        mon.post(sig, Cycle::new(1), 2);
+        mon.stop();
+        mon.post(sig, Cycle::new(2), 3); // ignored: stopped
+        assert_eq!(mon.stats(sig).unwrap().count(), 1);
+        assert_eq!(mon.tracer(sig).unwrap().records().len(), 1);
+    }
+
+    #[test]
+    fn monitor_signal_is_idempotent() {
+        let mut mon = PerformanceMonitor::new();
+        let a = mon.signal("x");
+        let b = mon.signal("x");
+        assert_eq!(a, b);
+        assert_eq!(mon.lookup("x"), Some(a));
+        assert_eq!(mon.lookup("y"), None);
+    }
+
+    #[test]
+    fn monitor_reset_keeps_signals() {
+        let mut mon = PerformanceMonitor::new();
+        let sig = mon.signal("s");
+        mon.start();
+        mon.post(sig, Cycle::new(0), 9);
+        mon.reset();
+        assert_eq!(mon.stats(sig).unwrap().count(), 0);
+        assert_eq!(mon.lookup("s"), Some(sig));
+    }
+
+    #[test]
+    fn monitor_lists_signal_names_sorted() {
+        let mut mon = PerformanceMonitor::new();
+        mon.signal("b");
+        mon.signal("a");
+        let names: Vec<_> = mon.signal_names().collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,405 @@
+//! Statistics primitives: counters, running moments, and histograms.
+//!
+//! These are the building blocks of the performance-monitor model in
+//! [`crate::monitor`] and of every measurement the experiment harness
+//! reports (latencies, interarrival times, bandwidths, MFLOPS).
+
+use std::fmt;
+
+/// A saturating event counter.
+///
+/// Cedar's histogrammers used 32-bit hardware counters; [`Counter`]
+/// mirrors that by saturating at `u64::MAX` instead of wrapping (the
+/// wider width avoids saturation in long software runs while keeping
+/// the never-wraps contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// Adds one to the counter, saturating.
+    pub fn increment(&mut self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter, saturating.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.value
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_sim::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// The number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The arithmetic mean, or 0.0 if no observations were recorded.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The population variance, or 0.0 with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// The population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The smallest observation, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// The largest observation, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-bin histogram over `u64` samples.
+///
+/// Cedar's hardware histogrammers provided 64 K 32-bit counters and
+/// could be cascaded for more. [`Histogram`] models one unit: samples
+/// beyond the configured range land in a saturating overflow bucket
+/// (cascading is modelled by [`crate::monitor::Histogrammer`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    bin_width: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets of `bin_width` units each.
+    ///
+    /// Sample `x` lands in bucket `x / bin_width`, or in the overflow
+    /// bucket if that exceeds the bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` or `bin_width` is zero.
+    #[must_use]
+    pub fn new(bins: usize, bin_width: u64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(bin_width > 0, "bin width must be nonzero");
+        Histogram {
+            bins: vec![0; bins],
+            bin_width,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = (sample / self.bin_width) as usize;
+        match self.bins.get_mut(idx) {
+            Some(bin) => *bin += 1,
+            None => self.overflow += 1,
+        }
+        self.total += 1;
+    }
+
+    /// The count in bucket `idx`, or `None` if out of range.
+    #[must_use]
+    pub fn bin(&self, idx: usize) -> Option<u64> {
+        self.bins.get(idx).copied()
+    }
+
+    /// The number of buckets (excluding overflow).
+    #[must_use]
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Samples that fell past the last bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The mean of recorded samples approximated by bin midpoints
+    /// (overflow samples are excluded). Returns 0.0 when empty.
+    #[must_use]
+    pub fn approx_mean(&self) -> f64 {
+        let counted = self.total - self.overflow;
+        if counted == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mid = i as f64 * self.bin_width as f64 + self.bin_width as f64 / 2.0;
+                mid * c as f64
+            })
+            .sum();
+        sum / counted as f64
+    }
+
+    /// The smallest sample value `v` such that at least `q` of the
+    /// recorded (non-overflow) mass lies at or below `v`'s bucket.
+    /// Returns `None` when empty. `q` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        let counted = self.total - self.overflow;
+        if counted == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * counted as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper edge of the bucket.
+                return Some((i as u64 + 1) * self.bin_width - 1);
+            }
+        }
+        Some(self.bins.len() as u64 * self.bin_width - 1)
+    }
+
+    /// Clears all buckets.
+    pub fn reset(&mut self) {
+        self.bins.iter_mut().for_each(|b| *b = 0);
+        self.overflow = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.increment();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.add(10);
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn running_stats_moments() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        xs.iter().for_each(|&x| whole.record(x));
+
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        xs[..37].iter().for_each(|&x| left.record(x));
+        xs[37..].iter().for_each(|&x| right.record(x));
+        left.merge(&right);
+
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = RunningStats::new();
+        s.record(1.0);
+        s.record(3.0);
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(4, 10);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(39);
+        h.record(40); // overflow
+        assert_eq!(h.bin(0), Some(2));
+        assert_eq!(h.bin(1), Some(1));
+        assert_eq!(h.bin(3), Some(1));
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let mut h = Histogram::new(100, 1);
+        for x in 0..100 {
+            h.record(x);
+        }
+        assert!((h.approx_mean() - 50.0).abs() < 1.0);
+        let median = h.approx_quantile(0.5).unwrap();
+        assert!((49..=51).contains(&median), "median was {median}");
+    }
+
+    #[test]
+    fn histogram_quantile_empty() {
+        let h = Histogram::new(4, 1);
+        assert_eq!(h.approx_quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_reset() {
+        let mut h = Histogram::new(2, 1);
+        h.record(0);
+        h.record(5);
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.bin(0), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = Histogram::new(0, 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Cycle-based simulated time.
+//!
+//! All Cedar subsystem models advance in units of the CE instruction
+//! cycle (170 ns on the real machine). [`Cycle`] is an absolute point
+//! on the simulated clock, [`CycleDelta`] a span between two points,
+//! and [`ClockPeriod`] converts spans to wall-clock seconds so that
+//! kernel and application models can report times in the units the
+//! paper uses (seconds, microseconds, MFLOPS).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in simulated time, measured in clock cycles.
+///
+/// `Cycle` is a newtype over `u64`; it is `Copy`, totally ordered, and
+/// only supports the arithmetic that makes sense for absolute times
+/// (adding a [`CycleDelta`], subtracting another `Cycle`).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_sim::time::{Cycle, CycleDelta};
+///
+/// let start = Cycle::new(100);
+/// let end = start + CycleDelta::new(13);
+/// assert_eq!(end - start, CycleDelta::new(13));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The origin of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates an absolute time at `cycles` cycles past the origin.
+    #[must_use]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two times.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    #[must_use]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Saturating difference: `self - other`, or zero if `other` is later.
+    #[must_use]
+    pub fn saturating_since(self, other: Cycle) -> CycleDelta {
+        CycleDelta(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl Add<CycleDelta> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: CycleDelta) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<CycleDelta> for Cycle {
+    fn add_assign(&mut self, rhs: CycleDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = CycleDelta;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self` (underflow).
+    fn sub(self, rhs: Cycle) -> CycleDelta {
+        CycleDelta(self.0 - rhs.0)
+    }
+}
+
+/// A span of simulated time, measured in clock cycles.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_sim::time::CycleDelta;
+///
+/// let a = CycleDelta::new(8) + CycleDelta::new(5);
+/// assert_eq!(a.as_u64(), 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CycleDelta(u64);
+
+impl CycleDelta {
+    /// The empty span.
+    pub const ZERO: CycleDelta = CycleDelta(0);
+    /// A single cycle.
+    pub const ONE: CycleDelta = CycleDelta(1);
+
+    /// Creates a span of `cycles` cycles.
+    #[must_use]
+    pub const fn new(cycles: u64) -> Self {
+        CycleDelta(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as a floating-point cycle count.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Multiplies the span by an integer factor.
+    #[must_use]
+    pub const fn times(self, n: u64) -> CycleDelta {
+        CycleDelta(self.0 * n)
+    }
+}
+
+impl fmt::Display for CycleDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for CycleDelta {
+    type Output = CycleDelta;
+
+    fn add(self, rhs: CycleDelta) -> CycleDelta {
+        CycleDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for CycleDelta {
+    fn add_assign(&mut self, rhs: CycleDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for CycleDelta {
+    type Output = CycleDelta;
+
+    fn sub(self, rhs: CycleDelta) -> CycleDelta {
+        CycleDelta(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for CycleDelta {
+    fn sum<I: Iterator<Item = CycleDelta>>(iter: I) -> CycleDelta {
+        iter.fold(CycleDelta::ZERO, Add::add)
+    }
+}
+
+/// The duration of one clock cycle in seconds, used to convert
+/// simulated cycle counts to wall-clock time.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_sim::time::{ClockPeriod, CycleDelta};
+///
+/// // Cedar CE: 170 ns instruction cycle.
+/// let clk = ClockPeriod::from_nanos(170.0);
+/// let t = clk.to_seconds(CycleDelta::new(1_000_000));
+/// assert!((t - 0.17e-3 * 1000.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ClockPeriod {
+    seconds: f64,
+}
+
+impl ClockPeriod {
+    /// Creates a clock period from a duration in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive and finite.
+    #[must_use]
+    pub fn from_seconds(seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "clock period must be positive and finite, got {seconds}"
+        );
+        ClockPeriod { seconds }
+    }
+
+    /// Creates a clock period from a duration in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nanos` is not strictly positive and finite.
+    #[must_use]
+    pub fn from_nanos(nanos: f64) -> Self {
+        ClockPeriod::from_seconds(nanos * 1e-9)
+    }
+
+    /// The period in seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.seconds
+    }
+
+    /// The clock frequency in hertz.
+    #[must_use]
+    pub fn frequency_hz(self) -> f64 {
+        1.0 / self.seconds
+    }
+
+    /// Converts a span of cycles to seconds.
+    #[must_use]
+    pub fn to_seconds(self, delta: CycleDelta) -> f64 {
+        delta.as_f64() * self.seconds
+    }
+
+    /// Converts a duration in seconds to a whole number of cycles,
+    /// rounding up (a partial cycle still occupies a full cycle).
+    #[must_use]
+    pub fn to_cycles(self, seconds: f64) -> CycleDelta {
+        CycleDelta::new((seconds / self.seconds).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_ordering_and_arithmetic() {
+        let a = Cycle::new(10);
+        let b = a + CycleDelta::new(3);
+        assert!(b > a);
+        assert_eq!(b - a, CycleDelta::new(3));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn cycle_saturating_since_clamps_to_zero() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(20);
+        assert_eq!(a.saturating_since(b), CycleDelta::ZERO);
+        assert_eq!(b.saturating_since(a), CycleDelta::new(10));
+    }
+
+    #[test]
+    fn delta_sum_and_times() {
+        let total: CycleDelta = (1..=4).map(CycleDelta::new).sum();
+        assert_eq!(total, CycleDelta::new(10));
+        assert_eq!(CycleDelta::new(3).times(4), CycleDelta::new(12));
+    }
+
+    #[test]
+    fn clock_period_round_trips() {
+        let clk = ClockPeriod::from_nanos(170.0);
+        assert!((clk.frequency_hz() - 5_882_352.94).abs() / clk.frequency_hz() < 1e-6);
+        let span = CycleDelta::new(1000);
+        let secs = clk.to_seconds(span);
+        assert_eq!(clk.to_cycles(secs), span);
+    }
+
+    #[test]
+    fn clock_period_rounds_partial_cycles_up() {
+        let clk = ClockPeriod::from_nanos(100.0);
+        assert_eq!(clk.to_cycles(250e-9), CycleDelta::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be positive")]
+    fn clock_period_rejects_zero() {
+        let _ = ClockPeriod::from_seconds(0.0);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(Cycle::new(7).to_string(), "cycle 7");
+        assert_eq!(CycleDelta::new(7).to_string(), "7 cycles");
+    }
+
+    #[test]
+    fn add_assign_advances_clock() {
+        let mut t = Cycle::ZERO;
+        t += CycleDelta::new(5);
+        t += CycleDelta::new(8);
+        assert_eq!(t, Cycle::new(13));
+    }
+}

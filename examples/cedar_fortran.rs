@@ -1,0 +1,73 @@
+//! A whole application written with the CEDAR FORTRAN program layer,
+//! then optimized step by step the way §4.2 optimizes the Perfect
+//! codes: global operands → explicit distribution into cluster
+//! memory, multicluster barriers → per-cluster barriers, formatted →
+//! unformatted I/O.
+//!
+//! Run with `cargo run --release --example cedar_fortran`.
+
+use cedar::core::{CedarParams, CedarSystem};
+use cedar::runtime::io::RecordFormat;
+use cedar::runtime::loops::Schedule;
+use cedar::runtime::program::{execute, OperandHome, Program};
+
+/// A synthetic ARC2D-like sweep: read the grid, relax it, write the
+/// result — parameterized by the three optimization choices.
+fn application(home: OperandHome, cheap_barriers: bool, unformatted: bool) -> Program {
+    let steps = 200;
+    let mut p = Program::new().serial(50_000, 0.0);
+    if matches!(home, OperandHome::ClusterCache | OperandHome::ClusterMemory) {
+        // The optimized versions pay for explicit distribution.
+        p = p.move_to_cluster(262_144);
+    }
+    for _ in 0..steps {
+        p = p.xdoall(8_192, Schedule::Static, 128.0, 256.0, home);
+        p = if cheap_barriers {
+            p.cluster_barrier()
+        } else {
+            p.multicluster_barrier()
+        };
+    }
+    if matches!(home, OperandHome::ClusterCache | OperandHome::ClusterMemory) {
+        p = p.move_to_global(262_144);
+    }
+    let format = if unformatted {
+        RecordFormat::Unformatted
+    } else {
+        RecordFormat::Formatted
+    };
+    p.io(format, 100_000)
+}
+
+fn main() {
+    let mut cedar = CedarSystem::new(CedarParams::paper());
+    let versions: [(&str, OperandHome, bool, bool); 4] = [
+        ("naive (global, heavyweight)", OperandHome::GlobalUnprefetched, false, false),
+        ("+ compiler prefetch", OperandHome::GlobalPrefetched, false, false),
+        ("+ data distribution & cheap barriers", OperandHome::ClusterCache, true, false),
+        ("+ unformatted I/O", OperandHome::ClusterCache, true, true),
+    ];
+    println!("Optimizing a CEDAR FORTRAN application, one transformation at a time:\n");
+    let mut baseline = None;
+    for (label, home, cheap, unf) in versions {
+        let report = execute(&mut cedar, &application(home, cheap, unf));
+        let base = *baseline.get_or_insert(report.seconds);
+        println!(
+            "{label:40} {:8.2} s  ({:4.1}x, {:6.1} MFLOPS)",
+            report.seconds,
+            base / report.seconds,
+            report.mflops
+        );
+        println!(
+            "  breakdown: parallel {:.0}% | sched {:.0}% | moves {:.0}% | barriers {:.0}% | io {:.0}% | serial {:.0}%",
+            report.breakdown.parallel / report.cycles * 100.0,
+            report.breakdown.scheduling / report.cycles * 100.0,
+            report.breakdown.movement / report.cycles * 100.0,
+            report.breakdown.barriers / report.cycles * 100.0,
+            report.breakdown.io / report.cycles * 100.0,
+            report.breakdown.serial / report.cycles * 100.0,
+        );
+    }
+    println!("\nEach row is one of §4.2's hand-optimization moves applied to the");
+    println!("same program structure — the ARC2D/FLO52/BDNA playbook in miniature.");
+}

@@ -1,0 +1,92 @@
+//! The §4.3 methodology applied as a library: take three machines'
+//! Perfect ensembles and put them through the Practical Parallelism
+//! Tests — delivered performance, stability, and scalability bands.
+//!
+//! Run with `cargo run --release --example judging_machines`.
+
+use cedar::baselines::{cm5::Cm5Model, cray1};
+use cedar::core::{CedarParams, CedarSystem};
+use cedar::metrics::fppp::{fppp_check, MachineEnsemble};
+use cedar::metrics::ppt::{ppt1, ppt2};
+use cedar::metrics::stability::exceptions_to_stability;
+use cedar::perfect::manual::{fig3_cedar_efficiencies, fig3_width, MACHINE_CES};
+use cedar::perfect::model::ExecutionModel;
+
+fn main() {
+    let mut cedar = CedarSystem::new(CedarParams::paper());
+    let model = ExecutionModel::calibrate(&mut cedar);
+
+    // PPT1 on Cedar's manually optimized codes: does the machine
+    // deliver for a useful set of codes?
+    let speedups: Vec<f64> = fig3_cedar_efficiencies(&model)
+        .iter()
+        .map(|p| p.efficiency * fig3_width(p.name) as f64)
+        .collect();
+    let v1 = ppt1(&speedups, MACHINE_CES);
+    println!(
+        "PPT1 (Cedar, manual codes): {} high / {} intermediate / {} unacceptable -> {}",
+        v1.bands.high,
+        v1.bands.intermediate,
+        v1.bands.unacceptable,
+        if v1.passes { "PASS" } else { "FAIL" }
+    );
+
+    // PPT2: stability with a small number of exceptions.
+    for (machine, rates) in [
+        ("Cedar", model.cedar_mflops_ensemble()),
+        ("Cray YMP/8", model.ymp_mflops_ensemble()),
+        ("Cray-1", cray1::rates()),
+    ] {
+        let needed = exceptions_to_stability(&rates);
+        let at2 = ppt2(&rates, 2);
+        println!(
+            "PPT2 ({machine:10}): In(13,2) = {:5.1}; needs {} exceptions -> {}",
+            at2.report.instability,
+            needed.map_or("-".to_owned(), |e| e.to_string()),
+            if needed.is_some_and(|e| e <= 3) {
+                "stable with few exceptions"
+            } else {
+                "unstable"
+            }
+        );
+    }
+
+    // PPT4 snapshot: the CM-5 never reaches the high band on the
+    // banded matvec, at any of its machine sizes.
+    let cm5 = Cm5Model::paper();
+    println!("\nPPT4 (CM-5 banded matvec): band by machine size, N = 256K");
+    for p in [32usize, 256, 512] {
+        println!(
+            "  {p:>4} nodes: bw3 {}, bw11 {}",
+            cm5.band(262_144, 3, p),
+            cm5.band(262_144, 11, p)
+        );
+    }
+    println!(
+        "\nconclusion (paper): for these problems, the CM-5 is scalable with\n\
+         intermediate performance; up to 32 processors Cedar is scalable with\n\
+         high performance for many problem sizes."
+    );
+
+    // The FPPP itself: is 32 slow processors interchangeable with 8
+    // fast ones? Compare Cedar's Perfect MFLOPS against the YMP's,
+    // asking for delivered performance within the raw clock gap and
+    // workstation-level stability at two exceptions.
+    let cedar_ensemble = MachineEnsemble::new("Cedar", 170.0, 32, model.cedar_mflops_ensemble());
+    let ymp_ensemble = MachineEnsemble::new("YMP/8", 6.0, 8, model.ymp_mflops_ensemble());
+    let clock_gap = cedar_ensemble.parallelism_clock_product()
+        / ymp_ensemble.parallelism_clock_product();
+    let verdict = fppp_check(&cedar_ensemble, &ymp_ensemble, 3, clock_gap);
+    println!(
+        "\nFPPP: Cedar delivers {:.2}x the YMP's harmonic-mean rate with a {:.2}x\n\
+         parallelism-times-clock budget; stability In(13,3) = {:.1} -> {}",
+        verdict.delivered_ratio,
+        clock_gap,
+        verdict.wide_instability,
+        if verdict.demonstrated {
+            "clock speed and parallelism interchanged (FPPP demonstrated)"
+        } else {
+            "not demonstrated at this tolerance"
+        }
+    );
+}

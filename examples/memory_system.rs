@@ -1,0 +1,66 @@
+//! A tour of the memory system: watch contention build on the omega
+//! networks as processors join, exactly the Table 2 measurement, and
+//! see the cache/cluster/global cost hierarchy the programmer works
+//! against.
+//!
+//! Run with `cargo run --release --example memory_system`.
+
+use cedar::core::costmodel::AccessMode;
+use cedar::core::{CedarParams, CedarSystem};
+use cedar::mem::address::PAddr;
+use cedar::mem::cache::{CacheConfig, SharedCache};
+use cedar::net::fabric::PrefetchTraffic;
+
+fn main() {
+    let mut cedar = CedarSystem::new(CedarParams::paper());
+
+    println!("Global-memory contention (prefetched 32-word blocks):");
+    println!("{:>6} {:>12} {:>14} {:>12}", "CEs", "latency", "interarrival", "words/cyc");
+    for ces in [1usize, 8, 16, 32] {
+        let profile = cedar.measure_memory(PrefetchTraffic::compiler_default(8), ces);
+        println!(
+            "{ces:>6} {:>12.1} {:>14.2} {:>12.2}",
+            profile.latency, profile.interarrival, profile.words_per_cycle
+        );
+    }
+    println!("(paper: minimal latency 8 cycles, growing to 14-18 at 32 CEs)\n");
+
+    println!("Cost per delivered word by operand home (8 CEs active):");
+    for (label, mode) in [
+        ("cluster cache", AccessMode::ClusterCache),
+        ("cluster memory", AccessMode::ClusterMemory),
+        (
+            "global + prefetch",
+            AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(8)),
+        ),
+        ("global, no prefetch", AccessMode::GlobalNoPrefetch),
+    ] {
+        let cpw = cedar.cycles_per_word(mode, 8);
+        println!("  {label:20} {cpw:5.2} cycles/word");
+    }
+
+    // The write-back shared cache at work: stream, reuse, evict.
+    let mut cache = SharedCache::new(CacheConfig::cedar());
+    for pass in 0..2 {
+        for line in 0..1024u64 {
+            cache.access(PAddr::in_cluster(line * 32), pass == 1);
+        }
+    }
+    println!(
+        "\nshared cache after two 32 KB passes: hit rate {:.0}%, {} writebacks pending-capable lines",
+        cache.hit_rate() * 100.0,
+        cache.writeback_count()
+    );
+    // Blow the 512 KB capacity and watch reuse vanish.
+    for line in 0..32_768u64 {
+        cache.access(PAddr::in_cluster(line * 32), false);
+    }
+    let before = cache.hit_count();
+    for line in 0..1024u64 {
+        cache.access(PAddr::in_cluster(line * 32), false);
+    }
+    println!(
+        "after streaming 1 MB (twice the cache), re-touching the first 32 KB hits {} of 1024 lines",
+        cache.hit_count() - before
+    );
+}

@@ -1,0 +1,81 @@
+//! The Perfect Benchmarks study end-to-end: calibrate the code
+//! profiles against the published Table 3, then interrogate the
+//! forward model — which codes suffer without Cedar synchronization,
+//! which without prefetch, and what the hand optimizations buy.
+//!
+//! Run with `cargo run --release --example perfect_study`.
+
+use cedar::core::{CedarParams, CedarSystem};
+use cedar::metrics::stability::{exceptions_to_stability, instability};
+use cedar::perfect::model::ExecutionModel;
+use cedar::perfect::transformations::Transformation;
+use cedar::perfect::versions::Version;
+
+fn main() {
+    let mut cedar = CedarSystem::new(CedarParams::paper());
+    let model = ExecutionModel::calibrate(&mut cedar);
+
+    println!("Perfect Benchmarks on the modelled Cedar machine\n");
+    println!(
+        "{:8} {:>9} {:>9} {:>11} {:>11} {:>9}",
+        "code", "auto (s)", "manual", "sync hurt", "pref hurt", "MFLOPS"
+    );
+    for code in model.codes() {
+        let auto = model.time(code, Version::Automatable);
+        let manual = model.time(code, Version::Manual);
+        let sync_pct = (model.time(code, Version::NoSync) / auto - 1.0) * 100.0;
+        let pref_pct =
+            (model.time(code, Version::NoPrefetch) / model.time(code, Version::NoSync) - 1.0)
+                * 100.0;
+        println!(
+            "{:8} {:>9.0} {:>9.0} {:>10.0}% {:>10.0}% {:>9.1}",
+            code.name,
+            auto,
+            manual,
+            sync_pct,
+            pref_pct,
+            model.mflops(code, Version::Automatable)
+        );
+    }
+
+    // Which mechanisms matter most, per the profiles.
+    let most_sync = model
+        .codes()
+        .iter()
+        .max_by(|a, b| a.sched_events.partial_cmp(&b.sched_events).unwrap())
+        .expect("nonempty");
+    let most_pref = model
+        .codes()
+        .iter()
+        .max_by(|a, b| {
+            a.prefetched_seconds
+                .partial_cmp(&b.prefetched_seconds)
+                .unwrap()
+        })
+        .expect("nonempty");
+    println!(
+        "\nfinest-grained code: {} ({:.0}k scheduling events)",
+        most_sync.name,
+        most_sync.sched_events / 1e3
+    );
+    println!(
+        "heaviest prefetch user: {} ({:.1} s of prefetched fetching)",
+        most_pref.name, most_pref.prefetched_seconds
+    );
+
+    // The restructuring technology behind the automatable column.
+    println!("\nthe automatable transformations (applied by hand, §3.3):");
+    for t in Transformation::ALL {
+        println!("  - {t}: relies on {}", t.machine_hook());
+    }
+
+    // The stability picture (Table 5's Cedar row).
+    let rates = model.cedar_mflops_ensemble();
+    println!(
+        "\nCedar MFLOPS ensemble: In(13,0) = {:.1}, In(13,2) = {:.1}; \
+         {} exceptions reach workstation stability",
+        instability(&rates, 0),
+        instability(&rates, 2),
+        exceptions_to_stability(&rates).map_or("no".to_owned(), |e| e.to_string())
+    );
+}

@@ -1,0 +1,65 @@
+//! Whole-stack determinism: the paper's experiments are replayed here
+//! bit-for-bit. Every experiment run twice from scratch must produce
+//! byte-identical structured results — the property DESIGN.md §5
+//! commits to and everything else (golden regressions, calibration)
+//! rests on.
+
+#[test]
+fn table1_is_deterministic() {
+    assert_eq!(cedar_bench::table1::run(), cedar_bench::table1::run());
+}
+
+#[test]
+fn table2_is_deterministic() {
+    let a = cedar_bench::table2::run();
+    let b = cedar_bench::table2::run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn perfect_model_is_deterministic() {
+    use cedar::core::{CedarParams, CedarSystem};
+    use cedar::perfect::model::ExecutionModel;
+    let build = || {
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        ExecutionModel::calibrate(&mut sys)
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn memory_profiles_are_deterministic() {
+    use cedar::core::{CedarParams, CedarSystem};
+    use cedar::net::fabric::PrefetchTraffic;
+    let measure = || {
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        sys.measure_memory(PrefetchTraffic::rk_aggressive(4), 32)
+    };
+    assert_eq!(measure(), measure());
+}
+
+#[test]
+fn hotspot_and_ablations_are_deterministic() {
+    assert_eq!(cedar_bench::hotspot::run(), cedar_bench::hotspot::run());
+    assert_eq!(
+        cedar_bench::ablation_network::run(),
+        cedar_bench::ablation_network::run()
+    );
+    assert_eq!(cedar_bench::ablation_vm::run(), cedar_bench::ablation_vm::run());
+}
+
+#[test]
+fn loop_scheduling_is_deterministic() {
+    use cedar::core::{CedarParams, CedarSystem};
+    use cedar::runtime::loops::{xdoall, Schedule, Work};
+    let run = || {
+        let mut sys = CedarSystem::new(CedarParams::paper());
+        let mut order = Vec::new();
+        let report = xdoall(&mut sys, 500, Schedule::SelfScheduled, |i| {
+            order.push(i);
+            Work::cycles((i % 7) as f64 * 100.0)
+        });
+        (order, report)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration: drive the whole machine through the
+//! façade crate — runtime loops scheduling real work over real sync
+//! cells, kernels timed by fabric measurements, the monitor watching.
+
+use cedar::core::costmodel::AccessMode;
+use cedar::core::{CedarParams, CedarSystem};
+use cedar::kernels::rank_update::{self, RankUpdateVersion};
+use cedar::mem::sync::SyncInstruction;
+use cedar::net::fabric::PrefetchTraffic;
+use cedar::runtime::loops::{cdoall, xdoall, Schedule, Work};
+use cedar::runtime::movement;
+use cedar::runtime::sync::{GlobalBarrier, Ticket};
+
+fn machine() -> CedarSystem {
+    CedarSystem::new(CedarParams::paper())
+}
+
+#[test]
+fn parallel_loop_computes_real_results_with_simulated_time() {
+    let mut sys = machine();
+    let n = 2048usize;
+    let mut data = vec![0.0f64; n];
+    let report = xdoall(&mut sys, n as u64, Schedule::SelfScheduled, |i| {
+        data[i as usize] = (i as f64).sqrt();
+        Work::new(100.0, 1.0)
+    });
+    assert!((data[1024] - 32.0).abs() < 1e-12);
+    assert_eq!(report.iterations, n as u64);
+    // 2048 iterations x 100 cycles over 32 CEs = 6400 cycles of body
+    // work plus scheduling overhead.
+    assert!(report.makespan_cycles > 6400.0);
+    assert!(report.flops == n as f64);
+}
+
+#[test]
+fn nested_sdoall_cdoall_structure_is_cheaper_than_flat_xdoall() {
+    // The paper's recommendation: an SDOALL/CDOALL nest has lower
+    // scheduling cost than one big XDOALL for fine-grained loops.
+    let mut sys = machine();
+    let iters = 512u64;
+    let body = 50.0;
+    let flat = xdoall(&mut sys, iters, Schedule::SelfScheduled, |_| {
+        Work::cycles(body)
+    });
+    // Nest: 4 cluster-iterations, each running a CDOALL of 128.
+    let mut cluster_costs = Vec::new();
+    for c in 0..4 {
+        let inner = cdoall(&mut sys, c, iters / 4, Schedule::SelfScheduled, |_| {
+            Work::cycles(body)
+        });
+        cluster_costs.push(inner.makespan_cycles);
+    }
+    let nest_makespan = cluster_costs.iter().cloned().fold(0.0, f64::max)
+        + sys.params().xdoall_startup_cycles() as f64;
+    assert!(
+        nest_makespan < flat.makespan_cycles / 2.0,
+        "nest {nest_makespan} should beat flat {}",
+        flat.makespan_cycles
+    );
+}
+
+#[test]
+fn self_scheduling_runs_on_real_memory_sync_cells() {
+    let mut sys = machine();
+    let mut ticket = Ticket::new(100);
+    let barrier = GlobalBarrier::new(101, 4);
+    // Four simulated cluster leaders claim work then synchronize.
+    let mut claims = Vec::new();
+    for _ in 0..4 {
+        claims.push(ticket.take(&mut sys));
+    }
+    assert_eq!(claims, [0, 1, 2, 3]);
+    let mut done = 0;
+    for _ in 0..4 {
+        if barrier.arrive(&mut sys) {
+            done += 1;
+        }
+    }
+    assert_eq!(done, 1, "exactly one arrival completes the barrier");
+    // The sync traffic hit the memory modules' sync processors.
+    assert!(sys.global().sync_op_count() >= 9);
+}
+
+#[test]
+fn explicit_movement_feeds_the_cache_version() {
+    let mut sys = machine();
+    // Put a block in global memory, move it to cluster 0, verify both
+    // the functional copy and that the cached mode is then cheapest.
+    let block: Vec<u64> = (0..256).map(|i| i * 3).collect();
+    sys.global_mut().copy_in(0, &block);
+    let report = movement::global_to_cluster(&mut sys, 0, 0, 0, 256, 8);
+    assert!(report.cycles > 0.0);
+    assert_eq!(sys.cluster_mut(0).memory.read_word(255), 255 * 3);
+
+    let cached = sys.cycles_per_word(AccessMode::ClusterCache, 8);
+    let global = sys.cycles_per_word(
+        AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4)),
+        8,
+    );
+    assert!(cached <= global);
+}
+
+#[test]
+fn table1_ordering_holds_at_every_cluster_count() {
+    let mut sys = machine();
+    for clusters in 1..=4 {
+        let nopref = rank_update::simulate(&mut sys, 512, RankUpdateVersion::GmNoPref, clusters);
+        let pref = rank_update::simulate(&mut sys, 512, RankUpdateVersion::GmPref, clusters);
+        let cache = rank_update::simulate(&mut sys, 512, RankUpdateVersion::GmCache, clusters);
+        assert!(
+            nopref.mflops < pref.mflops,
+            "{clusters} clusters: prefetch must beat no-prefetch"
+        );
+        assert!(
+            pref.mflops < cache.mflops * 1.05,
+            "{clusters} clusters: cache competitive with or better than prefetch"
+        );
+    }
+}
+
+#[test]
+fn weak_ordering_allows_sync_to_order_plain_writes() {
+    // The global memory is weakly ordered; software uses sync cells as
+    // release flags. Model check: data written, then flag set with a
+    // sync op; a reader testing the flag sees the data.
+    let mut sys = machine();
+    sys.global_mut().write_word(10, 0xDA7A);
+    sys.global_mut().sync_op(11, SyncInstruction::write(1));
+    let flag = sys.global_mut().sync_op(11, SyncInstruction::read());
+    assert_eq!(flag.old_value, 1);
+    assert_eq!(sys.global_mut().read_word(10), 0xDA7A);
+}
+
+#[test]
+fn monitor_observes_fabric_measurements() {
+    let mut sys = machine();
+    let profile = sys.measure_memory(PrefetchTraffic::compiler_default(4), 8);
+    let sig = sys.monitor_mut().signal("itest.latency");
+    sys.monitor_mut().start();
+    let sample = profile.latency.round() as u32;
+    sys.monitor_mut()
+        .post(sig, cedar::sim::time::Cycle::new(1), sample);
+    sys.monitor_mut().stop();
+    assert_eq!(
+        sys.monitor().stats(sig).map(|s| s.count()),
+        Some(1),
+        "monitor captured the measurement"
+    );
+}

@@ -1,0 +1,224 @@
+//! The paper's headline quantitative claims, asserted end-to-end
+//! against the reproduction. Each test names the claim it pins.
+
+use cedar::baselines::cm5::Cm5Model;
+use cedar::core::{CedarParams, CedarSystem};
+use cedar::kernels::{cg, rank_update};
+use cedar::metrics::bands::{classify, PerfBand};
+use cedar::metrics::stability::exceptions_to_stability;
+use cedar::perfect::model::ExecutionModel;
+use cedar::perfect::versions::Version;
+
+fn machine() -> CedarSystem {
+    CedarSystem::new(CedarParams::paper())
+}
+
+#[test]
+fn claim_peak_performance_figures() {
+    let p = CedarParams::paper();
+    assert!((p.peak_mflops() - 376.0).abs() < 2.0, "376 MFLOPS absolute peak");
+    assert!(
+        (p.effective_peak_mflops() - 274.0).abs() < 5.0,
+        "274 MFLOPS effective peak"
+    );
+    assert!((p.ce.peak_mflops() - 11.8).abs() < 0.1, "11.8 MFLOPS per CE");
+}
+
+#[test]
+fn claim_table1_shape() {
+    // "performance improvement factors of 3.5 and 2.9 on 8 and 16 CEs";
+    // "GM/cache achieves improvements ... 3.5 on one cluster to 3.8 on
+    // four"; "74% efficiency compared to the effective peak".
+    let mut sys = machine();
+    let t = rank_update::table1(&mut sys, 1024);
+    let nopref = &t[0].1;
+    let pref = &t[1].1;
+    let cache = &t[2].1;
+    let imp1 = pref[0] / nopref[0];
+    let imp4 = pref[3] / nopref[3];
+    assert!((3.0..4.2).contains(&imp1), "1-cluster prefetch improvement {imp1}");
+    assert!(imp4 < imp1, "prefetch effectiveness declines with clusters");
+    let cache_imp4 = cache[3] / nopref[3];
+    assert!((3.3..4.3).contains(&cache_imp4), "4-cluster cache improvement {cache_imp4}");
+    let frac = cache[3] / 274.0;
+    assert!((0.65..0.85).contains(&frac), "fraction of effective peak {frac}");
+}
+
+#[test]
+fn claim_table2_contention_mechanism() {
+    // "global memory degradation due to contention causes the
+    // reduction in the effectiveness of prefetching as the number of
+    // CES used increases" and "RK degrades most quickly".
+    let rows = cedar_bench::table2::run();
+    for row in &rows {
+        assert!(
+            row.latency[2] > row.latency[0],
+            "{}: latency must grow 8->32 CEs",
+            row.kernel
+        );
+        assert!(
+            row.interarrival[2] > row.interarrival[0],
+            "{}: interarrival must grow 8->32 CEs",
+            row.kernel
+        );
+        assert!(
+            row.speedup[2] < row.speedup[0] + 0.3,
+            "{}: prefetch speedup must not grow with contention",
+            row.kernel
+        );
+        assert!(row.latency[0] >= 8.0, "minimal latency is 8 cycles");
+        assert!(row.interarrival[0] >= 0.99, "minimal interarrival is ~1 cycle");
+    }
+    let rk = rows.iter().find(|r| r.kernel == "RK").unwrap();
+    let others_max_latency = rows
+        .iter()
+        .filter(|r| r.kernel != "RK")
+        .map(|r| r.latency[2])
+        .fold(0.0, f64::max);
+    assert!(
+        rk.latency[2] > others_max_latency,
+        "RK degrades most (latency): {} vs {}",
+        rk.latency[2],
+        others_max_latency
+    );
+}
+
+#[test]
+fn claim_table3_reproduced_within_tolerance() {
+    let mut sys = machine();
+    let model = ExecutionModel::calibrate(&mut sys);
+    for code in model.codes() {
+        let published = code.published.auto_time.unwrap();
+        let modelled = model.time(code, Version::Automatable);
+        assert!(
+            (modelled - published).abs() / published < 0.06,
+            "{}: {modelled} vs {published}",
+            code.name
+        );
+    }
+}
+
+#[test]
+fn claim_sync_and_prefetch_attributions() {
+    // "DYFESM and OCEAN" hurt without Cedar sync; "TRACK" dominated by
+    // scalar accesses; "DYFESM benefits significantly from prefetch".
+    let mut sys = machine();
+    let model = ExecutionModel::calibrate(&mut sys);
+    let slowdown = |name: &str, a: Version, b: Version| {
+        let c = model.code(name).unwrap();
+        model.time(c, b) / model.time(c, a)
+    };
+    assert!(slowdown("DYFESM", Version::Automatable, Version::NoSync) > 1.08);
+    assert!(slowdown("OCEAN", Version::Automatable, Version::NoSync) > 1.12);
+    assert!(slowdown("TRACK", Version::NoSync, Version::NoPrefetch) < 1.02);
+    assert!(slowdown("DYFESM", Version::NoSync, Version::NoPrefetch) > 1.35);
+}
+
+#[test]
+fn claim_table5_exception_structure() {
+    // "two exceptions are sufficient on the Cray 1 ... whereas the YMP
+    // needs six". Our Cedar ensemble needs three (paper: two) — the
+    // deviation is recorded in EXPERIMENTS.md.
+    let mut sys = machine();
+    let model = ExecutionModel::calibrate(&mut sys);
+    assert_eq!(
+        exceptions_to_stability(&cedar::baselines::cray1::rates()),
+        Some(2)
+    );
+    assert_eq!(exceptions_to_stability(&model.ymp_mflops_ensemble()), Some(6));
+    let cedar_needs = exceptions_to_stability(&model.cedar_mflops_ensemble());
+    assert!(
+        cedar_needs.is_some_and(|e| e <= 3),
+        "Cedar stabilizes with few exceptions, got {cedar_needs:?}"
+    );
+    let ymp = exceptions_to_stability(&model.ymp_mflops_ensemble()).unwrap();
+    assert!(
+        ymp > cedar_needs.unwrap(),
+        "the YMP needs more exceptions than Cedar"
+    );
+}
+
+#[test]
+fn claim_table6_censuses() {
+    let (cedar_census, ymp_census) = cedar_bench::table6::run();
+    assert_eq!(
+        (cedar_census.high, cedar_census.intermediate, cedar_census.unacceptable),
+        (1, 9, 3),
+        "Cedar: 1 high, 9 intermediate, 3 unacceptable"
+    );
+    assert_eq!(
+        (ymp_census.high, ymp_census.intermediate, ymp_census.unacceptable),
+        (0, 6, 7),
+        "YMP: 0 high, 6 intermediate, 7 unacceptable"
+    );
+}
+
+#[test]
+fn claim_cg_scalability_window() {
+    // "Cedar exhibits scalable high performance for matrices larger
+    // than something between 10K and 16K" at 32 CEs; "between 34 and
+    // 48 MFLOPS as the problem size ranges from 10K to 172K".
+    let mut sys = machine();
+    let band = |n: usize, sys: &mut CedarSystem| classify(cg::speedup(sys, n, 32), 32);
+    assert_eq!(band(172_000, &mut sys), PerfBand::High);
+    assert_eq!(band(16_000, &mut sys), PerfBand::High);
+    assert_eq!(band(10_000, &mut sys), PerfBand::Intermediate);
+    assert_eq!(band(1_000, &mut sys), PerfBand::Intermediate);
+    let m = cg::simulate_iteration(&mut sys, 172_000, 32).mflops;
+    assert!((30.0..60.0).contains(&m), "32-CE CG MFLOPS {m}");
+}
+
+#[test]
+fn claim_cm5_vs_cedar_per_processor_parity() {
+    // "the per-processor MFLOPS of the two systems on these problems
+    // are roughly equivalent".
+    let mut sys = machine();
+    let cedar_pp = cg::simulate_iteration(&mut sys, 172_000, 32).mflops / 32.0;
+    let cm5 = Cm5Model::paper();
+    let cm5_pp_bw11 = cm5.matvec_mflops(262_144, 11, 32) / 32.0;
+    let cm5_pp_bw3 = cm5.matvec_mflops(262_144, 3, 32) / 32.0;
+    let ratio_hi = cedar_pp / cm5_pp_bw3;
+    let ratio_lo = cedar_pp / cm5_pp_bw11;
+    assert!(
+        (0.4..3.0).contains(&ratio_hi) && (0.4..3.0).contains(&ratio_lo),
+        "per-processor rates roughly equivalent: cedar {cedar_pp}, cm5 {cm5_pp_bw3}/{cm5_pp_bw11}"
+    );
+}
+
+#[test]
+fn claim_trfd_vm_story() {
+    let outcomes = cedar_bench::ablation_vm::run();
+    let ratio = outcomes[1].faults as f64 / outcomes[0].faults as f64;
+    assert!((3.5..4.5).contains(&ratio), "almost 4x the faults, got {ratio}");
+    assert!(
+        (0.4..0.6).contains(&outcomes[1].vm_fraction),
+        "close to 50% of time in VM, got {}",
+        outcomes[1].vm_fraction
+    );
+    assert_eq!(
+        outcomes[2].faults, outcomes[0].faults,
+        "distributed version returns to first-touch faults"
+    );
+}
+
+#[test]
+fn claim_network_degradation_is_implementation_not_topology() {
+    let points = cedar_bench::ablation_network::run();
+    let cedar_cfg = &points[0];
+    let fast_modules = points
+        .iter()
+        .find(|p| p.service_net_cycles == 2 && p.queue_words == 2)
+        .unwrap();
+    assert!(
+        fast_modules.latency < cedar_cfg.latency * 0.7,
+        "faster modules fix latency: {} -> {}",
+        cedar_cfg.latency,
+        fast_modules.latency
+    );
+    assert!(
+        fast_modules.bandwidth > cedar_cfg.bandwidth * 1.5,
+        "and recover bandwidth: {} -> {}",
+        cedar_cfg.bandwidth,
+        fast_modules.bandwidth
+    );
+}
