@@ -67,7 +67,10 @@ impl Cm5Model {
     /// Panics if any argument is zero.
     #[must_use]
     pub fn matvec_seconds(&self, n: usize, bandwidth: usize, processors: usize) -> f64 {
-        assert!(n > 0 && bandwidth > 0 && processors > 0, "arguments must be nonzero");
+        assert!(
+            n > 0 && bandwidth > 0 && processors > 0,
+            "arguments must be nonzero"
+        );
         let flops_per_element = 2.0 * bandwidth as f64;
         let compute_us = flops_per_element / self.node_mflops;
         let per_element_us = compute_us + self.comm_us(processors);
@@ -85,9 +88,8 @@ impl Cm5Model {
     /// and faster per flop by `serial_advantage`).
     #[must_use]
     pub fn speedup(&self, n: usize, bandwidth: usize, processors: usize) -> f64 {
-        let serial = n as f64
-            * (2.0 * bandwidth as f64 / (self.node_mflops * self.serial_advantage))
-            * 1e-6;
+        let serial =
+            n as f64 * (2.0 * bandwidth as f64 / (self.node_mflops * self.serial_advantage)) * 1e-6;
         serial / self.matvec_seconds(n, bandwidth, processors)
     }
 

@@ -54,7 +54,11 @@ mod tests {
     fn two_exceptions_suffice() {
         // The paper's headline fact for the Cray-1.
         let r = rates();
-        assert!(instability(&r, 2) <= 5.0, "In(13,2) = {}", instability(&r, 2));
+        assert!(
+            instability(&r, 2) <= 5.0,
+            "In(13,2) = {}",
+            instability(&r, 2)
+        );
         assert_eq!(exceptions_to_stability(&r), Some(2));
     }
 

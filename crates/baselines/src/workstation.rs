@@ -19,9 +19,18 @@ pub struct Workstation {
 
 /// The anchor machines the paper names.
 pub const ANCHORS: [Workstation; 3] = [
-    Workstation { name: "VAX 11/780", scale_mflops: 0.2 },
-    Workstation { name: "Sun SPARC2", scale_mflops: 2.0 },
-    Workstation { name: "IBM RS/6000", scale_mflops: 8.0 },
+    Workstation {
+        name: "VAX 11/780",
+        scale_mflops: 0.2,
+    },
+    Workstation {
+        name: "Sun SPARC2",
+        scale_mflops: 2.0,
+    },
+    Workstation {
+        name: "IBM RS/6000",
+        scale_mflops: 8.0,
+    },
 ];
 
 /// Relative per-code rate factors common to scalar machines on the

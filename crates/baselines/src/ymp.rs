@@ -58,38 +58,116 @@ pub struct CodeEfficiency {
 /// high band, six sit in the intermediate band (the highly
 /// vectorizable codes), seven are unacceptable.
 pub const TABLE6_EFFICIENCIES: [CodeEfficiency; 13] = [
-    CodeEfficiency { name: "ARC2D", efficiency: 0.45 },
-    CodeEfficiency { name: "FLO52", efficiency: 0.42 },
-    CodeEfficiency { name: "MDG", efficiency: 0.33 },
-    CodeEfficiency { name: "BDNA", efficiency: 0.28 },
-    CodeEfficiency { name: "MG3D", efficiency: 0.25 },
-    CodeEfficiency { name: "OCEAN", efficiency: 0.20 },
-    CodeEfficiency { name: "SPEC77", efficiency: 0.14 },
-    CodeEfficiency { name: "DYFESM", efficiency: 0.12 },
-    CodeEfficiency { name: "TRFD", efficiency: 0.10 },
-    CodeEfficiency { name: "ADM", efficiency: 0.08 },
-    CodeEfficiency { name: "TRACK", efficiency: 0.05 },
-    CodeEfficiency { name: "QCD", efficiency: 0.02 },
-    CodeEfficiency { name: "SPICE", efficiency: 0.01 },
+    CodeEfficiency {
+        name: "ARC2D",
+        efficiency: 0.45,
+    },
+    CodeEfficiency {
+        name: "FLO52",
+        efficiency: 0.42,
+    },
+    CodeEfficiency {
+        name: "MDG",
+        efficiency: 0.33,
+    },
+    CodeEfficiency {
+        name: "BDNA",
+        efficiency: 0.28,
+    },
+    CodeEfficiency {
+        name: "MG3D",
+        efficiency: 0.25,
+    },
+    CodeEfficiency {
+        name: "OCEAN",
+        efficiency: 0.20,
+    },
+    CodeEfficiency {
+        name: "SPEC77",
+        efficiency: 0.14,
+    },
+    CodeEfficiency {
+        name: "DYFESM",
+        efficiency: 0.12,
+    },
+    CodeEfficiency {
+        name: "TRFD",
+        efficiency: 0.10,
+    },
+    CodeEfficiency {
+        name: "ADM",
+        efficiency: 0.08,
+    },
+    CodeEfficiency {
+        name: "TRACK",
+        efficiency: 0.05,
+    },
+    CodeEfficiency {
+        name: "QCD",
+        efficiency: 0.02,
+    },
+    CodeEfficiency {
+        name: "SPICE",
+        efficiency: 0.01,
+    },
 ];
 
 /// Reconstructed YMP/8 efficiencies for the *manually optimized*
 /// codes — the Figure 3 vertical axis: "about half high and half
 /// intermediate … the YMP has one unacceptable performance".
 pub const FIG3_EFFICIENCIES: [CodeEfficiency; 13] = [
-    CodeEfficiency { name: "ARC2D", efficiency: 0.72 },
-    CodeEfficiency { name: "FLO52", efficiency: 0.68 },
-    CodeEfficiency { name: "MDG", efficiency: 0.60 },
-    CodeEfficiency { name: "BDNA", efficiency: 0.58 },
-    CodeEfficiency { name: "MG3D", efficiency: 0.55 },
-    CodeEfficiency { name: "OCEAN", efficiency: 0.52 },
-    CodeEfficiency { name: "SPEC77", efficiency: 0.40 },
-    CodeEfficiency { name: "DYFESM", efficiency: 0.33 },
-    CodeEfficiency { name: "TRFD", efficiency: 0.30 },
-    CodeEfficiency { name: "ADM", efficiency: 0.25 },
-    CodeEfficiency { name: "TRACK", efficiency: 0.22 },
-    CodeEfficiency { name: "QCD", efficiency: 0.20 },
-    CodeEfficiency { name: "SPICE", efficiency: 0.08 },
+    CodeEfficiency {
+        name: "ARC2D",
+        efficiency: 0.72,
+    },
+    CodeEfficiency {
+        name: "FLO52",
+        efficiency: 0.68,
+    },
+    CodeEfficiency {
+        name: "MDG",
+        efficiency: 0.60,
+    },
+    CodeEfficiency {
+        name: "BDNA",
+        efficiency: 0.58,
+    },
+    CodeEfficiency {
+        name: "MG3D",
+        efficiency: 0.55,
+    },
+    CodeEfficiency {
+        name: "OCEAN",
+        efficiency: 0.52,
+    },
+    CodeEfficiency {
+        name: "SPEC77",
+        efficiency: 0.40,
+    },
+    CodeEfficiency {
+        name: "DYFESM",
+        efficiency: 0.33,
+    },
+    CodeEfficiency {
+        name: "TRFD",
+        efficiency: 0.30,
+    },
+    CodeEfficiency {
+        name: "ADM",
+        efficiency: 0.25,
+    },
+    CodeEfficiency {
+        name: "TRACK",
+        efficiency: 0.22,
+    },
+    CodeEfficiency {
+        name: "QCD",
+        efficiency: 0.20,
+    },
+    CodeEfficiency {
+        name: "SPICE",
+        efficiency: 0.08,
+    },
 ];
 
 /// Band census of an efficiency set on the YMP's eight processors.
@@ -151,7 +229,10 @@ mod tests {
     #[test]
     fn spice_is_the_unacceptable_one() {
         let p = YmpModel::paper().processors;
-        let spice = FIG3_EFFICIENCIES.iter().find(|e| e.name == "SPICE").unwrap();
+        let spice = FIG3_EFFICIENCIES
+            .iter()
+            .find(|e| e.name == "SPICE")
+            .unwrap();
         assert_eq!(
             classify_efficiency(spice.efficiency, p),
             PerfBand::Unacceptable

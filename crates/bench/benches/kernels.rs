@@ -1,68 +1,62 @@
-//! Criterion microbenches of the functional numerics: the real
+//! Dependency-free microbenches of the functional numerics: the real
 //! computations behind the simulated kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use cedar_kernels::banded::Banded;
 use cedar_kernels::cg::{self, Penta};
 use cedar_kernels::rank_update;
 use cedar_kernels::tridiag::Tridiagonal;
 
-fn bench_rank_update(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rank64_update_compute");
-    g.sample_size(10);
-    for n in [64usize, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let u = vec![0.5; n * rank_update::RANK];
-            let v = vec![0.25; n * rank_update::RANK];
-            let mut a = vec![0.0; n * n];
-            b.iter(|| {
-                rank_update::compute(&mut a, &u, &v, n);
-                black_box(a[0])
-            });
-        });
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
     }
-    g.finish();
+    let per = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<40} {:>12.3} ms/iter ({iters} iters)", per * 1e3);
 }
 
-fn bench_tridiag(c: &mut Criterion) {
-    c.bench_function("tridiag_matvec_64k", |b| {
+fn main() {
+    for n in [64usize, 128] {
+        let u = vec![0.5; n * rank_update::RANK];
+        let v = vec![0.25; n * rank_update::RANK];
+        let mut a = vec![0.0; n * n];
+        bench(&format!("rank64_update_compute_n{n}"), 20, || {
+            rank_update::compute(&mut a, &u, &v, n);
+            a[0]
+        });
+    }
+
+    {
         let n = 65_536;
         let a = Tridiagonal::new(vec![-1.0; n - 1], vec![2.0; n], vec![-1.0; n - 1]);
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let mut y = vec![0.0; n];
-        b.iter(|| {
+        bench("tridiag_matvec_64k", 50, || {
             a.matvec(&x, &mut y);
-            black_box(y[n / 2])
-        });
-    });
-}
-
-fn bench_banded(c: &mut Criterion) {
-    let mut g = c.benchmark_group("banded_matvec_16k");
-    for bw in [3usize, 11] {
-        g.bench_with_input(BenchmarkId::from_parameter(bw), &bw, |b, &bw| {
-            let n = 16_384;
-            let a = Banded::from_fn(n, bw, |i, d| 1.0 / (1 + i + d) as f64);
-            let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
-            let mut y = vec![0.0; n];
-            b.iter(|| {
-                a.matvec(&x, &mut y);
-                black_box(y[0])
-            });
+            y[n / 2]
         });
     }
-    g.finish();
-}
 
-fn bench_cg_solve(c: &mut Criterion) {
-    c.bench_function("cg_solve_poisson_32x32", |b| {
+    for bw in [3usize, 11] {
+        let n = 16_384;
+        let a = Banded::from_fn(n, bw, |i, d| 1.0 / (1 + i + d) as f64);
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let mut y = vec![0.0; n];
+        bench(&format!("banded_matvec_16k_bw{bw}"), 50, || {
+            a.matvec(&x, &mut y);
+            y[0]
+        });
+    }
+
+    {
         let a = Penta::laplacian(32);
         let rhs = vec![1.0; a.n()];
-        b.iter(|| black_box(cg::solve(&a, &rhs, 1e-8, 4000).iterations));
-    });
+        bench("cg_solve_poisson_32x32", 10, || {
+            cg::solve(&a, &rhs, 1e-8, 4000).iterations
+        });
+    }
 }
-
-criterion_group!(kernels, bench_rank_update, bench_tridiag, bench_banded, bench_cg_solve);
-criterion_main!(kernels);

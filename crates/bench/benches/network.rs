@@ -1,56 +1,62 @@
-//! Criterion microbenches of the network substrate itself: raw omega
-//! step rate, round-trip fabric throughput, and the cost of one
-//! measured memory profile.
+//! Dependency-free microbenches of the network substrate itself: raw
+//! omega step rate, round-trip fabric throughput (healthy and
+//! degraded), and the cost of one measured memory profile.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
+use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
 use cedar_net::config::NetworkConfig;
 use cedar_net::fabric::{FabricConfig, PrefetchTraffic, RoundTripFabric};
 use cedar_net::network::OmegaNetwork;
 use cedar_net::packet::Packet;
 
-fn bench_omega_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("omega_network");
-    g.bench_function("idle_step", |b| {
-        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
-        b.iter(|| {
-            net.step();
-            black_box(net.now())
-        });
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<40} {:>12.3} ms/iter ({iters} iters)", per * 1e3);
+}
+
+fn main() {
+    let mut idle = OmegaNetwork::new(NetworkConfig::cedar());
+    bench("omega_idle_step_x1000", 100, || {
+        for _ in 0..1000 {
+            idle.step();
+        }
+        idle.now()
     });
-    g.bench_function("loaded_step", |b| {
-        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
-        let mut id = 0u64;
-        b.iter(|| {
+
+    let mut loaded = OmegaNetwork::new(NetworkConfig::cedar());
+    let mut id = 0u64;
+    bench("omega_loaded_step_x1000", 100, || {
+        let mut delivered = 0usize;
+        for _ in 0..1000 {
             for src in 0..32 {
-                let _ = net.try_inject(Packet::request(src, (src * 7 + 3) % 64, id));
+                let _ = loaded.try_inject(Packet::request(src, (src * 7 + 3) % 64, id));
                 id += 1;
             }
-            net.step();
-            black_box(net.drain_delivered().len())
-        });
+            loaded.step();
+            delivered += loaded.drain_delivered().len();
+        }
+        delivered
     });
-    g.finish();
-}
 
-fn bench_fabric(c: &mut Criterion) {
-    let mut g = c.benchmark_group("roundtrip_fabric");
-    g.sample_size(10);
     for ces in [8usize, 32] {
-        g.bench_with_input(BenchmarkId::new("prefetch_experiment", ces), &ces, |b, &ces| {
-            b.iter(|| {
-                let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
-                black_box(fabric.run_prefetch_experiment(
-                    ces,
-                    PrefetchTraffic::compiler_default(4),
-                    8_000_000,
-                ))
-            });
+        bench(&format!("fabric_prefetch_experiment_{ces}ces"), 5, || {
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.run_prefetch_experiment(ces, PrefetchTraffic::compiler_default(4), 8_000_000)
         });
     }
-    g.finish();
-}
 
-criterion_group!(network, bench_omega_step, bench_fabric);
-criterion_main!(network);
+    let plan = FaultPlan::generate(&FaultConfig::degraded(0xCEDA, 0.02), &MachineShape::cedar())
+        .expect("valid degraded preset");
+    bench("fabric_degraded_experiment_8ces", 5, || {
+        let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+        fabric.attach_faults(plan.clone(), RetryPolicy::fabric());
+        fabric.run_prefetch_experiment(8, PrefetchTraffic::compiler_default(4), 8_000_000)
+    });
+}

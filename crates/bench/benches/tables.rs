@@ -1,112 +1,47 @@
-//! Criterion benches: one per regenerated table/figure, timing the
-//! full regeneration (simulation + analysis). These are the `cargo
-//! bench` face of the experiment harness; the printed tables come
-//! from the binaries in `src/bin`.
+//! Dependency-free benches: one per regenerated table/figure, timing
+//! the full regeneration (simulation + analysis) with `std::time`.
+//! These are the `cargo bench` face of the experiment harness; the
+//! printed tables come from the binaries in `src/bin`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_rank64_update");
-    g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table1::run())));
-    g.finish();
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<40} {:>12.3} ms/iter ({iters} iters)", per * 1e3);
 }
 
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_prefetch_contention");
-    g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table2::run())));
-    g.finish();
-}
-
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_perfect_codes");
-    g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table3::run())));
-    g.finish();
-}
-
-fn bench_table4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_manual_codes");
-    g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table4::run())));
-    g.finish();
-}
-
-fn bench_table5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table5_instability");
-    g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table5::run())));
-    g.finish();
-}
-
-fn bench_table6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table6_efficiency_bands");
-    g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::table6::run())));
-    g.finish();
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_efficiency_scatter");
-    g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::fig3::run())));
-    g.finish();
-}
-
-fn bench_ppt4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ppt4_scalability");
-    g.sample_size(10);
-    g.bench_function("cedar_cg_grid", |b| {
-        b.iter(|| black_box(cedar_bench::ppt4::run_cedar()))
+fn main() {
+    bench("table1_rank64_update", 3, cedar_bench::table1::run);
+    bench("table2_prefetch_contention", 3, cedar_bench::table2::run);
+    bench("table3_perfect_codes", 3, cedar_bench::table3::run);
+    bench("table4_manual_codes", 3, cedar_bench::table4::run);
+    bench("table5_instability", 3, cedar_bench::table5::run);
+    bench("table6_efficiency_bands", 3, cedar_bench::table6::run);
+    bench("fig3_efficiency_scatter", 3, cedar_bench::fig3::run);
+    bench("ppt4_cedar_cg_grid", 3, cedar_bench::ppt4::run_cedar);
+    bench("ppt4_cm5_grid", 3, cedar_bench::ppt4::run_cm5);
+    bench(
+        "ablation_network_buffering",
+        3,
+        cedar_bench::ablation_network::run,
+    );
+    bench("ablation_vm_trfd", 3, cedar_bench::ablation_vm::run);
+    bench(
+        "ablation_barriers_flo52",
+        3,
+        cedar_bench::ablation_barriers::run,
+    );
+    bench("ablation_loops_dyfesm", 3, cedar_bench::ablation_loops::run);
+    bench("ablation_io_bdna", 3, cedar_bench::ablation_io::run);
+    bench("ablation_hotspot", 3, cedar_bench::hotspot::run);
+    bench("loop_overheads", 3, cedar_bench::overheads::run);
+    bench("degraded_sweep_point", 3, || {
+        cedar_bench::degraded::measure(0.02, 8)
     });
-    g.bench_function("cm5_grid", |b| b.iter(|| black_box(cedar_bench::ppt4::run_cm5())));
-    g.finish();
 }
-
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("network_buffering", |b| {
-        b.iter(|| black_box(cedar_bench::ablation_network::run()))
-    });
-    g.bench_function("vm_trfd", |b| {
-        b.iter(|| black_box(cedar_bench::ablation_vm::run()))
-    });
-    g.bench_function("barriers_flo52", |b| {
-        b.iter(|| black_box(cedar_bench::ablation_barriers::run()))
-    });
-    g.bench_function("loops_dyfesm", |b| {
-        b.iter(|| black_box(cedar_bench::ablation_loops::run()))
-    });
-    g.bench_function("io_bdna", |b| {
-        b.iter(|| black_box(cedar_bench::ablation_io::run()))
-    });
-    g.bench_function("hotspot", |b| {
-        b.iter(|| black_box(cedar_bench::hotspot::run()))
-    });
-    g.finish();
-}
-
-fn bench_overheads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("loop_overheads");
-    g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| black_box(cedar_bench::overheads::run())));
-    g.finish();
-}
-
-criterion_group!(
-    tables,
-    bench_table1,
-    bench_table2,
-    bench_table3,
-    bench_table4,
-    bench_table5,
-    bench_table6,
-    bench_fig3,
-    bench_ppt4,
-    bench_ablations,
-    bench_overheads
-);
-criterion_main!(tables);

@@ -57,7 +57,10 @@ pub fn run() -> IoAblation {
 pub fn print() {
     let a = run();
     println!("BDNA I/O ablation (Xylem file service through the IPs)");
-    println!("inferred trajectory output: {:.1} M words", a.words as f64 / 1e6);
+    println!(
+        "inferred trajectory output: {:.1} M words",
+        a.words as f64 / 1e6
+    );
     println!(
         "formatted:   {:6.1} s of IP conversion -> application {:6.1} s (paper: 111 s)",
         a.formatted_seconds, a.app_formatted_s

@@ -56,12 +56,9 @@ pub fn run() -> LoopAblation {
 
     // Flat: one XDOALL over every fine iteration, each fetch through
     // global memory.
-    let flat = xdoall(
-        &mut sys,
-        w.outer * w.inner,
-        Schedule::SelfScheduled,
-        |_| Work::cycles(w.body_cycles),
-    );
+    let flat = xdoall(&mut sys, w.outer * w.inner, Schedule::SelfScheduled, |_| {
+        Work::cycles(w.body_cycles)
+    });
 
     // Nested: substructures spread over the four clusters (one global
     // scheduling event each); the fine iterations self-schedule on the
@@ -77,10 +74,7 @@ pub fn run() -> LoopAblation {
     let startup = sys.params().xdoall_startup_cycles() as f64;
     let per_substructure_fetch = sys.params().xdoall_fetch_cycles() as f64;
     let nested = startup
-        + cluster_busy
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max)
+        + cluster_busy.iter().cloned().fold(0.0, f64::max)
         + (w.outer as f64 / 4.0) * per_substructure_fetch;
 
     LoopAblation {

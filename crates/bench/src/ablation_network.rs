@@ -58,11 +58,8 @@ pub fn run() -> Vec<AblationPoint> {
             cfg.module_buffer_requests = queue_words;
             cfg.mem_service_net_cycles = service;
             let mut fabric = RoundTripFabric::new(cfg);
-            let report = fabric.run_prefetch_experiment(
-                32,
-                PrefetchTraffic::rk_aggressive(6),
-                32_000_000,
-            );
+            let report =
+                fabric.run_prefetch_experiment(32, PrefetchTraffic::rk_aggressive(6), 32_000_000);
             AblationPoint {
                 label,
                 queue_words,
@@ -89,8 +86,10 @@ pub fn print() {
             p.label, p.queue_words, p.service_net_cycles, p.latency, p.interarrival, p.bandwidth
         );
     }
-    println!("
-Deeper FIFOs alone leave throughput pinned and *raise* latency;");
+    println!(
+        "
+Deeper FIFOs alone leave throughput pinned and *raise* latency;"
+    );
     println!("faster memory modules (an implementation constraint, not the");
     println!("network type) remove the degradation — the paper's conclusion.");
 }

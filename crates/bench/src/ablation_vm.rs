@@ -97,7 +97,10 @@ pub fn run() -> Vec<VmOutcome> {
 /// Prints the ablation.
 pub fn print() {
     println!("[MaEG92] ablation: TRFD page-fault behaviour");
-    println!("{:28} {:>10} {:>14}", "configuration", "faults", "VM time share");
+    println!(
+        "{:28} {:>10} {:>14}",
+        "configuration", "faults", "VM time share"
+    );
     let outcomes = run();
     for o in &outcomes {
         println!(

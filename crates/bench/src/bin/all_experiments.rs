@@ -16,13 +16,23 @@ fn main() {
         ("Loop overheads", cedar_bench::overheads::print),
         ("Network ablation", cedar_bench::ablation_network::print),
         ("VM ablation", cedar_bench::ablation_vm::print),
-        ("Barrier ablation (FLO52)", cedar_bench::ablation_barriers::print),
-        ("Loop-nest ablation (DYFESM)", cedar_bench::ablation_loops::print),
+        (
+            "Barrier ablation (FLO52)",
+            cedar_bench::ablation_barriers::print,
+        ),
+        (
+            "Loop-nest ablation (DYFESM)",
+            cedar_bench::ablation_loops::print,
+        ),
         ("I/O ablation (BDNA)", cedar_bench::ablation_io::print),
         ("Scale-up study (PPT5)", cedar_bench::scaleup::print),
         ("Sync hot-spot study", cedar_bench::hotspot::print),
         ("Perfect what-ifs", cedar_bench::whatif::print),
-        ("Network fidelity (32x32 dual-link)", cedar_bench::fidelity32::print),
+        (
+            "Network fidelity (32x32 dual-link)",
+            cedar_bench::fidelity32::print,
+        ),
+        ("Degraded-mode fault sweep", cedar_bench::degraded::print),
     ] {
         println!("{line}\n{name}\n{line}");
         run();

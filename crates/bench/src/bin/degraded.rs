@@ -1,0 +1,7 @@
+//! Degraded-mode sweep: Table 2's latency/bandwidth columns under
+//! deterministic fault injection. Run with
+//! `cargo run --release -p cedar-bench --bin degraded`.
+
+fn main() {
+    cedar_bench::degraded::print();
+}

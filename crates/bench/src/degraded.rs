@@ -1,0 +1,218 @@
+//! Degraded-mode study: Table 2's latency/bandwidth columns regenerated
+//! across deterministic fault rates.
+//!
+//! The paper measures the healthy machine. This experiment asks how the
+//! global-memory system holds up when the fabric is injected with the
+//! deterministic fault plan of `cedar-faults`: lossy links, stuck and
+//! slowed switch outputs, stalling memory modules. Requests lost to
+//! drops are recovered by the fabric's timeout-and-retry machinery, so
+//! every row reports both the delivered performance and what the
+//! recovery cost (retries, dropped words, abandoned requests).
+//!
+//! Rate 0 attaches a benign plan, which the fabric discards — that row
+//! is the healthy baseline, bit-identical to a run with no plan at all.
+
+use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+use cedar_net::fabric::{FabricConfig, PrefetchTraffic, RoundTripFabric};
+use cedar_sim::watchdog::Watchdog;
+
+/// The link-drop / sync-loss rates swept (rate 0 = healthy baseline).
+pub const RATES: [f64; 4] = [0.0, 0.01, 0.02, 0.05];
+
+/// The CE counts of the study (Table 2's columns).
+pub const CES: [usize; 3] = [8, 16, 32];
+
+/// The fault-schedule seed. Any run with this seed reproduces the
+/// degraded machine — and this report — exactly.
+pub const SEED: u64 = 0xCEDA;
+
+/// Watchdog budget in network cycles: far beyond any healthy or
+/// recoverable stall, so tripping means genuine lack of progress.
+pub const WATCHDOG_BUDGET: u64 = 4_000_000;
+
+/// One measured operating point of the degraded machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedPoint {
+    /// Link-drop (and sync-loss) probability.
+    pub rate: f64,
+    /// Active CEs.
+    pub ces: usize,
+    /// Mean first-word latency, CE cycles.
+    pub latency: f64,
+    /// Mean interarrival between streamed words, CE cycles.
+    pub interarrival: f64,
+    /// Delivered bandwidth, words per CE cycle.
+    pub words_per_cycle: f64,
+    /// Words eaten by faulted links across both networks.
+    pub words_dropped: u64,
+    /// Requests reissued after a timeout.
+    pub retries: u64,
+    /// Requests abandoned after the retry budget.
+    pub failed: u64,
+}
+
+/// The fault configuration at a sweep rate. Rate 0 is the explicit
+/// no-fault plan (benign — the fabric discards it); positive rates use
+/// the broadly degraded preset with lossy links at `rate`.
+#[must_use]
+pub fn config_at(rate: f64) -> FaultConfig {
+    if rate == 0.0 {
+        FaultConfig::none(SEED)
+    } else {
+        FaultConfig::degraded(SEED, rate)
+    }
+}
+
+/// The traffic shape measured: the rank-update prefetch stream, the
+/// heaviest global-memory customer in Table 2.
+#[must_use]
+pub fn traffic() -> PrefetchTraffic {
+    let mut t = PrefetchTraffic::rk_aggressive(4);
+    t.blocks = 8;
+    t
+}
+
+/// Measures one operating point on a freshly built, freshly degraded
+/// fabric.
+///
+/// # Panics
+///
+/// Panics if the watchdog trips — at these rates every request either
+/// completes or exhausts its retries well inside the budget, so a trip
+/// means the recovery machinery itself wedged.
+#[must_use]
+pub fn measure(rate: f64, ces: usize) -> DegradedPoint {
+    let plan = FaultPlan::generate(&config_at(rate), &MachineShape::cedar())
+        .expect("sweep configs are valid");
+    let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+    fabric.attach_faults(plan, RetryPolicy::fabric());
+    let mut dog = Watchdog::new(WATCHDOG_BUDGET, "degraded fabric experiment");
+    let report = fabric
+        .run_watched_experiment(ces, traffic(), 64_000_000, &mut dog)
+        .expect("degraded run made progress");
+    DegradedPoint {
+        rate,
+        ces,
+        latency: report.mean_first_word_latency_ce(),
+        interarrival: report.mean_interarrival_ce(),
+        words_per_cycle: report.words_per_ce_cycle(),
+        words_dropped: report.words_dropped(),
+        retries: report.retries(),
+        failed: report.failed_requests(),
+    }
+}
+
+/// Runs the full sweep: every rate at every CE count.
+#[must_use]
+pub fn run() -> Vec<DegradedPoint> {
+    let mut points = Vec::new();
+    for &rate in &RATES {
+        for &ces in &CES {
+            points.push(measure(rate, ces));
+        }
+    }
+    points
+}
+
+/// Renders the sweep as a Table-2-style text table. Deterministic:
+/// the same [`SEED`] yields this exact string, byte for byte.
+#[must_use]
+pub fn report() -> String {
+    use std::fmt::Write;
+
+    let points = run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Degraded-mode global memory performance (seed {SEED:#x}, RK prefetch stream)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:^23} | {:^23} | {:^23}",
+        "", "Latency (cycles)", "Interarrival (cycles)", "BW (words/CE-cycle)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "rate", 8, 16, 32, 8, 16, 32, 8, 16, 32
+    );
+    for chunk in points.chunks(CES.len()) {
+        let _ = writeln!(
+            out,
+            "{:>6.2} | {:>7.1} {:>7.1} {:>7.1} | {:>7.2} {:>7.2} {:>7.2} | {:>7.3} {:>7.3} {:>7.3}",
+            chunk[0].rate,
+            chunk[0].latency,
+            chunk[1].latency,
+            chunk[2].latency,
+            chunk[0].interarrival,
+            chunk[1].interarrival,
+            chunk[2].interarrival,
+            chunk[0].words_per_cycle,
+            chunk[1].words_per_cycle,
+            chunk[2].words_per_cycle,
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} | dropped {:>5} {:>5} {:>5}   retried {:>5} {:>5} {:>5}   failed {:>3} {:>3} {:>3}",
+            "",
+            chunk[0].words_dropped,
+            chunk[1].words_dropped,
+            chunk[2].words_dropped,
+            chunk[0].retries,
+            chunk[1].retries,
+            chunk[2].retries,
+            chunk[0].failed,
+            chunk[1].failed,
+            chunk[2].failed,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nrate 0.00 attaches a benign plan and matches the healthy machine exactly"
+    );
+    out
+}
+
+/// Prints the sweep.
+pub fn print() {
+    print!("{}", report());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_zero_matches_an_unfaulted_fabric() {
+        let baseline = {
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.run_prefetch_experiment(8, traffic(), 64_000_000)
+        };
+        let p = measure(0.0, 8);
+        assert_eq!(p.latency, baseline.mean_first_word_latency_ce());
+        assert_eq!(p.interarrival, baseline.mean_interarrival_ce());
+        assert_eq!(p.words_per_cycle, baseline.words_per_ce_cycle());
+        assert_eq!(p.words_dropped, 0);
+        assert_eq!(p.retries, 0);
+        assert_eq!(p.failed, 0);
+    }
+
+    #[test]
+    fn faults_cost_bandwidth_and_recovery_work() {
+        let healthy = measure(0.0, 16);
+        let degraded = measure(0.05, 16);
+        assert!(degraded.words_dropped > 0, "5% drops should eat words");
+        assert!(degraded.retries > 0, "drops should force reissues");
+        assert!(
+            degraded.words_per_cycle < healthy.words_per_cycle,
+            "degraded bandwidth {} should fall below healthy {}",
+            degraded.words_per_cycle,
+            healthy.words_per_cycle
+        );
+    }
+
+    #[test]
+    fn sweep_point_is_deterministic() {
+        assert_eq!(measure(0.02, 8), measure(0.02, 8));
+    }
+}

@@ -50,11 +50,18 @@ pub fn run() -> Vec<Point> {
 pub fn print() {
     let points = run();
     println!("Figure 3: Cray YMP/8 vs Cedar efficiency (manually optimized Perfect codes)");
-    println!("{:8} {:>9} {:>13} {:>9} {:>13}", "code", "cedar", "band", "ymp", "band");
+    println!(
+        "{:8} {:>9} {:>13} {:>9} {:>13}",
+        "code", "cedar", "band", "ymp", "band"
+    );
     for p in &points {
         println!(
             "{:8} {:>9.3} {:>13} {:>9.3} {:>13}",
-            p.name, p.cedar, p.cedar_band.to_string(), p.ymp, p.ymp_band.to_string()
+            p.name,
+            p.cedar,
+            p.cedar_band.to_string(),
+            p.ymp,
+            p.ymp_band.to_string()
         );
     }
 
@@ -77,7 +84,10 @@ pub fn print() {
         println!("{y:4.1} |{s}|");
     }
     println!("      0.0 {:^31} 1.0", "Cedar efficiency");
-    let high = points.iter().filter(|p| p.cedar_band == PerfBand::High).count();
+    let high = points
+        .iter()
+        .filter(|p| p.cedar_band == PerfBand::High)
+        .count();
     let unacc_cedar = points
         .iter()
         .filter(|p| p.cedar_band == PerfBand::Unacceptable)

@@ -36,13 +36,13 @@ pub mod ablation_io;
 pub mod ablation_loops;
 pub mod ablation_network;
 pub mod ablation_vm;
+pub mod degraded;
 pub mod fidelity32;
 pub mod fig3;
 pub mod figures;
+pub mod hotspot;
 pub mod overheads;
 pub mod ppt4;
-pub mod hotspot;
-pub mod whatif;
 pub mod scaleup;
 pub mod table1;
 pub mod table2;
@@ -50,6 +50,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod whatif;
 
 use cedar_core::params::CedarParams;
 use cedar_core::system::CedarSystem;

@@ -135,9 +135,7 @@ pub fn print() {
         .map(|c| c.mflops)
         .fold(f64::INFINITY, f64::min);
     let hi = at32.iter().map(|c| c.mflops).fold(0.0, f64::max);
-    println!(
-        "\n32-CE CG delivers {lo:.0}-{hi:.0} MFLOPS for N in [10K, 172K] (paper: 34-48)"
-    );
+    println!("\n32-CE CG delivers {lo:.0}-{hi:.0} MFLOPS for N in [10K, 172K] (paper: 34-48)");
     println!("paper: high band for N above ~10-16K, intermediate below, none unacceptable\n");
 
     println!("CM-5 banded matvec (no FP accelerators):");

@@ -56,8 +56,9 @@ pub fn scaled_params(clusters: usize) -> CedarParams {
         ..FabricConfig::cedar()
     };
     CedarParams::paper()
-        .with_clusters(clusters)
         .with_fabric(fabric)
+        .with_clusters(clusters)
+        .expect("scaled machine fits its network")
 }
 
 /// The cluster counts studied.
@@ -72,10 +73,8 @@ pub fn run() -> Vec<ScalePoint> {
             let mut sys = CedarSystem::new(scaled_params(clusters));
             let ces = clusters * 8;
             let profile = sys.measure_memory(PrefetchTraffic::rk_aggressive(4), ces);
-            let cache =
-                rank_update::simulate(&mut sys, 1024, RankUpdateVersion::GmCache, clusters);
-            let pref =
-                rank_update::simulate(&mut sys, 1024, RankUpdateVersion::GmPref, clusters);
+            let cache = rank_update::simulate(&mut sys, 1024, RankUpdateVersion::GmCache, clusters);
+            let pref = rank_update::simulate(&mut sys, 1024, RankUpdateVersion::GmPref, clusters);
             ScalePoint {
                 clusters,
                 ces,

@@ -43,7 +43,10 @@ pub fn run() -> Vec<Row> {
 pub fn print() {
     let rows = run();
     println!("Table 1: MFLOPS for rank-64 update on Cedar (n = 1K)");
-    println!("{:12} {:>28}   {:>28}", "", "measured (1-4 clusters)", "paper");
+    println!(
+        "{:12} {:>28}   {:>28}",
+        "", "measured (1-4 clusters)", "paper"
+    );
     for (row, (_, paper)) in rows.iter().zip(PAPER.iter()) {
         print!("{:12}", row.label);
         for m in row.mflops {

@@ -77,21 +77,15 @@ pub fn print() {
         "YMP/Cedar"
     );
     for (row, paper) in run().iter().zip(TABLE3.iter()) {
-        let auto = row
-            .auto
-            .map_or("      NA       ".to_owned(), |(t, i)| {
-                format!("{t:7.0} ({i:5.1})")
-            });
-        let nosync = row
-            .nosync
-            .map_or("      NA       ".to_owned(), |(t, p)| {
-                format!("{t:7.0} ({p:4.0}%)")
-            });
-        let nopref = row
-            .nopref
-            .map_or("      NA       ".to_owned(), |(t, p)| {
-                format!("{t:7.0} ({p:4.0}%)")
-            });
+        let auto = row.auto.map_or("      NA       ".to_owned(), |(t, i)| {
+            format!("{t:7.0} ({i:5.1})")
+        });
+        let nosync = row.nosync.map_or("      NA       ".to_owned(), |(t, p)| {
+            format!("{t:7.0} ({p:4.0}%)")
+        });
+        let nopref = row.nopref.map_or("      NA       ".to_owned(), |(t, p)| {
+            format!("{t:7.0} ({p:4.0}%)")
+        });
         println!(
             "{:8} {:7.0} ({:4.1}) {} {} {} {:8.1} {:>10.2}",
             row.name, row.kap.0, row.kap.1, auto, nosync, nopref, row.mflops, row.ymp_ratio

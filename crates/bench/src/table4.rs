@@ -47,7 +47,10 @@ pub fn run() -> Vec<Row> {
 /// Prints the regenerated table.
 pub fn print() {
     println!("Table 4: Execution times (secs.) for manually altered Perfect codes");
-    println!("{:8} {:>8} {:>12}  mechanism", "Code", "Time", "Improvement");
+    println!(
+        "{:8} {:>8} {:>12}  mechanism",
+        "Code", "Time", "Improvement"
+    );
     for row in run() {
         let marker = if row.in_table4 { " " } else { "*" };
         println!(

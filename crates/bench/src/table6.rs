@@ -52,7 +52,10 @@ pub fn run() -> (Census, Census) {
 pub fn print() {
     let (cedar, ymp_census) = run();
     println!("Table 6: Restructuring efficiency (band census over 13 Perfect codes)");
-    println!("{:24} {:>8} {:>10}", "Performance level", "Cedar", "Cray YMP");
+    println!(
+        "{:24} {:>8} {:>10}",
+        "Performance level", "Cedar", "Cray YMP"
+    );
     println!(
         "{:24} {:>8} {:>10}",
         "High (Ep > .5)", cedar.high, ymp_census.high

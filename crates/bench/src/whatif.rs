@@ -75,8 +75,7 @@ pub fn run() -> Vec<Scenario> {
     let mut log_sum = 0.0;
     for code in base.codes() {
         let k = base_costs.nopref_factor(code.width_ces);
-        let t = base.time(code, Version::Automatable)
-            + code.prefetched_seconds * (k - 1.0);
+        let t = base.time(code, Version::Automatable) + code.prefetched_seconds * (k - 1.0);
         total += t;
         log_sum += (code.serial_seconds / t).ln();
     }
@@ -92,7 +91,10 @@ pub fn run() -> Vec<Scenario> {
 /// Prints the scenarios.
 pub fn print() {
     println!("Perfect-workload what-ifs (12 modelled codes, automatable versions)");
-    println!("{:44} {:>12} {:>18}", "scenario", "total (s)", "geomean improv.");
+    println!(
+        "{:44} {:>12} {:>18}",
+        "scenario", "total (s)", "geomean improv."
+    );
     for s in run() {
         println!(
             "{:44} {:>12.0} {:>18.1}",
@@ -131,7 +133,10 @@ mod tests {
         assert!(fast.total_seconds < built.total_seconds);
         let gain = built.total_seconds - fast.total_seconds;
         let loss = no_sync.total_seconds - built.total_seconds;
-        assert!(loss > gain, "diminishing returns past the existing hardware");
+        assert!(
+            loss > gain,
+            "diminishing returns past the existing hardware"
+        );
     }
 
     #[test]

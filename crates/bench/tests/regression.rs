@@ -64,12 +64,18 @@ fn table5_golden() {
 fn fig3_golden_censuses() {
     use cedar_metrics::bands::PerfBand;
     let points = cedar_bench::fig3::run();
-    let cedar_high = points.iter().filter(|p| p.cedar_band == PerfBand::High).count();
+    let cedar_high = points
+        .iter()
+        .filter(|p| p.cedar_band == PerfBand::High)
+        .count();
     let cedar_unacc = points
         .iter()
         .filter(|p| p.cedar_band == PerfBand::Unacceptable)
         .count();
-    let ymp_high = points.iter().filter(|p| p.ymp_band == PerfBand::High).count();
+    let ymp_high = points
+        .iter()
+        .filter(|p| p.ymp_band == PerfBand::High)
+        .count();
     let ymp_unacc = points
         .iter()
         .filter(|p| p.ymp_band == PerfBand::Unacceptable)
@@ -81,8 +87,16 @@ fn fig3_golden_censuses() {
 #[test]
 fn overheads_golden() {
     let o = cedar_bench::overheads::run();
-    assert!(within(o.xdoall_startup_us, 90.1, 0.02), "{}", o.xdoall_startup_us);
-    assert!(within(o.xdoall_fetch_us, 30.1, 0.02), "{}", o.xdoall_fetch_us);
+    assert!(
+        within(o.xdoall_startup_us, 90.1, 0.02),
+        "{}",
+        o.xdoall_startup_us
+    );
+    assert!(
+        within(o.xdoall_fetch_us, 30.1, 0.02),
+        "{}",
+        o.xdoall_fetch_us
+    );
     assert!(o.cdoall_start_us < 10.0);
 }
 
@@ -119,5 +133,8 @@ fn cm5_golden() {
         .collect();
     let lo = bw3_32.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = bw3_32.iter().cloned().fold(0.0, f64::max);
-    assert!(within(lo, 26.7, 0.03) && within(hi, 29.8, 0.03), "{lo}..{hi}");
+    assert!(
+        within(lo, 26.7, 0.03) && within(hi, 29.8, 0.03),
+        "{lo}..{hi}"
+    );
 }

@@ -9,6 +9,7 @@
 //! discrete-event network fabric — the same way the paper derives its
 //! kernel numbers from monitored latencies.
 
+use cedar_faults::{FaultPlan, RetryPolicy};
 use cedar_net::fabric::{FabricConfig, PrefetchTraffic, RoundTripFabric};
 
 /// CE-to-network-port path cost paid by a plain (non-prefetched)
@@ -61,6 +62,9 @@ pub struct CostModel {
     /// Blocks per CE in a measurement window; larger = tighter
     /// estimates, slower measurement.
     measure_blocks: u32,
+    /// Fault plan applied to every measurement fabric (degraded-mode
+    /// studies); `None` models the healthy machine.
+    faults: Option<(FaultPlan, RetryPolicy)>,
 }
 
 /// Cache key for measured profiles: traffic shape (quantized) + CEs.
@@ -97,6 +101,7 @@ impl CostModel {
             fabric_cfg,
             profiles: std::collections::HashMap::new(),
             measure_blocks: 8,
+            faults: None,
         }
     }
 
@@ -104,6 +109,18 @@ impl CostModel {
     #[must_use]
     pub fn fabric_config(&self) -> &FabricConfig {
         &self.fabric_cfg
+    }
+
+    /// Applies a fault plan to every subsequently measured fabric and
+    /// invalidates cached healthy profiles. A benign plan restores the
+    /// healthy model exactly.
+    pub fn attach_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.profiles.clear();
+        self.faults = if plan.is_benign() {
+            None
+        } else {
+            Some((plan, retry))
+        };
     }
 
     /// Measures (or returns the cached) memory profile for `traffic`
@@ -116,6 +133,9 @@ impl CostModel {
         let mut run = traffic;
         run.blocks = self.measure_blocks;
         let mut fabric = RoundTripFabric::new(self.fabric_cfg.clone());
+        if let Some((plan, retry)) = &self.faults {
+            fabric.attach_faults(plan.clone(), *retry);
+        }
         let report = fabric.run_prefetch_experiment(ces, run, 64_000_000);
         let profile = MemProfile {
             latency: report.mean_first_word_latency_ce(),
@@ -208,7 +228,10 @@ mod tests {
         let traffic = PrefetchTraffic::rk_aggressive(4);
         let at8 = m.cycles_per_word(AccessMode::GlobalPrefetch(traffic), 8);
         let at32 = m.cycles_per_word(AccessMode::GlobalPrefetch(traffic), 32);
-        assert!(at32 > at8, "contention raises prefetch cost: {at8} -> {at32}");
+        assert!(
+            at32 > at8,
+            "contention raises prefetch cost: {at8} -> {at32}"
+        );
     }
 
     #[test]

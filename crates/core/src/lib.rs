@@ -41,6 +41,6 @@ pub mod system;
 pub mod topology;
 
 pub use costmodel::{AccessMode, CostModel, MemProfile};
-pub use report::MachineReport;
 pub use params::CedarParams;
+pub use report::MachineReport;
 pub use system::{CedarSystem, Cluster};

@@ -2,6 +2,7 @@
 //! provenance notes, and a builder for what-if configurations.
 
 use cedar_cpu::ce::CeConfig;
+use cedar_faults::CedarError;
 use cedar_mem::cache::CacheConfig;
 use cedar_net::fabric::FabricConfig;
 use cedar_sim::time::ClockPeriod;
@@ -20,7 +21,7 @@ use cedar_sim::time::ClockPeriod;
 /// let p = CedarParams::paper();
 /// assert_eq!(p.clusters, 4);
 /// assert_eq!(p.ces_per_cluster, 8);
-/// let small = CedarParams::paper().with_clusters(2);
+/// let small = CedarParams::paper().with_clusters(2).unwrap();
 /// assert_eq!(small.total_ces(), 16);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -71,14 +72,29 @@ impl CedarParams {
 
     /// Uses only the first `clusters` clusters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `clusters` is zero.
-    #[must_use]
-    pub fn with_clusters(mut self, clusters: usize) -> Self {
-        assert!(clusters > 0, "need at least one cluster");
+    /// Rejects a zero cluster count and any count whose CEs would
+    /// exceed the network's ports.
+    pub fn with_clusters(mut self, clusters: usize) -> Result<Self, CedarError> {
+        if clusters == 0 {
+            return Err(CedarError::invalid(
+                "params.clusters",
+                "need at least one cluster",
+            ));
+        }
+        let ports = self.fabric.net.ports();
+        if clusters * self.ces_per_cluster > ports {
+            return Err(CedarError::invalid(
+                "params.clusters",
+                format!(
+                    "{} clusters of {} CEs exceed the network's {ports} ports",
+                    clusters, self.ces_per_cluster
+                ),
+            ));
+        }
         self.clusters = clusters;
-        self
+        Ok(self)
     }
 
     /// Replaces the fabric configuration (network-ablation studies).
@@ -118,7 +134,9 @@ impl CedarParams {
     /// XDOALL startup in CE cycles.
     #[must_use]
     pub fn xdoall_startup_cycles(&self) -> u64 {
-        self.clock().to_cycles(self.xdoall_startup_us * 1e-6).as_u64()
+        self.clock()
+            .to_cycles(self.xdoall_startup_us * 1e-6)
+            .as_u64()
     }
 
     /// XDOALL per-iteration fetch in CE cycles.
@@ -131,19 +149,27 @@ impl CedarParams {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`CedarError::InvalidConfig`] naming the violated
+    /// constraint, from this struct's own checks or from the nested
+    /// network and cache validations.
+    pub fn validate(&self) -> Result<(), CedarError> {
         if self.clusters == 0 || self.ces_per_cluster == 0 {
-            return Err("machine needs clusters and CEs".to_owned());
+            return Err(CedarError::invalid(
+                "params.clusters",
+                "machine needs clusters and CEs",
+            ));
         }
         self.fabric.net.validate()?;
         self.cache.validate()?;
         let ports = self.fabric.net.ports();
         if self.total_ces() > ports {
-            return Err(format!(
-                "{} CEs exceed the network's {} ports",
-                self.total_ces(),
-                ports
+            return Err(CedarError::invalid(
+                "params.ces_per_cluster",
+                format!(
+                    "{} CEs exceed the network's {} ports",
+                    self.total_ces(),
+                    ports
+                ),
             ));
         }
         Ok(())
@@ -182,7 +208,7 @@ mod tests {
 
     #[test]
     fn builder_variants() {
-        let p = CedarParams::paper().with_clusters(1);
+        let p = CedarParams::paper().with_clusters(1).unwrap();
         assert_eq!(p.total_ces(), 8);
         p.validate().unwrap();
     }
@@ -195,8 +221,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one cluster")]
-    fn zero_clusters_panics() {
-        let _ = CedarParams::paper().with_clusters(0);
+    fn zero_clusters_rejected() {
+        let err = CedarParams::paper().with_clusters(0).unwrap_err();
+        match err {
+            CedarError::InvalidConfig { field, message } => {
+                assert_eq!(field, "params.clusters");
+                assert!(message.contains("at least one cluster"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_cluster_count_rejected() {
+        let err = CedarParams::paper().with_clusters(9).unwrap_err();
+        match err {
+            CedarError::InvalidConfig { field, .. } => {
+                assert_eq!(field, "params.clusters")
+            }
+            other => panic!("unexpected error: {other}"),
+        }
     }
 }

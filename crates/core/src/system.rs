@@ -10,6 +10,7 @@
 
 use cedar_cpu::ccbus::ConcurrencyBus;
 use cedar_cpu::ce::ComputationalElement;
+use cedar_faults::{CedarError, FaultPlan, RetryPolicy};
 use cedar_mem::cache::SharedCache;
 use cedar_mem::cluster::ClusterMemory;
 use cedar_mem::global::GlobalMemory;
@@ -79,22 +80,43 @@ impl CedarSystem {
     /// Panics if the parameters fail [`CedarParams::validate`].
     #[must_use]
     pub fn new(params: CedarParams) -> Self {
-        params.validate().expect("invalid machine parameters");
-        let clusters = (0..params.clusters).map(|_| Cluster::new(&params)).collect();
+        Self::try_new(params).expect("invalid machine parameters")
+    }
+
+    /// Builds the machine, reporting invalid parameters as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`CedarParams::validate`] rejects.
+    pub fn try_new(params: CedarParams) -> Result<Self, CedarError> {
+        params.validate()?;
+        let clusters = (0..params.clusters)
+            .map(|_| Cluster::new(&params))
+            .collect();
         let global = GlobalMemory::with_words_and_modules(
             params.global_memory_words,
             params.fabric.mem_modules,
         );
         let vm = VirtualMemory::new(params.clusters, params.tlb_entries);
         let cost_model = CostModel::new(params.fabric.clone());
-        CedarSystem {
+        Ok(CedarSystem {
             clusters,
             global,
             vm,
             monitor: PerformanceMonitor::new(),
             cost_model,
             params,
-        }
+        })
+    }
+
+    /// Degrades the machine with a deterministic fault plan: the cost
+    /// model measures on faulted fabrics with `retry` governing request
+    /// recovery, and the global memory's synchronization processors
+    /// lose updates per the plan. A benign plan leaves the machine
+    /// healthy.
+    pub fn attach_faults(&mut self, plan: &FaultPlan, retry: RetryPolicy) {
+        self.cost_model.attach_faults(plan.clone(), retry);
+        self.global.attach_faults(plan.clone());
     }
 
     /// The machine parameters.
@@ -265,7 +287,7 @@ mod tests {
 
     #[test]
     fn smaller_machine_variants() {
-        let cedar = CedarSystem::new(CedarParams::paper().with_clusters(1));
+        let cedar = CedarSystem::new(CedarParams::paper().with_clusters(1).unwrap());
         assert_eq!(cedar.clusters().len(), 1);
     }
 
@@ -275,5 +297,50 @@ mod tests {
         let mut p = CedarParams::paper();
         p.ces_per_cluster = 100;
         let _ = CedarSystem::new(p);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_params() {
+        let mut p = CedarParams::paper();
+        p.ces_per_cluster = 100;
+        assert!(CedarSystem::try_new(p).is_err());
+        assert!(CedarSystem::try_new(CedarParams::paper()).is_ok());
+    }
+
+    #[test]
+    fn attached_faults_reach_the_sync_processors() {
+        use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+
+        let mut cedar = CedarSystem::new(CedarParams::paper());
+        let plan = FaultPlan::generate(
+            &FaultConfig::dead_sync_processor(7, 0),
+            &MachineShape::cedar(),
+        )
+        .unwrap();
+        cedar.attach_faults(&plan, RetryPolicy::fabric());
+        // Word 0 lives on module 0, whose sync processor is dead: the
+        // fetch-and-add reply arrives but the update never commits.
+        for _ in 0..3 {
+            let out = cedar
+                .global_mut()
+                .sync_op(0, SyncInstruction::fetch_and_add(1));
+            assert_eq!(out.old_value, 0);
+        }
+        assert_eq!(cedar.global().sync_lost_count(), 3);
+    }
+
+    #[test]
+    fn benign_faults_leave_the_machine_healthy() {
+        use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+
+        let mut cedar = CedarSystem::new(CedarParams::paper());
+        let plan = FaultPlan::generate(&FaultConfig::none(7), &MachineShape::cedar()).unwrap();
+        cedar.attach_faults(&plan, RetryPolicy::fabric());
+        let out = cedar
+            .global_mut()
+            .sync_op(0, SyncInstruction::fetch_and_add(1));
+        assert_eq!(out.old_value, 0);
+        assert_eq!(cedar.global().sync_lost_count(), 0);
+        assert!(cedar.global().faults().is_none());
     }
 }

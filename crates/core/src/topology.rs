@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn figures_track_parameters() {
-        let p = CedarParams::paper().with_clusters(2);
+        let p = CedarParams::paper().with_clusters(2).unwrap();
         let text = render_figure1(&p);
         assert!(text.contains("Cluster 1"));
         assert!(!text.contains("Cluster 2"));

@@ -80,7 +80,10 @@ impl PrefetchBuffer {
     /// Number of full slots.
     #[must_use]
     pub fn full_count(&self) -> usize {
-        self.slots.iter().filter(|s| matches!(s, Slot::Full(_))).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Full(_)))
+            .count()
     }
 
     /// Invalidates every slot — what happens when another prefetch is

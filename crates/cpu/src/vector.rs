@@ -221,8 +221,7 @@ mod tests {
         // Chained ops from cache on full registers: the 274/376 ratio.
         let vu = VectorUnit::cedar();
         let t = VectorTiming::cedar();
-        let sustained =
-            vu.sustained_mflops(1 << 20, 2.0, MemOperand::ClusterCache, &t, CYCLE);
+        let sustained = vu.sustained_mflops(1 << 20, 2.0, MemOperand::ClusterCache, &t, CYCLE);
         let machine_effective = sustained * 32.0;
         assert!(
             (machine_effective - 274.0).abs() < 6.0,
@@ -269,7 +268,10 @@ mod tests {
         let vu = VectorUnit::cedar();
         let t = VectorTiming::cedar();
         assert_eq!(vu.strip_mined_cycles(0, MemOperand::None, &t), 0);
-        assert_eq!(vu.sustained_mflops(0, 2.0, MemOperand::None, &t, CYCLE), 0.0);
+        assert_eq!(
+            vu.sustained_mflops(0, 2.0, MemOperand::None, &t, CYCLE),
+            0.0
+        );
     }
 
     #[test]

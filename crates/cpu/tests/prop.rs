@@ -1,23 +1,26 @@
-//! Property-based tests for the CE components.
-
-use proptest::prelude::*;
+//! Randomized property tests for the CE components, driven by the
+//! simulator's deterministic SplitMix64 generator.
 
 use cedar_cpu::ccbus::ConcurrencyBus;
 use cedar_cpu::ce::PAGE_BYTES;
 use cedar_cpu::prefetch::PrefetchUnit;
 use cedar_cpu::vector::{MemOperand, VectorTiming, VectorUnit};
+use cedar_sim::rng::SplitMix64;
 
-proptest! {
-    /// The PFU issues exactly the unmasked addresses of the armed
-    /// vector, in order, with the right stride, resuming across any
-    /// number of page crossings.
-    #[test]
-    fn pfu_issues_exactly_the_armed_vector(
-        length in 1u32..512,
-        stride in 1u64..16,
-        start_word in 0u64..2048,
-        mask in any::<u64>(),
-    ) {
+const CASES: usize = 64;
+
+/// The PFU issues exactly the unmasked addresses of the armed vector,
+/// in order, with the right stride, resuming across any number of page
+/// crossings.
+#[test]
+fn pfu_issues_exactly_the_armed_vector() {
+    let mut rng = SplitMix64::new(0xcb01);
+    for _ in 0..CASES {
+        let length = 1 + rng.next_below(511) as u32;
+        let stride = 1 + rng.next_below(15);
+        let start_word = rng.next_below(2048);
+        let mask = rng.next_u64();
+
         let mut pfu = PrefetchUnit::new();
         pfu.arm(length, stride, mask);
         let start = start_word * 8;
@@ -31,20 +34,20 @@ proptest! {
             if pfu.is_done() {
                 break;
             }
-            prop_assert!(pfu.is_suspended(), "not done and not suspended");
+            assert!(pfu.is_suspended(), "not done and not suspended");
             // The CPU supplies the next address (element `issued`).
-            let next = start + pfu.issued() as u64 * stride * 8;
+            let next = start + u64::from(pfu.issued()) * stride * 8;
             pfu.resume_at(next);
             resumes += 1;
-            prop_assert!(resumes <= 1024, "suspension livelock");
+            assert!(resumes <= 1024, "suspension livelock");
         }
         // Reference: unmasked elements only.
         let expected: Vec<u64> = (0..length)
             .filter(|e| mask & (1u64 << (e % 64)) != 0)
             .map(|e| start + u64::from(e) * stride * 8)
             .collect();
-        prop_assert_eq!(got, expected);
-        prop_assert_eq!(pfu.issued(), length);
+        assert_eq!(got, expected);
+        assert_eq!(pfu.issued(), length);
         // Suspension count equals the page crossings of the walk.
         let crossings = (0..length)
             .map(|e| (start + u64::from(e) * stride * 8) / PAGE_BYTES)
@@ -52,72 +55,91 @@ proptest! {
             .windows(2)
             .filter(|w| w[0] != w[1])
             .count() as u64;
-        prop_assert_eq!(pfu.page_suspension_count(), crossings);
+        assert_eq!(pfu.page_suspension_count(), crossings);
     }
+}
 
-    /// Self-scheduling dispenses every iteration exactly once, and the
-    /// per-CE loads differ by at most one.
-    #[test]
-    fn ccbus_dispenses_fairly(ces in 1usize..=8, iterations in 0u64..500) {
+/// Self-scheduling dispenses every iteration exactly once, and the
+/// per-CE loads differ by at most one.
+#[test]
+fn ccbus_dispenses_fairly() {
+    let mut rng = SplitMix64::new(0xcb02);
+    for _ in 0..CASES {
+        let ces = 1 + rng.next_below(8) as usize;
+        let iterations = rng.next_below(500);
         let mut bus = ConcurrencyBus::new(ces);
         bus.concurrent_start(iterations);
         let mut per_ce = vec![0u64; ces];
         let mut seen = vec![false; iterations as usize];
         while let Some((ce, iter)) = bus.self_schedule_next() {
             per_ce[ce] += 1;
-            prop_assert!(!seen[iter as usize]);
+            assert!(!seen[iter as usize]);
             seen[iter as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
         let max = per_ce.iter().max().copied().unwrap_or(0);
         let min = per_ce.iter().min().copied().unwrap_or(0);
-        prop_assert!(max - min <= 1, "round-robin must balance");
+        assert!(max - min <= 1, "round-robin must balance");
     }
+}
 
-    /// Static partitions cover the range exactly once, contiguously.
-    #[test]
-    fn static_partition_covers_exactly(ces in 1usize..=8, iterations in 0u64..1000) {
+/// Static partitions cover the range exactly once, contiguously.
+#[test]
+fn static_partition_covers_exactly() {
+    let mut rng = SplitMix64::new(0xcb03);
+    for _ in 0..CASES {
+        let ces = 1 + rng.next_below(8) as usize;
+        let iterations = rng.next_below(1000);
         let bus = ConcurrencyBus::new(ces);
         let parts = bus.static_partition(iterations);
-        prop_assert_eq!(parts.len(), ces);
+        assert_eq!(parts.len(), ces);
         let mut cursor = 0;
         for &(start, end) in &parts {
-            prop_assert_eq!(start, cursor, "contiguous");
-            prop_assert!(end >= start);
+            assert_eq!(start, cursor, "contiguous");
+            assert!(end >= start);
             cursor = end;
         }
-        prop_assert_eq!(cursor, iterations, "covers everything");
+        assert_eq!(cursor, iterations, "covers everything");
         let sizes: Vec<u64> = parts.iter().map(|(s, e)| e - s).collect();
         let max = sizes.iter().max().copied().unwrap_or(0);
         let min = sizes.iter().min().copied().unwrap_or(0);
-        prop_assert!(max - min <= 1, "balanced within one iteration");
+        assert!(max - min <= 1, "balanced within one iteration");
     }
+}
 
-    /// Vector timing is monotone and superadditive-with-startup:
-    /// strip-mining n elements costs at least the single-instruction
-    /// rate and at most one extra startup per chunk.
-    #[test]
-    fn vector_strip_mining_bounds(n in 0usize..2000) {
+/// Vector timing is monotone and superadditive-with-startup:
+/// strip-mining n elements costs at least the single-instruction rate
+/// and at most one extra startup per chunk.
+#[test]
+fn vector_strip_mining_bounds() {
+    let mut rng = SplitMix64::new(0xcb04);
+    for _ in 0..CASES {
+        let n = rng.next_below(2000) as usize;
         let vu = VectorUnit::cedar();
         let t = VectorTiming::cedar();
         let cycles = vu.strip_mined_cycles(n, MemOperand::ClusterCache, &t);
         let chunks = n.div_ceil(32) as u64;
         let lower = n as u64; // one element per cycle minimum
         let upper = n as u64 + chunks * t.startup_cycles;
-        prop_assert!(cycles >= lower);
-        prop_assert!(cycles <= upper);
+        assert!(cycles >= lower);
+        assert!(cycles <= upper);
         // Monotonicity.
         let next = vu.strip_mined_cycles(n + 1, MemOperand::ClusterCache, &t);
-        prop_assert!(next >= cycles);
+        assert!(next >= cycles);
     }
+}
 
-    /// A slower memory operand never makes a vector op faster.
-    #[test]
-    fn slower_operands_never_speed_up(n in 1usize..=32, slow_cpw in 1.0f64..16.0) {
+/// A slower memory operand never makes a vector op faster.
+#[test]
+fn slower_operands_never_speed_up() {
+    let mut rng = SplitMix64::new(0xcb05);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(32) as usize;
+        let slow_cpw = 1.0 + rng.next_f64() * 15.0;
         let vu = VectorUnit::cedar();
         let t = VectorTiming::cedar();
         let fast = vu.op_cycles(n, MemOperand::global(1.0), &t);
         let slow = vu.op_cycles(n, MemOperand::global(slow_cpw), &t);
-        prop_assert!(slow >= fast);
+        assert!(slow >= fast);
     }
 }

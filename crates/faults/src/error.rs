@@ -1,0 +1,104 @@
+//! The shared error type of the Cedar reproduction.
+//!
+//! Constructor paths across the workspace (`cedar_net::topology`,
+//! `cedar_core::params`, fabric and cache configuration) validate with
+//! [`CedarError`] instead of panicking, so callers — the bench
+//! binaries, sweep harnesses, fuzzers — can reject a bad configuration
+//! without unwinding. `assert!` remains only for internal invariants
+//! that indicate bugs, never for user-supplied configuration.
+
+use std::fmt;
+
+use cedar_sim::watchdog::WatchdogReport;
+
+/// Errors surfaced by the Cedar reproduction's fallible paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CedarError {
+    /// A configuration value violated a structural constraint.
+    InvalidConfig {
+        /// Which parameter was rejected (e.g. `"net.radix"`).
+        field: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// A retried operation ran out of attempts (e.g. a sync
+    /// instruction against a dead synchronization processor).
+    RetriesExhausted {
+        /// What was being retried.
+        what: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// The simulation watchdog detected no progress (deadlock or
+    /// livelock, e.g. a barrier that can never complete).
+    Stalled(WatchdogReport),
+}
+
+impl CedarError {
+    /// Convenience constructor for configuration rejections.
+    #[must_use]
+    pub fn invalid(field: &'static str, message: impl Into<String>) -> Self {
+        CedarError::InvalidConfig {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CedarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CedarError::InvalidConfig { field, message } => {
+                write!(f, "invalid configuration ({field}): {message}")
+            }
+            CedarError::RetriesExhausted { what, attempts } => {
+                write!(f, "{what}: gave up after {attempts} attempts")
+            }
+            CedarError::Stalled(report) => report.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CedarError {}
+
+impl From<WatchdogReport> for CedarError {
+    fn from(report: WatchdogReport) -> Self {
+        CedarError::Stalled(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = CedarError::invalid("net.radix", "must be a power of two, got 6");
+        let msg = e.to_string();
+        assert!(msg.contains("net.radix"), "{msg}");
+        assert!(msg.contains("power of two"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_reports_convert() {
+        let report = WatchdogReport {
+            context: "barrier".into(),
+            stalled_since: 1,
+            now: 100,
+            budget: 10,
+            progress: 3,
+        };
+        let e: CedarError = report.clone().into();
+        assert_eq!(e, CedarError::Stalled(report));
+        assert!(e.to_string().contains("barrier"));
+    }
+
+    #[test]
+    fn exhaustion_display() {
+        let e = CedarError::RetriesExhausted {
+            what: "sync op at cell 10".into(),
+            attempts: 8,
+        };
+        assert!(e.to_string().contains("8 attempts"));
+    }
+}

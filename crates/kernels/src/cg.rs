@@ -188,8 +188,7 @@ pub fn simulate_iteration(sys: &mut CedarSystem, n: usize, ces: usize) -> Kernel
 /// — the quantity the PPT4 bands classify.
 pub fn speedup(sys: &mut CedarSystem, n: usize, ces: usize) -> f64 {
     let parallel = simulate_iteration(sys, n, ces);
-    let serial_cycles =
-        FLOPS_PER_ELEMENT_PER_ITER * n as f64 * SERIAL_SCALAR_CYCLES_PER_FLOP;
+    let serial_cycles = FLOPS_PER_ELEMENT_PER_ITER * n as f64 * SERIAL_SCALAR_CYCLES_PER_FLOP;
     serial_cycles / parallel.cycles
 }
 

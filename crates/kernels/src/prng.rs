@@ -214,7 +214,10 @@ mod tests {
         // not fully vectorizable), the serial-RNG fraction that yields
         // 1.8 is ~51%, and removing it recovers the full 22.
         let (serial_rng, leapfrog) = qcd_speed_improvement(0.51, 22.0, 32);
-        assert!((1.6..2.1).contains(&serial_rng), "serial RNG gives {serial_rng}");
+        assert!(
+            (1.6..2.1).contains(&serial_rng),
+            "serial RNG gives {serial_rng}"
+        );
         assert!(
             (20.0..23.0).contains(&leapfrog),
             "parallel RNG gives {leapfrog} (paper: 20.8)"

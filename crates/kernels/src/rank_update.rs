@@ -210,7 +210,10 @@ mod tests {
         let pref = simulate(&mut sys, 1024, RankUpdateVersion::GmPref, 1).mflops;
         let cache = simulate(&mut sys, 1024, RankUpdateVersion::GmCache, 1).mflops;
         // Paper row 1: 14.5 / 50 / 52.
-        assert!((nopref - 14.5).abs() < 3.0, "GM/no-pref {nopref} vs paper 14.5");
+        assert!(
+            (nopref - 14.5).abs() < 3.0,
+            "GM/no-pref {nopref} vs paper 14.5"
+        );
         assert!((pref - 50.0).abs() < 20.0, "GM/pref {pref} vs paper 50");
         assert!((cache - 52.0).abs() < 10.0, "GM/cache {cache} vs paper 52");
     }
@@ -240,7 +243,10 @@ mod tests {
             at4 < at1,
             "prefetch improvement should shrink with contention: {at1} -> {at4}"
         );
-        assert!(at1 > 2.0, "one-cluster prefetch improvement {at1} should be large");
+        assert!(
+            at1 > 2.0,
+            "one-cluster prefetch improvement {at1} should be large"
+        );
     }
 
     #[test]

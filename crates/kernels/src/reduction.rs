@@ -79,7 +79,9 @@ mod tests {
 
     #[test]
     fn hierarchical_sum_matches_serial() {
-        let values: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 37) % 101) as f64 - 50.0)
+            .collect();
         let serial: f64 = values.iter().sum();
         let parallel = hierarchical_sum(&values, 4, 8);
         assert!(

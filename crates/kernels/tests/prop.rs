@@ -1,25 +1,25 @@
-//! Property-based tests for the kernels' numerics.
-
-use proptest::prelude::*;
+//! Randomized property tests for the kernels' numerics, driven by the
+//! simulator's deterministic SplitMix64 generator.
 
 use cedar_kernels::banded::Banded;
 use cedar_kernels::cg::{self, Penta};
 use cedar_kernels::rank_update;
 use cedar_kernels::tridiag::Tridiagonal;
+use cedar_sim::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// The rank-64 update is linear: updating with U,V then U',V' of
-    /// the same shapes equals one update with concatenated effect —
-    /// checked via additivity of two sequential updates versus summed
-    /// expected entries.
-    #[test]
-    fn rank_update_is_additive(
-        n in 2usize..8,
-        u_val in -2.0f64..2.0,
-        v_val in -2.0f64..2.0,
-    ) {
+/// The rank-64 update is linear: updating with U,V then U',V' of the
+/// same shapes equals one update with concatenated effect — checked
+/// via additivity of two sequential updates versus summed expected
+/// entries.
+#[test]
+fn rank_update_is_additive() {
+    let mut rng = SplitMix64::new(0x4e01);
+    for _ in 0..CASES {
+        let n = 2 + rng.next_below(6) as usize;
+        let u_val = rng.next_f64() * 4.0 - 2.0;
+        let v_val = rng.next_f64() * 4.0 - 2.0;
         let mut a = vec![0.0; n * n];
         let u = vec![u_val; n * rank_update::RANK];
         let v = vec![v_val; n * rank_update::RANK];
@@ -27,26 +27,29 @@ proptest! {
         rank_update::compute(&mut a, &u, &v, n);
         let expected = 2.0 * rank_update::RANK as f64 * u_val * v_val;
         for &x in &a {
-            prop_assert!((x - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+            assert!((x - expected).abs() < 1e-9 * (1.0 + expected.abs()));
         }
     }
+}
 
-    /// Tridiagonal matvec is linear in x: A(ax + by) = aAx + bAy.
-    #[test]
-    fn tridiag_matvec_is_linear(
-        n in 2usize..40,
-        a_scale in -3.0f64..3.0,
-        b_scale in -3.0f64..3.0,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = cedar_sim::rng::SplitMix64::new(seed);
-        let mut r = |len: usize| -> Vec<f64> {
-            (0..len).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
-        };
+/// Tridiagonal matvec is linear in x: A(ax + by) = aAx + bAy.
+#[test]
+fn tridiag_matvec_is_linear() {
+    let mut rng = SplitMix64::new(0x4e02);
+    for _ in 0..CASES {
+        let n = 2 + rng.next_below(38) as usize;
+        let a_scale = rng.next_f64() * 6.0 - 3.0;
+        let b_scale = rng.next_f64() * 6.0 - 3.0;
+        let mut r =
+            |len: usize| -> Vec<f64> { (0..len).map(|_| rng.next_f64() * 2.0 - 1.0).collect() };
         let m = Tridiagonal::new(r(n - 1), r(n), r(n - 1));
         let x = r(n);
         let y = r(n);
-        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a_scale * xi + b_scale * yi).collect();
+        let combo: Vec<f64> = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| a_scale * xi + b_scale * yi)
+            .collect();
         let mut ax = vec![0.0; n];
         let mut ay = vec![0.0; n];
         let mut acombo = vec![0.0; n];
@@ -55,15 +58,18 @@ proptest! {
         m.matvec(&combo, &mut acombo);
         for i in 0..n {
             let expected = a_scale * ax[i] + b_scale * ay[i];
-            prop_assert!((acombo[i] - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+            assert!((acombo[i] - expected).abs() < 1e-9 * (1.0 + expected.abs()));
         }
     }
+}
 
-    /// A banded matrix with bandwidth 3 agrees with the dedicated
-    /// tridiagonal kernel on random symmetric data.
-    #[test]
-    fn banded_bw3_equals_tridiagonal(n in 3usize..32, seed in any::<u64>()) {
-        let mut rng = cedar_sim::rng::SplitMix64::new(seed);
+/// A banded matrix with bandwidth 3 agrees with the dedicated
+/// tridiagonal kernel on random symmetric data.
+#[test]
+fn banded_bw3_equals_tridiagonal() {
+    let mut rng = SplitMix64::new(0x4e03);
+    for _ in 0..CASES {
+        let n = 3 + rng.next_below(29) as usize;
         let diag: Vec<f64> = (0..n).map(|_| rng.next_f64() * 4.0).collect();
         let off: Vec<f64> = (0..n - 1).map(|_| rng.next_f64() - 0.5).collect();
         let banded = {
@@ -79,17 +85,20 @@ proptest! {
         banded.matvec(&x, &mut yb);
         tri.matvec(&x, &mut yt);
         for i in 0..n {
-            prop_assert!((yb[i] - yt[i]).abs() < 1e-10, "row {i}");
+            assert!((yb[i] - yt[i]).abs() < 1e-10, "row {i}");
         }
     }
+}
 
-    /// CG solves every manufactured Poisson system to the requested
-    /// tolerance.
-    #[test]
-    fn cg_solves_manufactured_systems(k in 3usize..12, seed in any::<u64>()) {
+/// CG solves every manufactured Poisson system to the requested
+/// tolerance.
+#[test]
+fn cg_solves_manufactured_systems() {
+    let mut rng = SplitMix64::new(0x4e04);
+    for _ in 0..CASES {
+        let k = 3 + rng.next_below(9) as usize;
         let a = Penta::laplacian(k);
         let n = a.n();
-        let mut rng = cedar_sim::rng::SplitMix64::new(seed);
         let x_true: Vec<f64> = (0..n).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
         let mut b = vec![0.0; n];
         a.matvec(&x_true, &mut b);
@@ -102,20 +111,23 @@ proptest! {
             .sum::<f64>()
             .sqrt();
         let scale: f64 = x_true.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
-        prop_assert!(err / scale < 1e-6, "relative error {}", err / scale);
+        assert!(err / scale < 1e-6, "relative error {}", err / scale);
     }
+}
 
-    /// The Laplacian matvec is a positive semidefinite quadratic form:
-    /// xᵀAx ≥ 0 for every x.
-    #[test]
-    fn laplacian_is_positive_semidefinite(k in 2usize..10, seed in any::<u64>()) {
+/// The Laplacian matvec is a positive semidefinite quadratic form:
+/// xᵀAx ≥ 0 for every x.
+#[test]
+fn laplacian_is_positive_semidefinite() {
+    let mut rng = SplitMix64::new(0x4e05);
+    for _ in 0..CASES {
+        let k = 2 + rng.next_below(8) as usize;
         let a = Penta::laplacian(k);
         let n = a.n();
-        let mut rng = cedar_sim::rng::SplitMix64::new(seed);
         let x: Vec<f64> = (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
         let mut ax = vec![0.0; n];
         a.matvec(&x, &mut ax);
         let quad: f64 = x.iter().zip(&ax).map(|(u, v)| u * v).sum();
-        prop_assert!(quad >= -1e-9, "x'Ax = {quad}");
+        assert!(quad >= -1e-9, "x'Ax = {quad}");
     }
 }

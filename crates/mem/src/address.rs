@@ -184,7 +184,10 @@ mod tests {
     #[test]
     fn physical_split_is_half_and_half() {
         assert_eq!(PAddr(0).region(), Region::Cluster);
-        assert_eq!(PAddr(PHYSICAL_SPACE_BYTES / 2 - 1).region(), Region::Cluster);
+        assert_eq!(
+            PAddr(PHYSICAL_SPACE_BYTES / 2 - 1).region(),
+            Region::Cluster
+        );
         assert_eq!(PAddr(PHYSICAL_SPACE_BYTES / 2).region(), Region::Global);
     }
 

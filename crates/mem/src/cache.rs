@@ -13,6 +13,8 @@
 //! keeps the counters the cost model and the GM/cache experiments
 //! need.
 
+use cedar_faults::CedarError;
+
 use crate::address::PAddr;
 
 /// Cache geometry and behaviour parameters.
@@ -64,22 +66,32 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`CedarError::InvalidConfig`] naming the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), CedarError> {
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err("line size must be a power of two".to_owned());
+            return Err(CedarError::invalid(
+                "cache.line_bytes",
+                format!("line size must be a power of two, got {}", self.line_bytes),
+            ));
         }
         if self.ways == 0 {
-            return Err("associativity must be nonzero".to_owned());
+            return Err(CedarError::invalid(
+                "cache.ways",
+                "associativity must be nonzero",
+            ));
         }
         if self.banks == 0 {
-            return Err("bank count must be nonzero".to_owned());
+            return Err(CedarError::invalid(
+                "cache.banks",
+                "bank count must be nonzero",
+            ));
         }
         let lines = self.capacity_bytes / self.line_bytes;
         if lines == 0 || !lines.is_multiple_of(self.ways as u64) {
-            return Err(format!(
-                "{} lines do not divide into {}-way sets",
-                lines, self.ways
+            return Err(CedarError::invalid(
+                "cache.ways",
+                format!("{} lines do not divide into {}-way sets", lines, self.ways),
             ));
         }
         Ok(())
@@ -389,11 +401,14 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = small_cache(); // 256 bytes
-        // Stream 4 KB twice: second pass must still miss everywhere.
+                                   // Stream 4 KB twice: second pass must still miss everywhere.
         for pass in 0..2 {
             for line in 0..128u64 {
                 let outcome = c.access(PAddr::in_cluster(line * 32), false);
-                assert!(!outcome.is_hit(), "pass {pass} line {line} unexpectedly hit");
+                assert!(
+                    !outcome.is_hit(),
+                    "pass {pass} line {line} unexpectedly hit"
+                );
             }
         }
     }

@@ -11,6 +11,8 @@
 //! self-scheduling counters and barriers operate on genuine state) and
 //! tracks per-module service occupancy for the timing layer.
 
+use cedar_faults::FaultPlan;
+
 use crate::address::WORD_BYTES;
 use crate::sync::{SyncInstruction, SyncOutcome};
 
@@ -53,6 +55,11 @@ pub struct GlobalMemory {
     /// Per-module count of sync instructions executed, a signal the
     /// performance monitor can tap.
     sync_per_module: Vec<u64>,
+    /// Sync updates whose write-back was lost to an injected fault.
+    sync_lost: u64,
+    /// Attached fault schedule; `None` (the default, or a benign plan)
+    /// leaves every operation bit-identical to the healthy memory.
+    faults: Option<FaultPlan>,
 }
 
 impl GlobalMemory {
@@ -83,7 +90,22 @@ impl GlobalMemory {
             writes: 0,
             sync_ops: 0,
             sync_per_module: vec![0; modules],
+            sync_lost: 0,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault schedule governing lost synchronization
+    /// updates. A benign plan is discarded: the memory then behaves
+    /// bit-identically to one with no plan attached.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_benign() { None } else { Some(plan) };
+    }
+
+    /// The attached fault schedule, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The production configuration: 64 MB over 32 modules.
@@ -149,13 +171,26 @@ impl GlobalMemory {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
+    /// Under an attached fault schedule the update may be *lost*: the
+    /// synchronization processor computes the reply (so the issuing CE
+    /// sees a plausible outcome) but the memory write never commits —
+    /// the failure mode a caller detects only by reading the cell
+    /// back, which is what `cedar_runtime::sync`'s verify-and-retry
+    /// recovery does.
     pub fn sync_op(&mut self, index: u64, instr: SyncInstruction) -> SyncOutcome {
+        let op_index = self.sync_ops;
         self.sync_ops += 1;
         let module = self.module_of_word(index);
         self.sync_per_module[module] += 1;
         let word = &mut self.words[index as usize];
         let mut cell = *word as u32 as i32;
         let outcome = instr.execute(&mut cell);
+        if let Some(plan) = &self.faults {
+            if plan.sync_update_lost(module, index, op_index) {
+                self.sync_lost += 1;
+                return outcome;
+            }
+        }
         *word = (*word & 0xFFFF_FFFF_0000_0000) | u64::from(cell as u32);
         outcome
     }
@@ -208,6 +243,13 @@ impl GlobalMemory {
     #[must_use]
     pub fn sync_ops_per_module(&self) -> &[u64] {
         &self.sync_per_module
+    }
+
+    /// Synchronization updates lost to injected faults. Always zero
+    /// without an attached fault schedule.
+    #[must_use]
+    pub fn sync_lost_count(&self) -> u64 {
+        self.sync_lost
     }
 }
 
@@ -297,5 +339,63 @@ mod tests {
     #[should_panic]
     fn out_of_range_read_panics() {
         GlobalMemory::with_words(4).read_word(4);
+    }
+
+    mod faults {
+        use super::*;
+        use cedar_faults::{FaultConfig, FaultPlan, MachineShape};
+
+        fn plan(cfg: &FaultConfig) -> FaultPlan {
+            FaultPlan::generate(cfg, &MachineShape::cedar()).unwrap()
+        }
+
+        #[test]
+        fn benign_plan_is_discarded() {
+            let mut gm = GlobalMemory::with_words(64);
+            gm.attach_faults(plan(&FaultConfig::none(1)));
+            assert!(gm.faults().is_none());
+            gm.sync_op(0, SyncInstruction::fetch_and_add(1));
+            assert_eq!(gm.read_word(0), 1);
+            assert_eq!(gm.sync_lost_count(), 0);
+        }
+
+        #[test]
+        fn dead_sync_module_loses_update_but_replies() {
+            let mut gm = GlobalMemory::with_words(64);
+            gm.write_word(5, 41);
+            // Word 5 lives on module 5 under 32-way interleave.
+            gm.attach_faults(plan(&FaultConfig::dead_sync_processor(1, 5)));
+            let out = gm.sync_op(5, SyncInstruction::fetch_and_add(1));
+            assert_eq!(out.old_value, 41, "the reply looks committed");
+            assert_eq!(gm.read_word(5), 41, "but the write never landed");
+            assert_eq!(gm.sync_lost_count(), 1);
+            // Other modules are unaffected.
+            let out = gm.sync_op(6, SyncInstruction::fetch_and_add(1));
+            assert_eq!(out.old_value, 0);
+            assert_eq!(gm.read_word(6), 1);
+        }
+
+        #[test]
+        fn probabilistic_losses_are_deterministic() {
+            let run = || {
+                let mut gm = GlobalMemory::with_words(64);
+                let cfg = FaultConfig {
+                    sync_lost_prob: 0.5,
+                    ..FaultConfig::none(9)
+                };
+                gm.attach_faults(plan(&cfg));
+                for i in 0..200u64 {
+                    gm.sync_op(i % 64, SyncInstruction::fetch_and_add(1));
+                }
+                let lost = gm.sync_lost_count();
+                // Plain reads see committed state only.
+                let survivors: i64 = (0..64u64).map(|i| gm.read_word(i) as i64).sum();
+                (survivors, lost)
+            };
+            let (survivors, lost) = run();
+            assert_eq!(run(), (survivors, lost), "same seed, same losses");
+            assert!(lost > 0, "half the updates should vanish");
+            assert_eq!(survivors + lost as i64, 200, "lost + committed = issued");
+        }
     }
 }

@@ -56,8 +56,8 @@ pub mod vm;
 
 pub use address::{PAddr, Region, VAddr, PAGE_SIZE_BYTES, WORD_BYTES};
 pub use cache::{CacheConfig, CacheOutcome, SharedCache};
-pub use coherence::{CoherenceDirectory, CopyState, ProtocolAction};
 pub use cluster::ClusterMemory;
+pub use coherence::{CoherenceDirectory, CopyState, ProtocolAction};
 pub use global::GlobalMemory;
 pub use sync::{AtomicOp, SyncInstruction, SyncOutcome, TestOp};
 pub use vm::{PageFaultKind, Tlb, VirtualMemory};

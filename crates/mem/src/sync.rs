@@ -251,7 +251,9 @@ mod tests {
     fn fetch_and_add_returns_old_value() {
         let mut counter = 0;
         let faa = SyncInstruction::fetch_and_add(1);
-        let olds: Vec<i32> = (0..4).map(|_| faa.execute(&mut counter).old_value).collect();
+        let olds: Vec<i32> = (0..4)
+            .map(|_| faa.execute(&mut counter).old_value)
+            .collect();
         assert_eq!(olds, [0, 1, 2, 3]);
         assert_eq!(counter, 4);
     }
@@ -262,7 +264,9 @@ mod tests {
         // cannot overshoot, straight out of [ZhYe87]-style usage.
         let mut counter = 0;
         let instr = SyncInstruction::test_and_op(TestOp::Less, 3, AtomicOp::Add, 1);
-        let grants = (0..10).filter(|_| instr.execute(&mut counter).test_passed).count();
+        let grants = (0..10)
+            .filter(|_| instr.execute(&mut counter).test_passed)
+            .count();
         assert_eq!(grants, 3);
         assert_eq!(counter, 3);
     }

@@ -1,13 +1,13 @@
-//! Property-based tests for the memory hierarchy.
-
-use proptest::prelude::*;
+//! Randomized property tests for the memory hierarchy, driven by the
+//! simulator's deterministic SplitMix64 generator.
 
 use cedar_mem::address::PAddr;
+use cedar_mem::address::PAGE_SIZE_BYTES;
 use cedar_mem::cache::{CacheConfig, CacheOutcome, SharedCache};
 use cedar_mem::global::GlobalMemory;
 use cedar_mem::sync::{AtomicOp, SyncInstruction, TestOp};
-use cedar_mem::address::PAGE_SIZE_BYTES;
 use cedar_mem::vm::VirtualMemory;
+use cedar_sim::rng::SplitMix64;
 
 use std::collections::HashMap;
 
@@ -21,13 +21,18 @@ fn small_cache() -> SharedCache {
     })
 }
 
-proptest! {
-    /// The cache agrees with a reference LRU model on every access of
-    /// a random trace: same hit/miss classification throughout.
-    #[test]
-    fn cache_matches_reference_lru(
-        trace in prop::collection::vec((0u64..64, any::<bool>()), 1..400)
-    ) {
+const CASES: usize = 64;
+
+/// The cache agrees with a reference LRU model on every access of a
+/// random trace: same hit/miss classification throughout.
+#[test]
+fn cache_matches_reference_lru() {
+    let mut rng = SplitMix64::new(0x3e31);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(399) as usize;
+        let trace: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.next_below(64), rng.next_bool(0.5)))
+            .collect();
         let mut cache = small_cache();
         // Reference: per-set LRU lists over line numbers.
         let sets = 1024 / 32 / 2;
@@ -37,7 +42,7 @@ proptest! {
             let set = (line % sets as u64) as usize;
             let got = cache.access(addr, is_write);
             let hit = model[set].contains(&line);
-            prop_assert_eq!(got.is_hit(), hit, "line {} in set {}", line, set);
+            assert_eq!(got.is_hit(), hit, "line {line} in set {set}");
             model[set].retain(|&l| l != line);
             model[set].push(line);
             if model[set].len() > 2 {
@@ -45,55 +50,82 @@ proptest! {
             }
         }
     }
+}
 
-    /// Conservation: hits + misses equals accesses; writebacks never
-    /// exceed misses.
-    #[test]
-    fn cache_counter_conservation(
-        trace in prop::collection::vec((0u64..256, any::<bool>()), 1..300)
-    ) {
+/// Conservation: hits + misses equals accesses; writebacks never
+/// exceed misses.
+#[test]
+fn cache_counter_conservation() {
+    let mut rng = SplitMix64::new(0x3e32);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(299) as usize;
         let mut cache = small_cache();
-        for &(line, w) in &trace {
-            cache.access(PAddr::in_cluster(line * 32), w);
+        for _ in 0..len {
+            cache.access(
+                PAddr::in_cluster(rng.next_below(256) * 32),
+                rng.next_bool(0.5),
+            );
         }
-        prop_assert_eq!(cache.hit_count() + cache.miss_count(), trace.len() as u64);
-        prop_assert!(cache.writeback_count() <= cache.miss_count());
+        assert_eq!(cache.hit_count() + cache.miss_count(), len as u64);
+        assert!(cache.writeback_count() <= cache.miss_count());
     }
+}
 
-    /// Global memory behaves as an array: the last write to each word
-    /// is what reads observe, regardless of interleaving.
-    #[test]
-    fn global_memory_is_a_map(
-        ops in prop::collection::vec((0u64..128, any::<u64>()), 1..200)
-    ) {
+/// Global memory behaves as an array: the last write to each word is
+/// what reads observe, regardless of interleaving.
+#[test]
+fn global_memory_is_a_map() {
+    let mut rng = SplitMix64::new(0x3e33);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(199) as usize;
         let mut gm = GlobalMemory::with_words(128);
         let mut model: HashMap<u64, u64> = HashMap::new();
-        for &(idx, val) in &ops {
+        for _ in 0..len {
+            let idx = rng.next_below(128);
+            let val = rng.next_u64();
             gm.write_word(idx, val);
             model.insert(idx, val);
         }
         for (&idx, &val) in &model {
-            prop_assert_eq!(gm.read_word(idx), val);
+            assert_eq!(gm.read_word(idx), val);
         }
     }
+}
 
-    /// Sync instructions are equivalent to their sequential semantics:
-    /// replaying any instruction sequence against a plain i32 matches
-    /// the memory module's outcomes.
-    #[test]
-    fn sync_ops_match_sequential_semantics(
-        ops in prop::collection::vec((0u8..7, 0u8..7, -100i32..100, -100i32..100), 1..100)
-    ) {
-        let tests = [TestOp::Always, TestOp::Equal, TestOp::NotEqual, TestOp::Less,
-                     TestOp::LessEqual, TestOp::Greater, TestOp::GreaterEqual];
-        let aops = [AtomicOp::Read, AtomicOp::Write, AtomicOp::Add, AtomicOp::Sub,
-                    AtomicOp::And, AtomicOp::Or, AtomicOp::Xor];
+/// Sync instructions are equivalent to their sequential semantics:
+/// replaying any instruction sequence against a plain i32 matches the
+/// memory module's outcomes.
+#[test]
+fn sync_ops_match_sequential_semantics() {
+    let tests = [
+        TestOp::Always,
+        TestOp::Equal,
+        TestOp::NotEqual,
+        TestOp::Less,
+        TestOp::LessEqual,
+        TestOp::Greater,
+        TestOp::GreaterEqual,
+    ];
+    let aops = [
+        AtomicOp::Read,
+        AtomicOp::Write,
+        AtomicOp::Add,
+        AtomicOp::Sub,
+        AtomicOp::And,
+        AtomicOp::Or,
+        AtomicOp::Xor,
+    ];
+    let mut rng = SplitMix64::new(0x3e34);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(99) as usize;
         let mut gm = GlobalMemory::with_words(4);
         let mut model: i32 = 0;
-        for &(t, a, t_op, a_op) in &ops {
-            let instr = SyncInstruction::test_and_op(
-                tests[t as usize], t_op, aops[a as usize], a_op,
-            );
+        for _ in 0..len {
+            let t = rng.next_below(7) as usize;
+            let a = rng.next_below(7) as usize;
+            let t_op = rng.next_below(200) as i32 - 100;
+            let a_op = rng.next_below(200) as i32 - 100;
+            let instr = SyncInstruction::test_and_op(tests[t], t_op, aops[a], a_op);
             let out = gm.sync_op(0, instr);
             // Sequential reference.
             let old = model;
@@ -101,40 +133,48 @@ proptest! {
             if pass {
                 model = instr.op.apply(old, a_op);
             }
-            prop_assert_eq!(out.old_value, old);
-            prop_assert_eq!(out.test_passed, pass);
+            assert_eq!(out.old_value, old);
+            assert_eq!(out.test_passed, pass);
         }
         let final_read = gm.sync_op(0, SyncInstruction::read());
-        prop_assert_eq!(final_read.old_value, model);
+        assert_eq!(final_read.old_value, model);
     }
+}
 
-    /// Fetch-and-add tickets are a permutation-free sequence: n takes
-    /// return exactly 0..n in order.
-    #[test]
-    fn fetch_and_add_is_sequential(n in 1usize..200) {
+/// Fetch-and-add tickets are a permutation-free sequence: n takes
+/// return exactly 0..n in order.
+#[test]
+fn fetch_and_add_is_sequential() {
+    let mut rng = SplitMix64::new(0x3e35);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(199) as usize;
         let mut gm = GlobalMemory::with_words(8);
         for expected in 0..n {
             let out = gm.sync_op(3, SyncInstruction::fetch_and_add(1));
-            prop_assert_eq!(out.old_value, expected as i32);
+            assert_eq!(out.old_value, expected as i32);
         }
     }
+}
 
-    /// VM translation is a function: the same virtual address always
-    /// maps to the same physical address, from any cluster, and
-    /// distinct pages get distinct frames.
-    #[test]
-    fn vm_translation_is_stable_and_injective(
-        pages in prop::collection::vec(0u64..500, 1..100),
-        clusters in prop::collection::vec(0usize..4, 1..100),
-    ) {
+/// VM translation is a function: the same virtual address always maps
+/// to the same physical address, from any cluster, and distinct pages
+/// get distinct frames.
+#[test]
+fn vm_translation_is_stable_and_injective() {
+    let mut rng = SplitMix64::new(0x3e36);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(99) as usize;
         let mut vm = VirtualMemory::new(4, 64);
         let mut seen: HashMap<u64, u64> = HashMap::new();
-        for (&page, &cluster) in pages.iter().zip(clusters.iter().cycle()) {
-            let (paddr, _) = vm.translate(cluster, cedar_mem::address::VAddr(page * PAGE_SIZE_BYTES));
+        for _ in 0..len {
+            let page = rng.next_below(500);
+            let cluster = rng.next_below(4) as usize;
+            let (paddr, _) =
+                vm.translate(cluster, cedar_mem::address::VAddr(page * PAGE_SIZE_BYTES));
             match seen.get(&page) {
-                Some(&prev) => prop_assert_eq!(prev, paddr.0, "page {} moved", page),
+                Some(&prev) => assert_eq!(prev, paddr.0, "page {page} moved"),
                 None => {
-                    prop_assert!(
+                    assert!(
                         !seen.values().any(|&v| v == paddr.0),
                         "frame reused for two pages"
                     );
@@ -143,21 +183,24 @@ proptest! {
             }
         }
     }
+}
 
-    /// Cache classification never depends on write-vs-read of earlier
-    /// accesses (writes only affect dirtiness, not residency).
-    #[test]
-    fn cache_residency_ignores_write_flag(
-        lines in prop::collection::vec(0u64..64, 1..200)
-    ) {
+/// Cache classification never depends on write-vs-read of earlier
+/// accesses (writes only affect dirtiness, not residency).
+#[test]
+fn cache_residency_ignores_write_flag() {
+    let mut rng = SplitMix64::new(0x3e37);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(199) as usize;
         let mut as_reads = small_cache();
         let mut as_writes = small_cache();
-        for &line in &lines {
+        for _ in 0..len {
+            let line = rng.next_below(64);
             let a = as_reads.access(PAddr::in_cluster(line * 32), false);
             let b = as_writes.access(PAddr::in_cluster(line * 32), true);
-            prop_assert_eq!(a.is_hit(), b.is_hit());
+            assert_eq!(a.is_hit(), b.is_hit());
             // Clean traffic never writes back.
-            prop_assert!(a != CacheOutcome::MissWithWriteback);
+            assert!(a != CacheOutcome::MissWithWriteback);
         }
     }
 }

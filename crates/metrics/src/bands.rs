@@ -155,10 +155,7 @@ mod tests {
     fn efficiency_classification_is_consistent() {
         assert_eq!(classify_efficiency(0.5, 32), PerfBand::High);
         assert_eq!(classify_efficiency(0.2, 32), PerfBand::Intermediate);
-        assert_eq!(
-            classify_efficiency(0.05, 32),
-            PerfBand::Unacceptable
-        );
+        assert_eq!(classify_efficiency(0.05, 32), PerfBand::Unacceptable);
     }
 
     #[test]

@@ -127,12 +127,7 @@ mod tests {
 
     #[test]
     fn interchangeability_demonstrated_when_both_parts_hold() {
-        let wide = MachineEnsemble::new(
-            "slow-wide",
-            170.0,
-            32,
-            vec![15.0, 18.0, 22.0, 14.0, 17.0],
-        );
+        let wide = MachineEnsemble::new("slow-wide", 170.0, 32, vec![15.0, 18.0, 22.0, 14.0, 17.0]);
         let v = fppp_check(&wide, &narrow(), 0, 0.5);
         assert!(v.maintains_performance, "within 2x: {}", v.delivered_ratio);
         assert!(v.stable, "In = {}", v.wide_instability);
@@ -141,12 +136,8 @@ mod tests {
 
     #[test]
     fn unstable_wide_machine_fails_part_b() {
-        let wide = MachineEnsemble::new(
-            "erratic-wide",
-            170.0,
-            32,
-            vec![40.0, 0.5, 35.0, 30.0, 28.0],
-        );
+        let wide =
+            MachineEnsemble::new("erratic-wide", 170.0, 32, vec![40.0, 0.5, 35.0, 30.0, 28.0]);
         let v = fppp_check(&wide, &narrow(), 0, 0.5);
         assert!(!v.stable);
         assert!(!v.demonstrated, "instability must veto the FPPP");
@@ -162,12 +153,8 @@ mod tests {
 
     #[test]
     fn exceptions_can_rescue_stability() {
-        let wide = MachineEnsemble::new(
-            "one-outlier",
-            170.0,
-            32,
-            vec![15.0, 0.5, 18.0, 16.0, 17.0],
-        );
+        let wide =
+            MachineEnsemble::new("one-outlier", 170.0, 32, vec![15.0, 0.5, 18.0, 16.0, 17.0]);
         assert!(!fppp_check(&wide, &narrow(), 0, 0.5).stable);
         assert!(fppp_check(&wide, &narrow(), 1, 0.5).stable);
     }
@@ -179,8 +166,7 @@ mod tests {
         // paper's harmonic-mean ratio of 7.4) is exactly the clock gap,
         // not a parallelism failure.
         let wide = MachineEnsemble::new("cedar", 170.0, 32, vec![1.0]);
-        let ratio =
-            narrow().parallelism_clock_product() / wide.parallelism_clock_product();
+        let ratio = narrow().parallelism_clock_product() / wide.parallelism_clock_product();
         assert!((ratio - 7.08).abs() < 0.1);
     }
 

@@ -125,11 +125,7 @@ pub fn ppt4(points: &[ScalabilityPoint], rates: &[f64]) -> Ppt4Verdict {
             }
         }
     }
-    let overall_band = bands
-        .iter()
-        .map(|(_, b)| *b)
-        .min()
-        .expect("non-empty grid");
+    let overall_band = bands.iter().map(|(_, b)| *b).min().expect("non-empty grid");
     Ppt4Verdict {
         bands,
         any_unacceptable,
@@ -172,9 +168,21 @@ mod tests {
     #[test]
     fn ppt4_grid_bands_and_size_stability() {
         let points = vec![
-            ScalabilityPoint { processors: 32, problem_size: 10_000, speedup: 17.0 },
-            ScalabilityPoint { processors: 32, problem_size: 172_000, speedup: 20.0 },
-            ScalabilityPoint { processors: 8, problem_size: 10_000, speedup: 5.0 },
+            ScalabilityPoint {
+                processors: 32,
+                problem_size: 10_000,
+                speedup: 17.0,
+            },
+            ScalabilityPoint {
+                processors: 32,
+                problem_size: 172_000,
+                speedup: 20.0,
+            },
+            ScalabilityPoint {
+                processors: 8,
+                problem_size: 10_000,
+                speedup: 5.0,
+            },
         ];
         let rates = vec![34.0, 48.0, 20.0];
         let v = ppt4(&points, &rates);
@@ -187,8 +195,16 @@ mod tests {
     #[test]
     fn ppt4_flags_size_instability() {
         let points = vec![
-            ScalabilityPoint { processors: 32, problem_size: 1_000, speedup: 16.5 },
-            ScalabilityPoint { processors: 32, problem_size: 172_000, speedup: 20.0 },
+            ScalabilityPoint {
+                processors: 32,
+                problem_size: 1_000,
+                speedup: 16.5,
+            },
+            ScalabilityPoint {
+                processors: 32,
+                problem_size: 172_000,
+                speedup: 20.0,
+            },
         ];
         let rates = vec![10.0, 48.0]; // 10/48 < 0.5
         let v = ppt4(&points, &rates);
@@ -198,8 +214,16 @@ mod tests {
     #[test]
     fn ppt4_overall_band_is_the_weakest_cell() {
         let points = vec![
-            ScalabilityPoint { processors: 32, problem_size: 1_000, speedup: 5.0 },
-            ScalabilityPoint { processors: 32, problem_size: 172_000, speedup: 20.0 },
+            ScalabilityPoint {
+                processors: 32,
+                problem_size: 1_000,
+                speedup: 5.0,
+            },
+            ScalabilityPoint {
+                processors: 32,
+                problem_size: 172_000,
+                speedup: 20.0,
+            },
         ];
         let rates = vec![30.0, 48.0];
         let v = ppt4(&points, &rates);
@@ -210,7 +234,11 @@ mod tests {
     #[should_panic(expected = "must pair up")]
     fn ppt4_mismatched_inputs_rejected() {
         let _ = ppt4(
-            &[ScalabilityPoint { processors: 8, problem_size: 1, speedup: 1.0 }],
+            &[ScalabilityPoint {
+                processors: 8,
+                problem_size: 1,
+                speedup: 1.0,
+            }],
             &[],
         );
     }

@@ -157,7 +157,10 @@ mod tests {
                 brute = brute.max(min / max);
             }
         }
-        assert!((best - brute).abs() < 1e-12, "prefix/suffix scan must be optimal");
+        assert!(
+            (best - brute).abs() < 1e-12,
+            "prefix/suffix scan must be optimal"
+        );
     }
 
     #[test]

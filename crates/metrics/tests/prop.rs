@@ -1,42 +1,49 @@
-//! Property-based tests for the judging-parallelism metrics.
-
-use proptest::prelude::*;
+//! Randomized property tests for the judging-parallelism metrics,
+//! driven by the simulator's deterministic SplitMix64 generator.
 
 use cedar_metrics::bands::{acceptable_threshold, classify, high_threshold, PerfBand};
 use cedar_metrics::stability::{instability, stability};
+use cedar_sim::rng::SplitMix64;
 
-proptest! {
-    /// The prefix/suffix exclusion scan is optimal: no choice of e
-    /// exclusions beats it (brute force cross-check).
-    #[test]
-    fn stability_exclusion_is_optimal(
-        mut perf in prop::collection::vec(0.01f64..1000.0, 4..9),
-        e in 0usize..3,
-    ) {
-        prop_assume!(perf.len() >= e + 2);
+const CASES: usize = 64;
+
+fn rates(rng: &mut SplitMix64, len: usize, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| 0.01 + rng.next_f64() * hi).collect()
+}
+
+/// The prefix/suffix exclusion scan is optimal: no choice of e
+/// exclusions beats it (brute force cross-check).
+#[test]
+fn stability_exclusion_is_optimal() {
+    fn subsets(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+        if k == 0 {
+            return vec![vec![]];
+        }
+        if items.len() < k {
+            return vec![];
+        }
+        let mut out = subsets(&items[1..], k - 1)
+            .into_iter()
+            .map(|mut s| {
+                s.push(items[0]);
+                s
+            })
+            .collect::<Vec<_>>();
+        out.extend(subsets(&items[1..], k));
+        out
+    }
+
+    let mut rng = SplitMix64::new(0x3171);
+    for _ in 0..CASES {
+        let len = 4 + rng.next_below(5) as usize;
+        let e = (rng.next_below(3) as usize).min(len - 2);
+        let mut perf = rates(&mut rng, len, 1000.0);
         let fast = stability(&perf, e).stability;
         // Brute force over all exclusion subsets of size e.
         let n = perf.len();
         let mut best = f64::NEG_INFINITY;
-        let mut indices: Vec<usize> = (0..n).collect();
-        fn subsets(items: &[usize], k: usize) -> Vec<Vec<usize>> {
-            if k == 0 {
-                return vec![vec![]];
-            }
-            if items.len() < k {
-                return vec![];
-            }
-            let mut out = subsets(&items[1..], k - 1)
-                .into_iter()
-                .map(|mut s| {
-                    s.push(items[0]);
-                    s
-                })
-                .collect::<Vec<_>>();
-            out.extend(subsets(&items[1..], k));
-            out
-        }
-        for drop in subsets(&indices.split_off(0), e) {
+        let indices: Vec<usize> = (0..n).collect();
+        for drop in subsets(&indices, e) {
             let kept: Vec<f64> = perf
                 .iter()
                 .enumerate()
@@ -47,52 +54,64 @@ proptest! {
             let max = kept.iter().cloned().fold(0.0, f64::max);
             best = best.max(min / max);
         }
-        prop_assert!((fast - best).abs() < 1e-9, "fast {fast} vs brute {best}");
+        assert!((fast - best).abs() < 1e-9, "fast {fast} vs brute {best}");
         // While we're here: sorting the input must not change anything.
         perf.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert!((stability(&perf, e).stability - fast).abs() < 1e-12);
+        assert!((stability(&perf, e).stability - fast).abs() < 1e-12);
     }
+}
 
-    /// Instability is monotone nonincreasing in the exclusion count.
-    #[test]
-    fn more_exclusions_never_hurt(perf in prop::collection::vec(0.01f64..1000.0, 5..12)) {
+/// Instability is monotone nonincreasing in the exclusion count.
+#[test]
+fn more_exclusions_never_hurt() {
+    let mut rng = SplitMix64::new(0x3172);
+    for _ in 0..CASES {
+        let len = 5 + rng.next_below(7) as usize;
+        let perf = rates(&mut rng, len, 1000.0);
         let max_e = perf.len() - 2;
         let mut last = f64::INFINITY;
         for e in 0..=max_e.min(4) {
             let inst = instability(&perf, e);
-            prop_assert!(inst <= last + 1e-12, "e={e}: {inst} > {last}");
-            prop_assert!(inst >= 1.0 - 1e-12, "instability is at least 1");
+            assert!(inst <= last + 1e-12, "e={e}: {inst} > {last}");
+            assert!(inst >= 1.0 - 1e-12, "instability is at least 1");
             last = inst;
         }
     }
+}
 
-    /// Scale invariance: multiplying every rate by a positive constant
-    /// leaves stability unchanged.
-    #[test]
-    fn stability_is_scale_invariant(
-        perf in prop::collection::vec(0.01f64..100.0, 3..10),
-        scale in 0.01f64..1000.0,
-    ) {
+/// Scale invariance: multiplying every rate by a positive constant
+/// leaves stability unchanged.
+#[test]
+fn stability_is_scale_invariant() {
+    let mut rng = SplitMix64::new(0x3173);
+    for _ in 0..CASES {
+        let len = 3 + rng.next_below(7) as usize;
+        let perf = rates(&mut rng, len, 100.0);
+        let scale = 0.01 + rng.next_f64() * 1000.0;
         let scaled: Vec<f64> = perf.iter().map(|&p| p * scale).collect();
-        prop_assert!((instability(&perf, 0) - instability(&scaled, 0)).abs() < 1e-6);
+        assert!((instability(&perf, 0) - instability(&scaled, 0)).abs() < 1e-6);
     }
+}
 
-    /// Band classification is monotone in speedup and consistent with
-    /// its thresholds.
-    #[test]
-    fn bands_are_monotone(speedup in 0.0f64..64.0, p_pow in 1u32..=6) {
-        let p = 2usize.pow(p_pow);
+/// Band classification is monotone in speedup and consistent with its
+/// thresholds.
+#[test]
+fn bands_are_monotone() {
+    let mut rng = SplitMix64::new(0x3174);
+    for _ in 0..CASES {
+        let speedup = rng.next_f64() * 64.0;
+        let p = 2usize.pow(1 + rng.next_below(6) as u32);
         let band = classify(speedup, p);
         match band {
-            PerfBand::High => prop_assert!(speedup >= high_threshold(p)),
+            PerfBand::High => assert!(speedup >= high_threshold(p)),
             PerfBand::Intermediate => {
-                prop_assert!(speedup < high_threshold(p));
-                prop_assert!(speedup >= acceptable_threshold(p));
+                assert!(speedup < high_threshold(p));
+                assert!(speedup >= acceptable_threshold(p));
             }
-            PerfBand::Unacceptable => prop_assert!(speedup < acceptable_threshold(p)),
+            PerfBand::Unacceptable => assert!(speedup < acceptable_threshold(p)),
         }
         // More speedup never demotes.
         let better = classify(speedup + 1.0, p);
-        prop_assert!(better >= band);
+        assert!(better >= band);
     }
 }

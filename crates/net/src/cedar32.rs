@@ -174,8 +174,12 @@ impl DualLinkNetwork {
     pub fn new(queue_words: usize) -> Self {
         assert!(queue_words > 0, "queues must hold at least one word");
         DualLinkNetwork {
-            stage0: (0..SWITCHES).map(|_| AdaptiveSwitch::new(queue_words, false)).collect(),
-            stage1: (0..SWITCHES).map(|_| AdaptiveSwitch::new(queue_words, true)).collect(),
+            stage0: (0..SWITCHES)
+                .map(|_| AdaptiveSwitch::new(queue_words, false))
+                .collect(),
+            stage1: (0..SWITCHES)
+                .map(|_| AdaptiveSwitch::new(queue_words, true))
+                .collect(),
             inject_fifo: (0..PORTS).map(|_| VecDeque::new()).collect(),
             exit_fifo: (0..PORTS).map(|_| VecDeque::new()).collect(),
             exit_capacity: queue_words,
@@ -195,7 +199,10 @@ impl DualLinkNetwork {
     ///
     /// Panics if the ports are out of range.
     pub fn try_inject(&mut self, packet: Packet) -> bool {
-        assert!(packet.src < PORTS && packet.dest < PORTS, "port out of range");
+        assert!(
+            packet.src < PORTS && packet.dest < PORTS,
+            "port out of range"
+        );
         let fifo = &mut self.inject_fifo[packet.src];
         if fifo.len() + packet.words as usize > crate::network::INJECT_FIFO_WORDS {
             return false;

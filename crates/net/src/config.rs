@@ -1,5 +1,7 @@
 //! Network configuration parameters.
 
+use cedar_faults::CedarError;
+
 /// Parameters of one unidirectional omega network.
 ///
 /// The defaults in [`NetworkConfig::cedar`] are taken from the paper:
@@ -85,27 +87,39 @@ impl NetworkConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated constraint if the radix
-    /// is not a power of two ≥ 2, there are no stages, or a queue
-    /// cannot hold at least one word.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`CedarError::InvalidConfig`] naming the violated
+    /// constraint if the radix is not a power of two ≥ 2, there are no
+    /// stages, or a queue cannot hold at least one word.
+    pub fn validate(&self) -> Result<(), CedarError> {
         if self.radix < 2 || !self.radix.is_power_of_two() {
-            return Err(format!(
-                "radix must be a power of two >= 2, got {}",
-                self.radix
+            return Err(CedarError::invalid(
+                "net.radix",
+                format!("radix must be a power of two >= 2, got {}", self.radix),
             ));
         }
         if self.stages == 0 {
-            return Err("network needs at least one stage".to_owned());
+            return Err(CedarError::invalid(
+                "net.stages",
+                "network needs at least one stage",
+            ));
         }
         if self.queue_words == 0 {
-            return Err("queues must hold at least one word".to_owned());
+            return Err(CedarError::invalid(
+                "net.queue_words",
+                "queues must hold at least one word",
+            ));
         }
         if self.net_cycles_per_ce_cycle == 0 {
-            return Err("network clock ratio must be nonzero".to_owned());
+            return Err(CedarError::invalid(
+                "net.net_cycles_per_ce_cycle",
+                "network clock ratio must be nonzero",
+            ));
         }
         if self.exit_fifo_words == 0 {
-            return Err("exit buffers must hold at least one word".to_owned());
+            return Err(CedarError::invalid(
+                "net.exit_fifo_words",
+                "exit buffers must hold at least one word",
+            ));
         }
         Ok(())
     }

@@ -11,9 +11,12 @@
 //! when its datum returned on the reverse network — exactly the two
 //! signals the hardware performance monitor tapped.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
+use cedar_faults::{CedarError, FaultPlan, NetDirection, RetryPolicy};
 use cedar_sim::rng::SplitMix64;
+use cedar_sim::watchdog::Watchdog;
 
 use crate::config::NetworkConfig;
 use crate::network::OmegaNetwork;
@@ -330,6 +333,38 @@ pub struct RoundTripFabric {
     /// Partially received multi-word request packets per module port.
     partial: Vec<Option<(Packet, u8)>>,
     now: u64,
+    /// Attached fault schedule; `None` (the default, or a benign plan)
+    /// leaves every code path bit-identical to the healthy fabric.
+    faults: Option<FaultPlan>,
+    /// Timeout/backoff schedule for request recovery under faults.
+    retry: RetryPolicy,
+    /// Words and requests destroyed at fail-stopped modules.
+    module_discards: u64,
+}
+
+/// A request awaiting its reply under fault injection, for the
+/// timeout-and-retry machinery.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    packet: Packet,
+    /// Times this request has entered the forward network.
+    attempts: u32,
+}
+
+/// Book-keeping for request recovery, allocated only when a fault
+/// schedule is attached so the healthy path stays untouched.
+#[derive(Debug, Default)]
+struct RecoveryState {
+    /// Unresolved read requests by packet id. Presence here is the
+    /// dedup authority: a reply whose id is absent (already completed,
+    /// or abandoned) is discarded.
+    pending: BTreeMap<u64, InFlight>,
+    /// Min-heap of `(due cycle, packet id)` retry timers.
+    timers: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Requests re-injected after a timeout.
+    retries: u64,
+    /// Requests abandoned after the retry budget ran out.
+    failed_requests: u64,
 }
 
 impl RoundTripFabric {
@@ -337,27 +372,71 @@ impl RoundTripFabric {
     ///
     /// # Panics
     ///
-    /// Panics if the network configuration is invalid or
-    /// `mem_modules` exceeds the network port count or is zero.
+    /// Panics if the configuration is rejected by
+    /// [`try_new`](Self::try_new).
     #[must_use]
     pub fn new(cfg: FabricConfig) -> Self {
+        RoundTripFabric::try_new(cfg).expect("invalid fabric configuration")
+    }
+
+    /// Builds an idle fabric, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid network configuration and a `mem_modules`
+    /// count of zero or beyond the network port count.
+    pub fn try_new(cfg: FabricConfig) -> Result<Self, CedarError> {
+        cfg.net.validate()?;
         let ports = cfg.net.ports();
-        assert!(
-            cfg.mem_modules > 0 && cfg.mem_modules <= ports,
-            "mem_modules must be in 1..={ports}"
-        );
+        if cfg.mem_modules == 0 || cfg.mem_modules > ports {
+            return Err(CedarError::invalid(
+                "fabric.mem_modules",
+                format!(
+                    "mem_modules must be in 1..={ports}, got {}",
+                    cfg.mem_modules
+                ),
+            ));
+        }
+        if cfg.module_buffer_requests == 0 {
+            return Err(CedarError::invalid(
+                "fabric.module_buffer_requests",
+                "modules must buffer at least one request",
+            ));
+        }
         let mut reverse_net = cfg.net;
         // The reverse network delivers into 512-word prefetch buffers,
         // which never back it up.
         reverse_net.exit_fifo_words = 512;
-        RoundTripFabric {
-            forward: OmegaNetwork::new(cfg.net),
-            reverse: OmegaNetwork::new(reverse_net),
+        Ok(RoundTripFabric {
+            forward: OmegaNetwork::try_new(cfg.net)?,
+            reverse: OmegaNetwork::try_new(reverse_net)?,
             modules: (0..cfg.mem_modules).map(|_| MemModule::default()).collect(),
             partial: vec![None; cfg.mem_modules],
             now: 0,
             cfg,
-        }
+            faults: None,
+            retry: RetryPolicy::fabric(),
+            module_discards: 0,
+        })
+    }
+
+    /// Attaches a fault schedule to both networks and the memory
+    /// modules, plus the retry policy that recovers lost requests.
+    /// A benign plan is discarded: the fabric then behaves
+    /// bit-identically to one with no plan attached.
+    pub fn attach_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.forward
+            .attach_faults(NetDirection::Forward, plan.clone());
+        self.reverse
+            .attach_faults(NetDirection::Reverse, plan.clone());
+        self.faults = if plan.is_benign() { None } else { Some(plan) };
+        self.retry = retry;
+    }
+
+    /// The attached fault schedule, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The fabric configuration.
@@ -433,16 +512,50 @@ impl RoundTripFabric {
         traffic: PrefetchTraffic,
         max_net_cycles: u64,
     ) -> FabricReport {
+        self.run_experiment_inner(n_ces, traffic, max_net_cycles, None)
+            .expect("only a watchdog can abort an experiment")
+    }
+
+    /// Like [`run_prefetch_experiment`], but guarded by a watchdog:
+    /// if the count of resolved requests stops advancing for the
+    /// watchdog's cycle budget — a deadlocked or livelocked degraded
+    /// machine — the run aborts with a [`CedarError::Stalled`]
+    /// diagnostic instead of burning the full cycle budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CedarError::Stalled`] when the watchdog trips.
+    ///
+    /// [`run_prefetch_experiment`]: Self::run_prefetch_experiment
+    pub fn run_watched_experiment(
+        &mut self,
+        n_ces: usize,
+        traffic: PrefetchTraffic,
+        max_net_cycles: u64,
+        watchdog: &mut Watchdog,
+    ) -> Result<FabricReport, CedarError> {
+        self.run_experiment_inner(n_ces, traffic, max_net_cycles, Some(watchdog))
+    }
+
+    fn run_experiment_inner(
+        &mut self,
+        n_ces: usize,
+        traffic: PrefetchTraffic,
+        max_net_cycles: u64,
+        mut watchdog: Option<&mut Watchdog>,
+    ) -> Result<FabricReport, CedarError> {
         let ports = self.cfg.net.ports();
         assert!(n_ces <= ports, "n_ces must be <= {ports}");
-        let mut sources: Vec<CeSource> = (0..n_ces)
-            .map(|c| CeSource::new(c, traffic))
-            .collect();
+        let mut sources: Vec<CeSource> = (0..n_ces).map(|c| CeSource::new(c, traffic)).collect();
         let ratio = self.cfg.net.net_cycles_per_ce_cycle;
         let total_expected: u64 = sources.iter().map(CeSource::local_request_count).sum();
         let mut completed_requests = 0u64;
+        let mut recovery = self.faults.as_ref().map(|_| RecoveryState::default());
 
-        while completed_requests < total_expected && self.now < max_net_cycles {
+        while completed_requests + recovery.as_ref().map_or(0, |r| r.failed_requests)
+            < total_expected
+            && self.now < max_net_cycles
+        {
             self.now += 1;
             let ce_boundary = self.now.is_multiple_of(ratio);
             let ce_now = self.now / ratio;
@@ -451,20 +564,87 @@ impl RoundTripFabric {
             self.reverse.step();
             self.service_modules();
 
-            completed_requests += self.eject_replies(&mut sources);
+            completed_requests += self.eject_replies(&mut sources, recovery.as_mut());
+            if let Some(rec) = recovery.as_mut() {
+                self.fire_retries(rec, &mut sources);
+            }
             if ce_boundary {
-                self.issue_requests(&mut sources, ce_now);
+                self.issue_requests(&mut sources, ce_now, recovery.as_mut());
+            }
+            if let Some(dog) = watchdog.as_deref_mut() {
+                let resolved =
+                    completed_requests + recovery.as_ref().map_or(0, |r| r.failed_requests);
+                dog.observe(self.now, resolved)?;
             }
         }
 
-        FabricReport {
+        let rec = recovery.unwrap_or_default();
+        Ok(FabricReport {
             per_ce: sources.into_iter().map(|s| s.records).collect(),
             total_net_cycles: self.now,
             net_cycles_per_ce_cycle: ratio,
             latency_offset_ce: self.cfg.latency_offset_ce,
             expected_requests: total_expected,
             completed_requests,
+            retries: rec.retries,
+            failed_requests: rec.failed_requests,
+            words_dropped: self.forward.words_dropped() + self.reverse.words_dropped(),
+            module_discards: self.module_discards,
+        })
+    }
+
+    /// Fires due retry timers: a request still unresolved when its
+    /// timer expires is re-injected (re-aimed at the fallback module
+    /// if its target fail-stopped) with exponential backoff until the
+    /// policy's attempt budget runs out, after which it is abandoned
+    /// and counted in `failed_requests`.
+    fn fire_retries(&mut self, rec: &mut RecoveryState, sources: &mut [CeSource]) {
+        while let Some(&Reverse((due, id))) = rec.timers.peek() {
+            if due > self.now {
+                break;
+            }
+            rec.timers.pop();
+            let Some(entry) = rec.pending.get_mut(&id) else {
+                continue; // resolved while the timer was pending
+            };
+            if entry.attempts > self.retry.max_retries {
+                let packet = entry.packet;
+                rec.pending.remove(&id);
+                rec.failed_requests += 1;
+                Self::abandon_request(&mut sources[packet.src], id);
+                continue;
+            }
+            let mut packet = entry.packet;
+            if let Some(plan) = &self.faults {
+                if plan.module_failed(packet.dest, self.now) {
+                    packet.dest = plan.fallback_module(packet.dest);
+                    entry.packet = packet;
+                }
+            }
+            if self.forward.try_inject(packet) {
+                rec.retries += 1;
+                entry.attempts += 1;
+                rec.timers
+                    .push(Reverse((self.now + self.retry.delay(entry.attempts), id)));
+            } else {
+                // Injection FIFO full: retry next cycle without
+                // spending an attempt.
+                rec.timers.push(Reverse((self.now + 1, id)));
+            }
         }
+    }
+
+    /// Releases an abandoned request's window slot and block
+    /// accounting so the source's pipeline keeps moving; no record is
+    /// made (statistics cover completed requests only).
+    fn abandon_request(src: &mut CeSource, id: u64) {
+        let local = Self::local_index(PacketId(id), src.port);
+        let block = (local / u64::from(src.traffic.block_len)) as usize;
+        src.returned_per_block[block] += 1;
+        if src.returned_per_block[block] == src.traffic.block_len {
+            src.completed_blocks += 1;
+        }
+        src.outstanding -= 1;
     }
 
     /// Module side: receive request words from the forward network,
@@ -472,6 +652,28 @@ impl RoundTripFabric {
     /// replies into the reverse network.
     fn service_modules(&mut self) {
         for m in 0..self.modules.len() {
+            if let Some(plan) = &self.faults {
+                if plan.module_failed(m, self.now) {
+                    // Fail-stop: arriving words and any queued work
+                    // vanish; retries re-aim at the fallback module.
+                    while self.forward.pop_output(m).is_some() {
+                        self.module_discards += 1;
+                    }
+                    let dead = &mut self.modules[m];
+                    self.module_discards += dead.pending.len() as u64;
+                    dead.pending.clear();
+                    if dead.outgoing.take().is_some() {
+                        self.module_discards += 1;
+                    }
+                    self.partial[m] = None;
+                    continue;
+                }
+                if plan.module_stalled(m, self.now) {
+                    // Transient stall: the module neither receives nor
+                    // serves; its backlog tree-saturates upstream.
+                    continue;
+                }
+            }
             // Receive at most one word per cycle from the forward net,
             // but only while the module's own request buffer has room.
             if self.modules[m].pending.len() < self.cfg.module_buffer_requests {
@@ -535,11 +737,23 @@ impl RoundTripFabric {
     /// the signal the hardware monitor tapped ("when each datum
     /// returns to the prefetch buffer via the reverse networks").
     /// Returns the number of requests completed.
-    fn eject_replies(&mut self, sources: &mut [CeSource]) -> u64 {
+    fn eject_replies(
+        &mut self,
+        sources: &mut [CeSource],
+        mut rec: Option<&mut RecoveryState>,
+    ) -> u64 {
         let mut completed = 0;
         for src in sources.iter_mut() {
             while let Some((word, arrived)) = self.reverse.pop_output(src.port) {
                 debug_assert_eq!(word.packet.kind, PacketKind::Reply);
+                if let Some(rec) = rec.as_deref_mut() {
+                    // Under faults a reply may duplicate (original and
+                    // retry both survive) or arrive after abandonment;
+                    // the pending map is the dedup authority.
+                    if rec.pending.remove(&word.packet.id.0).is_none() {
+                        continue;
+                    }
+                }
                 let local = Self::local_index(word.packet.id, src.port);
                 let block_len = u64::from(src.traffic.block_len);
                 let record = RequestRecord {
@@ -563,7 +777,12 @@ impl RoundTripFabric {
 
     /// CE side: issue at most one new request per CE per CE cycle,
     /// respecting the outstanding window and inter-block gaps.
-    fn issue_requests(&mut self, sources: &mut [CeSource], ce_now: u64) {
+    fn issue_requests(
+        &mut self,
+        sources: &mut [CeSource],
+        ce_now: u64,
+        mut rec: Option<&mut RecoveryState>,
+    ) {
         let n_mod = self.cfg.mem_modules;
         for src in sources.iter_mut() {
             if src.done_issuing
@@ -581,10 +800,8 @@ impl RoundTripFabric {
             if src.next_index == 0 {
                 if src.next_block >= src.completed_blocks + src.traffic.blocks_in_flight {
                     if src.write_debt >= 1.0 {
-                        let module = (src.stream_bases[0]
-                            + n_mod / 2
-                            + src.writes_issued as usize)
-                            % n_mod;
+                        let module =
+                            (src.stream_bases[0] + n_mod / 2 + src.writes_issued as usize) % n_mod;
                         let write = Packet::write(
                             src.port,
                             module,
@@ -604,15 +821,12 @@ impl RoundTripFabric {
                     *base = src.rng.next_below(n_mod as u64) as usize;
                 }
             }
-            let local =
-                u64::from(src.next_block) * u64::from(src.traffic.block_len)
-                    + u64::from(src.next_index);
+            let local = u64::from(src.next_block) * u64::from(src.traffic.block_len)
+                + u64::from(src.next_index);
             let n_streams = src.stream_bases.len();
             let stream = src.next_index as usize % n_streams;
             let module = match src.traffic.pattern {
-                AddressPattern::HotSpot { module, fraction }
-                    if src.rng.next_bool(fraction) =>
-                {
+                AddressPattern::HotSpot { module, fraction } if src.rng.next_bool(fraction) => {
                     module % n_mod
                 }
                 _ => (src.stream_bases[stream] + src.next_index as usize / n_streams) % n_mod,
@@ -627,6 +841,19 @@ impl RoundTripFabric {
             if self.forward.try_inject(packet) {
                 debug_assert_eq!(src.issued_at.len() as u64, local);
                 src.issued_at.push(self.now);
+                if let Some(rec) = rec.as_deref_mut() {
+                    rec.pending.insert(
+                        packet.id.0,
+                        InFlight {
+                            packet,
+                            attempts: 1,
+                        },
+                    );
+                    rec.timers.push(Reverse((
+                        self.now + self.retry.base_delay_cycles,
+                        packet.id.0,
+                    )));
+                }
                 src.outstanding += 1;
                 src.write_debt += src.traffic.writes_per_read;
                 src.next_index += 1;
@@ -667,6 +894,10 @@ pub struct FabricReport {
     pub latency_offset_ce: f64,
     expected_requests: u64,
     completed_requests: u64,
+    retries: u64,
+    failed_requests: u64,
+    words_dropped: u64,
+    module_discards: u64,
 }
 
 impl FabricReport {
@@ -674,6 +905,39 @@ impl FabricReport {
     #[must_use]
     pub fn completed(&self) -> bool {
         self.completed_requests == self.expected_requests
+    }
+
+    /// Whether every request was resolved — completed, or abandoned
+    /// after exhausting its retries. A degraded run that resolves
+    /// everything terminated cleanly even if some requests failed.
+    #[must_use]
+    pub fn resolved(&self) -> bool {
+        self.completed_requests + self.failed_requests == self.expected_requests
+    }
+
+    /// Requests re-injected after a timeout. Always zero without an
+    /// attached fault schedule.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Requests abandoned after the retry budget ran out.
+    #[must_use]
+    pub fn failed_requests(&self) -> u64 {
+        self.failed_requests
+    }
+
+    /// Words lost to injected link faults across both networks.
+    #[must_use]
+    pub fn words_dropped(&self) -> u64 {
+        self.words_dropped
+    }
+
+    /// Words and requests destroyed at fail-stopped memory modules.
+    #[must_use]
+    pub fn module_discards(&self) -> u64 {
+        self.module_discards
     }
 
     /// Mean first-word latency in CE cycles: for the first word of
@@ -801,7 +1065,10 @@ mod tests {
     #[ignore = "diagnostic printout, not an assertion"]
     fn print_contention_profile() {
         for (name, make) in [
-            ("TM", PrefetchTraffic::tridiagonal_matvec as fn(u32) -> PrefetchTraffic),
+            (
+                "TM",
+                PrefetchTraffic::tridiagonal_matvec as fn(u32) -> PrefetchTraffic,
+            ),
             ("CG", PrefetchTraffic::conjugate_gradient),
             ("VF", PrefetchTraffic::vector_load),
             ("RK", PrefetchTraffic::rk_aggressive),
@@ -905,8 +1172,10 @@ mod tests {
         assert!(report.completed());
         for (ce, records) in report.per_ce.iter().enumerate() {
             assert_eq!(records.len(), 32 * 4, "CE {ce} record count");
-            let mut keys: Vec<(u32, u32)> =
-                records.iter().map(|r| (r.block, r.index_in_block)).collect();
+            let mut keys: Vec<(u32, u32)> = records
+                .iter()
+                .map(|r| (r.block, r.index_in_block))
+                .collect();
             keys.sort_unstable();
             keys.dedup();
             assert_eq!(keys.len(), 32 * 4, "CE {ce} has duplicate records");
@@ -967,11 +1236,8 @@ mod tests {
     #[test]
     fn per_ce_measurements_agree_within_ten_percent() {
         let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
-        let report = fabric.run_prefetch_experiment(
-            32,
-            PrefetchTraffic::tridiagonal_matvec(96),
-            64_000_000,
-        );
+        let report =
+            fabric.run_prefetch_experiment(32, PrefetchTraffic::tridiagonal_matvec(96), 64_000_000);
         let means: Vec<f64> = (0..32)
             .filter_map(|ce| report.ce_mean_latency_ce(ce))
             .collect();
@@ -1033,6 +1299,159 @@ mod tests {
         let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
         let report = fabric.run_prefetch_experiment(1, small_traffic(), 1_000_000);
         let bw = report.words_per_ce_cycle();
-        assert!(bw > 0.0 && bw <= 1.0, "one CE cannot exceed 1 word/cycle, got {bw}");
+        assert!(
+            bw > 0.0 && bw <= 1.0,
+            "one CE cannot exceed 1 word/cycle, got {bw}"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_zero_modules() {
+        let mut cfg = FabricConfig::cedar();
+        cfg.mem_modules = 0;
+        let err = RoundTripFabric::try_new(cfg).unwrap_err();
+        assert!(err.to_string().contains("fabric.mem_modules"), "{err}");
+    }
+
+    mod degraded {
+        use super::*;
+        use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+
+        fn cedar_plan(cfg: &FaultConfig) -> FaultPlan {
+            FaultPlan::generate(cfg, &MachineShape::cedar()).unwrap()
+        }
+
+        fn assert_exactly_once(report: &FabricReport) {
+            for (ce, records) in report.per_ce.iter().enumerate() {
+                let mut keys: Vec<(u32, u32)> = records
+                    .iter()
+                    .map(|r| (r.block, r.index_in_block))
+                    .collect();
+                let n = keys.len();
+                keys.sort_unstable();
+                keys.dedup();
+                assert_eq!(keys.len(), n, "CE {ce} recorded a request twice");
+            }
+        }
+
+        #[test]
+        fn benign_plan_report_is_bit_identical_to_no_plan() {
+            let mut healthy = RoundTripFabric::new(FabricConfig::cedar());
+            let a = healthy.run_prefetch_experiment(4, small_traffic(), 1_000_000);
+            let mut benign = RoundTripFabric::new(FabricConfig::cedar());
+            benign.attach_faults(cedar_plan(&FaultConfig::none(1)), RetryPolicy::fabric());
+            assert!(benign.faults().is_none());
+            let b = benign.run_prefetch_experiment(4, small_traffic(), 1_000_000);
+            assert_eq!(a, b);
+        }
+
+        #[test]
+        fn dropped_requests_recovered_by_retries_exactly_once() {
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.attach_faults(
+                cedar_plan(&FaultConfig::link_noise(0xBAD, 0.02)),
+                RetryPolicy::fabric(),
+            );
+            let report = fabric.run_prefetch_experiment(4, small_traffic(), 8_000_000);
+            assert!(report.resolved(), "every request resolves");
+            assert!(report.completed(), "2% loss with 8 retries loses nothing");
+            assert!(report.words_dropped() > 0, "the fault actually fired");
+            assert!(report.retries() > 0, "drops were recovered by retries");
+            assert_exactly_once(&report);
+        }
+
+        #[test]
+        fn degraded_fabric_run_is_deterministic() {
+            let run = || {
+                let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+                fabric.attach_faults(
+                    cedar_plan(&FaultConfig::degraded(0x5EED, 0.01)),
+                    RetryPolicy::fabric(),
+                );
+                fabric.run_prefetch_experiment(8, small_traffic(), 8_000_000)
+            };
+            assert_eq!(run(), run(), "same seed, same degraded report");
+        }
+
+        #[test]
+        fn failed_module_traffic_rerouted_to_fallback() {
+            let cfg = FaultConfig {
+                failed_modules: 2,
+                // Fail during the experiment, not after it finishes.
+                fail_by_cycle: 200,
+                ..FaultConfig::none(0xDEAD)
+            };
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.attach_faults(cedar_plan(&cfg), RetryPolicy::fabric());
+            let report = fabric.run_prefetch_experiment(4, small_traffic(), 16_000_000);
+            assert!(report.resolved());
+            assert!(
+                report.completed(),
+                "fail-stop is recoverable via the fallback module, {} failed",
+                report.failed_requests()
+            );
+            assert!(
+                report.retries() > 0,
+                "rerouting goes through the retry path"
+            );
+            assert_exactly_once(&report);
+        }
+
+        #[test]
+        fn hopeless_run_abandons_requests_but_terminates() {
+            // Total link loss: no single-word request ever survives, so
+            // every read exhausts its retries and is abandoned — but the
+            // run still terminates with every request resolved.
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.attach_faults(
+                cedar_plan(&FaultConfig::link_noise(3, 1.0)),
+                RetryPolicy {
+                    base_delay_cycles: 64,
+                    max_retries: 2,
+                    max_delay_cycles: 256,
+                },
+            );
+            let report = fabric.run_prefetch_experiment(2, small_traffic(), 8_000_000);
+            assert!(report.resolved());
+            assert_eq!(report.request_count(), 0, "nothing survives total loss");
+            assert_eq!(report.failed_requests(), 2 * 4 * 32);
+        }
+
+        #[test]
+        fn watchdog_aborts_stalled_degraded_run() {
+            // Total loss plus a retry policy whose first timeout is far
+            // beyond the watchdog budget: resolved-count cannot advance,
+            // and the watchdog must abort with a diagnostic rather than
+            // burn the full 8M-cycle budget.
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.attach_faults(
+                cedar_plan(&FaultConfig::link_noise(3, 1.0)),
+                RetryPolicy {
+                    base_delay_cycles: 1 << 30,
+                    max_retries: 1,
+                    max_delay_cycles: 1 << 30,
+                },
+            );
+            let mut dog = Watchdog::new(20_000, "degraded prefetch experiment");
+            let err = fabric
+                .run_watched_experiment(2, small_traffic(), 8_000_000, &mut dog)
+                .unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("degraded prefetch experiment"), "{msg}");
+            assert!(dog.is_tripped());
+        }
+
+        #[test]
+        fn watchdog_leaves_healthy_run_untouched() {
+            let mut watched = RoundTripFabric::new(FabricConfig::cedar());
+            let mut dog = Watchdog::new(100_000, "healthy run");
+            let a = watched
+                .run_watched_experiment(2, small_traffic(), 1_000_000, &mut dog)
+                .unwrap();
+            let mut plain = RoundTripFabric::new(FabricConfig::cedar());
+            let b = plain.run_prefetch_experiment(2, small_traffic(), 1_000_000);
+            assert_eq!(a, b);
+            assert!(!dog.is_tripped());
+        }
     }
 }

@@ -12,6 +12,8 @@
 
 use std::collections::VecDeque;
 
+use cedar_faults::{CedarError, FaultPlan, NetDirection};
+
 use crate::config::NetworkConfig;
 use crate::packet::{Packet, Word};
 use crate::switch::Crossbar;
@@ -61,6 +63,14 @@ pub struct OmegaNetwork {
     now: u64,
     words_injected: u64,
     words_exited: u64,
+    words_dropped: u64,
+    /// Which direction this network plays in a fault plan; only
+    /// consulted when `faults` is attached.
+    direction: NetDirection,
+    /// Attached fault schedule. `None` (the default, and the result of
+    /// attaching a benign plan) leaves every code path bit-identical
+    /// to the healthy network.
+    faults: Option<FaultPlan>,
 }
 
 impl OmegaNetwork {
@@ -69,10 +79,20 @@ impl OmegaNetwork {
     /// # Panics
     ///
     /// Panics if the configuration fails [`NetworkConfig::validate`].
+    /// Use [`try_new`](Self::try_new) to handle the rejection instead.
     #[must_use]
     pub fn new(cfg: NetworkConfig) -> Self {
-        cfg.validate().expect("invalid network configuration");
-        let topo = Topology::new(cfg.radix, cfg.stages);
+        OmegaNetwork::try_new(cfg).expect("invalid network configuration")
+    }
+
+    /// Builds an idle network, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever [`NetworkConfig::validate`] rejects.
+    pub fn try_new(cfg: NetworkConfig) -> Result<Self, CedarError> {
+        cfg.validate()?;
+        let topo = Topology::new(cfg.radix, cfg.stages)?;
         let stages = (0..cfg.stages)
             .map(|s| {
                 (0..topo.switches_per_stage())
@@ -81,7 +101,7 @@ impl OmegaNetwork {
             })
             .collect();
         let ports = topo.ports();
-        OmegaNetwork {
+        Ok(OmegaNetwork {
             cfg,
             topo,
             stages,
@@ -92,6 +112,54 @@ impl OmegaNetwork {
             now: 0,
             words_injected: 0,
             words_exited: 0,
+            words_dropped: 0,
+            direction: NetDirection::Forward,
+            faults: None,
+        })
+    }
+
+    /// Attaches a fault schedule, declaring which direction this
+    /// network plays in it. A benign plan is discarded: the network
+    /// then behaves bit-identically to one with no plan attached.
+    pub fn attach_faults(&mut self, direction: NetDirection, plan: FaultPlan) {
+        self.direction = direction;
+        self.faults = if plan.is_benign() { None } else { Some(plan) };
+    }
+
+    /// The attached fault schedule, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Whether a switch output may transmit this cycle under the
+    /// attached fault schedule.
+    fn output_open(&self, stage: usize, switch: usize, port: usize) -> bool {
+        match &self.faults {
+            None => true,
+            Some(plan) => !plan.output_blocked(self.direction, stage, switch, port, self.now),
+        }
+    }
+
+    /// Whether the link traversal out of `(stage, switch, port)` loses
+    /// `word` this cycle. Only single-word packets are droppable: a
+    /// dropped body word would corrupt wormhole reassembly downstream,
+    /// and Cedar's multi-word packets (writes) are covered by the
+    /// module-side fault classes instead.
+    fn link_eats(&self, stage: usize, switch: usize, port: usize, word: Word) -> bool {
+        match &self.faults {
+            None => false,
+            Some(plan) => {
+                word.packet.words == 1
+                    && plan.drops_word(
+                        self.direction,
+                        stage,
+                        switch,
+                        port,
+                        word.packet.id.0,
+                        self.now,
+                    )
+            }
         }
     }
 
@@ -164,10 +232,21 @@ impl OmegaNetwork {
                     Hop::Output(p) => p,
                     Hop::Switch { .. } => unreachable!("last stage exits the network"),
                 };
+                if !self.output_open(last, sw_idx, out_port) {
+                    continue;
+                }
                 if self.exit_fifo[pos].len() >= self.cfg.exit_fifo_words {
                     continue;
                 }
-                if let Some(word) = self.stages[last][sw_idx].pop_output(out_port) {
+                if let Some(&word) = self.stages[last][sw_idx].peek_output(out_port) {
+                    if self.link_eats(last, sw_idx, out_port, word) {
+                        let _ = self.stages[last][sw_idx].pop_output(out_port);
+                        self.words_dropped += 1;
+                        continue;
+                    }
+                    let word = self.stages[last][sw_idx]
+                        .pop_output(out_port)
+                        .expect("peeked word");
                     self.exit_fifo[pos].push_back((word, self.now));
                     self.words_exited += 1;
                 }
@@ -191,15 +270,24 @@ impl OmegaNetwork {
                     else {
                         unreachable!("non-final stage feeds a switch");
                     };
-                    let can_move = self.stages[s][sw_idx].peek_output(out_port).is_some()
-                        && self.stages[s + 1][next_sw].can_accept(next_in);
-                    if can_move {
-                        let word = self.stages[s][sw_idx]
-                            .pop_output(out_port)
-                            .expect("peeked word");
-                        let accepted = self.stages[s + 1][next_sw].try_accept(next_in, word);
-                        debug_assert!(accepted, "can_accept said there was space");
+                    if !self.output_open(s, sw_idx, out_port) {
+                        continue;
                     }
+                    let Some(&word) = self.stages[s][sw_idx].peek_output(out_port) else {
+                        continue;
+                    };
+                    if !self.stages[s + 1][next_sw].can_accept(next_in) {
+                        continue;
+                    }
+                    let word_taken = self.stages[s][sw_idx]
+                        .pop_output(out_port)
+                        .expect("peeked word");
+                    if self.link_eats(s, sw_idx, out_port, word) {
+                        self.words_dropped += 1;
+                        continue;
+                    }
+                    let accepted = self.stages[s + 1][next_sw].try_accept(next_in, word_taken);
+                    debug_assert!(accepted, "can_accept said there was space");
                 }
             }
         }
@@ -277,9 +365,11 @@ impl OmegaNetwork {
     pub fn is_idle(&self) -> bool {
         self.inject_fifo.iter().all(VecDeque::is_empty)
             && self.exit_fifo.iter().all(VecDeque::is_empty)
-            && self.stages.iter().flatten().all(|sw| {
-                sw.words_in_inputs() == 0 && sw.words_in_outputs() == 0
-            })
+            && self
+                .stages
+                .iter()
+                .flatten()
+                .all(|sw| sw.words_in_inputs() == 0 && sw.words_in_outputs() == 0)
     }
 
     /// Total words injected into stage 0 so far.
@@ -292,6 +382,13 @@ impl OmegaNetwork {
     #[must_use]
     pub fn words_exited(&self) -> u64 {
         self.words_exited
+    }
+
+    /// Total words lost to injected link faults so far. Always zero
+    /// without an attached fault schedule.
+    #[must_use]
+    pub fn words_dropped(&self) -> u64 {
+        self.words_dropped
     }
 }
 
@@ -416,7 +513,10 @@ mod tests {
         let mut exits: Vec<u64> = d.iter().map(|x| x.head_exit).collect();
         exits.sort_unstable();
         let span = exits.last().unwrap() - exits.first().unwrap();
-        assert!(span >= 7, "eight packets through one port need >= 7 gaps, span {span}");
+        assert!(
+            span >= 7,
+            "eight packets through one port need >= 7 gaps, span {span}"
+        );
     }
 
     #[test]
@@ -433,7 +533,10 @@ mod tests {
         let mut exits: Vec<u64> = d.iter().map(|x| x.head_exit).collect();
         exits.sort_unstable();
         let span = exits.last().unwrap() - exits.first().unwrap();
-        assert!(span <= 2, "conflict-free traffic should exit nearly together, span {span}");
+        assert!(
+            span <= 2,
+            "conflict-free traffic should exit nearly together, span {span}"
+        );
     }
 
     #[test]
@@ -445,7 +548,10 @@ mod tests {
                 accepted += 1;
             }
         }
-        assert_eq!(accepted, INJECT_FIFO_WORDS, "FIFO capacity bounds acceptance");
+        assert_eq!(
+            accepted, INJECT_FIFO_WORDS,
+            "FIFO capacity bounds acceptance"
+        );
         assert_eq!(net.inject_backlog(0), INJECT_FIFO_WORDS);
     }
 
@@ -469,5 +575,123 @@ mod tests {
         let d = run_until_delivered(&mut net, 40);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].packet.kind, PacketKind::SyncOp);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let mut cfg = NetworkConfig::cedar();
+        cfg.radix = 6;
+        let err = OmegaNetwork::try_new(cfg).unwrap_err();
+        assert!(err.to_string().contains("net.radix"), "{err}");
+    }
+
+    mod faults {
+        use super::*;
+        use cedar_faults::{FaultConfig, FaultPlan, MachineShape, NetDirection};
+
+        fn cedar_plan(cfg: &FaultConfig) -> FaultPlan {
+            FaultPlan::generate(cfg, &MachineShape::cedar()).unwrap()
+        }
+
+        fn run_traffic(net: &mut OmegaNetwork) -> Vec<Delivery> {
+            for id in 0..32u64 {
+                net.try_inject(Packet::request(
+                    (id % 8) as usize,
+                    8 + (id % 16) as usize,
+                    id,
+                ));
+            }
+            let mut out = Vec::new();
+            for _ in 0..400 {
+                net.step();
+                out.extend(net.drain_delivered());
+            }
+            out
+        }
+
+        #[test]
+        fn benign_plan_is_bit_identical_to_no_plan() {
+            let mut healthy = OmegaNetwork::new(NetworkConfig::cedar());
+            let mut benign = OmegaNetwork::new(NetworkConfig::cedar());
+            benign.attach_faults(NetDirection::Forward, cedar_plan(&FaultConfig::none(1)));
+            assert!(benign.faults().is_none(), "benign plan is discarded");
+            let a = run_traffic(&mut healthy);
+            let b = run_traffic(&mut benign);
+            assert_eq!(a, b);
+            assert_eq!(healthy.words_exited(), benign.words_exited());
+            assert_eq!(benign.words_dropped(), 0);
+        }
+
+        #[test]
+        fn degraded_run_is_deterministic() {
+            let cfg = FaultConfig::degraded(0xD15EA5E, 0.05);
+            let mut a = OmegaNetwork::new(NetworkConfig::cedar());
+            let mut b = OmegaNetwork::new(NetworkConfig::cedar());
+            a.attach_faults(NetDirection::Forward, cedar_plan(&cfg));
+            b.attach_faults(NetDirection::Forward, cedar_plan(&cfg));
+            assert_eq!(run_traffic(&mut a), run_traffic(&mut b));
+            assert_eq!(a.words_dropped(), b.words_dropped());
+        }
+
+        #[test]
+        fn word_accounting_includes_drops() {
+            let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+            net.attach_faults(
+                NetDirection::Forward,
+                cedar_plan(&FaultConfig::link_noise(7, 0.3)),
+            );
+            let delivered = run_traffic(&mut net);
+            assert!(net.words_dropped() > 0, "30% loss over 32 packets");
+            assert!(delivered.len() < 32, "some packets were lost");
+            assert_eq!(
+                net.words_injected(),
+                net.words_exited() + net.words_dropped(),
+                "every injected word either exits or is dropped"
+            );
+            assert!(net.is_idle(), "lost packets leave no residue");
+        }
+
+        #[test]
+        fn multiword_packets_are_never_dropped() {
+            let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+            net.attach_faults(
+                NetDirection::Forward,
+                cedar_plan(&FaultConfig::link_noise(7, 1.0)),
+            );
+            net.try_inject(Packet::write(3, 40, 1, 3));
+            let mut out = Vec::new();
+            for _ in 0..100 {
+                net.step();
+                out.extend(net.drain_delivered());
+            }
+            assert_eq!(out.len(), 1, "writes survive even total link noise");
+            assert_eq!(out[0].packet.words, 4);
+            assert_eq!(net.words_dropped(), 0);
+        }
+
+        #[test]
+        fn stuck_outputs_delay_but_do_not_lose_packets() {
+            let cfg = FaultConfig {
+                stuck_outputs: 4,
+                stuck_window_cycles: 200,
+                ..FaultConfig::none(21)
+            };
+            let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+            net.attach_faults(NetDirection::Forward, cedar_plan(&cfg));
+            let mut delivered = Vec::new();
+            for id in 0..16u64 {
+                net.try_inject(Packet::request(id as usize, 32 + id as usize, id));
+            }
+            // Long enough for every stuck window to open again.
+            for _ in 0..80_000 {
+                net.step();
+                delivered.extend(net.drain_delivered());
+                if delivered.len() == 16 {
+                    break;
+                }
+            }
+            assert_eq!(delivered.len(), 16, "stuck windows heal; nothing is lost");
+            assert_eq!(net.words_dropped(), 0);
+        }
     }
 }

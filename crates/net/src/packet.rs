@@ -99,13 +99,7 @@ impl Packet {
     /// Panics if the total length exceeds [`MAX_PACKET_WORDS`].
     #[must_use]
     pub fn write(src: usize, dest: usize, id: u64, data_words: u8) -> Self {
-        Packet::new(
-            PacketId(id),
-            src,
-            dest,
-            1 + data_words,
-            PacketKind::Write,
-        )
+        Packet::new(PacketId(id), src, dest, 1 + data_words, PacketKind::Write)
     }
 
     /// The reply a memory port generates for this packet, if any:

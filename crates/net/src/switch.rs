@@ -23,7 +23,7 @@ use crate::topology::Topology;
 /// use cedar_net::topology::Topology;
 /// use cedar_net::packet::{Packet, Word};
 ///
-/// let topo = Topology::new(8, 2);
+/// let topo = Topology::new(8, 2).unwrap();
 /// let mut sw = Crossbar::new(8, 2, 0);
 /// let pkt = Packet::request(0, 0o35, 1);
 /// let word = Word::of_packet(pkt).next().unwrap();
@@ -201,11 +201,13 @@ mod tests {
     use crate::packet::{Packet, PacketId, PacketKind};
 
     fn topo() -> Topology {
-        Topology::new(8, 2)
+        Topology::new(8, 2).unwrap()
     }
 
     fn head(src: usize, dest: usize, id: u64) -> Word {
-        Word::of_packet(Packet::request(src, dest, id)).next().unwrap()
+        Word::of_packet(Packet::request(src, dest, id))
+            .next()
+            .unwrap()
     }
 
     #[test]
@@ -224,7 +226,10 @@ mod tests {
         let mut sw = Crossbar::new(8, 2, 0);
         assert!(sw.try_accept(0, head(0, 0, 1)));
         assert!(sw.try_accept(0, head(0, 0, 2)));
-        assert!(!sw.try_accept(0, head(0, 0, 3)), "third word must be refused");
+        assert!(
+            !sw.try_accept(0, head(0, 0, 3)),
+            "third word must be refused"
+        );
         assert!(!sw.can_accept(0));
     }
 

@@ -10,6 +10,8 @@
 //! routing digit consumed at stage `s` is the `s`-th most significant
 //! digit of the destination port number.
 
+use cedar_faults::CedarError;
+
 /// Wiring and routing arithmetic for one omega network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
@@ -23,22 +25,42 @@ pub struct Topology {
 impl Topology {
     /// Creates a topology for a radix-`radix`, `stages`-stage network.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `radix` is not a power of two ≥ 2 or `stages` is zero.
-    #[must_use]
-    pub fn new(radix: usize, stages: usize) -> Self {
-        assert!(
-            radix >= 2 && radix.is_power_of_two(),
-            "radix must be a power of two >= 2"
-        );
-        assert!(stages > 0, "need at least one stage");
-        Topology {
+    /// Rejects a `radix` that is not a power of two ≥ 2 (the shuffle
+    /// and digit arithmetic require base-`r` digit strings), a zero
+    /// `stages`, and any geometry whose port count would overflow.
+    pub fn new(radix: usize, stages: usize) -> Result<Self, CedarError> {
+        if radix < 2 || !radix.is_power_of_two() {
+            return Err(CedarError::invalid(
+                "net.radix",
+                format!("radix must be a power of two >= 2, got {radix}"),
+            ));
+        }
+        if stages == 0 {
+            return Err(CedarError::invalid(
+                "net.stages",
+                "network needs at least one stage",
+            ));
+        }
+        let Ok(stage_count) = u32::try_from(stages) else {
+            return Err(CedarError::invalid(
+                "net.stages",
+                format!("{stages} stages is not a representable network"),
+            ));
+        };
+        let Some(ports) = radix.checked_pow(stage_count) else {
+            return Err(CedarError::invalid(
+                "net.stages",
+                format!("radix {radix} with {stages} stages overflows the port count"),
+            ));
+        };
+        Ok(Topology {
             radix,
             stages,
-            ports: radix.pow(stages as u32),
+            ports,
             radix_bits: radix.trailing_zeros(),
-        }
+        })
     }
 
     /// Number of network positions.
@@ -226,8 +248,8 @@ mod tests {
 
     #[test]
     fn shuffle_is_a_left_rotation() {
-        let t = Topology::new(8, 2); // 64 ports, digits (d1, d0)
-        // position 0o17 = (1, 7) -> rotate -> (7, 1) = 0o71
+        let t = Topology::new(8, 2).unwrap(); // 64 ports, digits (d1, d0)
+                                              // position 0o17 = (1, 7) -> rotate -> (7, 1) = 0o71
         assert_eq!(t.shuffle(0o17), 0o71);
         assert_eq!(t.unshuffle(0o71), 0o17);
     }
@@ -235,7 +257,7 @@ mod tests {
     #[test]
     fn shuffle_round_trips_everywhere() {
         for (radix, stages) in [(2, 3), (4, 2), (8, 2)] {
-            let t = Topology::new(radix, stages);
+            let t = Topology::new(radix, stages).unwrap();
             for p in 0..t.ports() {
                 assert_eq!(t.unshuffle(t.shuffle(p)), p);
                 assert_eq!(t.shuffle(t.unshuffle(p)), p);
@@ -245,7 +267,7 @@ mod tests {
 
     #[test]
     fn shuffle_is_a_permutation() {
-        let t = Topology::new(8, 2);
+        let t = Topology::new(8, 2).unwrap();
         let mut seen = vec![false; t.ports()];
         for p in 0..t.ports() {
             let s = t.shuffle(p);
@@ -256,7 +278,7 @@ mod tests {
 
     #[test]
     fn routing_digits_msb_first() {
-        let t = Topology::new(8, 2);
+        let t = Topology::new(8, 2).unwrap();
         let dest = 0o35;
         assert_eq!(t.routing_digit(0, dest), 3);
         assert_eq!(t.routing_digit(1, dest), 5);
@@ -267,7 +289,7 @@ mod tests {
     #[test]
     fn tag_routing_reaches_every_destination() {
         for (radix, stages) in [(2, 2), (2, 4), (4, 2), (8, 2)] {
-            let t = Topology::new(radix, stages);
+            let t = Topology::new(radix, stages).unwrap();
             for src in 0..t.ports() {
                 for dest in 0..t.ports() {
                     let route = t.route(src, dest);
@@ -292,19 +314,19 @@ mod tests {
     /// entirely determined by (src, dest).
     #[test]
     fn routes_are_deterministic() {
-        let t = Topology::new(8, 2);
+        let t = Topology::new(8, 2).unwrap();
         assert_eq!(t.route(5, 42), t.route(5, 42));
     }
 
     #[test]
     fn route_length_equals_stage_count() {
-        let t = Topology::new(2, 4);
+        let t = Topology::new(2, 4).unwrap();
         assert_eq!(t.route(0, 15).len(), 4);
     }
 
     #[test]
     fn conflicts_detected_between_shared_edges() {
-        let t = Topology::new(8, 2);
+        let t = Topology::new(8, 2).unwrap();
         // Same source or destination always conflicts.
         assert!(t.routes_conflict(0, 1, 0, 2));
         assert!(t.routes_conflict(1, 5, 2, 5));
@@ -314,7 +336,7 @@ mod tests {
 
     #[test]
     fn identity_permutation_is_admissible() {
-        let t = Topology::new(8, 2);
+        let t = Topology::new(8, 2).unwrap();
         let identity: Vec<usize> = (0..t.ports()).collect();
         assert!(t.permutation_admissible(&identity));
     }
@@ -323,7 +345,7 @@ mod tests {
     fn uniform_shifts_are_admissible() {
         // Omega networks pass every uniform shift p -> p + c (Lawrie):
         // the access pattern of shifted vector operands.
-        let t = Topology::new(8, 2);
+        let t = Topology::new(8, 2).unwrap();
         let n = t.ports();
         for c in [1usize, 5, 8, 17, 32] {
             let shift: Vec<usize> = (0..n).map(|p| (p + c) % n).collect();
@@ -334,18 +356,16 @@ mod tests {
     #[test]
     fn bit_reversal_is_not_admissible() {
         // The classic omega-network blocking permutation.
-        let t = Topology::new(2, 4); // 16 ports, 4 bits
+        let t = Topology::new(2, 4).unwrap(); // 16 ports, 4 bits
         let reverse: Vec<usize> = (0..16)
-            .map(|p: usize| {
-                (0..4).fold(0, |acc, bit| acc | (((p >> bit) & 1) << (3 - bit)))
-            })
+            .map(|p: usize| (0..4).fold(0, |acc, bit| acc | (((p >> bit) & 1) << (3 - bit))))
             .collect();
         assert!(!t.permutation_admissible(&reverse));
     }
 
     #[test]
     fn all_to_one_concentration_conflicts_pairwise() {
-        let t = Topology::new(8, 2);
+        let t = Topology::new(8, 2).unwrap();
         for a in 0..8 {
             for b in 0..8 {
                 if a != b {
@@ -357,7 +377,7 @@ mod tests {
 
     #[test]
     fn route_edges_are_one_per_stage() {
-        let t = Topology::new(8, 2);
+        let t = Topology::new(8, 2).unwrap();
         let edges = t.route_edges(3, 42);
         assert_eq!(edges.len(), 2);
         assert_eq!(edges[0].0, 0);
@@ -367,12 +387,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn shuffle_rejects_out_of_range() {
-        let _ = Topology::new(8, 2).shuffle(64);
+        let _ = Topology::new(8, 2).unwrap().shuffle(64);
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_radix() {
-        let _ = Topology::new(6, 2);
+        let err = Topology::new(6, 2).unwrap_err();
+        assert!(matches!(err, CedarError::InvalidConfig { field, .. } if field == "net.radix"));
+        assert!(err.to_string().contains("power of two"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trivial_radix() {
+        assert!(Topology::new(0, 2).is_err());
+        assert!(Topology::new(1, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_stages() {
+        let err = Topology::new(8, 0).unwrap_err();
+        assert!(matches!(err, CedarError::InvalidConfig { field, .. } if field == "net.stages"));
+    }
+
+    #[test]
+    fn rejects_port_count_overflow() {
+        let err = Topology::new(8, 64).unwrap_err();
+        assert!(err.to_string().contains("overflows"), "{err}");
     }
 }

@@ -121,7 +121,11 @@ mod tests {
         assert_eq!(manual_time("TRFD"), Some(7.5));
         assert_eq!(manual_time("QCD"), Some(21.0));
         assert_eq!(manual_time("ADM"), None, "no manual ADM");
-        assert_eq!(manual_time("MG3D"), None, "MG3D's fix is already in Table 3");
+        assert_eq!(
+            manual_time("MG3D"),
+            None,
+            "MG3D's fix is already in Table 3"
+        );
     }
 
     #[test]

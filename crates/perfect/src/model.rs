@@ -44,7 +44,10 @@ impl ExecutionModel {
             .iter()
             .filter_map(|r| CodeProfile::calibrate(r, &costs))
             .collect();
-        let spice = *TABLE3.iter().find(|r| r.name == "SPICE").expect("SPICE row");
+        let spice = *TABLE3
+            .iter()
+            .find(|r| r.name == "SPICE")
+            .expect("SPICE row");
         ExecutionModel {
             profiles,
             costs,
@@ -88,9 +91,8 @@ impl ExecutionModel {
     #[must_use]
     pub fn time(&self, code: &CodeProfile, version: Version) -> f64 {
         let serial = code.serial_seconds;
-        let core = |coverage: f64| {
-            (1.0 - coverage) * serial + coverage * serial / PARALLEL_SECTION_SPEED
-        };
+        let core =
+            |coverage: f64| (1.0 - coverage) * serial + coverage * serial / PARALLEL_SECTION_SPEED;
         match version {
             Version::Serial => serial,
             Version::Kap => core(code.coverage_kap),
@@ -254,8 +256,7 @@ mod tests {
         cheap.sched_cedar_s /= 10.0;
         let repriced = m.with_swapped_costs(cheap);
         let dyfesm_before = m.time(m.code("DYFESM").unwrap(), Version::Automatable);
-        let dyfesm_after =
-            repriced.time(repriced.code("DYFESM").unwrap(), Version::Automatable);
+        let dyfesm_after = repriced.time(repriced.code("DYFESM").unwrap(), Version::Automatable);
         assert!(
             dyfesm_after < dyfesm_before - 1.0,
             "cheaper scheduling must show up for the fine-grained code: {dyfesm_before} -> {dyfesm_after}"

@@ -84,11 +84,17 @@ impl MachineCosts {
     pub fn measure(sys: &mut CedarSystem) -> Self {
         let fetch_s = sys.params().xdoall_fetch_us * 1e-6;
         let pref_wide = sys
-            .cycles_per_word(AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4)), 32)
+            .cycles_per_word(
+                AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4)),
+                32,
+            )
             .max(1.0);
         let nopref_wide = sys.cycles_per_word(AccessMode::GlobalNoPrefetch, 32);
         let pref_narrow = sys
-            .cycles_per_word(AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4)), 8)
+            .cycles_per_word(
+                AccessMode::GlobalPrefetch(PrefetchTraffic::compiler_default(4)),
+                8,
+            )
             .max(1.0);
         let nopref_narrow = sys.cycles_per_word(AccessMode::GlobalNoPrefetch, 8);
         MachineCosts {

@@ -33,19 +33,149 @@ pub struct PublishedRow {
 
 /// Table 3, all thirteen Perfect codes.
 pub const TABLE3: [PublishedRow; 13] = [
-    PublishedRow { name: "ADM", kap_time: 689.0, kap_improvement: 1.2, auto_time: Some(73.0), auto_improvement: Some(10.8), nosync_time: Some(81.0), nopref_time: Some(83.0), mflops: 6.9, ymp_ratio: 3.4 },
-    PublishedRow { name: "ARC2D", kap_time: 218.0, kap_improvement: 13.5, auto_time: Some(141.0), auto_improvement: Some(20.8), nosync_time: Some(141.0), nopref_time: Some(157.0), mflops: 13.1, ymp_ratio: 34.2 },
-    PublishedRow { name: "BDNA", kap_time: 502.0, kap_improvement: 1.9, auto_time: Some(111.0), auto_improvement: Some(8.7), nosync_time: Some(118.0), nopref_time: Some(122.0), mflops: 8.2, ymp_ratio: 18.4 },
-    PublishedRow { name: "DYFESM", kap_time: 167.0, kap_improvement: 3.9, auto_time: Some(60.0), auto_improvement: Some(11.0), nosync_time: Some(67.0), nopref_time: Some(100.0), mflops: 9.2, ymp_ratio: 6.5 },
-    PublishedRow { name: "FLO52", kap_time: 100.0, kap_improvement: 9.0, auto_time: Some(63.0), auto_improvement: Some(14.3), nosync_time: Some(64.0), nopref_time: Some(79.0), mflops: 8.7, ymp_ratio: 37.8 },
-    PublishedRow { name: "MDG", kap_time: 3200.0, kap_improvement: 1.3, auto_time: Some(182.0), auto_improvement: Some(22.7), nosync_time: Some(202.0), nopref_time: Some(202.0), mflops: 18.9, ymp_ratio: 11.1 },
-    PublishedRow { name: "MG3D", kap_time: 7929.0, kap_improvement: 1.5, auto_time: Some(348.0), auto_improvement: Some(35.2), nosync_time: Some(346.0), nopref_time: Some(350.0), mflops: 31.7, ymp_ratio: 3.6 },
-    PublishedRow { name: "OCEAN", kap_time: 2158.0, kap_improvement: 1.4, auto_time: Some(148.0), auto_improvement: Some(19.8), nosync_time: Some(174.0), nopref_time: Some(187.0), mflops: 11.2, ymp_ratio: 7.4 },
-    PublishedRow { name: "QCD", kap_time: 369.0, kap_improvement: 1.1, auto_time: Some(239.0), auto_improvement: Some(1.8), nosync_time: Some(239.0), nopref_time: Some(246.0), mflops: 1.1, ymp_ratio: 1.0 / 1.8 },
-    PublishedRow { name: "SPEC77", kap_time: 973.0, kap_improvement: 2.4, auto_time: Some(156.0), auto_improvement: Some(15.2), nosync_time: Some(156.0), nopref_time: Some(165.0), mflops: 11.9, ymp_ratio: 4.8 },
-    PublishedRow { name: "SPICE", kap_time: 95.1, kap_improvement: 1.02, auto_time: None, auto_improvement: None, nosync_time: None, nopref_time: None, mflops: 0.5, ymp_ratio: 1.0 / 1.4 },
-    PublishedRow { name: "TRACK", kap_time: 126.0, kap_improvement: 1.1, auto_time: Some(26.0), auto_improvement: Some(5.3), nosync_time: Some(28.0), nopref_time: Some(28.0), mflops: 3.1, ymp_ratio: 2.7 },
-    PublishedRow { name: "TRFD", kap_time: 273.0, kap_improvement: 3.2, auto_time: Some(21.0), auto_improvement: Some(41.1), nosync_time: Some(21.0), nopref_time: Some(21.0), mflops: 20.5, ymp_ratio: 2.8 },
+    PublishedRow {
+        name: "ADM",
+        kap_time: 689.0,
+        kap_improvement: 1.2,
+        auto_time: Some(73.0),
+        auto_improvement: Some(10.8),
+        nosync_time: Some(81.0),
+        nopref_time: Some(83.0),
+        mflops: 6.9,
+        ymp_ratio: 3.4,
+    },
+    PublishedRow {
+        name: "ARC2D",
+        kap_time: 218.0,
+        kap_improvement: 13.5,
+        auto_time: Some(141.0),
+        auto_improvement: Some(20.8),
+        nosync_time: Some(141.0),
+        nopref_time: Some(157.0),
+        mflops: 13.1,
+        ymp_ratio: 34.2,
+    },
+    PublishedRow {
+        name: "BDNA",
+        kap_time: 502.0,
+        kap_improvement: 1.9,
+        auto_time: Some(111.0),
+        auto_improvement: Some(8.7),
+        nosync_time: Some(118.0),
+        nopref_time: Some(122.0),
+        mflops: 8.2,
+        ymp_ratio: 18.4,
+    },
+    PublishedRow {
+        name: "DYFESM",
+        kap_time: 167.0,
+        kap_improvement: 3.9,
+        auto_time: Some(60.0),
+        auto_improvement: Some(11.0),
+        nosync_time: Some(67.0),
+        nopref_time: Some(100.0),
+        mflops: 9.2,
+        ymp_ratio: 6.5,
+    },
+    PublishedRow {
+        name: "FLO52",
+        kap_time: 100.0,
+        kap_improvement: 9.0,
+        auto_time: Some(63.0),
+        auto_improvement: Some(14.3),
+        nosync_time: Some(64.0),
+        nopref_time: Some(79.0),
+        mflops: 8.7,
+        ymp_ratio: 37.8,
+    },
+    PublishedRow {
+        name: "MDG",
+        kap_time: 3200.0,
+        kap_improvement: 1.3,
+        auto_time: Some(182.0),
+        auto_improvement: Some(22.7),
+        nosync_time: Some(202.0),
+        nopref_time: Some(202.0),
+        mflops: 18.9,
+        ymp_ratio: 11.1,
+    },
+    PublishedRow {
+        name: "MG3D",
+        kap_time: 7929.0,
+        kap_improvement: 1.5,
+        auto_time: Some(348.0),
+        auto_improvement: Some(35.2),
+        nosync_time: Some(346.0),
+        nopref_time: Some(350.0),
+        mflops: 31.7,
+        ymp_ratio: 3.6,
+    },
+    PublishedRow {
+        name: "OCEAN",
+        kap_time: 2158.0,
+        kap_improvement: 1.4,
+        auto_time: Some(148.0),
+        auto_improvement: Some(19.8),
+        nosync_time: Some(174.0),
+        nopref_time: Some(187.0),
+        mflops: 11.2,
+        ymp_ratio: 7.4,
+    },
+    PublishedRow {
+        name: "QCD",
+        kap_time: 369.0,
+        kap_improvement: 1.1,
+        auto_time: Some(239.0),
+        auto_improvement: Some(1.8),
+        nosync_time: Some(239.0),
+        nopref_time: Some(246.0),
+        mflops: 1.1,
+        ymp_ratio: 1.0 / 1.8,
+    },
+    PublishedRow {
+        name: "SPEC77",
+        kap_time: 973.0,
+        kap_improvement: 2.4,
+        auto_time: Some(156.0),
+        auto_improvement: Some(15.2),
+        nosync_time: Some(156.0),
+        nopref_time: Some(165.0),
+        mflops: 11.9,
+        ymp_ratio: 4.8,
+    },
+    PublishedRow {
+        name: "SPICE",
+        kap_time: 95.1,
+        kap_improvement: 1.02,
+        auto_time: None,
+        auto_improvement: None,
+        nosync_time: None,
+        nopref_time: None,
+        mflops: 0.5,
+        ymp_ratio: 1.0 / 1.4,
+    },
+    PublishedRow {
+        name: "TRACK",
+        kap_time: 126.0,
+        kap_improvement: 1.1,
+        auto_time: Some(26.0),
+        auto_improvement: Some(5.3),
+        nosync_time: Some(28.0),
+        nopref_time: Some(28.0),
+        mflops: 3.1,
+        ymp_ratio: 2.7,
+    },
+    PublishedRow {
+        name: "TRFD",
+        kap_time: 273.0,
+        kap_improvement: 3.2,
+        auto_time: Some(21.0),
+        auto_improvement: Some(41.1),
+        nosync_time: Some(21.0),
+        nopref_time: Some(21.0),
+        mflops: 20.5,
+        ymp_ratio: 2.8,
+    },
 ];
 
 /// One row of Table 4: "Execution times (secs.) for manually altered
@@ -125,10 +255,16 @@ mod tests {
         // Spot-check the transcription against the printed percentages.
         let adm = &TABLE3[0];
         let pct = (adm.nosync_time.unwrap() / adm.auto_time.unwrap() - 1.0) * 100.0;
-        assert!((pct - 11.0).abs() < 1.0, "ADM no-sync slowdown {pct}% vs 11%");
+        assert!(
+            (pct - 11.0).abs() < 1.0,
+            "ADM no-sync slowdown {pct}% vs 11%"
+        );
         let dyfesm = &TABLE3[3];
         let pct = (dyfesm.nopref_time.unwrap() / dyfesm.nosync_time.unwrap() - 1.0) * 100.0;
-        assert!((pct - 49.0).abs() < 1.5, "DYFESM no-pref slowdown {pct}% vs 49%");
+        assert!(
+            (pct - 49.0).abs() < 1.5,
+            "DYFESM no-pref slowdown {pct}% vs 49%"
+        );
     }
 
     #[test]

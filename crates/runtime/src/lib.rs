@@ -48,17 +48,17 @@
 
 pub mod io;
 pub mod loops;
-pub mod program;
-pub mod shared;
 pub mod movement;
 pub mod placement;
+pub mod program;
+pub mod shared;
 pub mod sync;
 pub mod task;
 
 pub use io::{IoSubsystem, RecordFormat};
-pub use program::{execute, OperandHome, Program, ProgramReport};
-pub use shared::SharedArray;
 pub use loops::{cdoall, sdoall, xdoall, LoopReport, Schedule, Work};
 pub use placement::Placement;
+pub use program::{execute, OperandHome, Program, ProgramReport};
+pub use shared::SharedArray;
 pub use sync::{cluster_barrier_cycles, multicluster_barrier_cycles, Ticket};
 pub use task::{TaskId, XylemScheduler};

@@ -267,13 +267,18 @@ mod tests {
         let mut sys = machine();
         let report = cdoall(&mut sys, 0, 0, Schedule::Static, |_| Work::cycles(0.0));
         let us = report.makespan_seconds() * 1e6;
-        assert!(us < 10.0, "CDOALL must start in a few microseconds, got {us}");
+        assert!(
+            us < 10.0,
+            "CDOALL must start in a few microseconds, got {us}"
+        );
     }
 
     #[test]
     fn cdoall_is_much_cheaper_than_xdoall() {
         let mut sys = machine();
-        let x = xdoall(&mut sys, 64, Schedule::SelfScheduled, |_| Work::cycles(100.0));
+        let x = xdoall(&mut sys, 64, Schedule::SelfScheduled, |_| {
+            Work::cycles(100.0)
+        });
         let c = cdoall(&mut sys, 0, 64, Schedule::SelfScheduled, |_| {
             Work::cycles(100.0)
         });
@@ -289,7 +294,9 @@ mod tests {
     fn static_schedule_has_no_fetch_overhead() {
         let mut sys = machine();
         let s = xdoall(&mut sys, 320, Schedule::Static, |_| Work::cycles(100.0));
-        let d = xdoall(&mut sys, 320, Schedule::SelfScheduled, |_| Work::cycles(100.0));
+        let d = xdoall(&mut sys, 320, Schedule::SelfScheduled, |_| {
+            Work::cycles(100.0)
+        });
         assert!(s.overhead_cycles < d.overhead_cycles);
     }
 
@@ -315,7 +322,9 @@ mod tests {
         // The DYFESM/OCEAN effect: parallel loops with small
         // granularity need low-overhead scheduling support.
         let mut sys = machine();
-        let tiny = xdoall(&mut sys, 1000, Schedule::SelfScheduled, |_| Work::cycles(10.0));
+        let tiny = xdoall(&mut sys, 1000, Schedule::SelfScheduled, |_| {
+            Work::cycles(10.0)
+        });
         assert!(
             tiny.overhead_cycles > 10.0 * 1000.0,
             "fetch overhead should dwarf tiny bodies"

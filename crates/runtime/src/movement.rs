@@ -141,6 +141,10 @@ mod tests {
         sys.global_mut().copy_in(0, &[42]);
         global_to_cluster(&mut sys, 0, 0, 0, 1, 8);
         assert_eq!(sys.cluster_mut(0).memory.read_word(0), 42);
-        assert_eq!(sys.cluster_mut(1).memory.read_word(0), 0, "cluster 1 untouched");
+        assert_eq!(
+            sys.cluster_mut(1).memory.read_word(0),
+            0,
+            "cluster 1 untouched"
+        );
     }
 }

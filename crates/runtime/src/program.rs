@@ -302,8 +302,9 @@ pub fn execute(sys: &mut CedarSystem, program: &Program) -> ProgramReport {
                 let body = (words * cpw).max(f / 2.0) * STRIP_STARTUP_FACTOR;
                 // Cost one representative inner CDOALL, then spread the
                 // outer iterations over the clusters via SDOALL.
-                let inner_report =
-                    cdoall(sys, 0, inner, Schedule::SelfScheduled, |_| Work::new(body, f));
+                let inner_report = cdoall(sys, 0, inner, Schedule::SelfScheduled, |_| {
+                    Work::new(body, f)
+                });
                 let outer_report = sdoall(sys, outer, Schedule::SelfScheduled, |_| {
                     Work::cycles(inner_report.makespan_cycles)
                 });
@@ -416,13 +417,7 @@ mod tests {
             8.0,
             OperandHome::ClusterCache,
         );
-        let nested = Program::new().sdoall_cdoall(
-            64,
-            128,
-            4.0,
-            8.0,
-            OperandHome::ClusterCache,
-        );
+        let nested = Program::new().sdoall_cdoall(64, 128, 4.0, 8.0, OperandHome::ClusterCache);
         let t_flat = execute(&mut sys, &flat);
         let t_nested = execute(&mut sys, &nested);
         assert!(

@@ -97,7 +97,9 @@ impl SharedArray {
             ProtocolAction::FetchFromGlobal { cluster } => {
                 let mut buf = vec![0u64; self.len as usize];
                 sys.global_mut().copy_out(self.global_base, &mut buf);
-                sys.cluster_mut(cluster).memory.copy_in(self.cluster_base, &buf);
+                sys.cluster_mut(cluster)
+                    .memory
+                    .copy_in(self.cluster_base, &buf);
                 self.movement_cycles += self.len as f64 * COPY_CYCLES_PER_WORD;
             }
             ProtocolAction::WriteBack { cluster } => {

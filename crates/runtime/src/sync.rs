@@ -11,7 +11,9 @@
 //! control bus (the cheap replacement the hand optimization exploited).
 
 use cedar_core::system::CedarSystem;
+use cedar_faults::{CedarError, RetryPolicy};
 use cedar_mem::sync::SyncInstruction;
+use cedar_sim::watchdog::Watchdog;
 
 /// A ticket dispenser backed by a real global-memory sync cell: the
 /// runtime library's loop self-scheduling mechanism.
@@ -53,7 +55,8 @@ impl Ticket {
 
     /// Resets the counter to zero.
     pub fn reset(&mut self, sys: &mut CedarSystem) {
-        sys.global_mut().sync_op(self.cell, SyncInstruction::write(0));
+        sys.global_mut()
+            .sync_op(self.cell, SyncInstruction::write(0));
     }
 
     /// Reads the counter without changing it.
@@ -61,6 +64,88 @@ impl Ticket {
         sys.global_mut()
             .sync_op(self.cell, SyncInstruction::read())
             .old_value
+    }
+
+    /// Takes the next ticket on a possibly-degraded machine: issues the
+    /// fetch-and-add, reads the cell back to verify the sync processor
+    /// committed the update, and reissues up to `retry.max_retries`
+    /// times when the update was lost.
+    ///
+    /// # Errors
+    ///
+    /// [`CedarError::RetriesExhausted`] when the cell's module never
+    /// commits (a dead sync processor).
+    pub fn take_robust(
+        &mut self,
+        sys: &mut CedarSystem,
+        retry: &RetryPolicy,
+    ) -> Result<i32, CedarError> {
+        robust_fetch_add(sys, self.cell, 1, retry, "ticket fetch-and-add")
+    }
+}
+
+/// Issues `fetch_and_add(delta)` on `cell` and verifies commitment by
+/// reading the cell back; lost updates are reissued per `retry`.
+/// Returns the pre-increment value of the attempt that committed.
+fn robust_fetch_add(
+    sys: &mut CedarSystem,
+    cell: u64,
+    delta: i32,
+    retry: &RetryPolicy,
+    what: &'static str,
+) -> Result<i32, CedarError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let old = sys
+            .global_mut()
+            .sync_op(cell, SyncInstruction::fetch_and_add(delta))
+            .old_value;
+        // Reads carry no update to lose, so the read-back is reliable:
+        // the cell advanced iff the sync processor committed.
+        let after = sys
+            .global_mut()
+            .sync_op(cell, SyncInstruction::read())
+            .old_value;
+        if after == old + delta {
+            return Ok(old);
+        }
+        if attempts > retry.max_retries {
+            return Err(CedarError::RetriesExhausted {
+                what: what.to_owned(),
+                attempts,
+            });
+        }
+    }
+}
+
+/// Writes `value` to `cell` and verifies it stuck, reissuing lost
+/// writes per `retry`.
+fn robust_write(
+    sys: &mut CedarSystem,
+    cell: u64,
+    value: i32,
+    retry: &RetryPolicy,
+    what: &'static str,
+) -> Result<(), CedarError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        sys.global_mut()
+            .sync_op(cell, SyncInstruction::write(value));
+        let after = sys
+            .global_mut()
+            .sync_op(cell, SyncInstruction::read())
+            .old_value;
+        if after == value {
+            return Ok(());
+        }
+        if attempts > retry.max_retries {
+            return Err(CedarError::RetriesExhausted {
+                what: what.to_owned(),
+                attempts,
+            });
+        }
     }
 }
 
@@ -88,7 +173,9 @@ pub fn multicluster_barrier_cycles(participants: usize) -> f64 {
     // Arrivals serialize at the sync cell's module (2 cycles service
     // each) after a 13-cycle round trip; the last arriver then releases
     // everyone, observed one spin-poll later on average.
-    GLOBAL_SYNC_ROUND_TRIP_CYCLES + 2.0 * p + GLOBAL_SPIN_INTERVAL_CYCLES
+    GLOBAL_SYNC_ROUND_TRIP_CYCLES
+        + 2.0 * p
+        + GLOBAL_SPIN_INTERVAL_CYCLES
         + GLOBAL_SYNC_ROUND_TRIP_CYCLES
 }
 
@@ -134,11 +221,90 @@ impl GlobalBarrier {
             .sync_op(self.cell, SyncInstruction::fetch_and_add(1))
             .old_value;
         if old + 1 == self.participants {
-            sys.global_mut().sync_op(self.cell, SyncInstruction::write(0));
+            sys.global_mut()
+                .sync_op(self.cell, SyncInstruction::write(0));
             true
         } else {
             false
         }
+    }
+
+    /// The barrier's participant count.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.participants as usize
+    }
+
+    /// Registers one arrival on a possibly-degraded machine,
+    /// reissuing the fetch-and-add (and the completing reset) when the
+    /// sync processor loses the update.
+    ///
+    /// # Errors
+    ///
+    /// [`CedarError::RetriesExhausted`] when the cell's module never
+    /// commits.
+    pub fn arrive_robust(
+        &self,
+        sys: &mut CedarSystem,
+        retry: &RetryPolicy,
+    ) -> Result<bool, CedarError> {
+        let old = robust_fetch_add(sys, self.cell, 1, retry, "barrier arrival")?;
+        if old + 1 == self.participants {
+            robust_write(sys, self.cell, 0, retry, "barrier reset")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+}
+
+/// Executes one full multicluster barrier round — every participant
+/// arrives through the global sync cell, then spins until the
+/// completing arrival resets it — on a simulated clock guarded by
+/// `watchdog`. Returns the cycles the round took.
+///
+/// On a healthy machine the last arrival releases the round
+/// immediately. On a degraded machine arrivals may be lost at the sync
+/// processor; the count then never completes, every participant spins,
+/// and the watchdog converts the silent hang into a
+/// [`CedarError::Stalled`] diagnostic naming its context.
+///
+/// # Errors
+///
+/// [`CedarError::Stalled`] when `watchdog` sees no barrier progress for
+/// its whole budget.
+pub fn run_multicluster_round(
+    sys: &mut CedarSystem,
+    barrier: &GlobalBarrier,
+    watchdog: &mut Watchdog,
+) -> Result<u64, CedarError> {
+    let mut now: u64 = 0;
+    let mut released = false;
+    for _ in 0..barrier.participants() {
+        // Serialized arrival: round trip plus the module's service slot.
+        now += GLOBAL_SYNC_ROUND_TRIP_CYCLES as u64 + 2;
+        if barrier.arrive(sys) {
+            released = true;
+        }
+        watchdog.observe(now, now)?;
+    }
+    // All participants have arrived; everyone spins on the cell until
+    // the completing arrival's reset lands. Arrivals lost at the sync
+    // processor leave the count short forever (and a lost reset leaves
+    // it full forever) — only the watchdog ends those waits. A bare
+    // zero is not release: on a dead module nothing ever committed and
+    // no participant observed the full count.
+    let progress_at = now;
+    loop {
+        let count = sys
+            .global_mut()
+            .sync_op(barrier.cell, SyncInstruction::read())
+            .old_value;
+        if released && count == 0 {
+            return Ok(now);
+        }
+        now += GLOBAL_SPIN_INTERVAL_CYCLES as u64;
+        watchdog.observe(now, progress_at)?;
     }
 }
 
@@ -213,5 +379,109 @@ mod tests {
         t.take(&mut sys);
         let module = sys.global().module_of_word(5);
         assert_eq!(sys.global().sync_ops_per_module()[module], 2);
+    }
+
+    mod degraded {
+        use super::*;
+        use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+
+        fn degraded_machine(cfg: &FaultConfig) -> CedarSystem {
+            let mut sys = machine();
+            let plan = FaultPlan::generate(cfg, &MachineShape::cedar()).unwrap();
+            sys.attach_faults(&plan, RetryPolicy::fabric());
+            sys
+        }
+
+        #[test]
+        fn robust_tickets_recover_lost_updates() {
+            let cfg = FaultConfig {
+                sync_lost_prob: 0.4,
+                ..FaultConfig::none(11)
+            };
+            let mut sys = degraded_machine(&cfg);
+            let retry = RetryPolicy::sync();
+            let mut t = Ticket::new(0);
+            let taken: Vec<i32> = (0..8)
+                .map(|_| t.take_robust(&mut sys, &retry).unwrap())
+                .collect();
+            assert_eq!(taken, [0, 1, 2, 3, 4, 5, 6, 7]);
+            assert!(
+                sys.global().sync_lost_count() > 0,
+                "the 40% loss rate should have cost at least one reissue"
+            );
+        }
+
+        #[test]
+        fn dead_module_exhausts_ticket_retries() {
+            let mut sys = degraded_machine(&FaultConfig::dead_sync_processor(11, 0));
+            let retry = RetryPolicy::sync();
+            // Word 0 lives on the dead module 0.
+            let err = Ticket::new(0).take_robust(&mut sys, &retry).unwrap_err();
+            match err {
+                CedarError::RetriesExhausted { what, attempts } => {
+                    assert_eq!(what, "ticket fetch-and-add");
+                    assert_eq!(attempts, retry.max_retries + 1);
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+
+        #[test]
+        fn robust_barrier_survives_lossy_sync() {
+            let cfg = FaultConfig {
+                sync_lost_prob: 0.4,
+                ..FaultConfig::none(13)
+            };
+            let mut sys = degraded_machine(&cfg);
+            let retry = RetryPolicy::sync();
+            let barrier = GlobalBarrier::new(10, 4);
+            for round in 0..3 {
+                let mut done = 0;
+                for _ in 0..4 {
+                    if barrier.arrive_robust(&mut sys, &retry).unwrap() {
+                        done += 1;
+                    }
+                }
+                assert_eq!(done, 1, "round {round}: exactly one completer");
+            }
+        }
+
+        #[test]
+        fn watchdog_names_the_deadlocked_barrier() {
+            // The barrier cell's sync processor is dead: every arrival's
+            // update is lost, the count never completes, and the round
+            // hangs in the spin phase until the watchdog trips.
+            let mut sys = degraded_machine(&FaultConfig::dead_sync_processor(17, 10));
+            let barrier = GlobalBarrier::new(10, 4); // word 10 -> module 10
+            let mut dog = Watchdog::new(10_000, "multicluster barrier");
+            let err = run_multicluster_round(&mut sys, &barrier, &mut dog).unwrap_err();
+            match err {
+                CedarError::Stalled(report) => {
+                    let text = report.to_string();
+                    assert!(
+                        text.contains("multicluster barrier"),
+                        "diagnostic should name the barrier: {text}"
+                    );
+                    assert!(dog.is_tripped());
+                    assert!(
+                        report.now <= 11_000,
+                        "detection bounded by the budget, got {}",
+                        report.now
+                    );
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+
+        #[test]
+        fn healthy_round_completes_under_watchdog() {
+            let mut sys = machine();
+            let barrier = GlobalBarrier::new(10, 4);
+            let mut dog = Watchdog::new(10_000, "multicluster barrier");
+            let cycles = run_multicluster_round(&mut sys, &barrier, &mut dog).unwrap();
+            assert!(cycles > 0 && !dog.is_tripped());
+            // Reusable: the reset landed.
+            assert!(!barrier.arrive(&mut sys));
+        }
     }
 }

@@ -1,55 +1,63 @@
-//! Property-based tests for the runtime layer.
-
-use proptest::prelude::*;
+//! Randomized property tests for the runtime layer, driven by the
+//! simulator's deterministic SplitMix64 generator.
 
 use cedar_core::params::CedarParams;
 use cedar_core::system::CedarSystem;
 use cedar_runtime::loops::{xdoall, Schedule, Work};
 use cedar_runtime::sync::GlobalBarrier;
 use cedar_runtime::task::{TaskState, XylemScheduler};
+use cedar_sim::rng::SplitMix64;
 
 fn machine() -> CedarSystem {
     CedarSystem::new(CedarParams::paper())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Every iteration of a parallel loop runs exactly once, in order,
-    /// regardless of schedule, and the makespan respects both the
-    /// critical path and total-work bounds.
-    #[test]
-    fn loops_execute_each_iteration_once(
-        iterations in 0u64..500,
-        static_sched in any::<bool>(),
-        body in 1.0f64..5000.0,
-    ) {
+/// Every iteration of a parallel loop runs exactly once, in order,
+/// regardless of schedule, and the makespan respects both the critical
+/// path and total-work bounds.
+#[test]
+fn loops_execute_each_iteration_once() {
+    let mut rng = SplitMix64::new(0x2071);
+    for _ in 0..CASES {
+        let iterations = rng.next_below(500);
+        let static_sched = rng.next_bool(0.5);
+        let body = 1.0 + rng.next_f64() * 4999.0;
+
         let mut sys = machine();
-        let sched = if static_sched { Schedule::Static } else { Schedule::SelfScheduled };
+        let sched = if static_sched {
+            Schedule::Static
+        } else {
+            Schedule::SelfScheduled
+        };
         let mut seen = Vec::new();
         let report = xdoall(&mut sys, iterations, sched, |i| {
             seen.push(i);
             Work::cycles(body)
         });
-        prop_assert_eq!(seen, (0..iterations).collect::<Vec<_>>());
-        prop_assert_eq!(report.iterations, iterations);
+        assert_eq!(seen, (0..iterations).collect::<Vec<_>>());
+        assert_eq!(report.iterations, iterations);
         let p = 32.0;
         let total_work = iterations as f64 * body;
         // Lower bound: work spread perfectly over P, plus nothing.
-        prop_assert!(report.makespan_cycles + 1e-6 >= total_work / p);
+        assert!(report.makespan_cycles + 1e-6 >= total_work / p);
         // Upper bound: all work serialized plus all overhead.
-        prop_assert!(
-            report.makespan_cycles <= total_work + report.overhead_cycles + 1.0
-        );
+        assert!(report.makespan_cycles <= total_work + report.overhead_cycles + 1.0);
         // Busy accounting conserves work (+ self-sched fetches).
         let busy: f64 = report.per_worker_busy.iter().sum();
-        prop_assert!(busy + 1e-6 >= total_work);
+        assert!(busy + 1e-6 >= total_work);
     }
+}
 
-    /// A barrier completes exactly once per round of `p` arrivals, for
-    /// any number of rounds.
-    #[test]
-    fn barrier_completes_once_per_round(p in 1usize..=16, rounds in 1usize..10) {
+/// A barrier completes exactly once per round of `p` arrivals, for any
+/// number of rounds.
+#[test]
+fn barrier_completes_once_per_round() {
+    let mut rng = SplitMix64::new(0x2072);
+    for _ in 0..CASES {
+        let p = 1 + rng.next_below(16) as usize;
+        let rounds = 1 + rng.next_below(9) as usize;
         let mut sys = machine();
         let barrier = GlobalBarrier::new(0, p);
         for round in 0..rounds {
@@ -59,17 +67,21 @@ proptest! {
                     completions += 1;
                 }
             }
-            prop_assert_eq!(completions, 1, "round {}", round);
+            assert_eq!(completions, 1, "round {round}");
         }
     }
+}
 
-    /// The Xylem scheduler completes every task, never double-books a
-    /// cluster, and its makespan is bounded by serialized execution.
-    #[test]
-    fn xylem_completes_all_tasks(
-        works in prop::collection::vec(100.0f64..10_000.0, 1..20),
-        clusters in 1usize..=4,
-    ) {
+/// The Xylem scheduler completes every task, never double-books a
+/// cluster, and its makespan is bounded by serialized execution.
+#[test]
+fn xylem_completes_all_tasks() {
+    let mut rng = SplitMix64::new(0x2073);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(19) as usize;
+        let works: Vec<f64> = (0..n).map(|_| 100.0 + rng.next_f64() * 9900.0).collect();
+        let clusters = 1 + rng.next_below(4) as usize;
+
         let mut x = XylemScheduler::new(clusters);
         for (i, &w) in works.iter().enumerate() {
             x.spawn(&format!("t{i}"), w);
@@ -83,16 +95,16 @@ proptest! {
                 .iter()
                 .filter(|t| matches!(t.state, TaskState::Running { .. }))
                 .count();
-            prop_assert!(running <= clusters);
+            assert!(running <= clusters);
             if x.tasks().iter().all(|t| t.state == TaskState::Completed) {
                 break;
             }
             x.advance(50.0);
             elapsed += 50.0;
-            prop_assert!(elapsed < 1e9, "scheduler livelock");
+            assert!(elapsed < 1e9, "scheduler livelock");
         }
         let serial: f64 = works.iter().sum();
-        prop_assert!(elapsed <= serial + 50.0 * works.len() as f64 + 1.0);
-        prop_assert_eq!(x.dispatch_count(), works.len() as u64);
+        assert!(elapsed <= serial + 50.0 * works.len() as f64 + 1.0);
+        assert_eq!(x.dispatch_count(), works.len() as u64);
     }
 }

@@ -20,6 +20,9 @@
 //!   [`EventTracer`] (1M-event capture buffers) and
 //!   [`Histogrammer`] (64K × 32-bit counters), cascadable exactly as
 //!   the paper describes.
+//! * [`watchdog`] — a no-progress detector ([`Watchdog`]) so degraded
+//!   or fault-injected simulations abort with a diagnostic instead of
+//!   spinning forever.
 //!
 //! # Examples
 //!
@@ -41,9 +44,11 @@ pub mod monitor;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod watchdog;
 
 pub use event::EventQueue;
 pub use monitor::{EventTracer, Histogrammer, PerformanceMonitor};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, RunningStats};
 pub use time::{ClockPeriod, Cycle, CycleDelta};
+pub use watchdog::{Watchdog, WatchdogReport};

@@ -1,0 +1,206 @@
+//! Simulation watchdog: no-progress / livelock detection.
+//!
+//! The real Cedar kept running degraded — redundant network copies,
+//! per-module synchronization processors — but a *simulation* of a
+//! degraded machine can deadlock outright (an injected barrier fault
+//! means the arrival count never completes) or livelock (a retry storm
+//! that never drains). [`Watchdog`] bounds that: callers feed it the
+//! current simulated time and a monotone progress counter, and once no
+//! progress has been observed for the configured cycle budget it
+//! returns a [`WatchdogReport`] diagnostic instead of letting the
+//! simulation spin forever.
+
+use std::fmt;
+
+/// Deadline-based no-progress detector.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_sim::watchdog::Watchdog;
+///
+/// let mut dog = Watchdog::new(100, "barrier wait");
+/// assert!(dog.observe(0, 0).is_ok());
+/// assert!(dog.observe(50, 1).is_ok());   // progress resets the budget
+/// assert!(dog.observe(149, 1).is_ok());  // within budget
+/// let report = dog.observe(151, 1).unwrap_err();
+/// assert!(report.to_string().contains("barrier wait"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Cycles of no progress tolerated before tripping.
+    budget: u64,
+    /// What the watchdog is guarding, named in the diagnostic.
+    context: String,
+    /// Progress counter value at the last observed advance.
+    last_progress: Option<u64>,
+    /// Simulated cycle at which progress last advanced.
+    progress_at: u64,
+    /// Set once tripped; further observations keep failing.
+    tripped: bool,
+}
+
+impl Watchdog {
+    /// Creates a watchdog that trips after `budget` cycles without
+    /// progress. `context` names the guarded activity in diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero (a zero budget would trip on the
+    /// first observation and is always a caller bug).
+    #[must_use]
+    pub fn new(budget: u64, context: &str) -> Self {
+        assert!(budget > 0, "watchdog budget must be nonzero");
+        Watchdog {
+            budget,
+            context: context.to_owned(),
+            last_progress: None,
+            progress_at: 0,
+            tripped: false,
+        }
+    }
+
+    /// The configured no-progress budget in cycles.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Feeds one observation: the current simulated cycle and the
+    /// current value of a monotone progress counter (requests
+    /// completed, barrier arrivals seen, events popped — anything that
+    /// only moves when the simulation is getting somewhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WatchdogReport`] once `now` is more than the budget
+    /// past the last observed progress, and on every observation
+    /// thereafter.
+    pub fn observe(&mut self, now: u64, progress: u64) -> Result<(), WatchdogReport> {
+        match self.last_progress {
+            Some(last) if progress <= last => {}
+            _ => {
+                // First observation or progress advanced.
+                self.last_progress = Some(progress);
+                self.progress_at = now;
+            }
+        }
+        if self.tripped || now.saturating_sub(self.progress_at) > self.budget {
+            self.tripped = true;
+            return Err(WatchdogReport {
+                context: self.context.clone(),
+                stalled_since: self.progress_at,
+                now,
+                budget: self.budget,
+                progress: self.last_progress.unwrap_or(0),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the watchdog has tripped.
+    #[must_use]
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
+/// Diagnostic emitted when a [`Watchdog`] detects no progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// What was being guarded.
+    pub context: String,
+    /// Simulated cycle of the last observed progress.
+    pub stalled_since: u64,
+    /// Simulated cycle at which the watchdog tripped.
+    pub now: u64,
+    /// The no-progress budget that was exceeded.
+    pub budget: u64,
+    /// The progress counter's final value.
+    pub progress: u64,
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "watchdog: no progress in {} ({} cycles without progress since cycle {}, \
+             budget {}, progress counter stuck at {})",
+            self.context,
+            self.now - self.stalled_since,
+            self.stalled_since,
+            self.budget,
+            self.progress
+        )
+    }
+}
+
+impl std::error::Error for WatchdogReport {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_run_never_trips() {
+        let mut dog = Watchdog::new(10, "test");
+        for t in 0..100 {
+            assert!(dog.observe(t, t).is_ok(), "progress every cycle");
+        }
+        assert!(!dog.is_tripped());
+    }
+
+    #[test]
+    fn stall_trips_after_budget() {
+        let mut dog = Watchdog::new(10, "stall");
+        assert!(dog.observe(0, 5).is_ok());
+        assert!(dog.observe(10, 5).is_ok(), "exactly at budget is fine");
+        let err = dog.observe(11, 5).unwrap_err();
+        assert_eq!(err.stalled_since, 0);
+        assert_eq!(err.now, 11);
+        assert_eq!(err.progress, 5);
+        assert!(dog.is_tripped());
+    }
+
+    #[test]
+    fn progress_resets_the_clock() {
+        let mut dog = Watchdog::new(10, "test");
+        assert!(dog.observe(0, 0).is_ok());
+        assert!(dog.observe(9, 1).is_ok());
+        assert!(dog.observe(19, 1).is_ok(), "budget counts from cycle 9");
+        assert!(dog.observe(20, 1).is_err());
+    }
+
+    #[test]
+    fn tripped_watchdog_stays_tripped() {
+        let mut dog = Watchdog::new(5, "test");
+        assert!(dog.observe(0, 0).is_ok());
+        assert!(dog.observe(6, 0).is_err());
+        // Later progress does not un-trip it.
+        assert!(dog.observe(7, 99).is_err());
+    }
+
+    #[test]
+    fn regressing_progress_counter_counts_as_stall() {
+        let mut dog = Watchdog::new(10, "test");
+        assert!(dog.observe(0, 10).is_ok());
+        assert!(dog.observe(5, 3).is_ok(), "regression is not progress");
+        assert!(dog.observe(11, 3).is_err());
+    }
+
+    #[test]
+    fn report_diagnostic_names_the_context() {
+        let mut dog = Watchdog::new(3, "multicluster barrier at cell 10");
+        dog.observe(0, 0).unwrap();
+        let report = dog.observe(100, 0).unwrap_err();
+        let msg = report.to_string();
+        assert!(msg.contains("multicluster barrier at cell 10"), "{msg}");
+        assert!(msg.contains("budget 3"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be nonzero")]
+    fn zero_budget_rejected() {
+        let _ = Watchdog::new(0, "bad");
+    }
+}

@@ -1,56 +1,68 @@
-//! Property-based tests for the simulation substrate.
-
-use proptest::prelude::*;
+//! Randomized property tests for the simulation substrate, driven by
+//! the crate's own deterministic SplitMix64 generator (no external
+//! test dependencies).
 
 use cedar_sim::event::EventQueue;
 use cedar_sim::rng::SplitMix64;
 use cedar_sim::stats::{Histogram, RunningStats};
 use cedar_sim::time::{ClockPeriod, Cycle, CycleDelta};
 
-proptest! {
-    /// Popping the event queue yields events in nondecreasing time
-    /// order, with FIFO order among equal times.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..100, 1..200)) {
+const CASES: usize = 64;
+
+/// Popping the event queue yields events in nondecreasing time order,
+/// with FIFO order among equal times.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    let mut rng = SplitMix64::new(0x51e1);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(200) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.next_below(100)).collect();
         let mut q = EventQueue::new();
         for (seq, &t) in times.iter().enumerate() {
             q.schedule(Cycle::new(t), (t, seq));
         }
         let mut last: Option<(u64, usize)> = None;
         while let Some((due, (t, seq))) = q.pop() {
-            prop_assert_eq!(due, Cycle::new(t));
+            assert_eq!(due, Cycle::new(t));
             if let Some((lt, lseq)) = last {
-                prop_assert!(t >= lt, "time order violated");
+                assert!(t >= lt, "time order violated");
                 if t == lt {
-                    prop_assert!(seq > lseq, "FIFO violated for equal times");
+                    assert!(seq > lseq, "FIFO violated for equal times");
                 }
             }
             last = Some((t, seq));
         }
     }
+}
 
-    /// Welford streaming statistics agree with the naive two-pass
-    /// computation.
-    #[test]
-    fn running_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+/// Welford streaming statistics agree with the naive two-pass
+/// computation.
+#[test]
+fn running_stats_match_naive() {
+    let mut rng = SplitMix64::new(0x51e2);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(300) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let mut s = RunningStats::new();
         xs.iter().for_each(|&x| s.record(x));
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         let scale = 1.0f64.max(mean.abs()).max(var.abs());
-        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
-        prop_assert!((s.variance() - var).abs() / scale.max(var) < 1e-6);
-        prop_assert_eq!(s.min(), xs.iter().cloned().reduce(f64::min));
-        prop_assert_eq!(s.max(), xs.iter().cloned().reduce(f64::max));
+        assert!((s.mean() - mean).abs() / scale < 1e-9);
+        assert!((s.variance() - var).abs() / scale.max(var) < 1e-6);
+        assert_eq!(s.min(), xs.iter().cloned().reduce(f64::min));
+        assert_eq!(s.max(), xs.iter().cloned().reduce(f64::max));
     }
+}
 
-    /// Merging partitioned statistics equals computing them whole.
-    #[test]
-    fn running_stats_merge_associative(
-        xs in prop::collection::vec(-1e3f64..1e3, 2..200),
-        split in 0usize..200,
-    ) {
-        let split = split % xs.len();
+/// Merging partitioned statistics equals computing them whole.
+#[test]
+fn running_stats_merge_associative() {
+    let mut rng = SplitMix64::new(0x51e3);
+    for _ in 0..CASES {
+        let len = 2 + rng.next_below(198) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| (rng.next_f64() - 0.5) * 2e3).collect();
+        let split = rng.next_below(len as u64) as usize;
         let mut whole = RunningStats::new();
         xs.iter().for_each(|&x| whole.record(x));
         let mut left = RunningStats::new();
@@ -58,41 +70,61 @@ proptest! {
         xs[..split].iter().for_each(|&x| left.record(x));
         xs[split..].iter().for_each(|&x| right.record(x));
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
-        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
     }
+}
 
-    /// Histogram totals are conserved and bin sums match.
-    #[test]
-    fn histogram_conserves_samples(xs in prop::collection::vec(0u64..200, 0..300)) {
+/// Histogram totals are conserved and bin sums match.
+#[test]
+fn histogram_conserves_samples() {
+    let mut rng = SplitMix64::new(0x51e4);
+    for _ in 0..CASES {
+        let len = rng.next_below(300) as usize;
+        let xs: Vec<u64> = (0..len).map(|_| rng.next_below(200)).collect();
         let mut h = Histogram::new(16, 8); // covers 0..128
         xs.iter().for_each(|&x| h.record(x));
         let binned: u64 = (0..16).map(|i| h.bin(i).unwrap()).sum();
-        prop_assert_eq!(binned + h.overflow(), xs.len() as u64);
-        prop_assert_eq!(h.total(), xs.len() as u64);
+        assert_eq!(binned + h.overflow(), xs.len() as u64);
+        assert_eq!(h.total(), xs.len() as u64);
         let expected_overflow = xs.iter().filter(|&&x| x >= 128).count() as u64;
-        prop_assert_eq!(h.overflow(), expected_overflow);
+        assert_eq!(h.overflow(), expected_overflow);
     }
+}
 
-    /// SplitMix64 bounded sampling is in range and deterministic.
-    #[test]
-    fn rng_bounded_and_reproducible(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// SplitMix64 bounded sampling is in range and deterministic.
+#[test]
+fn rng_bounded_and_reproducible() {
+    let mut meta = SplitMix64::new(0x51e5);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.next_below(1_000_000);
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         for _ in 0..50 {
             let x = a.next_below(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.next_below(bound));
+            assert!(x < bound);
+            assert_eq!(x, b.next_below(bound));
         }
     }
+}
 
-    /// Clock conversions round-trip: cycles -> seconds -> cycles.
-    #[test]
-    fn clock_round_trips(period_ns in 1.0f64..1000.0, cycles in 0u64..1_000_000_000) {
+/// Clock conversions round-trip: cycles -> seconds -> cycles.
+#[test]
+fn clock_round_trips() {
+    let mut rng = SplitMix64::new(0x51e6);
+    for _ in 0..CASES {
+        let period_ns = 1.0 + rng.next_f64() * 999.0;
+        let cycles = rng.next_below(1_000_000_000);
         let clk = ClockPeriod::from_nanos(period_ns);
         let secs = clk.to_seconds(CycleDelta::new(cycles));
         let back = clk.to_cycles(secs);
-        prop_assert!(back.as_u64().abs_diff(cycles) <= 1, "{} vs {}", back.as_u64(), cycles);
+        assert!(
+            back.as_u64().abs_diff(cycles) <= 1,
+            "{} vs {}",
+            back.as_u64(),
+            cycles
+        );
     }
 }

@@ -42,9 +42,24 @@ fn application(home: OperandHome, cheap_barriers: bool, unformatted: bool) -> Pr
 fn main() {
     let mut cedar = CedarSystem::new(CedarParams::paper());
     let versions: [(&str, OperandHome, bool, bool); 4] = [
-        ("naive (global, heavyweight)", OperandHome::GlobalUnprefetched, false, false),
-        ("+ compiler prefetch", OperandHome::GlobalPrefetched, false, false),
-        ("+ data distribution & cheap barriers", OperandHome::ClusterCache, true, false),
+        (
+            "naive (global, heavyweight)",
+            OperandHome::GlobalUnprefetched,
+            false,
+            false,
+        ),
+        (
+            "+ compiler prefetch",
+            OperandHome::GlobalPrefetched,
+            false,
+            false,
+        ),
+        (
+            "+ data distribution & cheap barriers",
+            OperandHome::ClusterCache,
+            true,
+            false,
+        ),
         ("+ unformatted I/O", OperandHome::ClusterCache, true, true),
     ];
     println!("Optimizing a CEDAR FORTRAN application, one transformation at a time:\n");

@@ -74,8 +74,8 @@ fn main() {
     // workstation-level stability at two exceptions.
     let cedar_ensemble = MachineEnsemble::new("Cedar", 170.0, 32, model.cedar_mflops_ensemble());
     let ymp_ensemble = MachineEnsemble::new("YMP/8", 6.0, 8, model.ymp_mflops_ensemble());
-    let clock_gap = cedar_ensemble.parallelism_clock_product()
-        / ymp_ensemble.parallelism_clock_product();
+    let clock_gap =
+        cedar_ensemble.parallelism_clock_product() / ymp_ensemble.parallelism_clock_product();
     let verdict = fppp_check(&cedar_ensemble, &ymp_ensemble, 3, clock_gap);
     println!(
         "\nFPPP: Cedar delivers {:.2}x the YMP's harmonic-mean rate with a {:.2}x\n\

@@ -15,7 +15,10 @@ fn main() {
     let mut cedar = CedarSystem::new(CedarParams::paper());
 
     println!("Global-memory contention (prefetched 32-word blocks):");
-    println!("{:>6} {:>12} {:>14} {:>12}", "CEs", "latency", "interarrival", "words/cyc");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "CEs", "latency", "interarrival", "words/cyc"
+    );
     for ces in [1usize, 8, 16, 32] {
         let profile = cedar.measure_memory(PrefetchTraffic::compiler_default(8), ces);
         println!(

@@ -24,9 +24,9 @@ fn main() {
         let auto = model.time(code, Version::Automatable);
         let manual = model.time(code, Version::Manual);
         let sync_pct = (model.time(code, Version::NoSync) / auto - 1.0) * 100.0;
-        let pref_pct =
-            (model.time(code, Version::NoPrefetch) / model.time(code, Version::NoSync) - 1.0)
-                * 100.0;
+        let pref_pct = (model.time(code, Version::NoPrefetch) / model.time(code, Version::NoSync)
+            - 1.0)
+            * 100.0;
         println!(
             "{:8} {:>9.0} {:>9.0} {:>10.0}% {:>10.0}% {:>9.1}",
             code.name,

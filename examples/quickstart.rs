@@ -43,15 +43,24 @@ fn main() {
 
     // 4. Memory-based synchronization: a ticket counter served by the
     //    memory module's synchronization processor.
-    let t0 = cedar.global_mut().sync_op(0, SyncInstruction::fetch_and_add(1));
-    let t1 = cedar.global_mut().sync_op(0, SyncInstruction::fetch_and_add(1));
-    println!("\nTest-And-Operate tickets: {} then {}", t0.old_value, t1.old_value);
+    let t0 = cedar
+        .global_mut()
+        .sync_op(0, SyncInstruction::fetch_and_add(1));
+    let t1 = cedar
+        .global_mut()
+        .sync_op(0, SyncInstruction::fetch_and_add(1));
+    println!(
+        "\nTest-And-Operate tickets: {} then {}",
+        t0.old_value, t1.old_value
+    );
 
     // 5. The performance monitor (the external measurement hardware).
     let signal = cedar.monitor_mut().signal("example.latency");
     cedar.monitor_mut().start();
     for (i, sample) in [13u32, 14, 13, 15, 13].into_iter().enumerate() {
-        cedar.monitor_mut().post(signal, Cycle::new(i as u64 * 10), sample);
+        cedar
+            .monitor_mut()
+            .post(signal, Cycle::new(i as u64 * 10), sample);
     }
     cedar.monitor_mut().stop();
     let stats = cedar.monitor().stats(signal).expect("signal exists");

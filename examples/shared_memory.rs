@@ -64,7 +64,10 @@ fn main() {
     // And the Xylem scheduler running cluster tasks over the machine,
     // event-driven.
     let mut xylem = XylemScheduler::new(4);
-    for (i, work) in [3.0e6, 1.0e6, 2.5e6, 0.5e6, 4.0e6, 1.5e6].iter().enumerate() {
+    for (i, work) in [3.0e6, 1.0e6, 2.5e6, 0.5e6, 4.0e6, 1.5e6]
+        .iter()
+        .enumerate()
+    {
         xylem.spawn(&format!("phase-{i}"), *work);
     }
     let makespan = xylem.run_event_driven();

@@ -49,6 +49,7 @@
 pub use cedar_baselines as baselines;
 pub use cedar_core as core;
 pub use cedar_cpu as cpu;
+pub use cedar_faults as faults;
 pub use cedar_kernels as kernels;
 pub use cedar_mem as mem;
 pub use cedar_metrics as metrics;

@@ -45,7 +45,10 @@ fn hotspot_and_ablations_are_deterministic() {
         cedar_bench::ablation_network::run(),
         cedar_bench::ablation_network::run()
     );
-    assert_eq!(cedar_bench::ablation_vm::run(), cedar_bench::ablation_vm::run());
+    assert_eq!(
+        cedar_bench::ablation_vm::run(),
+        cedar_bench::ablation_vm::run()
+    );
 }
 
 #[test]

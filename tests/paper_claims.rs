@@ -16,12 +16,18 @@ fn machine() -> CedarSystem {
 #[test]
 fn claim_peak_performance_figures() {
     let p = CedarParams::paper();
-    assert!((p.peak_mflops() - 376.0).abs() < 2.0, "376 MFLOPS absolute peak");
+    assert!(
+        (p.peak_mflops() - 376.0).abs() < 2.0,
+        "376 MFLOPS absolute peak"
+    );
     assert!(
         (p.effective_peak_mflops() - 274.0).abs() < 5.0,
         "274 MFLOPS effective peak"
     );
-    assert!((p.ce.peak_mflops() - 11.8).abs() < 0.1, "11.8 MFLOPS per CE");
+    assert!(
+        (p.ce.peak_mflops() - 11.8).abs() < 0.1,
+        "11.8 MFLOPS per CE"
+    );
 }
 
 #[test]
@@ -36,12 +42,21 @@ fn claim_table1_shape() {
     let cache = &t[2].1;
     let imp1 = pref[0] / nopref[0];
     let imp4 = pref[3] / nopref[3];
-    assert!((3.0..4.2).contains(&imp1), "1-cluster prefetch improvement {imp1}");
+    assert!(
+        (3.0..4.2).contains(&imp1),
+        "1-cluster prefetch improvement {imp1}"
+    );
     assert!(imp4 < imp1, "prefetch effectiveness declines with clusters");
     let cache_imp4 = cache[3] / nopref[3];
-    assert!((3.3..4.3).contains(&cache_imp4), "4-cluster cache improvement {cache_imp4}");
+    assert!(
+        (3.3..4.3).contains(&cache_imp4),
+        "4-cluster cache improvement {cache_imp4}"
+    );
     let frac = cache[3] / 274.0;
-    assert!((0.65..0.85).contains(&frac), "fraction of effective peak {frac}");
+    assert!(
+        (0.65..0.85).contains(&frac),
+        "fraction of effective peak {frac}"
+    );
 }
 
 #[test]
@@ -67,7 +82,10 @@ fn claim_table2_contention_mechanism() {
             row.kernel
         );
         assert!(row.latency[0] >= 8.0, "minimal latency is 8 cycles");
-        assert!(row.interarrival[0] >= 0.99, "minimal interarrival is ~1 cycle");
+        assert!(
+            row.interarrival[0] >= 0.99,
+            "minimal interarrival is ~1 cycle"
+        );
     }
     let rk = rows.iter().find(|r| r.kernel == "RK").unwrap();
     let others_max_latency = rows
@@ -125,7 +143,10 @@ fn claim_table5_exception_structure() {
         exceptions_to_stability(&cedar::baselines::cray1::rates()),
         Some(2)
     );
-    assert_eq!(exceptions_to_stability(&model.ymp_mflops_ensemble()), Some(6));
+    assert_eq!(
+        exceptions_to_stability(&model.ymp_mflops_ensemble()),
+        Some(6)
+    );
     let cedar_needs = exceptions_to_stability(&model.cedar_mflops_ensemble());
     assert!(
         cedar_needs.is_some_and(|e| e <= 3),
@@ -142,12 +163,20 @@ fn claim_table5_exception_structure() {
 fn claim_table6_censuses() {
     let (cedar_census, ymp_census) = cedar_bench::table6::run();
     assert_eq!(
-        (cedar_census.high, cedar_census.intermediate, cedar_census.unacceptable),
+        (
+            cedar_census.high,
+            cedar_census.intermediate,
+            cedar_census.unacceptable
+        ),
         (1, 9, 3),
         "Cedar: 1 high, 9 intermediate, 3 unacceptable"
     );
     assert_eq!(
-        (ymp_census.high, ymp_census.intermediate, ymp_census.unacceptable),
+        (
+            ymp_census.high,
+            ymp_census.intermediate,
+            ymp_census.unacceptable
+        ),
         (0, 6, 7),
         "YMP: 0 high, 6 intermediate, 7 unacceptable"
     );
@@ -189,7 +218,10 @@ fn claim_cm5_vs_cedar_per_processor_parity() {
 fn claim_trfd_vm_story() {
     let outcomes = cedar_bench::ablation_vm::run();
     let ratio = outcomes[1].faults as f64 / outcomes[0].faults as f64;
-    assert!((3.5..4.5).contains(&ratio), "almost 4x the faults, got {ratio}");
+    assert!(
+        (3.5..4.5).contains(&ratio),
+        "almost 4x the faults, got {ratio}"
+    );
     assert!(
         (0.4..0.6).contains(&outcomes[1].vm_fraction),
         "close to 50% of time in VM, got {}",
