@@ -33,6 +33,7 @@ fn main() {
             cedar_bench::fidelity32::print,
         ),
         ("Degraded-mode fault sweep", cedar_bench::degraded::print),
+        ("Request-path trace study", cedar_bench::trace::print),
     ] {
         println!("{line}\n{name}\n{line}");
         run();

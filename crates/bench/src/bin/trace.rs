@@ -1,0 +1,82 @@
+//! Request-path trace study with exporter output. Run with
+//! `cargo run --release -p cedar-bench --bin trace -- [--smoke] [--out DIR]`.
+//!
+//! Without flags: runs the full healthy + fault-injected study and
+//! prints the per-stage latency breakdown. `--out DIR` additionally
+//! writes `trace.chrome.json`, `trace.faulted.chrome.json` (load in
+//! Perfetto / `chrome://tracing`) and `trace.prom` (Prometheus text
+//! exposition) into `DIR`. `--smoke` runs a two-CE healthy study and
+//! only validates the exports — the CI guard. Exits nonzero if any
+//! export fails validation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cedar_bench::trace;
+use cedar_obs::export::{parse_prometheus, validate_json};
+
+fn validate(study: &trace::TraceStudy, label: &str) -> Result<(), String> {
+    validate_json(&study.chrome_json).map_err(|e| format!("{label}: bad Chrome JSON: {e}"))?;
+    parse_prometheus(&study.prometheus).map_err(|e| format!("{label}: bad exposition: {e}"))?;
+    if study.failed > 0 {
+        return Err(format!("{label}: {} requests abandoned", study.failed));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut smoke = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                let dir = args.next().ok_or("--out needs a directory")?;
+                out_dir = Some(PathBuf::from(dir));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    if smoke {
+        let study = trace::smoke();
+        validate(&study, "smoke")?;
+        println!(
+            "trace smoke ok: {} events, {} requests, exports validate",
+            study.events.len(),
+            study.requests
+        );
+        return Ok(());
+    }
+
+    let healthy = trace::healthy();
+    validate(&healthy, "healthy")?;
+    let faulted = trace::faulted();
+    validate(&faulted, "faulted")?;
+    trace::print();
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        for (name, data) in [
+            ("trace.chrome.json", &healthy.chrome_json),
+            ("trace.faulted.chrome.json", &faulted.chrome_json),
+            ("trace.prom", &healthy.prometheus),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, data).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

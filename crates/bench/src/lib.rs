@@ -50,6 +50,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod trace;
 pub mod whatif;
 
 use cedar_core::params::CedarParams;

@@ -1,0 +1,289 @@
+//! Request-path trace study: the Table-2 fabric experiment run with
+//! full telemetry attached.
+//!
+//! The paper instrumented Cedar with monitoring hardware ("each
+//! cluster contains a performance monitoring device") and read the
+//! numbers out after the run. This study does the software equivalent:
+//! it attaches a [`cedar_obs::Obs`] handle to the round-trip fabric,
+//! replays the compiler-default prefetch stream, and exports what the
+//! probes saw in two machine-readable formats —
+//!
+//! * **Chrome trace-event JSON** (`chrome_json`): every request as a
+//!   span track walking `request → forward_net → mem_queue →
+//!   mem_service → return_net`, with retry/abandon instants
+//!   interleaved on the same track. Load it in Perfetto or
+//!   `chrome://tracing`; network cycles appear as microseconds.
+//! * **Prometheus text exposition** (`prometheus`): the counter and
+//!   histogram registry (per-stage blocked cycles, per-module service
+//!   counts, conflict stalls, retries) in scrape format.
+//!
+//! Both outputs are deterministic: the same [`SEED`] yields the same
+//! bytes. A second run with telemetry disabled reproduces the
+//! un-instrumented experiment bit for bit — the probes are a pure
+//! overlay.
+
+use std::fmt::Write as _;
+
+use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+use cedar_net::fabric::{
+    FabricConfig, PrefetchTraffic, RoundTripFabric, SPAN_FORWARD_NET, SPAN_MEM_QUEUE,
+    SPAN_MEM_SERVICE, SPAN_REQUEST, SPAN_RETURN_NET,
+};
+use cedar_obs::trace::stage_breakdown;
+use cedar_obs::{Obs, ObsConfig, TraceEvent};
+
+/// The fault-schedule seed; same convention as the degraded-mode sweep.
+pub const SEED: u64 = 0xCEDA;
+
+/// Link-drop rate of the faulted run: high enough that retries appear
+/// on the trace, low enough that no request is abandoned.
+pub const FAULT_RATE: f64 = 0.02;
+
+/// CEs driving the full study (one Table-2 column).
+pub const CES: usize = 8;
+
+/// Network-cycle budget; faulted runs finish well inside it.
+pub const MAX_NET_CYCLES: u64 = 16_000_000;
+
+/// The stages of the request path, in path order.
+pub const STAGES: [&str; 5] = [
+    SPAN_REQUEST,
+    SPAN_FORWARD_NET,
+    SPAN_MEM_QUEUE,
+    SPAN_MEM_SERVICE,
+    SPAN_RETURN_NET,
+];
+
+/// One telemetry-instrumented run of the fabric experiment.
+#[derive(Debug, Clone)]
+pub struct TraceStudy {
+    /// Active CEs.
+    pub ces: usize,
+    /// Link-drop rate (0 = healthy).
+    pub rate: f64,
+    /// The raw span/instant events, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Chrome trace-event JSON of `events`.
+    pub chrome_json: String,
+    /// Prometheus text exposition of the metrics registry.
+    pub prometheus: String,
+    /// Requests the experiment issued.
+    pub requests: u64,
+    /// Requests reissued after a timeout.
+    pub retries: u64,
+    /// Requests abandoned after the retry budget.
+    pub failed: u64,
+    /// Mean first-word latency, CE cycles.
+    pub latency_ce: f64,
+}
+
+/// The traffic shape traced: the compiler-default prefetch stream of
+/// Table 2 (32-word blocks), kept short so the trace stays readable.
+#[must_use]
+pub fn traffic() -> PrefetchTraffic {
+    PrefetchTraffic::compiler_default(4)
+}
+
+/// Runs the fabric experiment with telemetry attached. Rate 0 runs
+/// the healthy machine; a positive rate attaches the degraded fault
+/// plan (seed [`SEED`]) with the standard retry policy.
+///
+/// # Panics
+///
+/// Panics if the run does not complete inside [`MAX_NET_CYCLES`] or
+/// the trace fails validation — both would be bugs, not load.
+#[must_use]
+pub fn run_study(ces: usize, rate: f64) -> TraceStudy {
+    let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+    if rate > 0.0 {
+        let plan = FaultPlan::generate(&FaultConfig::degraded(SEED, rate), &MachineShape::cedar())
+            .expect("study config is valid");
+        fabric.attach_faults(plan, RetryPolicy::fabric());
+    }
+    let obs = Obs::new(ObsConfig::enabled());
+    fabric.set_obs(&obs);
+    let report = fabric.run_prefetch_experiment(ces, traffic(), MAX_NET_CYCLES);
+    assert!(report.completed(), "study traffic must drain");
+    obs.validate_trace()
+        .expect("traces are balanced by construction");
+    let events = obs
+        .with(|inner| inner.trace.events().to_vec())
+        .expect("obs is enabled");
+    TraceStudy {
+        ces,
+        rate,
+        chrome_json: obs.chrome_trace(),
+        prometheus: obs.prometheus(),
+        events,
+        requests: report.request_count(),
+        retries: report.retries(),
+        failed: report.failed_requests(),
+        latency_ce: report.mean_first_word_latency_ce(),
+    }
+}
+
+/// The healthy full-size study.
+#[must_use]
+pub fn healthy() -> TraceStudy {
+    run_study(CES, 0.0)
+}
+
+/// The fault-injected full-size study: same stream, degraded fabric.
+#[must_use]
+pub fn faulted() -> TraceStudy {
+    run_study(CES, FAULT_RATE)
+}
+
+/// A two-CE healthy study, small enough for a CI smoke check.
+#[must_use]
+pub fn smoke() -> TraceStudy {
+    run_study(2, 0.0)
+}
+
+/// Renders one study's per-stage latency breakdown, path order.
+#[must_use]
+pub fn breakdown_table(study: &TraceStudy) -> String {
+    let stats = stage_breakdown(&study.events);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>8} {:>9} {:>9} {:>9}  (net cycles)",
+        "stage", "spans", "mean", "min", "max"
+    );
+    for stage in STAGES {
+        let Some(s) = stats.get(stage) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>8} {:>9.1} {:>9.0} {:>9.0}",
+            stage,
+            s.count(),
+            s.mean(),
+            s.min().unwrap_or(0.0),
+            s.max().unwrap_or(0.0),
+        );
+    }
+    out
+}
+
+/// Renders the study as text: healthy and faulted breakdowns plus the
+/// export sizes. Deterministic: the same [`SEED`] yields this exact
+/// string, byte for byte.
+#[must_use]
+pub fn report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Request-path trace study (seed {SEED:#x}, {CES} CEs, compiler prefetch stream)"
+    );
+    for (label, study) in [("healthy", healthy()), ("faulted", faulted())] {
+        let _ = writeln!(
+            out,
+            "\n{label} run (drop rate {:.2}): {} requests, {} trace events, {} retries, {} failed",
+            study.rate,
+            study.requests,
+            study.events.len(),
+            study.retries,
+            study.failed,
+        );
+        let _ = writeln!(
+            out,
+            "mean first-word latency {:.1} CE cycles; exports: {} B Chrome JSON, {} B Prometheus",
+            study.latency_ce,
+            study.chrome_json.len(),
+            study.prometheus.len(),
+        );
+        out.push_str(&breakdown_table(&study));
+    }
+    let _ = writeln!(
+        out,
+        "\nload the JSON in Perfetto / chrome://tracing; cycles render as microseconds"
+    );
+    out
+}
+
+/// Prints the study.
+pub fn print() {
+    print!("{}", report());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_obs::export::{parse_prometheus, validate_json};
+    use cedar_obs::trace::SpanPhase;
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let a = run_study(2, FAULT_RATE);
+        let b = run_study(2, FAULT_RATE);
+        assert_eq!(a.chrome_json, b.chrome_json);
+        assert_eq!(a.prometheus, b.prometheus);
+    }
+
+    #[test]
+    fn one_request_walks_at_least_four_stages() {
+        let study = smoke();
+        let tid = study.events[0].tid;
+        let begins: Vec<&str> = study
+            .events
+            .iter()
+            .filter(|e| e.tid == tid && e.phase == SpanPhase::Begin)
+            .map(|e| e.name)
+            .collect();
+        assert!(
+            begins.len() >= 4,
+            "a single request id must cross >= 4 stages, saw {begins:?}"
+        );
+        assert_eq!(begins, STAGES, "and in path order");
+    }
+
+    #[test]
+    fn exports_are_machine_readable() {
+        let study = smoke();
+        validate_json(&study.chrome_json).expect("chrome trace is valid JSON");
+        let series = parse_prometheus(&study.prometheus).expect("exposition parses");
+        assert!(
+            series.keys().any(|k| k.starts_with("cedar_fabric_module")),
+            "per-module counters are exported"
+        );
+        assert!(
+            series.keys().any(|k| k.starts_with("cedar_net_fwd_stage")),
+            "per-stage network counters are exported"
+        );
+    }
+
+    #[test]
+    fn faulted_run_interleaves_retries_on_request_tracks() {
+        let study = faulted();
+        assert!(study.retries > 0, "the fault plan must actually bite");
+        let retry = study
+            .events
+            .iter()
+            .find(|e| e.name == "retry" && e.phase == SpanPhase::Instant)
+            .expect("a retry instant is traced");
+        assert!(
+            study
+                .events
+                .iter()
+                .any(|e| e.tid == retry.tid && e.name == SPAN_REQUEST),
+            "the retry rides the same track as its request span"
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_reproduces_the_plain_experiment() {
+        let mut plain = RoundTripFabric::new(FabricConfig::cedar());
+        let baseline = plain.run_prefetch_experiment(2, traffic(), MAX_NET_CYCLES);
+        let mut observed = RoundTripFabric::new(FabricConfig::cedar());
+        observed.set_obs(&Obs::new(ObsConfig::disabled()));
+        let shadowed = observed.run_prefetch_experiment(2, traffic(), MAX_NET_CYCLES);
+        assert_eq!(
+            baseline.mean_first_word_latency_ce(),
+            shadowed.mean_first_word_latency_ce()
+        );
+        assert_eq!(baseline.words_per_ce_cycle(), shadowed.words_per_ce_cycle());
+        assert_eq!(baseline.request_count(), shadowed.request_count());
+    }
+}

@@ -15,6 +15,7 @@ use cedar_mem::cache::SharedCache;
 use cedar_mem::cluster::ClusterMemory;
 use cedar_mem::global::GlobalMemory;
 use cedar_mem::vm::VirtualMemory;
+use cedar_obs::Obs;
 use cedar_sim::monitor::PerformanceMonitor;
 use cedar_sim::time::CycleDelta;
 
@@ -70,6 +71,7 @@ pub struct CedarSystem {
     vm: VirtualMemory,
     monitor: PerformanceMonitor,
     cost_model: CostModel,
+    obs: Obs,
 }
 
 impl CedarSystem {
@@ -106,7 +108,34 @@ impl CedarSystem {
             monitor: PerformanceMonitor::new(),
             cost_model,
             params,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle to the whole machine: the global
+    /// memory's counters and every CE's prefetch unit report into it,
+    /// and the runtime layer reads it back via [`obs`]. A disabled
+    /// handle (the default) keeps every component on its
+    /// un-instrumented path.
+    ///
+    /// [`obs`]: Self::obs
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.global.set_obs(obs);
+        for cluster in &mut self.clusters {
+            for ce in &mut cluster.ces {
+                ce.prefetch_unit_mut().set_obs(obs);
+            }
+        }
+    }
+
+    /// The attached telemetry handle (disabled unless [`set_obs`] was
+    /// called with a live one).
+    ///
+    /// [`set_obs`]: Self::set_obs
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Degrades the machine with a deterministic fault plan: the cost
@@ -250,6 +279,23 @@ mod tests {
         assert_eq!(cedar.clusters()[0].ces.len(), 8);
         assert_eq!(cedar.clusters()[0].bus.ces(), 8);
         assert_eq!(cedar.vm().clusters(), 4);
+    }
+
+    #[test]
+    fn set_obs_reaches_memory_and_prefetch_units() {
+        use cedar_obs::ObsConfig;
+        let mut cedar = CedarSystem::new(CedarParams::paper());
+        let obs = Obs::new(ObsConfig::enabled());
+        cedar.set_obs(&obs);
+        cedar.global_mut().read_word(0);
+        let pfu = cedar.cluster_mut(0).ces[0].prefetch_unit_mut();
+        pfu.arm(4, 1, u64::MAX);
+        pfu.fire(0);
+        while pfu.next_request().is_some() {}
+        assert_eq!(obs.counter_value("mem.reads"), 1);
+        assert_eq!(obs.counter_value("cpu.prefetch.fired"), 1);
+        assert_eq!(obs.counter_value("cpu.prefetch.requests_issued"), 4);
+        assert!(cedar.obs().is_enabled());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! words may return out of order, and a full/empty bit per word lets
 //! the CE consume in-order without waiting for the whole block.
 
+use cedar_obs::{CounterId, Obs};
+
 use crate::ce::PAGE_BYTES;
 
 /// Capacity of the prefetch buffer in 64-bit words, per the paper.
@@ -148,6 +150,17 @@ pub struct PrefetchUnit {
     buffer: PrefetchBuffer,
     page_suspensions: u64,
     prefetches_started: u64,
+    obs: Option<PfuObs>,
+}
+
+/// Interned telemetry handles for the prefetch unit.
+#[derive(Debug, Clone)]
+struct PfuObs {
+    obs: Obs,
+    fired: CounterId,
+    issued: CounterId,
+    filled: CounterId,
+    suspensions: CounterId,
 }
 
 impl PrefetchUnit {
@@ -166,7 +179,32 @@ impl PrefetchUnit {
             buffer: PrefetchBuffer::new(),
             page_suspensions: 0,
             prefetches_started: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches a telemetry handle, interning `cpu.prefetch.fired`,
+    /// `cpu.prefetch.requests_issued`, `cpu.prefetch.words_filled` and
+    /// `cpu.prefetch.page_suspensions` counters. A handle without live
+    /// metrics detaches.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        if !obs.metrics_enabled() {
+            self.obs = None;
+            return;
+        }
+        self.obs = Some(PfuObs {
+            fired: obs.counter("cpu.prefetch.fired").expect("metrics enabled"),
+            issued: obs
+                .counter("cpu.prefetch.requests_issued")
+                .expect("metrics enabled"),
+            filled: obs
+                .counter("cpu.prefetch.words_filled")
+                .expect("metrics enabled"),
+            suspensions: obs
+                .counter("cpu.prefetch.page_suspensions")
+                .expect("metrics enabled"),
+            obs: obs.clone(),
+        });
     }
 
     /// Arms the PFU with the vector's length (in words), stride (in
@@ -208,6 +246,9 @@ impl PrefetchUnit {
         self.fresh_page = true;
         self.state = PfuState::Active;
         self.prefetches_started += 1;
+        if let Some(pfu_obs) = &self.obs {
+            pfu_obs.obs.inc(pfu_obs.fired);
+        }
     }
 
     /// Produces the next request address, or `None` if the PFU is done,
@@ -234,6 +275,9 @@ impl PrefetchUnit {
             // page. The first element after fire/resume never suspends.
             if !self.fresh_page && Self::page_of(addr) != self.current_page {
                 self.page_suspensions += 1;
+                if let Some(pfu_obs) = &self.obs {
+                    pfu_obs.obs.inc(pfu_obs.suspensions);
+                }
                 self.state = PfuState::SuspendedAtPage;
                 return None;
             }
@@ -242,6 +286,9 @@ impl PrefetchUnit {
             self.issued += 1;
             self.next_addr = addr + self.stride * 8;
             if self.mask & (1u64 << (element % 64)) != 0 {
+                if let Some(pfu_obs) = &self.obs {
+                    pfu_obs.obs.inc(pfu_obs.issued);
+                }
                 return Some(addr);
             }
             // Masked off: continue to the next element silently.
@@ -304,6 +351,20 @@ impl PrefetchUnit {
     /// Mutable access to the data buffer (the reverse network fills it).
     pub fn buffer_mut(&mut self) -> &mut PrefetchBuffer {
         &mut self.buffer
+    }
+
+    /// Marks slot `index` full with `data`, counting the completion in
+    /// the attached registry. Equivalent to `buffer_mut().fill(..)`
+    /// plus telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fill_word(&mut self, index: usize, data: u64) {
+        self.buffer.fill(index, data);
+        if let Some(pfu_obs) = &self.obs {
+            pfu_obs.obs.inc(pfu_obs.filled);
+        }
     }
 }
 
@@ -405,6 +466,26 @@ mod tests {
         pfu.fire(4096);
         assert_eq!(pfu.buffer().consume(0), None, "new prefetch invalidates");
         assert_eq!(pfu.prefetch_count(), 2);
+    }
+
+    #[test]
+    fn obs_counters_track_the_prefetch_lifecycle() {
+        let obs = Obs::new(cedar_obs::ObsConfig::enabled());
+        let mut pfu = PrefetchUnit::new();
+        pfu.set_obs(&obs);
+        let start = PAGE_BYTES - 4 * 8;
+        pfu.arm(8, 1, u64::MAX);
+        pfu.fire(start);
+        while pfu.next_request().is_some() {}
+        assert!(pfu.is_suspended());
+        pfu.resume_at(PAGE_BYTES);
+        while pfu.next_request().is_some() {}
+        pfu.fill_word(0, 42);
+        assert_eq!(obs.counter_value("cpu.prefetch.fired"), 1);
+        assert_eq!(obs.counter_value("cpu.prefetch.requests_issued"), 8);
+        assert_eq!(obs.counter_value("cpu.prefetch.page_suspensions"), 1);
+        assert_eq!(obs.counter_value("cpu.prefetch.words_filled"), 1);
+        assert_eq!(pfu.buffer().consume(0), Some(42));
     }
 
     #[test]

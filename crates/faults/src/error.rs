@@ -87,6 +87,7 @@ mod tests {
             now: 100,
             budget: 10,
             progress: 3,
+            last_span: Some("mem_service".into()),
         };
         let e: CedarError = report.clone().into();
         assert_eq!(e, CedarError::Stalled(report));

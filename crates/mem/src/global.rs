@@ -12,6 +12,7 @@
 //! tracks per-module service occupancy for the timing layer.
 
 use cedar_faults::FaultPlan;
+use cedar_obs::{CounterId, Obs};
 
 use crate::address::WORD_BYTES;
 use crate::sync::{SyncInstruction, SyncOutcome};
@@ -60,6 +61,23 @@ pub struct GlobalMemory {
     /// Attached fault schedule; `None` (the default, or a benign plan)
     /// leaves every operation bit-identical to the healthy memory.
     faults: Option<FaultPlan>,
+    /// Attached telemetry handles; `None` keeps every operation on its
+    /// un-instrumented path.
+    obs: Option<GmObs>,
+}
+
+/// Interned telemetry handles for the global memory.
+#[derive(Debug, Clone)]
+struct GmObs {
+    obs: Obs,
+    reads: CounterId,
+    writes: CounterId,
+    sync_ops: CounterId,
+    sync_lost: CounterId,
+    /// Per-module sync counters, exposing hot synchronization cells in
+    /// the exported registry the way `sync_ops_per_module` does in
+    /// code.
+    sync_per_module: Vec<CounterId>,
 }
 
 impl GlobalMemory {
@@ -92,7 +110,33 @@ impl GlobalMemory {
             sync_per_module: vec![0; modules],
             sync_lost: 0,
             faults: None,
+            obs: None,
         }
+    }
+
+    /// Attaches a telemetry handle, interning `mem.reads`,
+    /// `mem.writes`, `mem.sync_ops`, `mem.sync_lost` and per-module
+    /// `mem.module<m>.sync_ops` counters. A handle without live
+    /// metrics detaches, leaving every operation bit-identical to an
+    /// un-instrumented memory.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        if !obs.metrics_enabled() {
+            self.obs = None;
+            return;
+        }
+        self.obs = Some(GmObs {
+            reads: obs.counter("mem.reads").expect("metrics enabled"),
+            writes: obs.counter("mem.writes").expect("metrics enabled"),
+            sync_ops: obs.counter("mem.sync_ops").expect("metrics enabled"),
+            sync_lost: obs.counter("mem.sync_lost").expect("metrics enabled"),
+            sync_per_module: (0..self.modules)
+                .map(|m| {
+                    obs.counter(&format!("mem.module{m:02}.sync_ops"))
+                        .expect("metrics enabled")
+                })
+                .collect(),
+            obs: obs.clone(),
+        });
     }
 
     /// Attaches a fault schedule governing lost synchronization
@@ -149,6 +193,9 @@ impl GlobalMemory {
     /// Panics if `index` is out of range.
     pub fn read_word(&mut self, index: u64) -> u64 {
         self.reads += 1;
+        if let Some(gm_obs) = &self.obs {
+            gm_obs.obs.inc(gm_obs.reads);
+        }
         self.words[index as usize]
     }
 
@@ -161,6 +208,9 @@ impl GlobalMemory {
     /// Panics if `index` is out of range.
     pub fn write_word(&mut self, index: u64, value: u64) {
         self.writes += 1;
+        if let Some(gm_obs) = &self.obs {
+            gm_obs.obs.inc(gm_obs.writes);
+        }
         self.words[index as usize] = value;
     }
 
@@ -182,12 +232,19 @@ impl GlobalMemory {
         self.sync_ops += 1;
         let module = self.module_of_word(index);
         self.sync_per_module[module] += 1;
+        if let Some(gm_obs) = &self.obs {
+            gm_obs.obs.inc(gm_obs.sync_ops);
+            gm_obs.obs.inc(gm_obs.sync_per_module[module]);
+        }
         let word = &mut self.words[index as usize];
         let mut cell = *word as u32 as i32;
         let outcome = instr.execute(&mut cell);
         if let Some(plan) = &self.faults {
             if plan.sync_update_lost(module, index, op_index) {
                 self.sync_lost += 1;
+                if let Some(gm_obs) = &self.obs {
+                    gm_obs.obs.inc(gm_obs.sync_lost);
+                }
                 return outcome;
             }
         }
@@ -206,6 +263,9 @@ impl GlobalMemory {
         let s = src as usize;
         dst.copy_from_slice(&self.words[s..s + dst.len()]);
         self.reads += dst.len() as u64;
+        if let Some(gm_obs) = &self.obs {
+            gm_obs.obs.add(gm_obs.reads, dst.len() as u64);
+        }
     }
 
     /// Copies a slice into global memory starting at `dst` — the
@@ -218,6 +278,9 @@ impl GlobalMemory {
         let d = dst as usize;
         self.words[d..d + src.len()].copy_from_slice(src);
         self.writes += src.len() as u64;
+        if let Some(gm_obs) = &self.obs {
+            gm_obs.obs.add(gm_obs.writes, src.len() as u64);
+        }
     }
 
     /// Total word reads served.
@@ -264,6 +327,35 @@ mod tests {
         gm.write_word(3, 99);
         assert_eq!(gm.read_word(3), 99);
         assert_eq!(gm.read_word(4), 0, "untouched words are zero");
+    }
+
+    #[test]
+    fn obs_counters_mirror_the_internal_tallies() {
+        let obs = Obs::new(cedar_obs::ObsConfig::enabled());
+        let mut gm = GlobalMemory::with_words_and_modules(64, 4);
+        gm.set_obs(&obs);
+        gm.write_word(3, 7);
+        gm.read_word(3);
+        gm.copy_in(8, &[1, 2, 3]);
+        let mut out = [0u64; 2];
+        gm.copy_out(8, &mut out);
+        gm.sync_op(5, SyncInstruction::fetch_and_add(1));
+        gm.sync_op(5, SyncInstruction::fetch_and_add(1));
+        let value = |name: &str| obs.counter_value(name);
+        assert_eq!(value("mem.reads"), gm.read_count());
+        assert_eq!(value("mem.writes"), gm.write_count());
+        assert_eq!(value("mem.sync_ops"), 2);
+        assert_eq!(value("mem.module01.sync_ops"), 2);
+        assert_eq!(value("mem.sync_lost"), 0);
+    }
+
+    #[test]
+    fn disabled_obs_handle_detaches() {
+        let mut gm = GlobalMemory::with_words(64);
+        gm.set_obs(&Obs::disabled());
+        assert!(gm.obs.is_none());
+        gm.write_word(0, 1);
+        assert_eq!(gm.read_word(0), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use cedar_faults::{CedarError, FaultPlan, NetDirection, RetryPolicy};
+use cedar_obs::{CounterId, Obs};
 use cedar_sim::rng::SplitMix64;
 use cedar_sim::watchdog::Watchdog;
 
@@ -231,6 +232,55 @@ impl PrefetchTraffic {
     }
 }
 
+/// Span names of a request's life through the fabric, in path order.
+/// A traced request opens [`SPAN_REQUEST`] at issue and then walks
+/// exactly one of these inner stages at a time, so its Perfetto track
+/// reads issue → forward net → module queue → module service → return
+/// net.
+pub const SPAN_REQUEST: &str = "request";
+/// Address packet traversing the forward omega network.
+pub const SPAN_FORWARD_NET: &str = "forward_net";
+/// Request queued in the memory module's input buffer (bank conflict:
+/// time here is time lost to another request occupying the bank).
+pub const SPAN_MEM_QUEUE: &str = "mem_queue";
+/// Memory module busy serving the request.
+pub const SPAN_MEM_SERVICE: &str = "mem_service";
+/// Reply traversing the reverse omega network back to the CE.
+pub const SPAN_RETURN_NET: &str = "return_net";
+
+/// Interned metric handles for the fabric's own counters (the two
+/// networks intern theirs in [`OmegaNetwork::set_obs`]).
+#[derive(Debug)]
+struct FabricMetricIds {
+    /// Requests served, per module.
+    served: Vec<CounterId>,
+    /// Cycles a module was busy while requests waited in its buffer —
+    /// the bank-conflict stall signal.
+    conflict_stall_cycles: CounterId,
+    /// Cycles a finished reply could not enter the reverse network.
+    reply_inject_blocked: CounterId,
+    reads_issued: CounterId,
+    writes_issued: CounterId,
+    retries: CounterId,
+    abandoned: CounterId,
+}
+
+/// Telemetry state attached to the fabric by [`RoundTripFabric::set_obs`].
+#[derive(Debug)]
+struct FabricObs {
+    obs: Obs,
+    /// Cached `obs.tracing_enabled()`, checked in hot paths.
+    tracing: bool,
+    metrics: Option<FabricMetricIds>,
+    /// Currently open inner stage per in-flight traced request id.
+    /// Transitions fire only when the open stage matches the expected
+    /// predecessor, which keeps the span stream balanced even when
+    /// faults duplicate or reorder a packet's milestones.
+    open: BTreeMap<u64, &'static str>,
+    /// Last span reported to the watchdog, to avoid re-formatting.
+    last_noted: Option<(&'static str, u64)>,
+}
+
 /// One request's life cycle, in network cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestRecord {
@@ -340,6 +390,10 @@ pub struct RoundTripFabric {
     retry: RetryPolicy,
     /// Words and requests destroyed at fail-stopped modules.
     module_discards: u64,
+    /// Attached telemetry; `None` (the default, or a disabled handle)
+    /// leaves every code path bit-identical to the un-instrumented
+    /// fabric.
+    obs: Option<FabricObs>,
 }
 
 /// A request awaiting its reply under fault injection, for the
@@ -417,7 +471,169 @@ impl RoundTripFabric {
             faults: None,
             retry: RetryPolicy::fabric(),
             module_discards: 0,
+            obs: None,
         })
+    }
+
+    /// Attaches a telemetry handle to the fabric and both of its
+    /// networks (labelled `fwd` / `rev`). With metrics live, the
+    /// fabric interns per-module served counters
+    /// (`fabric.module<m>.served`), the bank-conflict stall counter
+    /// (`fabric.module_conflict_stall_cycles`) and issue/retry
+    /// counters; with tracing live, every read request is followed
+    /// through `request` / `forward_net` / `mem_queue` /
+    /// `mem_service` / `return_net` spans with fault events
+    /// interleaved on the same track. A disabled handle detaches.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.forward.set_obs(obs, "fwd");
+        self.reverse.set_obs(obs, "rev");
+        if !obs.is_enabled() {
+            self.obs = None;
+            return;
+        }
+        let metrics = obs.metrics_enabled().then(|| FabricMetricIds {
+            served: (0..self.cfg.mem_modules)
+                .map(|m| {
+                    obs.counter(&format!("fabric.module{m:02}.served"))
+                        .expect("metrics enabled")
+                })
+                .collect(),
+            conflict_stall_cycles: obs
+                .counter("fabric.module_conflict_stall_cycles")
+                .expect("metrics enabled"),
+            reply_inject_blocked: obs
+                .counter("fabric.reply_inject_blocked")
+                .expect("metrics enabled"),
+            reads_issued: obs.counter("fabric.reads_issued").expect("metrics enabled"),
+            writes_issued: obs
+                .counter("fabric.writes_issued")
+                .expect("metrics enabled"),
+            retries: obs.counter("fabric.retries").expect("metrics enabled"),
+            abandoned: obs
+                .counter("fabric.requests_abandoned")
+                .expect("metrics enabled"),
+        });
+        self.obs = Some(FabricObs {
+            tracing: obs.tracing_enabled(),
+            metrics,
+            open: BTreeMap::new(),
+            last_noted: None,
+            obs: obs.clone(),
+        });
+    }
+
+    /// Opens the `request` + `forward_net` spans for a newly issued
+    /// read.
+    fn trace_issue(&mut self, id: u64) {
+        let now = self.now;
+        let Some(fobs) = self.obs.as_mut() else {
+            return;
+        };
+        if !fobs.tracing {
+            return;
+        }
+        let pid = id >> 40;
+        fobs.obs.span_begin(pid, id, SPAN_REQUEST, now);
+        fobs.obs.span_begin(pid, id, SPAN_FORWARD_NET, now);
+        fobs.open.insert(id, SPAN_FORWARD_NET);
+    }
+
+    /// Advances a traced request from stage `from` to stage `to`. A
+    /// no-op unless `from` is the currently open stage — duplicate
+    /// milestones from fault-path packet copies are thereby ignored
+    /// and the stream stays balanced.
+    fn trace_transition(&mut self, id: u64, from: &'static str, to: &'static str) {
+        let now = self.now;
+        let Some(fobs) = self.obs.as_mut() else {
+            return;
+        };
+        if !fobs.tracing || fobs.open.get(&id) != Some(&from) {
+            return;
+        }
+        let pid = id >> 40;
+        fobs.obs.span_end(pid, id, from, now);
+        fobs.obs.span_begin(pid, id, to, now);
+        fobs.open.insert(id, to);
+    }
+
+    /// Closes a traced request's open stage and its outer span,
+    /// optionally recording a final instant (`"abandoned"`).
+    fn trace_close(&mut self, id: u64, marker: Option<(&'static str, u64)>) {
+        let now = self.now;
+        let Some(fobs) = self.obs.as_mut() else {
+            return;
+        };
+        let Some(stage) = fobs.open.remove(&id) else {
+            return;
+        };
+        let pid = id >> 40;
+        if let Some((name, value)) = marker {
+            fobs.obs
+                .span_instant(pid, id, name, now, Some(("attempt", value)));
+        }
+        fobs.obs.span_end(pid, id, stage, now);
+        fobs.obs.span_end(pid, id, SPAN_REQUEST, now);
+    }
+
+    /// Marks a retry on the request's track and re-enters the
+    /// `forward_net` stage (whatever stage the lost copy last reached
+    /// is closed first, so the track shows where the original died).
+    fn trace_retry(&mut self, id: u64, attempt: u64) {
+        let now = self.now;
+        let Some(fobs) = self.obs.as_mut() else {
+            return;
+        };
+        if !fobs.tracing {
+            return;
+        }
+        let pid = id >> 40;
+        fobs.obs
+            .span_instant(pid, id, "retry", now, Some(("attempt", attempt)));
+        if let Some(stage) = fobs.open.get(&id).copied() {
+            fobs.obs.span_end(pid, id, stage, now);
+        }
+        fobs.obs.span_begin(pid, id, SPAN_FORWARD_NET, now);
+        fobs.open.insert(id, SPAN_FORWARD_NET);
+    }
+
+    /// Closes every span still open (in-flight requests at the end of
+    /// a run, or everything when a watchdog aborts mid-flight), so the
+    /// exported stream is always balanced.
+    fn trace_close_dangling(&mut self) {
+        let now = self.now;
+        let Some(fobs) = self.obs.as_mut() else {
+            return;
+        };
+        for (id, stage) in std::mem::take(&mut fobs.open) {
+            let pid = id >> 40;
+            fobs.obs.span_end(pid, id, stage, now);
+            fobs.obs.span_end(pid, id, SPAN_REQUEST, now);
+        }
+    }
+
+    /// Feeds the most recently opened span to the watchdog so a
+    /// `Stalled` diagnostic names the stage where progress died, not
+    /// just the experiment label. Formats only when the span changed.
+    fn note_span_to_watchdog(&mut self, dog: &mut Watchdog) {
+        let Some(fobs) = self.obs.as_mut() else {
+            return;
+        };
+        let current = fobs.obs.last_span();
+        if let Some((name, tid)) = current {
+            if current != fobs.last_noted {
+                dog.note_span(format!("{name} (packet {tid})"));
+                fobs.last_noted = current;
+            }
+        }
+    }
+
+    /// Adds `n` to a fabric metric counter, if metrics are live.
+    fn metric_add(&mut self, pick: impl Fn(&FabricMetricIds) -> CounterId, n: u64) {
+        if let Some(fobs) = &self.obs {
+            if let Some(ids) = &fobs.metrics {
+                fobs.obs.add(pick(ids), n);
+            }
+        }
     }
 
     /// Attaches a fault schedule to both networks and the memory
@@ -574,9 +790,18 @@ impl RoundTripFabric {
             if let Some(dog) = watchdog.as_deref_mut() {
                 let resolved =
                     completed_requests + recovery.as_ref().map_or(0, |r| r.failed_requests);
-                dog.observe(self.now, resolved)?;
+                if self.obs.is_some() {
+                    self.note_span_to_watchdog(dog);
+                }
+                if let Err(report) = dog.observe(self.now, resolved) {
+                    // Balance the trace before aborting so the export
+                    // of a stalled run still loads.
+                    self.trace_close_dangling();
+                    return Err(report.into());
+                }
             }
         }
+        self.trace_close_dangling();
 
         let rec = recovery.unwrap_or_default();
         Ok(FabricReport {
@@ -609,9 +834,12 @@ impl RoundTripFabric {
             };
             if entry.attempts > self.retry.max_retries {
                 let packet = entry.packet;
+                let attempts = entry.attempts;
                 rec.pending.remove(&id);
                 rec.failed_requests += 1;
                 Self::abandon_request(&mut sources[packet.src], id);
+                self.trace_close(id, Some(("abandoned", u64::from(attempts))));
+                self.metric_add(|ids| ids.abandoned, 1);
                 continue;
             }
             let mut packet = entry.packet;
@@ -624,8 +852,11 @@ impl RoundTripFabric {
             if self.forward.try_inject(packet) {
                 rec.retries += 1;
                 entry.attempts += 1;
+                let attempts = entry.attempts;
                 rec.timers
-                    .push(Reverse((self.now + self.retry.delay(entry.attempts), id)));
+                    .push(Reverse((self.now + self.retry.delay(attempts), id)));
+                self.trace_retry(id, u64::from(attempts));
+                self.metric_add(|ids| ids.retries, 1);
             } else {
                 // Injection FIFO full: retry next cycle without
                 // spending an attempt.
@@ -686,13 +917,19 @@ impl RoundTripFabric {
             if let Some(reply) = self.modules[m].outgoing.take() {
                 if !self.reverse.try_inject(reply) {
                     self.modules[m].outgoing = Some(reply);
+                    if self.obs.is_some() {
+                        self.metric_add(|ids| ids.reply_inject_blocked, 1);
+                    }
                     continue; // cannot start new service while blocked
+                }
+                if self.obs.is_some() {
+                    self.trace_transition(reply.id.0, SPAN_MEM_SERVICE, SPAN_RETURN_NET);
                 }
             }
             // Start serving the next request when free.
-            let module = &mut self.modules[m];
-            if self.now >= module.busy_until {
-                if let Some(request) = module.pending.pop_front() {
+            if self.now >= self.modules[m].busy_until {
+                if let Some(request) = self.modules[m].pending.pop_front() {
+                    let module = &mut self.modules[m];
                     module.busy_until = self.now + self.cfg.mem_service_net_cycles;
                     module.served += 1;
                     if let Some(reply) = request.reply() {
@@ -702,7 +939,15 @@ impl RoundTripFabric {
                         // since injection requires the module free).
                         module.outgoing = Some(reply);
                     }
+                    if self.obs.is_some() {
+                        self.metric_add(|ids| ids.served[m], 1);
+                        self.trace_transition(request.id.0, SPAN_MEM_QUEUE, SPAN_MEM_SERVICE);
+                    }
                 }
+            } else if self.obs.is_some() && !self.modules[m].pending.is_empty() {
+                // Bank conflict: a request is waiting while the module
+                // serves another.
+                self.metric_add(|ids| ids.conflict_stall_cycles, 1);
             }
         }
     }
@@ -710,11 +955,13 @@ impl RoundTripFabric {
     /// Accumulates words of (possibly multi-word) request packets.
     fn accept_word(&mut self, m: usize, word: Word) {
         let slot = &mut self.partial[m];
+        let mut arrived = None;
         match slot {
             None => {
                 debug_assert!(word.is_head(), "packet must start with its header");
                 if word.is_tail() {
                     self.modules[m].pending.push_back(word.packet);
+                    arrived = Some(word.packet.id);
                 } else {
                     *slot = Some((word.packet, 1));
                 }
@@ -726,7 +973,13 @@ impl RoundTripFabric {
                     let packet = *packet;
                     *slot = None;
                     self.modules[m].pending.push_back(packet);
+                    arrived = Some(packet.id);
                 }
+            }
+        }
+        if self.obs.is_some() {
+            if let Some(id) = arrived {
+                self.trace_transition(id.0, SPAN_FORWARD_NET, SPAN_MEM_QUEUE);
             }
         }
     }
@@ -770,6 +1023,9 @@ impl RoundTripFabric {
                 src.records.push(record);
                 src.outstanding -= 1;
                 completed += 1;
+                if self.obs.is_some() {
+                    self.trace_close(word.packet.id.0, None);
+                }
             }
         }
         completed
@@ -811,6 +1067,9 @@ impl RoundTripFabric {
                         if self.forward.try_inject(write) {
                             src.write_debt -= 1.0;
                             src.writes_issued += 1;
+                            if self.obs.is_some() {
+                                self.metric_add(|ids| ids.writes_issued, 1);
+                            }
                         }
                     }
                     continue;
@@ -841,6 +1100,10 @@ impl RoundTripFabric {
             if self.forward.try_inject(packet) {
                 debug_assert_eq!(src.issued_at.len() as u64, local);
                 src.issued_at.push(self.now);
+                if self.obs.is_some() {
+                    self.metric_add(|ids| ids.reads_issued, 1);
+                    self.trace_issue(packet.id.0);
+                }
                 if let Some(rec) = rec.as_deref_mut() {
                     rec.pending.insert(
                         packet.id.0,
@@ -1311,6 +1574,149 @@ mod tests {
         cfg.mem_modules = 0;
         let err = RoundTripFabric::try_new(cfg).unwrap_err();
         assert!(err.to_string().contains("fabric.mem_modules"), "{err}");
+    }
+
+    mod obs {
+        use super::*;
+        use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+        use cedar_obs::trace::SpanPhase;
+        use cedar_obs::{Obs, ObsConfig};
+
+        #[test]
+        fn a_request_traces_through_the_full_path() {
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            let obs = Obs::new(ObsConfig::enabled());
+            fabric.set_obs(&obs);
+            let report = fabric.run_prefetch_experiment(2, small_traffic(), 1_000_000);
+            assert!(report.completed());
+            obs.validate_trace().unwrap();
+            // Pick the first traced request and collect its stage names.
+            let events = obs.with(|inner| inner.trace.events().to_vec()).unwrap();
+            let tid = events[0].tid;
+            let begins: Vec<&str> = events
+                .iter()
+                .filter(|e| e.tid == tid && e.phase == SpanPhase::Begin)
+                .map(|e| e.name)
+                .collect();
+            assert_eq!(
+                begins,
+                [
+                    SPAN_REQUEST,
+                    SPAN_FORWARD_NET,
+                    SPAN_MEM_QUEUE,
+                    SPAN_MEM_SERVICE,
+                    SPAN_RETURN_NET
+                ],
+                "one request walks every stage in path order"
+            );
+            // Every request's track is individually balanced.
+            let ends = events
+                .iter()
+                .filter(|e| e.tid == tid && e.phase == SpanPhase::End)
+                .count();
+            assert_eq!(ends, begins.len());
+        }
+
+        #[test]
+        fn metrics_capture_issue_and_service_counts() {
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            let obs = Obs::new(ObsConfig::metrics_only());
+            fabric.set_obs(&obs);
+            let report = fabric.run_prefetch_experiment(2, small_traffic(), 1_000_000);
+            let expected = 2 * 4 * 32;
+            assert_eq!(report.request_count(), expected);
+            assert_eq!(obs.counter_value("fabric.reads_issued"), expected);
+            let served = obs.with(|i| i.metrics.rollup("fabric.module")).unwrap();
+            assert!(
+                served >= expected,
+                "every read is served at least once: {served}"
+            );
+            assert!(
+                obs.counter_value("fabric.module_conflict_stall_cycles") > 0,
+                "two CEs over shared modules must collide sometimes"
+            );
+        }
+
+        #[test]
+        fn faulted_run_shows_retries_on_the_request_track() {
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            let plan = FaultPlan::generate(
+                &FaultConfig::link_noise(0xBAD, 0.02),
+                &MachineShape::cedar(),
+            )
+            .unwrap();
+            fabric.attach_faults(plan, RetryPolicy::fabric());
+            let obs = Obs::new(ObsConfig::enabled());
+            fabric.set_obs(&obs);
+            let report = fabric.run_prefetch_experiment(4, small_traffic(), 8_000_000);
+            assert!(report.retries() > 0, "the fault must actually fire");
+            obs.validate_trace().unwrap();
+            let events = obs.with(|inner| inner.trace.events().to_vec()).unwrap();
+            let retry = events
+                .iter()
+                .find(|e| e.name == "retry" && e.phase == SpanPhase::Instant)
+                .expect("retry instants recorded");
+            // The same track also carries the request's spans: the
+            // retry marker sits on the request's own row.
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.tid == retry.tid && e.name == SPAN_REQUEST),
+                "retry marker shares its track with the request spans"
+            );
+            assert_eq!(retry.arg, Some(("attempt", 2)), "first retry is attempt 2");
+        }
+
+        #[test]
+        fn instrumentation_is_a_pure_overlay_on_the_simulation() {
+            let mut plain = RoundTripFabric::new(FabricConfig::cedar());
+            let baseline = plain.run_prefetch_experiment(4, small_traffic(), 1_000_000);
+
+            let mut disabled = RoundTripFabric::new(FabricConfig::cedar());
+            disabled.set_obs(&Obs::new(ObsConfig::disabled()));
+            assert_eq!(
+                disabled.run_prefetch_experiment(4, small_traffic(), 1_000_000),
+                baseline,
+                "disabled handle is bit-identical"
+            );
+
+            let mut traced = RoundTripFabric::new(FabricConfig::cedar());
+            traced.set_obs(&Obs::new(ObsConfig::enabled()));
+            assert_eq!(
+                traced.run_prefetch_experiment(4, small_traffic(), 1_000_000),
+                baseline,
+                "full telemetry observes without perturbing"
+            );
+        }
+
+        #[test]
+        fn stalled_watchdog_report_names_the_last_span() {
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            let plan =
+                FaultPlan::generate(&FaultConfig::link_noise(3, 1.0), &MachineShape::cedar())
+                    .unwrap();
+            fabric.attach_faults(
+                plan,
+                RetryPolicy {
+                    base_delay_cycles: 1 << 30,
+                    max_retries: 1,
+                    max_delay_cycles: 1 << 30,
+                },
+            );
+            let obs = Obs::new(ObsConfig::enabled());
+            fabric.set_obs(&obs);
+            let mut dog = Watchdog::new(20_000, "traced degraded experiment");
+            let err = fabric
+                .run_watched_experiment(2, small_traffic(), 8_000_000, &mut dog)
+                .unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("last span seen:") && msg.contains("packet"),
+                "stall diagnostic should point at a span: {msg}"
+            );
+            obs.validate_trace()
+                .expect("aborted run still exports a balanced trace");
+        }
     }
 
     mod degraded {

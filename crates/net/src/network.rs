@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use cedar_faults::{CedarError, FaultPlan, NetDirection};
+use cedar_obs::{CounterId, HistogramId, Obs};
 
 use crate::config::NetworkConfig;
 use crate::packet::{Packet, Word};
@@ -23,6 +24,25 @@ use crate::topology::{Hop, Topology};
 /// small buffer between a CE (or memory module) and its network port;
 /// sources see backpressure through [`OmegaNetwork::try_inject`].
 pub const INJECT_FIFO_WORDS: usize = 8;
+
+/// Interned telemetry handles for one network, built once by
+/// [`OmegaNetwork::set_obs`] so the per-cycle loops update counters by
+/// index instead of by name.
+#[derive(Debug)]
+struct NetObs {
+    obs: Obs,
+    /// Per-stage count of transfers that had a word ready but could
+    /// not move it (downstream queue full or fault-blocked output).
+    blocked: Vec<CounterId>,
+    /// Words refused at the exit because the consumer-side FIFO was
+    /// full (consumer congestion backing into the net).
+    exit_blocked: CounterId,
+    /// Words lost to injected link faults.
+    dropped: CounterId,
+    /// Per-stage distribution of total buffered words, sampled once
+    /// per network cycle.
+    occupancy: Vec<HistogramId>,
+}
 
 /// A packet that has fully exited the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +91,10 @@ pub struct OmegaNetwork {
     /// attaching a benign plan) leaves every code path bit-identical
     /// to the healthy network.
     faults: Option<FaultPlan>,
+    /// Attached telemetry. `None` (the default, and the result of
+    /// attaching a handle without live metrics) keeps every per-cycle
+    /// loop on its un-instrumented path.
+    obs: Option<NetObs>,
 }
 
 impl OmegaNetwork {
@@ -115,7 +139,56 @@ impl OmegaNetwork {
             words_dropped: 0,
             direction: NetDirection::Forward,
             faults: None,
+            obs: None,
         })
+    }
+
+    /// Attaches a telemetry handle under `label` (e.g. `"fwd"` /
+    /// `"rev"`), interning this network's counters and histograms up
+    /// front: `net.<label>.stage<i>.blocked_transfers`,
+    /// `net.<label>.stage<i>.occupancy_words`,
+    /// `net.<label>.exit_blocked` and `net.<label>.words_dropped`.
+    /// A handle without live metrics is discarded, leaving the
+    /// per-cycle loops bit-identical to an un-instrumented network.
+    pub fn set_obs(&mut self, obs: &Obs, label: &str) {
+        if !obs.metrics_enabled() {
+            self.obs = None;
+            return;
+        }
+        let queue_words = self.cfg.queue_words;
+        let radix = self.cfg.radix;
+        let switches = self.topo.switches_per_stage();
+        // Worst case per stage: every input and output queue full.
+        let max_words = switches * radix * queue_words * 2;
+        let bins = 32usize;
+        let bin_width = ((max_words / bins) + 1) as u64;
+        let blocked = (0..self.cfg.stages)
+            .map(|s| {
+                obs.counter(&format!("net.{label}.stage{s}.blocked_transfers"))
+                    .expect("metrics enabled")
+            })
+            .collect();
+        let occupancy = (0..self.cfg.stages)
+            .map(|s| {
+                obs.histogram(
+                    &format!("net.{label}.stage{s}.occupancy_words"),
+                    bins,
+                    bin_width,
+                )
+                .expect("metrics enabled")
+            })
+            .collect();
+        self.obs = Some(NetObs {
+            blocked,
+            exit_blocked: obs
+                .counter(&format!("net.{label}.exit_blocked"))
+                .expect("metrics enabled"),
+            dropped: obs
+                .counter(&format!("net.{label}.words_dropped"))
+                .expect("metrics enabled"),
+            occupancy,
+            obs: obs.clone(),
+        });
     }
 
     /// Attaches a fault schedule, declaring which direction this
@@ -217,6 +290,22 @@ impl OmegaNetwork {
             }
         }
         self.injection();
+        if self.obs.is_some() {
+            self.sample_occupancy();
+        }
+    }
+
+    /// Records each stage's total buffered words into its occupancy
+    /// histogram. Only called when telemetry is attached.
+    fn sample_occupancy(&mut self) {
+        let Some(net_obs) = &self.obs else { return };
+        for (stage, &hist) in self.stages.iter().zip(&net_obs.occupancy) {
+            let words: usize = stage
+                .iter()
+                .map(|sw| sw.words_in_inputs() + sw.words_in_outputs())
+                .sum();
+            net_obs.obs.record(hist, words as u64);
+        }
     }
 
     /// Moves words from final-stage switch outputs to the exit FIFOs
@@ -233,15 +322,28 @@ impl OmegaNetwork {
                     Hop::Switch { .. } => unreachable!("last stage exits the network"),
                 };
                 if !self.output_open(last, sw_idx, out_port) {
+                    if let Some(net_obs) = &self.obs {
+                        if self.stages[last][sw_idx].peek_output(out_port).is_some() {
+                            net_obs.obs.inc(net_obs.blocked[last]);
+                        }
+                    }
                     continue;
                 }
                 if self.exit_fifo[pos].len() >= self.cfg.exit_fifo_words {
+                    if let Some(net_obs) = &self.obs {
+                        if self.stages[last][sw_idx].peek_output(out_port).is_some() {
+                            net_obs.obs.inc(net_obs.exit_blocked);
+                        }
+                    }
                     continue;
                 }
                 if let Some(&word) = self.stages[last][sw_idx].peek_output(out_port) {
                     if self.link_eats(last, sw_idx, out_port, word) {
                         let _ = self.stages[last][sw_idx].pop_output(out_port);
                         self.words_dropped += 1;
+                        if let Some(net_obs) = &self.obs {
+                            net_obs.obs.inc(net_obs.dropped);
+                        }
                         continue;
                     }
                     let word = self.stages[last][sw_idx]
@@ -271,12 +373,20 @@ impl OmegaNetwork {
                         unreachable!("non-final stage feeds a switch");
                     };
                     if !self.output_open(s, sw_idx, out_port) {
+                        if let Some(net_obs) = &self.obs {
+                            if self.stages[s][sw_idx].peek_output(out_port).is_some() {
+                                net_obs.obs.inc(net_obs.blocked[s]);
+                            }
+                        }
                         continue;
                     }
                     let Some(&word) = self.stages[s][sw_idx].peek_output(out_port) else {
                         continue;
                     };
                     if !self.stages[s + 1][next_sw].can_accept(next_in) {
+                        if let Some(net_obs) = &self.obs {
+                            net_obs.obs.inc(net_obs.blocked[s]);
+                        }
                         continue;
                     }
                     let word_taken = self.stages[s][sw_idx]
@@ -284,6 +394,9 @@ impl OmegaNetwork {
                         .expect("peeked word");
                     if self.link_eats(s, sw_idx, out_port, word) {
                         self.words_dropped += 1;
+                        if let Some(net_obs) = &self.obs {
+                            net_obs.obs.inc(net_obs.dropped);
+                        }
                         continue;
                     }
                     let accepted = self.stages[s + 1][next_sw].try_accept(next_in, word_taken);
@@ -583,6 +696,54 @@ mod tests {
         cfg.radix = 6;
         let err = OmegaNetwork::try_new(cfg).unwrap_err();
         assert!(err.to_string().contains("net.radix"), "{err}");
+    }
+
+    mod obs {
+        use super::*;
+        use cedar_obs::{Obs, ObsConfig};
+
+        #[test]
+        fn contention_shows_up_in_blocked_counters_and_occupancy() {
+            let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+            let obs = Obs::new(ObsConfig::metrics_only());
+            net.set_obs(&obs, "fwd");
+            // All 8 sources of one switch to one destination: heavy
+            // contention, so some stage must report blocked transfers.
+            for round in 0..4u64 {
+                for src in 0..8 {
+                    net.try_inject(Packet::request(src, 9, round * 8 + src as u64));
+                }
+                for _ in 0..50 {
+                    net.step();
+                }
+                let _ = net.drain_delivered();
+            }
+            let blocked = obs.with(|inner| inner.metrics.rollup("net.fwd.")).unwrap();
+            assert!(blocked > 0, "contention must register somewhere");
+            let occupancy = obs
+                .with(|inner| {
+                    inner
+                        .metrics
+                        .histogram_entry("net.fwd.stage0.occupancy_words")
+                        .map(|e| e.bins.total())
+                })
+                .unwrap()
+                .unwrap();
+            assert!(occupancy > 0, "occupancy sampled every cycle");
+        }
+
+        #[test]
+        fn disabled_handle_attaches_nothing() {
+            let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+            let obs = Obs::disabled();
+            net.set_obs(&obs, "fwd");
+            assert!(net.obs.is_none());
+            net.try_inject(Packet::request(0, 1, 1));
+            for _ in 0..20 {
+                net.step();
+            }
+            assert_eq!(obs.counter_value("net.fwd.exit_blocked"), 0);
+        }
     }
 
     mod faults {

@@ -1,0 +1,73 @@
+//! Observability configuration.
+//!
+//! [`ObsConfig`] selects which telemetry layers are live. The disabled
+//! configuration is the default everywhere: a component holding a
+//! disabled [`crate::Obs`] handle performs a single `Option` check per
+//! instrumentation point and touches no shared state, so every
+//! experiment reproduces its un-instrumented numbers bit for bit.
+
+/// Which telemetry layers are collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Collect named counters/gauges/histograms in the
+    /// [`crate::metrics::MetricsRegistry`].
+    pub metrics: bool,
+    /// Record request-path spans and instant events in the
+    /// [`crate::trace::TraceSink`].
+    pub tracing: bool,
+}
+
+impl ObsConfig {
+    /// Everything off — the zero-overhead default.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        ObsConfig {
+            metrics: false,
+            tracing: false,
+        }
+    }
+
+    /// Metrics and tracing both on.
+    #[must_use]
+    pub const fn enabled() -> Self {
+        ObsConfig {
+            metrics: true,
+            tracing: true,
+        }
+    }
+
+    /// Counters only: no per-request span stream, just the registry.
+    #[must_use]
+    pub const fn metrics_only() -> Self {
+        ObsConfig {
+            metrics: true,
+            tracing: false,
+        }
+    }
+
+    /// Whether neither layer is collecting.
+    #[must_use]
+    pub const fn is_disabled(&self) -> bool {
+        !self.metrics && !self.tracing
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(ObsConfig::disabled().is_disabled());
+        assert!(!ObsConfig::enabled().is_disabled());
+        assert!(!ObsConfig::metrics_only().is_disabled());
+        assert!(!ObsConfig::metrics_only().tracing);
+        assert_eq!(ObsConfig::default(), ObsConfig::disabled());
+    }
+}

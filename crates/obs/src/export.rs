@@ -1,0 +1,448 @@
+//! Deterministic exporters: Chrome trace-event JSON and
+//! Prometheus-style text exposition.
+//!
+//! Both exporters are pure functions over already-deterministic inputs
+//! (the append-ordered [`TraceEvent`] stream, the name-sorted
+//! [`MetricsRegistry`] views), so identical simulations yield
+//! byte-identical exports. The module also carries the matching
+//! consumers used by tests and the CI smoke step: a minimal
+//! well-formedness JSON checker and a line-by-line exposition parser.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRegistry;
+use crate::trace::{SpanPhase, TraceEvent};
+
+/// Serialises a trace stream as Chrome trace-event JSON
+/// (`{"traceEvents":[...]}`), loadable in `chrome://tracing` and
+/// Perfetto. One simulated cycle maps to one microsecond of trace
+/// time, so cycle counts read directly off the ruler.
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = match e.phase {
+            SpanPhase::Begin => "B",
+            SpanPhase::End => "E",
+            SpanPhase::Instant => "i",
+        };
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+            escape_json(e.name),
+            e.at,
+            e.pid,
+            e.tid
+        );
+        if e.phase == SpanPhase::Instant {
+            // Thread-scoped instant: renders as a marker on its track.
+            out.push_str(",\"s\":\"t\"");
+        }
+        if let Some((key, value)) = e.arg {
+            let _ = write!(out, ",\"args\":{{\"{}\":{value}}}", escape_json(key));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders the registry in Prometheus text exposition format. Metric
+/// names are sanitised (`.` → `_`) and prefixed `cedar_`; histograms
+/// expose cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`. Output is sorted by metric name — deterministic.
+#[must_use]
+pub fn prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", format_f64(value));
+    }
+    for (name, entry) in registry.histograms() {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let width = entry.bins.bin_width();
+        let mut cumulative = 0u64;
+        for i in 0..entry.bins.bin_count() {
+            cumulative += entry.bins.bin(i).unwrap_or(0);
+            let le = (i as u64 + 1) * width;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(
+            out,
+            "{n}_bucket{{le=\"+Inf\"}} {}",
+            cumulative + entry.bins.overflow()
+        );
+        let _ = writeln!(out, "{n}_sum {}", entry.sum);
+        let _ = writeln!(out, "{n}_count {}", entry.bins.total());
+    }
+    out
+}
+
+/// Maps a dot-path metric name onto a legal Prometheus metric name.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("cedar_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn format_f64(v: f64) -> String {
+    // `{}` on f64 is shortest-round-trip in Rust — deterministic and
+    // parseable back; integers print without a trailing ".0".
+    format!("{v}")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Checks that `input` is a single well-formed JSON value. This is a
+/// structural validator, not a full deserialiser: it exists so the
+/// trace binary and CI smoke step can prove the Chrome export parses
+/// without external dependencies.
+///
+/// # Errors
+///
+/// Returns the byte offset and a description of the first syntax
+/// error.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(format!("unexpected end of input at byte {pos}"));
+    };
+    match b {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => parse_string(bytes, pos),
+        b't' => parse_literal(bytes, pos, "true"),
+        b'f' => parse_literal(bytes, pos, "false"),
+        b'n' => parse_literal(bytes, pos, "null"),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(format!("unexpected byte '{}' at {pos}", other as char)),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume opening quote
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !bytes.get(*pos).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at byte {pos}"));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut saw_digit = false;
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        saw_digit |= bytes[*pos].is_ascii_digit();
+        *pos += 1;
+    }
+    if saw_digit {
+        Ok(())
+    } else {
+        Err(format!("bad number at byte {start}"))
+    }
+}
+
+/// Parses Prometheus text exposition back into `sample line → value`,
+/// where the key is the full series (name plus any labels). Comment
+/// (`#`) and blank lines are skipped but `# TYPE` lines must name a
+/// known type.
+///
+/// # Errors
+///
+/// Returns the 1-based line number and cause of the first malformed
+/// line.
+pub fn parse_prometheus(input: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let _name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without metric name"))?;
+                match parts.next() {
+                    Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                    other => {
+                        return Err(format!("line {lineno}: unknown TYPE {other:?}"));
+                    }
+                }
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|e| format!("line {lineno}: bad value: {e}"))?;
+        let series = series.trim();
+        if series.is_empty() {
+            return Err(format!("line {lineno}: empty series name"));
+        }
+        if out.insert(series.to_owned(), value).is_some() {
+            return Err(format!("line {lineno}: duplicate series '{series}'"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSink;
+
+    fn sample_sink() -> TraceSink {
+        let mut sink = TraceSink::new();
+        sink.begin(3, 77, "request", 10);
+        sink.begin(3, 77, "forward_net", 10);
+        sink.instant(3, 77, "retry", 14, Some(("attempt", 1)));
+        sink.end(3, 77, "forward_net", 20);
+        sink.end(3, 77, "request", 31);
+        sink
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_fields() {
+        let json = chrome_trace(sample_sink().events());
+        validate_json(&json).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\",") || json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"args\":{\"attempt\":1}"));
+        assert!(json.contains("\"pid\":3"));
+        assert!(json.contains("\"tid\":77"));
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_stream_is_valid() {
+        let json = chrome_trace(&[]);
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn json_validator_rejects_garbage() {
+        assert!(validate_json("{\"a\":").is_err());
+        assert!(validate_json("[1,2,]").is_err());
+        assert!(validate_json("{\"a\":1} extra").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{broken}").is_err());
+        assert!(validate_json("[1, 2, {\"k\": [true, null, -3.5e2]}]").is_ok());
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_parser() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("net.fwd.blocked_transfers");
+        reg.add(c, 42);
+        let g = reg.gauge("net.fwd.queue_depth");
+        reg.set(g, 2.5);
+        let h = reg.histogram("mem.latency_cycles", 4, 10);
+        for s in [5, 15, 99] {
+            reg.record(h, s);
+        }
+        let text = prometheus(&reg);
+        let samples = parse_prometheus(&text).unwrap();
+        assert_eq!(samples["cedar_net_fwd_blocked_transfers"], 42.0);
+        assert_eq!(samples["cedar_net_fwd_queue_depth"], 2.5);
+        assert_eq!(samples["cedar_mem_latency_cycles_bucket{le=\"10\"}"], 1.0);
+        assert_eq!(samples["cedar_mem_latency_cycles_bucket{le=\"20\"}"], 2.0);
+        assert_eq!(samples["cedar_mem_latency_cycles_bucket{le=\"+Inf\"}"], 3.0);
+        assert_eq!(samples["cedar_mem_latency_cycles_sum"], 119.0);
+        assert_eq!(samples["cedar_mem_latency_cycles_count"], 3.0);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_monotone() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", 8, 2);
+        for s in 0..16 {
+            reg.record(h, s);
+        }
+        let text = prometheus(&reg);
+        let samples = parse_prometheus(&text).unwrap();
+        let mut prev = 0.0;
+        for i in 1..=8u64 {
+            let v = samples[&format!("cedar_lat_bucket{{le=\"{}\"}}", i * 2)];
+            assert!(v >= prev, "bucket le={} not monotone", i * 2);
+            prev = v;
+        }
+        assert_eq!(samples["cedar_lat_bucket{le=\"+Inf\"}"], 16.0);
+    }
+
+    #[test]
+    fn parser_flags_malformed_lines() {
+        assert!(parse_prometheus("novalue").is_err());
+        assert!(parse_prometheus("x notanumber").is_err());
+        assert!(parse_prometheus("# TYPE x bogus").is_err());
+        assert!(parse_prometheus("x 1\nx 2").is_err());
+        assert!(parse_prometheus("# plain comment\n\nx 1").is_ok());
+    }
+
+    #[test]
+    fn sanitize_maps_dot_paths() {
+        assert_eq!(
+            sanitize_name("net.fwd.stage0.blocked"),
+            "cedar_net_fwd_stage0_blocked"
+        );
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let sink = sample_sink();
+        assert_eq!(chrome_trace(sink.events()), chrome_trace(sink.events()));
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("a.b");
+        reg.inc(c);
+        assert_eq!(prometheus(&reg), prometheus(&reg));
+    }
+}

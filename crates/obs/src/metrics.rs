@@ -1,0 +1,274 @@
+//! The hierarchical metrics registry.
+//!
+//! A [`MetricsRegistry`] is a flat store of named counters, gauges and
+//! histograms. Hierarchy is by dot-path convention
+//! (`net.fwd.stage0.blocked_transfers`), which keeps lookups a single
+//! map probe and lets [`rollup`](MetricsRegistry::rollup) aggregate a
+//! subtree. Hot paths intern a name once into a [`CounterId`] /
+//! [`GaugeId`] / [`HistogramId`] and then update by index — the same
+//! discipline as [`cedar_sim::monitor::SignalId`], and the reason the
+//! registry is cheap enough to live inside the network's per-cycle
+//! loops.
+//!
+//! Primitives are the monitor-hardware building blocks from
+//! [`cedar_sim::stats`]: saturating [`Counter`]s, Welford
+//! [`RunningStats`], fixed-bin [`Histogram`]s.
+
+use std::collections::BTreeMap;
+
+use cedar_sim::stats::{Counter, Histogram, RunningStats};
+
+/// Handle to an interned counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to an interned gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to an interned histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// One registered histogram: the bin store plus exact sum/count for
+/// the exporter's `_sum`/`_count` series and streaming moments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramEntry {
+    /// The fixed-bin store.
+    pub bins: Histogram,
+    /// Exact sum of recorded samples (bin midpoints approximate;
+    /// exposition wants the true sum).
+    pub sum: u64,
+    /// Streaming mean/min/max over recorded samples.
+    pub stats: RunningStats,
+}
+
+/// The registry of named metrics.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_obs::metrics::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// let c = reg.counter("mem.module00.served");
+/// reg.add(c, 3);
+/// assert_eq!(reg.counter_value("mem.module00.served"), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counter_index: BTreeMap<String, usize>,
+    counters: Vec<(String, Counter)>,
+    gauge_index: BTreeMap<String, usize>,
+    gauges: Vec<(String, f64)>,
+    histogram_index: BTreeMap<String, usize>,
+    histograms: Vec<(String, HistogramEntry)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Interns a counter, returning its handle (idempotent per name).
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(&i) = self.counter_index.get(name) {
+            return CounterId(i);
+        }
+        let i = self.counters.len();
+        self.counter_index.insert(name.to_owned(), i);
+        self.counters.push((name.to_owned(), Counter::new()));
+        CounterId(i)
+    }
+
+    /// Adds `n` to a counter, saturating.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1.add(n);
+    }
+
+    /// Adds one to a counter.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// The current value of the counter named `name` (0 if absent).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counter_index
+            .get(name)
+            .map_or(0, |&i| self.counters[i].1.value())
+    }
+
+    /// Interns a gauge, returning its handle (idempotent per name).
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(&i) = self.gauge_index.get(name) {
+            return GaugeId(i);
+        }
+        let i = self.gauges.len();
+        self.gauge_index.insert(name.to_owned(), i);
+        self.gauges.push((name.to_owned(), 0.0));
+        GaugeId(i)
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// The current value of the gauge named `name` (0.0 if absent).
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.gauge_index
+            .get(name)
+            .map_or(0.0, |&i| self.gauges[i].1)
+    }
+
+    /// Interns a histogram with `bins` buckets of `bin_width` units,
+    /// returning its handle. Idempotent per name; the shape of the
+    /// first interning wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` or `bin_width` is zero (via
+    /// [`Histogram::new`]).
+    pub fn histogram(&mut self, name: &str, bins: usize, bin_width: u64) -> HistogramId {
+        if let Some(&i) = self.histogram_index.get(name) {
+            return HistogramId(i);
+        }
+        let i = self.histograms.len();
+        self.histogram_index.insert(name.to_owned(), i);
+        self.histograms.push((
+            name.to_owned(),
+            HistogramEntry {
+                bins: Histogram::new(bins, bin_width),
+                sum: 0,
+                stats: RunningStats::new(),
+            },
+        ));
+        HistogramId(i)
+    }
+
+    /// Records one sample into a histogram.
+    pub fn record(&mut self, id: HistogramId, sample: u64) {
+        let entry = &mut self.histograms[id.0].1;
+        entry.bins.record(sample);
+        entry.sum = entry.sum.saturating_add(sample);
+        entry.stats.record(sample as f64);
+    }
+
+    /// The histogram entry named `name`, if registered.
+    #[must_use]
+    pub fn histogram_entry(&self, name: &str) -> Option<&HistogramEntry> {
+        self.histogram_index
+            .get(name)
+            .map(|&i| &self.histograms[i].1)
+    }
+
+    /// Every counter as `(name, value)`, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_index
+            .iter()
+            .map(|(name, &i)| (name.as_str(), self.counters[i].1.value()))
+    }
+
+    /// Every gauge as `(name, value)`, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauge_index
+            .iter()
+            .map(|(name, &i)| (name.as_str(), self.gauges[i].1))
+    }
+
+    /// Every histogram as `(name, entry)`, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramEntry)> {
+        self.histogram_index
+            .iter()
+            .map(|(name, &i)| (name.as_str(), &self.histograms[i].1))
+    }
+
+    /// Sums every counter whose dot-path starts with `prefix` — the
+    /// hierarchical view (e.g. `rollup("mem.")` totals all memory
+    /// counters).
+    #[must_use]
+    pub fn rollup(&self, prefix: &str) -> u64 {
+        self.counters()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .fold(0u64, |acc, (_, v)| acc.saturating_add(v))
+    }
+
+    /// Number of registered metrics across all kinds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether no metric has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_intern_is_idempotent() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        assert_eq!(a, b);
+        reg.inc(a);
+        reg.add(b, 4);
+        assert_eq!(reg.counter_value("x"), 5);
+        assert_eq!(reg.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        reg.set(g, 3.5);
+        reg.set(g, 1.25);
+        assert_eq!(reg.gauge_value("depth"), 1.25);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_sum_and_stats() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", 16, 4);
+        for s in [1, 7, 70] {
+            reg.record(h, s);
+        }
+        let entry = reg.histogram_entry("lat").unwrap();
+        assert_eq!(entry.sum, 78);
+        assert_eq!(entry.bins.total(), 3);
+        assert_eq!(entry.bins.overflow(), 1, "70 is past 16*4");
+        assert_eq!(entry.stats.count(), 3);
+        assert_eq!(entry.stats.max(), Some(70.0));
+    }
+
+    #[test]
+    fn rollup_aggregates_a_subtree() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("mem.module00.served");
+        let b = reg.counter("mem.module01.served");
+        let c = reg.counter("net.fwd.blocked");
+        reg.add(a, 2);
+        reg.add(b, 3);
+        reg.add(c, 100);
+        assert_eq!(reg.rollup("mem."), 5);
+        assert_eq!(reg.rollup(""), 105);
+    }
+
+    #[test]
+    fn iteration_is_name_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("b");
+        reg.counter("a");
+        let names: Vec<&str> = reg.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

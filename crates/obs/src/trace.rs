@@ -1,0 +1,298 @@
+//! Span-based request tracing.
+//!
+//! A [`TraceSink`] records begin/end/instant events on *tracks*. A
+//! track is a `(pid, tid)` pair, mirroring the Chrome trace-event
+//! model: the fabric uses `pid` = CE port and `tid` = packet id, so
+//! one request's whole life — issue, forward network, memory-module
+//! queue and service, return network — is one row in Perfetto, with
+//! fault-plan events (drops, retries, abandonment, watchdog firings)
+//! interleaved on the same row as instant markers.
+//!
+//! Timestamps are simulated cycles. The sink is append-only and the
+//! appenders are the only mutation, so event order is the order the
+//! simulation emitted them in — deterministic run to run.
+
+use std::collections::BTreeMap;
+
+use cedar_sim::stats::RunningStats;
+
+/// The phase of a trace event, matching Chrome trace-event phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// A span opens (`"ph": "B"`).
+    Begin,
+    /// A span closes (`"ph": "E"`).
+    End,
+    /// A zero-duration marker (`"ph": "i"`).
+    Instant,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Track group (the fabric uses the issuing CE's port).
+    pub pid: u64,
+    /// Track within the group (the fabric uses the packet id).
+    pub tid: u64,
+    /// Span or marker name (a static label keeps recording
+    /// allocation-free).
+    pub name: &'static str,
+    /// Begin, end, or instant.
+    pub phase: SpanPhase,
+    /// Simulated cycle of the event.
+    pub at: u64,
+    /// Optional single argument, exported into the event's `args`.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+/// The append-only event store.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_obs::trace::TraceSink;
+///
+/// let mut sink = TraceSink::new();
+/// sink.begin(0, 7, "request", 10);
+/// sink.end(0, 7, "request", 25);
+/// assert_eq!(sink.events().len(), 2);
+/// cedar_obs::trace::validate_events(sink.events()).unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+    /// Most recent `Begin`, for watchdog diagnostics: which span the
+    /// simulation entered last before progress stopped.
+    last_begin: Option<(&'static str, u64)>,
+}
+
+impl TraceSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Opens a span on track `(pid, tid)` at cycle `at`.
+    pub fn begin(&mut self, pid: u64, tid: u64, name: &'static str, at: u64) {
+        self.last_begin = Some((name, tid));
+        self.events.push(TraceEvent {
+            pid,
+            tid,
+            name,
+            phase: SpanPhase::Begin,
+            at,
+            arg: None,
+        });
+    }
+
+    /// Closes a span on track `(pid, tid)` at cycle `at`. Spans on one
+    /// track must close in LIFO order (the Chrome B/E contract).
+    pub fn end(&mut self, pid: u64, tid: u64, name: &'static str, at: u64) {
+        self.events.push(TraceEvent {
+            pid,
+            tid,
+            name,
+            phase: SpanPhase::End,
+            at,
+            arg: None,
+        });
+    }
+
+    /// Records an instant marker, optionally with one argument.
+    pub fn instant(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &'static str,
+        at: u64,
+        arg: Option<(&'static str, u64)>,
+    ) {
+        self.events.push(TraceEvent {
+            pid,
+            tid,
+            name,
+            phase: SpanPhase::Instant,
+            at,
+            arg,
+        });
+    }
+
+    /// The recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// `(name, tid)` of the most recently opened span, for watchdog
+    /// diagnostics.
+    #[must_use]
+    pub fn last_span(&self) -> Option<(&'static str, u64)> {
+        self.last_begin
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Checks the structural contract a well-formed trace stream must
+/// satisfy: per track, timestamps never go backwards, `End` events
+/// close the innermost open `Begin` of the same name (LIFO), and every
+/// span opened is eventually closed.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
+    let mut open: BTreeMap<(u64, u64), Vec<&'static str>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let track = (e.pid, e.tid);
+        if let Some(&prev) = last_ts.get(&track) {
+            if e.at < prev {
+                return Err(format!(
+                    "event {i} ({}) on track {track:?} goes back in time: {} < {prev}",
+                    e.name, e.at
+                ));
+            }
+        }
+        last_ts.insert(track, e.at);
+        match e.phase {
+            SpanPhase::Begin => open.entry(track).or_default().push(e.name),
+            SpanPhase::End => match open.entry(track).or_default().pop() {
+                Some(top) if top == e.name => {}
+                Some(top) => {
+                    return Err(format!(
+                        "event {i}: end of '{}' on track {track:?} but '{top}' is innermost",
+                        e.name
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: end of '{}' on track {track:?} with no open span",
+                        e.name
+                    ));
+                }
+            },
+            SpanPhase::Instant => {}
+        }
+    }
+    for (track, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("span '{name}' on track {track:?} never closed"));
+        }
+    }
+    Ok(())
+}
+
+/// Per-span-name duration statistics over a balanced event stream:
+/// each `Begin`/`End` pair contributes `end - begin` cycles under its
+/// name. The input must pass [`validate_events`]; unbalanced spans are
+/// skipped.
+#[must_use]
+pub fn stage_breakdown(events: &[TraceEvent]) -> BTreeMap<&'static str, RunningStats> {
+    let mut open: BTreeMap<(u64, u64, &'static str), Vec<u64>> = BTreeMap::new();
+    let mut out: BTreeMap<&'static str, RunningStats> = BTreeMap::new();
+    for e in events {
+        let key = (e.pid, e.tid, e.name);
+        match e.phase {
+            SpanPhase::Begin => open.entry(key).or_default().push(e.at),
+            SpanPhase::End => {
+                if let Some(started) = open.entry(key).or_default().pop() {
+                    out.entry(e.name)
+                        .or_default()
+                        .record(e.at.saturating_sub(started) as f64);
+                }
+            }
+            SpanPhase::Instant => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_nested_spans_validate() {
+        let mut sink = TraceSink::new();
+        sink.begin(0, 1, "request", 0);
+        sink.begin(0, 1, "forward_net", 0);
+        sink.instant(0, 1, "retry", 5, Some(("attempt", 2)));
+        sink.end(0, 1, "forward_net", 9);
+        sink.end(0, 1, "request", 12);
+        validate_events(sink.events()).unwrap();
+        assert_eq!(sink.last_span(), Some(("forward_net", 1)));
+    }
+
+    #[test]
+    fn unclosed_span_is_rejected() {
+        let mut sink = TraceSink::new();
+        sink.begin(0, 1, "request", 0);
+        let err = validate_events(sink.events()).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_end_is_rejected() {
+        let mut sink = TraceSink::new();
+        sink.begin(0, 1, "a", 0);
+        sink.end(0, 1, "b", 1);
+        let err = validate_events(sink.events()).unwrap_err();
+        assert!(err.contains("innermost"), "{err}");
+    }
+
+    #[test]
+    fn end_without_begin_is_rejected() {
+        let mut sink = TraceSink::new();
+        sink.end(0, 1, "a", 1);
+        let err = validate_events(sink.events()).unwrap_err();
+        assert!(err.contains("no open span"), "{err}");
+    }
+
+    #[test]
+    fn backwards_time_on_a_track_is_rejected() {
+        let mut sink = TraceSink::new();
+        sink.begin(0, 1, "a", 10);
+        sink.end(0, 1, "a", 4);
+        let err = validate_events(sink.events()).unwrap_err();
+        assert!(err.contains("back in time"), "{err}");
+    }
+
+    #[test]
+    fn tracks_are_independent() {
+        let mut sink = TraceSink::new();
+        sink.begin(0, 1, "a", 10);
+        // Another track may run earlier in time; only per-track order
+        // matters.
+        sink.begin(0, 2, "a", 3);
+        sink.end(0, 2, "a", 5);
+        sink.end(0, 1, "a", 12);
+        validate_events(sink.events()).unwrap();
+    }
+
+    #[test]
+    fn breakdown_measures_span_durations() {
+        let mut sink = TraceSink::new();
+        sink.begin(0, 1, "svc", 10);
+        sink.end(0, 1, "svc", 14);
+        sink.begin(0, 2, "svc", 20);
+        sink.end(0, 2, "svc", 30);
+        let stats = stage_breakdown(sink.events());
+        let svc = &stats["svc"];
+        assert_eq!(svc.count(), 2);
+        assert!((svc.mean() - 7.0).abs() < 1e-12);
+        assert_eq!(svc.min(), Some(4.0));
+        assert_eq!(svc.max(), Some(10.0));
+    }
+}

@@ -48,6 +48,7 @@ impl Ticket {
     /// Takes the next ticket with an indivisible fetch-and-add at the
     /// memory module.
     pub fn take(&mut self, sys: &mut CedarSystem) -> i32 {
+        sys.obs().bump("runtime.ticket_takes", 1);
         sys.global_mut()
             .sync_op(self.cell, SyncInstruction::fetch_and_add(1))
             .old_value
@@ -216,6 +217,7 @@ impl GlobalBarrier {
     /// Registers one arrival; the arrival that completes the count
     /// resets the cell and returns `true`.
     pub fn arrive(&self, sys: &mut CedarSystem) -> bool {
+        sys.obs().bump("runtime.barrier_arrivals", 1);
         let old = sys
             .global_mut()
             .sync_op(self.cell, SyncInstruction::fetch_and_add(1))
@@ -223,6 +225,7 @@ impl GlobalBarrier {
         if old + 1 == self.participants {
             sys.global_mut()
                 .sync_op(self.cell, SyncInstruction::write(0));
+            sys.obs().bump("runtime.barrier_releases", 1);
             true
         } else {
             false
@@ -326,6 +329,25 @@ mod tests {
         assert_eq!(t.peek(&mut sys), 5);
         t.reset(&mut sys);
         assert_eq!(t.peek(&mut sys), 0);
+    }
+
+    #[test]
+    fn obs_counts_tickets_and_barrier_traffic() {
+        use cedar_obs::{Obs, ObsConfig};
+        let mut sys = machine();
+        let obs = Obs::new(ObsConfig::enabled());
+        sys.set_obs(&obs);
+        let mut t = Ticket::new(0);
+        t.take(&mut sys);
+        t.take(&mut sys);
+        let barrier = GlobalBarrier::new(1, 2);
+        assert!(!barrier.arrive(&mut sys));
+        assert!(barrier.arrive(&mut sys));
+        assert_eq!(obs.counter_value("runtime.ticket_takes"), 2);
+        assert_eq!(obs.counter_value("runtime.barrier_arrivals"), 2);
+        assert_eq!(obs.counter_value("runtime.barrier_releases"), 1);
+        // The system-wide handle also saw the underlying sync ops.
+        assert!(obs.counter_value("mem.sync_ops") >= 5);
     }
 
     #[test]

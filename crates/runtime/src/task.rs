@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use cedar_obs::{CounterId, Obs};
 use cedar_sim::event::EventQueue;
 use cedar_sim::time::Cycle;
 
@@ -80,6 +81,16 @@ pub struct XylemScheduler {
     /// Simulated scheduler time spent, CE cycles (each dispatch goes
     /// through global memory like an XDOALL startup).
     overhead_cycles: f64,
+    obs: Option<SchedObs>,
+}
+
+/// Interned telemetry handles for the Xylem scheduler.
+#[derive(Debug, Clone)]
+struct SchedObs {
+    obs: Obs,
+    spawned: CounterId,
+    dispatched: CounterId,
+    completed: CounterId,
 }
 
 /// Scheduling cost per dispatch, CE cycles: a global-memory scheduling
@@ -102,7 +113,30 @@ impl XylemScheduler {
             next_id: 0,
             dispatches: 0,
             overhead_cycles: 0.0,
+            obs: None,
         }
+    }
+
+    /// Attaches a telemetry handle, interning `runtime.tasks_spawned`,
+    /// `runtime.task_dispatches` and `runtime.tasks_completed`
+    /// counters. A handle without live metrics detaches.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        if !obs.metrics_enabled() {
+            self.obs = None;
+            return;
+        }
+        self.obs = Some(SchedObs {
+            spawned: obs
+                .counter("runtime.tasks_spawned")
+                .expect("metrics enabled"),
+            dispatched: obs
+                .counter("runtime.task_dispatches")
+                .expect("metrics enabled"),
+            completed: obs
+                .counter("runtime.tasks_completed")
+                .expect("metrics enabled"),
+            obs: obs.clone(),
+        });
     }
 
     /// Creates a ready task with `cycles` of cluster work.
@@ -116,6 +150,9 @@ impl XylemScheduler {
             remaining_cycles: cycles,
         });
         self.run_queue.push_back(id);
+        if let Some(sched_obs) = &self.obs {
+            sched_obs.obs.inc(sched_obs.spawned);
+        }
         id
     }
 
@@ -139,6 +176,11 @@ impl XylemScheduler {
             self.overhead_cycles += DISPATCH_CYCLES;
             started += 1;
         }
+        if started > 0 {
+            if let Some(sched_obs) = &self.obs {
+                sched_obs.obs.add(sched_obs.dispatched, started as u64);
+            }
+        }
         started
     }
 
@@ -155,6 +197,11 @@ impl XylemScheduler {
                     self.clusters_free[cluster] = true;
                     done.push(task.id);
                 }
+            }
+        }
+        if !done.is_empty() {
+            if let Some(sched_obs) = &self.obs {
+                sched_obs.obs.add(sched_obs.completed, done.len() as u64);
             }
         }
         done
@@ -268,6 +315,22 @@ mod tests {
         assert_eq!(x.task(b).unwrap().state, TaskState::Running { cluster: 1 });
         assert_eq!(x.task(c).unwrap().state, TaskState::Ready);
         assert_eq!(x.free_clusters(), 0);
+    }
+
+    #[test]
+    fn obs_counters_track_the_task_lifecycle() {
+        let obs = Obs::new(cedar_obs::ObsConfig::enabled());
+        let mut x = XylemScheduler::new(2);
+        x.set_obs(&obs);
+        x.spawn("a", 50.0);
+        x.spawn("b", 50.0);
+        x.spawn("c", 50.0);
+        x.dispatch();
+        x.advance(60.0);
+        x.dispatch();
+        assert_eq!(obs.counter_value("runtime.tasks_spawned"), 3);
+        assert_eq!(obs.counter_value("runtime.task_dispatches"), 3);
+        assert_eq!(obs.counter_value("runtime.tasks_completed"), 2);
     }
 
     #[test]

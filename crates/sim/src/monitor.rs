@@ -128,12 +128,15 @@ impl EventTracer {
     }
 
     /// Inter-event gaps in cycles between consecutive records, the raw
-    /// material for interarrival-time analysis (Table 2).
+    /// material for interarrival-time analysis (Table 2). Software
+    /// posts are not guaranteed time-ordered the way hardware probes
+    /// were, so an out-of-order pair clamps to a zero gap instead of
+    /// underflowing.
     #[must_use]
     pub fn interarrival_cycles(&self) -> Vec<u64> {
         self.records
             .windows(2)
-            .map(|w| (w[1].at - w[0].at).as_u64())
+            .map(|w| w[1].at.saturating_since(w[0].at).as_u64())
             .collect()
     }
 }
@@ -389,6 +392,67 @@ mod tests {
         let drained = t.drain();
         assert_eq!(drained.len(), 1);
         assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn interarrival_of_zero_or_one_records_is_empty() {
+        let mut t = EventTracer::new(1);
+        assert!(t.interarrival_cycles().is_empty(), "no records, no gaps");
+        t.post(Cycle::new(42), 0);
+        assert!(t.interarrival_cycles().is_empty(), "one record, no gaps");
+    }
+
+    #[test]
+    fn interarrival_clamps_out_of_order_posts() {
+        // Hardware probes arrive time-ordered; software posts might
+        // not. An out-of-order pair must clamp to zero, not underflow.
+        let mut t = EventTracer::new(1);
+        t.post(Cycle::new(10), 0);
+        t.post(Cycle::new(4), 0);
+        t.post(Cycle::new(9), 0);
+        assert_eq!(t.interarrival_cycles(), vec![0, 5]);
+    }
+
+    #[test]
+    fn cascade_extends_capacity_across_the_unit_boundary() {
+        let mut t = EventTracer::new(2);
+        // Fill exactly one unit: nothing dropped, next post still fits.
+        for i in 0..TRACER_UNIT_CAPACITY as u64 {
+            t.post(Cycle::new(i), 0);
+        }
+        assert_eq!(t.dropped(), 0, "first unit's fill must not drop");
+        t.post(Cycle::new(TRACER_UNIT_CAPACITY as u64), 0);
+        assert_eq!(t.records().len(), TRACER_UNIT_CAPACITY + 1);
+        assert_eq!(t.dropped(), 0, "cascade absorbs the overflow");
+    }
+
+    #[test]
+    fn drain_resets_the_dropped_count() {
+        let mut t = EventTracer::new(1);
+        for i in 0..(TRACER_UNIT_CAPACITY as u64 + 3) {
+            t.post(Cycle::new(i), 0);
+        }
+        assert_eq!(t.dropped(), 3);
+        let _ = t.drain();
+        assert_eq!(t.dropped(), 0, "drain starts a fresh capture window");
+        t.post(Cycle::new(0), 0);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.records().len(), 1);
+    }
+
+    #[test]
+    fn histogrammer_out_of_range_boundary_is_exact() {
+        let mut h = Histogrammer::new(1);
+        h.record((1 << 16) - 1);
+        assert_eq!(h.count((1 << 16) - 1), Some(1), "last counter in range");
+        assert_eq!(h.out_of_range(), 0);
+        h.record(1 << 16);
+        h.record(u64::MAX);
+        assert_eq!(h.out_of_range(), 2, "first index past the bank and beyond");
+        // Out-of-range samples must not perturb in-range counters.
+        assert_eq!(h.count((1 << 16) - 1), Some(1));
+        h.reset();
+        assert_eq!(h.out_of_range(), 0, "reset clears the tally");
     }
 
     #[test]

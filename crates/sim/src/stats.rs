@@ -67,13 +67,21 @@ impl fmt::Display for Counter {
 /// assert_eq!(s.min(), Some(1.0));
 /// assert_eq!(s.max(), Some(4.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`RunningStats::new`]: a derived `Default` would zero
+/// `min`/`max` instead of using the infinities `record` folds against.
+impl Default for RunningStats {
+    fn default() -> Self {
+        RunningStats::new()
+    }
 }
 
 impl RunningStats {
@@ -215,6 +223,12 @@ impl Histogram {
     #[must_use]
     pub fn bin_count(&self) -> usize {
         self.bins.len()
+    }
+
+    /// The width of each bucket in sample units.
+    #[must_use]
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
     }
 
     /// Samples that fell past the last bucket.

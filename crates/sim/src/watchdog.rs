@@ -38,6 +38,9 @@ pub struct Watchdog {
     progress_at: u64,
     /// Set once tripped; further observations keep failing.
     tripped: bool,
+    /// Last trace span noted for the guarded context, named in the
+    /// diagnostic so a stall report points at the stage that stuck.
+    last_span: Option<String>,
 }
 
 impl Watchdog {
@@ -57,7 +60,16 @@ impl Watchdog {
             last_progress: None,
             progress_at: 0,
             tripped: false,
+            last_span: None,
         }
+    }
+
+    /// Notes the most recent trace span seen for the guarded context.
+    /// If the watchdog later trips, the report names this span, so the
+    /// diagnostic says not just *which* context stalled but *where* in
+    /// the request path it was last seen alive.
+    pub fn note_span(&mut self, span: impl Into<String>) {
+        self.last_span = Some(span.into());
     }
 
     /// The configured no-progress budget in cycles.
@@ -93,6 +105,7 @@ impl Watchdog {
                 now,
                 budget: self.budget,
                 progress: self.last_progress.unwrap_or(0),
+                last_span: self.last_span.clone(),
             });
         }
         Ok(())
@@ -118,6 +131,8 @@ pub struct WatchdogReport {
     pub budget: u64,
     /// The progress counter's final value.
     pub progress: u64,
+    /// The last trace span noted via [`Watchdog::note_span`], if any.
+    pub last_span: Option<String>,
 }
 
 impl fmt::Display for WatchdogReport {
@@ -131,7 +146,11 @@ impl fmt::Display for WatchdogReport {
             self.stalled_since,
             self.budget,
             self.progress
-        )
+        )?;
+        if let Some(span) = &self.last_span {
+            write!(f, ", last span seen: {span}")?;
+        }
+        Ok(())
     }
 }
 
@@ -202,5 +221,28 @@ mod tests {
     #[should_panic(expected = "budget must be nonzero")]
     fn zero_budget_rejected() {
         let _ = Watchdog::new(0, "bad");
+    }
+
+    #[test]
+    fn report_names_the_last_noted_span() {
+        let mut dog = Watchdog::new(3, "fabric");
+        dog.observe(0, 0).unwrap();
+        dog.note_span("mem_service (packet 77)");
+        let report = dog.observe(100, 0).unwrap_err();
+        assert_eq!(report.last_span.as_deref(), Some("mem_service (packet 77)"));
+        let msg = report.to_string();
+        assert!(
+            msg.contains("last span seen: mem_service (packet 77)"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn report_without_span_omits_the_clause() {
+        let mut dog = Watchdog::new(3, "fabric");
+        dog.observe(0, 0).unwrap();
+        let report = dog.observe(100, 0).unwrap_err();
+        assert_eq!(report.last_span, None);
+        assert!(!report.to_string().contains("last span"));
     }
 }

@@ -43,6 +43,8 @@
 //! | [`perfect`] | `cedar-perfect` | Perfect Benchmarks study |
 //! | [`metrics`] | `cedar-metrics` | PPTs, bands, stability |
 //! | [`baselines`] | `cedar-baselines` | YMP/8, Cray-1, CM-5, workstations |
+//! | [`faults`] | `cedar-faults` | fault plans, retry policy, degraded mode |
+//! | [`obs`] | `cedar-obs` | metrics registry, span tracing, exporters |
 
 #![warn(missing_docs)]
 
@@ -54,6 +56,7 @@ pub use cedar_kernels as kernels;
 pub use cedar_mem as mem;
 pub use cedar_metrics as metrics;
 pub use cedar_net as net;
+pub use cedar_obs as obs;
 pub use cedar_perfect as perfect;
 pub use cedar_runtime as runtime;
 pub use cedar_sim as sim;
