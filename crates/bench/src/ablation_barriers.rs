@@ -73,10 +73,11 @@ pub fn sweep(n: usize) -> SweepOutcome {
 /// The swept problem sizes (the Perfect data set is the small end).
 pub const SIZES: [usize; 4] = [16_384, 65_536, 262_144, 1_048_576];
 
-/// Runs the ablation across problem sizes.
+/// Runs the ablation across problem sizes, fanned out over
+/// [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> Vec<SweepOutcome> {
-    SIZES.iter().map(|&n| sweep(n)).collect()
+    cedar_exec::run_sweep(SIZES.to_vec(), sweep)
 }
 
 /// Prints the ablation.

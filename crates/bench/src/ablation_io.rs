@@ -29,7 +29,8 @@ pub struct IoAblation {
     pub app_unformatted_s: f64,
 }
 
-/// Reconstructs the volume and replays both encodings.
+/// Reconstructs the volume and replays both encodings, one arm per
+/// record format over [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> IoAblation {
     let probe = IoSubsystem::new();
@@ -38,10 +39,11 @@ pub fn run() -> IoAblation {
     let per_word_gap = probe.reformat_savings_seconds(1);
     let words = (gap / per_word_gap).round() as u64;
 
-    let mut formatted = IoSubsystem::new();
-    let f = formatted.transfer(RecordFormat::Formatted, words);
-    let mut unformatted = IoSubsystem::new();
-    let u = unformatted.transfer(RecordFormat::Unformatted, words);
+    let arms = cedar_exec::run_sweep(
+        vec![RecordFormat::Formatted, RecordFormat::Unformatted],
+        |format| IoSubsystem::new().transfer(format, words),
+    );
+    let (f, u) = (arms[0], arms[1]);
 
     let compute = BDNA_AUTO_S - f.seconds;
     IoAblation {

@@ -48,39 +48,45 @@ pub struct LoopAblation {
     pub improvement: f64,
 }
 
-/// Runs the workload both ways on the simulated runtime.
+/// Runs the workload both ways on the simulated runtime. The two
+/// scheduling disciplines are independent arms on fresh machines, so
+/// they fan out over [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> LoopAblation {
     let w = Workload::dyfesm_like();
-    let mut sys = paper_machine();
+    let arms = cedar_exec::run_sweep(vec![false, true], |nested_arm| {
+        let mut sys = paper_machine();
+        if !nested_arm {
+            // Flat: one XDOALL over every fine iteration, each fetch
+            // through global memory.
+            let flat = xdoall(&mut sys, w.outer * w.inner, Schedule::SelfScheduled, |_| {
+                Work::cycles(w.body_cycles)
+            });
+            return flat.makespan_cycles;
+        }
 
-    // Flat: one XDOALL over every fine iteration, each fetch through
-    // global memory.
-    let flat = xdoall(&mut sys, w.outer * w.inner, Schedule::SelfScheduled, |_| {
-        Work::cycles(w.body_cycles)
+        // Nested: substructures spread over the four clusters (one global
+        // scheduling event each); the fine iterations self-schedule on the
+        // concurrency bus. The clusters run their shares concurrently.
+        let mut cluster_busy = [0.0f64; 4];
+        for s in 0..w.outer {
+            let cluster = (s % 4) as usize;
+            let inner_report = cdoall(&mut sys, cluster, w.inner, Schedule::SelfScheduled, |_| {
+                Work::cycles(w.body_cycles)
+            });
+            cluster_busy[cluster] += inner_report.makespan_cycles;
+        }
+        let startup = sys.params().xdoall_startup_cycles() as f64;
+        let per_substructure_fetch = sys.params().xdoall_fetch_cycles() as f64;
+        startup
+            + cluster_busy.iter().cloned().fold(0.0, f64::max)
+            + (w.outer as f64 / 4.0) * per_substructure_fetch
     });
 
-    // Nested: substructures spread over the four clusters (one global
-    // scheduling event each); the fine iterations self-schedule on the
-    // concurrency bus. The clusters run their shares concurrently.
-    let mut cluster_busy = [0.0f64; 4];
-    for s in 0..w.outer {
-        let cluster = (s % 4) as usize;
-        let inner_report = cdoall(&mut sys, cluster, w.inner, Schedule::SelfScheduled, |_| {
-            Work::cycles(w.body_cycles)
-        });
-        cluster_busy[cluster] += inner_report.makespan_cycles;
-    }
-    let startup = sys.params().xdoall_startup_cycles() as f64;
-    let per_substructure_fetch = sys.params().xdoall_fetch_cycles() as f64;
-    let nested = startup
-        + cluster_busy.iter().cloned().fold(0.0, f64::max)
-        + (w.outer as f64 / 4.0) * per_substructure_fetch;
-
     LoopAblation {
-        flat_cycles: flat.makespan_cycles,
-        nested_cycles: nested,
-        improvement: flat.makespan_cycles / nested,
+        flat_cycles: arms[0],
+        nested_cycles: arms[1],
+        improvement: arms[0] / arms[1],
     }
 }
 

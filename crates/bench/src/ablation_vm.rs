@@ -37,61 +37,52 @@ fn touch_all(vm: &mut VirtualMemory, cluster: usize) {
 }
 
 /// Runs the three configurations: one cluster, four clusters sharing
-/// global pages, four clusters with distributed placement.
+/// global pages, four clusters with distributed placement. Each arm
+/// builds its own [`VirtualMemory`], so the three fan out over
+/// [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> Vec<VmOutcome> {
-    let frac = |vm: &VirtualMemory| {
+    let outcome = |label, vm: &VirtualMemory| {
         let service = vm.service_cycles() as f64;
-        service / (service + COMPUTE_CYCLES as f64)
+        VmOutcome {
+            label,
+            faults: vm.faults_per_cluster().iter().sum(),
+            vm_fraction: service / (service + COMPUTE_CYCLES as f64),
+        }
     };
 
-    // One cluster: first-touch faults only.
-    let mut one = VirtualMemory::new(4, 256);
-    touch_all(&mut one, 0);
-    let one_faults: u64 = one.faults_per_cluster().iter().sum();
-    let one_frac = frac(&one);
-
-    // Four clusters, shared global pages: every other cluster TLB-miss
-    // faults on every page cluster 0 mapped.
-    let mut shared = VirtualMemory::new(4, 256);
-    for c in 0..4 {
-        touch_all(&mut shared, c);
-    }
-    let shared_faults: u64 = shared.faults_per_cluster().iter().sum();
-    let shared_frac = frac(&shared);
-
-    // Distributed version: each cluster's partition pre-mapped into its
-    // own memory; clusters touch only their own quarter.
-    let mut dist = VirtualMemory::new(4, 256);
-    let quarter = PAGES / 4;
-    for c in 0..4 {
-        dist.map_into_cluster(c, c as u64 * quarter, quarter);
-    }
-    for c in 0..4 {
-        for p in 0..quarter {
-            dist.translate(c, VAddr((c as u64 * quarter + p) * PAGE_SIZE_BYTES));
+    cedar_exec::run_sweep((0..3).collect(), |arm| match arm {
+        0 => {
+            // One cluster: first-touch faults only.
+            let mut one = VirtualMemory::new(4, 256);
+            touch_all(&mut one, 0);
+            outcome("1 cluster, global pages", &one)
         }
-    }
-    let dist_faults: u64 = dist.faults_per_cluster().iter().sum();
-    let dist_frac = frac(&dist);
-
-    vec![
-        VmOutcome {
-            label: "1 cluster, global pages",
-            faults: one_faults,
-            vm_fraction: one_frac,
-        },
-        VmOutcome {
-            label: "4 clusters, global pages",
-            faults: shared_faults,
-            vm_fraction: shared_frac,
-        },
-        VmOutcome {
-            label: "4 clusters, distributed",
-            faults: dist_faults,
-            vm_fraction: dist_frac,
-        },
-    ]
+        1 => {
+            // Four clusters, shared global pages: every other cluster
+            // TLB-miss faults on every page cluster 0 mapped.
+            let mut shared = VirtualMemory::new(4, 256);
+            for c in 0..4 {
+                touch_all(&mut shared, c);
+            }
+            outcome("4 clusters, global pages", &shared)
+        }
+        _ => {
+            // Distributed version: each cluster's partition pre-mapped
+            // into its own memory; clusters touch only their own quarter.
+            let mut dist = VirtualMemory::new(4, 256);
+            let quarter = PAGES / 4;
+            for c in 0..4 {
+                dist.map_into_cluster(c, c as u64 * quarter, quarter);
+            }
+            for c in 0..4 {
+                for p in 0..quarter {
+                    dist.translate(c, VAddr((c as u64 * quarter + p) * PAGE_SIZE_BYTES));
+                }
+            }
+            outcome("4 clusters, distributed", &dist)
+        }
+    })
 }
 
 /// Prints the ablation.

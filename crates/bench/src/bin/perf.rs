@@ -1,0 +1,217 @@
+//! Tracked performance baseline.
+//!
+//! Times the reference runs the repository's wall-clock cost hangs on
+//! — the healthy Table-2 fabric experiment, the 2%-faulted
+//! telemetry-instrumented trace run, and the hot-spot sweep — plus the
+//! sweep executor serial vs parallel, and writes the measurements to
+//! `BENCH_perf.json` so perf regressions show up as a diff instead of
+//! a feeling.
+//!
+//! ```text
+//! perf [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks every workload to CI-checkable size (seconds, not
+//! minutes); `--out` overrides the output path. All simulated results
+//! are deterministic; only the timings vary run to run.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cedar_bench::{hotspot, trace};
+use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+use cedar_net::fabric::{FabricConfig, PrefetchTraffic, RoundTripFabric};
+use cedar_obs::{Obs, ObsConfig};
+
+/// One timed reference run.
+struct RefRun {
+    name: &'static str,
+    wall_ms: f64,
+    /// Simulated network cycles, where the workload has a single
+    /// fabric clock to report (the sweep does not).
+    sim_cycles: Option<u64>,
+}
+
+impl RefRun {
+    fn cycles_per_sec(&self) -> Option<f64> {
+        self.sim_cycles.map(|c| c as f64 / (self.wall_ms / 1000.0))
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_perf.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument {other:?}; usage: perf [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let threads = cedar_exec::threads();
+    let mut runs = Vec::new();
+
+    // Healthy Table-2 reference: the RK prefetch stream, the heaviest
+    // global-memory customer in the paper's Table 2.
+    let (ces, blocks) = if smoke { (8, 4) } else { (32, 16) };
+    let started = Instant::now();
+    let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+    let report =
+        fabric.run_prefetch_experiment(ces, PrefetchTraffic::rk_aggressive(blocks), 64_000_000);
+    assert!(report.completed(), "reference traffic must drain");
+    runs.push(RefRun {
+        name: "table2_rk_prefetch",
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        sim_cycles: Some(report.total_net_cycles),
+    });
+
+    // 2%-faulted trace run: the degraded fabric with full telemetry
+    // attached — the most allocation- and branch-heavy configuration
+    // the request path has.
+    let trace_ces = if smoke { 2 } else { trace::CES };
+    let started = Instant::now();
+    let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+    let plan = FaultPlan::generate(
+        &FaultConfig::degraded(trace::SEED, trace::FAULT_RATE),
+        &MachineShape::cedar(),
+    )
+    .expect("trace study config is valid");
+    fabric.attach_faults(plan, RetryPolicy::fabric());
+    let obs = Obs::new(ObsConfig::enabled());
+    fabric.set_obs(&obs);
+    let report = fabric.run_prefetch_experiment(trace_ces, trace::traffic(), trace::MAX_NET_CYCLES);
+    assert!(report.completed(), "faulted trace traffic must drain");
+    runs.push(RefRun {
+        name: "faulted_trace",
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        sim_cycles: Some(report.total_net_cycles),
+    });
+
+    // The hot-spot sweep, serial then parallel: the executor's
+    // speedup on real sweep work, not a microbenchmark.
+    let saved_threads = std::env::var(cedar_exec::THREADS_ENV).ok();
+    std::env::set_var(cedar_exec::THREADS_ENV, "1");
+    let started = Instant::now();
+    let serial_points = hotspot::run();
+    let serial_ms = started.elapsed().as_secs_f64() * 1000.0;
+    match &saved_threads {
+        Some(v) => std::env::set_var(cedar_exec::THREADS_ENV, v),
+        None => std::env::remove_var(cedar_exec::THREADS_ENV),
+    }
+    let started = Instant::now();
+    let parallel_points = hotspot::run();
+    let parallel_ms = started.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(
+        serial_points, parallel_points,
+        "determinism contract broken"
+    );
+    runs.push(RefRun {
+        name: "hotspot_sweep",
+        wall_ms: parallel_ms,
+        sim_cycles: None,
+    });
+    let speedup = serial_ms / parallel_ms;
+
+    let peak_rss_kb = peak_rss_kb();
+    let json = render_json(
+        smoke,
+        threads,
+        peak_rss_kb,
+        &runs,
+        serial_ms,
+        parallel_ms,
+        speedup,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
+
+    println!("perf baseline ({} mode, {threads} threads)", mode(smoke));
+    for r in &runs {
+        match r.cycles_per_sec() {
+            Some(rate) => println!(
+                "  {:<22} {:>9.1} ms  {:>12} net cycles  {:>10.2e} cycles/s",
+                r.name,
+                r.wall_ms,
+                r.sim_cycles.unwrap_or(0),
+                rate
+            ),
+            None => println!("  {:<22} {:>9.1} ms", r.name, r.wall_ms),
+        }
+    }
+    println!(
+        "  sweep serial {serial_ms:.1} ms / parallel {parallel_ms:.1} ms = {speedup:.2}x on {threads} threads"
+    );
+    match peak_rss_kb {
+        Some(kb) => println!("  peak RSS {kb} kB"),
+        None => println!("  peak RSS unavailable (/proc not readable)"),
+    }
+    println!("  wrote {out_path}");
+}
+
+fn mode(smoke: bool) -> &'static str {
+    if smoke {
+        "smoke"
+    } else {
+        "full"
+    }
+}
+
+/// Peak resident set size in kB, from `/proc/self/status` (`VmHWM`).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    threads: usize,
+    peak_rss_kb: Option<u64>,
+    runs: &[RefRun],
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"cedar-bench-perf/1\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    match peak_rss_kb {
+        Some(kb) => {
+            let _ = writeln!(out, "  \"peak_rss_kb\": {kb},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"peak_rss_kb\": null,");
+        }
+    }
+    let _ = writeln!(out, "  \"reference_runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let cycles = r
+            .sim_cycles
+            .map_or_else(|| "null".into(), |c| c.to_string());
+        let rate = r
+            .cycles_per_sec()
+            .map_or_else(|| "null".into(), |c| format!("{c:.0}"));
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {}}}{}",
+            r.name, r.wall_ms, cycles, rate, comma
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"sweep_suite\": {{");
+    let _ = writeln!(out, "    \"name\": \"hotspot_sweep\",");
+    let _ = writeln!(out, "    \"serial_ms\": {serial_ms:.3},");
+    let _ = writeln!(out, "    \"parallel_ms\": {parallel_ms:.3},");
+    let _ = writeln!(out, "    \"threads\": {threads},");
+    let _ = writeln!(out, "    \"speedup\": {speedup:.3}");
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}

@@ -102,16 +102,18 @@ pub fn measure(rate: f64, ces: usize) -> DegradedPoint {
     }
 }
 
-/// Runs the full sweep: every rate at every CE count.
+/// Runs the full sweep: every rate at every CE count. Points are
+/// independent freshly built fabrics, so they fan out over
+/// [`cedar_exec::run_sweep`] with results committed in grid order.
 #[must_use]
 pub fn run() -> Vec<DegradedPoint> {
-    let mut points = Vec::new();
+    let mut grid = Vec::new();
     for &rate in &RATES {
         for &ces in &CES {
-            points.push(measure(rate, ces));
+            grid.push((rate, ces));
         }
     }
-    points
+    cedar_exec::run_sweep(grid, |(rate, ces)| measure(rate, ces))
 }
 
 /// Renders the sweep as a Table-2-style text table. Deterministic:

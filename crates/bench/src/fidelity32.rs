@@ -25,26 +25,25 @@ pub struct FidelityRow {
 /// The CE counts studied.
 pub const CES: [usize; 3] = [8, 16, 32];
 
-/// Runs both networks on the block-read workload.
+/// Runs both networks on the block-read workload, one fresh pair of
+/// fabrics per CE count, fanned out over [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> Vec<FidelityRow> {
-    CES.iter()
-        .map(|&ces| {
-            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
-            let mut traffic = PrefetchTraffic::compiler_default(16);
-            traffic.gap_ce_cycles = 0;
-            let omega_report = fabric.run_prefetch_experiment(ces, traffic, 32_000_000);
-            let dual = run_dual_link_experiment(ces, 16, 2);
-            FidelityRow {
-                ces,
-                omega: (
-                    omega_report.mean_first_word_latency_ce(),
-                    omega_report.mean_interarrival_ce(),
-                ),
-                dual_link: (dual.latency, dual.interarrival),
-            }
-        })
-        .collect()
+    cedar_exec::run_sweep(CES.to_vec(), |ces| {
+        let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+        let mut traffic = PrefetchTraffic::compiler_default(16);
+        traffic.gap_ce_cycles = 0;
+        let omega_report = fabric.run_prefetch_experiment(ces, traffic, 32_000_000);
+        let dual = run_dual_link_experiment(ces, 16, 2);
+        FidelityRow {
+            ces,
+            omega: (
+                omega_report.mean_first_word_latency_ce(),
+                omega_report.mean_interarrival_ce(),
+            ),
+            dual_link: (dual.latency, dual.interarrival),
+        }
+    })
 }
 
 /// Prints the study.

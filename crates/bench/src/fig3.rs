@@ -23,27 +23,25 @@ pub struct Point {
     pub ymp_band: PerfBand,
 }
 
-/// Regenerates the scatter data.
+/// Regenerates the scatter data: one shared calibration, then the
+/// per-code lookups fan out over [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> Vec<Point> {
     let mut sys = paper_machine();
     let model = ExecutionModel::calibrate(&mut sys);
-    fig3_cedar_efficiencies(&model)
-        .into_iter()
-        .map(|c| {
-            let y = ymp::FIG3_EFFICIENCIES
-                .iter()
-                .find(|e| e.name == c.name)
-                .expect("every code has a YMP point");
-            Point {
-                name: c.name,
-                cedar: c.efficiency,
-                ymp: y.efficiency,
-                cedar_band: classify_efficiency(c.efficiency, fig3_width(c.name)),
-                ymp_band: classify_efficiency(y.efficiency, 8),
-            }
-        })
-        .collect()
+    cedar_exec::run_sweep(fig3_cedar_efficiencies(&model), |c| {
+        let y = ymp::FIG3_EFFICIENCIES
+            .iter()
+            .find(|e| e.name == c.name)
+            .expect("every code has a YMP point");
+        Point {
+            name: c.name,
+            cedar: c.efficiency,
+            ymp: y.efficiency,
+            cedar_band: classify_efficiency(c.efficiency, fig3_width(c.name)),
+            ymp_band: classify_efficiency(y.efficiency, 8),
+        }
+    })
 }
 
 /// Prints the data as a CSV-ish listing plus an ASCII scatter.

@@ -30,26 +30,24 @@ pub struct HotspotPoint {
 /// The hot fractions swept.
 pub const FRACTIONS: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.25];
 
-/// Runs the sweep on 32 CEs.
+/// Runs the sweep on 32 CEs, one fresh fabric per hot fraction,
+/// fanned out over [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> Vec<HotspotPoint> {
-    FRACTIONS
-        .iter()
-        .map(|&fraction| {
-            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
-            let report = fabric.run_prefetch_experiment(
-                32,
-                PrefetchTraffic::sync_hotspot(8, fraction),
-                32_000_000,
-            );
-            HotspotPoint {
-                hot_fraction: fraction,
-                latency: report.mean_first_word_latency_ce(),
-                interarrival: report.mean_interarrival_ce(),
-                bandwidth: report.words_per_ce_cycle(),
-            }
-        })
-        .collect()
+    cedar_exec::run_sweep(FRACTIONS.to_vec(), |fraction| {
+        let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+        let report = fabric.run_prefetch_experiment(
+            32,
+            PrefetchTraffic::sync_hotspot(8, fraction),
+            32_000_000,
+        );
+        HotspotPoint {
+            hot_fraction: fraction,
+            latency: report.mean_first_word_latency_ce(),
+            interarrival: report.mean_interarrival_ce(),
+            bandwidth: report.words_per_ce_cycle(),
+        }
+    })
 }
 
 /// Prints the study.

@@ -64,27 +64,25 @@ pub fn scaled_params(clusters: usize) -> CedarParams {
 /// The cluster counts studied.
 pub const SCALES: [usize; 3] = [4, 8, 16];
 
-/// Runs the scale-up study.
+/// Runs the scale-up study, one fresh scaled machine per cluster
+/// count, fanned out over [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> Vec<ScalePoint> {
-    SCALES
-        .iter()
-        .map(|&clusters| {
-            let mut sys = CedarSystem::new(scaled_params(clusters));
-            let ces = clusters * 8;
-            let profile = sys.measure_memory(PrefetchTraffic::rk_aggressive(4), ces);
-            let cache = rank_update::simulate(&mut sys, 1024, RankUpdateVersion::GmCache, clusters);
-            let pref = rank_update::simulate(&mut sys, 1024, RankUpdateVersion::GmPref, clusters);
-            ScalePoint {
-                clusters,
-                ces,
-                latency: profile.latency,
-                interarrival: profile.interarrival,
-                cache_mflops: cache.mflops,
-                pref_mflops: pref.mflops,
-            }
-        })
-        .collect()
+    cedar_exec::run_sweep(SCALES.to_vec(), |clusters| {
+        let mut sys = CedarSystem::new(scaled_params(clusters));
+        let ces = clusters * 8;
+        let profile = sys.measure_memory(PrefetchTraffic::rk_aggressive(4), ces);
+        let cache = rank_update::simulate(&mut sys, 1024, RankUpdateVersion::GmCache, clusters);
+        let pref = rank_update::simulate(&mut sys, 1024, RankUpdateVersion::GmPref, clusters);
+        ScalePoint {
+            clusters,
+            ces,
+            latency: profile.latency,
+            interarrival: profile.interarrival,
+            cache_mflops: cache.mflops,
+            pref_mflops: pref.mflops,
+        }
+    })
 }
 
 /// Prints the study.

@@ -67,37 +67,48 @@ fn overlap_cycles(kernel: &str) -> f64 {
 }
 
 /// Regenerates the table by running the monitored fabric experiments.
+///
+/// The 12 `(kernel, CE-count)` cells are independent measurements on
+/// deterministic fabrics, so they fan out over [`cedar_exec::run_sweep`];
+/// each point builds its own machine and the committed values are
+/// bit-identical to the serial single-machine run (the cost model
+/// rebuilds a fresh fabric per measurement either way).
 #[must_use]
 pub fn run() -> Vec<Row> {
-    let mut sys = paper_machine();
-    PAPER
+    let mut cells = Vec::new();
+    for (k, &(kernel, ..)) in PAPER.iter().enumerate() {
+        for (i, &ces) in CES.iter().enumerate() {
+            cells.push((k, i, kernel, ces));
+        }
+    }
+    let measured = cedar_exec::run_sweep(cells, |(k, i, kernel, ces)| {
+        let mut sys = paper_machine();
+        let profile = sys.measure_memory(traffic_of(kernel), ces);
+        // Kernel time per word: prefetched = interarrival (plus
+        // overlapped compute), non-prefetched = latency/2 with
+        // the same compute overlapped.
+        let nopref = sys.cycles_per_word(AccessMode::GlobalNoPrefetch, ces);
+        let overlap = overlap_cycles(kernel);
+        let with = profile.interarrival.max(1.0) + overlap;
+        let without = nopref + overlap;
+        (k, i, without / with, profile.latency, profile.interarrival)
+    });
+
+    let mut rows: Vec<Row> = PAPER
         .iter()
-        .map(|&(kernel, ..)| {
-            let traffic = traffic_of(kernel);
-            let mut speedup = [0.0; 3];
-            let mut latency = [0.0; 3];
-            let mut interarrival = [0.0; 3];
-            for (i, &ces) in CES.iter().enumerate() {
-                let profile = sys.measure_memory(traffic, ces);
-                latency[i] = profile.latency;
-                interarrival[i] = profile.interarrival;
-                // Kernel time per word: prefetched = interarrival (plus
-                // overlapped compute), non-prefetched = latency/2 with
-                // the same compute overlapped.
-                let nopref = sys.cycles_per_word(AccessMode::GlobalNoPrefetch, ces);
-                let overlap = overlap_cycles(kernel);
-                let with = profile.interarrival.max(1.0) + overlap;
-                let without = nopref + overlap;
-                speedup[i] = without / with;
-            }
-            Row {
-                kernel,
-                speedup,
-                latency,
-                interarrival,
-            }
+        .map(|&(kernel, ..)| Row {
+            kernel,
+            speedup: [0.0; 3],
+            latency: [0.0; 3],
+            interarrival: [0.0; 3],
         })
-        .collect()
+        .collect();
+    for (k, i, speedup, latency, interarrival) in measured {
+        rows[k].speedup[i] = speedup;
+        rows[k].latency[i] = latency;
+        rows[k].interarrival[i] = interarrival;
+    }
+    rows
 }
 
 /// Prints the regenerated table against the paper's.

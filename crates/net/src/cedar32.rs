@@ -73,13 +73,21 @@ impl AdaptiveSwitch {
         }
     }
 
-    /// The output ports a head word may use from this switch.
-    fn candidate_outputs(&self, dest: usize) -> Vec<usize> {
+    /// The usable output for a head word: the final stage routes by
+    /// `dest % RADIX`; the first stage picks the emptier of the two
+    /// parallel links to switch `dest / RADIX` (lowest port on ties).
+    /// `None` when every candidate is locked or full this cycle.
+    fn best_output(&self, dest: usize) -> Option<usize> {
+        let open =
+            |o: usize| self.output_lock[o].is_none() && self.outputs[o].len() < self.queue_words;
         if self.is_final {
-            vec![dest % RADIX]
+            let o = dest % RADIX;
+            open(o).then_some(o)
         } else {
-            let target_switch = dest / RADIX;
-            (0..LINKS).map(|l| target_switch * LINKS + l).collect()
+            let first = (dest / RADIX) * LINKS;
+            (first..first + LINKS)
+                .filter(|&o| open(o))
+                .min_by_key(|&o| self.outputs[o].len())
         }
     }
 
@@ -117,16 +125,9 @@ impl AdaptiveSwitch {
             if !word.is_head() {
                 continue;
             }
-            // Pick the candidate output with the most room that is
-            // unlocked; skip if none available this cycle.
-            let output = self
-                .candidate_outputs(word.packet.dest)
-                .into_iter()
-                .filter(|&o| {
-                    self.output_lock[o].is_none() && self.outputs[o].len() < self.queue_words
-                })
-                .min_by_key(|&o| self.outputs[o].len());
-            let Some(output) = output else { continue };
+            let Some(output) = self.best_output(word.packet.dest) else {
+                continue;
+            };
             self.inputs[input].pop_front();
             if !word.is_tail() {
                 self.input_lock[input] = Some(output);

@@ -390,6 +390,11 @@ pub struct RoundTripFabric {
     retry: RetryPolicy,
     /// Words and requests destroyed at fail-stopped modules.
     module_discards: u64,
+    /// Whether the experiment loop may skip provably idle stretches
+    /// (on by default; reports are bit-identical either way).
+    fast_forward: bool,
+    /// Net cycles elided by the idle fast-forward.
+    ff_cycles: u64,
     /// Attached telemetry; `None` (the default, or a disabled handle)
     /// leaves every code path bit-identical to the un-instrumented
     /// fabric.
@@ -471,6 +476,8 @@ impl RoundTripFabric {
             faults: None,
             retry: RetryPolicy::fabric(),
             module_discards: 0,
+            fast_forward: true,
+            ff_cycles: 0,
             obs: None,
         })
     }
@@ -753,6 +760,83 @@ impl RoundTripFabric {
         self.run_experiment_inner(n_ces, traffic, max_net_cycles, Some(watchdog))
     }
 
+    /// Enables or disables the idle fast-forward (on by default).
+    ///
+    /// The skip is an optimization, not a model change: reports are
+    /// bit-identical with it on or off. The switch exists so the
+    /// equivalence can be *tested* rather than trusted
+    /// (`fast_forward_is_invisible` below) and so a bisection of any
+    /// future divergence can rule the skip in or out in one run.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Net cycles elided by the idle fast-forward since construction.
+    #[must_use]
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.ff_cycles
+    }
+
+    /// Jumps the clocks over a provably dead stretch: when no word is
+    /// buffered in either network, no module holds queued, in-service
+    /// or blocked-outgoing work, no partially received packet exists
+    /// and no request awaits recovery, the only possible next event is
+    /// a source issuing on a CE boundary it is not gap-blocked for.
+    /// Every cycle before the earliest such boundary is a pure clock
+    /// tick (idle switches mutate nothing, not even arbitration
+    /// pointers), so the simulation lands on the same state serial
+    /// stepping would reach — just without burning a loop iteration
+    /// per empty cycle. Gap-heavy traffic (`gap_ce_cycles` of
+    /// non-overlapped computation between blocks) is where this pays.
+    ///
+    /// `horizon` caps the jump at the cycle a cycle-by-cycle run's
+    /// watchdog would have tripped, so stall reports keep identical
+    /// timestamps.
+    fn idle_fast_forward(
+        &mut self,
+        sources: &[CeSource],
+        recovery: Option<&RecoveryState>,
+        ratio: u64,
+        max_net_cycles: u64,
+        horizon: Option<u64>,
+    ) {
+        if recovery.is_some_and(|rec| !rec.pending.is_empty()) {
+            return;
+        }
+        if !self.forward.is_idle() || !self.reverse.is_idle() {
+            return;
+        }
+        if self
+            .modules
+            .iter()
+            .any(|m| !m.pending.is_empty() || m.outgoing.is_some())
+        {
+            return;
+        }
+        if self.partial.iter().any(Option::is_some) {
+            return;
+        }
+        let next_boundary = (self.now / ratio + 1) * ratio;
+        let target = sources
+            .iter()
+            .filter(|s| !s.done_issuing)
+            .map(|s| next_boundary.max(s.blocked_until_ce * ratio))
+            .min()
+            .unwrap_or(max_net_cycles)
+            .min(max_net_cycles)
+            .min(horizon.unwrap_or(u64::MAX));
+        // The loop is about to simulate cycle `now + 1`; stop one
+        // short so the first cycle anything can happen in runs live.
+        if target <= self.now + 1 {
+            return;
+        }
+        let skipped = target - 1 - self.now;
+        self.now += skipped;
+        self.forward.skip_idle_cycles(skipped);
+        self.reverse.skip_idle_cycles(skipped);
+        self.ff_cycles += skipped;
+    }
+
     fn run_experiment_inner(
         &mut self,
         n_ces: usize,
@@ -772,6 +856,12 @@ impl RoundTripFabric {
             < total_expected
             && self.now < max_net_cycles
         {
+            if self.fast_forward && self.obs.is_none() {
+                let horizon = watchdog
+                    .as_deref()
+                    .map(|dog| dog.progress_cycle() + dog.budget() + 1);
+                self.idle_fast_forward(&sources, recovery.as_ref(), ratio, max_net_cycles, horizon);
+            }
             self.now += 1;
             let ce_boundary = self.now.is_multiple_of(ratio);
             let ce_now = self.now / ratio;
@@ -781,6 +871,12 @@ impl RoundTripFabric {
             self.service_modules();
 
             completed_requests += self.eject_replies(&mut sources, recovery.as_mut());
+            // The fabric consumes exit words itself and never reads
+            // the networks' completion logs; clear them each cycle so
+            // they stay a few entries long instead of growing by one
+            // per packet for the whole run.
+            self.forward.clear_delivered();
+            self.reverse.clear_delivered();
             if let Some(rec) = recovery.as_mut() {
                 self.fire_retries(rec, &mut sources);
             }
@@ -1319,6 +1415,61 @@ mod tests {
 
     fn small_traffic() -> PrefetchTraffic {
         PrefetchTraffic::compiler_default(4)
+    }
+
+    /// The load-bearing property of the idle fast-forward: skipping
+    /// provably dead cycles never changes a delivered packet's issue
+    /// or return timestamp, nor any other report field. Gap-heavy
+    /// traffic idles the whole fabric between blocks, which is
+    /// exactly when the skip engages.
+    #[test]
+    fn fast_forward_is_invisible() {
+        let gapped = PrefetchTraffic {
+            gap_ce_cycles: 64,
+            ..small_traffic()
+        };
+        let mut on = RoundTripFabric::new(FabricConfig::cedar());
+        let fast = on.run_prefetch_experiment(4, gapped, 1_000_000);
+        assert!(
+            on.fast_forwarded_cycles() > 0,
+            "the skip never engaged; the test is vacuous"
+        );
+        let mut off = RoundTripFabric::new(FabricConfig::cedar());
+        off.set_fast_forward(false);
+        let slow = off.run_prefetch_experiment(4, gapped, 1_000_000);
+        assert_eq!(off.fast_forwarded_cycles(), 0);
+        assert_eq!(fast, slow, "fast-forward changed an observable");
+    }
+
+    /// Same invariant on a degraded machine: recovery bookkeeping
+    /// (in-flight requests, retry timers) must veto or survive the
+    /// skip without shifting a single retry or abandonment.
+    #[test]
+    fn fast_forward_is_invisible_under_faults() {
+        use cedar_faults::{FaultConfig, MachineShape};
+
+        let gapped = PrefetchTraffic {
+            gap_ce_cycles: 64,
+            ..small_traffic()
+        };
+        let run = |fast_forward: bool| {
+            let plan =
+                FaultPlan::generate(&FaultConfig::degraded(0xCEDA, 0.02), &MachineShape::cedar())
+                    .expect("valid preset");
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.attach_faults(plan, RetryPolicy::fabric());
+            fabric.set_fast_forward(fast_forward);
+            let mut dog = Watchdog::new(4_000_000, "fast-forward equivalence");
+            let report = fabric
+                .run_watched_experiment(4, gapped, 64_000_000, &mut dog)
+                .expect("run completes");
+            (report, fabric.fast_forwarded_cycles())
+        };
+        let (fast, skipped) = run(true);
+        let (slow, none_skipped) = run(false);
+        assert!(skipped > 0, "the skip never engaged under faults");
+        assert_eq!(none_skipped, 0);
+        assert_eq!(fast, slow, "fast-forward changed a degraded observable");
     }
 
     /// Prints the contention profile used to calibrate against the

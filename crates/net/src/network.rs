@@ -280,17 +280,29 @@ impl OmegaNetwork {
     }
 
     /// Advances the network by one network cycle.
+    ///
+    /// The telemetry check happens once here, not inside the per-cycle
+    /// loops: the un-instrumented instantiation compiles the obs
+    /// branches away entirely.
     pub fn step(&mut self) {
+        if self.obs.is_some() {
+            self.step_impl::<true>();
+        } else {
+            self.step_impl::<false>();
+        }
+    }
+
+    fn step_impl<const OBS: bool>(&mut self) {
         self.now += 1;
-        self.collect_exits();
-        self.link_transfers();
+        self.collect_exits::<OBS>();
+        self.link_transfers::<OBS>();
         for stage in &mut self.stages {
             for sw in stage {
                 sw.transfer(&self.topo);
             }
         }
         self.injection();
-        if self.obs.is_some() {
+        if OBS {
             self.sample_occupancy();
         }
     }
@@ -312,7 +324,7 @@ impl OmegaNetwork {
     /// (one word per output position per cycle). A full exit buffer
     /// refuses the word, backing the final stage up — the consumer's
     /// congestion thereby propagates into the network.
-    fn collect_exits(&mut self) {
+    fn collect_exits<const OBS: bool>(&mut self) {
         let last = self.cfg.stages - 1;
         let radix = self.cfg.radix;
         for sw_idx in 0..self.topo.switches_per_stage() {
@@ -322,17 +334,21 @@ impl OmegaNetwork {
                     Hop::Switch { .. } => unreachable!("last stage exits the network"),
                 };
                 if !self.output_open(last, sw_idx, out_port) {
-                    if let Some(net_obs) = &self.obs {
-                        if self.stages[last][sw_idx].peek_output(out_port).is_some() {
-                            net_obs.obs.inc(net_obs.blocked[last]);
+                    if OBS {
+                        if let Some(net_obs) = &self.obs {
+                            if self.stages[last][sw_idx].peek_output(out_port).is_some() {
+                                net_obs.obs.inc(net_obs.blocked[last]);
+                            }
                         }
                     }
                     continue;
                 }
                 if self.exit_fifo[pos].len() >= self.cfg.exit_fifo_words {
-                    if let Some(net_obs) = &self.obs {
-                        if self.stages[last][sw_idx].peek_output(out_port).is_some() {
-                            net_obs.obs.inc(net_obs.exit_blocked);
+                    if OBS {
+                        if let Some(net_obs) = &self.obs {
+                            if self.stages[last][sw_idx].peek_output(out_port).is_some() {
+                                net_obs.obs.inc(net_obs.exit_blocked);
+                            }
                         }
                     }
                     continue;
@@ -341,8 +357,10 @@ impl OmegaNetwork {
                     if self.link_eats(last, sw_idx, out_port, word) {
                         let _ = self.stages[last][sw_idx].pop_output(out_port);
                         self.words_dropped += 1;
-                        if let Some(net_obs) = &self.obs {
-                            net_obs.obs.inc(net_obs.dropped);
+                        if OBS {
+                            if let Some(net_obs) = &self.obs {
+                                net_obs.obs.inc(net_obs.dropped);
+                            }
                         }
                         continue;
                     }
@@ -360,7 +378,7 @@ impl OmegaNetwork {
     /// moves at most one switch per cycle (its arrival at stage `s+1`
     /// happens before stage `s+1`'s internal transfer this cycle,
     /// giving one full switch traversal per cycle).
-    fn link_transfers(&mut self) {
+    fn link_transfers<const OBS: bool>(&mut self) {
         let radix = self.cfg.radix;
         for s in (0..self.cfg.stages - 1).rev() {
             for sw_idx in 0..self.topo.switches_per_stage() {
@@ -373,9 +391,11 @@ impl OmegaNetwork {
                         unreachable!("non-final stage feeds a switch");
                     };
                     if !self.output_open(s, sw_idx, out_port) {
-                        if let Some(net_obs) = &self.obs {
-                            if self.stages[s][sw_idx].peek_output(out_port).is_some() {
-                                net_obs.obs.inc(net_obs.blocked[s]);
+                        if OBS {
+                            if let Some(net_obs) = &self.obs {
+                                if self.stages[s][sw_idx].peek_output(out_port).is_some() {
+                                    net_obs.obs.inc(net_obs.blocked[s]);
+                                }
                             }
                         }
                         continue;
@@ -384,8 +404,10 @@ impl OmegaNetwork {
                         continue;
                     };
                     if !self.stages[s + 1][next_sw].can_accept(next_in) {
-                        if let Some(net_obs) = &self.obs {
-                            net_obs.obs.inc(net_obs.blocked[s]);
+                        if OBS {
+                            if let Some(net_obs) = &self.obs {
+                                net_obs.obs.inc(net_obs.blocked[s]);
+                            }
                         }
                         continue;
                     }
@@ -394,8 +416,10 @@ impl OmegaNetwork {
                         .expect("peeked word");
                     if self.link_eats(s, sw_idx, out_port, word) {
                         self.words_dropped += 1;
-                        if let Some(net_obs) = &self.obs {
-                            net_obs.obs.inc(net_obs.dropped);
+                        if OBS {
+                            if let Some(net_obs) = &self.obs {
+                                net_obs.obs.inc(net_obs.dropped);
+                            }
                         }
                         continue;
                     }
@@ -459,10 +483,19 @@ impl OmegaNetwork {
     /// Pops every available exit word at every port (an infinite-sink
     /// consumer) and returns packets completed so far.
     pub fn drain_delivered(&mut self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.drain_delivered_into(&mut out);
+        out
+    }
+
+    /// Like [`drain_delivered`](Self::drain_delivered), but appends
+    /// the completions to a caller-owned buffer — the per-cycle loops
+    /// reuse one buffer instead of allocating a fresh `Vec` each cycle.
+    pub fn drain_delivered_into(&mut self, out: &mut Vec<Delivery>) {
         for pos in 0..self.topo.ports() {
             while self.pop_output(pos).is_some() {}
         }
-        std::mem::take(&mut self.delivered)
+        out.append(&mut self.delivered);
     }
 
     /// Packets fully delivered and not yet taken by
@@ -470,6 +503,26 @@ impl OmegaNetwork {
     #[must_use]
     pub fn delivered_count(&self) -> usize {
         self.delivered.len()
+    }
+
+    /// Discards the completion log without reading it. Long-running
+    /// consumers that pop exit words directly and never look at the
+    /// log call this each cycle to keep its memory flat instead of
+    /// accumulating one entry per packet for the whole run.
+    pub fn clear_delivered(&mut self) {
+        self.delivered.clear();
+    }
+
+    /// Advances the clock by `cycles` without simulating them.
+    ///
+    /// Sound only while the network [`is idle`](Self::is_idle): an
+    /// idle cycle moves no word and leaves every arbitration pointer
+    /// untouched, so it is a pure clock tick. The fabric's idle
+    /// fast-forward uses this to keep the network clock (which stamps
+    /// exit times) in lockstep with its own after a skip.
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        debug_assert!(self.is_idle(), "skipping cycles with words in flight");
+        self.now += cycles;
     }
 
     /// Whether any word is buffered anywhere in the network, the

@@ -80,6 +80,7 @@ impl Crossbar {
     /// # Panics
     ///
     /// Panics if `input` is out of range.
+    #[inline]
     pub fn try_accept(&mut self, input: usize, word: Word) -> bool {
         let q = &mut self.inputs[input];
         if q.len() >= self.queue_words {
@@ -90,18 +91,21 @@ impl Crossbar {
     }
 
     /// Whether input port `input` can accept a word this cycle.
+    #[inline]
     #[must_use]
     pub fn can_accept(&self, input: usize) -> bool {
         self.inputs[input].len() < self.queue_words
     }
 
     /// The word at the head of output queue `output`, if any.
+    #[inline]
     #[must_use]
     pub fn peek_output(&self, output: usize) -> Option<&Word> {
         self.outputs[output].front()
     }
 
     /// Removes and returns the head word of output queue `output`.
+    #[inline]
     pub fn pop_output(&mut self, output: usize) -> Option<Word> {
         self.outputs[output].pop_front()
     }
@@ -138,6 +142,10 @@ impl Crossbar {
                 self.input_lock[input] = None;
                 self.output_lock[output] = None;
             }
+            debug_assert!(
+                self.outputs[output].len() < self.queue_words,
+                "output queue overflow despite the space check"
+            );
             self.outputs[output].push_back(word);
             self.words_switched += 1;
         }
@@ -171,12 +179,14 @@ impl Crossbar {
     }
 
     /// Words buffered across all input queues.
+    #[inline]
     #[must_use]
     pub fn words_in_inputs(&self) -> usize {
         self.inputs.iter().map(VecDeque::len).sum()
     }
 
     /// Words buffered across all output queues.
+    #[inline]
     #[must_use]
     pub fn words_in_outputs(&self) -> usize {
         self.outputs.iter().map(VecDeque::len).sum()

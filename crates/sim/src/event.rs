@@ -101,26 +101,34 @@ impl<T> EventQueue<T> {
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Cycle, T)> {
         let entry = self.heap.pop()?;
+        debug_assert!(
+            self.last_popped.is_none_or(|now| entry.due >= now),
+            "heap yielded an event before the current time"
+        );
         self.last_popped = Some(entry.due);
         Some((entry.due, entry.payload))
     }
 
     /// Returns the due time of the earliest pending event without
     /// removing it.
+    #[inline]
     #[must_use]
     pub fn peek_due(&self) -> Option<Cycle> {
         self.heap.peek().map(|e| e.due)
     }
 
     /// The number of pending events.
+    #[inline]
     #[must_use]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// Whether the queue has no pending events.
+    #[inline]
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -128,15 +136,19 @@ impl<T> EventQueue<T> {
 
     /// The time of the most recently popped event, i.e. the current
     /// simulation time, if any event has fired yet.
+    #[inline]
     #[must_use]
     pub fn now(&self) -> Option<Cycle> {
         self.last_popped
     }
 
-    /// Drops all pending events and resets the clock, keeping the
-    /// sequence counter so determinism across reuse is preserved.
+    /// Drops all pending events and resets the clock and the FIFO
+    /// tie-break counter: a cleared queue is indistinguishable from a
+    /// newly built one, so a simulation reusing the allocation replays
+    /// identically to one starting fresh.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.next_seq = 0;
         self.last_popped = None;
     }
 }
@@ -217,6 +229,26 @@ mod tests {
         // After clear we may schedule earlier than the old clock.
         q.schedule(Cycle::new(1), ());
         assert_eq!(q.pop(), Some((Cycle::new(1), ())));
+    }
+
+    #[test]
+    fn clear_resets_the_tie_break_counter() {
+        let mut fresh = EventQueue::new();
+        let mut reused = EventQueue::new();
+        for i in 0..3 {
+            reused.schedule(Cycle::new(7), i);
+        }
+        while reused.pop().is_some() {}
+        reused.clear();
+        // After clear, the reused queue must be indistinguishable from
+        // a fresh one — including the private seq numbers visible via
+        // Debug, which a stale counter would shift.
+        for q in [&mut fresh, &mut reused] {
+            q.schedule(Cycle::new(5), 100);
+            q.schedule(Cycle::new(5), 200);
+        }
+        assert_eq!(format!("{fresh:?}"), format!("{reused:?}"));
+        assert_eq!(fresh.pop(), reused.pop());
     }
 
     #[test]

@@ -78,6 +78,15 @@ impl Watchdog {
         self.budget
     }
 
+    /// The simulated cycle at which progress last advanced. Together
+    /// with [`budget`](Self::budget) this bounds how far a simulator
+    /// may fast-forward an idle stretch without changing when a
+    /// serial, cycle-by-cycle run would have tripped.
+    #[must_use]
+    pub fn progress_cycle(&self) -> u64 {
+        self.progress_at
+    }
+
     /// Feeds one observation: the current simulated cycle and the
     /// current value of a monotone progress counter (requests
     /// completed, barrier arrivals seen, events popped — anything that

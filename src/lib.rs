@@ -45,12 +45,14 @@
 //! | [`baselines`] | `cedar-baselines` | YMP/8, Cray-1, CM-5, workstations |
 //! | [`faults`] | `cedar-faults` | fault plans, retry policy, degraded mode |
 //! | [`obs`] | `cedar-obs` | metrics registry, span tracing, exporters |
+//! | [`exec`] | `cedar-exec` | deterministic parallel sweep executor |
 
 #![warn(missing_docs)]
 
 pub use cedar_baselines as baselines;
 pub use cedar_core as core;
 pub use cedar_cpu as cpu;
+pub use cedar_exec as exec;
 pub use cedar_faults as faults;
 pub use cedar_kernels as kernels;
 pub use cedar_mem as mem;
