@@ -102,27 +102,108 @@ pub fn measure(rate: f64, ces: usize) -> DegradedPoint {
     }
 }
 
+/// How often the resumable runner checkpoints, in network cycles.
+/// Grid points complete in a few thousand to a few tens of thousands
+/// of net cycles (the healthy 8-CE point drains in ~4k), so 2k yields
+/// several checkpoints per point — a killed run loses only a sliver
+/// of one point — while serialization stays invisible in the profile.
+pub const CHECKPOINT_EVERY_NET_CYCLES: u64 = 2_000;
+
+/// [`measure`] with crash resilience: the experiment auto-checkpoints
+/// to `checkpoint` every [`CHECKPOINT_EVERY_NET_CYCLES`] and, if a
+/// matching checkpoint already exists there (a previous invocation
+/// was killed mid-run), resumes from it instead of restarting. The
+/// result is bit-identical to an uninterrupted [`measure`] either
+/// way; the checkpoint file is removed on completion.
+///
+/// # Panics
+///
+/// Panics if the watchdog trips, like [`measure`].
+#[must_use]
+pub fn measure_resumable(rate: f64, ces: usize, checkpoint: &std::path::Path) -> DegradedPoint {
+    let plan = FaultPlan::generate(&config_at(rate), &MachineShape::cedar())
+        .expect("sweep configs are valid");
+    let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+    fabric.attach_faults(plan, RetryPolicy::fabric());
+    let mut dog = Watchdog::new(WATCHDOG_BUDGET, "degraded fabric experiment");
+    let report = fabric
+        .run_watched_checkpointed(
+            ces,
+            traffic(),
+            64_000_000,
+            &mut dog,
+            CHECKPOINT_EVERY_NET_CYCLES,
+            checkpoint,
+        )
+        .expect("degraded run made progress");
+    DegradedPoint {
+        rate,
+        ces,
+        latency: report.mean_first_word_latency_ce(),
+        interarrival: report.mean_interarrival_ce(),
+        words_per_cycle: report.words_per_ce_cycle(),
+        words_dropped: report.words_dropped(),
+        retries: report.retries(),
+        failed: report.failed_requests(),
+    }
+}
+
+cedar_snap::snapshot_struct!(DegradedPoint {
+    rate,
+    ces,
+    latency,
+    interarrival,
+    words_per_cycle,
+    words_dropped,
+    retries,
+    failed,
+});
+
 /// Runs the full sweep: every rate at every CE count. Points are
 /// independent freshly built fabrics, so they fan out over
 /// [`cedar_exec::run_sweep`] with results committed in grid order.
 #[must_use]
 pub fn run() -> Vec<DegradedPoint> {
+    run_cached(None)
+}
+
+/// Cache namespace for the sweep's points. Bump the suffix when the
+/// measurement recipe, [`SEED`] or traffic shape changes so stale
+/// entries self-invalidate.
+pub const CACHE_NAMESPACE: &str = "bench.degraded/1";
+
+/// [`run`] with an optional content-addressed result cache keyed per
+/// `(rate, ces)` grid point under [`CACHE_NAMESPACE`].
+#[must_use]
+pub fn run_cached(cache: Option<&cedar_snap::CacheDir>) -> Vec<DegradedPoint> {
     let mut grid = Vec::new();
     for &rate in &RATES {
         for &ces in &CES {
             grid.push((rate, ces));
         }
     }
-    cedar_exec::run_sweep(grid, |(rate, ces)| measure(rate, ces))
+    cedar_exec::run_sweep_cached(cache, CACHE_NAMESPACE, grid, |(rate, ces)| {
+        measure(rate, ces)
+    })
 }
 
 /// Renders the sweep as a Table-2-style text table. Deterministic:
 /// the same [`SEED`] yields this exact string, byte for byte.
 #[must_use]
 pub fn report() -> String {
-    use std::fmt::Write;
+    report_cached(None)
+}
 
-    let points = run();
+/// [`report`] backed by an optional sweep-point cache.
+#[must_use]
+pub fn report_cached(cache: Option<&cedar_snap::CacheDir>) -> String {
+    render(&run_cached(cache))
+}
+
+/// Formats sweep points (in [`run`]'s grid order) as the report table.
+#[must_use]
+pub fn render(points: &[DegradedPoint]) -> String {
+    use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -216,5 +297,27 @@ mod tests {
     #[test]
     fn sweep_point_is_deterministic() {
         assert_eq!(measure(0.02, 8), measure(0.02, 8));
+    }
+
+    #[test]
+    fn resumable_measure_matches_plain_measure() {
+        let path =
+            std::env::temp_dir().join(format!("cedar-degraded-resume-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let resumable = measure_resumable(0.02, 8, &path);
+        assert_eq!(resumable, measure(0.02, 8));
+        assert!(!path.exists(), "completed run must remove its checkpoint");
+    }
+
+    #[test]
+    fn cached_sweep_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("cedar-degraded-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = cedar_snap::CacheDir::new(&dir).unwrap();
+        let cold = report_cached(Some(&cache));
+        let warm = report_cached(Some(&cache));
+        assert_eq!(cold, warm, "cached report must be byte-identical");
+        assert_eq!(cold, report(), "and equal to the uncached report");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

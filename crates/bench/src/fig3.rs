@@ -44,16 +44,26 @@ pub fn run() -> Vec<Point> {
     })
 }
 
-/// Prints the data as a CSV-ish listing plus an ASCII scatter.
-pub fn print() {
+/// Renders the data as a CSV-ish listing plus an ASCII scatter.
+/// Deterministic: every run yields this exact string, byte for byte.
+#[must_use]
+pub fn report() -> String {
+    use std::fmt::Write;
+
     let points = run();
-    println!("Figure 3: Cray YMP/8 vs Cedar efficiency (manually optimized Perfect codes)");
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3: Cray YMP/8 vs Cedar efficiency (manually optimized Perfect codes)"
+    );
+    let _ = writeln!(
+        out,
         "{:8} {:>9} {:>13} {:>9} {:>13}",
         "code", "cedar", "band", "ymp", "band"
     );
     for p in &points {
-        println!(
+        let _ = writeln!(
+            out,
             "{:8} {:>9.3} {:>13} {:>9.3} {:>13}",
             p.name,
             p.cedar,
@@ -75,13 +85,13 @@ pub fn print() {
             _ => '*',
         };
     }
-    println!("\nYMP eff");
+    let _ = writeln!(out, "\nYMP eff");
     for (i, line) in grid.iter().enumerate() {
         let y = 1.0 - i as f64 / (rows - 1) as f64;
         let s: String = line.iter().collect();
-        println!("{y:4.1} |{s}|");
+        let _ = writeln!(out, "{y:4.1} |{s}|");
     }
-    println!("      0.0 {:^31} 1.0", "Cedar efficiency");
+    let _ = writeln!(out, "      0.0 {:^31} 1.0", "Cedar efficiency");
     let high = points
         .iter()
         .filter(|p| p.cedar_band == PerfBand::High)
@@ -94,11 +104,13 @@ pub fn print() {
         .iter()
         .filter(|p| p.ymp_band == PerfBand::Unacceptable)
         .count();
-    println!(
+    let _ = writeln!(
+        out,
         "\nCedar: {high} high, {} intermediate, {unacc_cedar} unacceptable  (paper: ~1/4 high, rest intermediate, none unacceptable)",
         points.len() - high - unacc_cedar
     );
-    println!(
+    let _ = writeln!(
+        out,
         "YMP: {} high, {} intermediate, {unacc_ymp} unacceptable  (paper: ~half high, half intermediate, one unacceptable)",
         points.iter().filter(|p| p.ymp_band == PerfBand::High).count(),
         points
@@ -106,4 +118,10 @@ pub fn print() {
             .filter(|p| p.ymp_band == PerfBand::Intermediate)
             .count()
     );
+    out
+}
+
+/// Prints the data.
+pub fn print() {
+    print!("{}", report());
 }

@@ -34,7 +34,26 @@ pub const FRACTIONS: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.25];
 /// fanned out over [`cedar_exec::run_sweep`].
 #[must_use]
 pub fn run() -> Vec<HotspotPoint> {
-    cedar_exec::run_sweep(FRACTIONS.to_vec(), |fraction| {
+    run_cached(None)
+}
+
+/// Cache namespace for the sweep's points. Bump the suffix when the
+/// traffic shape or fabric configuration changes so stale entries
+/// self-invalidate.
+pub const CACHE_NAMESPACE: &str = "bench.hotspot/1";
+
+cedar_snap::snapshot_struct!(HotspotPoint {
+    hot_fraction,
+    latency,
+    interarrival,
+    bandwidth,
+});
+
+/// [`run`] with an optional content-addressed result cache keyed per
+/// hot fraction under [`CACHE_NAMESPACE`].
+#[must_use]
+pub fn run_cached(cache: Option<&cedar_snap::CacheDir>) -> Vec<HotspotPoint> {
+    cedar_exec::run_sweep_cached(cache, CACHE_NAMESPACE, FRACTIONS.to_vec(), |fraction| {
         let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
         let report = fabric.run_prefetch_experiment(
             32,

@@ -75,13 +75,28 @@ fn overlap_cycles(kernel: &str) -> f64 {
 /// rebuilds a fresh fabric per measurement either way).
 #[must_use]
 pub fn run() -> Vec<Row> {
-    let mut cells = Vec::new();
-    for (k, &(kernel, ..)) in PAPER.iter().enumerate() {
-        for (i, &ces) in CES.iter().enumerate() {
-            cells.push((k, i, kernel, ces));
+    run_cached(None)
+}
+
+/// Cache namespace for the table's sweep points. Bump the suffix when
+/// the measurement recipe changes so stale entries self-invalidate.
+pub const CACHE_NAMESPACE: &str = "bench.table2/1";
+
+/// [`run`] with an optional content-addressed result cache: each
+/// `(kernel, CE-count)` cell keys on its index pair under
+/// [`CACHE_NAMESPACE`], so a warmed cache serves the whole table
+/// without building a single fabric.
+#[must_use]
+pub fn run_cached(cache: Option<&cedar_snap::CacheDir>) -> Vec<Row> {
+    let mut cells: Vec<(u64, u64)> = Vec::new();
+    for k in 0..PAPER.len() as u64 {
+        for i in 0..CES.len() as u64 {
+            cells.push((k, i));
         }
     }
-    let measured = cedar_exec::run_sweep(cells, |(k, i, kernel, ces)| {
+    let measured = cedar_exec::run_sweep_cached(cache, CACHE_NAMESPACE, cells, |(k, i)| {
+        let kernel = PAPER[k as usize].0;
+        let ces = CES[i as usize];
         let mut sys = paper_machine();
         let profile = sys.measure_memory(traffic_of(kernel), ces);
         // Kernel time per word: prefetched = interarrival (plus
@@ -91,7 +106,10 @@ pub fn run() -> Vec<Row> {
         let overlap = overlap_cycles(kernel);
         let with = profile.interarrival.max(1.0) + overlap;
         let without = nopref + overlap;
-        (k, i, without / with, profile.latency, profile.interarrival)
+        (
+            (k, i),
+            (without / with, profile.latency, profile.interarrival),
+        )
     });
 
     let mut rows: Vec<Row> = PAPER
@@ -103,7 +121,8 @@ pub fn run() -> Vec<Row> {
             interarrival: [0.0; 3],
         })
         .collect();
-    for (k, i, speedup, latency, interarrival) in measured {
+    for ((k, i), (speedup, latency, interarrival)) in measured {
+        let (k, i) = (k as usize, i as usize);
         rows[k].speedup[i] = speedup;
         rows[k].latency[i] = latency;
         rows[k].interarrival[i] = interarrival;
@@ -111,19 +130,33 @@ pub fn run() -> Vec<Row> {
     rows
 }
 
-/// Prints the regenerated table against the paper's.
-pub fn print() {
-    println!("Table 2: Global memory performance (measured | paper)");
-    println!(
+/// Renders the regenerated table against the paper's as a string.
+/// Deterministic: every run yields this exact string, byte for byte.
+#[must_use]
+pub fn report() -> String {
+    report_cached(None)
+}
+
+/// [`report`] backed by an optional sweep-point cache.
+#[must_use]
+pub fn report_cached(cache: Option<&cedar_snap::CacheDir>) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: Global memory performance (measured | paper)");
+    let _ = writeln!(
+        out,
         "{:4} | {:^23} | {:^23} | {:^23}",
         "", "Prefetch Speedup", "Latency (cycles)", "Interarrival (cycles)"
     );
-    println!(
+    let _ = writeln!(
+        out,
         "{:4} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
         "#CEs", 8, 16, 32, 8, 16, 32, 8, 16, 32
     );
-    for (row, (_, sp, lp, ip)) in run().iter().zip(PAPER.iter()) {
-        println!(
+    for (row, (_, sp, lp, ip)) in run_cached(cache).iter().zip(PAPER.iter()) {
+        let _ = writeln!(
+            out,
             "{:4} | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1}",
             row.kernel,
             row.speedup[0],
@@ -136,10 +169,20 @@ pub fn print() {
             row.interarrival[1],
             row.interarrival[2],
         );
-        println!(
+        let _ = writeln!(
+            out,
             "     | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1}  (paper)",
             sp[0], sp[1], sp[2], lp[0], lp[1], lp[2], ip[0], ip[1], ip[2],
         );
     }
-    println!("\nminimal latency 8 cycles, minimal interarrival 1 cycle (paper)");
+    let _ = writeln!(
+        out,
+        "\nminimal latency 8 cycles, minimal interarrival 1 cycle (paper)"
+    );
+    out
+}
+
+/// Prints the regenerated table against the paper's.
+pub fn print() {
+    print!("{}", report());
 }

@@ -182,6 +182,19 @@ impl Default for CedarParams {
     }
 }
 
+cedar_snap::snapshot_struct!(CedarParams {
+    clusters,
+    ces_per_cluster,
+    ce,
+    cache,
+    fabric,
+    cluster_memory_words,
+    global_memory_words,
+    xdoall_startup_us,
+    xdoall_fetch_us,
+    tlb_entries,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -265,7 +265,77 @@ impl CedarSystem {
             .map(ComputationalElement::flops)
             .sum()
     }
+
+    /// Serializes the machine's complete functional state — parameters,
+    /// every cluster (CEs, cache, memory, bus), global memory with its
+    /// sync processors and fault plan, the VM system, and the
+    /// performance monitor — into one sealed snapshot.
+    ///
+    /// The cost model's measurement cache and the telemetry handle are
+    /// deliberately excluded: both are pure overlays that a restored
+    /// machine rebuilds lazily ([`restore_functional_state`] starts
+    /// with a fresh cost model; call [`set_obs`] / [`attach_faults`]
+    /// again to re-instrument).
+    ///
+    /// [`restore_functional_state`]: Self::restore_functional_state
+    /// [`set_obs`]: Self::set_obs
+    /// [`attach_faults`]: Self::attach_faults
+    #[must_use]
+    pub fn snapshot_functional_state(&self) -> Vec<u8> {
+        use cedar_snap::Snapshot;
+        let mut w = cedar_snap::SnapWriter::new();
+        self.params.snap(&mut w);
+        self.clusters.snap(&mut w);
+        self.global.snap(&mut w);
+        self.vm.snap(&mut w);
+        self.monitor.snap(&mut w);
+        cedar_snap::seal(&w.into_bytes())
+    }
+
+    /// Rebuilds a machine from [`snapshot_functional_state`] bytes.
+    ///
+    /// The restored machine is functionally identical to the one
+    /// snapshotted — same memory words, sync-processor state, cache
+    /// tags, CE counters, TLB contents — with a fresh (empty) cost
+    /// model cache and telemetry detached.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`cedar_snap::SnapError`] if the bytes are truncated,
+    /// corrupt, or from an incompatible snapshot version.
+    ///
+    /// [`snapshot_functional_state`]: Self::snapshot_functional_state
+    pub fn restore_functional_state(bytes: &[u8]) -> Result<Self, cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        let payload = cedar_snap::unseal(bytes)?;
+        let mut r = cedar_snap::SnapReader::new(payload);
+        let params: CedarParams = Snapshot::restore(&mut r)?;
+        let clusters = Snapshot::restore(&mut r)?;
+        let global = Snapshot::restore(&mut r)?;
+        let vm = Snapshot::restore(&mut r)?;
+        let monitor = Snapshot::restore(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(cedar_snap::SnapError::TrailingBytes);
+        }
+        let cost_model = CostModel::new(params.fabric.clone());
+        Ok(CedarSystem {
+            clusters,
+            global,
+            vm,
+            monitor,
+            cost_model,
+            params,
+            obs: Obs::disabled(),
+        })
+    }
 }
+
+cedar_snap::snapshot_struct!(Cluster {
+    ces,
+    cache,
+    memory,
+    bus,
+});
 
 #[cfg(test)]
 mod tests {
@@ -373,6 +443,85 @@ mod tests {
             assert_eq!(out.old_value, 0);
         }
         assert_eq!(cedar.global().sync_lost_count(), 3);
+    }
+
+    #[test]
+    fn functional_state_round_trips_bit_identically() {
+        let mut cedar = CedarSystem::new(CedarParams::paper());
+        // Touch every functional subsystem so the snapshot carries
+        // non-trivial state.
+        cedar.global_mut().write_word(12, 0xFEED);
+        cedar
+            .global_mut()
+            .sync_op(7, SyncInstruction::fetch_and_add(3));
+        cedar.vm_mut().translate(0, cedar_mem::address::VAddr(0));
+        cedar.vm_mut().translate(2, cedar_mem::address::VAddr(0));
+        cedar.cluster_mut(1).ces[4].run_scalar(500, 20.0);
+        cedar
+            .cluster_mut(1)
+            .cache
+            .access(cedar_mem::address::PAddr::in_cluster(0x40), true);
+        cedar.cluster_mut(1).bus.concurrent_start(16);
+        cedar.cluster_mut(1).bus.self_schedule_next();
+
+        let bytes = cedar.snapshot_functional_state();
+        let restored = CedarSystem::restore_functional_state(&bytes).unwrap();
+
+        assert_eq!(restored.params(), cedar.params());
+        assert_eq!(restored.global().read_count(), cedar.global().read_count());
+        assert_eq!(restored.total_busy_cycles(), cedar.total_busy_cycles());
+        assert_eq!(restored.total_flops(), cedar.total_flops());
+        assert_eq!(restored.vm().tlb_hits(), cedar.vm().tlb_hits());
+        assert_eq!(
+            restored.vm().tlb_miss_faults(),
+            cedar.vm().tlb_miss_faults()
+        );
+        assert_eq!(
+            restored.clusters()[1].cache.miss_count(),
+            cedar.clusters()[1].cache.miss_count()
+        );
+        assert_eq!(
+            restored.clusters()[1].bus.dispatch_count(),
+            cedar.clusters()[1].bus.dispatch_count()
+        );
+        // Re-snapshotting the restored machine must give the same
+        // bytes: the canonical encoding is a fixed point.
+        assert_eq!(restored.snapshot_functional_state(), bytes);
+    }
+
+    #[test]
+    fn restored_machine_continues_identically() {
+        let run_tail = |sys: &mut CedarSystem| {
+            let mut trace = Vec::new();
+            for i in 0..10u64 {
+                let out = sys
+                    .global_mut()
+                    .sync_op(7, SyncInstruction::fetch_and_add(i as i32 + 1));
+                let (paddr, kind) = sys
+                    .vm_mut()
+                    .translate(1, cedar_mem::address::VAddr(i * 4096));
+                trace.push((out.old_value, paddr.0, kind));
+            }
+            trace
+        };
+        let mut original = CedarSystem::new(CedarParams::paper());
+        original
+            .global_mut()
+            .sync_op(7, SyncInstruction::fetch_and_add(100));
+        original.vm_mut().translate(0, cedar_mem::address::VAddr(0));
+        let bytes = original.snapshot_functional_state();
+        let mut restored = CedarSystem::restore_functional_state(&bytes).unwrap();
+        assert_eq!(run_tail(&mut original), run_tail(&mut restored));
+    }
+
+    #[test]
+    fn corrupt_functional_snapshot_rejected() {
+        let cedar = CedarSystem::new(CedarParams::paper());
+        let mut bytes = cedar.snapshot_functional_state();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(CedarSystem::restore_functional_state(&bytes).is_err());
+        assert!(CedarSystem::restore_functional_state(&bytes[..20]).is_err());
     }
 
     #[test]

@@ -198,6 +198,22 @@ impl ConcurrencyBus {
     }
 }
 
+cedar_snap::snapshot_struct!(BusCosts {
+    concurrent_start_cycles,
+    self_schedule_cycles,
+    join_cycles,
+});
+cedar_snap::snapshot_struct!(ConcurrencyBus {
+    ces,
+    costs,
+    next_iteration,
+    total_iterations,
+    next_ce,
+    joined,
+    starts,
+    dispatches,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

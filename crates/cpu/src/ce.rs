@@ -190,6 +190,21 @@ impl ComputationalElement {
     }
 }
 
+cedar_snap::snapshot_struct!(CeConfig {
+    clock,
+    vector,
+    scalar_cpi,
+});
+cedar_snap::snapshot_struct!(ComputationalElement {
+    cfg,
+    vector_unit,
+    prefetch_unit,
+    busy,
+    flops,
+    vector_instructions,
+    scalar_instructions,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

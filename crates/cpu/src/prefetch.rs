@@ -374,6 +374,84 @@ impl Default for PrefetchUnit {
     }
 }
 
+impl cedar_snap::Snapshot for Slot {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        match self {
+            Slot::Empty => w.put_u8(0),
+            Slot::Full(d) => {
+                w.put_u8(1);
+                w.put_u64(*d);
+            }
+        }
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Slot::Empty),
+            1 => Ok(Slot::Full(r.get_u64()?)),
+            _ => Err(cedar_snap::SnapError::Invalid("prefetch slot tag")),
+        }
+    }
+}
+
+cedar_snap::snapshot_struct!(PrefetchBuffer { slots });
+
+impl cedar_snap::Snapshot for PfuState {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u8(match self {
+            PfuState::Idle => 0,
+            PfuState::Armed => 1,
+            PfuState::Active => 2,
+            PfuState::SuspendedAtPage => 3,
+            PfuState::Done => 4,
+        });
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(PfuState::Idle),
+            1 => Ok(PfuState::Armed),
+            2 => Ok(PfuState::Active),
+            3 => Ok(PfuState::SuspendedAtPage),
+            4 => Ok(PfuState::Done),
+            _ => Err(cedar_snap::SnapError::Invalid("PFU state tag")),
+        }
+    }
+}
+
+// Telemetry is a pure overlay: a restored PFU has no `Obs` attached
+// and the caller reattaches it with `set_obs`.
+impl cedar_snap::Snapshot for PrefetchUnit {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        self.state.snap(w);
+        self.length.snap(w);
+        self.stride.snap(w);
+        self.mask.snap(w);
+        self.issued.snap(w);
+        self.next_addr.snap(w);
+        self.current_page.snap(w);
+        self.fresh_page.snap(w);
+        self.buffer.snap(w);
+        self.page_suspensions.snap(w);
+        self.prefetches_started.snap(w);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        Ok(PrefetchUnit {
+            state: Snapshot::restore(r)?,
+            length: Snapshot::restore(r)?,
+            stride: Snapshot::restore(r)?,
+            mask: Snapshot::restore(r)?,
+            issued: Snapshot::restore(r)?,
+            next_addr: Snapshot::restore(r)?,
+            current_page: Snapshot::restore(r)?,
+            fresh_page: Snapshot::restore(r)?,
+            buffer: Snapshot::restore(r)?,
+            page_suspensions: Snapshot::restore(r)?,
+            prefetches_started: Snapshot::restore(r)?,
+            obs: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +544,26 @@ mod tests {
         pfu.fire(4096);
         assert_eq!(pfu.buffer().consume(0), None, "new prefetch invalidates");
         assert_eq!(pfu.prefetch_count(), 2);
+    }
+
+    #[test]
+    fn restored_pfu_resumes_mid_suspension_identically() {
+        use cedar_snap::Snapshot;
+        let mut pfu = PrefetchUnit::new();
+        let start = PAGE_BYTES - 16 * 8;
+        pfu.arm(32, 1, u64::MAX);
+        pfu.fire(start);
+        while pfu.next_request().is_some() {}
+        assert!(pfu.is_suspended());
+        pfu.buffer_mut().fill(3, 33);
+        let mut copy = PrefetchUnit::from_snapshot_bytes(&pfu.to_snapshot_bytes()).unwrap();
+        pfu.resume_at(PAGE_BYTES);
+        copy.resume_at(PAGE_BYTES);
+        let original: Vec<u64> = std::iter::from_fn(|| pfu.next_request()).collect();
+        let restored: Vec<u64> = std::iter::from_fn(|| copy.next_request()).collect();
+        assert_eq!(original, restored);
+        assert_eq!(copy.buffer().consume(3), Some(33), "full bits round-trip");
+        assert_eq!(copy.page_suspension_count(), pfu.page_suspension_count());
     }
 
     #[test]

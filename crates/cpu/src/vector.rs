@@ -196,6 +196,44 @@ impl VectorUnit {
     }
 }
 
+impl cedar_snap::Snapshot for MemOperand {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        match self {
+            MemOperand::None => w.put_u8(0),
+            MemOperand::ClusterCache => w.put_u8(1),
+            MemOperand::ClusterMemory => w.put_u8(2),
+            MemOperand::Global {
+                centi_cycles_per_word,
+            } => {
+                w.put_u8(3);
+                w.put_u32(*centi_cycles_per_word);
+            }
+        }
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(MemOperand::None),
+            1 => Ok(MemOperand::ClusterCache),
+            2 => Ok(MemOperand::ClusterMemory),
+            3 => Ok(MemOperand::Global {
+                centi_cycles_per_word: r.get_u32()?,
+            }),
+            _ => Err(cedar_snap::SnapError::Invalid("memory operand tag")),
+        }
+    }
+}
+
+cedar_snap::snapshot_struct!(VectorTiming {
+    startup_cycles,
+    compute_cycles_per_element,
+    cache_cycles_per_word,
+    cluster_mem_cycles_per_word,
+});
+cedar_snap::snapshot_struct!(VectorUnit {
+    registers,
+    register_words,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

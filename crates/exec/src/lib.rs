@@ -44,8 +44,10 @@
 
 #![warn(missing_docs)]
 
+mod cached;
 mod pool;
 
+pub use cached::{run_sweep_cached, run_sweep_cached_on};
 pub use pool::run_sweep_on;
 
 /// The environment variable that pins the sweep pool size.

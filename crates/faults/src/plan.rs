@@ -592,6 +592,81 @@ fn to_unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+impl cedar_snap::Snapshot for NetDirection {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u8(match self {
+            NetDirection::Forward => 0,
+            NetDirection::Reverse => 1,
+        });
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(NetDirection::Forward),
+            1 => Ok(NetDirection::Reverse),
+            _ => Err(cedar_snap::SnapError::Invalid("net direction tag")),
+        }
+    }
+}
+
+cedar_snap::snapshot_struct!(MachineShape {
+    radix,
+    stages,
+    ports,
+    modules,
+});
+cedar_snap::snapshot_struct!(FaultConfig {
+    seed,
+    stuck_outputs,
+    stuck_window_cycles,
+    slow_outputs,
+    slow_period,
+    link_drop_prob,
+    module_stalls,
+    stall_window_cycles,
+    failed_modules,
+    fail_by_cycle,
+    sync_lost_prob,
+    dead_sync_modules,
+});
+cedar_snap::snapshot_struct!(StuckOutput {
+    dir,
+    stage,
+    switch,
+    port,
+    from,
+    until,
+});
+cedar_snap::snapshot_struct!(SlowOutput {
+    dir,
+    stage,
+    switch,
+    port,
+    period,
+});
+cedar_snap::snapshot_struct!(ModuleStall {
+    module,
+    from,
+    until,
+});
+// The plan's fault decisions are pure hashes of event identity, so
+// restoring these tables reproduces every future decision exactly.
+cedar_snap::snapshot_struct!(FaultPlan {
+    seed,
+    shape,
+    stuck,
+    slow,
+    link_drop_prob,
+    stalls,
+    failed,
+    sync_lost_prob,
+    dead_sync_modules,
+});
+cedar_snap::snapshot_struct!(RetryPolicy {
+    base_delay_cycles,
+    max_retries,
+    max_delay_cycles,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,5 +831,42 @@ mod tests {
         assert_eq!(p.delay(3), 40);
         assert_eq!(p.delay(20), 1000, "capped");
         assert_eq!(p.total_delay(), 10 + 20 + 40 + 80 + 160);
+    }
+
+    #[test]
+    fn restored_plan_makes_identical_fault_decisions() {
+        use cedar_snap::Snapshot;
+        let cfg = FaultConfig::degraded(0xCEDA, 0.05);
+        let plan = FaultPlan::generate(&cfg, &MachineShape::cedar()).unwrap();
+        let bytes = plan.to_snapshot_bytes();
+        let restored = FaultPlan::from_snapshot_bytes(&bytes).unwrap();
+        // Fault decisions are pure functions of event identity; sample
+        // them across directions, ports, cycles and op indices.
+        for cycle in (0..200_000u64).step_by(7919) {
+            for port in 0..8 {
+                for dir in [NetDirection::Forward, NetDirection::Reverse] {
+                    assert_eq!(
+                        plan.output_blocked(dir, 0, 3, port, cycle),
+                        restored.output_blocked(dir, 0, 3, port, cycle)
+                    );
+                    assert_eq!(
+                        plan.drops_word(dir, 1, 2, port, cycle ^ 0x9E37, cycle),
+                        restored.drops_word(dir, 1, 2, port, cycle ^ 0x9E37, cycle)
+                    );
+                }
+            }
+            for module in 0..32 {
+                assert_eq!(
+                    plan.module_failed(module, cycle),
+                    restored.module_failed(module, cycle)
+                );
+                assert_eq!(
+                    plan.sync_update_lost(module, cycle, cycle / 3),
+                    restored.sync_update_lost(module, cycle, cycle / 3)
+                );
+            }
+        }
+        assert_eq!(plan.seed(), restored.seed());
+        assert_eq!(plan.is_benign(), restored.is_benign());
     }
 }

@@ -169,6 +169,22 @@ impl fmt::Display for Region {
     }
 }
 
+impl cedar_snap::Snapshot for Region {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u8(match self {
+            Region::Cluster => 0,
+            Region::Global => 1,
+        });
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Region::Cluster),
+            1 => Ok(Region::Global),
+            _ => Err(cedar_snap::SnapError::Invalid("memory region tag")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -286,6 +286,29 @@ impl SharedCache {
     }
 }
 
+cedar_snap::snapshot_struct!(CacheConfig {
+    capacity_bytes,
+    line_bytes,
+    ways,
+    banks,
+    outstanding_misses_per_ce,
+});
+cedar_snap::snapshot_struct!(Line {
+    tag,
+    dirty,
+    stamp,
+    valid,
+});
+cedar_snap::snapshot_struct!(SharedCache {
+    cfg,
+    sets,
+    clock,
+    hits,
+    misses,
+    writebacks,
+    bank_accesses,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,6 +129,12 @@ impl ClusterMemory {
     }
 }
 
+cedar_snap::snapshot_struct!(ClusterMemory {
+    words,
+    reads,
+    writes,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

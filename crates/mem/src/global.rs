@@ -316,6 +316,38 @@ impl GlobalMemory {
     }
 }
 
+// Telemetry handles (`obs`) are deliberately not serialized: they are
+// a pure overlay (proven equivalent to the un-instrumented path by the
+// obs tests) and hold interned ids into a registry that outlives the
+// snapshot. Restore leaves them detached; callers re-attach via
+// `set_obs`. Everything else — including `sync_ops`, the fault-plan
+// cursor that feeds `sync_update_lost` — round-trips.
+impl cedar_snap::Snapshot for GlobalMemory {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        self.words.snap(w);
+        self.modules.snap(w);
+        self.reads.snap(w);
+        self.writes.snap(w);
+        self.sync_ops.snap(w);
+        self.sync_per_module.snap(w);
+        self.sync_lost.snap(w);
+        self.faults.snap(w);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        Ok(GlobalMemory {
+            words: cedar_snap::Snapshot::restore(r)?,
+            modules: cedar_snap::Snapshot::restore(r)?,
+            reads: cedar_snap::Snapshot::restore(r)?,
+            writes: cedar_snap::Snapshot::restore(r)?,
+            sync_ops: cedar_snap::Snapshot::restore(r)?,
+            sync_per_module: cedar_snap::Snapshot::restore(r)?,
+            sync_lost: cedar_snap::Snapshot::restore(r)?,
+            faults: cedar_snap::Snapshot::restore(r)?,
+            obs: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -319,6 +319,69 @@ impl VirtualMemory {
     }
 }
 
+cedar_snap::snapshot_struct!(PageEntry {
+    region,
+    ppage,
+    home_cluster,
+});
+cedar_snap::snapshot_struct!(VmCosts {
+    tlb_miss_cycles,
+    hard_fault_cycles,
+});
+
+impl cedar_snap::Snapshot for Tlb {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        self.capacity.snap(w);
+        // Hash maps iterate in arbitrary order; sort by key so equal
+        // TLBs always produce identical bytes.
+        let mut entries: Vec<(u64, u64)> = self.entries.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        entries.snap(w);
+        self.clock.snap(w);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        let capacity: usize = Snapshot::restore(r)?;
+        let entries: Vec<(u64, u64)> = Snapshot::restore(r)?;
+        let clock = Snapshot::restore(r)?;
+        Ok(Tlb {
+            capacity,
+            entries: entries.into_iter().collect(),
+            clock,
+        })
+    }
+}
+
+impl cedar_snap::Snapshot for VirtualMemory {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        let mut table: Vec<(u64, PageEntry)> =
+            self.page_table.iter().map(|(&k, &v)| (k, v)).collect();
+        table.sort_unstable_by_key(|(k, _)| *k);
+        table.snap(w);
+        self.tlbs.snap(w);
+        self.next_global_page.snap(w);
+        self.next_cluster_page.snap(w);
+        self.counts.snap(w);
+        self.faults_per_cluster.snap(w);
+        self.costs.snap(w);
+        self.service_cycles.snap(w);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        let table: Vec<(u64, PageEntry)> = Snapshot::restore(r)?;
+        Ok(VirtualMemory {
+            page_table: table.into_iter().collect(),
+            tlbs: Snapshot::restore(r)?,
+            next_global_page: Snapshot::restore(r)?,
+            next_cluster_page: Snapshot::restore(r)?,
+            counts: Snapshot::restore(r)?,
+            faults_per_cluster: Snapshot::restore(r)?,
+            costs: Snapshot::restore(r)?,
+            service_cycles: Snapshot::restore(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

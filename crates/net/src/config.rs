@@ -131,6 +131,14 @@ impl Default for NetworkConfig {
     }
 }
 
+cedar_snap::snapshot_struct!(NetworkConfig {
+    radix,
+    stages,
+    queue_words,
+    net_cycles_per_ce_cycle,
+    exit_fifo_words,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

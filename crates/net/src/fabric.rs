@@ -426,6 +426,41 @@ struct RecoveryState {
     failed_requests: u64,
 }
 
+/// An in-progress prefetch experiment: the per-CE traffic sources and
+/// recovery book-keeping that used to live as loop locals inside
+/// [`RoundTripFabric::run_prefetch_experiment`], extracted so a run
+/// can be paused between cycles, serialized together with its fabric
+/// by [`RoundTripFabric::checkpoint_experiment`], and resumed
+/// bit-identically in another process.
+#[derive(Debug)]
+pub struct FabricExperiment {
+    sources: Vec<CeSource>,
+    /// `Some` iff a fault schedule was attached when the run began.
+    recovery: Option<RecoveryState>,
+    completed_requests: u64,
+    total_expected: u64,
+    /// Cached `cfg.net.net_cycles_per_ce_cycle`.
+    ratio: u64,
+    max_net_cycles: u64,
+}
+
+impl FabricExperiment {
+    /// Requests resolved so far: completed plus abandoned.
+    #[must_use]
+    pub fn resolved_requests(&self) -> u64 {
+        self.completed_requests + self.recovery.as_ref().map_or(0, |r| r.failed_requests)
+    }
+
+    /// Whether any request is currently awaiting its reply under the
+    /// retry machinery — i.e. the experiment is mid-recovery.
+    #[must_use]
+    pub fn retry_in_flight(&self) -> bool {
+        self.recovery
+            .as_ref()
+            .is_some_and(|r| !r.pending.is_empty())
+    }
+}
+
 impl RoundTripFabric {
     /// Builds an idle fabric.
     ///
@@ -837,6 +872,126 @@ impl RoundTripFabric {
         self.ff_cycles += skipped;
     }
 
+    /// Starts a prefetch experiment without running it. The returned
+    /// [`FabricExperiment`] plus this fabric hold the complete run
+    /// state: drive it with [`step_experiment`](Self::step_experiment)
+    /// while [`experiment_running`](Self::experiment_running) and close
+    /// with [`finish_experiment`](Self::finish_experiment) —
+    /// [`run_prefetch_experiment`](Self::run_prefetch_experiment) is
+    /// exactly that loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ces` exceeds the network port count.
+    #[must_use]
+    pub fn begin_experiment(
+        &mut self,
+        n_ces: usize,
+        traffic: PrefetchTraffic,
+        max_net_cycles: u64,
+    ) -> FabricExperiment {
+        let ports = self.cfg.net.ports();
+        assert!(n_ces <= ports, "n_ces must be <= {ports}");
+        let sources: Vec<CeSource> = (0..n_ces).map(|c| CeSource::new(c, traffic)).collect();
+        FabricExperiment {
+            recovery: self.faults.as_ref().map(|_| RecoveryState::default()),
+            completed_requests: 0,
+            total_expected: sources.iter().map(CeSource::local_request_count).sum(),
+            ratio: self.cfg.net.net_cycles_per_ce_cycle,
+            max_net_cycles,
+            sources,
+        }
+    }
+
+    /// Whether the experiment still has unresolved requests and cycle
+    /// budget left to simulate.
+    #[must_use]
+    pub fn experiment_running(&self, exp: &FabricExperiment) -> bool {
+        exp.resolved_requests() < exp.total_expected && self.now < exp.max_net_cycles
+    }
+
+    /// Advances the experiment by one network cycle (or, when the
+    /// fabric is provably idle, fast-forwards to the next cycle where
+    /// anything can happen) — one iteration of
+    /// [`run_prefetch_experiment`](Self::run_prefetch_experiment)'s
+    /// loop, verbatim, so stepping externally is bit-identical to the
+    /// packaged entry points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CedarError::Stalled`] when the watchdog trips.
+    pub fn step_experiment(
+        &mut self,
+        exp: &mut FabricExperiment,
+        watchdog: Option<&mut Watchdog>,
+    ) -> Result<(), CedarError> {
+        if self.fast_forward && self.obs.is_none() {
+            let horizon = watchdog
+                .as_deref()
+                .map(|dog| dog.progress_cycle() + dog.budget() + 1);
+            self.idle_fast_forward(
+                &exp.sources,
+                exp.recovery.as_ref(),
+                exp.ratio,
+                exp.max_net_cycles,
+                horizon,
+            );
+        }
+        self.now += 1;
+        let ce_boundary = self.now.is_multiple_of(exp.ratio);
+        let ce_now = self.now / exp.ratio;
+
+        self.forward.step();
+        self.reverse.step();
+        self.service_modules();
+
+        exp.completed_requests += self.eject_replies(&mut exp.sources, exp.recovery.as_mut());
+        // The fabric consumes exit words itself and never reads
+        // the networks' completion logs; clear them each cycle so
+        // they stay a few entries long instead of growing by one
+        // per packet for the whole run.
+        self.forward.clear_delivered();
+        self.reverse.clear_delivered();
+        if let Some(rec) = exp.recovery.as_mut() {
+            self.fire_retries(rec, &mut exp.sources);
+        }
+        if ce_boundary {
+            self.issue_requests(&mut exp.sources, ce_now, exp.recovery.as_mut());
+        }
+        if let Some(dog) = watchdog {
+            let resolved = exp.resolved_requests();
+            if self.obs.is_some() {
+                self.note_span_to_watchdog(dog);
+            }
+            if let Err(report) = dog.observe(self.now, resolved) {
+                // Balance the trace before aborting so the export
+                // of a stalled run still loads.
+                self.trace_close_dangling();
+                return Err(report.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes an experiment and assembles its report.
+    #[must_use]
+    pub fn finish_experiment(&mut self, exp: FabricExperiment) -> FabricReport {
+        self.trace_close_dangling();
+        let rec = exp.recovery.unwrap_or_default();
+        FabricReport {
+            per_ce: exp.sources.into_iter().map(|s| s.records).collect(),
+            total_net_cycles: self.now,
+            net_cycles_per_ce_cycle: exp.ratio,
+            latency_offset_ce: self.cfg.latency_offset_ce,
+            expected_requests: exp.total_expected,
+            completed_requests: exp.completed_requests,
+            retries: rec.retries,
+            failed_requests: rec.failed_requests,
+            words_dropped: self.forward.words_dropped() + self.reverse.words_dropped(),
+            module_discards: self.module_discards,
+        }
+    }
+
     fn run_experiment_inner(
         &mut self,
         n_ces: usize,
@@ -844,74 +999,137 @@ impl RoundTripFabric {
         max_net_cycles: u64,
         mut watchdog: Option<&mut Watchdog>,
     ) -> Result<FabricReport, CedarError> {
-        let ports = self.cfg.net.ports();
-        assert!(n_ces <= ports, "n_ces must be <= {ports}");
-        let mut sources: Vec<CeSource> = (0..n_ces).map(|c| CeSource::new(c, traffic)).collect();
-        let ratio = self.cfg.net.net_cycles_per_ce_cycle;
-        let total_expected: u64 = sources.iter().map(CeSource::local_request_count).sum();
-        let mut completed_requests = 0u64;
-        let mut recovery = self.faults.as_ref().map(|_| RecoveryState::default());
+        let mut exp = self.begin_experiment(n_ces, traffic, max_net_cycles);
+        while self.experiment_running(&exp) {
+            self.step_experiment(&mut exp, watchdog.as_deref_mut())?;
+        }
+        Ok(self.finish_experiment(exp))
+    }
 
-        while completed_requests + recovery.as_ref().map_or(0, |r| r.failed_requests)
-            < total_expected
-            && self.now < max_net_cycles
+    /// Serializes this fabric together with a paused experiment into
+    /// one checked envelope. Telemetry is deliberately not captured: a
+    /// restored fabric comes back with no `Obs` attached — reattach
+    /// with [`set_obs`](Self::set_obs); it is a pure overlay and does
+    /// not affect simulated state.
+    #[must_use]
+    pub fn checkpoint_experiment(&self, exp: &FabricExperiment) -> Vec<u8> {
+        use cedar_snap::Snapshot;
+        let mut w = cedar_snap::SnapWriter::new();
+        self.snap(&mut w);
+        exp.snap(&mut w);
+        cedar_snap::seal(&w.into_bytes())
+    }
+
+    /// Restores a fabric + experiment pair serialized by
+    /// [`checkpoint_experiment`](Self::checkpoint_experiment). Driving
+    /// the restored pair produces a bit-identical continuation of the
+    /// interrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`cedar_snap::SnapError`] describing any envelope
+    /// or decoding failure.
+    pub fn restore_experiment(
+        bytes: &[u8],
+    ) -> Result<(Self, FabricExperiment), cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        let payload = cedar_snap::unseal(bytes)?;
+        let mut r = cedar_snap::SnapReader::new(payload);
+        let fabric = Self::restore(&mut r)?;
+        let exp = FabricExperiment::restore(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(cedar_snap::SnapError::TrailingBytes);
+        }
+        Ok((fabric, exp))
+    }
+
+    /// Whether a restored checkpoint belongs to *this* experiment:
+    /// same fabric configuration, fault schedule, retry policy, CE
+    /// count, traffic pattern and cycle budget. Anything else is a
+    /// stale file from a different run and must not be resumed.
+    fn checkpoint_matches(
+        &self,
+        fabric: &RoundTripFabric,
+        exp: &FabricExperiment,
+        n_ces: usize,
+        traffic: PrefetchTraffic,
+        max_net_cycles: u64,
+    ) -> bool {
+        use cedar_snap::Snapshot;
+        let faults_match = {
+            let mut ours = cedar_snap::SnapWriter::new();
+            self.faults.snap(&mut ours);
+            self.retry.snap(&mut ours);
+            let mut theirs = cedar_snap::SnapWriter::new();
+            fabric.faults.snap(&mut theirs);
+            fabric.retry.snap(&mut theirs);
+            ours.into_bytes() == theirs.into_bytes()
+        };
+        fabric.cfg == self.cfg
+            && faults_match
+            && exp.sources.len() == n_ces
+            && exp.max_net_cycles == max_net_cycles
+            && exp.sources.first().is_none_or(|s| s.traffic == traffic)
+    }
+
+    /// Like [`run_watched_experiment`](Self::run_watched_experiment),
+    /// but writes an atomic checkpoint file every
+    /// `checkpoint_every_net_cycles` simulated cycles and, when
+    /// `checkpoint_path` already holds a matching checkpoint, resumes
+    /// from it instead of starting over — a killed process loses at
+    /// most one checkpoint interval of work. The file is removed once
+    /// the run completes; a stale, corrupt or mismatched file is
+    /// ignored and overwritten. Attached telemetry does not survive a
+    /// resume (see
+    /// [`checkpoint_experiment`](Self::checkpoint_experiment)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CedarError::Stalled`] when the watchdog trips; the
+    /// last checkpoint is left on disk in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_every_net_cycles` is zero or `n_ces`
+    /// exceeds the network port count.
+    pub fn run_watched_checkpointed(
+        &mut self,
+        n_ces: usize,
+        traffic: PrefetchTraffic,
+        max_net_cycles: u64,
+        watchdog: &mut Watchdog,
+        checkpoint_every_net_cycles: u64,
+        checkpoint_path: &std::path::Path,
+    ) -> Result<FabricReport, CedarError> {
+        assert!(
+            checkpoint_every_net_cycles > 0,
+            "checkpoint interval must be nonzero"
+        );
+        let mut exp = match std::fs::read(checkpoint_path)
+            .ok()
+            .and_then(|bytes| Self::restore_experiment(&bytes).ok())
         {
-            if self.fast_forward && self.obs.is_none() {
-                let horizon = watchdog
-                    .as_deref()
-                    .map(|dog| dog.progress_cycle() + dog.budget() + 1);
-                self.idle_fast_forward(&sources, recovery.as_ref(), ratio, max_net_cycles, horizon);
+            Some((fabric, exp))
+                if self.checkpoint_matches(&fabric, &exp, n_ces, traffic, max_net_cycles) =>
+            {
+                *self = fabric;
+                exp
             }
-            self.now += 1;
-            let ce_boundary = self.now.is_multiple_of(ratio);
-            let ce_now = self.now / ratio;
-
-            self.forward.step();
-            self.reverse.step();
-            self.service_modules();
-
-            completed_requests += self.eject_replies(&mut sources, recovery.as_mut());
-            // The fabric consumes exit words itself and never reads
-            // the networks' completion logs; clear them each cycle so
-            // they stay a few entries long instead of growing by one
-            // per packet for the whole run.
-            self.forward.clear_delivered();
-            self.reverse.clear_delivered();
-            if let Some(rec) = recovery.as_mut() {
-                self.fire_retries(rec, &mut sources);
-            }
-            if ce_boundary {
-                self.issue_requests(&mut sources, ce_now, recovery.as_mut());
-            }
-            if let Some(dog) = watchdog.as_deref_mut() {
-                let resolved =
-                    completed_requests + recovery.as_ref().map_or(0, |r| r.failed_requests);
-                if self.obs.is_some() {
-                    self.note_span_to_watchdog(dog);
-                }
-                if let Err(report) = dog.observe(self.now, resolved) {
-                    // Balance the trace before aborting so the export
-                    // of a stalled run still loads.
-                    self.trace_close_dangling();
-                    return Err(report.into());
-                }
+            _ => self.begin_experiment(n_ces, traffic, max_net_cycles),
+        };
+        let mut next_checkpoint = self.now + checkpoint_every_net_cycles;
+        while self.experiment_running(&exp) {
+            self.step_experiment(&mut exp, Some(watchdog))?;
+            if self.now >= next_checkpoint {
+                // Best-effort: a failed write only costs resumability.
+                let _ =
+                    cedar_snap::write_atomic(checkpoint_path, &self.checkpoint_experiment(&exp));
+                next_checkpoint = self.now + checkpoint_every_net_cycles;
             }
         }
-        self.trace_close_dangling();
-
-        let rec = recovery.unwrap_or_default();
-        Ok(FabricReport {
-            per_ce: sources.into_iter().map(|s| s.records).collect(),
-            total_net_cycles: self.now,
-            net_cycles_per_ce_cycle: ratio,
-            latency_offset_ce: self.cfg.latency_offset_ce,
-            expected_requests: total_expected,
-            completed_requests,
-            retries: rec.retries,
-            failed_requests: rec.failed_requests,
-            words_dropped: self.forward.words_dropped() + self.reverse.words_dropped(),
-            module_discards: self.module_discards,
-        })
+        let report = self.finish_experiment(exp);
+        let _ = std::fs::remove_file(checkpoint_path);
+        Ok(report)
     }
 
     /// Fires due retry timers: a request still unresolved when its
@@ -1409,6 +1627,164 @@ impl FabricReport {
     }
 }
 
+cedar_snap::snapshot_struct!(FabricConfig {
+    net,
+    mem_service_net_cycles,
+    mem_modules,
+    latency_offset_ce,
+    module_buffer_requests,
+});
+cedar_snap::snapshot_struct!(PrefetchTraffic {
+    block_len,
+    blocks,
+    window,
+    gap_ce_cycles,
+    blocks_in_flight,
+    writes_per_read,
+    streams,
+    pattern,
+});
+cedar_snap::snapshot_struct!(RequestRecord {
+    block,
+    index_in_block,
+    issue,
+    ret,
+});
+cedar_snap::snapshot_struct!(MemModule {
+    pending,
+    busy_until,
+    outgoing,
+    served,
+});
+cedar_snap::snapshot_struct!(CeSource {
+    port,
+    traffic,
+    next_block,
+    next_index,
+    outstanding,
+    blocked_until_ce,
+    records,
+    issued_at,
+    returned_per_block,
+    completed_blocks,
+    stream_bases,
+    write_debt,
+    writes_issued,
+    rng,
+    done_issuing,
+});
+cedar_snap::snapshot_struct!(InFlight { packet, attempts });
+cedar_snap::snapshot_struct!(FabricExperiment {
+    sources,
+    recovery,
+    completed_requests,
+    total_expected,
+    ratio,
+    max_net_cycles,
+});
+cedar_snap::snapshot_struct!(FabricReport {
+    per_ce,
+    total_net_cycles,
+    net_cycles_per_ce_cycle,
+    latency_offset_ce,
+    expected_requests,
+    completed_requests,
+    retries,
+    failed_requests,
+    words_dropped,
+    module_discards,
+});
+
+impl cedar_snap::Snapshot for AddressPattern {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        match self {
+            AddressPattern::Strided => w.put_u8(0),
+            AddressPattern::HotSpot { module, fraction } => {
+                w.put_u8(1);
+                w.put_usize(*module);
+                w.put_f64(*fraction);
+            }
+        }
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(AddressPattern::Strided),
+            1 => Ok(AddressPattern::HotSpot {
+                module: r.get_usize()?,
+                fraction: r.get_f64()?,
+            }),
+            _ => Err(cedar_snap::SnapError::Invalid("address pattern tag")),
+        }
+    }
+}
+
+// Retry timers live in a BinaryHeap whose internal layout is
+// unspecified; they serialize as a sorted list and re-push on restore.
+// `(due, id)` is a total order, so pop order — and therefore every
+// retry decision — is preserved exactly.
+impl cedar_snap::Snapshot for RecoveryState {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        self.pending.snap(w);
+        let mut timers: Vec<(u64, u64)> = self.timers.iter().map(|Reverse(t)| *t).collect();
+        timers.sort_unstable();
+        timers.snap(w);
+        self.retries.snap(w);
+        self.failed_requests.snap(w);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        let pending = Snapshot::restore(r)?;
+        let timer_list: Vec<(u64, u64)> = Snapshot::restore(r)?;
+        let mut timers = BinaryHeap::with_capacity(timer_list.len());
+        for t in timer_list {
+            timers.push(Reverse(t));
+        }
+        Ok(RecoveryState {
+            pending,
+            timers,
+            retries: Snapshot::restore(r)?,
+            failed_requests: Snapshot::restore(r)?,
+        })
+    }
+}
+
+// Telemetry is a pure overlay and deliberately not captured: a
+// restored fabric has no `Obs` attached (see `set_obs`). Everything
+// that feeds the simulation — including the fault and retry schedules
+// — round-trips.
+impl cedar_snap::Snapshot for RoundTripFabric {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        self.cfg.snap(w);
+        self.forward.snap(w);
+        self.reverse.snap(w);
+        self.modules.snap(w);
+        self.partial.snap(w);
+        self.now.snap(w);
+        self.faults.snap(w);
+        self.retry.snap(w);
+        self.module_discards.snap(w);
+        self.fast_forward.snap(w);
+        self.ff_cycles.snap(w);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        Ok(RoundTripFabric {
+            cfg: Snapshot::restore(r)?,
+            forward: Snapshot::restore(r)?,
+            reverse: Snapshot::restore(r)?,
+            modules: Snapshot::restore(r)?,
+            partial: Snapshot::restore(r)?,
+            now: Snapshot::restore(r)?,
+            faults: Snapshot::restore(r)?,
+            retry: Snapshot::restore(r)?,
+            module_discards: Snapshot::restore(r)?,
+            fast_forward: Snapshot::restore(r)?,
+            ff_cycles: Snapshot::restore(r)?,
+            obs: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1470,6 +1846,156 @@ mod tests {
         assert!(skipped > 0, "the skip never engaged under faults");
         assert_eq!(none_skipped, 0);
         assert_eq!(fast, slow, "fast-forward changed a degraded observable");
+    }
+
+    /// Stepping an experiment manually is the same loop the packaged
+    /// entry point runs; the reports must be identical.
+    #[test]
+    fn stepwise_run_matches_packaged_entry_point() {
+        let mut packaged = RoundTripFabric::new(FabricConfig::cedar());
+        let expected = packaged.run_prefetch_experiment(4, small_traffic(), 1_000_000);
+
+        let mut stepped = RoundTripFabric::new(FabricConfig::cedar());
+        let mut exp = stepped.begin_experiment(4, small_traffic(), 1_000_000);
+        while stepped.experiment_running(&exp) {
+            stepped.step_experiment(&mut exp, None).unwrap();
+        }
+        assert_eq!(stepped.finish_experiment(exp), expected);
+    }
+
+    /// The tentpole guarantee on a healthy machine: serialize
+    /// mid-flight, restore in a "fresh process" (a new fabric value),
+    /// continue — and land on the exact report an uninterrupted run
+    /// produces.
+    #[test]
+    fn checkpoint_mid_run_resumes_bit_identically() {
+        let mut straight = RoundTripFabric::new(FabricConfig::cedar());
+        let expected = straight.run_prefetch_experiment(4, small_traffic(), 1_000_000);
+
+        let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+        let mut exp = fabric.begin_experiment(4, small_traffic(), 1_000_000);
+        for _ in 0..137 {
+            assert!(fabric.experiment_running(&exp), "stopped before checkpoint");
+            fabric.step_experiment(&mut exp, None).unwrap();
+        }
+        let bytes = fabric.checkpoint_experiment(&exp);
+        drop((fabric, exp));
+
+        let (mut resumed, mut exp) = RoundTripFabric::restore_experiment(&bytes).unwrap();
+        while resumed.experiment_running(&exp) {
+            resumed.step_experiment(&mut exp, None).unwrap();
+        }
+        assert_eq!(resumed.finish_experiment(exp), expected);
+    }
+
+    /// The same guarantee mid-recovery on a degraded machine: the
+    /// checkpoint is taken while timed-out requests await retries, so
+    /// the pending map, the timer heap and the fault-plan decisions
+    /// all have to survive the round trip for the reports to agree.
+    #[test]
+    fn checkpoint_mid_retry_under_faults_resumes_identically() {
+        use cedar_faults::{FaultConfig, MachineShape};
+
+        let make = || {
+            let plan =
+                FaultPlan::generate(&FaultConfig::degraded(0xCEDA, 0.05), &MachineShape::cedar())
+                    .expect("valid preset");
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.attach_faults(plan, RetryPolicy::fabric());
+            fabric
+        };
+        let mut straight = make();
+        let mut dog = Watchdog::new(4_000_000, "straight degraded run");
+        let expected = straight
+            .run_watched_experiment(8, small_traffic(), 64_000_000, &mut dog)
+            .expect("run completes");
+        assert!(expected.retries() > 0, "no retries; the test is vacuous");
+
+        let mut fabric = make();
+        let mut exp = fabric.begin_experiment(8, small_traffic(), 64_000_000);
+        // Step until the recovery machinery is mid-flight, then a bit
+        // further so retry timers are armed at assorted depths.
+        while !exp.retry_in_flight() {
+            fabric.step_experiment(&mut exp, None).unwrap();
+        }
+        for _ in 0..50 {
+            fabric.step_experiment(&mut exp, None).unwrap();
+        }
+        assert!(exp.retry_in_flight(), "checkpoint must land mid-recovery");
+        let bytes = fabric.checkpoint_experiment(&exp);
+        drop((fabric, exp));
+
+        let (mut resumed, mut exp) = RoundTripFabric::restore_experiment(&bytes).unwrap();
+        let mut dog = Watchdog::new(4_000_000, "resumed degraded run");
+        while resumed.experiment_running(&exp) {
+            resumed.step_experiment(&mut exp, Some(&mut dog)).unwrap();
+        }
+        assert_eq!(resumed.finish_experiment(exp), expected);
+    }
+
+    /// `run_watched_checkpointed` picks an interrupted run back up
+    /// from its checkpoint file, finishes with the uninterrupted
+    /// run's exact report, and cleans the file up.
+    #[test]
+    fn run_watched_checkpointed_resumes_from_kill_point() {
+        let path =
+            std::env::temp_dir().join(format!("cedar-fabric-ckpt-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut straight = RoundTripFabric::new(FabricConfig::cedar());
+        let expected = straight.run_prefetch_experiment(4, small_traffic(), 1_000_000);
+
+        // Simulate a killed run: step partway, write the checkpoint,
+        // drop everything.
+        let mut killed = RoundTripFabric::new(FabricConfig::cedar());
+        let mut exp = killed.begin_experiment(4, small_traffic(), 1_000_000);
+        for _ in 0..200 {
+            killed.step_experiment(&mut exp, None).unwrap();
+        }
+        cedar_snap::write_atomic(&path, &killed.checkpoint_experiment(&exp)).unwrap();
+        drop((killed, exp));
+
+        let mut resumed = RoundTripFabric::new(FabricConfig::cedar());
+        let mut dog = Watchdog::new(4_000_000, "checkpointed run");
+        let report = resumed
+            .run_watched_checkpointed(4, small_traffic(), 1_000_000, &mut dog, 500, &path)
+            .expect("run completes");
+        assert!(
+            resumed.now > 200,
+            "resume must continue, not restart, the clock"
+        );
+        assert_eq!(report, expected);
+        assert!(
+            !path.exists(),
+            "checkpoint file must be removed on completion"
+        );
+    }
+
+    /// A checkpoint from a *different* experiment (other traffic
+    /// pattern) must be ignored, not resumed into wrong results.
+    #[test]
+    fn mismatched_checkpoint_is_ignored() {
+        let path =
+            std::env::temp_dir().join(format!("cedar-fabric-stale-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut other = RoundTripFabric::new(FabricConfig::cedar());
+        let mut exp = other.begin_experiment(2, PrefetchTraffic::rk_aggressive(2), 1_000_000);
+        for _ in 0..100 {
+            other.step_experiment(&mut exp, None).unwrap();
+        }
+        cedar_snap::write_atomic(&path, &other.checkpoint_experiment(&exp)).unwrap();
+
+        let mut straight = RoundTripFabric::new(FabricConfig::cedar());
+        let expected = straight.run_prefetch_experiment(4, small_traffic(), 1_000_000);
+
+        let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+        let mut dog = Watchdog::new(4_000_000, "stale checkpoint run");
+        let report = fabric
+            .run_watched_checkpointed(4, small_traffic(), 1_000_000, &mut dog, 500, &path)
+            .expect("run completes");
+        assert_eq!(report, expected, "stale checkpoint leaked into the run");
+        assert!(!path.exists());
     }
 
     /// Prints the contention profile used to calibrate against the

@@ -558,6 +558,59 @@ impl OmegaNetwork {
     }
 }
 
+cedar_snap::snapshot_struct!(Delivery {
+    packet,
+    head_exit,
+    tail_exit,
+});
+cedar_snap::snapshot_struct!(ExitProgress {
+    packet,
+    head_exit,
+    words_seen,
+});
+
+// The topology is a pure function of the config and is rebuilt on
+// restore; telemetry handles are reattached by the caller (`set_obs`).
+// Everything that carries words or arbitration state round-trips.
+impl cedar_snap::Snapshot for OmegaNetwork {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        self.cfg.snap(w);
+        self.stages.snap(w);
+        self.inject_fifo.snap(w);
+        self.exit_fifo.snap(w);
+        self.exit_progress.snap(w);
+        self.delivered.snap(w);
+        self.now.snap(w);
+        self.words_injected.snap(w);
+        self.words_exited.snap(w);
+        self.words_dropped.snap(w);
+        self.direction.snap(w);
+        self.faults.snap(w);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        let cfg = NetworkConfig::restore(r)?;
+        let topo = Topology::new(cfg.radix, cfg.stages)
+            .map_err(|_| cedar_snap::SnapError::Invalid("network config rejected"))?;
+        Ok(OmegaNetwork {
+            cfg,
+            topo,
+            stages: Snapshot::restore(r)?,
+            inject_fifo: Snapshot::restore(r)?,
+            exit_fifo: Snapshot::restore(r)?,
+            exit_progress: Snapshot::restore(r)?,
+            delivered: Snapshot::restore(r)?,
+            now: Snapshot::restore(r)?,
+            words_injected: Snapshot::restore(r)?,
+            words_exited: Snapshot::restore(r)?,
+            words_dropped: Snapshot::restore(r)?,
+            direction: Snapshot::restore(r)?,
+            faults: Snapshot::restore(r)?,
+            obs: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

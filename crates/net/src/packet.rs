@@ -152,6 +152,44 @@ impl Word {
     }
 }
 
+impl cedar_snap::Snapshot for PacketId {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        Ok(PacketId(r.get_u64()?))
+    }
+}
+
+impl cedar_snap::Snapshot for PacketKind {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u8(match self {
+            PacketKind::ReadRequest => 0,
+            PacketKind::Write => 1,
+            PacketKind::SyncOp => 2,
+            PacketKind::Reply => 3,
+        });
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(PacketKind::ReadRequest),
+            1 => Ok(PacketKind::Write),
+            2 => Ok(PacketKind::SyncOp),
+            3 => Ok(PacketKind::Reply),
+            _ => Err(cedar_snap::SnapError::Invalid("packet kind tag")),
+        }
+    }
+}
+
+cedar_snap::snapshot_struct!(Packet {
+    id,
+    src,
+    dest,
+    words,
+    kind,
+});
+cedar_snap::snapshot_struct!(Word { packet, index });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -205,6 +205,21 @@ impl Crossbar {
     }
 }
 
+// Wormhole locks and round-robin pointers are part of the arbitration
+// state machine; dropping any of them would change which input wins
+// the next contended output, so all of them round-trip.
+cedar_snap::snapshot_struct!(Crossbar {
+    radix,
+    queue_words,
+    stage,
+    inputs,
+    outputs,
+    input_lock,
+    output_lock,
+    rr_next,
+    words_switched,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

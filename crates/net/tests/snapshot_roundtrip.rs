@@ -1,0 +1,145 @@
+//! Randomized checkpoint/restore property tests: across random
+//! topologies, traffic shapes, cut points and fault schedules, a run
+//! that is checkpointed mid-flight, serialized, restored and driven to
+//! completion must produce the byte-identical report of a run that was
+//! never interrupted. Driven by the simulator's deterministic
+//! SplitMix64 generator, so every failure reproduces from the seed.
+
+use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+use cedar_net::fabric::{FabricConfig, FabricReport, PrefetchTraffic, RoundTripFabric};
+use cedar_sim::rng::SplitMix64;
+
+const MAX_NET_CYCLES: u64 = 4_000_000;
+
+/// A random fabric configuration: one of several omega topologies with
+/// randomized queue depths and module timing.
+fn random_config(rng: &mut SplitMix64) -> FabricConfig {
+    let mut cfg = FabricConfig::cedar();
+    // (radix, stages) pairs with 16 or 64 network positions.
+    let topologies = [(8, 2), (4, 2), (4, 3), (2, 4)];
+    let (radix, stages) = topologies[rng.next_below(topologies.len() as u64) as usize];
+    cfg.net.radix = radix;
+    cfg.net.stages = stages;
+    cfg.net.queue_words = 2 + rng.next_below(3) as usize;
+    cfg.net.exit_fifo_words = 2 + rng.next_below(3) as usize;
+    cfg.mem_modules = cfg.net.ports() / 2;
+    cfg.mem_service_net_cycles = 1 + rng.next_below(3);
+    cfg.module_buffer_requests = 1 + rng.next_below(3) as usize;
+    cfg
+}
+
+/// A random prefetch traffic shape, kept small enough that every case
+/// finishes in well under the cycle budget.
+fn random_traffic(rng: &mut SplitMix64) -> PrefetchTraffic {
+    let mut t = PrefetchTraffic::rk_aggressive(1 + rng.next_below(3) as u32);
+    t.block_len = 8 << rng.next_below(3); // 8, 16 or 32 words
+    t.window = 2 + rng.next_below(31) as u32;
+    t.gap_ce_cycles = rng.next_below(5);
+    t.streams = 1 + rng.next_below(4) as u32;
+    t.writes_per_read = [0.0, 0.5, 1.0][rng.next_below(3) as usize];
+    t
+}
+
+/// Runs the experiment straight through on `fabric`.
+fn straight(mut fabric: RoundTripFabric, n_ces: usize, traffic: PrefetchTraffic) -> FabricReport {
+    fabric.run_prefetch_experiment(n_ces, traffic, MAX_NET_CYCLES)
+}
+
+/// Runs the experiment on `fabric` but checkpoints after `cut` steps,
+/// serializes, restores into fresh objects, and finishes the run on
+/// the restored pair.
+fn interrupted(
+    mut fabric: RoundTripFabric,
+    n_ces: usize,
+    traffic: PrefetchTraffic,
+    cut: u64,
+) -> FabricReport {
+    let mut exp = fabric.begin_experiment(n_ces, traffic, MAX_NET_CYCLES);
+    let mut steps = 0;
+    while fabric.experiment_running(&exp) && steps < cut {
+        fabric.step_experiment(&mut exp, None).expect("no watchdog");
+        steps += 1;
+    }
+    let bytes = fabric.checkpoint_experiment(&exp);
+    drop((fabric, exp)); // everything must come back from the bytes
+    let (mut fabric, mut exp) =
+        RoundTripFabric::restore_experiment(&bytes).expect("checkpoint decodes");
+    while fabric.experiment_running(&exp) {
+        fabric.step_experiment(&mut exp, None).expect("no watchdog");
+    }
+    fabric.finish_experiment(exp)
+}
+
+#[test]
+fn restored_runs_match_straight_runs_across_random_machines() {
+    let mut rng = SplitMix64::new(0x5EED_CEDA);
+    for case in 0..24 {
+        let cfg = random_config(&mut rng);
+        let traffic = random_traffic(&mut rng);
+        let n_ces = 1 + rng.next_below((cfg.net.ports() / 2) as u64) as usize;
+        let cut = rng.next_below(50_000);
+        let expected = straight(RoundTripFabric::new(cfg.clone()), n_ces, traffic);
+        assert!(expected.completed(), "case {case} must drain");
+        let resumed = interrupted(RoundTripFabric::new(cfg), n_ces, traffic, cut);
+        assert_eq!(
+            expected, resumed,
+            "case {case}: restored run diverged (cut at {cut} steps, {n_ces} CEs)"
+        );
+    }
+}
+
+#[test]
+fn restored_runs_match_straight_runs_under_random_faults() {
+    let mut rng = SplitMix64::new(0xFA07_CEDA);
+    for case in 0..12 {
+        // Fault plans target the production machine shape, so faulted
+        // cases keep the Cedar topology and randomize everything else.
+        let cfg = FabricConfig::cedar();
+        let traffic = random_traffic(&mut rng);
+        let n_ces = 1 + rng.next_below(32) as usize;
+        let rate = [0.01, 0.02, 0.05][rng.next_below(3) as usize];
+        let seed = rng.next_below(u64::MAX);
+        let cut = rng.next_below(100_000);
+        let build = || {
+            let plan =
+                FaultPlan::generate(&FaultConfig::degraded(seed, rate), &MachineShape::cedar())
+                    .expect("degraded config is valid");
+            let mut fabric = RoundTripFabric::new(cfg.clone());
+            fabric.attach_faults(plan, RetryPolicy::fabric());
+            fabric
+        };
+        let expected = straight(build(), n_ces, traffic);
+        let resumed = interrupted(build(), n_ces, traffic, cut);
+        assert_eq!(
+            expected, resumed,
+            "case {case}: faulted restored run diverged \
+             (seed {seed:#x}, rate {rate}, cut {cut}, {n_ces} CEs)"
+        );
+    }
+}
+
+#[test]
+fn double_checkpoint_is_a_fixed_point() {
+    // Checkpointing, restoring, and checkpointing again without
+    // stepping must produce identical bytes — the encoding has no
+    // hidden nondeterminism (map ordering, uninitialized scratch).
+    let mut rng = SplitMix64::new(0xF1_0D);
+    for _ in 0..8 {
+        let cfg = random_config(&mut rng);
+        let traffic = random_traffic(&mut rng);
+        let n_ces = 1 + rng.next_below((cfg.net.ports() / 2) as u64) as usize;
+        let mut fabric = RoundTripFabric::new(cfg);
+        let mut exp = fabric.begin_experiment(n_ces, traffic, MAX_NET_CYCLES);
+        for _ in 0..rng.next_below(5_000) {
+            if !fabric.experiment_running(&exp) {
+                break;
+            }
+            fabric.step_experiment(&mut exp, None).expect("no watchdog");
+        }
+        let first = fabric.checkpoint_experiment(&exp);
+        let (fabric2, exp2) =
+            RoundTripFabric::restore_experiment(&first).expect("checkpoint decodes");
+        let second = fabric2.checkpoint_experiment(&exp2);
+        assert_eq!(first, second, "re-snapshot of a restored fabric drifted");
+    }
+}

@@ -210,6 +210,18 @@ impl MetricsRegistry {
     }
 }
 
+cedar_snap::snapshot_struct!(HistogramEntry { bins, sum, stats });
+// Interned ids are indices into these vectors, so a registry restored
+// from a snapshot keeps every previously handed-out id valid.
+cedar_snap::snapshot_struct!(MetricsRegistry {
+    counter_index,
+    counters,
+    gauge_index,
+    gauges,
+    histogram_index,
+    histograms,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

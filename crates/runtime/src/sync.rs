@@ -311,6 +311,9 @@ pub fn run_multicluster_round(
     }
 }
 
+cedar_snap::snapshot_struct!(Ticket { cell });
+cedar_snap::snapshot_struct!(GlobalBarrier { cell, participants });
+
 #[cfg(test)]
 mod tests {
     use super::*;

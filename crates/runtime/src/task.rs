@@ -300,6 +300,68 @@ impl XylemScheduler {
     }
 }
 
+impl cedar_snap::Snapshot for TaskId {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        Ok(TaskId(r.get_u64()?))
+    }
+}
+
+impl cedar_snap::Snapshot for TaskState {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        match self {
+            TaskState::Ready => w.put_u8(0),
+            TaskState::Running { cluster } => {
+                w.put_u8(1);
+                w.put_usize(*cluster);
+            }
+            TaskState::Completed => w.put_u8(2),
+        }
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(TaskState::Ready),
+            1 => Ok(TaskState::Running {
+                cluster: r.get_usize()?,
+            }),
+            2 => Ok(TaskState::Completed),
+            _ => Err(cedar_snap::SnapError::Invalid("task state tag")),
+        }
+    }
+}
+
+cedar_snap::snapshot_struct!(Task {
+    id,
+    label,
+    state,
+    remaining_cycles,
+});
+
+impl cedar_snap::Snapshot for XylemScheduler {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        self.clusters_free.snap(w);
+        self.tasks.snap(w);
+        self.run_queue.snap(w);
+        self.next_id.snap(w);
+        self.dispatches.snap(w);
+        self.overhead_cycles.snap(w);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        use cedar_snap::Snapshot;
+        Ok(XylemScheduler {
+            clusters_free: Snapshot::restore(r)?,
+            tasks: Snapshot::restore(r)?,
+            run_queue: Snapshot::restore(r)?,
+            next_id: Snapshot::restore(r)?,
+            dispatches: Snapshot::restore(r)?,
+            overhead_cycles: Snapshot::restore(r)?,
+            obs: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +461,25 @@ mod tests {
             x.run_to_completion(100.0)
         };
         assert!(run(4) < run(1));
+    }
+
+    #[test]
+    fn restored_scheduler_finishes_like_the_original() {
+        use cedar_snap::Snapshot;
+        let mut x = XylemScheduler::new(2);
+        for i in 0..6 {
+            x.spawn(&format!("t{i}"), 300.0 * (i + 1) as f64);
+        }
+        x.dispatch();
+        x.advance(500.0);
+        let bytes = x.to_snapshot_bytes();
+        let mut copy = XylemScheduler::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(copy.tasks(), x.tasks());
+        assert_eq!(copy.free_clusters(), x.free_clusters());
+        let original = x.run_event_driven();
+        let restored = copy.run_event_driven();
+        assert_eq!(original, restored, "restored run must be identical");
+        assert_eq!(copy.dispatch_count(), x.dispatch_count());
     }
 
     #[test]

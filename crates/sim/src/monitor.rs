@@ -356,6 +356,53 @@ impl Default for PerformanceMonitor {
     }
 }
 
+impl cedar_snap::Snapshot for SignalId {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_usize(self.0);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        Ok(SignalId(r.get_usize()?))
+    }
+}
+
+cedar_snap::snapshot_struct!(TraceRecord { at, value });
+cedar_snap::snapshot_struct!(EventTracer {
+    records,
+    capacity,
+    dropped,
+});
+cedar_snap::snapshot_struct!(Histogrammer {
+    counters,
+    out_of_range,
+});
+
+impl cedar_snap::Snapshot for MonitorState {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u8(match self {
+            MonitorState::Stopped => 0,
+            MonitorState::Running => 1,
+        });
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(MonitorState::Stopped),
+            1 => Ok(MonitorState::Running),
+            _ => Err(cedar_snap::SnapError::Invalid("monitor state tag")),
+        }
+    }
+}
+
+// Covers every field, including mid-window tracer buffers and the
+// running/stopped gate, so a monitor restored mid-measurement
+// continues exactly where it left off (interarrival gaps included).
+cedar_snap::snapshot_struct!(PerformanceMonitor {
+    names,
+    tracers,
+    histograms,
+    stats,
+    state,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,5 +565,70 @@ mod tests {
         mon.signal("a");
         let names: Vec<_> = mon.signal_names().collect();
         assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn tracer_restored_mid_window_preserves_interarrival_gaps() {
+        // Regression: interarrival_cycles spans the checkpoint
+        // boundary, so the restore path must carry the partial record
+        // window (and the dropped tally) — not start a fresh one.
+        use cedar_snap::Snapshot;
+        let mut t = EventTracer::new(1);
+        t.post(Cycle::new(10), 1);
+        t.post(Cycle::new(17), 2);
+        let bytes = t.to_snapshot_bytes();
+        let mut restored = EventTracer::from_snapshot_bytes(&bytes).unwrap();
+        for tracer in [&mut t, &mut restored] {
+            tracer.post(Cycle::new(21), 3);
+            tracer.post(Cycle::new(30), 4);
+        }
+        assert_eq!(restored.interarrival_cycles(), t.interarrival_cycles());
+        assert_eq!(restored.interarrival_cycles(), vec![7, 4, 9]);
+        assert_eq!(restored.records(), t.records());
+        assert_eq!(restored.dropped(), t.dropped());
+    }
+
+    #[test]
+    fn monitor_restored_mid_window_continues_bit_identically() {
+        use cedar_snap::Snapshot;
+        let mut mon = PerformanceMonitor::new();
+        let lat = mon.signal("latency");
+        let gap = mon.signal("gap");
+        mon.start();
+        mon.post(lat, Cycle::new(5), 40);
+        mon.post(gap, Cycle::new(6), 7);
+        mon.post(lat, Cycle::new(9), 44);
+        // Checkpoint mid-measurement, while still running.
+        let bytes = mon.to_snapshot_bytes();
+        let mut restored = PerformanceMonitor::from_snapshot_bytes(&bytes).unwrap();
+        assert!(restored.is_running(), "running/stopped gate must survive");
+        assert_eq!(restored.lookup("latency"), Some(lat));
+        for m in [&mut mon, &mut restored] {
+            m.post(lat, Cycle::new(14), 52);
+            m.post(gap, Cycle::new(15), 9);
+            m.stop();
+            m.post(lat, Cycle::new(16), 99); // ignored: stopped
+        }
+        for sig in [lat, gap] {
+            assert_eq!(restored.stats(sig), mon.stats(sig));
+            assert_eq!(restored.tracer(sig), mon.tracer(sig));
+            assert_eq!(
+                restored.tracer(sig).unwrap().interarrival_cycles(),
+                mon.tracer(sig).unwrap().interarrival_cycles()
+            );
+            assert_eq!(restored.histogrammer(sig), mon.histogrammer(sig));
+        }
+    }
+
+    #[test]
+    fn monitor_stopped_state_survives_restore() {
+        use cedar_snap::Snapshot;
+        let mut mon = PerformanceMonitor::new();
+        let sig = mon.signal("s");
+        let bytes = mon.to_snapshot_bytes();
+        let mut restored = PerformanceMonitor::from_snapshot_bytes(&bytes).unwrap();
+        assert!(!restored.is_running());
+        restored.post(sig, Cycle::new(0), 1); // ignored: stopped
+        assert_eq!(restored.stats(sig).unwrap().count(), 0);
     }
 }

@@ -80,6 +80,8 @@ impl SplitMix64 {
     }
 }
 
+cedar_snap::snapshot_struct!(SplitMix64 { state });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -293,6 +293,21 @@ impl Histogram {
     }
 }
 
+cedar_snap::snapshot_struct!(Counter { value });
+cedar_snap::snapshot_struct!(RunningStats {
+    count,
+    mean,
+    m2,
+    min,
+    max,
+});
+cedar_snap::snapshot_struct!(Histogram {
+    bins,
+    bin_width,
+    overflow,
+    total,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -241,6 +241,37 @@ impl ClockPeriod {
     }
 }
 
+impl cedar_snap::Snapshot for Cycle {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        Ok(Cycle(r.get_u64()?))
+    }
+}
+
+impl cedar_snap::Snapshot for CycleDelta {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        Ok(CycleDelta(r.get_u64()?))
+    }
+}
+
+impl cedar_snap::Snapshot for ClockPeriod {
+    fn snap(&self, w: &mut cedar_snap::SnapWriter) {
+        w.put_f64(self.seconds);
+    }
+    fn restore(r: &mut cedar_snap::SnapReader<'_>) -> Result<Self, cedar_snap::SnapError> {
+        let seconds = r.get_f64()?;
+        if !(seconds.is_finite() && seconds > 0.0) {
+            return Err(cedar_snap::SnapError::Invalid("clock period not positive"));
+        }
+        Ok(ClockPeriod { seconds })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

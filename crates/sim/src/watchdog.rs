@@ -127,6 +127,15 @@ impl Watchdog {
     }
 }
 
+cedar_snap::snapshot_struct!(Watchdog {
+    budget,
+    context,
+    last_progress,
+    progress_at,
+    tripped,
+    last_span,
+});
+
 /// Diagnostic emitted when a [`Watchdog`] detects no progress.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatchdogReport {

@@ -1,0 +1,170 @@
+//! Content-addressed on-disk store for snapshot envelopes.
+//!
+//! Keys are the 16-hex-digit strings produced by
+//! [`Snapshot::snapshot_key`]; values are full snapshot envelopes.
+//! Writes go through a temp file followed by an atomic rename, so a
+//! crashed or panicking producer never leaves a partial entry behind,
+//! and any entry that fails to decode (version skew, corruption) reads
+//! as a miss rather than an error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::codec::Snapshot;
+
+/// A directory of content-addressed snapshot entries.
+#[derive(Debug, Clone)]
+pub struct CacheDir {
+    root: PathBuf,
+}
+
+impl CacheDir {
+    /// Opens (creating if necessary) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created.
+    pub fn new(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(CacheDir { root })
+    }
+
+    /// The directory this cache lives in.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the entry for `key`.
+    #[must_use]
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.snap"))
+    }
+
+    /// Whether an entry exists for `key` (it may still fail to decode).
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.entry_path(key).is_file()
+    }
+
+    /// Loads and decodes the entry for `key`.
+    ///
+    /// Every failure mode — missing file, I/O error, bad magic,
+    /// version skew, checksum mismatch, truncation — is reported as
+    /// `None`: a stale or corrupt entry is simply a cache miss and
+    /// will be overwritten by the next [`store`](CacheDir::store).
+    #[must_use]
+    pub fn load<T: Snapshot>(&self, key: &str) -> Option<T> {
+        let bytes = fs::read(self.entry_path(key)).ok()?;
+        T::from_snapshot_bytes(&bytes).ok()
+    }
+
+    /// Atomically stores `value` under `key`.
+    ///
+    /// The envelope is written to a sibling temp file and renamed into
+    /// place, so concurrent readers never observe a partial entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the write or rename fails.
+    pub fn store<T: Snapshot>(&self, key: &str, value: &T) -> std::io::Result<()> {
+        let bytes = value.to_snapshot_bytes();
+        self.store_bytes(key, &bytes)
+    }
+
+    /// Atomically stores pre-enveloped `bytes` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the write or rename fails.
+    pub fn store_bytes(&self, key: &str, bytes: &[u8]) -> std::io::Result<()> {
+        write_atomic(&self.entry_path(key), bytes)
+    }
+
+    /// Removes the entry for `key`, if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on anything other than the
+    /// entry already being absent.
+    pub fn remove(&self, key: &str) -> std::io::Result<()> {
+        match fs::remove_file(self.entry_path(key)) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// Atomically writes `bytes` to `path` via a sibling temp file and
+/// rename, so readers (and a crash mid-write) never observe a partial
+/// file. This is the primitive behind [`CacheDir::store_bytes`]; it is
+/// public so checkpoint files outside a cache directory get the same
+/// guarantee.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the write or rename fails.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    // The PID suffix keeps concurrent processes (e.g. two CI harness
+    // invocations racing on a shared dir) from clobbering each other's
+    // temp file mid-write.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cedar-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = CacheDir::new(scratch("roundtrip")).unwrap();
+        let value: Vec<u64> = vec![1, 2, 3];
+        let key = value.snapshot_key("test");
+        assert!(!cache.contains(&key));
+        assert_eq!(cache.load::<Vec<u64>>(&key), None);
+        cache.store(&key, &value).unwrap();
+        assert!(cache.contains(&key));
+        assert_eq!(cache.load::<Vec<u64>>(&key), Some(value));
+        fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_reads_as_miss() {
+        let cache = CacheDir::new(scratch("corrupt")).unwrap();
+        let value = 7u64;
+        let key = value.snapshot_key("test");
+        cache.store(&key, &value).unwrap();
+        // Flip a payload byte on disk; the checksum must reject it.
+        let path = cache.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[14] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.contains(&key));
+        assert_eq!(cache.load::<u64>(&key), None);
+        fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let cache = CacheDir::new(scratch("remove")).unwrap();
+        let key = 1u64.snapshot_key("test");
+        cache.remove(&key).unwrap();
+        cache.store(&key, &1u64).unwrap();
+        cache.remove(&key).unwrap();
+        assert!(!cache.contains(&key));
+        cache.remove(&key).unwrap();
+        fs::remove_dir_all(cache.root()).unwrap();
+    }
+}

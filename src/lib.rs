@@ -46,6 +46,7 @@
 //! | [`faults`] | `cedar-faults` | fault plans, retry policy, degraded mode |
 //! | [`obs`] | `cedar-obs` | metrics registry, span tracing, exporters |
 //! | [`exec`] | `cedar-exec` | deterministic parallel sweep executor |
+//! | [`snap`] | `cedar-snap` | snapshot codec, checkpoints, result cache |
 
 #![warn(missing_docs)]
 
@@ -62,3 +63,4 @@ pub use cedar_obs as obs;
 pub use cedar_perfect as perfect;
 pub use cedar_runtime as runtime;
 pub use cedar_sim as sim;
+pub use cedar_snap as snap;

@@ -1,0 +1,67 @@
+//! Golden-snapshot regression layer: the deterministic experiment
+//! reports are compared byte-for-byte against committed snapshots in
+//! `tests/golden/`. Any change to simulator behaviour — intentional or
+//! not — shows up as a readable text diff instead of a silently
+//! shifted number.
+//!
+//! When a change is intentional, regenerate the snapshots with
+//!
+//! ```text
+//! CEDAR_BLESS=1 cargo test --release --test golden_snapshots
+//! ```
+//!
+//! and commit the updated `.snap` files. On mismatch the actual output
+//! is written next to the golden file as `<name>.rej` so CI can upload
+//! it as a diff artifact.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` to the committed golden snapshot `name`, or
+/// rewrites the snapshot when `CEDAR_BLESS` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("CEDAR_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        fs::write(&path, actual).expect("write blessed snapshot");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with CEDAR_BLESS=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let rej = path.with_extension("rej");
+        fs::write(&rej, actual).expect("write rejected output");
+        panic!(
+            "golden mismatch for {name}: actual output written to {}.\n\
+             Diff it against {} — if the behaviour change is intentional,\n\
+             re-bless with CEDAR_BLESS=1 and commit the new snapshot.",
+            rej.display(),
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn table2_report_matches_golden() {
+    check("table2.snap", &cedar_bench::table2::report());
+}
+
+#[test]
+fn degraded_report_matches_golden() {
+    check("degraded.snap", &cedar_bench::degraded::report());
+}
+
+#[test]
+fn fig3_report_matches_golden() {
+    check("fig3.snap", &cedar_bench::fig3::report());
+}
