@@ -36,6 +36,9 @@ use cedar_net::fabric::{FabricConfig, FabricReport, PrefetchTraffic, RoundTripFa
 use cedar_obs::{Obs, ObsConfig};
 use cedar_snap::{CacheDir, Snapshot};
 
+/// Thread count of the baseline's pinned parallel sweep pass.
+const PARALLEL_THREADS: usize = 4;
+
 /// One timed reference run.
 struct RefRun {
     name: &'static str,
@@ -168,21 +171,25 @@ fn main() {
     });
 
     // The hot-spot sweep, serial then parallel: the executor's
-    // speedup on real sweep work, not a microbenchmark. (With a warm
-    // cache both passes serve hits, so the speedup collapses to ~1 —
-    // the comparator only checks simulated fields.)
+    // speedup on real sweep work, not a microbenchmark. Both passes
+    // pin their thread count explicitly — serial at 1, parallel at
+    // [`PARALLEL_THREADS`] — so the baseline always records a real
+    // parallel run, whatever `CEDAR_THREADS` the environment carries.
+    // (With a warm cache both passes serve hits, so the speedup
+    // collapses to ~1 — the comparator only checks simulated fields.)
     let saved_threads = std::env::var(cedar_exec::THREADS_ENV).ok();
     std::env::set_var(cedar_exec::THREADS_ENV, "1");
     let started = Instant::now();
     let serial_points = hotspot::run_cached(cache);
     let serial_ms = started.elapsed().as_secs_f64() * 1000.0;
+    std::env::set_var(cedar_exec::THREADS_ENV, PARALLEL_THREADS.to_string());
+    let started = Instant::now();
+    let parallel_points = hotspot::run_cached(cache);
+    let parallel_ms = started.elapsed().as_secs_f64() * 1000.0;
     match &saved_threads {
         Some(v) => std::env::set_var(cedar_exec::THREADS_ENV, v),
         None => std::env::remove_var(cedar_exec::THREADS_ENV),
     }
-    let started = Instant::now();
-    let parallel_points = hotspot::run_cached(cache);
-    let parallel_ms = started.elapsed().as_secs_f64() * 1000.0;
     assert_eq!(
         serial_points, parallel_points,
         "determinism contract broken"
@@ -193,6 +200,17 @@ fn main() {
         sim_cycles: None,
     });
     let speedup = serial_ms / parallel_ms;
+    // The pool must never make a cold sweep slower than serial on real
+    // hardware. Only meaningful when the work was actually simulated
+    // (cold cache) on a machine with cores to use.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cache.is_none() && cores >= 2 {
+        assert!(
+            speedup >= 0.85,
+            "parallel sweep regressed below serial: {serial_ms:.1} ms serial vs \
+             {parallel_ms:.1} ms on {PARALLEL_THREADS} threads ({speedup:.2}x, {cores} cores)"
+        );
+    }
 
     let peak_rss_kb = peak_rss_kb();
     let json = render_json(
@@ -220,7 +238,7 @@ fn main() {
         }
     }
     println!(
-        "  sweep serial {serial_ms:.1} ms / parallel {parallel_ms:.1} ms = {speedup:.2}x on {threads} threads"
+        "  sweep serial {serial_ms:.1} ms / parallel {parallel_ms:.1} ms = {speedup:.2}x on {PARALLEL_THREADS} threads"
     );
     match peak_rss_kb {
         Some(kb) => println!("  peak RSS {kb} kB"),
@@ -343,7 +361,7 @@ fn render_json(
     speedup: f64,
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"cedar-bench-perf/1\",");
+    let _ = writeln!(out, "  \"schema\": \"cedar-bench-perf/2\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"threads\": {threads},");
     match peak_rss_kb {
@@ -373,8 +391,9 @@ fn render_json(
     let _ = writeln!(out, "  \"sweep_suite\": {{");
     let _ = writeln!(out, "    \"name\": \"hotspot_sweep\",");
     let _ = writeln!(out, "    \"serial_ms\": {serial_ms:.3},");
+    let _ = writeln!(out, "    \"serial_threads\": 1,");
     let _ = writeln!(out, "    \"parallel_ms\": {parallel_ms:.3},");
-    let _ = writeln!(out, "    \"threads\": {threads},");
+    let _ = writeln!(out, "    \"threads\": {},", PARALLEL_THREADS);
     let _ = writeln!(out, "    \"speedup\": {speedup:.3}");
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");

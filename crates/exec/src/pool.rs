@@ -16,14 +16,63 @@
 //! slots after the scope joins, which is what makes the output
 //! independent of scheduling.
 //!
+//! Cancellation is cooperative and point-granular: a [`CancelToken`]
+//! is consulted between points, never inside one, so a cancelled
+//! sweep stops at the next point boundary with every already-started
+//! point run to completion. The serving tier uses this for deadline
+//! and shutdown aborts; a cancelled sweep yields no results at all
+//! (its callers must not observe a partial, order-broken output).
+//!
 //! [`run_sweep`]: crate::run_sweep
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 type PointOutcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
+
+/// A cooperative stop flag for sweep execution.
+///
+/// Cloning shares the flag; any clone can [`cancel`](CancelToken::cancel)
+/// and every worker observes it at its next point boundary. Tokens are
+/// cheap (one `Arc<AtomicBool>`) and a fresh token is never cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; already-running points
+    /// finish, no further point starts.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Error returned by the cancellable sweep entry points when their
+/// token fired before every point completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sweep cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Runs `f` over every input on exactly `threads` workers and
 /// returns the results in input order.
@@ -42,9 +91,51 @@ where
     T: Send,
     F: Fn(I) -> T + Sync,
 {
+    match run_sweep_cancellable_on(threads, inputs, f, &CancelToken::new()) {
+        Ok(results) => results,
+        Err(Cancelled) => unreachable!("a fresh token never cancels"),
+    }
+}
+
+/// [`run_sweep_on`] with a cooperative [`CancelToken`] consulted
+/// between points.
+///
+/// On `Ok` the output is bit-identical to the serial map, whatever
+/// the thread count. On `Err(Cancelled)` at least one point never
+/// ran; completed results are discarded so callers can never observe
+/// a partial sweep. A token that fires only after every point has
+/// already finished still returns `Ok` — cancellation is a request,
+/// not a post-hoc invalidation.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fired before every point ran.
+///
+/// # Panics
+///
+/// A panicking point takes precedence over cancellation: the
+/// lowest-indexed panic among the points that ran is re-raised.
+pub fn run_sweep_cancellable_on<I, T, F>(
+    threads: usize,
+    inputs: Vec<I>,
+    f: F,
+    cancel: &CancelToken,
+) -> Result<Vec<T>, Cancelled>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
     let n = inputs.len();
     if threads <= 1 || n <= 1 {
-        return inputs.into_iter().map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for input in inputs {
+            if cancel.is_cancelled() {
+                return Err(Cancelled);
+            }
+            out.push(f(input));
+        }
+        return Ok(out);
     }
     let workers = threads.min(n);
 
@@ -64,8 +155,12 @@ where
     std::thread::scope(|scope| {
         for me in 0..workers {
             let tx = tx.clone();
+            let cancel = cancel.clone();
             scope.spawn(move || {
-                while let Some((idx, input)) = next_task(deques, me) {
+                while !cancel.is_cancelled() {
+                    let Some((idx, input)) = next_task(deques, me) else {
+                        break;
+                    };
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(input)));
                     // A send can only fail if the receiver is gone,
                     // which means the caller is already unwinding.
@@ -81,16 +176,28 @@ where
         debug_assert!(slots[idx].is_none(), "point {idx} committed twice");
         slots[idx] = Some(outcome);
     }
-    slots
+    // Panics win over cancellation, lowest index first — the same
+    // failure a serial execution would have surfaced.
+    if let Some(i) = slots.iter().position(|s| matches!(s, Some(Err(_)))) {
+        match slots.swap_remove(i) {
+            Some(Err(payload)) => resume_unwind(payload),
+            _ => unreachable!("slot {i} held the first panic"),
+        }
+    }
+    if slots.iter().any(Option::is_none) {
+        debug_assert!(
+            cancel.is_cancelled(),
+            "a point vanished without cancellation"
+        );
+        return Err(Cancelled);
+    }
+    Ok(slots
         .into_iter()
-        .enumerate()
-        .map(
-            |(idx, slot)| match slot.unwrap_or_else(|| panic!("point {idx} produced no result")) {
-                Ok(result) => result,
-                Err(payload) => resume_unwind(payload),
-            },
-        )
-        .collect()
+        .map(|slot| match slot.expect("every slot checked complete") {
+            Ok(result) => result,
+            Err(_) => unreachable!("panics already re-raised"),
+        })
+        .collect())
 }
 
 /// Grabs the next task for worker `me`: own deque from the back,
@@ -157,5 +264,94 @@ mod tests {
         let main_id = std::thread::current().id();
         let out = run_sweep_on(1, vec![(), (), ()], |()| std::thread::current().id());
         assert!(out.iter().all(|&id| id == main_id));
+    }
+
+    #[test]
+    fn pre_cancelled_token_runs_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        for threads in [1, 4] {
+            let result = run_sweep_cancellable_on(
+                threads,
+                (0u64..32).collect(),
+                |x| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+                &token,
+            );
+            assert_eq!(result, Err(Cancelled), "{threads} threads");
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no point may start");
+    }
+
+    #[test]
+    fn mid_sweep_cancel_stops_at_a_point_boundary() {
+        // The closure itself cancels after a few points — the most
+        // deterministic way to fire mid-sweep. Serial and parallel
+        // must both refuse to return a partial result.
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let ran = AtomicUsize::new(0);
+            let result = run_sweep_cancellable_on(
+                threads,
+                (0u64..64).collect(),
+                |x| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if x == 2 {
+                        token.cancel();
+                    }
+                    x
+                },
+                &token,
+            );
+            assert_eq!(result, Err(Cancelled), "{threads} threads");
+            let ran = ran.load(Ordering::Relaxed);
+            assert!(ran < 64, "cancellation must stop the sweep, ran {ran}");
+        }
+    }
+
+    #[test]
+    fn late_cancel_after_completion_still_ok() {
+        let token = CancelToken::new();
+        let out = run_sweep_cancellable_on(4, (0u64..8).collect(), |x| x * 2, &token);
+        token.cancel();
+        assert_eq!(out, Ok((0..8).map(|x| x * 2).collect()));
+    }
+
+    #[test]
+    #[should_panic(expected = "point 0 exploded")]
+    fn panic_wins_over_cancellation() {
+        // Point 0 both cancels the sweep and panics: the panic must be
+        // re-raised, not swallowed into Err(Cancelled).
+        let token = CancelToken::new();
+        let _ = run_sweep_cancellable_on(
+            4,
+            vec![0u64, 1, 2, 3],
+            |x| {
+                if x == 0 {
+                    token.cancel();
+                    panic!("point 0 exploded");
+                }
+                x
+            },
+            &token,
+        );
+    }
+
+    #[test]
+    fn worker_panics_propagate_lowest_index_first() {
+        let result = std::panic::catch_unwind(|| {
+            run_sweep_on(4, (0u64..16).collect(), |x| {
+                assert!(x % 5 != 3, "point {x} exploded");
+                x
+            })
+        });
+        let payload = result.expect_err("sweep must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("assert! payload is a String");
+        assert_eq!(msg, "point 3 exploded");
     }
 }

@@ -111,7 +111,11 @@ fn format_f64(v: f64) -> String {
     format!("{v}")
 }
 
-fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding inside a JSON string literal
+/// (quotes, backslashes, control characters). Shared by the trace
+/// exporter here and the serving tier's wire protocol.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,41 @@
+//! Service configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Tunables for one [`crate::server::Server`] instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Admission capacity of the job queue; pushes beyond it are shed
+    /// with a typed rejection.
+    pub queue_capacity: usize,
+    /// Worker threads the dispatcher fans each batch across (the
+    /// `cedar-exec` pool width).
+    pub workers: usize,
+    /// Most jobs the dispatcher pulls per batch.
+    pub batch_max: usize,
+    /// Simulated-network cycle budget per job.
+    pub max_net_cycles: u64,
+    /// Directory for cross-run memoization; `None` disables the disk
+    /// cache (in-flight dedup still applies).
+    pub cache_dir: Option<PathBuf>,
+    /// How long a connection handler waits for its job's reply before
+    /// giving up (a server-bug backstop, not a job deadline).
+    pub reply_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_capacity: 64,
+            workers: 4,
+            batch_max: 8,
+            max_net_cycles: 16_000_000,
+            cache_dir: None,
+            reply_timeout: Duration::from_secs(60),
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Job specifications and their deterministic execution.
+//!
+//! A job is one self-contained simulation experiment — the same units
+//! the bench harness sweeps (Table-2 kernel cells, degraded-mode grid
+//! points, hot-spot fractions), sized by the request. Execution is a
+//! pure function of the spec: same spec, same [`JobOutcome`], bit for
+//! bit, which is what makes request dedup and cross-run memoization
+//! sound.
+//!
+//! Fault semantics follow `cedar-faults`: a degraded job that loses
+//! words to its injected fault plan *completes* with a typed
+//! degraded-mode outcome (recovery costs included), and even a
+//! watchdog-stalled simulation surfaces as a typed [`JobError`], never
+//! as a dead connection or a crashed server.
+
+use cedar_faults::{CedarError, FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+use cedar_net::fabric::{FabricConfig, PrefetchTraffic, RoundTripFabric};
+use cedar_sim::watchdog::Watchdog;
+use cedar_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+use crate::json::Json;
+
+/// Hard cap on requested CEs — the Cedar fabric's port count.
+pub const MAX_CES: u32 = 32;
+
+/// Hard cap on requested prefetch blocks, bounding per-job cost.
+pub const MAX_BLOCKS: u32 = 64;
+
+/// Watchdog budget for fault-injected jobs, in network cycles. Far
+/// beyond any recoverable stall; tripping means the job's machine
+/// genuinely wedged, which the server reports as a typed error.
+pub const WATCHDOG_BUDGET: u64 = 4_000_000;
+
+/// Cache/dedup namespace for job outcomes. Bump the suffix when the
+/// execution recipe changes so stale entries self-invalidate.
+pub const CACHE_NAMESPACE: &str = "serve.job/1";
+
+/// The Table-2 kernels a `table2` job may name.
+pub const KERNELS: [&str; 4] = ["TM", "CG", "VF", "RK"];
+
+/// One request's simulation work. Rates and fractions are carried in
+/// parts-per-million so specs hash and compare exactly — two requests
+/// for "2% faults" always share a dedup key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSpec {
+    /// A Table-2 kernel cell: the named kernel's prefetch stream on a
+    /// healthy fabric.
+    Table2 {
+        /// Kernel index into [`KERNELS`].
+        kernel: u8,
+        /// Active CEs (1..=32).
+        ces: u32,
+        /// Prefetch blocks per CE (job size).
+        blocks: u32,
+    },
+    /// A degraded-mode grid point: the RK-style stream against a
+    /// seeded fault plan.
+    Degraded {
+        /// Link-drop / sync-loss rate in parts per million.
+        rate_ppm: u32,
+        /// Active CEs (1..=32).
+        ces: u32,
+        /// Prefetch blocks per CE (job size).
+        blocks: u32,
+        /// Fault-schedule seed.
+        seed: u64,
+    },
+    /// A synchronization hot-spot point: `hot_ppm` of requests hammer
+    /// module 0.
+    Hotspot {
+        /// Hot fraction in parts per million.
+        hot_ppm: u32,
+        /// Active CEs (1..=32).
+        ces: u32,
+        /// Prefetch blocks per CE (job size).
+        blocks: u32,
+    },
+}
+
+/// The result of one executed job — the Table-2-shaped measurement
+/// plus the fault-recovery costs that make an outcome "degraded".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOutcome {
+    /// Whether faults touched this run (drops, retries or failures):
+    /// the typed degraded-mode marker.
+    pub degraded: bool,
+    /// Mean first-word latency, CE cycles.
+    pub latency: f64,
+    /// Mean interarrival between streamed words, CE cycles.
+    pub interarrival: f64,
+    /// Delivered bandwidth, words per CE cycle.
+    pub bandwidth: f64,
+    /// Simulated network cycles the experiment ran.
+    pub net_cycles: u64,
+    /// Words eaten by faulted links.
+    pub words_dropped: u64,
+    /// Requests reissued after a timeout.
+    pub retries: u64,
+    /// Requests abandoned after the retry budget.
+    pub failed: u64,
+}
+
+cedar_snap::snapshot_struct!(JobOutcome {
+    degraded,
+    latency,
+    interarrival,
+    bandwidth,
+    net_cycles,
+    words_dropped,
+    retries,
+    failed,
+});
+
+/// Why a request did not produce a [`JobOutcome`]. Every variant maps
+/// to a typed wire status — the server never answers a bad or unlucky
+/// request with a dropped connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The request was malformed or out of bounds.
+    Invalid(String),
+    /// Admission control refused the job (queue full or draining).
+    Rejected(String),
+    /// The job's deadline passed before execution started.
+    Expired,
+    /// The server was shut down hard before the job ran.
+    Cancelled,
+    /// The simulation itself wedged (watchdog trip) — a typed error,
+    /// not a 500.
+    Stalled(String),
+}
+
+impl JobError {
+    /// The wire `status` string of this error.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobError::Invalid(_) => "invalid",
+            JobError::Rejected(_) => "rejected",
+            JobError::Expired => "expired",
+            JobError::Cancelled => "cancelled",
+            JobError::Stalled(_) => "error",
+        }
+    }
+
+    /// The wire `reason` string of this error.
+    #[must_use]
+    pub fn reason(&self) -> String {
+        match self {
+            JobError::Invalid(m) | JobError::Rejected(m) | JobError::Stalled(m) => m.clone(),
+            JobError::Expired => "deadline expired before execution".to_owned(),
+            JobError::Cancelled => "server shut down before execution".to_owned(),
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses the `job` object of a request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JobError::Invalid`] naming the offending field.
+    pub fn from_json(job: &Json) -> Result<JobSpec, JobError> {
+        let ty = job
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JobError::Invalid("job.type missing".into()))?;
+        let ces = field_u32(job, "ces", 8)?;
+        let blocks = field_u32(job, "blocks", 4)?;
+        let spec = match ty {
+            "table2" => {
+                let name = job
+                    .get("kernel")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| JobError::Invalid("job.kernel missing".into()))?;
+                let kernel = KERNELS
+                    .iter()
+                    .position(|&k| k == name)
+                    .ok_or_else(|| JobError::Invalid(format!("unknown kernel {name:?}")))?;
+                JobSpec::Table2 {
+                    kernel: kernel as u8,
+                    ces,
+                    blocks,
+                }
+            }
+            "degraded" => JobSpec::Degraded {
+                rate_ppm: field_ppm(job, "rate")?,
+                ces,
+                blocks,
+                seed: job.get("seed").and_then(Json::as_u64).unwrap_or(0xCEDA),
+            },
+            "hotspot" => JobSpec::Hotspot {
+                hot_ppm: field_ppm(job, "fraction")?,
+                ces,
+                blocks,
+            },
+            other => return Err(JobError::Invalid(format!("unknown job type {other:?}"))),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the structural bounds the fabric enforces by panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JobError::Invalid`] naming the offending field.
+    pub fn validate(&self) -> Result<(), JobError> {
+        let (ces, blocks) = match *self {
+            JobSpec::Table2 { ces, blocks, .. }
+            | JobSpec::Degraded { ces, blocks, .. }
+            | JobSpec::Hotspot { ces, blocks, .. } => (ces, blocks),
+        };
+        if ces == 0 || ces > MAX_CES {
+            return Err(JobError::Invalid(format!(
+                "job.ces must be in 1..={MAX_CES}, got {ces}"
+            )));
+        }
+        if blocks == 0 || blocks > MAX_BLOCKS {
+            return Err(JobError::Invalid(format!(
+                "job.blocks must be in 1..={MAX_BLOCKS}, got {blocks}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The job's content-addressed dedup/memoization key. Identical
+    /// experiment requests — whatever their request ids, priorities or
+    /// deadlines — collapse onto one key.
+    #[must_use]
+    pub fn key(&self) -> String {
+        self.snapshot_key(CACHE_NAMESPACE)
+    }
+
+    /// A short human-readable description for logs.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match *self {
+            JobSpec::Table2 {
+                kernel,
+                ces,
+                blocks,
+            } => format!(
+                "table2 {} ces={ces} blocks={blocks}",
+                KERNELS[kernel as usize]
+            ),
+            JobSpec::Degraded {
+                rate_ppm,
+                ces,
+                blocks,
+                seed,
+            } => format!(
+                "degraded rate={}ppm ces={ces} blocks={blocks} seed={seed:#x}",
+                rate_ppm
+            ),
+            JobSpec::Hotspot {
+                hot_ppm,
+                ces,
+                blocks,
+            } => format!("hotspot frac={hot_ppm}ppm ces={ces} blocks={blocks}"),
+        }
+    }
+
+    fn traffic(&self) -> PrefetchTraffic {
+        match *self {
+            JobSpec::Table2 { kernel, blocks, .. } => match KERNELS[kernel as usize] {
+                "TM" => PrefetchTraffic::tridiagonal_matvec(blocks),
+                "CG" => PrefetchTraffic::conjugate_gradient(blocks),
+                "VF" => PrefetchTraffic::vector_load(blocks),
+                "RK" => PrefetchTraffic::rk_aggressive(blocks),
+                other => unreachable!("validated kernel {other}"),
+            },
+            JobSpec::Degraded { blocks, .. } => {
+                let mut t = PrefetchTraffic::rk_aggressive(4);
+                t.blocks = blocks;
+                t
+            }
+            JobSpec::Hotspot {
+                hot_ppm, blocks, ..
+            } => PrefetchTraffic::sync_hotspot(blocks, f64::from(hot_ppm) / 1e6),
+        }
+    }
+
+    /// Executes the job on a freshly built fabric. Pure: same spec and
+    /// budget, same outcome, whatever thread runs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Stalled`] if the watchdog trips on a
+    /// fault-injected run.
+    pub fn execute(&self, max_net_cycles: u64) -> Result<JobOutcome, JobError> {
+        let ces = match *self {
+            JobSpec::Table2 { ces, .. }
+            | JobSpec::Degraded { ces, .. }
+            | JobSpec::Hotspot { ces, .. } => ces as usize,
+        };
+        let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+        let report = match *self {
+            JobSpec::Degraded { rate_ppm, seed, .. } => {
+                let rate = f64::from(rate_ppm) / 1e6;
+                let cfg = if rate == 0.0 {
+                    FaultConfig::none(seed)
+                } else {
+                    FaultConfig::degraded(seed, rate)
+                };
+                let plan = FaultPlan::generate(&cfg, &MachineShape::cedar())
+                    .map_err(|e| JobError::Invalid(e.to_string()))?;
+                fabric.attach_faults(plan, RetryPolicy::fabric());
+                let mut dog = Watchdog::new(WATCHDOG_BUDGET, "serve degraded job");
+                match fabric.run_watched_experiment(ces, self.traffic(), max_net_cycles, &mut dog) {
+                    Ok(report) => report,
+                    Err(CedarError::Stalled(report)) => {
+                        return Err(JobError::Stalled(format!("watchdog tripped: {report}")))
+                    }
+                    Err(other) => return Err(JobError::Stalled(other.to_string())),
+                }
+            }
+            _ => fabric.run_prefetch_experiment(ces, self.traffic(), max_net_cycles),
+        };
+        let degraded = report.retries() > 0
+            || report.failed_requests() > 0
+            || report.words_dropped() > 0
+            || report.module_discards() > 0
+            || !report.completed();
+        Ok(JobOutcome {
+            degraded,
+            latency: report.mean_first_word_latency_ce(),
+            interarrival: report.mean_interarrival_ce(),
+            bandwidth: report.words_per_ce_cycle(),
+            net_cycles: report.total_net_cycles,
+            words_dropped: report.words_dropped(),
+            retries: report.retries(),
+            failed: report.failed_requests(),
+        })
+    }
+}
+
+fn field_u32(job: &Json, key: &str, default: u32) -> Result<u32, JobError> {
+    match job.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| JobError::Invalid(format!("job.{key} must be a small integer"))),
+    }
+}
+
+fn field_ppm(job: &Json, key: &str) -> Result<u32, JobError> {
+    match job.get(key) {
+        None => Ok(0),
+        Some(v) => {
+            let f = v
+                .as_f64()
+                .ok_or_else(|| JobError::Invalid(format!("job.{key} must be a number")))?;
+            if !(0.0..=1.0).contains(&f) {
+                return Err(JobError::Invalid(format!(
+                    "job.{key} must be in [0, 1], got {f}"
+                )));
+            }
+            Ok((f * 1e6).round() as u32)
+        }
+    }
+}
+
+impl Snapshot for JobSpec {
+    fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            JobSpec::Table2 {
+                kernel,
+                ces,
+                blocks,
+            } => {
+                w.put_u8(0);
+                w.put_u8(kernel);
+                w.put_u32(ces);
+                w.put_u32(blocks);
+            }
+            JobSpec::Degraded {
+                rate_ppm,
+                ces,
+                blocks,
+                seed,
+            } => {
+                w.put_u8(1);
+                w.put_u32(rate_ppm);
+                w.put_u32(ces);
+                w.put_u32(blocks);
+                w.put_u64(seed);
+            }
+            JobSpec::Hotspot {
+                hot_ppm,
+                ces,
+                blocks,
+            } => {
+                w.put_u8(2);
+                w.put_u32(hot_ppm);
+                w.put_u32(ces);
+                w.put_u32(blocks);
+            }
+        }
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(JobSpec::Table2 {
+                kernel: r.get_u8()?,
+                ces: r.get_u32()?,
+                blocks: r.get_u32()?,
+            }),
+            1 => Ok(JobSpec::Degraded {
+                rate_ppm: r.get_u32()?,
+                ces: r.get_u32()?,
+                blocks: r.get_u32()?,
+                seed: r.get_u64()?,
+            }),
+            2 => Ok(JobSpec::Hotspot {
+                hot_ppm: r.get_u32()?,
+                ces: r.get_u32()?,
+                blocks: r.get_u32()?,
+            }),
+            _ => Err(SnapError::Invalid("unknown JobSpec tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn spec(line: &str) -> Result<JobSpec, JobError> {
+        JobSpec::from_json(&json::parse(line).unwrap())
+    }
+
+    #[test]
+    fn parses_every_job_type() {
+        let t = spec(r#"{"type":"table2","kernel":"RK","ces":8,"blocks":2}"#).unwrap();
+        assert_eq!(
+            t,
+            JobSpec::Table2 {
+                kernel: 3,
+                ces: 8,
+                blocks: 2
+            }
+        );
+        let d = spec(r#"{"type":"degraded","rate":0.02,"ces":8,"blocks":2,"seed":7}"#).unwrap();
+        assert_eq!(
+            d,
+            JobSpec::Degraded {
+                rate_ppm: 20_000,
+                ces: 8,
+                blocks: 2,
+                seed: 7
+            }
+        );
+        let h = spec(r#"{"type":"hotspot","fraction":0.05,"ces":4}"#).unwrap();
+        assert_eq!(
+            h,
+            JobSpec::Hotspot {
+                hot_ppm: 50_000,
+                ces: 4,
+                blocks: 4
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_typed() {
+        for bad in [
+            r#"{"type":"mystery"}"#,
+            r#"{"type":"table2","kernel":"XX"}"#,
+            r#"{"type":"table2","kernel":"RK","ces":64}"#,
+            r#"{"type":"hotspot","ces":0}"#,
+            r#"{"type":"hotspot","blocks":1000}"#,
+            r#"{"type":"hotspot","fraction":1.5}"#,
+            r#"{"type":"degraded","rate":-0.1}"#,
+        ] {
+            let err = spec(bad).expect_err(bad);
+            assert!(matches!(err, JobError::Invalid(_)), "{bad}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn identical_specs_share_a_key_distinct_ones_do_not() {
+        let a = spec(r#"{"type":"hotspot","fraction":0.05,"ces":4,"blocks":2}"#).unwrap();
+        let b = spec(r#"{"type":"hotspot","ces":4,"fraction":0.05,"blocks":2}"#).unwrap();
+        assert_eq!(a.key(), b.key(), "field order must not matter");
+        let c = spec(r#"{"type":"hotspot","fraction":0.06,"ces":4,"blocks":2}"#).unwrap();
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn specs_round_trip_through_snapshots() {
+        for line in [
+            r#"{"type":"table2","kernel":"TM","ces":16,"blocks":8}"#,
+            r#"{"type":"degraded","rate":0.05,"ces":8,"blocks":2,"seed":99}"#,
+            r#"{"type":"hotspot","fraction":0.25,"ces":32,"blocks":4}"#,
+        ] {
+            let s = spec(line).unwrap();
+            let bytes = s.to_snapshot_bytes();
+            assert_eq!(JobSpec::from_snapshot_bytes(&bytes).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let s = spec(r#"{"type":"hotspot","fraction":0.05,"ces":4,"blocks":2}"#).unwrap();
+        let a = s.execute(8_000_000).unwrap();
+        let b = s.execute(8_000_000).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.degraded);
+        assert!(a.latency > 0.0 && a.bandwidth > 0.0);
+    }
+
+    #[test]
+    fn faulted_job_reports_typed_degradation() {
+        let s = spec(r#"{"type":"degraded","rate":0.05,"ces":8,"blocks":4}"#).unwrap();
+        let o = s.execute(32_000_000).unwrap();
+        assert!(o.degraded, "5% drops must mark the outcome degraded");
+        assert!(o.words_dropped > 0 && o.retries > 0);
+        let healthy = spec(r#"{"type":"degraded","rate":0.0,"ces":8,"blocks":4}"#)
+            .unwrap()
+            .execute(32_000_000)
+            .unwrap();
+        assert!(!healthy.degraded, "rate 0 is the healthy baseline");
+    }
+}

@@ -1,0 +1,39 @@
+//! cedar-serve: a batching, backpressure-aware simulation service.
+//!
+//! The Cedar paper's performance study is a pile of individual
+//! simulation experiments; this crate turns the repository's simulator
+//! into a long-lived service that runs them on demand. A `std::net`
+//! TCP listener speaks a line-delimited JSON protocol; admitted jobs
+//! flow through a bounded priority queue with per-job deadlines into a
+//! batching dispatcher that fans each batch across the `cedar-exec`
+//! deterministic pool; identical requests collapse in flight and
+//! memoize across runs through `cedar-snap`'s content-addressed cache.
+//!
+//! Three properties carry over from the rest of the workspace:
+//!
+//! - **Backpressure is typed.** A full queue or a draining server is a
+//!   `rejected` reply, never a hung or dropped connection.
+//! - **Degradation is typed.** Fault-injected jobs complete with
+//!   degraded-mode outcomes (`cedar-faults` semantics); even a
+//!   watchdog stall is an `error` reply with a reason.
+//! - **Everything is observable.** Queue depth, wait/service/latency
+//!   histograms and per-request spans flow through `cedar-obs` and
+//!   export as Prometheus text or a Chrome trace.
+//!
+//! The `serve` binary runs the server; the `loadgen` binary drives it
+//! (dedup burst, fault mix, closed- and open-loop load) and writes
+//! `BENCH_serve.json`.
+
+pub mod config;
+pub mod job;
+pub mod json;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+pub mod telemetry;
+
+pub use config::ServeConfig;
+pub use job::{JobError, JobOutcome, JobSpec};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use server::{start, JobReply, ServerHandle};
+pub use telemetry::ServeObs;

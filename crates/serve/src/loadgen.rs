@@ -1,0 +1,616 @@
+//! The load-generator harness: drives a running server over TCP,
+//! checks the serving tier's end-to-end invariants, and writes the
+//! `BENCH_serve.json` report.
+//!
+//! Four phases, each exercising one claim the service makes:
+//!
+//! 1. **Dedup burst** — a burst of identical requests must collapse to
+//!    exactly one execution (or zero executions and all cache hits if
+//!    a previous run warmed the disk cache), asserted from the
+//!    server's own counters, not from client-side timing.
+//! 2. **Fault mix** — a seeded mix with ~2% fault-injected jobs: every
+//!    request gets a typed reply and no *healthy* request is dropped
+//!    or errored because a degraded one shared its batch.
+//! 3. **Closed loop** — `c` clients, each issuing unique jobs
+//!    back-to-back, at increasing `c`: offered load versus p50/p95/p99
+//!    latency, the saturation-knee curve.
+//! 4. **Open loop** — seeded exponential arrivals at a fixed offered
+//!    rate, the arrival process the closed loop can't produce.
+//!
+//! The seeded mix and arrival schedule make runs reproducible; only
+//! the measured latencies vary with the host.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cedar_obs::export::{parse_prometheus, sanitize_name, validate_json};
+use cedar_sim::rng::SplitMix64;
+
+use crate::json::{self, Json};
+
+/// Loadgen settings (see the `loadgen` binary for the flag surface).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Smoke mode: small counts, CI-friendly runtimes.
+    pub smoke: bool,
+    /// Seed for the job mix and the open-loop arrival schedule.
+    pub seed: u64,
+    /// Send a graceful `shutdown` after the run and assert it drained.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            smoke: false,
+            seed: 0xCEDA,
+            shutdown: false,
+        }
+    }
+}
+
+/// One closed-loop load level's measurements.
+#[derive(Debug, Clone)]
+pub struct LevelReport {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests completed across all clients.
+    pub requests: usize,
+    /// Achieved throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles in microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, µs.
+    pub p95_us: u64,
+    /// 99th percentile latency, µs.
+    pub p99_us: u64,
+}
+
+/// The full harness result, rendered into `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// `smoke` or `full`.
+    pub mode: &'static str,
+    /// Dedup-burst phase: burst size sent.
+    pub dedup_burst: usize,
+    /// Executions the burst actually caused (asserted ≤ 1).
+    pub dedup_executed: u64,
+    /// Disk-cache hits the burst was served from.
+    pub dedup_cache_hits: u64,
+    /// In-flight coalesces the burst produced.
+    pub dedup_coalesced: u64,
+    /// Fault-mix phase: requests sent / ok / degraded / typed errors.
+    pub mix_requests: usize,
+    /// Healthy replies in the mix.
+    pub mix_ok: usize,
+    /// Typed degraded replies in the mix.
+    pub mix_degraded: usize,
+    /// Typed error replies in the mix (stalls); never raw disconnects.
+    pub mix_errors: usize,
+    /// Healthy requests that failed — the mix assertion requires 0.
+    pub mix_healthy_dropped: usize,
+    /// Closed-loop levels, in increasing offered load.
+    pub levels: Vec<LevelReport>,
+    /// Open-loop offered rate, requests per second.
+    pub open_offered_rps: f64,
+    /// Open-loop achieved completion rate.
+    pub open_achieved_rps: f64,
+    /// Open-loop p50 latency, µs.
+    pub open_p50_us: u64,
+    /// Open-loop p99 latency, µs.
+    pub open_p99_us: u64,
+    /// Whether the post-run graceful shutdown drained cleanly.
+    pub drained: Option<bool>,
+}
+
+/// One line-protocol client connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`, retrying briefly so a just-spawned server
+    /// can finish binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the server never becomes reachable.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    // Mirror the server: tiny request lines must not
+                    // sit in Nagle's buffer behind a delayed ACK.
+                    let _ = stream.set_nodelay(true);
+                    let reader =
+                        BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+                    return Ok(Client {
+                        reader,
+                        writer: stream,
+                    });
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(format!("connect {addr}: {e}")),
+            }
+        }
+    }
+
+    /// Sends one request line and reads the one reply line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on I/O failure or an unparseable reply —
+    /// both violations of the protocol's "always a typed line" rule.
+    pub fn request(&mut self, line: &str) -> Result<Json, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err("server closed the connection mid-request".to_owned()),
+            Ok(_) => json::parse(reply.trim()).map_err(|e| format!("bad reply: {e}")),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+
+    /// Reads a named counter from the server's `metrics` op.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the exposition cannot be fetched or
+    /// parsed.
+    pub fn counter(&mut self, name: &str) -> Result<f64, String> {
+        let reply = self.request(r#"{"op":"metrics"}"#)?;
+        let text = reply
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .ok_or("metrics reply missing prometheus field")?;
+        let parsed = parse_prometheus(text)?;
+        Ok(parsed.get(&sanitize_name(name)).copied().unwrap_or(0.0))
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn status_of(reply: &Json) -> &str {
+    reply.get("status").and_then(Json::as_str).unwrap_or("?")
+}
+
+/// A unique-per-index job line: distinct `fraction` ppm means distinct
+/// dedup keys, so saturation levels measure execution, not the cache.
+fn unique_job(global_idx: u64) -> String {
+    let ppm = 1 + (global_idx % 900_000);
+    format!(
+        "{{\"op\":\"run\",\"job\":{{\"type\":\"hotspot\",\"fraction\":{},\"ces\":2,\"blocks\":1}}}}",
+        ppm as f64 / 1e6
+    )
+}
+
+fn run_closed_level(
+    addr: &str,
+    clients: usize,
+    per_client: usize,
+    idx_base: u64,
+) -> Result<LevelReport, String> {
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * per_client);
+    let results: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut client = Client::connect(addr)?;
+                    let mut times = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let idx = idx_base + (c * per_client + i) as u64;
+                        let sent = Instant::now();
+                        let reply = client.request(&unique_job(idx))?;
+                        let us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        match status_of(&reply) {
+                            "ok" | "degraded" => times.push(us),
+                            "rejected" => {} // shed load is legal at saturation
+                            other => return Err(format!("unexpected status {other:?}")),
+                        }
+                    }
+                    Ok(times)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("closed-loop client panicked"))
+            .collect()
+    });
+    for r in results {
+        latencies.extend(r?);
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    Ok(LevelReport {
+        clients,
+        requests: latencies.len(),
+        throughput_rps: latencies.len() as f64 / elapsed,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+    })
+}
+
+/// Runs every phase against the server at `cfg.addr`.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant — a dedup
+/// burst that executed more than once, a healthy request lost to the
+/// fault mix, a non-monotone saturation curve, or a protocol breach.
+#[allow(clippy::too_many_lines)]
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut control = Client::connect(&cfg.addr)?;
+    let ping = control.request(r#"{"op":"ping"}"#)?;
+    if status_of(&ping) != "ok" {
+        return Err("server did not answer ping".to_owned());
+    }
+
+    // Phase 1: dedup burst. All clients fire the same spec at once;
+    // the server's own counters are the ground truth.
+    let burst = if cfg.smoke { 8 } else { 16 };
+    let executed_before = control.counter("serve.jobs.executed")?;
+    let hits_before = control.counter("serve.cache.hits")?;
+    let coalesced_before = control.counter("serve.dedup.coalesced")?;
+    let burst_line = r#"{"op":"run","job":{"type":"table2","kernel":"CG","ces":4,"blocks":2}}"#;
+    let addr = cfg.addr.clone();
+    let burst_results: Vec<Result<String, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..burst)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || -> Result<String, String> {
+                    let mut client = Client::connect(&addr)?;
+                    let reply = client.request(burst_line)?;
+                    Ok(status_of(&reply).to_owned())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("burst client panicked"))
+            .collect()
+    });
+    for r in &burst_results {
+        match r {
+            Ok(status) if status == "ok" || status == "degraded" => {}
+            Ok(other) => return Err(format!("burst request got status {other:?}")),
+            Err(e) => return Err(format!("burst request failed: {e}")),
+        }
+    }
+    let dedup_executed = (control.counter("serve.jobs.executed")? - executed_before) as u64;
+    let dedup_cache_hits = (control.counter("serve.cache.hits")? - hits_before) as u64;
+    let dedup_coalesced = (control.counter("serve.dedup.coalesced")? - coalesced_before) as u64;
+    let burst_u64 = burst as u64;
+    let deduped_ok = dedup_executed == 1 || (dedup_executed == 0 && dedup_cache_hits == burst_u64);
+    if !deduped_ok {
+        return Err(format!(
+            "dedup failed: burst of {burst} identical requests caused \
+             {dedup_executed} executions ({dedup_cache_hits} cache hits)"
+        ));
+    }
+
+    // Phase 2: seeded fault mix, ~2% fault-injected jobs. Healthy
+    // requests must all succeed even sharing batches with faulty ones.
+    let mix_requests = if cfg.smoke { 24 } else { 96 };
+    let mut mix_lines: Vec<(bool, String)> = Vec::with_capacity(mix_requests);
+    for i in 0..mix_requests {
+        // The first request is always faulty so every run — however
+        // the 2% draws land — exercises the degraded path end to end.
+        let faulty = i == 0 || rng.next_bool(0.02);
+        let line = if faulty {
+            format!(
+                "{{\"op\":\"run\",\"job\":{{\"type\":\"degraded\",\"rate\":0.05,\
+                 \"ces\":4,\"blocks\":1,\"seed\":{}}}}}",
+                rng.next_u64() & 0xffff_ffff
+            )
+        } else {
+            unique_job(1_000_000 + i as u64)
+        };
+        mix_lines.push((faulty, line));
+    }
+    let mix_clients = if cfg.smoke { 3 } else { 6 };
+    let chunks: Vec<Vec<(bool, String)>> = (0..mix_clients)
+        .map(|c| {
+            mix_lines
+                .iter()
+                .skip(c)
+                .step_by(mix_clients)
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let mix_results: Vec<Result<Vec<(bool, String)>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let addr = addr.clone();
+                scope.spawn(move || -> Result<Vec<(bool, String)>, String> {
+                    let mut client = Client::connect(&addr)?;
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (faulty, line) in chunk {
+                        let reply = client.request(&line)?;
+                        out.push((faulty, status_of(&reply).to_owned()));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mix client panicked"))
+            .collect()
+    });
+    let (mut mix_ok, mut mix_degraded, mut mix_errors, mut mix_healthy_dropped) = (0, 0, 0, 0);
+    for r in mix_results {
+        for (faulty, status) in r? {
+            match status.as_str() {
+                "ok" => mix_ok += 1,
+                "degraded" => mix_degraded += 1,
+                "error" => mix_errors += 1,
+                other => return Err(format!("mix request got status {other:?}")),
+            }
+            if !faulty && status != "ok" {
+                mix_healthy_dropped += 1;
+            }
+        }
+    }
+    if mix_healthy_dropped > 0 {
+        return Err(format!(
+            "{mix_healthy_dropped} healthy requests were dropped or degraded by the fault mix"
+        ));
+    }
+
+    // Phase 3: closed-loop saturation levels.
+    let level_clients: &[usize] = if cfg.smoke { &[1, 2, 4] } else { &[1, 4, 16] };
+    let per_client = if cfg.smoke { 6 } else { 16 };
+    let mut levels = Vec::with_capacity(level_clients.len());
+    let mut idx_base = 2_000_000u64;
+    for &clients in level_clients {
+        let level = run_closed_level(&addr, clients, per_client, idx_base)?;
+        idx_base += (clients * per_client) as u64;
+        levels.push(level);
+    }
+    // The knee check: more offered load must not *reduce* p50 beyond
+    // noise — a shrinking latency under growing load means the harness
+    // measured the cache, not the service.
+    for pair in levels.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        if lo.requests > 0 && hi.requests > 0 && (hi.p50_us as f64) < (lo.p50_us as f64) * 0.5 {
+            return Err(format!(
+                "saturation curve not monotone: p50 fell from {}µs at {} clients \
+                 to {}µs at {} clients",
+                lo.p50_us, lo.clients, hi.p50_us, hi.clients
+            ));
+        }
+    }
+
+    // Phase 4: open loop — seeded exponential arrivals at a fixed
+    // offered rate, one thread per in-flight request.
+    let offered_rps: f64 = if cfg.smoke { 40.0 } else { 120.0 };
+    let open_n = if cfg.smoke { 20 } else { 120 };
+    let mut schedule_us: Vec<u64> = Vec::with_capacity(open_n);
+    let mut t = 0.0f64;
+    for _ in 0..open_n {
+        let u = rng.next_f64().max(1e-12);
+        t += -u.ln() / offered_rps;
+        schedule_us.push((t * 1e6) as u64);
+    }
+    let open_started = Instant::now();
+    let open_results: Vec<Result<u64, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedule_us
+            .iter()
+            .enumerate()
+            .map(|(i, &at_us)| {
+                let addr = addr.clone();
+                scope.spawn(move || -> Result<u64, String> {
+                    let target = Duration::from_micros(at_us);
+                    let now = open_started.elapsed();
+                    if target > now {
+                        std::thread::sleep(target - now);
+                    }
+                    let mut client = Client::connect(&addr)?;
+                    let sent = Instant::now();
+                    let reply = client.request(&unique_job(3_000_000 + i as u64))?;
+                    match status_of(&reply) {
+                        "ok" | "degraded" | "rejected" => {
+                            Ok(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX))
+                        }
+                        other => Err(format!("open-loop status {other:?}")),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop client panicked"))
+            .collect()
+    });
+    let open_elapsed = open_started.elapsed().as_secs_f64().max(1e-9);
+    let mut open_latencies = Vec::with_capacity(open_n);
+    for r in open_results {
+        open_latencies.push(r?);
+    }
+    open_latencies.sort_unstable();
+
+    // Optional graceful shutdown: the drain must complete and answer.
+    let drained = if cfg.shutdown {
+        let reply = control.request(r#"{"op":"shutdown"}"#)?;
+        Some(reply.get("drained").and_then(Json::as_bool) == Some(true))
+    } else {
+        None
+    };
+    if drained == Some(false) {
+        return Err("graceful shutdown did not report a completed drain".to_owned());
+    }
+
+    Ok(LoadReport {
+        mode: if cfg.smoke { "smoke" } else { "full" },
+        dedup_burst: burst,
+        dedup_executed,
+        dedup_cache_hits,
+        dedup_coalesced,
+        mix_requests,
+        mix_ok,
+        mix_degraded,
+        mix_errors,
+        mix_healthy_dropped,
+        levels,
+        open_offered_rps: offered_rps,
+        open_achieved_rps: open_latencies.len() as f64 / open_elapsed,
+        open_p50_us: percentile(&open_latencies, 0.50),
+        open_p99_us: percentile(&open_latencies, 0.99),
+        drained,
+    })
+}
+
+impl LoadReport {
+    /// Renders the report as the `BENCH_serve.json` document. The
+    /// output always passes [`cedar_obs::export::validate_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn f(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.3}")
+            } else {
+                "0".to_owned()
+            }
+        }
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"cedar-bench-serve/1\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!(
+            "  \"dedup\": {{\"burst\": {}, \"executed\": {}, \"cache_hits\": {}, \
+             \"coalesced\": {}}},\n",
+            self.dedup_burst, self.dedup_executed, self.dedup_cache_hits, self.dedup_coalesced
+        ));
+        out.push_str(&format!(
+            "  \"fault_mix\": {{\"requests\": {}, \"ok\": {}, \"degraded\": {}, \
+             \"errors\": {}, \"healthy_dropped\": {}}},\n",
+            self.mix_requests,
+            self.mix_ok,
+            self.mix_degraded,
+            self.mix_errors,
+            self.mix_healthy_dropped
+        ));
+        out.push_str("  \"closed_loop\": [\n");
+        for (i, level) in self.levels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"clients\": {}, \"requests\": {}, \"throughput_rps\": {}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
+                level.clients,
+                level.requests,
+                f(level.throughput_rps),
+                level.p50_us,
+                level.p95_us,
+                level.p99_us,
+                if i + 1 == self.levels.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"open_loop\": {{\"offered_rps\": {}, \"achieved_rps\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}}},\n",
+            f(self.open_offered_rps),
+            f(self.open_achieved_rps),
+            self.open_p50_us,
+            self.open_p99_us
+        ));
+        out.push_str(&format!(
+            "  \"drained\": {}\n}}\n",
+            match self.drained {
+                Some(b) => b.to_string(),
+                None => "null".to_owned(),
+            }
+        ));
+        debug_assert!(validate_json(&out).is_ok(), "report must be valid JSON");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_the_right_samples() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.50), 51);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn unique_jobs_have_unique_specs() {
+        let a = unique_job(1);
+        let b = unique_job(2);
+        assert_ne!(a, b);
+        assert!(json::parse(&a).is_ok());
+    }
+
+    #[test]
+    fn report_renders_valid_json() {
+        let report = LoadReport {
+            mode: "smoke",
+            dedup_burst: 8,
+            dedup_executed: 1,
+            dedup_cache_hits: 0,
+            dedup_coalesced: 7,
+            mix_requests: 24,
+            mix_ok: 23,
+            mix_degraded: 1,
+            mix_errors: 0,
+            mix_healthy_dropped: 0,
+            levels: vec![LevelReport {
+                clients: 1,
+                requests: 6,
+                throughput_rps: 12.5,
+                p50_us: 800,
+                p95_us: 1200,
+                p99_us: 1500,
+            }],
+            open_offered_rps: 40.0,
+            open_achieved_rps: 39.2,
+            open_p50_us: 900,
+            open_p99_us: 2100,
+            drained: Some(true),
+        };
+        let text = report.to_json();
+        validate_json(&text).unwrap();
+        let parsed = json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("cedar-bench-serve/1")
+        );
+        assert_eq!(
+            parsed
+                .get("dedup")
+                .and_then(|d| d.get("executed"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,629 @@
+//! The cedar-serve server: accept loop, admission control, dedup,
+//! batching dispatcher, and graceful drain.
+//!
+//! # Request path
+//!
+//! ```text
+//! TCP line ──parse──▶ admission ──▶ JobQueue ──▶ dispatcher batch
+//!                        │  │                        │
+//!                        │  └─ dedup map (collapse)  └─ cedar-exec pool
+//!                        └─ CacheDir (memoize)             │
+//!                 ◀────────────── reply channel ◀──────────┘
+//! ```
+//!
+//! Identical in-flight requests collapse onto one execution: the first
+//! arrival inserts an entry in the dedup map and queues a ticket, later
+//! arrivals just register a reply channel. Completed outcomes are
+//! memoized in a [`CacheDir`] keyed by the spec's content hash, so
+//! repeats across runs are cache hits that never touch the queue.
+//!
+//! # Shutdown
+//!
+//! Graceful drain (`shutdown` op or [`ServerHandle::shutdown`]) closes
+//! the queue: admission starts rejecting `run`s with a typed
+//! `draining` reason, the dispatcher finishes the backlog, every
+//! waiter gets its reply, and only then does the accept loop stop —
+//! deterministic in the sense that every admitted job completes and
+//! every connection sees a final line. [`ServerHandle::kill`] is the
+//! hard variant: the in-flight sweep stops at the next point boundary
+//! via `cedar-exec` cancellation and queued jobs answer `cancelled`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use cedar_exec::{run_sweep_cancellable_on, CancelToken, Cancelled};
+use cedar_obs::export::escape_json;
+use cedar_snap::CacheDir;
+
+use crate::config::ServeConfig;
+use crate::job::{JobError, JobOutcome, JobSpec};
+use crate::json::{self, Json};
+use crate::queue::{JobQueue, JobTicket, PushError};
+use crate::telemetry::ServeObs;
+
+/// The terminal state of one request.
+#[derive(Debug, Clone)]
+pub enum JobReply {
+    /// The job produced an outcome (`cached` marks a memoized hit).
+    Done {
+        /// The measurement.
+        outcome: JobOutcome,
+        /// Whether it came from the disk cache rather than execution.
+        cached: bool,
+    },
+    /// The job failed in a typed way.
+    Failed(JobError),
+}
+
+struct InFlight {
+    waiters: Vec<mpsc::Sender<JobReply>>,
+}
+
+struct Lifecycle {
+    drained: Mutex<bool>,
+    done: Condvar,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: JobQueue,
+    dedup: Mutex<HashMap<String, InFlight>>,
+    obs: ServeObs,
+    draining: AtomicBool,
+    stop_accept: AtomicBool,
+    kill: CancelToken,
+    cache: Option<CacheDir>,
+    seq: AtomicU64,
+    lifecycle: Lifecycle,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Resolves `key` for every registered waiter and retires it from
+    /// the dedup map.
+    fn complete(&self, key: &str, reply: &JobReply) {
+        let entry = self.dedup.lock().expect("dedup lock poisoned").remove(key);
+        if let Some(inflight) = entry {
+            for waiter in inflight.waiters {
+                // A waiter that timed out or hung up is its own
+                // problem; everyone else still gets the reply.
+                let _ = waiter.send(reply.clone());
+            }
+        }
+    }
+
+    fn mark_drained(&self) {
+        *self
+            .lifecycle
+            .drained
+            .lock()
+            .expect("lifecycle lock poisoned") = true;
+        self.lifecycle.done.notify_all();
+    }
+
+    fn wait_drained(&self) {
+        let mut drained = self
+            .lifecycle
+            .drained
+            .lock()
+            .expect("lifecycle lock poisoned");
+        while !*drained {
+            drained = self
+                .lifecycle
+                .done
+                .wait(drained)
+                .expect("lifecycle lock poisoned");
+        }
+    }
+
+    /// Starts the graceful drain: reject new work, let the dispatcher
+    /// finish the backlog.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Unblocks the accept loop so it can observe the stop flag.
+    fn poke_accept(&self) {
+        self.stop_accept.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server and the handles to stop it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The server's observability surface.
+    #[must_use]
+    pub fn obs(&self) -> &ServeObs {
+        &self.shared.obs
+    }
+
+    /// Gracefully drains and stops the server: queued jobs finish,
+    /// waiters get replies, then the accept loop exits.
+    pub fn shutdown(mut self) {
+        self.shared.begin_drain();
+        self.shared.wait_drained();
+        self.shared.poke_accept();
+        self.join_threads();
+    }
+
+    /// Blocks until the server stops on its own — i.e. until a client
+    /// sends the `shutdown` op and its drain completes. This is the
+    /// server binary's main loop.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// Hard-stops the server: the in-flight sweep cancels at the next
+    /// point boundary and queued jobs answer `cancelled`.
+    pub fn kill(mut self) {
+        self.shared.kill.cancel();
+        self.shared.begin_drain();
+        self.shared.wait_drained();
+        self.shared.poke_accept();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.dispatcher.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shared.kill.cancel();
+            self.shared.begin_drain();
+            self.shared.wait_drained();
+            self.shared.poke_accept();
+            self.join_threads();
+        }
+    }
+}
+
+/// Binds, spawns the accept loop and dispatcher, and returns.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the bind or the cache directory
+/// fails.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let cache = match &cfg.cache_dir {
+        Some(dir) => Some(CacheDir::new(dir.clone())?),
+        None => None,
+    };
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(cfg.queue_capacity),
+        dedup: Mutex::new(HashMap::new()),
+        obs: ServeObs::new(),
+        draining: AtomicBool::new(false),
+        stop_accept: AtomicBool::new(false),
+        kill: CancelToken::new(),
+        cache,
+        seq: AtomicU64::new(0),
+        lifecycle: Lifecycle {
+            drained: Mutex::new(false),
+            done: Condvar::new(),
+        },
+        addr,
+        cfg,
+    });
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-dispatch".into())
+            .spawn(move || dispatch_loop(&shared))?
+    };
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        dispatcher: Some(dispatcher),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop_accept.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // One thread per connection: clients are few (a loadgen, a
+        // scraper, an operator with nc) and the queue, not the accept
+        // tier, is the concurrency limiter.
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // One-line requests and replies are far smaller than a segment;
+    // letting Nagle batch them just adds delayed-ACK stalls (~40ms per
+    // round trip on a reused connection) to every latency sample.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut first = true;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // A plain HTTP scraper is welcome: sniff the request line and
+        // answer one exposition, then close (Connection: close).
+        if first && trimmed.starts_with("GET ") {
+            serve_http(&mut reader, &mut writer, trimmed, shared);
+            return;
+        }
+        first = false;
+        let (reply, was_shutdown) = handle_line(trimmed, shared);
+        if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if was_shutdown {
+            // The drain this connection requested is complete; stop
+            // accepting and let the process exit.
+            shared.poke_accept();
+            return;
+        }
+    }
+}
+
+fn serve_http(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &str,
+    shared: &Arc<Shared>,
+) {
+    // Drain the header block so the client sees a clean close.
+    let mut hdr = String::new();
+    while reader.read_line(&mut hdr).is_ok() {
+        if hdr.trim().is_empty() {
+            break;
+        }
+        hdr.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, ctype, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            shared.obs.prometheus(),
+        ),
+        "/trace" => ("200 OK", "application/json", shared.obs.chrome_trace()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.flush();
+}
+
+fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+    let received_us = shared.obs.now_us();
+    shared.obs.inc("serve.requests.received");
+    let parsed = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            shared.obs.inc("serve.responses.invalid");
+            return (
+                render_error(None, &JobError::Invalid(format!("bad json: {e}"))),
+                false,
+            );
+        }
+    };
+    let id = parsed.get("id").and_then(Json::as_str).map(str::to_owned);
+    let op = parsed.get("op").and_then(Json::as_str).unwrap_or("run");
+    let reply = match op {
+        "ping" => format!(
+            "{{\"status\":\"ok\",\"op\":\"ping\",\"draining\":{}}}\n",
+            shared.draining.load(Ordering::SeqCst)
+        ),
+        "metrics" => format!(
+            "{{\"status\":\"ok\",\"op\":\"metrics\",\"prometheus\":\"{}\"}}\n",
+            escape_json(&shared.obs.prometheus())
+        ),
+        "trace" => format!(
+            "{{\"status\":\"ok\",\"op\":\"trace\",\"chrome_trace\":{}}}\n",
+            // The exporter pretty-prints one event per line; the line
+            // protocol needs one line total. Newlines outside strings
+            // are insignificant JSON whitespace (escape_json encodes
+            // the ones inside), so flattening is loss-free.
+            shared.obs.chrome_trace().replace('\n', " ")
+        ),
+        "shutdown" => {
+            shared.begin_drain();
+            shared.wait_drained();
+            return (
+                "{\"status\":\"ok\",\"op\":\"shutdown\",\"drained\":true}\n".to_owned(),
+                true,
+            );
+        }
+        "run" => {
+            let run_reply = admit_and_wait(&parsed, shared);
+            render_run_reply(id.as_deref(), &run_reply, shared, received_us)
+        }
+        other => {
+            shared.obs.inc("serve.responses.invalid");
+            render_error(
+                id.as_deref(),
+                &JobError::Invalid(format!("unknown op {other:?}")),
+            )
+        }
+    };
+    (reply, false)
+}
+
+fn admit_and_wait(parsed: &Json, shared: &Arc<Shared>) -> JobReply {
+    let Some(job) = parsed.get("job") else {
+        return JobReply::Failed(JobError::Invalid("job object missing".into()));
+    };
+    let spec = match JobSpec::from_json(job) {
+        Ok(s) => s,
+        Err(e) => return JobReply::Failed(e),
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        return JobReply::Failed(JobError::Rejected("draining".into()));
+    }
+    let key = spec.key();
+
+    // Memoized? Serve from disk without touching the queue.
+    if let Some(cache) = &shared.cache {
+        if let Some(outcome) = cache.load::<JobOutcome>(&key) {
+            shared.obs.inc("serve.cache.hits");
+            return JobReply::Done {
+                outcome,
+                cached: true,
+            };
+        }
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let mut owner = false;
+    {
+        let mut dedup = shared.dedup.lock().expect("dedup lock poisoned");
+        match dedup.get_mut(&key) {
+            Some(inflight) => {
+                inflight.waiters.push(tx);
+                shared.obs.inc("serve.dedup.coalesced");
+            }
+            None => {
+                dedup.insert(key.clone(), InFlight { waiters: vec![tx] });
+                owner = true;
+            }
+        }
+    }
+    if owner {
+        let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+        let priority = parsed
+            .get("priority")
+            .and_then(Json::as_u64)
+            .map_or(1, |p| u8::try_from(p.min(2)).expect("clamped"));
+        let deadline = parsed
+            .get("deadline_ms")
+            .and_then(Json::as_u64)
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        let ticket = JobTicket {
+            seq,
+            key: key.clone(),
+            spec,
+            priority,
+            enqueued_at: Instant::now(),
+            deadline,
+        };
+        if let Err(err) = shared.queue.push(ticket) {
+            let reason = match err {
+                PushError::Full => "queue full",
+                PushError::Closed => "draining",
+            };
+            shared.obs.inc("serve.queue.rejected");
+            shared.complete(&key, &JobReply::Failed(JobError::Rejected(reason.into())));
+        } else {
+            shared
+                .obs
+                .set_gauge("serve.queue.depth", shared.queue.depth() as f64);
+        }
+    }
+    match rx.recv_timeout(shared.cfg.reply_timeout) {
+        Ok(reply) => reply,
+        Err(_) => JobReply::Failed(JobError::Stalled(
+            "reply channel timed out — dispatcher wedged?".into(),
+        )),
+    }
+}
+
+fn dispatch_loop(shared: &Arc<Shared>) {
+    while let Some(batch) = shared.queue.pop_batch(shared.cfg.batch_max) {
+        shared
+            .obs
+            .set_gauge("serve.queue.depth", shared.queue.depth() as f64);
+        let now = Instant::now();
+        let now_us = shared.obs.now_us();
+        let mut live: Vec<JobTicket> = Vec::with_capacity(batch.len());
+        for ticket in batch {
+            let waited_us =
+                u64::try_from(ticket.enqueued_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+            shared.obs.observe_us("serve.queue.wait_us", waited_us);
+            shared.obs.span(
+                ticket.seq,
+                "queue",
+                now_us.saturating_sub(waited_us),
+                now_us,
+            );
+            if ticket.deadline.is_some_and(|d| d <= now) {
+                shared.obs.inc("serve.jobs.expired");
+                shared.complete(&ticket.key, &JobReply::Failed(JobError::Expired));
+            } else {
+                live.push(ticket);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let max_net_cycles = shared.cfg.max_net_cycles;
+        let outcome = run_sweep_cancellable_on(
+            shared.cfg.workers,
+            live.clone(),
+            |ticket| {
+                // The deadline may have passed while earlier batch
+                // members ran; re-check at the last possible moment.
+                if ticket.deadline.is_some_and(|d| d <= Instant::now()) {
+                    return (JobReply::Failed(JobError::Expired), 0);
+                }
+                let begin = Instant::now();
+                let reply = match ticket.spec.execute(max_net_cycles) {
+                    Ok(outcome) => JobReply::Done {
+                        outcome,
+                        cached: false,
+                    },
+                    Err(e) => JobReply::Failed(e),
+                };
+                let service_us = u64::try_from(begin.elapsed().as_micros()).unwrap_or(u64::MAX);
+                (reply, service_us)
+            },
+            &shared.kill,
+        );
+        match outcome {
+            Ok(results) => {
+                for (ticket, (reply, service_us)) in live.iter().zip(results) {
+                    let end_us = shared.obs.now_us();
+                    match &reply {
+                        JobReply::Done { outcome, .. } => {
+                            shared.obs.inc("serve.jobs.executed");
+                            shared.obs.observe_us("serve.job.service_us", service_us);
+                            shared.obs.span(
+                                ticket.seq,
+                                "execute",
+                                end_us.saturating_sub(service_us),
+                                end_us,
+                            );
+                            if let Some(cache) = &shared.cache {
+                                if cache.store(&ticket.key, outcome).is_ok() {
+                                    shared.obs.inc("serve.cache.stores");
+                                }
+                            }
+                        }
+                        JobReply::Failed(JobError::Expired) => {
+                            shared.obs.inc("serve.jobs.expired");
+                        }
+                        JobReply::Failed(_) => {}
+                    }
+                    shared.complete(&ticket.key, &reply);
+                }
+            }
+            Err(Cancelled) => {
+                for ticket in &live {
+                    shared.complete(&ticket.key, &JobReply::Failed(JobError::Cancelled));
+                }
+            }
+        }
+    }
+    // Queue closed and empty: resolve any stragglers (admission lost a
+    // race with close) so no waiter blocks forever, then report drained.
+    let keys: Vec<String> = shared
+        .dedup
+        .lock()
+        .expect("dedup lock poisoned")
+        .keys()
+        .cloned()
+        .collect();
+    for key in keys {
+        shared.complete(&key, &JobReply::Failed(JobError::Cancelled));
+    }
+    shared.mark_drained();
+}
+
+fn num(f: f64) -> String {
+    if f.is_finite() {
+        format!("{f}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn render_run_reply(
+    id: Option<&str>,
+    reply: &JobReply,
+    shared: &Arc<Shared>,
+    received_us: u64,
+) -> String {
+    let latency_us = shared.obs.now_us().saturating_sub(received_us);
+    shared
+        .obs
+        .observe_us("serve.request.latency_us", latency_us);
+    match reply {
+        JobReply::Done { outcome, cached } => {
+            let status = if outcome.degraded { "degraded" } else { "ok" };
+            shared.obs.inc(&format!("serve.responses.{status}"));
+            let id_field = id.map_or(String::new(), |i| format!("\"id\":\"{}\",", escape_json(i)));
+            format!(
+                "{{{id_field}\"status\":\"{status}\",\"cached\":{cached},\
+                 \"latency\":{},\"interarrival\":{},\"bandwidth\":{},\
+                 \"net_cycles\":{},\"words_dropped\":{},\"retries\":{},\"failed\":{}}}\n",
+                num(outcome.latency),
+                num(outcome.interarrival),
+                num(outcome.bandwidth),
+                outcome.net_cycles,
+                outcome.words_dropped,
+                outcome.retries,
+                outcome.failed,
+            )
+        }
+        JobReply::Failed(err) => {
+            shared.obs.inc(&format!("serve.responses.{}", err.status()));
+            render_error(id, err)
+        }
+    }
+}
+
+fn render_error(id: Option<&str>, err: &JobError) -> String {
+    let id_field = id.map_or(String::new(), |i| format!("\"id\":\"{}\",", escape_json(i)));
+    format!(
+        "{{{id_field}\"status\":\"{}\",\"reason\":\"{}\"}}\n",
+        err.status(),
+        escape_json(&err.reason())
+    )
+}

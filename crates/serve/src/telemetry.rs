@@ -1,0 +1,201 @@
+//! The service's observability surface, built on `cedar-obs`.
+//!
+//! One [`ServeObs`] lives for the server's lifetime and is shared by
+//! every connection handler and the dispatcher. `cedar-obs` keeps its
+//! registry and trace sink deliberately single-threaded (the simulator
+//! is), so the serving tier wraps each in a mutex: metrics touches are
+//! short, and trace spans are appended post-hoc with explicit
+//! timestamps, so neither lock shows up in request latency.
+//!
+//! Naming follows the workspace's dot-path convention under the
+//! `serve.` prefix, so `rollup("serve.responses.")` totals every
+//! response the server has produced, whatever its status.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cedar_obs::export;
+use cedar_obs::metrics::MetricsRegistry;
+use cedar_obs::trace::TraceSink;
+
+/// Trace track id for the request path (tid is the job seq).
+pub const TRACE_PID: u64 = 1;
+
+/// Histogram shape: 64 bins of 500µs covers 0–32ms fine-grained, with
+/// the overflow bin catching the saturated tail.
+const HIST_BINS: usize = 64;
+const HIST_BIN_WIDTH_US: u64 = 500;
+
+/// Shared metrics + tracing for the serving tier.
+#[derive(Debug)]
+pub struct ServeObs {
+    metrics: Mutex<MetricsRegistry>,
+    trace: Mutex<TraceSink>,
+    start: Instant,
+}
+
+impl Default for ServeObs {
+    fn default() -> Self {
+        ServeObs::new()
+    }
+}
+
+impl ServeObs {
+    /// Creates the registry with every serve-path metric pre-interned,
+    /// so exports show zeros instead of missing series before traffic
+    /// arrives.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut m = MetricsRegistry::new();
+        for name in [
+            "serve.requests.received",
+            "serve.responses.ok",
+            "serve.responses.degraded",
+            "serve.responses.rejected",
+            "serve.responses.expired",
+            "serve.responses.cancelled",
+            "serve.responses.error",
+            "serve.responses.invalid",
+            "serve.jobs.executed",
+            "serve.jobs.expired",
+            "serve.dedup.coalesced",
+            "serve.cache.hits",
+            "serve.cache.stores",
+            "serve.queue.rejected",
+        ] {
+            m.counter(name);
+        }
+        m.gauge("serve.queue.depth");
+        for name in [
+            "serve.queue.wait_us",
+            "serve.job.service_us",
+            "serve.request.latency_us",
+        ] {
+            m.histogram(name, HIST_BINS, HIST_BIN_WIDTH_US);
+        }
+        ServeObs {
+            metrics: Mutex::new(m),
+            trace: Mutex::new(TraceSink::new()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds since the server started — the trace clock.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Adds one to the counter named `name`.
+    pub fn inc(&self, name: &str) {
+        let mut m = self.metrics.lock().expect("metrics lock poisoned");
+        let id = m.counter(name);
+        m.inc(id);
+    }
+
+    /// Adds `n` to the counter named `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut m = self.metrics.lock().expect("metrics lock poisoned");
+        let id = m.counter(name);
+        m.add(id, n);
+    }
+
+    /// Sets the gauge named `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut m = self.metrics.lock().expect("metrics lock poisoned");
+        let id = m.gauge(name);
+        m.set(id, value);
+    }
+
+    /// Records one µs sample into the histogram named `name`.
+    pub fn observe_us(&self, name: &str, sample_us: u64) {
+        let mut m = self.metrics.lock().expect("metrics lock poisoned");
+        let id = m.histogram(name, HIST_BINS, HIST_BIN_WIDTH_US);
+        m.record(id, sample_us);
+    }
+
+    /// Current value of the counter named `name`.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.metrics
+            .lock()
+            .expect("metrics lock poisoned")
+            .counter_value(name)
+    }
+
+    /// Records one completed request-path span on the job's trace
+    /// track, with explicit begin/end timestamps in µs-since-start.
+    pub fn span(&self, tid: u64, name: &'static str, begin_us: u64, end_us: u64) {
+        let mut t = self.trace.lock().expect("trace lock poisoned");
+        t.begin(TRACE_PID, tid, name, begin_us);
+        t.end(TRACE_PID, tid, name, end_us.max(begin_us));
+    }
+
+    /// Renders the Prometheus exposition of every metric.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        export::prometheus(&self.metrics.lock().expect("metrics lock poisoned"))
+    }
+
+    /// Renders the Chrome-trace JSON of every recorded span.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace(self.trace.lock().expect("trace lock poisoned").events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preinterned_metrics_export_as_zeros() {
+        let obs = ServeObs::new();
+        let text = obs.prometheus();
+        let parsed = export::parse_prometheus(&text).unwrap();
+        let received = export::sanitize_name("serve.requests.received");
+        assert_eq!(parsed.get(&received), Some(&0.0));
+        let depth = export::sanitize_name("serve.queue.depth");
+        assert_eq!(parsed.get(&depth), Some(&0.0));
+    }
+
+    #[test]
+    fn counters_and_histograms_round_trip_through_prometheus() {
+        let obs = ServeObs::new();
+        obs.inc("serve.requests.received");
+        obs.add("serve.dedup.coalesced", 3);
+        obs.observe_us("serve.request.latency_us", 1_250);
+        obs.set_gauge("serve.queue.depth", 2.0);
+        let parsed = export::parse_prometheus(&obs.prometheus()).unwrap();
+        assert_eq!(
+            parsed.get(&export::sanitize_name("serve.requests.received")),
+            Some(&1.0)
+        );
+        assert_eq!(
+            parsed.get(&export::sanitize_name("serve.dedup.coalesced")),
+            Some(&3.0)
+        );
+        assert_eq!(
+            parsed.get(&export::sanitize_name("serve.queue.depth")),
+            Some(&2.0)
+        );
+    }
+
+    #[test]
+    fn spans_render_as_valid_chrome_trace() {
+        let obs = ServeObs::new();
+        obs.span(7, "queue", 10, 40);
+        obs.span(7, "execute", 40, 90);
+        let json = obs.chrome_trace();
+        export::validate_json(&json).unwrap();
+        assert!(json.contains("\"queue\"") && json.contains("\"execute\""));
+    }
+
+    #[test]
+    fn spans_never_invert_even_with_clock_jitter() {
+        let obs = ServeObs::new();
+        obs.span(1, "x", 50, 20);
+        let json = obs.chrome_trace();
+        export::validate_json(&json).unwrap();
+    }
+}

@@ -107,11 +107,16 @@ impl CacheDir {
 ///
 /// Returns the underlying I/O error if the write or rename fails.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    // The PID suffix keeps concurrent processes (e.g. two CI harness
+    // The PID suffix keeps concurrent processes (two CI harness
     // invocations racing on a shared dir) from clobbering each other's
-    // temp file mid-write.
+    // temp file mid-write; the process-wide sequence number does the
+    // same for concurrent threads of one process (the serving tier's
+    // dedup path can race two stores of the same key), so every writer
+    // owns a private temp file and the rename is the only shared step.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(".tmp.{}", std::process::id()));
+    tmp.push(format!(".tmp.{}.{}", std::process::id(), seq));
     let tmp = PathBuf::from(tmp);
     fs::write(&tmp, bytes)?;
     fs::rename(&tmp, path)
@@ -153,6 +158,56 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         assert!(cache.contains(&key));
         assert_eq!(cache.load::<u64>(&key), None);
+        fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_key_never_expose_a_torn_entry() {
+        // Serve's dedup path can race two stores of the same key (two
+        // servers sharing a cache dir, or two threads of one). Every
+        // concurrent load must see either nothing or one writer's
+        // complete value — never a torn mix — and the final entry must
+        // decode as one of the written values.
+        let cache = CacheDir::new(scratch("race")).unwrap();
+        let key = "00deadbeef00cafe".to_owned();
+        const WRITERS: u64 = 4;
+        const ROUNDS: u64 = 40;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let cache = cache.clone();
+                let key = key.clone();
+                scope.spawn(move || {
+                    // Each writer's value is self-consistent: every
+                    // element equals the writer id, so any mix of two
+                    // writers is detectable.
+                    let value: Vec<u64> = vec![w; 64];
+                    for _ in 0..ROUNDS {
+                        cache.store(&key, &value).unwrap();
+                        if let Some(seen) = cache.load::<Vec<u64>>(&key) {
+                            assert_eq!(seen.len(), 64, "torn entry observed");
+                            assert!(
+                                seen.iter().all(|&x| x == seen[0]) && seen[0] < WRITERS,
+                                "entry mixes writers: {seen:?}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let last = cache
+            .load::<Vec<u64>>(&key)
+            .expect("final entry must decode");
+        assert!(last.iter().all(|&x| x == last[0]) && last[0] < WRITERS);
+        // Every temp file was renamed away; only the entry remains.
+        let leftovers: Vec<_> = fs::read_dir(cache.root())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p != &cache.entry_path(&key))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "stray files left behind: {leftovers:?}"
+        );
         fs::remove_dir_all(cache.root()).unwrap();
     }
 

@@ -1,0 +1,103 @@
+//! The saturation knee of the serving tier.
+//!
+//! Starts an in-process cedar-serve server, then pushes closed-loop
+//! load through it at increasing client counts and prints offered load
+//! against p50/p99 latency — the knee where queueing delay takes over
+//! from service time, the serving-tier analogue of the paper's
+//! hot-spot saturation curves.
+//!
+//! ```text
+//! cargo run --release --example service_study
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use cedar::serve::config::ServeConfig;
+use cedar::serve::server::start;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+fn main() {
+    let handle = start(ServeConfig {
+        // A deliberately narrow server so the knee appears at small
+        // client counts: two workers, small batches.
+        workers: 2,
+        batch_max: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    println!("serving on {addr}\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>10}",
+        "clients", "requests", "rps", "p50_us", "p99_us"
+    );
+
+    let mut spec_idx = 0u64;
+    for clients in [1usize, 2, 4, 8, 16] {
+        let per_client = 12;
+        let base = spec_idx;
+        spec_idx += (clients * per_client) as u64;
+        let started = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let stream = TcpStream::connect(&addr).expect("connect");
+                        stream.set_nodelay(true).ok();
+                        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                        let mut writer = stream;
+                        let mut times = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            // Unique fraction per request: measure
+                            // execution, not the dedup path.
+                            let ppm = 1 + (base + (c * per_client + i) as u64) % 900_000;
+                            let line = format!(
+                                "{{\"op\":\"run\",\"job\":{{\"type\":\"hotspot\",\
+                                 \"fraction\":{},\"ces\":2,\"blocks\":1}}}}\n",
+                                ppm as f64 / 1e6
+                            );
+                            let sent = Instant::now();
+                            writer.write_all(line.as_bytes()).expect("send");
+                            let mut reply = String::new();
+                            reader.read_line(&mut reply).expect("recv");
+                            assert!(
+                                reply.contains("\"status\":\"ok\"")
+                                    || reply.contains("\"status\":\"degraded\""),
+                                "unexpected reply: {reply}"
+                            );
+                            times.push(sent.elapsed().as_micros() as u64);
+                        }
+                        times
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        latencies.sort_unstable();
+        println!(
+            "{:>8} {:>10} {:>12.1} {:>10} {:>10}",
+            clients,
+            latencies.len(),
+            latencies.len() as f64 / elapsed,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+        );
+    }
+
+    println!("\nqueue depth and latency histograms live at http://{addr}/metrics");
+    handle.shutdown();
+    println!("drained cleanly");
+}

@@ -47,6 +47,7 @@
 //! | [`obs`] | `cedar-obs` | metrics registry, span tracing, exporters |
 //! | [`exec`] | `cedar-exec` | deterministic parallel sweep executor |
 //! | [`snap`] | `cedar-snap` | snapshot codec, checkpoints, result cache |
+//! | [`serve`] | `cedar-serve` | batching simulation service, job queue, loadgen |
 
 #![warn(missing_docs)]
 
@@ -62,5 +63,6 @@ pub use cedar_net as net;
 pub use cedar_obs as obs;
 pub use cedar_perfect as perfect;
 pub use cedar_runtime as runtime;
+pub use cedar_serve as serve;
 pub use cedar_sim as sim;
 pub use cedar_snap as snap;
