@@ -1,0 +1,81 @@
+//! Reference job families shared by the `cluster_node` harness binary
+//! and the integration tests.
+//!
+//! Both sides of a cluster must agree on each family's function: the
+//! coordinator asserts cluster results bit-identical to a serial
+//! sweep, so the *same* Rust function must be callable in-process (for
+//! the serial reference) and in the worker binary (for the fleet).
+//! Keeping the fixtures here — in the library, not the binary — is
+//! what guarantees that.
+
+use crate::registry::JobRegistry;
+
+/// Identity on `u64`: the cheapest possible round-trip check.
+pub const ECHO: &str = "cedar.echo/1";
+
+/// Deterministic SplitMix64-style mixing: cheap but non-trivial, with
+/// a result that detects any corruption of input or output.
+pub const MIX: &str = "cedar.mix/1";
+
+/// [`MIX`] plus a calibrated spin, so jobs take long enough (a few
+/// milliseconds) that chaos kills land mid-sweep rather than after it.
+pub const SLOW_MIX: &str = "cedar.slow_mix/1";
+
+/// The [`ECHO`] function.
+#[must_use]
+pub fn echo(x: u64) -> u64 {
+    x
+}
+
+/// The [`MIX`] function: 256 rounds of SplitMix64-style mixing.
+#[must_use]
+pub fn mix(x: u64) -> u64 {
+    let mut s = x;
+    let mut out = 0u64;
+    for _ in 0..256 {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        out ^= z ^ (z >> 31);
+    }
+    out
+}
+
+/// The [`SLOW_MIX`] function: same value as [`mix`], reached the slow
+/// way (the spin feeds the result, so it cannot be optimised out).
+#[must_use]
+pub fn slow_mix(x: u64) -> u64 {
+    let mut acc = x;
+    for i in 0..400_000u64 {
+        acc = acc.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i);
+    }
+    // Fold the spin into a no-op the checker can still verify: acc is
+    // deterministic, so xor-ing it in twice cancels exactly.
+    mix(x) ^ acc ^ acc
+}
+
+/// The registry every cluster-capable binary in this workspace uses.
+#[must_use]
+pub fn default_registry() -> JobRegistry {
+    let mut reg = JobRegistry::new();
+    reg.register(ECHO, echo);
+    reg.register(MIX, mix);
+    reg.register(SLOW_MIX, slow_mix);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_deterministic_and_distinct() {
+        assert_eq!(echo(7), 7);
+        assert_eq!(mix(7), mix(7));
+        assert_ne!(mix(7), mix(8));
+        assert_eq!(slow_mix(7), mix(7), "slow path computes the same value");
+        let reg = default_registry();
+        assert_eq!(reg.families().count(), 3);
+    }
+}

@@ -1,0 +1,320 @@
+//! The coordinator-side job journal: the exactly-once ledger.
+//!
+//! Every sweep point is always in exactly one of three states —
+//! *unstarted*, *owned* (issued to a specific worker incarnation, with
+//! the issue tick recorded for deadline checks), or *committed*. All
+//! transitions happen on the coordinator's single supervision thread,
+//! so the journal needs no locking and its accounting is exact:
+//!
+//! * a commit is accepted only from the worker **incarnation that
+//!   currently owns the job** — a zombie predecessor's late result is
+//!   counted and dropped, never double-committed;
+//! * releasing a dead worker's jobs returns them to *unstarted* for
+//!   re-issue; the issue counter keeps the full retry history;
+//! * [`commits`](JobJournal::commits) per job is the exactly-once
+//!   witness: a completed sweep has exactly one commit everywhere.
+
+/// Where a committed result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOrigin {
+    /// Served from the content-addressed cache before dispatch.
+    Cache,
+    /// Computed by a worker slot.
+    Worker(u32),
+}
+
+/// Lifecycle state of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Not yet issued to any worker.
+    Unstarted,
+    /// Issued and awaiting a result.
+    Owned {
+        /// The slot that owns it.
+        worker: u32,
+        /// The incarnation the job was issued to; commits from any
+        /// other incarnation are stale.
+        incarnation: u32,
+        /// Supervision tick at which it was issued.
+        issued_tick: u64,
+    },
+    /// Exactly one result has been accepted.
+    Committed(CommitOrigin),
+}
+
+/// Per-job retry/commit history, exposed in the final report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// How many times the job was issued to a worker.
+    pub issues: u32,
+    /// How many commits were accepted (exactly 1 on a completed
+    /// sweep).
+    pub commits: u32,
+    /// Where the accepted result came from.
+    pub origin: Option<CommitOrigin>,
+}
+
+/// The journal over all sweep points.
+#[derive(Debug)]
+pub struct JobJournal {
+    states: Vec<JobState>,
+    issues: Vec<u32>,
+    commits: Vec<u32>,
+    origins: Vec<Option<CommitOrigin>>,
+    first_issue_tick: Vec<Option<u64>>,
+    committed: usize,
+    /// Results that arrived from a non-owner (dead incarnation or
+    /// re-issued job) and were dropped.
+    pub stale_results: u64,
+}
+
+impl JobJournal {
+    /// A journal of `n` unstarted jobs.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        JobJournal {
+            states: vec![JobState::Unstarted; n],
+            issues: vec![0; n],
+            commits: vec![0; n],
+            origins: vec![None; n],
+            first_issue_tick: vec![None; n],
+            committed: 0,
+            stale_results: 0,
+        }
+    }
+
+    /// Number of jobs tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the journal tracks no jobs at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current state of job `i`.
+    #[must_use]
+    pub fn state(&self, i: usize) -> JobState {
+        self.states[i]
+    }
+
+    /// Jobs not yet committed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.states.len() - self.committed
+    }
+
+    /// Whether every job has committed.
+    #[must_use]
+    pub fn all_committed(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Indices of unstarted jobs, in input order.
+    #[must_use]
+    pub fn unstarted(&self) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| self.states[i] == JobState::Unstarted)
+            .collect()
+    }
+
+    /// Commits job `i` directly from the cache (pre-dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job was already issued or committed — cache
+    /// pre-check happens strictly before dispatch.
+    pub fn commit_from_cache(&mut self, i: usize) {
+        assert_eq!(
+            self.states[i],
+            JobState::Unstarted,
+            "cache commit after dispatch"
+        );
+        self.states[i] = JobState::Committed(CommitOrigin::Cache);
+        self.commits[i] += 1;
+        self.origins[i] = Some(CommitOrigin::Cache);
+        self.committed += 1;
+    }
+
+    /// Marks job `i` as issued to `(worker, incarnation)` at
+    /// `now_tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not unstarted — issuing an owned or
+    /// committed job is a coordinator bug, not a runtime condition.
+    pub fn issue(&mut self, i: usize, worker: u32, incarnation: u32, now_tick: u64) {
+        assert_eq!(self.states[i], JobState::Unstarted, "double issue");
+        self.states[i] = JobState::Owned {
+            worker,
+            incarnation,
+            issued_tick: now_tick,
+        };
+        self.issues[i] += 1;
+        self.first_issue_tick[i].get_or_insert(now_tick);
+    }
+
+    /// Returns all jobs owned by `worker` to unstarted (the worker
+    /// died or was reaped), reporting how many were released.
+    pub fn release_worker(&mut self, worker: u32) -> usize {
+        let mut released = 0;
+        for state in &mut self.states {
+            if matches!(state, JobState::Owned { worker: w, .. } if *w == worker) {
+                *state = JobState::Unstarted;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Offers a worker's result for job `i`. Accepted only when
+    /// `(worker, incarnation)` is the current owner; anything else is
+    /// recorded as a stale result and refused, preserving the
+    /// exactly-one-commit invariant.
+    ///
+    /// On acceptance, returns the tick at which the job was *first*
+    /// issued (for re-issue latency accounting).
+    pub fn offer_commit(&mut self, i: usize, worker: u32, incarnation: u32) -> Option<u64> {
+        match self.states[i] {
+            JobState::Owned {
+                worker: w,
+                incarnation: inc,
+                ..
+            } if w == worker && inc == incarnation => {
+                self.states[i] = JobState::Committed(CommitOrigin::Worker(worker));
+                self.commits[i] += 1;
+                self.origins[i] = Some(CommitOrigin::Worker(worker));
+                self.committed += 1;
+                self.first_issue_tick[i]
+            }
+            _ => {
+                self.stale_results += 1;
+                None
+            }
+        }
+    }
+
+    /// Jobs owned past their deadline: issued more than
+    /// `deadline_ticks` ago and still uncommitted.
+    #[must_use]
+    pub fn expired(&self, now_tick: u64, deadline_ticks: u64) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| match self.states[i] {
+                JobState::Owned { issued_tick, .. } => {
+                    now_tick.saturating_sub(issued_tick) > deadline_ticks
+                }
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Releases one specific owned job back to unstarted (deadline
+    /// re-issue). No-op unless the job is currently owned.
+    pub fn release(&mut self, i: usize) {
+        if matches!(self.states[i], JobState::Owned { .. }) {
+            self.states[i] = JobState::Unstarted;
+        }
+    }
+
+    /// Per-job history for the final report.
+    #[must_use]
+    pub fn records(&self) -> Vec<JobRecord> {
+        (0..self.states.len())
+            .map(|i| JobRecord {
+                issues: self.issues[i],
+                commits: self.commits[i],
+                origin: self.origins[i],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_commits_exactly_once() {
+        let mut j = JobJournal::new(3);
+        assert_eq!(j.pending(), 3);
+        j.commit_from_cache(0);
+        j.issue(1, 0, 0, 10);
+        j.issue(2, 1, 0, 10);
+        assert_eq!(j.offer_commit(1, 0, 0), Some(10));
+        assert_eq!(j.offer_commit(2, 1, 0), Some(10));
+        assert!(j.all_committed());
+        for r in j.records() {
+            assert_eq!(r.commits, 1);
+        }
+    }
+
+    #[test]
+    fn stale_incarnation_cannot_commit() {
+        let mut j = JobJournal::new(1);
+        j.issue(0, 0, 0, 5);
+        // Worker 0 dies; its job is released and re-issued to the
+        // restarted incarnation 1.
+        assert_eq!(j.release_worker(0), 1);
+        j.issue(0, 0, 1, 20);
+        // The zombie's late result is refused...
+        assert_eq!(j.offer_commit(0, 0, 0), None);
+        assert_eq!(j.stale_results, 1);
+        assert!(!j.all_committed());
+        // ...and the live incarnation's is accepted, with the first
+        // issue tick preserved for latency accounting.
+        assert_eq!(j.offer_commit(0, 0, 1), Some(5));
+        assert_eq!(j.records()[0].commits, 1);
+        assert_eq!(j.records()[0].issues, 2);
+    }
+
+    #[test]
+    fn commit_after_reassignment_is_stale_for_the_old_owner() {
+        let mut j = JobJournal::new(1);
+        j.issue(0, 0, 0, 0);
+        j.release_worker(0);
+        j.issue(0, 2, 0, 8);
+        assert_eq!(j.offer_commit(0, 0, 0), None, "old owner refused");
+        assert_eq!(j.offer_commit(0, 2, 0), Some(0));
+        assert_eq!(
+            j.records()[0].origin,
+            Some(CommitOrigin::Worker(2)),
+            "origin names the committing worker"
+        );
+    }
+
+    #[test]
+    fn double_commit_is_impossible() {
+        let mut j = JobJournal::new(1);
+        j.issue(0, 0, 0, 0);
+        assert!(j.offer_commit(0, 0, 0).is_some());
+        // Even the rightful owner cannot commit twice.
+        assert_eq!(j.offer_commit(0, 0, 0), None);
+        assert_eq!(j.records()[0].commits, 1);
+        assert_eq!(j.stale_results, 1);
+    }
+
+    #[test]
+    fn deadlines_select_only_overdue_owned_jobs() {
+        let mut j = JobJournal::new(3);
+        j.issue(0, 0, 0, 0);
+        j.issue(1, 1, 0, 90);
+        assert_eq!(j.expired(100, 50), vec![0]);
+        j.release(0);
+        assert_eq!(j.state(0), JobState::Unstarted);
+        assert_eq!(j.expired(100, 50), Vec::<usize>::new());
+        // Releasing an unstarted or committed job is a no-op.
+        j.release(2);
+        assert_eq!(j.state(2), JobState::Unstarted);
+    }
+
+    #[test]
+    #[should_panic(expected = "double issue")]
+    fn issuing_an_owned_job_panics() {
+        let mut j = JobJournal::new(1);
+        j.issue(0, 0, 0, 0);
+        j.issue(0, 1, 0, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Cluster observability: per-worker health and supervision counters.
+//!
+//! Mirrors the serving tier's `ServeObs` shape — a thread-safe wrapper
+//! over [`MetricsRegistry`] with every supervision metric pre-interned
+//! so exports show zeros, not missing series, before anything fails.
+//! The coordinator feeds it during a run; `prometheus()` renders the
+//! standard exposition via `cedar-obs`.
+
+use std::sync::Mutex;
+
+use cedar_obs::export;
+use cedar_obs::metrics::MetricsRegistry;
+
+/// Re-issue latency histogram shape: ticks from a job's first issue to
+/// its commit. 64 bins of 8 ticks covers multi-restart recoveries;
+/// the overflow bin catches pathological tails.
+const HIST_BINS: usize = 64;
+const HIST_BIN_WIDTH_TICKS: u64 = 8;
+
+/// Shared metrics for a cluster coordinator.
+#[derive(Debug)]
+pub struct ClusterObs {
+    metrics: Mutex<MetricsRegistry>,
+}
+
+impl Default for ClusterObs {
+    fn default() -> Self {
+        ClusterObs::new()
+    }
+}
+
+impl ClusterObs {
+    /// Creates the registry with every supervision metric
+    /// pre-interned.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut m = MetricsRegistry::new();
+        for name in [
+            "cluster.jobs.dispatched",
+            "cluster.jobs.committed",
+            "cluster.jobs.cache_hits",
+            "cluster.jobs.reissued",
+            "cluster.results.stale",
+            "cluster.worker.exits",
+            "cluster.worker.hangs_reaped",
+            "cluster.worker.garbage_frames",
+            "cluster.worker.restarts",
+            "cluster.worker.lost",
+        ] {
+            let id = m.counter(name);
+            m.add(id, 0);
+        }
+        let _ = m.gauge("cluster.workers.alive");
+        let _ = m.histogram(
+            "cluster.commit.latency_ticks",
+            HIST_BINS,
+            HIST_BIN_WIDTH_TICKS,
+        );
+        ClusterObs {
+            metrics: Mutex::new(m),
+        }
+    }
+
+    /// Adds `n` to the counter named `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut m = self.metrics.lock().expect("metrics lock poisoned");
+        let id = m.counter(name);
+        m.add(id, n);
+    }
+
+    /// Adds one to the counter named `name`.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the gauge named `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut m = self.metrics.lock().expect("metrics lock poisoned");
+        let id = m.gauge(name);
+        m.set(id, value);
+    }
+
+    /// Publishes one worker slot's health: liveness, incarnation and
+    /// restart count, as per-worker gauges.
+    pub fn worker_health(&self, worker: u32, alive: bool, incarnation: u32, restarts: u32) {
+        self.set_gauge(
+            &format!("cluster.worker.{worker}.alive"),
+            if alive { 1.0 } else { 0.0 },
+        );
+        self.set_gauge(
+            &format!("cluster.worker.{worker}.incarnation"),
+            f64::from(incarnation),
+        );
+        self.set_gauge(
+            &format!("cluster.worker.{worker}.restarts"),
+            f64::from(restarts),
+        );
+    }
+
+    /// Records one job's first-issue→commit latency in ticks.
+    pub fn commit_latency(&self, ticks: u64) {
+        let mut m = self.metrics.lock().expect("metrics lock poisoned");
+        let id = m.histogram(
+            "cluster.commit.latency_ticks",
+            HIST_BINS,
+            HIST_BIN_WIDTH_TICKS,
+        );
+        m.record(id, ticks);
+    }
+
+    /// Current value of the counter named `name`.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.metrics
+            .lock()
+            .expect("metrics lock poisoned")
+            .counter_value(name)
+    }
+
+    /// Renders the Prometheus exposition of every metric.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        export::prometheus(&self.metrics.lock().expect("metrics lock poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervision_metrics_are_pre_interned() {
+        let obs = ClusterObs::new();
+        let text = obs.prometheus();
+        for series in [
+            "cluster_jobs_dispatched",
+            "cluster_worker_exits",
+            "cluster_worker_restarts",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn worker_health_exports_per_worker_series() {
+        let obs = ClusterObs::new();
+        obs.worker_health(2, true, 3, 2);
+        obs.inc("cluster.worker.exits");
+        obs.commit_latency(17);
+        let text = obs.prometheus();
+        assert!(text.contains("cluster_worker_2_alive 1"), "{text}");
+        assert!(text.contains("cluster_worker_2_incarnation 3"), "{text}");
+        assert_eq!(obs.counter_value("cluster.worker.exits"), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! The worker side: job families and the worker process main loop.
+//!
+//! A cluster worker is the *same binary* as its coordinator, re-exec'd
+//! with `CEDAR_CLUSTER_WORKER` set to the coordinator's address. Any
+//! binary that wants to serve as a worker builds a [`JobRegistry`] of
+//! named job families and calls [`maybe_worker`] first thing in
+//! `main`; in coordinator (or ordinary CLI) invocations the call is a
+//! no-op, and in worker invocations it connects back, serves jobs
+//! until told to stop, and exits without returning.
+//!
+//! Families are keyed by stable versioned names (`"cedar.mix/1"`), and
+//! their functions must honour the same determinism contract as
+//! [`cedar_exec::run_sweep`] points: the result must be a pure
+//! function of the input, because the coordinator asserts cluster
+//! results bit-identical to a serial sweep and commits them to the
+//! shared content-addressed cache.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use cedar_faults::{parse_directive, WorkerFaultKind};
+use cedar_snap::{read_frame, write_frame, FrameError, Snapshot};
+
+use crate::proto::{decode_msg, encode_msg, FromWorker, ToWorker};
+
+/// Environment variable carrying the coordinator address; its presence
+/// is what makes an invocation a worker.
+pub const WORKER_ENV: &str = "CEDAR_CLUSTER_WORKER";
+/// Environment variable carrying the worker's slot index.
+pub const ID_ENV: &str = "CEDAR_CLUSTER_ID";
+/// Environment variable carrying the worker's incarnation number.
+pub const INCARNATION_ENV: &str = "CEDAR_CLUSTER_INCARNATION";
+/// Environment variable carrying an optional chaos directive
+/// (`kind:after_jobs`, see [`cedar_faults::WorkerFault::directive`]).
+pub const CHAOS_ENV: &str = "CEDAR_CLUSTER_CHAOS";
+
+/// How long a chaos-stalled worker plays dead before giving up and
+/// exiting on its own: long enough for any reasonable heartbeat budget
+/// to reap it, short enough that an orphaned stalled process cannot
+/// outlive its test run by much.
+const STALL_CAP: Duration = Duration::from_secs(30);
+
+type FamilyFn = Box<dyn Fn(&[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
+
+/// A table of named job families a worker can execute.
+#[derive(Default)]
+pub struct JobRegistry {
+    families: BTreeMap<String, FamilyFn>,
+}
+
+impl std::fmt::Debug for JobRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRegistry")
+            .field("families", &self.families.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        JobRegistry::default()
+    }
+
+    /// Registers `f` as the function behind `family`. Inputs arrive
+    /// and results leave as sealed snapshot envelopes; a panicking
+    /// `f` is reported as a job failure, not a worker crash.
+    pub fn register<I, T, F>(&mut self, family: &str, f: F)
+    where
+        I: Snapshot,
+        T: Snapshot,
+        F: Fn(I) -> T + Send + Sync + 'static,
+    {
+        self.families.insert(
+            family.to_owned(),
+            Box::new(move |input_bytes| {
+                let input = I::from_snapshot_bytes(input_bytes)
+                    .map_err(|e| format!("undecodable input: {e}"))?;
+                match catch_unwind(AssertUnwindSafe(|| f(input))) {
+                    Ok(result) => Ok(result.to_snapshot_bytes()),
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic".to_owned());
+                        Err(format!("family function panicked: {msg}"))
+                    }
+                }
+            }),
+        );
+    }
+
+    /// Executes one job: envelope bytes in, envelope bytes out.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the family is unknown, the input
+    /// does not decode, or the family function panics.
+    pub fn run(&self, family: &str, input: &[u8]) -> Result<Vec<u8>, String> {
+        match self.families.get(family) {
+            Some(f) => f(input),
+            None => Err(format!("unknown job family {family:?}")),
+        }
+    }
+
+    /// Registered family names, sorted.
+    pub fn families(&self) -> impl Iterator<Item = &str> {
+        self.families.keys().map(String::as_str)
+    }
+}
+
+/// If this invocation is a worker (`CEDAR_CLUSTER_WORKER` is set),
+/// runs the worker loop and **exits the process**; otherwise returns
+/// immediately. Call this first thing in `main` of any binary that
+/// should be spawnable as a cluster worker.
+pub fn maybe_worker(registry: &JobRegistry) {
+    if let Ok(addr) = std::env::var(WORKER_ENV) {
+        let code = worker_main(registry, &addr);
+        std::process::exit(code);
+    }
+}
+
+fn env_u32(name: &str) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The worker process main loop: connect, introduce ourselves, serve
+/// jobs until shutdown or coordinator loss. Returns the exit code.
+fn worker_main(registry: &JobRegistry, addr: &str) -> i32 {
+    let worker = env_u32(ID_ENV);
+    let incarnation = env_u32(INCARNATION_ENV);
+    let chaos = std::env::var(CHAOS_ENV)
+        .ok()
+        .and_then(|d| parse_directive(&d));
+
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 3;
+    };
+    let hello = FromWorker::Hello {
+        worker,
+        incarnation,
+        pid: std::process::id(),
+    };
+    if write_frame(&mut stream, &encode_msg(&hello)).is_err() {
+        return 3;
+    }
+
+    let mut jobs_done: u32 = 0;
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            // Coordinator gone (cleanly or not): nothing left to do.
+            Err(FrameError::Eof | FrameError::Io(_)) => return 0,
+            // A corrupt frame from the coordinator means the stream
+            // position is unreliable; bail rather than guess.
+            Err(_) => return 4,
+        };
+        let Ok(msg) = decode_msg::<ToWorker>(&payload) else {
+            return 4;
+        };
+        match msg {
+            ToWorker::Job { job, family, input } => {
+                if let Some((kind, after_jobs)) = chaos {
+                    if jobs_done == after_jobs {
+                        match kind {
+                            // Die mid-job, no reply, no cleanup — the
+                            // supervisor sees a bare EOF.
+                            WorkerFaultKind::Kill => std::process::exit(9),
+                            // Play dead: stop reading and replying but
+                            // stay connected, so only the heartbeat
+                            // watchdog can tell.
+                            WorkerFaultKind::Stall => {
+                                std::thread::sleep(STALL_CAP);
+                                std::process::exit(3);
+                            }
+                            // Reply with bytes that cannot frame: the
+                            // supervisor's checksum path must catch it.
+                            WorkerFaultKind::Corrupt => {
+                                let _ = stream.write_all(&[0x5A; 64]);
+                                let _ = stream.flush();
+                                // Keep running; the coordinator will
+                                // kill this incarnation.
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let reply = match registry.run(&family, &input) {
+                    Ok(result) => {
+                        jobs_done += 1;
+                        FromWorker::Done { job, result }
+                    }
+                    Err(reason) => FromWorker::Fail { job, reason },
+                };
+                if write_frame(&mut stream, &encode_msg(&reply)).is_err() {
+                    return 0;
+                }
+            }
+            ToWorker::Ping { nonce } => {
+                if write_frame(&mut stream, &encode_msg(&FromWorker::Pong { nonce })).is_err() {
+                    return 0;
+                }
+            }
+            ToWorker::Shutdown => return 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_runs_registered_families() {
+        let mut reg = JobRegistry::new();
+        reg.register("sq/1", |x: u64| x * x);
+        reg.register("neg/1", |x: i64| -x);
+        assert_eq!(
+            reg.families().collect::<Vec<_>>(),
+            vec!["neg/1", "sq/1"],
+            "sorted names"
+        );
+        let out = reg.run("sq/1", &7u64.to_snapshot_bytes()).unwrap();
+        assert_eq!(u64::from_snapshot_bytes(&out).unwrap(), 49);
+    }
+
+    #[test]
+    fn unknown_family_and_bad_input_are_typed_failures() {
+        let mut reg = JobRegistry::new();
+        reg.register("sq/1", |x: u64| x * x);
+        assert!(reg
+            .run("nope/1", &1u64.to_snapshot_bytes())
+            .unwrap_err()
+            .contains("unknown job family"));
+        assert!(reg
+            .run("sq/1", b"not an envelope")
+            .unwrap_err()
+            .contains("undecodable input"));
+    }
+
+    #[test]
+    fn panicking_family_is_a_job_failure_not_a_crash() {
+        let mut reg = JobRegistry::new();
+        reg.register("boom/1", |x: u64| {
+            assert!(x != 13, "unlucky input");
+            x
+        });
+        assert_eq!(
+            u64::from_snapshot_bytes(&reg.run("boom/1", &7u64.to_snapshot_bytes()).unwrap())
+                .unwrap(),
+            7
+        );
+        let err = reg.run("boom/1", &13u64.to_snapshot_bytes()).unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert!(err.contains("unlucky input"), "{err}");
+    }
+}

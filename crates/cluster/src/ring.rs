@@ -1,0 +1,151 @@
+//! Consistent-hash placement of sweep points onto worker slots.
+//!
+//! Each worker slot owns a set of virtual nodes on a 64-bit hash ring;
+//! a job lands on the first *alive* worker at or after its key's hash.
+//! Two properties matter to the supervisor:
+//!
+//! * **Determinism** — placement is a pure function of (key, fleet
+//!   size, alive set), so a re-run of the same sweep dispatches the
+//!   same way and a chaos experiment is replayable.
+//! * **Stability** — when a worker dies, only the jobs it owned move
+//!   (to their next alive successor on the ring); every other job
+//!   keeps its assignment, so a restart storm cannot reshuffle the
+//!   whole sweep.
+
+use cedar_snap::fnv1a;
+
+/// Virtual nodes per worker: enough to spread load across a handful
+/// of workers without making ring construction measurable.
+const VNODES: u32 = 16;
+
+/// SplitMix64 finalizer over an FNV-1a hash. FNV alone has weak
+/// avalanche: similar keys (and content-addressed keys *are* similar
+/// hex strings) land clustered on the ring, starving workers. The
+/// finalizer spreads them uniformly.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over `workers` slots.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(hash, worker)` points.
+    points: Vec<(u64, u32)>,
+    workers: u32,
+}
+
+impl HashRing {
+    /// Builds the ring for a fleet of `workers` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero — an empty fleet has no ring.
+    #[must_use]
+    pub fn new(workers: u32) -> Self {
+        assert!(workers > 0, "ring needs at least one worker");
+        let mut points = Vec::with_capacity((workers * VNODES) as usize);
+        for w in 0..workers {
+            for v in 0..VNODES {
+                let label = format!("cedar.cluster/worker/{w}/vnode/{v}");
+                points.push((mix64(fnv1a(label.as_bytes())), w));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, workers }
+    }
+
+    /// Number of worker slots the ring was built for.
+    #[must_use]
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// Hash of a content-addressed sweep key (the 16-hex-digit string
+    /// from [`Snapshot::snapshot_key`](cedar_snap::Snapshot::snapshot_key)).
+    #[must_use]
+    pub fn key_hash(key: &str) -> u64 {
+        mix64(fnv1a(key.as_bytes()))
+    }
+
+    /// The first worker at or after `key_hash` for which `eligible`
+    /// returns true, scanning each distinct worker at most once.
+    /// Returns `None` when no worker is eligible.
+    pub fn assign<F: FnMut(u32) -> bool>(&self, key_hash: u64, mut eligible: F) -> Option<u32> {
+        let start = self.points.partition_point(|&(h, _)| h < key_hash);
+        let mut seen = vec![false; self.workers as usize];
+        let mut distinct = 0;
+        for i in 0..self.points.len() {
+            let (_, w) = self.points[(start + i) % self.points.len()];
+            if seen[w as usize] {
+                continue;
+            }
+            seen[w as usize] = true;
+            if eligible(w) {
+                return Some(w);
+            }
+            distinct += 1;
+            if distinct == self.workers {
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<String> {
+        (0..n).map(|i| format!("{i:016x}")).collect()
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let ring = HashRing::new(4);
+        for key in keys(100) {
+            let h = HashRing::key_hash(&key);
+            let a = ring.assign(h, |_| true).unwrap();
+            let b = ring.assign(h, |_| true).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn load_spreads_over_all_workers() {
+        let ring = HashRing::new(4);
+        let mut counts = [0u32; 4];
+        for key in keys(400) {
+            counts[ring.assign(HashRing::key_hash(&key), |_| true).unwrap() as usize] += 1;
+        }
+        for (w, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "worker {w} got no jobs: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn losing_a_worker_only_moves_its_own_jobs() {
+        let ring = HashRing::new(4);
+        let dead = 2u32;
+        for key in keys(200) {
+            let h = HashRing::key_hash(&key);
+            let before = ring.assign(h, |_| true).unwrap();
+            let after = ring.assign(h, |w| w != dead).unwrap();
+            if before != dead {
+                assert_eq!(after, before, "job on a live worker must not move");
+            } else {
+                assert_ne!(after, dead);
+            }
+        }
+    }
+
+    #[test]
+    fn no_eligible_worker_is_none() {
+        let ring = HashRing::new(3);
+        assert_eq!(ring.assign(12345, |_| false), None);
+        assert_eq!(ring.assign(12345, |w| w == 1), Some(1));
+    }
+}

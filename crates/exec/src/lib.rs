@@ -49,7 +49,7 @@ mod pool;
 
 pub use cached::{
     run_sweep_cached, run_sweep_cached_cancellable, run_sweep_cached_cancellable_on,
-    run_sweep_cached_on,
+    run_sweep_cached_on, sweep_keys,
 };
 pub use pool::{run_sweep_cancellable_on, run_sweep_on, CancelToken, Cancelled};
 

@@ -1,0 +1,274 @@
+//! Seeded chaos plans for a fleet of worker processes.
+//!
+//! The cluster's chaos mode is the process-level sibling of
+//! [`FaultPlan`](crate::FaultPlan): a [`WorkerFaultConfig`] expands
+//! deterministically into a [`WorkerFaultPlan`] that names which
+//! workers misbehave, how, and when — *kill* (exit without warning),
+//! *stall* (stop responding but stay alive, exercising the heartbeat
+//! reaper), or *corrupt* (write a garbage frame, exercising the
+//! protocol's checksum path). The trigger point is counted in jobs
+//! completed by that worker, so the plan is independent of wall-clock
+//! scheduling and the same seed reproduces the same crash pattern on
+//! any machine.
+//!
+//! Faults apply to a worker's **first incarnation only**: a restarted
+//! worker runs clean, which is what lets a chaos sweep terminate while
+//! still proving recovery. Each fault is carried to the worker process
+//! as a compact environment-variable directive (see
+//! [`WorkerFault::directive`] / [`parse_directive`]).
+
+use crate::error::CedarError;
+use crate::plan::event_hash;
+
+/// How a planned worker fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFaultKind {
+    /// The worker process exits immediately, mid-job, without replying.
+    Kill,
+    /// The worker stops reading and replying but stays alive; only the
+    /// coordinator's heartbeat watchdog can detect it.
+    Stall,
+    /// The worker writes a garbage (checksum-failing) frame instead of
+    /// its result, then keeps running.
+    Corrupt,
+}
+
+impl WorkerFaultKind {
+    /// Stable wire/env token for the kind.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            WorkerFaultKind::Kill => "kill",
+            WorkerFaultKind::Stall => "stall",
+            WorkerFaultKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// One planned fault: worker `worker` misbehaves after completing
+/// `after_jobs` jobs of its first incarnation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Index of the worker slot this fault applies to.
+    pub worker: u32,
+    /// Number of jobs the worker completes cleanly before the fault
+    /// fires (0 = the very first job is affected).
+    pub after_jobs: u32,
+    /// What happens when it fires.
+    pub kind: WorkerFaultKind,
+}
+
+impl WorkerFault {
+    /// Encodes the fault as the `kind:after_jobs` directive string the
+    /// worker process receives via its environment.
+    #[must_use]
+    pub fn directive(&self) -> String {
+        format!("{}:{}", self.kind.token(), self.after_jobs)
+    }
+}
+
+/// Parses a `kind:after_jobs` directive produced by
+/// [`WorkerFault::directive`]. Returns `None` on any malformed input —
+/// a worker with a garbled directive runs clean rather than guessing.
+#[must_use]
+pub fn parse_directive(s: &str) -> Option<(WorkerFaultKind, u32)> {
+    let (kind, after) = s.split_once(':')?;
+    let kind = match kind {
+        "kill" => WorkerFaultKind::Kill,
+        "stall" => WorkerFaultKind::Stall,
+        "corrupt" => WorkerFaultKind::Corrupt,
+        _ => return None,
+    };
+    Some((kind, after.parse().ok()?))
+}
+
+/// Shape of a fleet chaos experiment: how many workers exist and how
+/// many of each fault kind to plant among them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFaultConfig {
+    /// Seed for the deterministic fault placement.
+    pub seed: u64,
+    /// Number of worker slots in the fleet.
+    pub workers: u32,
+    /// How many workers get a `Kill` fault.
+    pub kills: u32,
+    /// How many workers get a `Stall` fault.
+    pub stalls: u32,
+    /// How many workers get a `Corrupt` fault.
+    pub corrupts: u32,
+    /// Upper bound (exclusive, minimum 1) on each fault's `after_jobs`
+    /// trigger, so every fault fires early in a sweep of any real size.
+    pub max_after_jobs: u32,
+}
+
+/// A fully expanded, deterministic fleet chaos plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFaultPlan {
+    faults: Vec<WorkerFault>,
+}
+
+impl WorkerFaultPlan {
+    /// Expands `config` into a concrete plan. Placement is a pure
+    /// function of the seed: faulted workers are distinct (one fault
+    /// per worker, so "≥ 2 workers die" means two distinct deaths) and
+    /// kinds are assigned kills-then-stalls-then-corrupts over a
+    /// seed-shuffled worker order.
+    ///
+    /// # Errors
+    ///
+    /// [`CedarError::InvalidConfig`] if more faults are requested than
+    /// there are workers, or the fleet is empty.
+    pub fn generate(config: &WorkerFaultConfig) -> Result<Self, CedarError> {
+        if config.workers == 0 {
+            return Err(CedarError::invalid(
+                "cluster.workers",
+                "fleet must have at least one worker",
+            ));
+        }
+        let total = config.kills + config.stalls + config.corrupts;
+        if total > config.workers {
+            return Err(CedarError::invalid(
+                "cluster.faults",
+                format!(
+                    "{} faults requested but only {} workers (one fault per worker)",
+                    total, config.workers
+                ),
+            ));
+        }
+        // Seeded Fisher-Yates over the worker indices; the first
+        // `total` entries receive faults.
+        let mut order: Vec<u32> = (0..config.workers).collect();
+        for i in (1..order.len()).rev() {
+            let j = event_hash(config.seed, &[0xF1EE7, i as u64]) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let span = u64::from(config.max_after_jobs.max(1));
+        let mut faults = Vec::with_capacity(total as usize);
+        for (slot, &worker) in order.iter().take(total as usize).enumerate() {
+            let kind = if (slot as u32) < config.kills {
+                WorkerFaultKind::Kill
+            } else if (slot as u32) < config.kills + config.stalls {
+                WorkerFaultKind::Stall
+            } else {
+                WorkerFaultKind::Corrupt
+            };
+            let after_jobs = (event_hash(config.seed, &[0xAF7E6, u64::from(worker)]) % span) as u32;
+            faults.push(WorkerFault {
+                worker,
+                after_jobs,
+                kind,
+            });
+        }
+        faults.sort_by_key(|f| f.worker);
+        Ok(WorkerFaultPlan { faults })
+    }
+
+    /// The fault planted on `worker`'s first incarnation, if any.
+    /// Restarted incarnations always run clean.
+    #[must_use]
+    pub fn fault_for(&self, worker: u32, incarnation: u32) -> Option<WorkerFault> {
+        if incarnation != 0 {
+            return None;
+        }
+        self.faults.iter().copied().find(|f| f.worker == worker)
+    }
+
+    /// All planted faults, sorted by worker index.
+    #[must_use]
+    pub fn faults(&self) -> &[WorkerFault] {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> WorkerFaultConfig {
+        WorkerFaultConfig {
+            seed: 0xC1A05,
+            workers: 4,
+            kills: 2,
+            stalls: 1,
+            corrupts: 1,
+            max_after_jobs: 3,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan_different_seed_different_plan() {
+        let a = WorkerFaultPlan::generate(&config()).unwrap();
+        let b = WorkerFaultPlan::generate(&config()).unwrap();
+        assert_eq!(a, b);
+        let c = WorkerFaultPlan::generate(&WorkerFaultConfig {
+            seed: 0x0DD,
+            ..config()
+        })
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn faulted_workers_are_distinct_and_counts_match() {
+        let plan = WorkerFaultPlan::generate(&config()).unwrap();
+        let workers: Vec<u32> = plan.faults().iter().map(|f| f.worker).collect();
+        let mut deduped = workers.clone();
+        deduped.dedup();
+        assert_eq!(workers, deduped, "one fault per worker");
+        assert_eq!(plan.faults().len(), 4);
+        let count = |k: WorkerFaultKind| plan.faults().iter().filter(|f| f.kind == k).count();
+        assert_eq!(count(WorkerFaultKind::Kill), 2);
+        assert_eq!(count(WorkerFaultKind::Stall), 1);
+        assert_eq!(count(WorkerFaultKind::Corrupt), 1);
+        for f in plan.faults() {
+            assert!(f.after_jobs < 3);
+        }
+    }
+
+    #[test]
+    fn restarted_incarnations_run_clean() {
+        let plan = WorkerFaultPlan::generate(&config()).unwrap();
+        let faulted = plan.faults()[0].worker;
+        assert!(plan.fault_for(faulted, 0).is_some());
+        assert_eq!(plan.fault_for(faulted, 1), None);
+        assert_eq!(plan.fault_for(faulted, 7), None);
+    }
+
+    #[test]
+    fn directives_round_trip() {
+        for kind in [
+            WorkerFaultKind::Kill,
+            WorkerFaultKind::Stall,
+            WorkerFaultKind::Corrupt,
+        ] {
+            let fault = WorkerFault {
+                worker: 2,
+                after_jobs: 5,
+                kind,
+            };
+            assert_eq!(parse_directive(&fault.directive()), Some((kind, 5)));
+        }
+        assert_eq!(parse_directive(""), None);
+        assert_eq!(parse_directive("kill"), None);
+        assert_eq!(parse_directive("kill:"), None);
+        assert_eq!(parse_directive("maim:3"), None);
+        assert_eq!(parse_directive("kill:many"), None);
+    }
+
+    #[test]
+    fn overcommitted_fleet_is_rejected() {
+        let err = WorkerFaultPlan::generate(&WorkerFaultConfig {
+            workers: 2,
+            ..config()
+        });
+        assert!(err.is_err());
+        let err = WorkerFaultPlan::generate(&WorkerFaultConfig {
+            workers: 0,
+            kills: 0,
+            stalls: 0,
+            corrupts: 0,
+            ..config()
+        });
+        assert!(err.is_err());
+    }
+}

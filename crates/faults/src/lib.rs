@@ -41,8 +41,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod error;
 pub mod plan;
 
+pub use cluster::{
+    parse_directive, WorkerFault, WorkerFaultConfig, WorkerFaultKind, WorkerFaultPlan,
+};
 pub use error::CedarError;
 pub use plan::{FaultConfig, FaultPlan, MachineShape, NetDirection, RetryPolicy};

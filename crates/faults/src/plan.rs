@@ -576,10 +576,32 @@ impl RetryPolicy {
     pub fn total_delay(&self) -> u64 {
         (1..=self.max_retries).map(|a| self.delay(a)).sum()
     }
+
+    /// [`delay`](Self::delay) with deterministic seeded jitter: the
+    /// exponential backoff value ±25%, derived purely from
+    /// `(seed, attempt)`. When a fleet of restarting workers shares one
+    /// policy, distinct seeds (worker slot, incarnation) de-correlate
+    /// their restart instants — the thundering-herd guard — while the
+    /// same seed always reproduces the same schedule, preserving
+    /// replayability.
+    ///
+    /// The jittered delay is clamped to `[1, max_delay_cycles]`, so
+    /// jitter never turns a backoff into an immediate retry.
+    #[must_use]
+    pub fn jittered_delay(&self, attempt: u32, seed: u64) -> u64 {
+        let base = self.delay(attempt);
+        if base == 0 {
+            return 0;
+        }
+        let h = event_hash(seed ^ 0x4A17, &[u64::from(attempt)]);
+        // ±25%: subtract a fixed quarter, add back [0, half].
+        let span = base / 2 + 1;
+        (base - base / 4 + h % span).clamp(1, self.max_delay_cycles)
+    }
 }
 
 /// SplitMix64-style stateless mixing of an event identity.
-fn event_hash(seed: u64, tags: &[u64]) -> u64 {
+pub(crate) fn event_hash(seed: u64, tags: &[u64]) -> u64 {
     let mut h = seed;
     for &t in tags {
         h = SplitMix64::new(h ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
@@ -831,6 +853,38 @@ mod tests {
         assert_eq!(p.delay(3), 40);
         assert_eq!(p.delay(20), 1000, "capped");
         assert_eq!(p.total_delay(), 10 + 20 + 40 + 80 + 160);
+    }
+
+    #[test]
+    fn jittered_backoff_schedule_is_pinned_for_a_fixed_seed() {
+        let p = RetryPolicy {
+            base_delay_cycles: 100,
+            max_retries: 6,
+            max_delay_cycles: 10_000,
+        };
+        // The exact schedule for seed 0xCEDA, pinned: any change to the
+        // jitter derivation shows up here as a hard failure, because
+        // restart replayability depends on it.
+        let schedule: Vec<u64> = (1..=6).map(|a| p.jittered_delay(a, 0xCEDA)).collect();
+        assert_eq!(schedule, vec![91, 153, 443, 645, 1725, 3814]);
+        // Determinism: the same (seed, attempt) always reproduces.
+        let again: Vec<u64> = (1..=6).map(|a| p.jittered_delay(a, 0xCEDA)).collect();
+        assert_eq!(schedule, again);
+        // De-correlation: a different seed lands elsewhere.
+        let other: Vec<u64> = (1..=6).map(|a| p.jittered_delay(a, 0xBEEF)).collect();
+        assert_ne!(schedule, other);
+        // Bounds: each jittered delay stays within ±25% of the base
+        // (and within the cap), so backoff character is preserved.
+        for a in 1..=6u32 {
+            for seed in 0..64u64 {
+                let base = p.delay(a);
+                let j = p.jittered_delay(a, seed);
+                assert!(j >= base - base / 4 && j <= base + base / 2);
+                assert!(j <= p.max_delay_cycles);
+            }
+        }
+        // A capped base still caps the jittered value.
+        assert!(p.jittered_delay(20, 7) <= p.max_delay_cycles);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--addr-file PATH] [--smoke]
 //!         [--seed N] [--shutdown] [--out PATH]
+//!         [--adversarial] [--line-timeout-ms N]
 //! ```
 //!
 //! Drives the server through the dedup-burst, fault-mix, closed-loop
@@ -20,7 +21,7 @@ use cedar_serve::loadgen::{run, LoadgenConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--addr-file PATH] [--smoke] [--seed N] \
-         [--shutdown] [--out PATH]"
+         [--shutdown] [--out PATH] [--adversarial] [--line-timeout-ms N]"
     );
     std::process::exit(2)
 }
@@ -58,6 +59,10 @@ fn main() -> ExitCode {
             "--smoke" => cfg.smoke = true,
             "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
             "--shutdown" => cfg.shutdown = true,
+            "--adversarial" => cfg.adversarial = true,
+            "--line-timeout-ms" => {
+                cfg.line_timeout_ms = value().parse().unwrap_or_else(|_| usage())
+            }
             "--out" => out = PathBuf::from(value()),
             _ => usage(),
         }

@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--queue N] [--workers N] [--batch N]
 //!       [--cache DIR] [--port-file PATH]
+//!       [--line-timeout-ms N] [--write-timeout-ms N]
 //! ```
 //!
 //! Runs until a client sends the `shutdown` op; exits 0 after a clean
@@ -17,7 +18,7 @@ use cedar_serve::config::ServeConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--queue N] [--workers N] [--batch N] \
-         [--cache DIR] [--port-file PATH]"
+         [--cache DIR] [--port-file PATH] [--line-timeout-ms N] [--write-timeout-ms N]"
     );
     std::process::exit(2)
 }
@@ -35,6 +36,14 @@ fn main() -> ExitCode {
             "--batch" => cfg.batch_max = value().parse().unwrap_or_else(|_| usage()),
             "--cache" => cfg.cache_dir = Some(PathBuf::from(value())),
             "--port-file" => port_file = Some(PathBuf::from(value())),
+            "--line-timeout-ms" => {
+                cfg.line_timeout =
+                    std::time::Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout =
+                    std::time::Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
     }

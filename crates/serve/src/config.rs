@@ -24,6 +24,16 @@ pub struct ServeConfig {
     /// How long a connection handler waits for its job's reply before
     /// giving up (a server-bug backstop, not a job deadline).
     pub reply_timeout: Duration,
+    /// Budget for finishing a request line once its first byte has
+    /// arrived. A connection holding a *partial* line open longer than
+    /// this (a slow-loris, a wedged client) is answered with a typed
+    /// `timeout` line and closed. Connections that are merely idle —
+    /// zero bytes of a next request — are never reaped.
+    pub line_timeout: Duration,
+    /// Kernel send timeout for reply writes. A client that stops
+    /// reading while the server owes it bytes is reaped once a write
+    /// blocks this long.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -36,6 +46,8 @@ impl Default for ServeConfig {
             max_net_cycles: 16_000_000,
             cache_dir: None,
             reply_timeout: Duration::from_secs(60),
+            line_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }

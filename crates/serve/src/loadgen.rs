@@ -16,11 +16,16 @@
 //!    latency, the saturation-knee curve.
 //! 4. **Open loop** — seeded exponential arrivals at a fixed offered
 //!    rate, the arrival process the closed loop can't produce.
+//! 5. **Adversarial** (opt-in) — slow-loris connections that never
+//!    finish a request line and clients that write half a line and
+//!    vanish: every loris must be reaped with a typed `timeout` line
+//!    while an idle well-behaved connection opened before the wave
+//!    survives it untouched.
 //!
 //! The seeded mix and arrival schedule make runs reproducible; only
 //! the measured latencies vary with the host.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -40,6 +45,14 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Send a graceful `shutdown` after the run and assert it drained.
     pub shutdown: bool,
+    /// Run the adversarial slow-loris / partial-write phase. Requires
+    /// the server to be configured with `line_timeout` close to
+    /// [`LoadgenConfig::line_timeout_ms`], or the phase will stall
+    /// waiting for reaps that take the server's (longer) default.
+    pub adversarial: bool,
+    /// The `line_timeout` the *server* was started with, in ms — sets
+    /// this harness's patience while waiting for loris reaps.
+    pub line_timeout_ms: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -49,6 +62,8 @@ impl Default for LoadgenConfig {
             smoke: false,
             seed: 0xCEDA,
             shutdown: false,
+            adversarial: false,
+            line_timeout_ms: 1_000,
         }
     }
 }
@@ -68,6 +83,21 @@ pub struct LevelReport {
     pub p95_us: u64,
     /// 99th percentile latency, µs.
     pub p99_us: u64,
+}
+
+/// Adversarial-phase measurements (schema's `adversarial` object).
+#[derive(Debug, Clone)]
+pub struct AdversarialReport {
+    /// Slow-loris connections opened (each holding a partial line).
+    pub loris_conns: usize,
+    /// Connections the server reaped for a stalled read (must cover
+    /// every loris).
+    pub reaped_read: u64,
+    /// Half-line-then-disconnect clients thrown at the server.
+    pub partial_write_conns: usize,
+    /// Whether the idle control connection opened before the wave was
+    /// still serviceable after it — idleness must never be reaped.
+    pub idle_survived: bool,
 }
 
 /// The full harness result, rendered into `BENCH_serve.json`.
@@ -103,6 +133,8 @@ pub struct LoadReport {
     pub open_p50_us: u64,
     /// Open-loop p99 latency, µs.
     pub open_p99_us: u64,
+    /// Adversarial phase results; `None` when the phase was not run.
+    pub adversarial: Option<AdversarialReport>,
     /// Whether the post-run graceful shutdown drained cleanly.
     pub drained: Option<bool>,
 }
@@ -454,6 +486,16 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     }
     open_latencies.sort_unstable();
 
+    // Phase 5 (opt-in): adversarial clients. Slow-loris connections
+    // hold a partial request line open; the server must reap each with
+    // a typed timeout line, while an idle-but-honest connection opened
+    // before the wave sails through untouched.
+    let adversarial = if cfg.adversarial {
+        Some(run_adversarial(cfg, &mut control)?)
+    } else {
+        None
+    };
+
     // Optional graceful shutdown: the drain must complete and answer.
     let drained = if cfg.shutdown {
         let reply = control.request(r#"{"op":"shutdown"}"#)?;
@@ -481,7 +523,72 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         open_achieved_rps: open_latencies.len() as f64 / open_elapsed,
         open_p50_us: percentile(&open_latencies, 0.50),
         open_p99_us: percentile(&open_latencies, 0.99),
+        adversarial,
         drained,
+    })
+}
+
+fn run_adversarial(cfg: &LoadgenConfig, control: &mut Client) -> Result<AdversarialReport, String> {
+    let reaped_before = control.counter("serve.conn.reaped_read")?;
+    // The survivor: opened before the wave, silent throughout it.
+    let mut idle = Client::connect(&cfg.addr)?;
+
+    let loris_conns = if cfg.smoke { 3 } else { 8 };
+    let mut lorises = Vec::with_capacity(loris_conns);
+    for _ in 0..loris_conns {
+        let mut s = TcpStream::connect(&cfg.addr).map_err(|e| format!("loris connect: {e}"))?;
+        s.write_all(b"{\"op\":\"run\",\"job\":{\"ty")
+            .map_err(|e| format!("loris send: {e}"))?;
+        lorises.push(s);
+    }
+    // Half a line, then gone: the server must just see EOF and move on.
+    let partial_write_conns = if cfg.smoke { 2 } else { 4 };
+    for _ in 0..partial_write_conns {
+        let mut s = TcpStream::connect(&cfg.addr).map_err(|e| format!("partial connect: {e}"))?;
+        let _ = s.write_all(b"{\"op\":\"ping\"");
+        drop(s);
+    }
+
+    // Wait for the server to reap every loris.
+    let deadline = Instant::now() + Duration::from_millis(cfg.line_timeout_ms * 4 + 2_000);
+    let mut reaped_read;
+    loop {
+        reaped_read = (control.counter("serve.conn.reaped_read")? - reaped_before) as u64;
+        if reaped_read >= loris_conns as u64 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "slow-loris reap incomplete: {reaped_read}/{loris_conns} \
+                 connections reaped within the deadline"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Each loris must have received a typed timeout line before close.
+    for mut s in lorises {
+        let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut text = String::new();
+        match s.read_to_string(&mut text) {
+            Ok(_) if text.contains("\"timeout\"") => {}
+            Ok(_) => {
+                return Err(format!(
+                    "loris closed without a typed timeout line: {text:?}"
+                ))
+            }
+            Err(e) => return Err(format!("loris read-back failed: {e}")),
+        }
+    }
+    // The honest idle connection must still be serviceable.
+    let idle_survived = status_of(&idle.request(r#"{"op":"ping"}"#)?) == "ok";
+    if !idle_survived {
+        return Err("an idle (zero-byte) connection was reaped by the line timeout".to_owned());
+    }
+    Ok(AdversarialReport {
+        loris_conns,
+        reaped_read,
+        partial_write_conns,
+        idle_survived,
     })
 }
 
@@ -498,7 +605,7 @@ impl LoadReport {
             }
         }
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"schema\": \"cedar-bench-serve/1\",\n");
+        out.push_str("{\n  \"schema\": \"cedar-bench-serve/2\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         out.push_str(&format!(
             "  \"dedup\": {{\"burst\": {}, \"executed\": {}, \"cache_hits\": {}, \
@@ -537,6 +644,14 @@ impl LoadReport {
             self.open_p50_us,
             self.open_p99_us
         ));
+        match &self.adversarial {
+            Some(adv) => out.push_str(&format!(
+                "  \"adversarial\": {{\"loris_conns\": {}, \"reaped_read\": {}, \
+                 \"partial_write_conns\": {}, \"idle_survived\": {}}},\n",
+                adv.loris_conns, adv.reaped_read, adv.partial_write_conns, adv.idle_survived
+            )),
+            None => out.push_str("  \"adversarial\": null,\n"),
+        }
         out.push_str(&format!(
             "  \"drained\": {}\n}}\n",
             match self.drained {
@@ -596,6 +711,12 @@ mod tests {
             open_achieved_rps: 39.2,
             open_p50_us: 900,
             open_p99_us: 2100,
+            adversarial: Some(AdversarialReport {
+                loris_conns: 3,
+                reaped_read: 3,
+                partial_write_conns: 2,
+                idle_survived: true,
+            }),
             drained: Some(true),
         };
         let text = report.to_json();
@@ -603,7 +724,14 @@ mod tests {
         let parsed = json::parse(&text).unwrap();
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("cedar-bench-serve/1")
+            Some("cedar-bench-serve/2")
+        );
+        assert_eq!(
+            parsed
+                .get("adversarial")
+                .and_then(|a| a.get("reaped_read"))
+                .and_then(Json::as_u64),
+            Some(3)
         );
         assert_eq!(
             parsed

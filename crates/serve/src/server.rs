@@ -29,11 +29,11 @@
 //! via `cedar-exec` cancellation and queued jobs answer `cancelled`.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cedar_exec::{run_sweep_cancellable_on, CancelToken, Cancelled};
 use cedar_obs::export::escape_json;
@@ -268,24 +268,123 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// What [`TimedLineReader::next_line`] observed on the wire.
+enum NextLine {
+    /// One complete request line (newline stripped by the caller's
+    /// `trim`).
+    Line(String),
+    /// A partial line sat unfinished past the line timeout.
+    TimedOut,
+    /// Clean EOF or a connection-level I/O error.
+    Closed,
+}
+
+/// A line reader that distinguishes *idle* from *stalled mid-line*.
+///
+/// The kernel read timeout is only a polling quantum: waking up with
+/// no bytes is fine forever as long as no request line is in progress.
+/// The reap clock starts at the first byte of a line and stops at its
+/// newline, so a slow-loris dripping bytes cannot keep a line open past
+/// `line_timeout`, while a control connection that pings once a minute
+/// lives as long as it likes.
+struct TimedLineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    partial_since: Option<Instant>,
+    line_timeout: Duration,
+}
+
+impl TimedLineReader {
+    fn new(stream: TcpStream, line_timeout: Duration) -> std::io::Result<Self> {
+        let quantum =
+            (line_timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(100));
+        stream.set_read_timeout(Some(quantum))?;
+        Ok(TimedLineReader {
+            stream,
+            pending: Vec::new(),
+            partial_since: None,
+            line_timeout,
+        })
+    }
+
+    fn next_line(&mut self) -> NextLine {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = self.pending.drain(..=nl).collect();
+                // Bytes past the newline are the next line already in
+                // progress; its budget starts now.
+                self.partial_since = (!self.pending.is_empty()).then(Instant::now);
+                return NextLine::Line(String::from_utf8_lossy(&raw).into_owned());
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return NextLine::Closed,
+                Ok(n) => {
+                    if self.partial_since.is_none() {
+                        self.partial_since = Some(Instant::now());
+                    }
+                    self.pending.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if self
+                        .partial_since
+                        .is_some_and(|t| t.elapsed() >= self.line_timeout)
+                    {
+                        return NextLine::TimedOut;
+                    }
+                }
+                Err(_) => return NextLine::Closed,
+            }
+        }
+    }
+}
+
+/// Writes one reply line; on a send-timeout (the client stopped
+/// reading) counts the reap. Returns false when the connection is done.
+fn send_reply(writer: &mut TcpStream, reply: &str, shared: &Shared) -> bool {
+    match writer
+        .write_all(reply.as_bytes())
+        .and_then(|()| writer.flush())
+    {
+        Ok(()) => true,
+        Err(e) => {
+            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                shared.obs.inc("serve.conn.reaped_write");
+            }
+            false
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // One-line requests and replies are far smaller than a segment;
     // letting Nagle batch them just adds delayed-ACK stalls (~40ms per
     // round trip on a reused connection) to every latency sample.
     let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let mut reader = match stream
+        .try_clone()
+        .and_then(|s| TimedLineReader::new(s, shared.cfg.line_timeout))
+    {
+        Ok(r) => r,
         Err(_) => return,
-    });
+    };
     let mut writer = stream;
-    let mut line = String::new();
     let mut first = true;
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
+        let line = match reader.next_line() {
+            NextLine::Line(l) => l,
+            NextLine::TimedOut => {
+                shared.obs.inc("serve.conn.reaped_read");
+                let _ = send_reply(
+                    &mut writer,
+                    "{\"status\":\"timeout\",\"reason\":\"request line stalled; connection reaped\"}\n",
+                    shared,
+                );
+                return;
+            }
+            NextLine::Closed => return,
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -298,7 +397,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         }
         first = false;
         let (reply, was_shutdown) = handle_line(trimmed, shared);
-        if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+        if !send_reply(&mut writer, &reply, shared) {
             return;
         }
         if was_shutdown {
@@ -311,18 +410,24 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 fn serve_http(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut TimedLineReader,
     writer: &mut TcpStream,
     request_line: &str,
     shared: &Arc<Shared>,
 ) {
-    // Drain the header block so the client sees a clean close.
-    let mut hdr = String::new();
-    while reader.read_line(&mut hdr).is_ok() {
-        if hdr.trim().is_empty() {
-            break;
+    // Drain the header block so the client sees a clean close; a
+    // scraper stalling mid-header gets the same partial-line reaping
+    // as the line protocol.
+    loop {
+        match reader.next_line() {
+            NextLine::Line(hdr) if hdr.trim().is_empty() => break,
+            NextLine::Line(_) => {}
+            NextLine::TimedOut => {
+                shared.obs.inc("serve.conn.reaped_read");
+                return;
+            }
+            NextLine::Closed => return,
         }
-        hdr.clear();
     }
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
     let (status, ctype, body) = match path {

@@ -62,6 +62,8 @@ impl ServeObs {
             "serve.cache.hits",
             "serve.cache.stores",
             "serve.queue.rejected",
+            "serve.conn.reaped_read",
+            "serve.conn.reaped_write",
         ] {
             m.counter(name);
         }

@@ -246,6 +246,94 @@ fn trace_export_is_valid_chrome_json() {
 }
 
 #[test]
+fn slow_loris_partial_line_is_reaped_with_a_typed_timeout() {
+    use std::io::{Read, Write};
+    let (handle, addr) = start_on_any_port(ServeConfig {
+        line_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut loris = std::net::TcpStream::connect(&addr).unwrap();
+    // Half a request line, then a slow drip that never reaches the
+    // newline: progress bytes must not reset the per-line budget.
+    loris.write_all(b"{\"op\":\"run\",\"job\":{").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let _ = loris.write_all(b"\"ty");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut text = String::new();
+    loris.read_to_string(&mut text).unwrap();
+    assert!(
+        text.contains("\"timeout\""),
+        "reaped connection must get a typed timeout line, got {text:?}"
+    );
+    assert_eq!(handle.obs().counter_value("serve.conn.reaped_read"), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_outlive_the_line_timeout() {
+    let (handle, addr) = start_on_any_port(ServeConfig {
+        line_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(status(&c.request(r#"{"op":"ping"}"#).unwrap()), "ok");
+    // Many line-timeouts of silence between requests: idleness is not
+    // a stalled line and must never be reaped.
+    std::thread::sleep(Duration::from_millis(500));
+    assert_eq!(status(&c.request(r#"{"op":"ping"}"#).unwrap()), "ok");
+    assert_eq!(handle.obs().counter_value("serve.conn.reaped_read"), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn half_line_disconnect_is_a_clean_close_not_a_wedge() {
+    use std::io::Write;
+    let (handle, addr) = start_on_any_port(ServeConfig {
+        line_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    for _ in 0..4 {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        let _ = s.write_all(b"{\"op\":\"ping\"");
+        drop(s);
+    }
+    // The server keeps serving honest clients throughout.
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(status(&c.request(r#"{"op":"ping"}"#).unwrap()), "ok");
+    handle.shutdown();
+}
+
+#[test]
+fn client_that_stops_reading_is_reaped_by_the_write_timeout() {
+    use std::io::Write;
+    let (handle, addr) = start_on_any_port(ServeConfig {
+        write_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    // Pump metrics requests without ever reading a reply: the kernel
+    // buffers fill, the server's reply write blocks past the timeout,
+    // and the connection is reaped instead of wedging its handler.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.set_write_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while handle.obs().counter_value("serve.conn.reaped_write") == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never reaped the non-reading client"
+        );
+        if s.write_all(b"{\"op\":\"metrics\"}\n").is_err() {
+            // Connection already torn down server-side; wait for the
+            // counter to reflect it.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn kill_stops_the_server_with_typed_cancellations() {
     let (handle, addr) = start_on_any_port(ServeConfig {
         workers: 1,

@@ -125,6 +125,18 @@ impl Watchdog {
     pub fn is_tripped(&self) -> bool {
         self.tripped
     }
+
+    /// Re-arms a tripped (or running) watchdog as of cycle `now`,
+    /// forgetting all prior progress history. Supervisors use this when
+    /// the guarded entity is deliberately replaced — a hung worker
+    /// killed and restarted gets a fresh budget, not an instant re-trip
+    /// inherited from its dead predecessor.
+    pub fn rearm(&mut self, now: u64) {
+        self.tripped = false;
+        self.last_progress = None;
+        self.progress_at = now;
+        self.last_span = None;
+    }
 }
 
 cedar_snap::snapshot_struct!(Watchdog {
@@ -223,6 +235,25 @@ mod tests {
         assert!(dog.observe(0, 10).is_ok());
         assert!(dog.observe(5, 3).is_ok(), "regression is not progress");
         assert!(dog.observe(11, 3).is_err());
+    }
+
+    #[test]
+    fn rearm_gives_a_replaced_entity_a_fresh_budget() {
+        let mut dog = Watchdog::new(5, "worker 2");
+        dog.note_span("job 9");
+        assert!(dog.observe(0, 0).is_ok());
+        assert!(dog.observe(6, 0).is_err());
+        assert!(dog.is_tripped());
+        // The restarted worker gets a fresh budget from its first
+        // observation, carries no stale span, and is not instantly
+        // re-tripped by its dead predecessor's history.
+        dog.rearm(100);
+        assert!(!dog.is_tripped());
+        assert!(dog.observe(105, 0).is_ok());
+        assert!(dog.observe(110, 0).is_ok(), "budget counts from 105");
+        let report = dog.observe(111, 0).unwrap_err();
+        assert_eq!(report.stalled_since, 105);
+        assert_eq!(report.last_span, None);
     }
 
     #[test]

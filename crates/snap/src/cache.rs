@@ -55,10 +55,51 @@ impl CacheDir {
     /// version skew, checksum mismatch, truncation — is reported as
     /// `None`: a stale or corrupt entry is simply a cache miss and
     /// will be overwritten by the next [`store`](CacheDir::store).
+    ///
+    /// An entry that *exists but fails to decode* is additionally
+    /// quarantined: renamed to `<key>.snap.corrupt` so the bad bytes
+    /// stay inspectable, the key reads as a clean miss, and the next
+    /// store repopulates it. Renaming (not deleting) keeps the move
+    /// atomic and the evidence intact.
     #[must_use]
     pub fn load<T: Snapshot>(&self, key: &str) -> Option<T> {
-        let bytes = fs::read(self.entry_path(key)).ok()?;
-        T::from_snapshot_bytes(&bytes).ok()
+        let path = self.entry_path(key);
+        let bytes = fs::read(&path).ok()?;
+        match T::from_snapshot_bytes(&bytes) {
+            Ok(value) => Some(value),
+            Err(_) => {
+                // Best-effort: losing the race with a concurrent
+                // re-store must not turn a miss into an error.
+                let mut quarantined = path.clone().into_os_string();
+                quarantined.push(".corrupt");
+                let _ = fs::rename(&path, PathBuf::from(quarantined));
+                None
+            }
+        }
+    }
+
+    /// Lists quarantined entries (`*.corrupt` siblings left behind by
+    /// [`load`](CacheDir::load) rejecting undecodable bytes). A healthy
+    /// cache — and a healthy cluster run — leaves this empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// read.
+    pub fn corrupt_entries(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".corrupt"))
+            {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
     }
 
     /// Atomically stores `value` under `key`.
@@ -146,7 +187,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entry_reads_as_miss() {
+    fn corrupt_entry_reads_as_miss_and_is_quarantined() {
         let cache = CacheDir::new(scratch("corrupt")).unwrap();
         let value = 7u64;
         let key = value.snapshot_key("test");
@@ -158,6 +199,36 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         assert!(cache.contains(&key));
         assert_eq!(cache.load::<u64>(&key), None);
+        // The bad bytes moved aside: the key is a clean miss, the
+        // evidence is preserved under *.corrupt.
+        assert!(!cache.contains(&key), "quarantine must clear the entry");
+        let quarantined = cache.corrupt_entries().unwrap();
+        assert_eq!(
+            quarantined.len(),
+            1,
+            "one quarantined file: {quarantined:?}"
+        );
+        assert_eq!(fs::read(&quarantined[0]).unwrap(), bytes);
+        fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn store_after_quarantine_recovers_the_key() {
+        let cache = CacheDir::new(scratch("requarantine")).unwrap();
+        let value: Vec<u64> = (0..32).collect();
+        let key = value.snapshot_key("test");
+        cache.store(&key, &value).unwrap();
+        // Truncate the entry — simulating a torn disk, not a torn
+        // write — and confirm the full miss→store→hit recovery cycle.
+        let path = cache.entry_path(&key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(cache.load::<Vec<u64>>(&key), None);
+        assert_eq!(cache.corrupt_entries().unwrap().len(), 1);
+        cache.store(&key, &value).unwrap();
+        assert_eq!(cache.load::<Vec<u64>>(&key), Some(value));
+        // Quarantine files never shadow or break later loads.
+        assert_eq!(cache.corrupt_entries().unwrap().len(), 1);
         fs::remove_dir_all(cache.root()).unwrap();
     }
 

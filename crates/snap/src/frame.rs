@@ -1,0 +1,216 @@
+//! Length-prefixed framing of snapshot envelopes over byte streams.
+//!
+//! The cluster's coordinator↔worker wire protocol (and any future
+//! binary transport) ships each message as one sealed envelope —
+//! exactly the bytes [`seal`](crate::seal) produces: magic, version,
+//! payload length, payload, FNV-1a checksum. The envelope already
+//! carries its own length, so a frame needs no extra prefix: a reader
+//! consumes the fixed 13-byte header, learns the payload length, reads
+//! the remainder, and validates the whole thing through
+//! [`unseal`](crate::unseal).
+//!
+//! Corruption is first-class here, not an afterthought: a supervisor
+//! must distinguish *a peer that went away* (clean EOF at a frame
+//! boundary) from *a peer writing garbage* (bad magic, bad checksum, a
+//! length past the sanity cap, or an EOF mid-frame). [`FrameError`]
+//! keeps those cases typed so the caller can reap, restart or
+//! re-assign accordingly.
+
+use std::io::{Read, Write};
+
+use crate::codec::{seal, unseal, SnapError};
+
+/// Sealed-envelope header size: magic (4) + version (1) + length (8).
+const HEADER_LEN: usize = 13;
+
+/// Trailing checksum size.
+const CHECKSUM_LEN: usize = 8;
+
+/// Default sanity cap on a frame's payload length. A corrupt or
+/// adversarial length field must fail fast, not allocate gigabytes.
+pub const MAX_FRAME_PAYLOAD: u64 = 64 * 1024 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended cleanly at a frame boundary: the peer is gone
+    /// but was not mid-message. Supervisors treat this as an exit, not
+    /// corruption.
+    Eof,
+    /// The stream ended inside a frame, or an underlying read failed.
+    Io(std::io::Error),
+    /// The bytes did not form a valid envelope: bad magic, version
+    /// skew, checksum mismatch or an impossible length. A peer doing
+    /// this is writing garbage and cannot be trusted further.
+    Corrupt(SnapError),
+    /// The frame declared a payload longer than the sanity cap.
+    TooLarge {
+        /// Declared payload length.
+        declared: u64,
+        /// The cap it exceeded.
+        cap: u64,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "stream closed at a frame boundary"),
+            FrameError::Io(e) => write!(f, "frame read failed: {e}"),
+            FrameError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
+            FrameError::TooLarge { declared, cap } => {
+                write!(f, "frame declares {declared} payload bytes (cap {cap})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes `payload` as one sealed frame.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the write fails.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&seal(payload))?;
+    w.flush()
+}
+
+/// Reads one sealed frame and returns its validated payload, honouring
+/// [`MAX_FRAME_PAYLOAD`].
+///
+/// # Errors
+///
+/// See [`read_frame_limit`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    read_frame_limit(r, MAX_FRAME_PAYLOAD)
+}
+
+/// Reads one sealed frame with an explicit payload-length cap.
+///
+/// # Errors
+///
+/// * [`FrameError::Eof`] — the stream closed before any header byte.
+/// * [`FrameError::Io`] — the stream closed mid-frame or a read failed.
+/// * [`FrameError::Corrupt`] — bad magic, version skew, or a checksum
+///   mismatch; the stream position is now unreliable and the peer
+///   should be treated as compromised.
+/// * [`FrameError::TooLarge`] — the declared length exceeds `cap`.
+pub fn read_frame_limit<R: Read>(r: &mut R, cap: u64) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    // The first byte decides Eof-at-boundary vs truncated-mid-frame.
+    let mut got = 0usize;
+    while got < 1 {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Err(FrameError::Eof),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    r.read_exact(&mut header[1..]).map_err(FrameError::Io)?;
+    // Validate magic/version up front so garbage fails before the
+    // length field is trusted at all.
+    if header[0..4] != *b"CSNP" {
+        return Err(FrameError::Corrupt(SnapError::BadMagic));
+    }
+    let len = u64::from_le_bytes(header[5..HEADER_LEN].try_into().expect("8 bytes"));
+    if len > cap {
+        return Err(FrameError::TooLarge { declared: len, cap });
+    }
+    let len = usize::try_from(len).map_err(|_| FrameError::TooLarge { declared: len, cap })?;
+    let mut rest = vec![0u8; len + CHECKSUM_LEN];
+    r.read_exact(&mut rest).map_err(FrameError::Io)?;
+    let mut envelope = Vec::with_capacity(HEADER_LEN + rest.len());
+    envelope.extend_from_slice(&header);
+    envelope.extend_from_slice(&rest);
+    match unseal(&envelope) {
+        Ok(payload) => Ok(payload.to_vec()),
+        Err(e) => Err(FrameError::Corrupt(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 1000]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), vec![0xAB; 1000]);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn clean_eof_at_boundary_is_typed_eof() {
+        let mut r = Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_io_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncated").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn garbage_magic_is_corrupt() {
+        let mut r = Cursor::new(b"GARBAGEGARBAGEGARBAGE".to_vec());
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Corrupt(SnapError::BadMagic))
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_corrupt_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload-bytes").unwrap();
+        buf[HEADER_LEN + 3] ^= 0xFF;
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Corrupt(SnapError::BadChecksum))
+        ));
+    }
+
+    #[test]
+    fn absurd_length_fails_fast_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CSNP");
+        buf.push(crate::SNAP_VERSION);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_cap_is_honoured() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1u8; 100]).unwrap();
+        let mut r = Cursor::new(buf.clone());
+        assert!(matches!(
+            read_frame_limit(&mut r, 10),
+            Err(FrameError::TooLarge {
+                declared: 100,
+                cap: 10
+            })
+        ));
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame_limit(&mut r, 100).unwrap().len(), 100);
+    }
+}

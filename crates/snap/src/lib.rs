@@ -35,7 +35,13 @@
 //! failure, trailing bytes — is an explicit [`SnapError`], and
 //! [`CacheDir::load`] treats every such error as a cache miss: stale
 //! or corrupt entries invalidate themselves instead of poisoning a
-//! run.
+//! run (a corrupt entry is additionally quarantined to a `*.corrupt`
+//! sibling so operators can inspect what went bad).
+//!
+//! The same envelope doubles as the workspace's wire format: the
+//! [`frame`] module streams sealed envelopes over pipes and sockets
+//! with typed corruption detection, which is what the cluster's
+//! coordinator↔worker protocol rides on.
 //!
 //! The codec is std-only and fully deterministic: no host pointers,
 //! no hash-map iteration order, no timestamps ever reach the wire.
@@ -44,6 +50,8 @@
 
 pub mod cache;
 pub mod codec;
+pub mod frame;
 
 pub use cache::{write_atomic, CacheDir};
 pub use codec::{fnv1a, seal, unseal, SnapError, SnapReader, SnapWriter, Snapshot, SNAP_VERSION};
+pub use frame::{read_frame, read_frame_limit, write_frame, FrameError, MAX_FRAME_PAYLOAD};

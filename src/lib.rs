@@ -48,10 +48,12 @@
 //! | [`exec`] | `cedar-exec` | deterministic parallel sweep executor |
 //! | [`snap`] | `cedar-snap` | snapshot codec, checkpoints, result cache |
 //! | [`serve`] | `cedar-serve` | batching simulation service, job queue, loadgen |
+//! | [`cluster`] | `cedar-cluster` | supervised worker fleet, exactly-once sweeps |
 
 #![warn(missing_docs)]
 
 pub use cedar_baselines as baselines;
+pub use cedar_cluster as cluster;
 pub use cedar_core as core;
 pub use cedar_cpu as cpu;
 pub use cedar_exec as exec;
