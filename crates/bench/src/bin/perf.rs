@@ -8,8 +8,8 @@
 //! a feeling.
 //!
 //! ```text
-//! perf [--smoke] [--out PATH] [--cache DIR]
-//! perf --compare COLD_JSON WARM_JSON
+//! perf [--smoke] [--out PATH] [--cache DIR] [--track HISTORY]
+//! perf --compare COLD_JSON WARM_JSON [--compare-out PATH]
 //! ```
 //!
 //! `--smoke` shrinks every workload to CI-checkable size (seconds, not
@@ -26,6 +26,14 @@
 //! this binary, asserts the warm run's reference wall-clock is at
 //! least 5x faster than the cold run's, and asserts every simulated
 //! result field is identical; exits nonzero with a diff on failure.
+//! `--compare-out PATH` additionally writes the cold/warm timings as a
+//! `cedar-bench-compare/1` report `track append --compare` can ingest.
+//!
+//! `--track HISTORY` appends the finished report to the cedar-track
+//! benchmark history (one stamped JSONL line; see `crates/track`).
+//! Every report is stamped with the git commit and an ISO-8601 UTC
+//! timestamp, overridable via `CEDAR_TRACK_COMMIT` /
+//! `CEDAR_TRACK_TIMESTAMP` for hermetic runs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -82,20 +90,26 @@ fn main() {
     let mut out_path = String::from("BENCH_perf.json");
     let mut cache_dir: Option<String> = None;
     let mut compare: Option<(String, String)> = None;
+    let mut compare_out: Option<String> = None;
+    let mut track: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = args.next().expect("--out requires a path"),
             "--cache" => cache_dir = Some(args.next().expect("--cache requires a directory")),
+            "--track" => track = Some(args.next().expect("--track requires a path")),
             "--compare" => {
                 let cold = args.next().expect("--compare requires COLD and WARM paths");
                 let warm = args.next().expect("--compare requires COLD and WARM paths");
                 compare = Some((cold, warm));
             }
+            "--compare-out" => {
+                compare_out = Some(args.next().expect("--compare-out requires a path"));
+            }
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; usage: perf [--smoke] [--out PATH] [--cache DIR] | perf --compare COLD WARM"
+                    "unknown argument {other:?}; usage: perf [--smoke] [--out PATH] [--cache DIR] [--track HISTORY] | perf --compare COLD WARM [--compare-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -103,7 +117,7 @@ fn main() {
     }
 
     if let Some((cold, warm)) = compare {
-        std::process::exit(compare_baselines(&cold, &warm));
+        std::process::exit(compare_baselines(&cold, &warm, compare_out.as_deref()));
     }
 
     let cache = cache_dir.map(|dir| CacheDir::new(dir).expect("open cache dir"));
@@ -213,8 +227,12 @@ fn main() {
     }
 
     let peak_rss_kb = peak_rss_kb();
+    let commit = cedar_track::meta::commit_id();
+    let timestamp = cedar_track::meta::timestamp();
     let json = render_json(
         smoke,
+        &commit,
+        &timestamp,
         threads,
         peak_rss_kb,
         &runs,
@@ -223,6 +241,21 @@ fn main() {
         speedup,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
+
+    if let Some(history) = &track {
+        let ingested = cedar_track::ingest::perf_report(&json).expect("ingest own report");
+        let entry = cedar_track::ingest::build_entry(
+            &[ingested],
+            commit.clone(),
+            timestamp.clone(),
+            cedar_track::meta::host_fingerprint(),
+            None,
+        )
+        .expect("build history entry");
+        cedar_track::history::append(std::path::Path::new(history), &entry)
+            .expect("append to benchmark history");
+        println!("  tracked {} metrics to {history}", entry.metrics.len());
+    }
 
     println!("perf baseline ({} mode, {threads} threads)", mode(smoke));
     for r in &runs {
@@ -288,8 +321,11 @@ fn parse_runs(path: &str) -> Vec<ParsedRun> {
 
 /// Compares a cold and a warm baseline: every simulated result field
 /// must be identical, and the warm run's total reference wall-clock
-/// must be at least 5x faster. Returns the process exit code.
-fn compare_baselines(cold_path: &str, warm_path: &str) -> i32 {
+/// must be at least 5x faster. Returns the process exit code. When
+/// `out` is given, also writes a `cedar-bench-compare/1` report with
+/// the cold/warm timings (regardless of verdict — the history should
+/// record slow caches too).
+fn compare_baselines(cold_path: &str, warm_path: &str, out: Option<&str>) -> i32 {
     let cold = parse_runs(cold_path);
     let warm = parse_runs(warm_path);
     let mut failures = 0;
@@ -318,6 +354,14 @@ fn compare_baselines(cold_path: &str, warm_path: &str) -> i32 {
     let cold_ms: f64 = cold.iter().map(|r| r.wall_ms).sum();
     let warm_ms: f64 = warm.iter().map(|r| r.wall_ms).sum();
     let ratio = cold_ms / warm_ms;
+    if let Some(path) = out {
+        let mode = baseline_mode(cold_path);
+        let report = format!(
+            "{{\n  \"schema\": \"cedar-bench-compare/1\",\n  \"mode\": \"{mode}\",\n  \"cold_ms\": {cold_ms:.3},\n  \"warm_ms\": {warm_ms:.3},\n  \"warm_speedup\": {ratio:.3}\n}}\n"
+        );
+        std::fs::write(path, report).expect("write compare report");
+        println!("  wrote compare report to {path}");
+    }
     if ratio < 5.0 {
         eprintln!(
             "FAIL: warm run only {ratio:.2}x faster ({cold_ms:.1} ms cold vs {warm_ms:.1} ms warm); need >= 5x"
@@ -333,6 +377,20 @@ fn compare_baselines(cold_path: &str, warm_path: &str) -> i32 {
     } else {
         0
     }
+}
+
+/// Reads the run mode back out of a written baseline, for stamping the
+/// compare report with the scope its numbers came from.
+fn baseline_mode(path: &str) -> &'static str {
+    let smoke = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.contains("\"smoke\""))
+                .and_then(|l| field(l, "smoke").map(|v| v == "true"))
+        })
+        .unwrap_or(false);
+    mode(smoke)
 }
 
 fn mode(smoke: bool) -> &'static str {
@@ -353,6 +411,8 @@ fn peak_rss_kb() -> Option<u64> {
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     smoke: bool,
+    commit: &str,
+    timestamp: &str,
     threads: usize,
     peak_rss_kb: Option<u64>,
     runs: &[RefRun],
@@ -361,7 +421,13 @@ fn render_json(
     speedup: f64,
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"cedar-bench-perf/2\",");
+    let _ = writeln!(out, "  \"schema\": \"cedar-bench-perf/3\",");
+    let _ = writeln!(
+        out,
+        "  \"commit\": \"{}\",",
+        cedar_obs::export::escape_json(commit)
+    );
+    let _ = writeln!(out, "  \"timestamp\": \"{timestamp}\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"threads\": {threads},");
     match peak_rss_kb {

@@ -5,6 +5,7 @@
 //! cluster_chaos [--workers N] [--points N] [--seed N]
 //!               [--kills N] [--stalls N] [--corrupts N]
 //!               [--cache DIR] [--expect-warm]
+//!               [--report PATH] [--track HISTORY] [--metrics-addr ADDR]
 //! ```
 //!
 //! Runs the reference sweep twice, in one process tree: serially
@@ -19,11 +20,19 @@
 //! The binary is its own worker: the coordinator re-execs it with
 //! `CEDAR_CLUSTER_WORKER` set, and [`cedar_cluster::maybe_worker`]
 //! diverts those copies before argument parsing.
+//!
+//! `--report PATH` writes the chaos run's timings and supervision
+//! counters as a `cedar-bench-cluster/1` JSON report; `--track
+//! HISTORY` appends the same numbers to the cedar-track benchmark
+//! history. `--metrics-addr ADDR` (e.g. `127.0.0.1:0`) serves the
+//! coordinator's `ClusterObs` as a Prometheus `/metrics` endpoint for
+//! the duration of the run, mirroring the serving tier.
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use cedar_cluster::{families, run_cluster_sweep, ClusterConfig, ClusterObs};
+use cedar_cluster::{families, run_cluster_sweep, ClusterConfig, ClusterObs, MetricsServer};
 use cedar_exec::run_sweep_on;
 use cedar_faults::{RetryPolicy, WorkerFaultConfig, WorkerFaultPlan};
 use cedar_snap::{CacheDir, Snapshot};
@@ -31,7 +40,8 @@ use cedar_snap::{CacheDir, Snapshot};
 fn usage() -> ! {
     eprintln!(
         "usage: cluster_chaos [--workers N] [--points N] [--seed N] [--kills N] \
-         [--stalls N] [--corrupts N] [--cache DIR] [--expect-warm]"
+         [--stalls N] [--corrupts N] [--cache DIR] [--expect-warm] \
+         [--report PATH] [--track HISTORY] [--metrics-addr ADDR]"
     );
     std::process::exit(2)
 }
@@ -44,6 +54,9 @@ fn main() -> ExitCode {
     let (mut kills, mut stalls, mut corrupts) = (2u32, 1u32, 1u32);
     let mut cache_dir: Option<String> = None;
     let mut expect_warm = false;
+    let mut report_path: Option<String> = None;
+    let mut track: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -56,6 +69,9 @@ fn main() -> ExitCode {
             "--corrupts" => corrupts = value().parse().unwrap_or_else(|_| usage()),
             "--cache" => cache_dir = Some(value()),
             "--expect-warm" => expect_warm = true,
+            "--report" => report_path = Some(value()),
+            "--track" => track = Some(value()),
+            "--metrics-addr" => metrics_addr = Some(value()),
             _ => usage(),
         }
     }
@@ -100,8 +116,22 @@ fn main() -> ExitCode {
     };
     cfg.cache = cache.clone();
 
-    let obs = ClusterObs::new();
-    let report = match run_cluster_sweep::<u64, u64>(&cfg, families::SLOW_MIX, &inputs, Some(&obs))
+    let obs = Arc::new(ClusterObs::new());
+    let metrics_server = match &metrics_addr {
+        Some(addr) => match MetricsServer::start(addr, Arc::clone(&obs)) {
+            Ok(s) => {
+                eprintln!("cluster_chaos: metrics at http://{}/metrics", s.addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("cluster_chaos: cannot serve metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let sweep_started = Instant::now();
+    let report = match run_cluster_sweep::<u64, u64>(&cfg, families::SLOW_MIX, &inputs, Some(&*obs))
     {
         Ok(r) => r,
         Err(e) => {
@@ -109,6 +139,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let wall_ms = sweep_started.elapsed().as_secs_f64() * 1000.0;
     let stats = &report.stats;
     eprintln!(
         "cluster_chaos: {} points on {} workers — exits {}, hangs reaped {}, \
@@ -186,6 +217,45 @@ fn main() -> ExitCode {
         }
     }
 
+    // Timing/supervision report: written win or lose (a failing run's
+    // numbers are exactly what a postmortem wants), but only tracked
+    // into the benchmark history when the run held its invariants.
+    let bench_json = render_bench_json(stats, wall_ms, &obs);
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, &bench_json) {
+            eprintln!("cluster_chaos: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("cluster_chaos: wrote report to {path}");
+    }
+    if failures.is_empty() {
+        if let Some(history) = &track {
+            let appended = cedar_track::ingest::cluster_report(&bench_json)
+                .and_then(|ing| {
+                    cedar_track::ingest::build_entry(
+                        &[ing],
+                        cedar_track::meta::commit_id(),
+                        cedar_track::meta::timestamp(),
+                        cedar_track::meta::host_fingerprint(),
+                        None,
+                    )
+                })
+                .and_then(|entry| {
+                    cedar_track::history::append(std::path::Path::new(history), &entry)
+                        .map(|()| entry.metrics.len())
+                        .map_err(|e| e.to_string())
+                });
+            match appended {
+                Ok(n) => eprintln!("cluster_chaos: tracked {n} metrics to {history}"),
+                Err(e) => {
+                    eprintln!("cluster_chaos: cannot track to {history}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    drop(metrics_server);
+
     if failures.is_empty() {
         eprintln!("cluster_chaos: OK — merged sweep equals serial golden, exactly-once held");
         ExitCode::SUCCESS
@@ -195,4 +265,72 @@ fn main() -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// Renders the `cedar-bench-cluster/1` timing report: the chaos run's
+/// wall clock, throughput, supervision stats and the coordinator's
+/// observability counters.
+fn render_bench_json(
+    stats: &cedar_cluster::ClusterStats,
+    wall_ms: f64,
+    obs: &ClusterObs,
+) -> String {
+    use std::fmt::Write as _;
+    let points_per_sec = if wall_ms > 0.0 {
+        stats.jobs as f64 / (wall_ms / 1000.0)
+    } else {
+        0.0
+    };
+    let mut out = String::from("{\n  \"schema\": \"cedar-bench-cluster/1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"commit\": \"{}\",",
+        cedar_obs::export::escape_json(&cedar_track::meta::commit_id())
+    );
+    let _ = writeln!(
+        out,
+        "  \"timestamp\": \"{}\",",
+        cedar_track::meta::timestamp()
+    );
+    out.push_str("  \"mode\": \"chaos\",\n");
+    let _ = writeln!(out, "  \"workers\": {},", stats.workers);
+    let _ = writeln!(out, "  \"points\": {},", stats.jobs);
+    let _ = writeln!(out, "  \"wall_ms\": {wall_ms:.3},");
+    let _ = writeln!(out, "  \"points_per_sec\": {points_per_sec:.3},");
+    let _ = writeln!(out, "  \"dispatched\": {},", stats.dispatched);
+    let _ = writeln!(out, "  \"worker_exits\": {},", stats.worker_exits);
+    let _ = writeln!(out, "  \"hangs_reaped\": {},", stats.hangs_reaped);
+    let _ = writeln!(out, "  \"garbage_frames\": {},", stats.garbage_frames);
+    let _ = writeln!(out, "  \"restarts\": {},", stats.restarts);
+    let _ = writeln!(out, "  \"reissues\": {},", stats.reissues);
+    let _ = writeln!(out, "  \"stale_results\": {},", stats.stale_results);
+    let _ = writeln!(out, "  \"cache_hits\": {},", stats.cache_hits);
+    let _ = writeln!(out, "  \"workers_lost\": {},", stats.workers_lost);
+    out.push_str("  \"obs\": {");
+    for (i, name) in [
+        "cluster.jobs.dispatched",
+        "cluster.jobs.committed",
+        "cluster.jobs.cache_hits",
+        "cluster.jobs.reissued",
+        "cluster.results.stale",
+        "cluster.worker.exits",
+        "cluster.worker.hangs_reaped",
+        "cluster.worker.garbage_frames",
+        "cluster.worker.restarts",
+        "cluster.worker.lost",
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{name}\": {}", obs.counter_value(name));
+    }
+    out.push_str("}\n}\n");
+    debug_assert!(
+        cedar_obs::export::validate_json(&out).is_ok(),
+        "cluster report must be valid JSON"
+    );
+    out
 }

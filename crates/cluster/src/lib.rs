@@ -68,7 +68,7 @@ pub use coordinator::{
     run_cluster_sweep, ClusterConfig, ClusterError, ClusterReport, ClusterStats,
 };
 pub use journal::{CommitOrigin, JobJournal, JobRecord, JobState};
-pub use obs::ClusterObs;
+pub use obs::{ClusterObs, MetricsServer};
 pub use proto::{FromWorker, ToWorker};
 pub use registry::{maybe_worker, JobRegistry, CHAOS_ENV, ID_ENV, INCARNATION_ENV, WORKER_ENV};
 pub use ring::HashRing;

@@ -55,22 +55,35 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
 /// Renders the registry in Prometheus text exposition format. Metric
 /// names are sanitised (`.` → `_`) and prefixed `cedar_`; histograms
 /// expose cumulative `_bucket{le="..."}` series plus `_sum` and
-/// `_count`. Output is sorted by metric name — deterministic.
+/// `_count`. Every metric carries `# HELP` (naming the original
+/// dot-path) and `# TYPE` lines. Output is sorted by metric name —
+/// deterministic.
 #[must_use]
 pub fn prometheus(registry: &MetricsRegistry) -> String {
     let mut out = String::new();
     for (name, value) in registry.counters() {
         let n = sanitize_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {n} {}",
+            escape_help(&help_text(name, "counter"))
+        );
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {value}");
     }
     for (name, value) in registry.gauges() {
         let n = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {n} {}", escape_help(&help_text(name, "gauge")));
         let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {}", format_f64(value));
     }
     for (name, entry) in registry.histograms() {
         let n = sanitize_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {n} {}",
+            escape_help(&help_text(name, "histogram"))
+        );
         let _ = writeln!(out, "# TYPE {n} histogram");
         let width = entry.bins.bin_width();
         let mut cumulative = 0u64;
@@ -86,6 +99,27 @@ pub fn prometheus(registry: &MetricsRegistry) -> String {
         );
         let _ = writeln!(out, "{n}_sum {}", entry.sum);
         let _ = writeln!(out, "{n}_count {}", entry.bins.total());
+    }
+    out
+}
+
+/// The deterministic help string for a metric: its kind and the
+/// original dot-path name the sanitised exposition name was made from.
+fn help_text(name: &str, kind: &str) -> String {
+    format!("cedar {kind} for dot-path metric {name}")
+}
+
+/// Escapes a `# HELP` text per the exposition format: backslash and
+/// newline are the only characters with escape sequences there.
+#[must_use]
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -291,8 +325,11 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
 
 /// Parses Prometheus text exposition back into `sample line → value`,
 /// where the key is the full series (name plus any labels). Comment
-/// (`#`) and blank lines are skipped but `# TYPE` lines must name a
-/// known type.
+/// (`#`) and blank lines are skipped, but `# TYPE` lines must name a
+/// known type and `# HELP` lines must name a metric. Label values are
+/// scanned escape-aware, so a value containing spaces, `}` or `\"`
+/// never confuses the series/value split, and an optional trailing
+/// integer timestamp is accepted and ignored.
 ///
 /// # Errors
 ///
@@ -308,34 +345,97 @@ pub fn parse_prometheus(input: &str) -> Result<BTreeMap<String, f64>, String> {
         }
         if let Some(comment) = line.strip_prefix('#') {
             let mut parts = comment.split_whitespace();
-            if parts.next() == Some("TYPE") {
-                let _name = parts
-                    .next()
-                    .ok_or_else(|| format!("line {lineno}: TYPE without metric name"))?;
-                match parts.next() {
-                    Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
-                    other => {
-                        return Err(format!("line {lineno}: unknown TYPE {other:?}"));
+            match parts.next() {
+                Some("TYPE") => {
+                    let _name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: TYPE without metric name"))?;
+                    match parts.next() {
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                        other => {
+                            return Err(format!("line {lineno}: unknown TYPE {other:?}"));
+                        }
                     }
                 }
+                Some("HELP") => {
+                    let _name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: HELP without metric name"))?;
+                    // The help text itself is free-form (with \\ and \n
+                    // escapes) and carries no samples; skip it.
+                }
+                _ => {} // plain comment
             }
             continue;
         }
-        let (series, value) = line
-            .rsplit_once(' ')
-            .ok_or_else(|| format!("line {lineno}: no value"))?;
-        let value: f64 = value
-            .parse()
-            .map_err(|e| format!("line {lineno}: bad value: {e}"))?;
-        let series = series.trim();
-        if series.is_empty() {
-            return Err(format!("line {lineno}: empty series name"));
-        }
+        let (series, value) = split_series(line).map_err(|e| format!("line {lineno}: {e}"))?;
         if out.insert(series.to_owned(), value).is_some() {
             return Err(format!("line {lineno}: duplicate series '{series}'"));
         }
     }
     Ok(out)
+}
+
+/// Splits one exposition sample line into its series key (metric name
+/// plus the label block exactly as written) and its value, respecting
+/// `\"`/`\\`/`\n` escapes inside label values and tolerating an
+/// optional trailing integer timestamp.
+fn split_series(line: &str) -> Result<(&str, f64), String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    // Metric name: everything up to a label block or whitespace.
+    while pos < bytes.len() && !matches!(bytes[pos], b'{' | b' ' | b'\t') {
+        pos += 1;
+    }
+    if pos == 0 {
+        return Err("empty series name".to_owned());
+    }
+    if bytes.get(pos) == Some(&b'{') {
+        pos += 1;
+        let mut in_quotes = false;
+        let mut closed = false;
+        while pos < bytes.len() {
+            match bytes[pos] {
+                b'\\' if in_quotes => {
+                    // An escape consumes the next byte, whatever it is;
+                    // a dangling backslash at end-of-line is malformed.
+                    if pos + 1 >= bytes.len() {
+                        return Err("dangling escape in label value".to_owned());
+                    }
+                    pos += 1;
+                }
+                b'"' => in_quotes = !in_quotes,
+                b'}' if !in_quotes => {
+                    pos += 1;
+                    closed = true;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        if !closed {
+            return Err(if in_quotes {
+                "unterminated label value".to_owned()
+            } else {
+                "unterminated label block".to_owned()
+            });
+        }
+    }
+    let series = &line[..pos];
+    let mut rest = line[pos..].split_whitespace();
+    let value = rest.next().ok_or_else(|| "no value".to_owned())?;
+    let value: f64 = value.parse().map_err(|e| format!("bad value: {e}"))?;
+    if let Some(ts) = rest.next() {
+        // The exposition format allows one integer timestamp (ms).
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("bad timestamp {ts:?}"));
+        }
+    }
+    if let Some(junk) = rest.next() {
+        return Err(format!("trailing data {junk:?}"));
+    }
+    Ok((series, value))
 }
 
 #[cfg(test)]
@@ -430,6 +530,72 @@ mod tests {
         assert!(parse_prometheus("# TYPE x bogus").is_err());
         assert!(parse_prometheus("x 1\nx 2").is_err());
         assert!(parse_prometheus("# plain comment\n\nx 1").is_ok());
+        assert!(parse_prometheus("# HELP").is_err());
+        assert!(parse_prometheus("# HELP x free text with spaces").is_ok());
+    }
+
+    #[test]
+    fn exposition_carries_help_and_type_for_every_metric() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("net.fwd.blocked");
+        reg.inc(c);
+        let g = reg.gauge("queue.depth");
+        reg.set(g, 3.0);
+        let h = reg.histogram("lat", 2, 10);
+        reg.record(h, 5);
+        let text = prometheus(&reg);
+        for (name, kind) in [
+            ("cedar_net_fwd_blocked", "counter"),
+            ("cedar_queue_depth", "gauge"),
+            ("cedar_lat", "histogram"),
+        ] {
+            assert!(
+                text.contains(&format!("# HELP {name} ")),
+                "missing HELP for {name} in:\n{text}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {name} {kind}")),
+                "missing TYPE for {name} in:\n{text}"
+            );
+        }
+        // HELP names the original dot-path, so a scraper can map back.
+        assert!(text.contains("net.fwd.blocked"), "{text}");
+        // And the parser round-trips the annotated exposition.
+        let samples = parse_prometheus(&text).unwrap();
+        assert_eq!(samples["cedar_net_fwd_blocked"], 1.0);
+    }
+
+    #[test]
+    fn help_escaping_round_trips() {
+        assert_eq!(escape_help("plain"), "plain");
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        // An escaped multi-line help text still parses as one line.
+        let text = format!("# HELP cedar_x {}\ncedar_x 1\n", escape_help("two\nlines"));
+        assert_eq!(parse_prometheus(&text).unwrap()["cedar_x"], 1.0);
+    }
+
+    #[test]
+    fn parser_handles_escaped_label_values() {
+        // Label values with spaces, escaped quotes, escaped
+        // backslashes and a closing brace must not confuse the
+        // series/value split.
+        let text = "x{msg=\"a b\"} 1\ny{msg=\"say \\\"hi\\\" now\"} 2\nz{p=\"C:\\\\tmp\"} 3\nw{m=\"a}b\"} 4\n";
+        let samples = parse_prometheus(text).unwrap();
+        assert_eq!(samples["x{msg=\"a b\"}"], 1.0);
+        assert_eq!(samples["y{msg=\"say \\\"hi\\\" now\"}"], 2.0);
+        assert_eq!(samples["z{p=\"C:\\\\tmp\"}"], 3.0);
+        assert_eq!(samples["w{m=\"a}b\"}"], 4.0);
+    }
+
+    #[test]
+    fn parser_accepts_timestamps_and_rejects_garbage_tails() {
+        let samples = parse_prometheus("x{l=\"v\"} 1.5 1700000000000\n").unwrap();
+        assert_eq!(samples["x{l=\"v\"}"], 1.5);
+        assert!(parse_prometheus("x 1 notatimestamp").is_err());
+        assert!(parse_prometheus("x 1 2 3").is_err());
+        assert!(parse_prometheus("x{l=\"unterminated} 1").is_err());
+        assert!(parse_prometheus("x{l=\"v\" 1").is_err());
+        assert!(parse_prometheus("x{l=\"v\\").is_err());
     }
 
     #[test]

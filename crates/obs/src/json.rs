@@ -1,0 +1,333 @@
+//! Minimal JSON value parsing shared across the workspace.
+//!
+//! `cedar-obs` carries the repository's hand-rolled JSON *producers*
+//! and a structural validator; consumers — the serving tier's wire
+//! protocol, the `cedar-track` benchmark-history ingesters — also need
+//! the values themselves (job type, CE counts, measured rates) out of
+//! a document. This parser mirrors the validator's structure byte for
+//! byte but builds a [`Json`] tree. Output still goes through
+//! [`crate::export::escape_json`] — one escaping discipline across the
+//! whole workspace.
+//!
+//! The dialect is exactly RFC 8259 minus two deliberate bounds chosen
+//! for a network-facing parser: nesting beyond [`MAX_DEPTH`] and
+//! inputs beyond [`MAX_LEN`] bytes are rejected, so a hostile request
+//! line cannot blow the parse stack or memory.
+
+use std::collections::BTreeMap;
+
+/// Maximum nesting depth accepted from the wire.
+pub const MAX_DEPTH: usize = 32;
+
+/// Maximum request line length in bytes accepted from the wire.
+pub const MAX_LEN: usize = 64 * 1024;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON has only doubles).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, key-sorted; duplicate keys keep the last value,
+    /// like every mainstream parser.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object, if this is an object that has it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if this is a non-negative
+    /// integral number that fits.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n <= 2f64.powi(53) && n.fract() == 0.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value, rejecting trailing data.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error, with its byte
+/// offset.
+pub fn parse(input: &str) -> Result<Json, String> {
+    if input.len() > MAX_LEN {
+        return Err(format!("input of {} bytes exceeds {MAX_LEN}", input.len()));
+    }
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(format!("unexpected end of input at byte {pos}"));
+    };
+    match b {
+        b'{' => parse_object(bytes, pos, depth),
+        b'[' => parse_array(bytes, pos, depth),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b't' => parse_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
+        b'n' => parse_literal(bytes, pos, "null").map(|()| Json::Null),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(format!("unexpected byte '{}' at {pos}", other as char)),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut members = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos, depth + 1)?;
+        members.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // consume opening quote
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            *pos += 1;
+                            let d = bytes
+                                .get(*pos)
+                                .and_then(|c| (*c as char).to_digit(16))
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogates collapse to the replacement char;
+                        // the protocol is ASCII in practice.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Advance one whole UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                let c = rest.chars().next().expect("non-empty remainder");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_request_shaped_object() {
+        let v = parse(
+            r#"{"op":"run","id":"c1-7","job":{"type":"hotspot","ces":4,"fraction":0.05},"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("run"));
+        assert_eq!(v.get("deadline_ms").unwrap().as_u64(), Some(250));
+        let job = v.get("job").unwrap();
+        assert_eq!(job.get("ces").unwrap().as_u64(), Some(4));
+        assert_eq!(job.get("fraction").unwrap().as_f64(), Some(0.05));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = parse(r#"{"s":"a\"b\\c\ndA"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn rejects_garbage_like_the_obs_validator() {
+        for bad in ["{\"a\":", "[1,2,]", "{\"a\":1} extra", "\"open", "{broken}"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert!(parse("[1, 2, {\"k\": [true, null, -3.5e2]}]").is_ok());
+    }
+
+    #[test]
+    fn rejects_hostile_depth_and_length() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let long = format!("\"{}\"", "x".repeat(MAX_LEN));
+        assert!(parse(&long).is_err());
+    }
+
+    #[test]
+    fn number_edges() {
+        assert_eq!(parse("-3.5e2").unwrap().as_f64(), Some(-350.0));
+        assert_eq!(parse("18446744073709551615").unwrap().as_u64(), None);
+        assert_eq!(parse("4.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn everything_we_emit_parses_and_validates() {
+        // The serve protocol renders with cedar-obs escaping; both the
+        // obs validator and this parser must accept it.
+        let line = format!(
+            "{{\"status\":\"ok\",\"reason\":\"{}\"}}",
+            crate::export::escape_json("a\"b\\c\nd")
+        );
+        crate::export::validate_json(&line).unwrap();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("reason").unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+}

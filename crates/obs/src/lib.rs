@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod export;
+pub mod json;
 pub mod metrics;
 pub mod trace;
 

@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--addr-file PATH] [--smoke]
 //!         [--seed N] [--shutdown] [--out PATH]
-//!         [--adversarial] [--line-timeout-ms N]
+//!         [--adversarial] [--line-timeout-ms N] [--track HISTORY]
 //! ```
 //!
 //! Drives the server through the dedup-burst, fault-mix, closed-loop
@@ -11,7 +11,8 @@
 //! execution per identical burst, no healthy request lost to the fault
 //! mix, monotone saturation curve), and writes the report to `--out`
 //! (default `BENCH_serve.json`). Exits non-zero the moment any
-//! invariant is violated.
+//! invariant is violated. `--track HISTORY` additionally appends the
+//! finished report to the cedar-track benchmark history.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,7 +22,7 @@ use cedar_serve::loadgen::{run, LoadgenConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--addr-file PATH] [--smoke] [--seed N] \
-         [--shutdown] [--out PATH] [--adversarial] [--line-timeout-ms N]"
+         [--shutdown] [--out PATH] [--adversarial] [--line-timeout-ms N] [--track HISTORY]"
     );
     std::process::exit(2)
 }
@@ -29,6 +30,7 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut cfg = LoadgenConfig::default();
     let mut out = PathBuf::from("BENCH_serve.json");
+    let mut track: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
                 cfg.line_timeout_ms = value().parse().unwrap_or_else(|_| usage())
             }
             "--out" => out = PathBuf::from(value()),
+            "--track" => track = Some(PathBuf::from(value())),
             _ => usage(),
         }
     }
@@ -73,6 +76,30 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(&out, &text) {
                 eprintln!("loadgen: cannot write {}: {e}", out.display());
                 return ExitCode::FAILURE;
+            }
+            if let Some(history) = &track {
+                let appended = cedar_track::ingest::serve_report(&text)
+                    .and_then(|ing| {
+                        cedar_track::ingest::build_entry(
+                            &[ing],
+                            report.commit.clone(),
+                            report.timestamp.clone(),
+                            cedar_track::meta::host_fingerprint(),
+                            None,
+                        )
+                    })
+                    .and_then(|entry| {
+                        cedar_track::history::append(history, &entry)
+                            .map(|()| entry.metrics.len())
+                            .map_err(|e| e.to_string())
+                    });
+                match appended {
+                    Ok(n) => eprintln!("loadgen: tracked {n} metrics to {}", history.display()),
+                    Err(e) => {
+                        eprintln!("loadgen: cannot track to {}: {e}", history.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             eprintln!(
                 "loadgen: {} mode — dedup {}x→{} exec, mix {} req ({} degraded), \

@@ -135,8 +135,18 @@ pub struct LoadReport {
     pub open_p99_us: u64,
     /// Adversarial phase results; `None` when the phase was not run.
     pub adversarial: Option<AdversarialReport>,
+    /// End-of-run server observability snapshot: every `serve.*`
+    /// series from the metrics exposition (sanitized names, `cedar_`
+    /// prefix stripped), scraped over the control connection before
+    /// shutdown. Queue depths, reap counts and shed totals land in the
+    /// benchmark history through this.
+    pub obs: Vec<(String, f64)>,
     /// Whether the post-run graceful shutdown drained cleanly.
     pub drained: Option<bool>,
+    /// Git commit the run measured (stamped via cedar-track).
+    pub commit: String,
+    /// ISO-8601 UTC timestamp of the run.
+    pub timestamp: String,
 }
 
 /// One line-protocol client connection.
@@ -496,6 +506,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         None
     };
 
+    // Observability snapshot: scrape the full exposition once, before
+    // shutdown tears the server down, and keep every serve.* series.
+    let obs = scrape_obs(&mut control)?;
+
     // Optional graceful shutdown: the drain must complete and answer.
     let drained = if cfg.shutdown {
         let reply = control.request(r#"{"op":"shutdown"}"#)?;
@@ -524,8 +538,38 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         open_p50_us: percentile(&open_latencies, 0.50),
         open_p99_us: percentile(&open_latencies, 0.99),
         adversarial,
+        obs,
         drained,
+        commit: cedar_track::meta::commit_id(),
+        timestamp: cedar_track::meta::timestamp(),
     })
+}
+
+/// Scrapes the server's Prometheus exposition through the control
+/// connection and returns every `serve.*` series (sanitized name with
+/// the `cedar_` prefix stripped, so `serve.queue.depth` comes back as
+/// `serve_queue_depth`).
+fn scrape_obs(control: &mut Client) -> Result<Vec<(String, f64)>, String> {
+    let reply = control.request(r#"{"op":"metrics"}"#)?;
+    let text = reply
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .ok_or("metrics reply missing prometheus field")?;
+    let parsed = parse_prometheus(text)?;
+    Ok(parsed
+        .into_iter()
+        .filter_map(|(name, value)| {
+            let short = name.strip_prefix("cedar_")?;
+            // Scalar serve.* series only: the per-bucket histogram
+            // rows (labelled `{le="..."}`) would bury the queue and
+            // reap counters under hundreds of bucket entries.
+            if short.starts_with("serve_") && !short.contains('{') && value.is_finite() {
+                Some((short.to_owned(), value))
+            } else {
+                None
+            }
+        })
+        .collect())
 }
 
 fn run_adversarial(cfg: &LoadgenConfig, control: &mut Client) -> Result<AdversarialReport, String> {
@@ -605,7 +649,15 @@ impl LoadReport {
             }
         }
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"schema\": \"cedar-bench-serve/2\",\n");
+        out.push_str("{\n  \"schema\": \"cedar-bench-serve/3\",\n");
+        out.push_str(&format!(
+            "  \"commit\": \"{}\",\n",
+            cedar_obs::export::escape_json(&self.commit)
+        ));
+        out.push_str(&format!(
+            "  \"timestamp\": \"{}\",\n",
+            cedar_obs::export::escape_json(&self.timestamp)
+        ));
         out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         out.push_str(&format!(
             "  \"dedup\": {{\"burst\": {}, \"executed\": {}, \"cache_hits\": {}, \
@@ -652,6 +704,18 @@ impl LoadReport {
             )),
             None => out.push_str("  \"adversarial\": null,\n"),
         }
+        out.push_str("  \"obs\": {");
+        for (i, (name, value)) in self.obs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {}",
+                cedar_obs::export::escape_json(name),
+                f(*value)
+            ));
+        }
+        out.push_str("},\n");
         out.push_str(&format!(
             "  \"drained\": {}\n}}\n",
             match self.drained {
@@ -717,14 +781,28 @@ mod tests {
                 partial_write_conns: 2,
                 idle_survived: true,
             }),
+            obs: vec![
+                ("serve_conn_reaped_read".to_owned(), 3.0),
+                ("serve_queue_shed".to_owned(), 0.0),
+            ],
             drained: Some(true),
+            commit: "abc123".to_owned(),
+            timestamp: "2026-08-08T00:00:00Z".to_owned(),
         };
         let text = report.to_json();
         validate_json(&text).unwrap();
         let parsed = json::parse(&text).unwrap();
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("cedar-bench-serve/2")
+            Some("cedar-bench-serve/3")
+        );
+        assert_eq!(parsed.get("commit").and_then(Json::as_str), Some("abc123"));
+        assert_eq!(
+            parsed
+                .get("obs")
+                .and_then(|o| o.get("serve_conn_reaped_read"))
+                .and_then(Json::as_f64),
+            Some(3.0)
         );
         assert_eq!(
             parsed

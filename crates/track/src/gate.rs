@@ -1,0 +1,417 @@
+//! Regression gating: compare the newest history entry against a
+//! trailing median of its predecessors.
+//!
+//! The gate is deliberately conservative about what it compares:
+//! only earlier entries with the *same mode* (smoke numbers never
+//! judge full runs) and — by default — the *same host fingerprint*
+//! (a laptop never judges the CI runner) participate in a metric's
+//! baseline. The baseline is the median of the last `window`
+//! comparable values, so one noisy historical run cannot flip a
+//! verdict. A metric with no comparable history passes vacuously and
+//! is reported as skipped — gating grows teeth as history accretes.
+//!
+//! Threshold semantics: a change **exactly at** the threshold passes;
+//! only strictly beyond it fails. "10% regression" on a
+//! higher-is-better metric therefore means `newest < median * 0.9`.
+
+use std::fmt::Write as _;
+
+use crate::history::HistoryEntry;
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger numbers are better (throughput, speedup, cycles/sec).
+    HigherIsBetter,
+    /// Smaller numbers are better (latency percentiles, wall time).
+    LowerIsBetter,
+}
+
+/// One gated metric: its name, direction, and allowed regression.
+#[derive(Debug, Clone)]
+pub struct GateSpec {
+    /// The metric key in [`HistoryEntry::metrics`].
+    pub metric: String,
+    /// Which direction is an improvement.
+    pub direction: Direction,
+    /// Allowed adverse change, percent; beyond this strictly fails.
+    pub threshold_pct: f64,
+}
+
+impl GateSpec {
+    /// A higher-is-better gate at `threshold_pct`.
+    #[must_use]
+    pub fn higher(metric: &str, threshold_pct: f64) -> GateSpec {
+        GateSpec {
+            metric: metric.to_owned(),
+            direction: Direction::HigherIsBetter,
+            threshold_pct,
+        }
+    }
+
+    /// A lower-is-better gate at `threshold_pct`.
+    #[must_use]
+    pub fn lower(metric: &str, threshold_pct: f64) -> GateSpec {
+        GateSpec {
+            metric: metric.to_owned(),
+            direction: Direction::LowerIsBetter,
+            threshold_pct,
+        }
+    }
+}
+
+/// The default gated metrics, all at `threshold_pct`: the numbers
+/// ROADMAP items 1–3 are judged by. Simulation rate, sweep speedup,
+/// serve throughput/p99, cache warm speedup and cluster sweep rate.
+#[must_use]
+pub fn default_gates(threshold_pct: f64) -> Vec<GateSpec> {
+    vec![
+        GateSpec::higher("perf.table2_rk_prefetch.sim_cycles_per_sec", threshold_pct),
+        GateSpec::higher("perf.faulted_trace.sim_cycles_per_sec", threshold_pct),
+        GateSpec::higher("perf.sweep.speedup", threshold_pct),
+        GateSpec::higher("serve.closed.max_throughput_rps", threshold_pct),
+        GateSpec::lower("serve.closed.peak_p99_us", threshold_pct),
+        GateSpec::lower("serve.open.p99_us", threshold_pct),
+        GateSpec::higher("cache.warm_speedup", threshold_pct),
+        GateSpec::higher("cluster.points_per_sec", threshold_pct),
+    ]
+}
+
+/// How the gate scopes its baseline.
+#[derive(Debug, Clone)]
+pub struct GateOptions {
+    /// Trailing comparable entries to take the median over.
+    pub window: usize,
+    /// Compare only entries whose host fingerprint matches the newest
+    /// entry's (default). Disable to gate across machines.
+    pub same_host_only: bool,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        GateOptions {
+            window: 5,
+            same_host_only: true,
+        }
+    }
+}
+
+/// One gate's verdict.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// The gated metric.
+    pub metric: String,
+    /// The newest entry's value.
+    pub newest: f64,
+    /// Trailing median it was compared against.
+    pub baseline: f64,
+    /// Signed change, percent, relative to the baseline.
+    pub change_pct: f64,
+    /// The gate's threshold.
+    pub threshold_pct: f64,
+    /// Direction of the gate.
+    pub direction: Direction,
+    /// Comparable historical samples behind the baseline.
+    pub samples: usize,
+    /// True when the change is strictly beyond the threshold in the
+    /// adverse direction.
+    pub regressed: bool,
+}
+
+impl GateOutcome {
+    /// One human-readable verdict line naming the metric.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.regressed { "REGRESSION" } else { "ok" };
+        let _ = write!(
+            out,
+            "{verdict} {}: {:.4} vs trailing median {:.4} ({:+.2}%, threshold {}%, {} samples)",
+            self.metric,
+            self.newest,
+            self.baseline,
+            self.change_pct,
+            self.threshold_pct,
+            self.samples
+        );
+        out
+    }
+}
+
+/// The whole gate run over one history.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Commit id of the entry under judgement.
+    pub commit: String,
+    /// Mode scope the comparison ran in.
+    pub mode: String,
+    /// Per-gate verdicts, in gate order.
+    pub outcomes: Vec<GateOutcome>,
+    /// Gates that could not run (metric absent from the newest entry,
+    /// or no comparable history), with reasons.
+    pub skipped: Vec<String>,
+}
+
+impl GateReport {
+    /// Number of failed gates.
+    #[must_use]
+    pub fn regressions(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.regressed).count()
+    }
+
+    /// The worst outcome first: most adverse relative change at the
+    /// top, regressions before passes.
+    #[must_use]
+    pub fn worst_first(&self) -> Vec<GateOutcome> {
+        let mut sorted = self.outcomes.clone();
+        sorted.sort_by(|a, b| {
+            b.regressed
+                .cmp(&a.regressed)
+                .then_with(|| adverse(b).total_cmp(&adverse(a)))
+        });
+        sorted
+    }
+}
+
+/// The adverse magnitude of an outcome: positive when the change hurts.
+fn adverse(o: &GateOutcome) -> f64 {
+    match o.direction {
+        Direction::HigherIsBetter => -o.change_pct,
+        Direction::LowerIsBetter => o.change_pct,
+    }
+}
+
+fn median(sorted: &mut [f64]) -> f64 {
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        f64::midpoint(sorted[n / 2 - 1], sorted[n / 2])
+    }
+}
+
+/// Gates the newest entry of `entries` against its comparable history.
+///
+/// # Errors
+///
+/// Returns a description when the history is empty.
+pub fn check(
+    entries: &[HistoryEntry],
+    gates: &[GateSpec],
+    opts: &GateOptions,
+) -> Result<GateReport, String> {
+    let newest = entries.last().ok_or("history is empty — nothing to gate")?;
+    let prior = &entries[..entries.len() - 1];
+    let mut report = GateReport {
+        commit: newest.commit.clone(),
+        mode: newest.mode.clone(),
+        ..GateReport::default()
+    };
+    for gate in gates {
+        let Some(&value) = newest.metrics.get(&gate.metric) else {
+            report
+                .skipped
+                .push(format!("{}: not measured by the newest entry", gate.metric));
+            continue;
+        };
+        let mut comparable: Vec<f64> = prior
+            .iter()
+            .filter(|e| e.mode == newest.mode)
+            .filter(|e| !opts.same_host_only || e.host.comparable(&newest.host))
+            .filter_map(|e| e.metrics.get(&gate.metric).copied())
+            .collect();
+        if comparable.is_empty() {
+            report.skipped.push(format!(
+                "{}: no comparable history (mode {:?}{})",
+                gate.metric,
+                newest.mode,
+                if opts.same_host_only {
+                    ", same host"
+                } else {
+                    ""
+                }
+            ));
+            continue;
+        }
+        let start = comparable.len().saturating_sub(opts.window.max(1));
+        let windowed = &mut comparable[start..];
+        let samples = windowed.len();
+        let baseline = median(windowed);
+        let change_pct = if baseline == 0.0 {
+            0.0
+        } else {
+            (value - baseline) / baseline.abs() * 100.0
+        };
+        let t = gate.threshold_pct / 100.0;
+        let regressed = match gate.direction {
+            // Exactly at the boundary passes; strictly beyond fails.
+            Direction::HigherIsBetter => value < baseline * (1.0 - t),
+            Direction::LowerIsBetter => value > baseline * (1.0 + t),
+        };
+        report.outcomes.push(GateOutcome {
+            metric: gate.metric.clone(),
+            newest: value,
+            baseline,
+            change_pct,
+            threshold_pct: gate.threshold_pct,
+            direction: gate.direction,
+            samples,
+            regressed,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HostFingerprint, SCHEMA};
+    use std::collections::BTreeMap;
+
+    fn host(name: &str) -> HostFingerprint {
+        HostFingerprint {
+            hostname: name.to_owned(),
+            cpus: 8,
+            os: "linux/x86_64".to_owned(),
+        }
+    }
+
+    fn entry(commit: &str, mode: &str, hostname: &str, value: f64) -> HistoryEntry {
+        let mut metrics = BTreeMap::new();
+        metrics.insert(
+            "perf.table2_rk_prefetch.sim_cycles_per_sec".to_owned(),
+            value,
+        );
+        HistoryEntry {
+            schema: SCHEMA.to_owned(),
+            commit: commit.to_owned(),
+            timestamp: "2026-08-08T00:00:00Z".to_owned(),
+            host: host(hostname),
+            mode: mode.to_owned(),
+            sources: vec!["perf".to_owned()],
+            metrics,
+            notes: None,
+        }
+    }
+
+    fn gate() -> Vec<GateSpec> {
+        vec![GateSpec::higher(
+            "perf.table2_rk_prefetch.sim_cycles_per_sec",
+            10.0,
+        )]
+    }
+
+    #[test]
+    fn exactly_at_threshold_passes_over_fails() {
+        // Median of three identical runs is 100; 10% boundary is 90.
+        let mut entries = vec![
+            entry("a", "full", "h", 100.0),
+            entry("b", "full", "h", 100.0),
+            entry("c", "full", "h", 100.0),
+        ];
+        entries.push(entry("d", "full", "h", 90.0));
+        let report = check(&entries, &gate(), &GateOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 0, "{:?}", report.outcomes);
+
+        *entries.last_mut().unwrap() = entry("d", "full", "h", 89.999);
+        let report = check(&entries, &gate(), &GateOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 1);
+        assert!(report.outcomes[0].describe().contains("REGRESSION"));
+        assert!(report.outcomes[0]
+            .describe()
+            .contains("perf.table2_rk_prefetch.sim_cycles_per_sec"));
+    }
+
+    #[test]
+    fn lower_is_better_inverts_the_test() {
+        let spec = vec![GateSpec::lower("p99", 10.0)];
+        let mk = |v: f64| {
+            let mut e = entry("x", "full", "h", 0.0);
+            e.metrics.insert("p99".to_owned(), v);
+            e
+        };
+        let entries = vec![mk(100.0), mk(100.0), mk(110.0)];
+        let report = check(&entries, &spec, &GateOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+        let entries = vec![mk(100.0), mk(100.0), mk(110.001)];
+        let report = check(&entries, &spec, &GateOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 1);
+    }
+
+    #[test]
+    fn different_mode_and_host_are_out_of_scope() {
+        let entries = vec![
+            entry("a", "smoke", "h", 1000.0),
+            entry("b", "full", "other-box", 1000.0),
+            entry("c", "full", "h", 10.0),
+        ];
+        // Neither the smoke entry nor the other host may judge the
+        // newest full run on h: the gate skips, not fails.
+        let report = check(&entries, &gate(), &GateOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.outcomes.len(), 0);
+        assert_eq!(report.skipped.len(), 1);
+
+        // Cross-host comparison is opt-in.
+        let opts = GateOptions {
+            same_host_only: false,
+            ..GateOptions::default()
+        };
+        let report = check(&entries, &gate(), &opts).unwrap();
+        assert_eq!(report.regressions(), 1);
+    }
+
+    #[test]
+    fn median_window_tolerates_one_noisy_run() {
+        let mut entries: Vec<HistoryEntry> = [100.0, 100.0, 3.0, 100.0, 100.0]
+            .iter()
+            .map(|&v| entry("h", "full", "h", v))
+            .collect();
+        entries.push(entry("new", "full", "h", 96.0));
+        let report = check(&entries, &gate(), &GateOptions::default()).unwrap();
+        // Median of the window is 100 despite the 3.0 outlier; 96 is
+        // within 10%.
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.outcomes[0].baseline, 100.0);
+        assert_eq!(report.outcomes[0].samples, 5);
+    }
+
+    #[test]
+    fn improvements_and_missing_metrics_never_fail() {
+        let mut entries = vec![entry("a", "full", "h", 100.0)];
+        entries.push(entry("b", "full", "h", 250.0));
+        let specs = vec![gate().remove(0), GateSpec::higher("not.measured", 10.0)];
+        let report = check(&entries, &specs, &GateOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes[0].change_pct > 100.0);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].contains("not.measured"));
+    }
+
+    #[test]
+    fn empty_history_is_an_error_single_entry_is_vacuous() {
+        assert!(check(&[], &gate(), &GateOptions::default()).is_err());
+        let entries = vec![entry("a", "full", "h", 100.0)];
+        let report = check(&entries, &gate(), &GateOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.skipped.len(), 1);
+    }
+
+    #[test]
+    fn worst_first_orders_by_adverse_change() {
+        let mk = |a: f64, b: f64| {
+            let mut e = entry("x", "full", "h", a);
+            e.metrics.insert("p99".to_owned(), b);
+            e
+        };
+        let entries = vec![mk(100.0, 100.0), mk(100.0, 100.0), mk(50.0, 500.0)];
+        let specs = vec![gate().remove(0), GateSpec::lower("p99", 10.0)];
+        let report = check(&entries, &specs, &GateOptions::default()).unwrap();
+        let worst = report.worst_first();
+        assert_eq!(report.regressions(), 2);
+        // p99 got 400% worse, cycles/sec only 50%: p99 leads.
+        assert_eq!(worst[0].metric, "p99");
+    }
+}

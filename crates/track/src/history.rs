@@ -1,0 +1,365 @@
+//! The versioned, append-only benchmark history format.
+//!
+//! A history file is JSON Lines: one [`HistoryEntry`] per line, each a
+//! self-describing JSON object carrying its schema tag, the commit it
+//! measured, an ISO-8601 timestamp, a host fingerprint, the run mode,
+//! which report kinds fed it, and a flat `metric name → value` map.
+//! Appending never rewrites earlier lines, so the file is merge- and
+//! `git diff`-friendly: every perf-relevant PR adds exactly the lines
+//! it measured.
+//!
+//! Robustness contract: a corrupt or truncated line (a killed process
+//! mid-append, a botched merge) is *quarantined as a warning*, never a
+//! crash — the surviving entries still parse, gate and render.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use cedar_obs::export::escape_json;
+use cedar_obs::json::{self, Json};
+
+/// The history line schema this crate reads and writes.
+pub const SCHEMA: &str = "cedar-track/1";
+
+/// Where a measurement ran: enough to recognise that numbers from a
+/// different machine are not comparable to ours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// Kernel hostname (or `unknown`).
+    pub hostname: String,
+    /// Logical CPUs visible to the process.
+    pub cpus: u64,
+    /// `os/arch`, e.g. `linux/x86_64`.
+    pub os: String,
+}
+
+impl HostFingerprint {
+    /// True when two fingerprints plausibly describe the same class of
+    /// machine — the scope regression gating trusts by default.
+    #[must_use]
+    pub fn comparable(&self, other: &HostFingerprint) -> bool {
+        self.hostname == other.hostname && self.cpus == other.cpus && self.os == other.os
+    }
+}
+
+/// One measured point in the history: a commit, a host, a moment, and
+/// the flat metrics the benchmark reports produced there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Git commit id the measurement describes (or `unknown`).
+    pub commit: String,
+    /// ISO-8601 UTC timestamp of the measurement.
+    pub timestamp: String,
+    /// Host fingerprint.
+    pub host: HostFingerprint,
+    /// Run mode (`full`, `smoke`, `chaos`, …); gating only compares
+    /// entries of the same mode.
+    pub mode: String,
+    /// Which report kinds fed this entry (`perf`, `serve`, `cluster`,
+    /// `compare`).
+    pub sources: Vec<String>,
+    /// Flat metric map. Only finite values are representable.
+    pub metrics: BTreeMap<String, f64>,
+    /// Free-form annotation, if any.
+    pub notes: Option<String>,
+}
+
+impl HistoryEntry {
+    /// Renders the entry as its single canonical JSON line (no
+    /// trailing newline).
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        let mut out = String::with_capacity(256 + self.metrics.len() * 48);
+        out.push_str(&format!(
+            "{{\"schema\":\"{}\",\"commit\":\"{}\",\"timestamp\":\"{}\"",
+            escape_json(&self.schema),
+            escape_json(&self.commit),
+            escape_json(&self.timestamp)
+        ));
+        out.push_str(&format!(
+            ",\"host\":{{\"hostname\":\"{}\",\"cpus\":{},\"os\":\"{}\"}}",
+            escape_json(&self.host.hostname),
+            self.host.cpus,
+            escape_json(&self.host.os)
+        ));
+        out.push_str(&format!(",\"mode\":\"{}\"", escape_json(&self.mode)));
+        out.push_str(",\"sources\":[");
+        for (i, s) in self.sources.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape_json(s)));
+        }
+        out.push_str("],\"metrics\":{");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape_json(k), render_f64(*v)));
+        }
+        out.push('}');
+        match &self.notes {
+            Some(n) => out.push_str(&format!(",\"notes\":\"{}\"", escape_json(n))),
+            None => out.push_str(",\"notes\":null"),
+        }
+        out.push('}');
+        debug_assert!(
+            cedar_obs::export::validate_json(&out).is_ok(),
+            "history line must be valid JSON"
+        );
+        out
+    }
+
+    /// Parses one history line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the line is not valid JSON, carries
+    /// the wrong schema, or is missing a required field.
+    pub fn parse_line(line: &str) -> Result<HistoryEntry, String> {
+        let v = json::parse(line)?;
+        let schema = str_field(&v, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported history schema {schema:?}"));
+        }
+        let host = v.get("host").ok_or("missing host")?;
+        let mut metrics = BTreeMap::new();
+        match v.get("metrics") {
+            Some(Json::Obj(members)) => {
+                for (k, m) in members {
+                    let value = m
+                        .as_f64()
+                        .ok_or_else(|| format!("metric {k:?} is not a number"))?;
+                    metrics.insert(k.clone(), value);
+                }
+            }
+            _ => return Err("missing metrics object".to_owned()),
+        }
+        let mut sources = Vec::new();
+        if let Some(Json::Arr(items)) = v.get("sources") {
+            for s in items {
+                sources.push(s.as_str().ok_or("sources must be strings")?.to_owned());
+            }
+        }
+        Ok(HistoryEntry {
+            schema,
+            commit: str_field(&v, "commit")?,
+            timestamp: str_field(&v, "timestamp")?,
+            host: HostFingerprint {
+                hostname: str_field(host, "hostname")?,
+                cpus: host
+                    .get("cpus")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing host.cpus")?,
+                os: str_field(host, "os")?,
+            },
+            mode: str_field(&v, "mode")?,
+            sources,
+            metrics,
+            notes: v.get("notes").and_then(Json::as_str).map(str::to_owned),
+        })
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Renders a finite f64 as JSON; non-finite values (unrepresentable in
+/// JSON) degrade to 0 rather than corrupting the line.
+fn render_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Parses a whole history document. Corrupt lines do not fail the
+/// parse: each contributes a warning (with its 1-based line number)
+/// and is skipped.
+#[must_use]
+pub fn parse_history(text: &str) -> (Vec<HistoryEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut warnings = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match HistoryEntry::parse_line(line) {
+            Ok(e) => entries.push(e),
+            Err(e) => warnings.push(format!("history line {} quarantined: {e}", idx + 1)),
+        }
+    }
+    (entries, warnings)
+}
+
+/// Loads a history file; a missing file is an empty history.
+///
+/// # Errors
+///
+/// Returns the I/O error when the file exists but cannot be read.
+pub fn load(path: &Path) -> std::io::Result<(Vec<HistoryEntry>, Vec<String>)> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(parse_history(&text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((Vec::new(), Vec::new())),
+        Err(e) => Err(e),
+    }
+}
+
+/// Appends one entry to the history file, creating it (and its parent
+/// directory) on first use. Strictly append-only: existing lines are
+/// never rewritten.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut line = entry.render_line();
+    line.push('\n');
+    file.write_all(line.as_bytes())
+}
+
+/// Formats `secs` seconds since the Unix epoch as an ISO-8601 UTC
+/// timestamp (`2026-08-08T12:34:56Z`). Purely arithmetic — no locale,
+/// no syscalls — so identical inputs give identical strings anywhere.
+#[must_use]
+pub fn iso8601_utc(secs: u64) -> String {
+    let days = secs / 86_400;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    // Howard Hinnant's civil-from-days, shifted to the 1970 epoch.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HistoryEntry {
+        HistoryEntry {
+            schema: SCHEMA.to_owned(),
+            commit: "abc123".to_owned(),
+            timestamp: "2026-08-08T00:00:00Z".to_owned(),
+            host: HostFingerprint {
+                hostname: "ci-box".to_owned(),
+                cpus: 8,
+                os: "linux/x86_64".to_owned(),
+            },
+            mode: "smoke".to_owned(),
+            sources: vec!["perf".to_owned()],
+            metrics: [
+                ("perf.sweep.speedup".to_owned(), 2.5),
+                (
+                    "perf.table2_rk_prefetch.sim_cycles_per_sec".to_owned(),
+                    90_214.0,
+                ),
+            ]
+            .into_iter()
+            .collect(),
+            notes: None,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_its_line() {
+        let e = sample();
+        let line = e.render_line();
+        cedar_obs::export::validate_json(&line).unwrap();
+        let back = HistoryEntry::parse_line(&line).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn notes_and_escapes_round_trip() {
+        let mut e = sample();
+        e.notes = Some("a \"quoted\"\nnote \\ with escapes".to_owned());
+        e.commit = "deadbeef".to_owned();
+        let back = HistoryEntry::parse_line(&e.render_line()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn corrupt_lines_are_quarantined_not_fatal() {
+        let good = sample().render_line();
+        let text = format!(
+            "{good}\n{{\"schema\":\"cedar-track/1\",\"commit\":\n{}\nnot json at all\n{good}\n",
+            // A truncated copy of a good line: the classic
+            // killed-mid-append artifact.
+            &good[..good.len() / 2]
+        );
+        let (entries, warnings) = parse_history(&text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert!(warnings.iter().all(|w| w.contains("quarantined")));
+    }
+
+    #[test]
+    fn wrong_schema_is_quarantined() {
+        let text = "{\"schema\":\"cedar-track/99\",\"commit\":\"x\"}\n";
+        let (entries, warnings) = parse_history(text);
+        assert!(entries.is_empty());
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("cedar-track/99"));
+    }
+
+    #[test]
+    fn append_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cedar-track-test-{}", std::process::id()));
+        let path = dir.join("nested").join("history.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        let e = sample();
+        append(&path, &e).unwrap();
+        append(&path, &e).unwrap();
+        let (entries, warnings) = load(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(warnings.is_empty());
+        let (none, no_warn) = load(&dir.join("absent.jsonl")).unwrap();
+        assert!(none.is_empty() && no_warn.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn iso8601_matches_known_instants() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(86_400), "1970-01-02T00:00:00Z");
+        // 2000-02-29 existed; 2100 won't. 951_782_400 = 2000-02-29.
+        assert_eq!(iso8601_utc(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(iso8601_utc(1_754_611_200), "2025-08-08T00:00:00Z");
+        assert_eq!(iso8601_utc(1_754_700_896), "2025-08-09T00:54:56Z");
+    }
+
+    #[test]
+    fn non_finite_metrics_degrade_to_zero() {
+        let mut e = sample();
+        e.metrics.insert("bad".to_owned(), f64::INFINITY);
+        let back = HistoryEntry::parse_line(&e.render_line()).unwrap();
+        assert_eq!(back.metrics["bad"], 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Run metadata: git commit, wall-clock timestamp, host fingerprint.
+//!
+//! Everything here is best-effort and overridable: benchmarks must
+//! still produce stampable reports in a container with no `git`, no
+//! hostname and a frozen clock. The override environment variables
+//! (`CEDAR_TRACK_COMMIT`, `CEDAR_TRACK_TIMESTAMP`) also make tests and
+//! CI deterministic.
+
+use std::process::Command;
+
+use crate::history::{iso8601_utc, HostFingerprint};
+
+/// Environment override for the commit id stamp.
+pub const COMMIT_ENV: &str = "CEDAR_TRACK_COMMIT";
+
+/// Environment override for the timestamp stamp (used verbatim).
+pub const TIMESTAMP_ENV: &str = "CEDAR_TRACK_TIMESTAMP";
+
+/// The commit id to stamp measurements with: the override variable if
+/// set, else `git rev-parse HEAD` in the current directory, else
+/// `"unknown"`.
+#[must_use]
+pub fn commit_id() -> String {
+    if let Ok(v) = std::env::var(COMMIT_ENV) {
+        if !v.trim().is_empty() {
+            return v.trim().to_owned();
+        }
+    }
+    let out = Command::new("git").args(["rev-parse", "HEAD"]).output();
+    match out {
+        Ok(out) if out.status.success() => {
+            let sha = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+            if sha.is_empty() {
+                "unknown".to_owned()
+            } else {
+                sha
+            }
+        }
+        _ => "unknown".to_owned(),
+    }
+}
+
+/// The current UTC instant as ISO-8601, honouring the override
+/// variable.
+#[must_use]
+pub fn timestamp() -> String {
+    if let Ok(v) = std::env::var(TIMESTAMP_ENV) {
+        if !v.trim().is_empty() {
+            return v.trim().to_owned();
+        }
+    }
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    iso8601_utc(secs)
+}
+
+/// This machine's fingerprint: hostname, logical CPUs, `os/arch`.
+#[must_use]
+pub fn host_fingerprint() -> HostFingerprint {
+    let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "unknown".to_owned());
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64;
+    HostFingerprint {
+        hostname,
+        cpus,
+        os: format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_well_formed() {
+        let h = host_fingerprint();
+        assert!(h.cpus >= 1);
+        assert!(h.os.contains('/'));
+        assert!(!h.hostname.is_empty());
+    }
+
+    #[test]
+    fn commit_and_timestamp_never_panic() {
+        // Whatever the environment, both must yield something usable.
+        assert!(!commit_id().is_empty());
+        let ts = timestamp();
+        assert!(ts.contains('T'), "{ts}");
+    }
+}

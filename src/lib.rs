@@ -49,6 +49,7 @@
 //! | [`snap`] | `cedar-snap` | snapshot codec, checkpoints, result cache |
 //! | [`serve`] | `cedar-serve` | batching simulation service, job queue, loadgen |
 //! | [`cluster`] | `cedar-cluster` | supervised worker fleet, exactly-once sweeps |
+//! | [`track`] | `cedar-track` | benchmark history, regression gating, dashboard |
 
 #![warn(missing_docs)]
 
@@ -68,3 +69,4 @@ pub use cedar_runtime as runtime;
 pub use cedar_serve as serve;
 pub use cedar_sim as sim;
 pub use cedar_snap as snap;
+pub use cedar_track as track;
