@@ -41,6 +41,7 @@ use std::time::Instant;
 use cedar_bench::{hotspot, trace};
 use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
 use cedar_net::fabric::{FabricConfig, FabricReport, PrefetchTraffic, RoundTripFabric};
+use cedar_net::EngineKind;
 use cedar_obs::{Obs, ObsConfig};
 use cedar_snap::{CacheDir, Snapshot};
 
@@ -50,6 +51,9 @@ const PARALLEL_THREADS: usize = 4;
 /// One timed reference run.
 struct RefRun {
     name: &'static str,
+    /// Which execution engine drove the run: `"specialized"`,
+    /// `"generic"`, or `"n/a"` for suites without a single fabric.
+    engine: &'static str,
     wall_ms: f64,
     /// Simulated network cycles, where the workload has a single
     /// fabric clock to report (the sweep does not).
@@ -126,26 +130,80 @@ fn main() {
     let mut runs = Vec::new();
 
     // Healthy Table-2 reference: the RK prefetch stream, the heaviest
-    // global-memory customer in the paper's Table 2.
+    // global-memory customer in the paper's Table 2. Measured on both
+    // execution engines — the specialized row is the headline number,
+    // and the paired generic row keeps the engine speedup visible in
+    // every baseline.
     let (ces, blocks) = if smoke { (8u64, 4) } else { (32u64, 16) };
-    let started = Instant::now();
     let traffic = PrefetchTraffic::rk_aggressive(blocks);
     let cfg = FabricConfig::cedar();
-    let report = run_or_load(
-        cache,
-        "perf.table2_rk/1",
-        &((cfg.clone(), ces), (traffic, 64_000_000u64)),
-        || {
-            let mut fabric = RoundTripFabric::new(cfg.clone());
-            fabric.run_prefetch_experiment(ces as usize, traffic, 64_000_000)
-        },
+    // Cold runs time each engine best-of-3: single-shot wall clocks on
+    // a shared host swing ±30%, which is wider than the regression
+    // band the engine-ratio assert guards. Warm (cached) runs time the
+    // cache, not the engine — one rep is the honest measurement there.
+    let reps = if cache.is_none() { 3 } else { 1 };
+    let time_engine = |engine: EngineKind, namespace: &str| {
+        let mut best_ms = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let r = run_or_load(
+                cache,
+                namespace,
+                &((cfg.clone(), ces), (traffic, 64_000_000u64)),
+                || {
+                    let mut fabric = RoundTripFabric::new(cfg.clone());
+                    fabric.set_engine(engine);
+                    let report = fabric.run_prefetch_experiment(ces as usize, traffic, 64_000_000);
+                    if engine == EngineKind::Specialized {
+                        assert_eq!(
+                            fabric.last_run_engine(),
+                            Some("specialized"),
+                            "reference shape must stay specialization-eligible"
+                        );
+                    }
+                    report
+                },
+            );
+            best_ms = best_ms.min(started.elapsed().as_secs_f64() * 1000.0);
+            report = Some(r);
+        }
+        (best_ms, report.expect("at least one rep"))
+    };
+    let (spec_ms, spec_report) = time_engine(EngineKind::Specialized, "perf.table2_rk_spec/1");
+    let (gen_ms, gen_report) = time_engine(EngineKind::Generic, "perf.table2_rk/1");
+    assert!(spec_report.completed(), "reference traffic must drain");
+    assert_eq!(
+        spec_report, gen_report,
+        "engines disagree on the reference run — bit-identity broken"
     );
-    assert!(report.completed(), "reference traffic must drain");
     runs.push(RefRun {
         name: "table2_rk_prefetch",
-        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
-        sim_cycles: Some(report.total_net_cycles),
+        engine: "specialized",
+        wall_ms: spec_ms,
+        sim_cycles: Some(spec_report.total_net_cycles),
     });
+    runs.push(RefRun {
+        name: "table2_rk_prefetch_generic",
+        engine: "generic",
+        wall_ms: gen_ms,
+        sim_cycles: Some(gen_report.total_net_cycles),
+    });
+    let engine_speedup = gen_ms / spec_ms;
+    // The specialized engine's whole reason to exist. The honest
+    // measured ratio on this host is ~4.5-5x (the run is memory-module
+    // bound once backpressure saturates, so the network stepping the
+    // engine specializes is only part of the wall clock); the floor
+    // sits below the observed band with margin for shared-host noise,
+    // not at a wished-for number. Only meaningful cold and at full
+    // scale — smoke runs are too short to time.
+    if cache.is_none() && !smoke {
+        assert!(
+            engine_speedup >= 3.0,
+            "specialized engine regressed: {gen_ms:.1} ms generic vs {spec_ms:.1} ms \
+             specialized ({engine_speedup:.2}x, need >= 3.0x)"
+        );
+    }
 
     // 2%-faulted trace run: the degraded fabric with full telemetry
     // attached — the most allocation- and branch-heavy configuration
@@ -180,6 +238,9 @@ fn main() {
     assert!(report.completed(), "faulted trace traffic must drain");
     runs.push(RefRun {
         name: "faulted_trace",
+        // Faults and telemetry are both outside the specialized
+        // family; this row pins the generic path's cost.
+        engine: "generic",
         wall_ms: started.elapsed().as_secs_f64() * 1000.0,
         sim_cycles: Some(report.total_net_cycles),
     });
@@ -210,15 +271,26 @@ fn main() {
     );
     runs.push(RefRun {
         name: "hotspot_sweep",
+        engine: "n/a",
         wall_ms: parallel_ms,
         sim_cycles: None,
     });
     let speedup = serial_ms / parallel_ms;
     // The pool must never make a cold sweep slower than serial on real
-    // hardware. Only meaningful when the work was actually simulated
-    // (cold cache) on a machine with cores to use.
+    // hardware, and with the full PARALLEL_THREADS complement of real
+    // cores the batched-stealing deques must deliver real scaling.
+    // Only meaningful when the work was actually simulated (cold
+    // cache) on a machine with cores to use; the recorded `cores`
+    // field lets history consumers apply the same gate.
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    if cache.is_none() && cores >= 2 {
+    if cache.is_none() && cores >= PARALLEL_THREADS {
+        assert!(
+            speedup >= 2.5,
+            "parallel sweep under-scaled: {serial_ms:.1} ms serial vs \
+             {parallel_ms:.1} ms on {PARALLEL_THREADS} threads ({speedup:.2}x on \
+             {cores} cores, need >= 2.5x)"
+        );
+    } else if cache.is_none() && cores >= 2 {
         assert!(
             speedup >= 0.85,
             "parallel sweep regressed below serial: {serial_ms:.1} ms serial vs \
@@ -236,9 +308,11 @@ fn main() {
         threads,
         peak_rss_kb,
         &runs,
+        engine_speedup,
         serial_ms,
         parallel_ms,
         speedup,
+        cores,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
 
@@ -261,17 +335,19 @@ fn main() {
     for r in &runs {
         match r.cycles_per_sec() {
             Some(rate) => println!(
-                "  {:<22} {:>9.1} ms  {:>12} net cycles  {:>10.2e} cycles/s",
+                "  {:<28} {:>9.1} ms  {:>12} net cycles  {:>10.2e} cycles/s  [{}]",
                 r.name,
                 r.wall_ms,
                 r.sim_cycles.unwrap_or(0),
-                rate
+                rate,
+                r.engine
             ),
-            None => println!("  {:<22} {:>9.1} ms", r.name, r.wall_ms),
+            None => println!("  {:<28} {:>9.1} ms", r.name, r.wall_ms),
         }
     }
+    println!("  engine specialized vs generic = {engine_speedup:.2}x on the reference run");
     println!(
-        "  sweep serial {serial_ms:.1} ms / parallel {parallel_ms:.1} ms = {speedup:.2}x on {PARALLEL_THREADS} threads"
+        "  sweep serial {serial_ms:.1} ms / parallel {parallel_ms:.1} ms = {speedup:.2}x on {PARALLEL_THREADS} threads ({cores} cores)"
     );
     match peak_rss_kb {
         Some(kb) => println!("  peak RSS {kb} kB"),
@@ -416,12 +492,14 @@ fn render_json(
     threads: usize,
     peak_rss_kb: Option<u64>,
     runs: &[RefRun],
+    engine_speedup: f64,
     serial_ms: f64,
     parallel_ms: f64,
     speedup: f64,
+    cores: usize,
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"cedar-bench-perf/3\",");
+    let _ = writeln!(out, "  \"schema\": \"cedar-bench-perf/4\",");
     let _ = writeln!(
         out,
         "  \"commit\": \"{}\",",
@@ -449,17 +527,19 @@ fn render_json(
             .map_or_else(|| "null".into(), |c| format!("{c:.0}"));
         let _ = writeln!(
             out,
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {}}}{}",
-            r.name, r.wall_ms, cycles, rate, comma
+            "    {{\"name\": \"{}\", \"engine\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {}}}{}",
+            r.name, r.engine, r.wall_ms, cycles, rate, comma
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"engine_speedup\": {engine_speedup:.3},");
     let _ = writeln!(out, "  \"sweep_suite\": {{");
     let _ = writeln!(out, "    \"name\": \"hotspot_sweep\",");
     let _ = writeln!(out, "    \"serial_ms\": {serial_ms:.3},");
     let _ = writeln!(out, "    \"serial_threads\": 1,");
     let _ = writeln!(out, "    \"parallel_ms\": {parallel_ms:.3},");
     let _ = writeln!(out, "    \"threads\": {},", PARALLEL_THREADS);
+    let _ = writeln!(out, "    \"cores\": {cores},");
     let _ = writeln!(out, "    \"speedup\": {speedup:.3}");
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");

@@ -1,0 +1,26 @@
+//! Quick engine comparison: table2 rk_prefetch reference shape.
+use cedar_net::fabric::{FabricConfig, RoundTripFabric};
+use cedar_net::{EngineKind, PrefetchTraffic};
+use std::time::Instant;
+
+fn main() {
+    let traffic = PrefetchTraffic::rk_aggressive(16);
+    for (name, kind) in [
+        ("generic", EngineKind::Generic),
+        ("specialized", EngineKind::Specialized),
+    ] {
+        let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+        fabric.set_engine(kind);
+        let start = Instant::now();
+        let report = fabric.run_prefetch_experiment(32, traffic, 64_000_000);
+        let elapsed = start.elapsed();
+        let cycles = report.total_net_cycles;
+        let requests: usize = report.per_ce.iter().map(Vec::len).sum();
+        println!(
+            "{name:12} {:>8.1} ms  {cycles} cycles  {:.0} cycles/sec  {requests} reqs  engine={:?}",
+            elapsed.as_secs_f64() * 1e3,
+            cycles as f64 / elapsed.as_secs_f64(),
+            fabric.last_run_engine()
+        );
+    }
+}

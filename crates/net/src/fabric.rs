@@ -23,6 +23,11 @@ use crate::config::NetworkConfig;
 use crate::network::OmegaNetwork;
 use crate::packet::{Packet, PacketId, PacketKind, Word};
 
+#[path = "specialized.rs"]
+pub mod specialized;
+
+use specialized::EngineKind;
+
 /// Fabric-level configuration: the two networks plus the memory-module
 /// service rate and the fixed processor-side path cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -263,6 +268,9 @@ struct FabricMetricIds {
     writes_issued: CounterId,
     retries: CounterId,
     abandoned: CounterId,
+    /// Runs that wanted the specialized engine but fell back to
+    /// generic, so silent de-specialization can't mask a regression.
+    engine_fallback: CounterId,
 }
 
 /// Telemetry state attached to the fabric by [`RoundTripFabric::set_obs`].
@@ -399,6 +407,17 @@ pub struct RoundTripFabric {
     /// leaves every code path bit-identical to the un-instrumented
     /// fabric.
     obs: Option<FabricObs>,
+    /// Execution-engine selection (from `CEDAR_ENGINE` at
+    /// construction, or [`set_engine`](Self::set_engine)). Not part of
+    /// the simulated state: engines are bit-identical, so none of the
+    /// engine fields below are snapshotted.
+    engine: EngineKind,
+    /// Which engine the most recent experiment drive actually used.
+    last_run_engine: Option<&'static str>,
+    /// Why the most recent drive fell back to generic, if it did.
+    last_fallback: Option<&'static str>,
+    /// Whether the explicit-specialized fallback warning has fired.
+    fallback_logged: bool,
 }
 
 /// A request awaiting its reply under fault injection, for the
@@ -514,7 +533,39 @@ impl RoundTripFabric {
             fast_forward: true,
             ff_cycles: 0,
             obs: None,
+            engine: EngineKind::from_env(),
+            last_run_engine: None,
+            last_fallback: None,
+            fallback_logged: false,
         })
+    }
+
+    /// Overrides the execution-engine selection (the default comes
+    /// from the `CEDAR_ENGINE` environment variable at construction).
+    /// Engines are bit-identical; this only changes how fast the
+    /// answer arrives.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+    }
+
+    /// The current execution-engine selection.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Which engine the most recent experiment drive used
+    /// (`"generic"` / `"specialized"`), or `None` before any drive.
+    #[must_use]
+    pub fn last_run_engine(&self) -> Option<&'static str> {
+        self.last_run_engine
+    }
+
+    /// Why the most recent drive fell back to the generic engine, or
+    /// `None` if it did not want or did not miss the specialized one.
+    #[must_use]
+    pub fn last_fallback(&self) -> Option<&'static str> {
+        self.last_fallback
     }
 
     /// Attaches a telemetry handle to the fabric and both of its
@@ -554,6 +605,7 @@ impl RoundTripFabric {
             abandoned: obs
                 .counter("fabric.requests_abandoned")
                 .expect("metrics enabled"),
+            engine_fallback: obs.counter("engine.fallback").expect("metrics enabled"),
         });
         self.obs = Some(FabricObs {
             tracing: obs.tracing_enabled(),
@@ -992,17 +1044,65 @@ impl RoundTripFabric {
         }
     }
 
+    /// Drives an experiment until it stops running (or `stop_at` net
+    /// cycles is reached), on whichever engine the fabric's
+    /// [`EngineKind`] selection and the eligibility rules pick. Both
+    /// engines are bit-identical: the specialized path replicates the
+    /// generic state machine state-for-state, so a checkpoint taken
+    /// after this call does not reveal which engine ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CedarError::Stalled`] when the watchdog trips.
+    pub fn drive_experiment(
+        &mut self,
+        exp: &mut FabricExperiment,
+        mut watchdog: Option<&mut Watchdog>,
+        stop_at: Option<u64>,
+    ) -> Result<(), CedarError> {
+        if self.engine != EngineKind::Generic {
+            match self.specialization_blocker(exp) {
+                None => {
+                    self.last_run_engine = Some("specialized");
+                    self.last_fallback = None;
+                    return self.drive_specialized(exp, watchdog, stop_at);
+                }
+                Some(reason) => self.note_fallback(reason),
+            }
+        } else {
+            self.last_run_engine = Some("generic");
+            self.last_fallback = None;
+        }
+        while self.experiment_running(exp) && stop_at.is_none_or(|c| self.now < c) {
+            self.step_experiment(exp, watchdog.as_deref_mut())?;
+        }
+        Ok(())
+    }
+
+    /// Records a fall-back to the generic engine: counter, diagnostic
+    /// state, and — when the user explicitly demanded
+    /// `CEDAR_ENGINE=specialized` — one log line naming the reason.
+    fn note_fallback(&mut self, reason: &'static str) {
+        self.last_run_engine = Some("generic");
+        self.last_fallback = Some(reason);
+        self.metric_add(|ids| ids.engine_fallback, 1);
+        if self.engine == EngineKind::Specialized && !self.fallback_logged {
+            self.fallback_logged = true;
+            eprintln!(
+                "cedar-net: CEDAR_ENGINE=specialized fell back to the generic engine: {reason}"
+            );
+        }
+    }
+
     fn run_experiment_inner(
         &mut self,
         n_ces: usize,
         traffic: PrefetchTraffic,
         max_net_cycles: u64,
-        mut watchdog: Option<&mut Watchdog>,
+        watchdog: Option<&mut Watchdog>,
     ) -> Result<FabricReport, CedarError> {
         let mut exp = self.begin_experiment(n_ces, traffic, max_net_cycles);
-        while self.experiment_running(&exp) {
-            self.step_experiment(&mut exp, watchdog.as_deref_mut())?;
-        }
+        self.drive_experiment(&mut exp, watchdog, None)?;
         Ok(self.finish_experiment(exp))
     }
 
@@ -1119,7 +1219,10 @@ impl RoundTripFabric {
         };
         let mut next_checkpoint = self.now + checkpoint_every_net_cycles;
         while self.experiment_running(&exp) {
-            self.step_experiment(&mut exp, Some(watchdog))?;
+            // Drive in checkpoint-interval chunks: both engines exit
+            // at the first step that reaches `stop_at`, which is the
+            // same cycle the per-step check used to fire on.
+            self.drive_experiment(&mut exp, Some(&mut *watchdog), Some(next_checkpoint))?;
             if self.now >= next_checkpoint {
                 // Best-effort: a failed write only costs resumability.
                 let _ =
@@ -1781,6 +1884,13 @@ impl cedar_snap::Snapshot for RoundTripFabric {
             fast_forward: Snapshot::restore(r)?,
             ff_cycles: Snapshot::restore(r)?,
             obs: None,
+            // Engine selection is not simulated state (engines are
+            // bit-identical); a restored fabric re-reads the
+            // environment, like a fresh one.
+            engine: EngineKind::from_env(),
+            last_run_engine: None,
+            last_fallback: None,
+            fallback_logged: false,
         })
     }
 }

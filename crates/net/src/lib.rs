@@ -76,6 +76,7 @@ pub mod switch;
 pub mod topology;
 
 pub use config::NetworkConfig;
+pub use fabric::specialized::{EngineKind, ENGINE_ENV};
 pub use fabric::{AddressPattern, FabricReport, PrefetchTraffic, RoundTripFabric};
 pub use network::{Delivery, OmegaNetwork};
 pub use packet::{Packet, PacketId, PacketKind};

@@ -57,10 +57,10 @@ pub struct Delivery {
 
 /// Progress of a packet's words through the final output.
 #[derive(Debug, Clone, Copy)]
-struct ExitProgress {
-    packet: Packet,
-    head_exit: u64,
-    words_seen: u8,
+pub(crate) struct ExitProgress {
+    pub(crate) packet: Packet,
+    pub(crate) head_exit: u64,
+    pub(crate) words_seen: u8,
 }
 
 /// One unidirectional multistage shuffle-exchange network.
@@ -68,22 +68,22 @@ struct ExitProgress {
 /// See the crate-level documentation for an end-to-end example.
 #[derive(Debug)]
 pub struct OmegaNetwork {
-    cfg: NetworkConfig,
-    topo: Topology,
-    stages: Vec<Vec<Crossbar>>,
-    inject_fifo: Vec<VecDeque<Word>>,
+    pub(crate) cfg: NetworkConfig,
+    pub(crate) topo: Topology,
+    pub(crate) stages: Vec<Vec<Crossbar>>,
+    pub(crate) inject_fifo: Vec<VecDeque<Word>>,
     /// Words that exited but have not been consumed yet, per output
     /// position. The consumer (memory module or CE interface) pops at
     /// its own rate; this queue is bounded by the switch output queue
     /// upstream, so it holds at most one word added per cycle and is
     /// drained by `pop_output`.
-    exit_fifo: Vec<VecDeque<(Word, u64)>>,
-    exit_progress: Vec<Option<ExitProgress>>,
-    delivered: Vec<Delivery>,
-    now: u64,
-    words_injected: u64,
-    words_exited: u64,
-    words_dropped: u64,
+    pub(crate) exit_fifo: Vec<VecDeque<(Word, u64)>>,
+    pub(crate) exit_progress: Vec<Option<ExitProgress>>,
+    pub(crate) delivered: Vec<Delivery>,
+    pub(crate) now: u64,
+    pub(crate) words_injected: u64,
+    pub(crate) words_exited: u64,
+    pub(crate) words_dropped: u64,
     /// Which direction this network plays in a fault plan; only
     /// consulted when `faults` is attached.
     direction: NetDirection,

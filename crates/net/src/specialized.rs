@@ -1,0 +1,1754 @@
+//! The specialized cycle engine: topology-monomorphized stepping for
+//! the healthy, un-instrumented fabric.
+//!
+//! The generic engine in [`fabric`](super) and [`network`](crate::network)
+//! is an interpreter: every cycle walks `Vec<VecDeque<Word>>` queues,
+//! `Option` locks and fault/telemetry hooks scattered across hundreds
+//! of small heap allocations. That flexibility is what the fault,
+//! retry and observability studies need — but the Table 2 reference
+//! runs spend their whole budget in it with all of those hooks
+//! disabled. This module is the celox move (ROADMAP item 1): when the
+//! configuration matches the supported family, the two omega networks
+//! are compiled into flat structure-of-arrays state and stepped by a
+//! const-generic, branch-lean loop with the hooks compiled out
+//! entirely, replicating the generic engine *state for state* so
+//! reports and checkpoints stay bit-identical.
+//!
+//! # Eligibility and fallback
+//!
+//! [`RoundTripFabric::drive_experiment`](super::RoundTripFabric::drive_experiment)
+//! consults [`EngineKind`] (set from the [`ENGINE_ENV`] variable at
+//! construction) and the private eligibility check. A run specializes
+//! when:
+//!
+//! - no telemetry handle is attached (obs hooks are compiled out, so
+//!   an attached `Obs` would silently go blind), and
+//! - no fault schedule or recovery state is attached (fault hooks are
+//!   compiled out too), and
+//! - the network family fits the packed lanes: 1–4 stages, radix ≤ 64,
+//!   ≤ 4096 ports, switch queues ≤ 64 words, exit FIFOs ≤ 65536 words,
+//!   module buffers ≤ 64 requests,
+//! - and the networks' delivery logs are drained (the specialized
+//!   engine does not maintain them).
+//!
+//! Anything else falls back to the generic engine, bumps the
+//! `engine.fallback` obs counter when metrics are live, and — under
+//! `CEDAR_ENGINE=specialized`, where the user explicitly demanded the
+//! fast path — logs the reason once per fabric.
+//!
+//! # SoA layout and event masks
+//!
+//! Each network becomes a [`SpecNet`]: per-port switch queues as
+//! power-of-two ring buffers over flat `Vec<u64>` (packet id) and
+//! `Vec<u32>` (packed dest/src/words/index/kind meta) lanes, wormhole
+//! locks as `i8` lanes (−1 = unlocked), round-robin pointers as `u8`,
+//! and the inject/exit FIFOs and exit-progress trackers as parallel
+//! lanes. The memory modules likewise flatten into a [`SpecModules`].
+//!
+//! The throughput win over a straight SoA transcription comes from
+//! replacing every per-cycle scan with an incrementally maintained
+//! bitmask:
+//!
+//! - `cand[q_out]` — for each switch output, the set of unlocked
+//!   inputs whose buffered *header* word routes to it. Updated when a
+//!   word enters an empty unlocked input, when a grant consumes a
+//!   header, and when a tail unlocks an input — never by scanning.
+//!   Arbitration becomes two shifts and a `trailing_zeros`.
+//! - `grantable[gsw]` — outputs that are locked mid-packet or have a
+//!   candidate; `transfer` walks `grantable & !out_full` instead of
+//!   all `radix` outputs.
+//! - `out_nonempty[gsw]` / `out_full[gsw]` — drive the link and exit
+//!   phases straight to occupied queues.
+//! - `inj_mask` / `exit_mask` — ports with buffered inject/exit words,
+//!   so injection, module service and reply ejection touch only live
+//!   ports.
+//!
+//! `import` copies a generic network in (building the masks once),
+//! `export` writes the exact generic representation back, so a
+//! checkpoint taken after a specialized run is byte-identical to one
+//! from a generic run.
+
+use super::*;
+use crate::network::INJECT_FIFO_WORDS;
+
+/// Environment variable selecting the execution engine:
+/// `generic`, `specialized`, or `auto` (the default).
+pub const ENGINE_ENV: &str = "CEDAR_ENGINE";
+
+/// Which execution engine a fabric uses for experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Always interpret with the generic engine.
+    Generic,
+    /// Demand the specialized engine; ineligible configurations still
+    /// fall back to generic, but loudly (one log line per fabric).
+    Specialized,
+    /// Specialize when eligible, fall back silently otherwise.
+    Auto,
+}
+
+impl EngineKind {
+    /// Reads the engine selection from [`ENGINE_ENV`]. Unset or
+    /// unrecognized values select [`EngineKind::Auto`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(ENGINE_ENV).as_deref() {
+            Ok("generic") => EngineKind::Generic,
+            Ok("specialized") => EngineKind::Specialized,
+            _ => EngineKind::Auto,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed word metadata: dest | src | words | index | kind in one u32.
+// The eligibility bound of 4096 ports keeps dest and src in 12 bits;
+// MAX_PACKET_WORDS = 4 keeps words and index in 3.
+// ---------------------------------------------------------------------------
+
+const META_PORT_MASK: u32 = 0xFFF;
+const META_SRC_SHIFT: u32 = 12;
+const META_WORDS_SHIFT: u32 = 24;
+const META_INDEX_SHIFT: u32 = 27;
+const META_KIND_SHIFT: u32 = 30;
+
+#[inline]
+fn kind_tag(kind: PacketKind) -> u32 {
+    match kind {
+        PacketKind::ReadRequest => 0,
+        PacketKind::Write => 1,
+        PacketKind::SyncOp => 2,
+        PacketKind::Reply => 3,
+    }
+}
+
+#[inline]
+fn kind_from_tag(tag: u32) -> PacketKind {
+    match tag & 3 {
+        0 => PacketKind::ReadRequest,
+        1 => PacketKind::Write,
+        2 => PacketKind::SyncOp,
+        _ => PacketKind::Reply,
+    }
+}
+
+#[inline]
+fn pack_packet_meta(p: &Packet) -> u32 {
+    debug_assert!(p.dest as u32 <= META_PORT_MASK && p.src as u32 <= META_PORT_MASK);
+    p.dest as u32
+        | (p.src as u32) << META_SRC_SHIFT
+        | u32::from(p.words) << META_WORDS_SHIFT
+        | kind_tag(p.kind) << META_KIND_SHIFT
+}
+
+#[inline]
+fn pack_word_meta(w: &Word) -> u32 {
+    pack_packet_meta(&w.packet) | u32::from(w.index) << META_INDEX_SHIFT
+}
+
+#[inline]
+fn unpack_packet(id: u64, meta: u32) -> Packet {
+    // Constructed literally (the fields are pub) so the index bits of
+    // word metas are ignored without a round-trip through `Packet::new`.
+    Packet {
+        id: PacketId(id),
+        src: meta_src(meta) as usize,
+        dest: (meta & META_PORT_MASK) as usize,
+        words: meta_words(meta) as u8,
+        kind: kind_from_tag(meta >> META_KIND_SHIFT),
+    }
+}
+
+#[inline]
+fn unpack_word(id: u64, meta: u32) -> Word {
+    Word {
+        packet: unpack_packet(id, meta),
+        index: meta_index(meta) as u8,
+    }
+}
+
+#[inline]
+fn meta_dest(meta: u32) -> u32 {
+    meta & META_PORT_MASK
+}
+
+#[inline]
+fn meta_src(meta: u32) -> u32 {
+    (meta >> META_SRC_SHIFT) & META_PORT_MASK
+}
+
+#[inline]
+fn meta_words(meta: u32) -> u32 {
+    (meta >> META_WORDS_SHIFT) & 7
+}
+
+#[inline]
+fn meta_index(meta: u32) -> u32 {
+    (meta >> META_INDEX_SHIFT) & 7
+}
+
+#[inline]
+fn meta_kind(meta: u32) -> u32 {
+    meta >> META_KIND_SHIFT
+}
+
+/// Whether a word meta is its packet's last word.
+#[inline]
+fn meta_is_tail(meta: u32) -> bool {
+    meta_index(meta) + 1 == meta_words(meta)
+}
+
+/// The reply a served request produces, as a packed meta: src and dest
+/// swapped, one word, `Reply` kind. Mirrors `Packet::reply`.
+#[inline]
+fn reply_meta(meta: u32) -> Option<u32> {
+    match kind_from_tag(meta_kind(meta)) {
+        PacketKind::ReadRequest | PacketKind::SyncOp => Some(
+            meta_src(meta)
+                | meta_dest(meta) << META_SRC_SHIFT
+                | 1 << META_WORDS_SHIFT
+                | kind_tag(PacketKind::Reply) << META_KIND_SHIFT,
+        ),
+        PacketKind::Write | PacketKind::Reply => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpecNet: one omega network flattened into SoA lanes.
+// ---------------------------------------------------------------------------
+
+/// One buffered word: packet id plus packed meta, stored together so a
+/// queue operation costs one indexed access instead of two.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    id: u64,
+    meta: u32,
+}
+
+/// One exit-FIFO word: a [`Slot`] plus the cycle it left the network.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExitSlot {
+    id: u64,
+    at: u64,
+    meta: u32,
+}
+
+/// Ring-buffer state packed into one `u16`: head in the low byte, live
+/// length in the high byte (capacities are bounded at 64 by
+/// eligibility, so both fit with room to spare).
+#[inline]
+fn hl_pack(head: usize, len: usize) -> u16 {
+    (head | len << 8) as u16
+}
+
+#[inline]
+fn hl_head(hl: u16) -> usize {
+    (hl & 0xFF) as usize
+}
+
+#[inline]
+fn hl_len(hl: u16) -> usize {
+    (hl >> 8) as usize
+}
+
+/// Lock byte meaning "no lock held" in a packed queue-state word.
+const ST_NO_LOCK: u32 = 0xFF;
+
+/// Switch-queue state packed into one `u32`: ring head in bits 0..8,
+/// live length in bits 8..16, wormhole lock in bits 16..24
+/// ([`ST_NO_LOCK`] when unlocked, else the peer port number; radix is
+/// bounded at 64 by eligibility so a real port never collides with
+/// the sentinel). One load yields everything the grant path needs to
+/// know about a queue, and one store commits a pop/push plus a lock
+/// transition.
+#[inline]
+fn st_pack(head: usize, len: usize, lock: u32) -> u32 {
+    (head | len << 8) as u32 | lock << 16
+}
+
+#[inline]
+fn st_head(st: u32) -> usize {
+    (st & 0xFF) as usize
+}
+
+#[inline]
+fn st_len(st: u32) -> usize {
+    ((st >> 8) & 0xFF) as usize
+}
+
+#[inline]
+fn st_lock(st: u32) -> u32 {
+    st >> 16
+}
+
+/// Bounds-check-free lane read for the hot stepping paths. Every index
+/// is derived from dimensions validated by `specialization_blocker`
+/// (port/switch/queue arithmetic over fixed lane shapes), and debug
+/// builds — including the whole test suite and the differential fuzz
+/// run — verify each access. Release builds skip the redundant check:
+/// the specialized engine's inner loops index a dozen lanes per word
+/// moved, and the elided compare/branch pairs are a measurable share
+/// of its per-event budget.
+#[inline(always)]
+fn ld<T: Copy>(lane: &[T], i: usize) -> T {
+    debug_assert!(i < lane.len(), "lane index out of bounds");
+    // SAFETY: `i` is in bounds — checked in debug builds above, and
+    // derived from eligibility-validated dims at every call site.
+    unsafe { *lane.get_unchecked(i) }
+}
+
+/// Bounds-check-free lane slot for writes; see [`ld`].
+#[inline(always)]
+fn at<T>(lane: &mut [T], i: usize) -> &mut T {
+    debug_assert!(i < lane.len(), "lane index out of bounds");
+    // SAFETY: `i` is in bounds — checked in debug builds above, and
+    // derived from eligibility-validated dims at every call site.
+    unsafe { lane.get_unchecked_mut(i) }
+}
+
+/// A generic [`OmegaNetwork`] compiled into flat lanes for the
+/// duration of one specialized drive. Queue indices: switch-port queue
+/// `q = (stage * switches + sw) * radix + port`, ring slot
+/// `q * qcap + ((head + i) & qmask)`.
+struct SpecNet {
+    // Dimensions and derived masks.
+    ports: usize,
+    radix: usize,
+    rbits: u32,
+    rmask: usize,
+    switches: usize,
+    queue_words: usize,
+    qcap: usize,
+    qshift: u32,
+    qmask: usize,
+    exit_cap: usize,
+    eshift: u32,
+    emask: usize,
+    ratio: u64,
+    // Topology tables (`inv_shuffle` inverts `shuffle`, mapping a
+    // stage input position back to the upstream output that feeds it).
+    shuffle: Vec<u32>,
+    inv_shuffle: Vec<u32>,
+    dest_shift: [u32; 4],
+    /// First global switch index of the last stage.
+    last_base: usize,
+    // Switch input/output queues: ring buffers over flat slot lanes,
+    // with head, live length and wormhole lock packed per queue into
+    // one `u32` state word (see `st_pack`) so the grant path reads and
+    // writes each queue's full state in a single lane access.
+    in_q: Vec<Slot>,
+    in_st: Vec<u32>,
+    out_q: Vec<Slot>,
+    out_st: Vec<u32>,
+    // Wormhole lock ids (valid while the output lock is held) and
+    // round-robin pointers.
+    output_lock_id: Vec<u64>,
+    rr_next: Vec<u8>,
+    // Event masks (see the module docs). `cand` is indexed by output
+    // queue; the per-switch masks are indexed by global switch.
+    cand: Vec<u64>,
+    grantable: Vec<u64>,
+    out_nonempty: Vec<u64>,
+    out_full: Vec<u64>,
+    // Backpressure masks: a bit is set when a word provably cannot
+    // move (full exit FIFO behind a last-stage output, full downstream
+    // input behind a link, full stage-0 input behind an injection
+    // FIFO) and cleared event-driven by the pop that makes space — so
+    // congested traffic is never rescanned cycle after cycle.
+    exit_blocked: Vec<u64>,
+    link_blocked: Vec<u64>,
+    inj_blocked: Vec<u64>,
+    // Per-switch switched-word counters (exported back verbatim).
+    words_switched: Vec<u64>,
+    // Injection FIFOs (cap INJECT_FIFO_WORDS per source port).
+    inj_q: Vec<Slot>,
+    inj_hl: Vec<u16>,
+    inj_mask: Vec<u64>,
+    inj_words: u64,
+    // Exit FIFOs per output position (caps can exceed 255, so head and
+    // len stay unpacked).
+    exit_q: Vec<ExitSlot>,
+    exit_head: Vec<u32>,
+    exit_len: Vec<u32>,
+    exit_mask: Vec<u64>,
+    // Exit-progress trackers (ExitProgress, SoA form).
+    prog_live: Vec<bool>,
+    prog_id: Vec<u64>,
+    prog_meta: Vec<u32>,
+    prog_head_exit: Vec<u64>,
+    prog_seen: Vec<u8>,
+    // Clocks and counters.
+    now: u64,
+    words_injected: u64,
+    words_exited: u64,
+    /// Total words anywhere in the network (inject + switch + exit).
+    /// `buffered == 0` is exactly the generic `is_idle()`.
+    buffered: u64,
+    /// Buffered words belonging to multi-word packets. While zero, no
+    /// wormhole lock can exist anywhere in the network and the
+    /// monomorphic single-word transfer variant is exact.
+    multiword_words: u64,
+}
+
+impl SpecNet {
+    /// Compiles a generic network into lanes. The caller (eligibility
+    /// check) guarantees the dimension bounds; the network is copied,
+    /// not drained.
+    fn import(net: &OmegaNetwork) -> SpecNet {
+        let cfg = net.cfg;
+        let radix = cfg.radix;
+        let stages_n = cfg.stages;
+        let ports = cfg.ports();
+        let switches = ports / radix;
+        let queue_words = cfg.queue_words;
+        let qcap = queue_words.next_power_of_two();
+        let exit_cap = cfg.exit_fifo_words;
+        let ecap = exit_cap.next_power_of_two();
+        let nq = stages_n * switches * radix;
+        let nsw = stages_n * switches;
+        let pwords = ports.div_ceil(64);
+        let mut spec = SpecNet {
+            ports,
+            radix,
+            rbits: radix.trailing_zeros(),
+            rmask: radix - 1,
+            switches,
+            queue_words,
+            qcap,
+            qshift: qcap.trailing_zeros(),
+            qmask: qcap - 1,
+            exit_cap,
+            eshift: ecap.trailing_zeros(),
+            emask: ecap - 1,
+            ratio: cfg.net_cycles_per_ce_cycle,
+            shuffle: vec![0; ports],
+            inv_shuffle: vec![0; ports],
+            dest_shift: [0; 4],
+            last_base: (stages_n - 1) * switches,
+            in_q: vec![Slot::default(); nq * qcap],
+            in_st: vec![st_pack(0, 0, ST_NO_LOCK); nq],
+            out_q: vec![Slot::default(); nq * qcap],
+            out_st: vec![st_pack(0, 0, ST_NO_LOCK); nq],
+            output_lock_id: vec![0; nq],
+            rr_next: vec![0; nq],
+            cand: vec![0; nq],
+            grantable: vec![0; nsw],
+            out_nonempty: vec![0; nsw],
+            out_full: vec![0; nsw],
+            exit_blocked: vec![0; nsw],
+            link_blocked: vec![0; nsw],
+            inj_blocked: vec![0; pwords],
+            words_switched: vec![0; nsw],
+            inj_q: vec![Slot::default(); ports * INJECT_FIFO_WORDS],
+            inj_hl: vec![0; ports],
+            inj_mask: vec![0; pwords],
+            inj_words: 0,
+            exit_q: vec![ExitSlot::default(); ports * ecap],
+            exit_head: vec![0; ports],
+            exit_len: vec![0; ports],
+            exit_mask: vec![0; pwords],
+            prog_live: vec![false; ports],
+            prog_id: vec![0; ports],
+            prog_meta: vec![0; ports],
+            prog_head_exit: vec![0; ports],
+            prog_seen: vec![0; ports],
+            now: net.now,
+            words_injected: net.words_injected,
+            words_exited: net.words_exited,
+            buffered: 0,
+            multiword_words: 0,
+        };
+        for pos in 0..ports {
+            let shuffled = net.topo.shuffle(pos);
+            spec.shuffle[pos] = shuffled as u32;
+            spec.inv_shuffle[shuffled] = pos as u32;
+        }
+        for s in 0..stages_n {
+            spec.dest_shift[s] = spec.rbits * (stages_n - 1 - s) as u32;
+        }
+        for (s, stage) in net.stages.iter().enumerate() {
+            for (sw, cb) in stage.iter().enumerate() {
+                let gsw = s * switches + sw;
+                spec.words_switched[gsw] = cb.words_switched;
+                for port in 0..radix {
+                    let q = gsw * radix + port;
+                    for (i, w) in cb.inputs[port].iter().enumerate() {
+                        spec.in_q[q * qcap + i] = Slot {
+                            id: w.packet.id.0,
+                            meta: pack_word_meta(w),
+                        };
+                    }
+                    let in_lock = cb.input_lock[port].map_or(ST_NO_LOCK, |o| o as u32);
+                    spec.in_st[q] = st_pack(0, cb.inputs[port].len(), in_lock);
+                    for (i, w) in cb.outputs[port].iter().enumerate() {
+                        spec.out_q[q * qcap + i] = Slot {
+                            id: w.packet.id.0,
+                            meta: pack_word_meta(w),
+                        };
+                    }
+                    let out_lock = match cb.output_lock[port] {
+                        Some((input, id)) => {
+                            spec.output_lock_id[q] = id.0;
+                            input as u32
+                        }
+                        None => ST_NO_LOCK,
+                    };
+                    spec.out_st[q] = st_pack(0, cb.outputs[port].len(), out_lock);
+                    spec.buffered += (cb.inputs[port].len() + cb.outputs[port].len()) as u64;
+                    spec.rr_next[q] = cb.rr_next[port] as u8;
+                    // Seed the event masks from this port's settled state.
+                    if !cb.outputs[port].is_empty() {
+                        spec.out_nonempty[gsw] |= 1u64 << port;
+                    }
+                    if cb.outputs[port].len() == queue_words {
+                        spec.out_full[gsw] |= 1u64 << port;
+                    }
+                    if out_lock != ST_NO_LOCK {
+                        spec.grantable[gsw] |= 1u64 << port;
+                    }
+                    if !cb.inputs[port].is_empty() && in_lock == ST_NO_LOCK {
+                        spec.add_candidate(s, gsw, port);
+                    }
+                }
+            }
+        }
+        for (src, fifo) in net.inject_fifo.iter().enumerate() {
+            for (i, w) in fifo.iter().enumerate() {
+                spec.inj_q[src * INJECT_FIFO_WORDS + i] = Slot {
+                    id: w.packet.id.0,
+                    meta: pack_word_meta(w),
+                };
+            }
+            spec.inj_hl[src] = hl_pack(0, fifo.len());
+            if !fifo.is_empty() {
+                spec.inj_mask[src >> 6] |= 1u64 << (src & 63);
+            }
+            spec.inj_words += fifo.len() as u64;
+            spec.buffered += fifo.len() as u64;
+        }
+        for (pos, fifo) in net.exit_fifo.iter().enumerate() {
+            for (i, &(w, at)) in fifo.iter().enumerate() {
+                spec.exit_q[pos * ecap + i] = ExitSlot {
+                    id: w.packet.id.0,
+                    at,
+                    meta: pack_word_meta(&w),
+                };
+            }
+            spec.exit_len[pos] = fifo.len() as u32;
+            if !fifo.is_empty() {
+                spec.exit_mask[pos >> 6] |= 1u64 << (pos & 63);
+            }
+            spec.buffered += fifo.len() as u64;
+        }
+        for (pos, progress) in net.exit_progress.iter().enumerate() {
+            if let Some(p) = progress {
+                spec.prog_live[pos] = true;
+                spec.prog_id[pos] = p.packet.id.0;
+                spec.prog_meta[pos] = pack_packet_meta(&p.packet);
+                spec.prog_head_exit[pos] = p.head_exit;
+                spec.prog_seen[pos] = p.words_seen;
+            }
+        }
+        debug_assert!(net.delivered.is_empty(), "undrained delivery log");
+        // Seed the multi-word census from the buffered slots (every
+        // ring head is zero at import, so live slots are contiguous).
+        for q in 0..nq {
+            for i in 0..st_len(spec.in_st[q]) {
+                spec.multiword_words += u64::from(meta_words(spec.in_q[q * qcap + i].meta) > 1);
+            }
+            for i in 0..st_len(spec.out_st[q]) {
+                spec.multiword_words += u64::from(meta_words(spec.out_q[q * qcap + i].meta) > 1);
+            }
+        }
+        for src in 0..ports {
+            for i in 0..hl_len(spec.inj_hl[src]) {
+                spec.multiword_words +=
+                    u64::from(meta_words(spec.inj_q[src * INJECT_FIFO_WORDS + i].meta) > 1);
+            }
+        }
+        for pos in 0..ports {
+            for i in 0..spec.exit_len[pos] as usize {
+                spec.multiword_words += u64::from(meta_words(spec.exit_q[pos * ecap + i].meta) > 1);
+            }
+        }
+        spec
+    }
+
+    /// Writes the lanes back into the generic representation. After
+    /// this, `net` is byte-identical (under `Snapshot`) to the network
+    /// a generic run would have produced.
+    fn export(&self, net: &mut OmegaNetwork) {
+        let radix = self.radix;
+        let switches = self.switches;
+        let qcap = self.qcap;
+        let qmask = self.qmask;
+        for (s, stage) in net.stages.iter_mut().enumerate() {
+            for (sw, cb) in stage.iter_mut().enumerate() {
+                let gsw = s * switches + sw;
+                cb.words_switched = self.words_switched[gsw];
+                for port in 0..radix {
+                    let q = gsw * radix + port;
+                    let ist = self.in_st[q];
+                    cb.inputs[port].clear();
+                    for i in 0..st_len(ist) {
+                        let s = self.in_q[q * qcap + ((st_head(ist) + i) & qmask)];
+                        cb.inputs[port].push_back(unpack_word(s.id, s.meta));
+                    }
+                    let ost = self.out_st[q];
+                    cb.outputs[port].clear();
+                    for i in 0..st_len(ost) {
+                        let s = self.out_q[q * qcap + ((st_head(ost) + i) & qmask)];
+                        cb.outputs[port].push_back(unpack_word(s.id, s.meta));
+                    }
+                    cb.input_lock[port] =
+                        (st_lock(ist) != ST_NO_LOCK).then(|| st_lock(ist) as usize);
+                    cb.output_lock[port] = (st_lock(ost) != ST_NO_LOCK)
+                        .then(|| (st_lock(ost) as usize, PacketId(self.output_lock_id[q])));
+                    cb.rr_next[port] = self.rr_next[q] as usize;
+                }
+            }
+        }
+        for (src, fifo) in net.inject_fifo.iter_mut().enumerate() {
+            fifo.clear();
+            for i in 0..hl_len(self.inj_hl[src]) {
+                let slot =
+                    src * INJECT_FIFO_WORDS + ((hl_head(self.inj_hl[src]) + i) % INJECT_FIFO_WORDS);
+                fifo.push_back(unpack_word(self.inj_q[slot].id, self.inj_q[slot].meta));
+            }
+        }
+        for (pos, fifo) in net.exit_fifo.iter_mut().enumerate() {
+            fifo.clear();
+            for i in 0..self.exit_len[pos] as usize {
+                let s = self.exit_q
+                    [(pos << self.eshift) + ((self.exit_head[pos] as usize + i) & self.emask)];
+                fifo.push_back((unpack_word(s.id, s.meta), s.at));
+            }
+        }
+        for (pos, progress) in net.exit_progress.iter_mut().enumerate() {
+            *progress = self.prog_live[pos].then(|| crate::network::ExitProgress {
+                packet: unpack_packet(self.prog_id[pos], self.prog_meta[pos]),
+                head_exit: self.prog_head_exit[pos],
+                words_seen: self.prog_seen[pos],
+            });
+        }
+        net.now = self.now;
+        net.words_injected = self.words_injected;
+        net.words_exited = self.words_exited;
+        // `delivered` was empty at import (eligibility) and the
+        // specialized engine never appends to it; nothing to write.
+    }
+
+    /// Registers input `input` of switch `gsw` (stage `s`) as an
+    /// arbitration candidate for the output its buffered header word
+    /// routes to. The input must be unlocked and non-empty; by the
+    /// wormhole invariant its head word is then a header.
+    #[inline]
+    fn add_candidate(&mut self, s: usize, gsw: usize, input: usize) {
+        let q_in = (gsw << self.rbits) + input;
+        let st = ld(&self.in_st, q_in);
+        debug_assert!(st_len(st) > 0 && st_lock(st) == ST_NO_LOCK);
+        let meta = ld(&self.in_q, (q_in << self.qshift) + st_head(st)).meta;
+        debug_assert_eq!(meta_index(meta), 0, "continuation word on unlocked input");
+        let out = (meta_dest(meta) >> self.dest_shift[s]) as usize & self.rmask;
+        *at(&mut self.cand, (gsw << self.rbits) + out) |= 1u64 << input;
+        *at(&mut self.grantable, gsw) |= 1u64 << out;
+    }
+
+    /// Appends a word to a switch input queue, maintaining the
+    /// candidate mask. The caller has already checked capacity.
+    #[inline]
+    fn push_switch_input(&mut self, s: usize, gsw: usize, input: usize, id: u64, meta: u32) {
+        let q = (gsw << self.rbits) + input;
+        let st = ld(&self.in_st, q);
+        debug_assert!(st_len(st) < self.queue_words);
+        *at(
+            &mut self.in_q,
+            (q << self.qshift) + ((st_head(st) + st_len(st)) & self.qmask),
+        ) = Slot { id, meta };
+        *at(&mut self.in_st, q) = st + 0x100;
+        // A word landing in an empty unlocked queue is a header (the
+        // wormhole invariant) and becomes the queue's candidate.
+        if st_len(st) == 0 && st_lock(st) == ST_NO_LOCK {
+            self.add_candidate(s, gsw, input);
+        }
+    }
+
+    /// Pops the head word of a switch output queue, maintaining the
+    /// caller's register-resident occupancy masks. The caller has
+    /// already checked non-emptiness.
+    #[inline]
+    fn pop_out_local(&mut self, gsw: usize, out: usize, ne: &mut u64, fl: &mut u64) -> (u64, u32) {
+        let q = (gsw << self.rbits) + out;
+        let st = ld(&self.out_st, q);
+        debug_assert!(st_len(st) > 0);
+        let s = ld(&self.out_q, (q << self.qshift) + st_head(st));
+        *at(&mut self.out_st, q) =
+            st_pack((st_head(st) + 1) & self.qmask, st_len(st) - 1, st_lock(st));
+        *ne &= !(u64::from(st_len(st) == 1) << out);
+        *fl &= !(1u64 << out);
+        (s.id, s.meta)
+    }
+
+    /// One network cycle, the monomorphized counterpart of
+    /// `OmegaNetwork::step` with obs/fault hooks compiled out. `S` is
+    /// the stage count.
+    ///
+    /// The generic phase order is exits → links (per stage) →
+    /// transfers (per stage) → injection. Exits and links drain
+    /// disjoint queues, the link stages are mutually disjoint, and a
+    /// stage's transfer touches only its own switch state (plus
+    /// already-stored upstream blocked masks) — so the phases can be
+    /// interleaved per switch, provided each switch drains before it
+    /// transfers and every link into a stage-`s+1` input queue runs
+    /// before that stage's pass. Fusing this way keeps each switch's
+    /// occupancy masks in registers across both halves of its cycle
+    /// and walks the switch state once per cycle instead of once per
+    /// phase.
+    fn step<const S: usize>(&mut self) {
+        // One predictable branch per cycle: with no multi-word packet
+        // buffered anywhere, wormhole locks cannot engage and the
+        // lock-free monomorphic transfer is exact.
+        if self.multiword_words == 0 {
+            self.step_inner::<S, false>();
+        } else {
+            self.step_inner::<S, true>();
+        }
+    }
+
+    fn step_inner<const S: usize, const MULTI: bool>(&mut self) {
+        self.now += 1;
+        for s in 0..S {
+            let last = s + 1 == S;
+            for sw in 0..self.switches {
+                let gsw = s * self.switches + sw;
+                let mut ne = ld(&self.out_nonempty, gsw);
+                let mut fl = ld(&self.out_full, gsw);
+                let g = ld(&self.grantable, gsw);
+                if ne | g == 0 {
+                    continue; // nothing buffered, nothing grantable
+                }
+                if last {
+                    self.collect_exits_sw(gsw, sw, &mut ne, &mut fl);
+                } else {
+                    self.link_sw(s, gsw, sw, &mut ne, &mut fl);
+                }
+                if g & !fl != 0 {
+                    self.transfer::<MULTI>(s, gsw, g, &mut ne, &mut fl);
+                }
+                *at(&mut self.out_nonempty, gsw) = ne;
+                *at(&mut self.out_full, gsw) = fl;
+            }
+        }
+        self.injection();
+    }
+
+    /// One last-stage switch → its exit FIFOs. Mirrors the generic
+    /// order: the exit capacity check happens before the pop, and at
+    /// most one word exits per position per cycle.
+    fn collect_exits_sw(&mut self, gsw: usize, sw: usize, ne: &mut u64, fl: &mut u64) {
+        let mut m = *ne & !ld(&self.exit_blocked, gsw);
+        while m != 0 {
+            let out = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let pos = (sw << self.rbits) + out;
+            let elen = ld(&self.exit_len, pos) as usize;
+            if elen >= self.exit_cap {
+                *at(&mut self.exit_blocked, gsw) |= 1u64 << out;
+                continue;
+            }
+            let (id, meta) = self.pop_out_local(gsw, out, ne, fl);
+            let eslot =
+                (pos << self.eshift) + ((ld(&self.exit_head, pos) as usize + elen) & self.emask);
+            *at(&mut self.exit_q, eslot) = ExitSlot {
+                id,
+                at: self.now,
+                meta,
+            };
+            *at(&mut self.exit_len, pos) += 1;
+            *at(&mut self.exit_mask, pos >> 6) |= 1u64 << (pos & 63);
+            self.words_exited += 1;
+        }
+    }
+
+    /// One switch's inter-stage shuffle links into stage `s + 1`. The
+    /// link stages drain mutually disjoint queues, so the per-stage
+    /// processing order is free.
+    fn link_sw(&mut self, s: usize, gsw: usize, sw: usize, ne: &mut u64, fl: &mut u64) {
+        let mut m = *ne & !ld(&self.link_blocked, gsw);
+        while m != 0 {
+            let out = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let shuffled = ld(&self.shuffle, (sw << self.rbits) + out) as usize;
+            let ngsw = (s + 1) * self.switches + (shuffled >> self.rbits);
+            let nin = shuffled & self.rmask;
+            if st_len(ld(&self.in_st, (ngsw << self.rbits) + nin)) >= self.queue_words {
+                *at(&mut self.link_blocked, gsw) |= 1u64 << out;
+                continue;
+            }
+            let (id, meta) = self.pop_out_local(gsw, out, ne, fl);
+            self.push_switch_input(s + 1, ngsw, nin, id, meta);
+        }
+    }
+
+    /// One switch's internal transfer cycle: the exact generic
+    /// `Crossbar::transfer`, outputs processed in ascending order over
+    /// live state (so one input can feed several outputs in a cycle,
+    /// as the generic switch allows) — but walking only the grantable,
+    /// non-full outputs. The per-switch event masks live in registers
+    /// for the whole call, and the grant body is written with
+    /// arithmetic selects instead of data-dependent branches: the
+    /// moved-word path has exactly two unpredictable branches left
+    /// (the empty-locked-input skip and the next-header re-expose).
+    fn transfer<const MULTI: bool>(
+        &mut self,
+        s: usize,
+        gsw: usize,
+        mut g: u64,
+        ne: &mut u64,
+        fl: &mut u64,
+    ) {
+        let base = gsw << self.rbits;
+        let mut switched = 0u64;
+        let mut from = 0usize;
+        while from < self.radix {
+            let active = g & !*fl & (!0u64 << from);
+            if active == 0 {
+                break;
+            }
+            let out = active.trailing_zeros() as usize;
+            from = out + 1;
+            let q_out = base + out;
+            let ost = ld(&self.out_st, q_out);
+            debug_assert!(
+                MULTI || st_lock(ost) == ST_NO_LOCK,
+                "lock without multi-word packet"
+            );
+            let lock_in = if MULTI { st_lock(ost) } else { ST_NO_LOCK };
+            let unlocked = lock_in == ST_NO_LOCK;
+            // Round-robin: first candidate at or after rr_next,
+            // wrapping. Under a held lock the selection is ignored and
+            // the pointer written back unchanged — a select, not a
+            // branch.
+            let m = ld(&self.cand, q_out);
+            debug_assert!(
+                !unlocked || m != 0,
+                "grantable output with no lock and no candidates"
+            );
+            let start = u32::from(ld(&self.rr_next, q_out));
+            let hi = m >> start;
+            let rr_pick = if hi != 0 {
+                (start + hi.trailing_zeros()) as usize
+            } else {
+                m.trailing_zeros() as usize
+            };
+            let input = if unlocked { rr_pick } else { lock_in as usize };
+            *at(&mut self.rr_next, q_out) = if unlocked {
+                ((rr_pick + 1) & self.rmask) as u8
+            } else {
+                start as u8
+            };
+            let q_in = base + input;
+            let ist = ld(&self.in_st, q_in);
+            let ilen = st_len(ist);
+            debug_assert!(MULTI || ilen > 0, "empty candidate input");
+            if MULTI && ilen == 0 {
+                continue; // locked input has no word buffered yet
+            }
+            let Slot { id, meta } = ld(&self.in_q, (q_in << self.qshift) + st_head(ist));
+            debug_assert!(
+                unlocked || self.output_lock_id[q_out] == id,
+                "wormhole violation: interleaved packet on a locked output"
+            );
+            debug_assert!(
+                MULTI || meta_words(meta) == 1,
+                "multi-word word past the census"
+            );
+            let index = meta_index(meta);
+            let tail = !MULTI || index + 1 == meta_words(meta);
+            let first = !MULTI || index == 0;
+            // Lock transitions: a tail releases both sides, a non-tail
+            // header locks both, anything else leaves them unchanged.
+            let new_ilock = if tail {
+                ST_NO_LOCK
+            } else if first {
+                out as u32
+            } else {
+                st_lock(ist)
+            };
+            let new_olock = if tail {
+                ST_NO_LOCK
+            } else if first {
+                input as u32
+            } else {
+                lock_in
+            };
+            *at(&mut self.in_st, q_in) =
+                st_pack((st_head(ist) + 1) & self.qmask, ilen - 1, new_ilock);
+            // Popping a full input queue makes space for whatever was
+            // backpressured behind it: the upstream link (s > 0) or
+            // the source injection FIFO (s == 0).
+            if ilen == self.queue_words {
+                let up = ld(
+                    &self.inv_shuffle,
+                    (gsw - s * self.switches) * self.radix + input,
+                ) as usize;
+                if s == 0 {
+                    *at(&mut self.inj_blocked, up >> 6) &= !(1u64 << (up & 63));
+                } else {
+                    *at(
+                        &mut self.link_blocked,
+                        (s - 1) * self.switches + (up >> self.rbits),
+                    ) &= !(1u64 << (up & self.rmask));
+                }
+            }
+            // The lock id is only read while the lock is held, so the
+            // store can be unconditional (a held lock's id already
+            // equals `id` by the wormhole invariant).
+            if MULTI {
+                *at(&mut self.output_lock_id, q_out) = id;
+            }
+            *at(&mut self.cand, q_out) = m & !(u64::from(unlocked) << input);
+            // An input left unlocked with words buffered exposes its
+            // next header for arbitration.
+            if new_ilock == ST_NO_LOCK && ilen > 1 {
+                let meta2 = ld(
+                    &self.in_q,
+                    (q_in << self.qshift) + ((st_head(ist) + 1) & self.qmask),
+                )
+                .meta;
+                debug_assert_eq!(meta_index(meta2), 0, "continuation word on unlocked input");
+                let out2 = (meta_dest(meta2) >> self.dest_shift[s]) as usize & self.rmask;
+                *at(&mut self.cand, base + out2) |= 1u64 << input;
+                g |= 1u64 << out2;
+            }
+            let still = new_olock != ST_NO_LOCK || ld(&self.cand, q_out) != 0;
+            g = (g & !(1u64 << out)) | u64::from(still) << out;
+            let ohead = st_head(ost);
+            let olen = st_len(ost);
+            *at(
+                &mut self.out_q,
+                (q_out << self.qshift) + ((ohead + olen) & self.qmask),
+            ) = Slot { id, meta };
+            *at(&mut self.out_st, q_out) = st_pack(ohead, olen + 1, new_olock);
+            *ne |= 1u64 << out;
+            *fl |= u64::from(olen + 1 == self.queue_words) << out;
+            switched += 1;
+        }
+        *at(&mut self.grantable, gsw) = g;
+        *at(&mut self.words_switched, gsw) += switched;
+    }
+
+    /// Injection FIFOs → stage 0, on CE-cycle boundaries only.
+    fn injection(&mut self) {
+        if !self.now.is_multiple_of(self.ratio) || self.inj_words == 0 {
+            return;
+        }
+        for w in 0..self.inj_mask.len() {
+            let mut m = ld(&self.inj_mask, w) & !ld(&self.inj_blocked, w);
+            while m != 0 {
+                let src = (w << 6) + m.trailing_zeros() as usize;
+                m &= m - 1;
+                let pos = ld(&self.shuffle, src) as usize;
+                let gsw = pos >> self.rbits;
+                let input = pos & self.rmask;
+                if st_len(ld(&self.in_st, (gsw << self.rbits) + input)) >= self.queue_words {
+                    *at(&mut self.inj_blocked, w) |= 1u64 << (src & 63);
+                    continue;
+                }
+                let hl = ld(&self.inj_hl, src);
+                let Slot { id, meta } = ld(&self.inj_q, src * INJECT_FIFO_WORDS + hl_head(hl));
+                *at(&mut self.inj_hl, src) =
+                    hl_pack((hl_head(hl) + 1) % INJECT_FIFO_WORDS, hl_len(hl) - 1);
+                self.inj_words -= 1;
+                if hl_len(hl) == 1 {
+                    *at(&mut self.inj_mask, w) &= !(1u64 << (src & 63));
+                }
+                self.push_switch_input(0, gsw, input, id, meta);
+                self.words_injected += 1;
+            }
+        }
+    }
+
+    /// Offers a packet (as a packed meta) to the source-port injection
+    /// FIFO; all-or-nothing, exactly like `OmegaNetwork::try_inject`.
+    fn try_inject_meta(&mut self, src: usize, id: u64, meta: u32) -> bool {
+        let words = meta_words(meta) as usize;
+        let hl = ld(&self.inj_hl, src);
+        if hl_len(hl) + words > INJECT_FIFO_WORDS {
+            return false;
+        }
+        let base = meta & !(7 << META_INDEX_SHIFT);
+        for index in 0..words {
+            *at(
+                &mut self.inj_q,
+                src * INJECT_FIFO_WORDS + ((hl_head(hl) + hl_len(hl) + index) % INJECT_FIFO_WORDS),
+            ) = Slot {
+                id,
+                meta: base | (index as u32) << META_INDEX_SHIFT,
+            };
+        }
+        *at(&mut self.inj_hl, src) = hl + (words << 8) as u16;
+        *at(&mut self.inj_mask, src >> 6) |= 1u64 << (src & 63);
+        self.inj_words += words as u64;
+        self.buffered += words as u64;
+        if words > 1 {
+            self.multiword_words += words as u64;
+        }
+        true
+    }
+
+    /// Offers a packet's words to the source-port injection FIFO.
+    fn try_inject(&mut self, packet: Packet) -> bool {
+        debug_assert!(packet.src < self.ports && packet.dest < self.ports);
+        self.try_inject_meta(packet.src, packet.id.0, pack_packet_meta(&packet))
+    }
+
+    /// Pops an exit FIFO head, maintaining the exit-progress tracker
+    /// exactly like `OmegaNetwork::pop_output` (minus the delivery
+    /// log, which the fabric discards every cycle anyway).
+    fn pop_output(&mut self, pos: usize) -> Option<(u64, u32, u64)> {
+        let len = ld(&self.exit_len, pos);
+        if len == 0 {
+            return None;
+        }
+        let head = ld(&self.exit_head, pos) as usize;
+        let ExitSlot {
+            id,
+            at: exit_at,
+            meta,
+        } = ld(&self.exit_q, (pos << self.eshift) + head);
+        *at(&mut self.exit_head, pos) = ((head + 1) & self.emask) as u32;
+        *at(&mut self.exit_len, pos) = len - 1;
+        if len == 1 {
+            *at(&mut self.exit_mask, pos >> 6) &= !(1u64 << (pos & 63));
+        }
+        // Popping an exit FIFO makes space for the last-stage output
+        // word backpressured behind it.
+        if len as usize == self.exit_cap {
+            *at(&mut self.exit_blocked, self.last_base + (pos >> self.rbits)) &=
+                !(1u64 << (pos & self.rmask));
+        }
+        self.buffered -= 1;
+        // Progress tracking: a single-word packet at an idle exit
+        // opens and closes its tracker in one pop, which is a no-op on
+        // the lanes (the generic engine's set-then-clear leaves `None`
+        // behind too), so the common case skips the tracker entirely.
+        let words = meta_words(meta);
+        self.multiword_words -= u64::from(words > 1);
+        if ld(&self.prog_live, pos) {
+            debug_assert_eq!(self.prog_id[pos], id, "interleaved packets at one exit");
+            let seen = ld(&self.prog_seen, pos) + 1;
+            *at(&mut self.prog_seen, pos) = seen;
+            if u32::from(seen) == words {
+                *at(&mut self.prog_live, pos) = false;
+            }
+        } else if words > 1 {
+            *at(&mut self.prog_live, pos) = true;
+            *at(&mut self.prog_id, pos) = id;
+            *at(&mut self.prog_meta, pos) = meta & !(7 << META_INDEX_SHIFT);
+            *at(&mut self.prog_head_exit, pos) = exit_at;
+            *at(&mut self.prog_seen, pos) = 1;
+        }
+        Some((id, meta, exit_at))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpecModules: the per-port memory servers flattened into SoA lanes.
+// ---------------------------------------------------------------------------
+
+/// The fabric's `MemModule` array and partial-packet reassembly slots
+/// compiled into flat lanes for one specialized drive.
+///
+/// A module only does anything on a cycle where (a) a word is waiting
+/// at its forward exit, (b) it holds a reply awaiting reverse-network
+/// injection, or (c) its service timer expires with requests pending.
+/// (a) is the network's `exit_mask`; (b) is the `out_mask` bitset; (c)
+/// is a timing wheel of wake masks indexed by cycle modulo the service
+/// time — so a module busy for its whole service window costs nothing
+/// until the cycle it can actually serve, instead of a visit per
+/// cycle.
+struct SpecModules {
+    n: usize,
+    words: usize,
+    buf_cap: usize,
+    service: u64,
+    pshift: u32,
+    pmask: usize,
+    // Pending-request ring buffers.
+    pend_q: Vec<Slot>,
+    pend_head: Vec<u8>,
+    pend_len: Vec<u8>,
+    busy_until: Vec<u64>,
+    // Reply awaiting reverse-network injection.
+    out_live: Vec<bool>,
+    out_id: Vec<u64>,
+    out_meta: Vec<u32>,
+    served: Vec<u64>,
+    // Partial multi-word request being reassembled.
+    part_live: Vec<bool>,
+    part_id: Vec<u64>,
+    part_meta: Vec<u32>,
+    part_seen: Vec<u8>,
+    /// Bit `m`: module `m` holds a reply awaiting injection.
+    out_mask: Vec<u64>,
+    /// Wake masks, `wheel[(cycle % wheel_len) * words + w]`. A module
+    /// with pending requests always has a wake scheduled at its next
+    /// possible serve cycle; stale wakes are harmless no-op visits.
+    wheel_len: usize,
+    wheel: Vec<u64>,
+    /// Modules with pending requests or a live reply (fast-forward
+    /// eligibility in O(1)).
+    busy: usize,
+    /// Count of live partials (fast-forward eligibility in O(1)).
+    partials: usize,
+}
+
+impl SpecModules {
+    fn import(
+        modules: &[MemModule],
+        partial: &[Option<(Packet, u8)>],
+        buf_cap: usize,
+        service: u64,
+        now: u64,
+    ) -> SpecModules {
+        let n = modules.len();
+        let words = n.div_ceil(64).max(1);
+        let pcap = buf_cap.next_power_of_two();
+        let wheel_len = service.max(1) as usize + 1;
+        let mut spec = SpecModules {
+            n,
+            words,
+            buf_cap,
+            service,
+            pshift: pcap.trailing_zeros(),
+            pmask: pcap - 1,
+            pend_q: vec![Slot::default(); n * pcap],
+            pend_head: vec![0; n],
+            pend_len: vec![0; n],
+            busy_until: vec![0; n],
+            out_live: vec![false; n],
+            out_id: vec![0; n],
+            out_meta: vec![0; n],
+            served: vec![0; n],
+            part_live: vec![false; n],
+            part_id: vec![0; n],
+            part_meta: vec![0; n],
+            part_seen: vec![0; n],
+            out_mask: vec![0; words],
+            wheel_len,
+            wheel: vec![0; wheel_len * words],
+            busy: 0,
+            partials: 0,
+        };
+        for (i, m) in modules.iter().enumerate() {
+            debug_assert!(m.pending.len() <= buf_cap);
+            for (j, p) in m.pending.iter().enumerate() {
+                spec.pend_q[i * pcap + j] = Slot {
+                    id: p.id.0,
+                    meta: pack_packet_meta(p),
+                };
+            }
+            spec.pend_len[i] = m.pending.len() as u8;
+            spec.busy_until[i] = m.busy_until;
+            if let Some(p) = &m.outgoing {
+                spec.out_live[i] = true;
+                spec.out_id[i] = p.id.0;
+                spec.out_meta[i] = pack_packet_meta(p);
+                spec.out_mask[i >> 6] |= 1u64 << (i & 63);
+            }
+            spec.served[i] = m.served;
+            if spec.pend_len[i] > 0 || spec.out_live[i] {
+                spec.busy += 1;
+            }
+            if spec.pend_len[i] > 0 {
+                spec.schedule_wake(i, now);
+            }
+        }
+        for (i, slot) in partial.iter().enumerate() {
+            if let Some((p, seen)) = slot {
+                spec.part_live[i] = true;
+                spec.part_id[i] = p.id.0;
+                spec.part_meta[i] = pack_packet_meta(p);
+                spec.part_seen[i] = *seen;
+                spec.partials += 1;
+            }
+        }
+        spec
+    }
+
+    /// Schedules a wake visit for module `i` at the earliest future
+    /// cycle it could start a service (`busy_until`, but no sooner
+    /// than the next cycle). The distance is at most `max(service, 1)`
+    /// which the wheel length covers.
+    #[inline]
+    fn schedule_wake(&mut self, i: usize, now: u64) {
+        let wake = ld(&self.busy_until, i).max(now + 1);
+        debug_assert!(wake - now < self.wheel_len as u64);
+        let slot = (wake % self.wheel_len as u64) as usize;
+        *at(&mut self.wheel, slot * self.words + (i >> 6)) |= 1u64 << (i & 63);
+    }
+
+    /// Writes the lanes back into the fabric's canonical module and
+    /// partial-slot representation.
+    fn export(&self, modules: &mut [MemModule], partial: &mut [Option<(Packet, u8)>]) {
+        for (i, m) in modules.iter_mut().enumerate() {
+            m.pending.clear();
+            for j in 0..self.pend_len[i] as usize {
+                let s = self.pend_q
+                    [(i << self.pshift) + ((self.pend_head[i] as usize + j) & self.pmask)];
+                m.pending.push_back(unpack_packet(s.id, s.meta));
+            }
+            m.busy_until = self.busy_until[i];
+            m.outgoing = self.out_live[i].then(|| unpack_packet(self.out_id[i], self.out_meta[i]));
+            m.served = self.served[i];
+        }
+        for (i, slot) in partial.iter_mut().enumerate() {
+            *slot = self.part_live[i].then(|| {
+                (
+                    unpack_packet(self.part_id[i], self.part_meta[i]),
+                    self.part_seen[i],
+                )
+            });
+        }
+    }
+
+    /// Whether any module holds pending, outgoing or partial work —
+    /// the module-side half of the generic fast-forward precondition.
+    #[inline]
+    fn any_work(&self) -> bool {
+        self.busy > 0 || self.partials > 0
+    }
+
+    #[inline]
+    fn push_pending(&mut self, i: usize, id: u64, meta: u32) {
+        debug_assert!((self.pend_len[i] as usize) < self.buf_cap);
+        let slot = (i << self.pshift)
+            + ((ld(&self.pend_head, i) as usize + ld(&self.pend_len, i) as usize) & self.pmask);
+        *at(&mut self.pend_q, slot) = Slot {
+            id,
+            meta: meta & !(7 << META_INDEX_SHIFT),
+        };
+        *at(&mut self.pend_len, i) += 1;
+    }
+
+    /// One cycle of `service_modules` (healthy path): accept at most
+    /// one forward word, retry a blocked reply, start one service.
+    /// Only modules with an arriving word, a live reply, or an expiring
+    /// service timer are visited; every skipped visit is provably a
+    /// no-op in the generic engine.
+    fn service(&mut self, fwd: &mut SpecNet, rev: &mut SpecNet, now: u64) {
+        let slot = (now % self.wheel_len as u64) as usize * self.words;
+        for w in 0..self.words {
+            let wake = std::mem::take(at(&mut self.wheel, slot + w));
+            let mut m = wake | ld(&self.out_mask, w) | fwd.exit_mask.get(w).copied().unwrap_or(0);
+            while m != 0 {
+                let i = (w << 6) + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if i >= self.n {
+                    break;
+                }
+                self.service_one(fwd, rev, now, i);
+            }
+        }
+    }
+
+    #[inline]
+    fn service_one(&mut self, fwd: &mut SpecNet, rev: &mut SpecNet, now: u64, i: usize) {
+        let was_busy = ld(&self.pend_len, i) > 0 || ld(&self.out_live, i);
+        // Accept one word into the reassembly slot / pending queue
+        // (pop directly — the generic peek-then-pop pair reads the
+        // same head slot twice).
+        if (ld(&self.pend_len, i) as usize) < self.buf_cap {
+            if let Some((id, meta, _)) = fwd.pop_output(i) {
+                let tail = meta_is_tail(meta);
+                if ld(&self.part_live, i) {
+                    debug_assert_eq!(self.part_id[i], id, "interleaved request words");
+                    *at(&mut self.part_seen, i) += 1;
+                    if tail {
+                        *at(&mut self.part_live, i) = false;
+                        self.partials -= 1;
+                        let (pid, pmeta) = (ld(&self.part_id, i), ld(&self.part_meta, i));
+                        self.push_pending(i, pid, pmeta);
+                    }
+                } else {
+                    debug_assert_eq!(meta_index(meta), 0, "packet must start with its header");
+                    if tail {
+                        self.push_pending(i, id, meta);
+                    } else {
+                        *at(&mut self.part_live, i) = true;
+                        *at(&mut self.part_id, i) = id;
+                        *at(&mut self.part_meta, i) = meta;
+                        *at(&mut self.part_seen, i) = 1;
+                        self.partials += 1;
+                    }
+                }
+            }
+        }
+        // Retry a blocked reply; while blocked, no new service starts.
+        let mut blocked = false;
+        if ld(&self.out_live, i) {
+            let (oid, ometa) = (ld(&self.out_id, i), ld(&self.out_meta, i));
+            if rev.try_inject_meta(meta_src(ometa) as usize, oid, ometa) {
+                *at(&mut self.out_live, i) = false;
+            } else {
+                blocked = true;
+            }
+        }
+        if !blocked && now >= ld(&self.busy_until, i) && ld(&self.pend_len, i) > 0 {
+            let head = ld(&self.pend_head, i) as usize;
+            let Slot { id, meta } = ld(&self.pend_q, (i << self.pshift) + head);
+            *at(&mut self.pend_head, i) = ((head + 1) & self.pmask) as u8;
+            *at(&mut self.pend_len, i) -= 1;
+            *at(&mut self.busy_until, i) = now + self.service;
+            *at(&mut self.served, i) += 1;
+            if let Some(rmeta) = reply_meta(meta) {
+                *at(&mut self.out_live, i) = true;
+                *at(&mut self.out_id, i) = id;
+                *at(&mut self.out_meta, i) = rmeta;
+            }
+        }
+        let bit = 1u64 << (i & 63);
+        if ld(&self.out_live, i) {
+            *at(&mut self.out_mask, i >> 6) |= bit;
+        } else {
+            *at(&mut self.out_mask, i >> 6) &= !bit;
+        }
+        if ld(&self.pend_len, i) > 0 {
+            self.schedule_wake(i, now);
+        }
+        let is_busy = ld(&self.pend_len, i) > 0 || ld(&self.out_live, i);
+        if is_busy != was_busy {
+            if is_busy {
+                self.busy += 1;
+            } else {
+                self.busy -= 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric-side driver.
+// ---------------------------------------------------------------------------
+
+impl RoundTripFabric {
+    /// Why this fabric/experiment pair cannot run on the specialized
+    /// engine, or `None` when it can.
+    pub(crate) fn specialization_blocker(&self, exp: &FabricExperiment) -> Option<&'static str> {
+        if self.obs.is_some() {
+            return Some("telemetry attached");
+        }
+        if self.faults.is_some() || exp.recovery.is_some() {
+            return Some("fault schedule attached");
+        }
+        let net = &self.cfg.net;
+        if !(1..=4).contains(&net.stages) {
+            return Some("stage count outside 1..=4");
+        }
+        if net.radix > 64 {
+            return Some("radix above 64");
+        }
+        if net.ports() > 4096 {
+            return Some("port count above 4096");
+        }
+        if net.queue_words > 64 {
+            return Some("switch queues deeper than 64 words");
+        }
+        if self.forward.cfg.exit_fifo_words > 65_536 || self.reverse.cfg.exit_fifo_words > 65_536 {
+            return Some("exit FIFOs deeper than 65536 words");
+        }
+        if self.cfg.module_buffer_requests > 64 {
+            return Some("module buffers deeper than 64 requests");
+        }
+        if !self.forward.delivered.is_empty() || !self.reverse.delivered.is_empty() {
+            return Some("undrained delivery log");
+        }
+        None
+    }
+
+    /// Runs the experiment on the specialized engine until it stops
+    /// running or `stop_at` net cycles is reached. The networks and
+    /// modules are compiled in on entry and written back on every exit
+    /// path, so the fabric is always in canonical generic form
+    /// afterwards.
+    pub(crate) fn drive_specialized(
+        &mut self,
+        exp: &mut FabricExperiment,
+        watchdog: Option<&mut Watchdog>,
+        stop_at: Option<u64>,
+    ) -> Result<(), CedarError> {
+        let mut fwd = SpecNet::import(&self.forward);
+        let mut rev = SpecNet::import(&self.reverse);
+        let mut mods = SpecModules::import(
+            &self.modules,
+            &self.partial,
+            self.cfg.module_buffer_requests,
+            self.cfg.mem_service_net_cycles,
+            self.now,
+        );
+        // Pre-size the per-CE result vectors to their final lengths so
+        // the hot loop never reallocates (capacity is not semantic).
+        for src in exp.sources.iter_mut() {
+            let total = src.traffic.blocks as usize * src.traffic.block_len as usize;
+            src.records.reserve(total.saturating_sub(src.records.len()));
+            src.issued_at
+                .reserve(total.saturating_sub(src.issued_at.len()));
+        }
+        let result = match self.cfg.net.stages {
+            1 => self.spec_loop::<1>(&mut fwd, &mut rev, &mut mods, exp, watchdog, stop_at),
+            2 => self.spec_loop::<2>(&mut fwd, &mut rev, &mut mods, exp, watchdog, stop_at),
+            3 => self.spec_loop::<3>(&mut fwd, &mut rev, &mut mods, exp, watchdog, stop_at),
+            4 => self.spec_loop::<4>(&mut fwd, &mut rev, &mut mods, exp, watchdog, stop_at),
+            _ => unreachable!("specialization_blocker admits only 1..=4 stages"),
+        };
+        fwd.export(&mut self.forward);
+        rev.export(&mut self.reverse);
+        mods.export(&mut self.modules, &mut self.partial);
+        result
+    }
+
+    /// The monomorphized experiment loop: `step_experiment` with the
+    /// obs/fault/recovery branches compiled out and the networks and
+    /// modules in SoA form.
+    fn spec_loop<const S: usize>(
+        &mut self,
+        fwd: &mut SpecNet,
+        rev: &mut SpecNet,
+        mods: &mut SpecModules,
+        exp: &mut FabricExperiment,
+        mut watchdog: Option<&mut Watchdog>,
+        stop_at: Option<u64>,
+    ) -> Result<(), CedarError> {
+        // Sources that might issue this boundary: a bit is cleared when
+        // only an ejected reply can unblock the source (window full,
+        // block flow-window closed, stream finished) and re-armed by
+        // the next reply that reaches it.
+        let mut issuable = vec![!0u64; exp.sources.len().div_ceil(64).max(1)];
+        while self.experiment_running(exp) && stop_at.is_none_or(|c| self.now < c) {
+            if self.fast_forward {
+                let horizon = watchdog
+                    .as_deref()
+                    .map(|dog| dog.progress_cycle() + dog.budget() + 1);
+                self.spec_fast_forward(fwd, rev, mods, exp, horizon);
+            }
+            self.now += 1;
+            let ce_boundary = self.now.is_multiple_of(exp.ratio);
+            let ce_now = self.now / exp.ratio;
+            fwd.step::<S>();
+            rev.step::<S>();
+            mods.service(fwd, rev, self.now);
+            exp.completed_requests +=
+                Self::spec_eject_replies(rev, &mut exp.sources, &mut issuable);
+            if ce_boundary {
+                self.spec_issue_requests(fwd, &mut exp.sources, ce_now, &mut issuable);
+            }
+            if let Some(dog) = watchdog.as_deref_mut() {
+                if let Err(report) = dog.observe(self.now, exp.resolved_requests()) {
+                    return Err(report.into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `idle_fast_forward` for SoA networks: identical preconditions
+    /// (`buffered == 0` is the generic `is_idle()`) and an identical
+    /// jump target, so timestamps match the generic engine exactly.
+    fn spec_fast_forward(
+        &mut self,
+        fwd: &mut SpecNet,
+        rev: &mut SpecNet,
+        mods: &SpecModules,
+        exp: &FabricExperiment,
+        horizon: Option<u64>,
+    ) {
+        if fwd.buffered != 0 || rev.buffered != 0 || mods.any_work() {
+            return;
+        }
+        let ratio = exp.ratio;
+        let next_boundary = (self.now / ratio + 1) * ratio;
+        let target = exp
+            .sources
+            .iter()
+            .filter(|s| !s.done_issuing)
+            .map(|s| next_boundary.max(s.blocked_until_ce * ratio))
+            .min()
+            .unwrap_or(exp.max_net_cycles)
+            .min(exp.max_net_cycles)
+            .min(horizon.unwrap_or(u64::MAX));
+        if target <= self.now + 1 {
+            return;
+        }
+        let skipped = target - 1 - self.now;
+        self.now += skipped;
+        fwd.now += skipped;
+        rev.now += skipped;
+        self.ff_cycles += skipped;
+    }
+
+    /// `eject_replies` against an SoA reverse network (no recovery),
+    /// visiting only the ports with buffered exit words.
+    fn spec_eject_replies(
+        rev: &mut SpecNet,
+        sources: &mut [CeSource],
+        issuable: &mut [u64],
+    ) -> u64 {
+        let mut completed = 0;
+        for w in 0..rev.exit_mask.len() {
+            let mut m = rev.exit_mask[w];
+            while m != 0 {
+                let pos = (w << 6) + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if pos >= sources.len() {
+                    break;
+                }
+                // A reply frees issue capacity; re-arm the source.
+                issuable[pos >> 6] |= 1u64 << (pos & 63);
+                let src = &mut sources[pos];
+                let block_len = u64::from(src.traffic.block_len);
+                // Request streams issue block-length-many requests per
+                // block, so the hot path splits `local` with a shift
+                // and mask whenever the block length is a power of two
+                // instead of two 64-bit divisions per reply.
+                let bl_shift = block_len
+                    .is_power_of_two()
+                    .then(|| block_len.trailing_zeros());
+                while let Some((id, meta, arrived)) = rev.pop_output(pos) {
+                    debug_assert_eq!(meta_kind(meta), kind_tag(PacketKind::Reply));
+                    let local = Self::local_index(PacketId(id), src.port);
+                    let (block, index_in_block) = match bl_shift {
+                        Some(shift) => (local >> shift, local & (block_len - 1)),
+                        None => (local / block_len, local % block_len),
+                    };
+                    let record = RequestRecord {
+                        block: block as u32,
+                        index_in_block: index_in_block as u32,
+                        issue: src.issued_at[local as usize],
+                        ret: arrived,
+                    };
+                    let block = record.block as usize;
+                    src.returned_per_block[block] += 1;
+                    if src.returned_per_block[block] == src.traffic.block_len {
+                        src.completed_blocks += 1;
+                    }
+                    src.records.push(record);
+                    src.outstanding -= 1;
+                    completed += 1;
+                }
+            }
+        }
+        completed
+    }
+
+    /// `issue_requests` against an SoA forward network (no recovery,
+    /// no obs). RNG draws happen in the same order as the generic
+    /// path, so addresses — and therefore everything downstream — are
+    /// identical.
+    fn spec_issue_requests(
+        &mut self,
+        fwd: &mut SpecNet,
+        sources: &mut [CeSource],
+        ce_now: u64,
+        issuable: &mut [u64],
+    ) {
+        let n_mod = self.cfg.mem_modules;
+        for w in 0..issuable.len() {
+            let mut m = issuable[w];
+            while m != 0 {
+                let idx = (w << 6) + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if idx >= sources.len() {
+                    break;
+                }
+                let src = &mut sources[idx];
+                if src.done_issuing || src.outstanding >= src.traffic.window {
+                    // Only an ejected reply can unblock this source;
+                    // park it until one arrives.
+                    issuable[w] &= !(1u64 << (idx & 63));
+                    continue;
+                }
+                if ce_now < src.blocked_until_ce {
+                    continue; // time-based gap: stays armed
+                }
+                self.spec_issue_one(fwd, src, ce_now, n_mod, issuable, w, idx);
+            }
+        }
+    }
+
+    /// One source's issue attempt at a CE boundary (the loop body of
+    /// the generic `issue_requests`, minus recovery and obs).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn spec_issue_one(
+        &mut self,
+        fwd: &mut SpecNet,
+        src: &mut CeSource,
+        ce_now: u64,
+        n_mod: usize,
+        issuable: &mut [u64],
+        w: usize,
+        idx: usize,
+    ) {
+        {
+            if src.next_index == 0 {
+                if src.next_block >= src.completed_blocks + src.traffic.blocks_in_flight {
+                    if src.write_debt >= 1.0 {
+                        let module =
+                            (src.stream_bases[0] + n_mod / 2 + src.writes_issued as usize) % n_mod;
+                        let write = Packet::write(
+                            src.port,
+                            module,
+                            ((src.port as u64) << 40) | (1 << 39) | src.writes_issued,
+                            1,
+                        );
+                        if fwd.try_inject(write) {
+                            src.write_debt -= 1.0;
+                            src.writes_issued += 1;
+                        }
+                    } else {
+                        // Block flow-window closed with no write owed:
+                        // nothing can happen before the next reply.
+                        issuable[w] &= !(1u64 << (idx & 63));
+                    }
+                    return;
+                }
+                for base in &mut src.stream_bases {
+                    *base = src.rng.next_below(n_mod as u64) as usize;
+                }
+            }
+            let local = u64::from(src.next_block) * u64::from(src.traffic.block_len)
+                + u64::from(src.next_index);
+            let n_streams = src.stream_bases.len();
+            let stream = src.next_index as usize % n_streams;
+            let module = match src.traffic.pattern {
+                AddressPattern::HotSpot { module, fraction } if src.rng.next_bool(fraction) => {
+                    module % n_mod
+                }
+                _ => (src.stream_bases[stream] + src.next_index as usize / n_streams) % n_mod,
+            };
+            let packet = Packet::new(
+                Self::packet_id(src.port, local),
+                src.port,
+                module,
+                1,
+                PacketKind::ReadRequest,
+            );
+            if fwd.try_inject(packet) {
+                debug_assert_eq!(src.issued_at.len() as u64, local);
+                src.issued_at.push(self.now);
+                src.outstanding += 1;
+                src.write_debt += src.traffic.writes_per_read;
+                src.next_index += 1;
+                if src.next_index == src.traffic.block_len {
+                    src.next_index = 0;
+                    src.next_block += 1;
+                    src.blocked_until_ce = ce_now + src.traffic.gap_ce_cycles;
+                    if src.next_block == src.traffic.blocks {
+                        src.done_issuing = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The meta packing must round-trip every reachable packet shape.
+    #[test]
+    fn meta_round_trips() {
+        for kind in [
+            PacketKind::ReadRequest,
+            PacketKind::Write,
+            PacketKind::SyncOp,
+            PacketKind::Reply,
+        ] {
+            for words in 1..=4u8 {
+                for index in 0..words {
+                    let packet = Packet {
+                        id: PacketId(0xABCD_EF01_2345),
+                        src: 4095,
+                        dest: 63,
+                        words,
+                        kind,
+                    };
+                    let word = Word { packet, index };
+                    let meta = pack_word_meta(&word);
+                    assert_eq!(unpack_word(packet.id.0, meta), word);
+                    assert_eq!(
+                        unpack_packet(packet.id.0, pack_packet_meta(&packet)),
+                        packet
+                    );
+                }
+            }
+        }
+    }
+
+    /// The reply meta must match `Packet::reply` for every kind.
+    #[test]
+    fn reply_meta_matches_generic_reply() {
+        for kind in [
+            PacketKind::ReadRequest,
+            PacketKind::Write,
+            PacketKind::SyncOp,
+            PacketKind::Reply,
+        ] {
+            let request = Packet::new(PacketId(42), 7, 0o31, 2, kind);
+            let expected = request.reply();
+            let got = reply_meta(pack_packet_meta(&request))
+                .map(|meta| unpack_packet(request.id.0, meta));
+            assert_eq!(got, expected);
+        }
+    }
+
+    /// Import → export with no stepping is the identity on the
+    /// generic network, including mid-flight wormhole state.
+    #[test]
+    fn import_export_round_trips_mid_run() {
+        use cedar_snap::Snapshot;
+        let mut net = OmegaNetwork::new(NetworkConfig::cedar());
+        // Multi-word writes put partial packets everywhere: inject
+        // FIFOs, switch queues, exit progress.
+        for srcp in 0..8 {
+            assert!(net.try_inject(Packet::write(srcp, 0o27, srcp as u64, 2)));
+        }
+        for _ in 0..5 {
+            net.step();
+        }
+        // Leave a packet mid-consumption so exit progress is live.
+        let _ = net.pop_output(0o27);
+        net.clear_delivered();
+        let spec = SpecNet::import(&net);
+        let mut restored = OmegaNetwork::new(NetworkConfig::cedar());
+        spec.export(&mut restored);
+        let snap = |n: &OmegaNetwork| {
+            let mut w = cedar_snap::SnapWriter::new();
+            n.snap(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(
+            snap(&restored),
+            snap(&net),
+            "import/export must be the identity"
+        );
+    }
+
+    /// A full-size specialized run produces the exact report of the
+    /// generic engine.
+    #[test]
+    fn specialized_run_matches_generic_report() {
+        let traffic = PrefetchTraffic::rk_aggressive(2);
+        let mut generic = RoundTripFabric::new(FabricConfig::cedar());
+        generic.set_engine(EngineKind::Generic);
+        let expected = generic.run_prefetch_experiment(8, traffic, 64_000_000);
+
+        let mut fast = RoundTripFabric::new(FabricConfig::cedar());
+        fast.set_engine(EngineKind::Specialized);
+        let got = fast.run_prefetch_experiment(8, traffic, 64_000_000);
+        assert_eq!(fast.last_run_engine(), Some("specialized"));
+        assert_eq!(got, expected);
+    }
+}

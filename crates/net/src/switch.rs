@@ -34,19 +34,19 @@ use crate::topology::Topology;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Crossbar {
-    radix: usize,
-    queue_words: usize,
-    stage: usize,
-    inputs: Vec<VecDeque<Word>>,
-    outputs: Vec<VecDeque<Word>>,
+    pub(crate) radix: usize,
+    pub(crate) queue_words: usize,
+    pub(crate) stage: usize,
+    pub(crate) inputs: Vec<VecDeque<Word>>,
+    pub(crate) outputs: Vec<VecDeque<Word>>,
     /// While an input is mid-packet, the output it is locked to.
-    input_lock: Vec<Option<usize>>,
+    pub(crate) input_lock: Vec<Option<usize>>,
     /// While an output is mid-packet, the input and packet it is
     /// locked to.
-    output_lock: Vec<Option<(usize, crate::packet::PacketId)>>,
+    pub(crate) output_lock: Vec<Option<(usize, crate::packet::PacketId)>>,
     /// Per-output round-robin pointer: the input examined first.
-    rr_next: Vec<usize>,
-    words_switched: u64,
+    pub(crate) rr_next: Vec<usize>,
+    pub(crate) words_switched: u64,
 }
 
 impl Crossbar {

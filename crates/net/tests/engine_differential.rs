@@ -1,0 +1,284 @@
+//! Differential tests between the generic and specialized execution
+//! engines: across fixed reference shapes and randomized
+//! topology/traffic/fault cases, both engines must produce bit-identical
+//! reports, bit-identical mid-run checkpoints, and (for ineligible
+//! configurations) an explicit, obs-visible fallback. Randomness comes
+//! from the simulator's deterministic SplitMix64, so every failure
+//! reproduces from the seed.
+
+use cedar_faults::{FaultConfig, FaultPlan, MachineShape, RetryPolicy};
+use cedar_net::fabric::{FabricConfig, FabricReport, PrefetchTraffic, RoundTripFabric};
+use cedar_net::{AddressPattern, EngineKind};
+use cedar_obs::{Obs, ObsConfig};
+use cedar_sim::rng::SplitMix64;
+use cedar_sim::watchdog::Watchdog;
+
+const MAX_NET_CYCLES: u64 = 4_000_000;
+
+/// A random specialization-eligible fabric: power-of-two omega
+/// topologies with randomized queue depths and module timing (all
+/// within the specialized engine's dimension bounds).
+fn random_config(rng: &mut SplitMix64) -> FabricConfig {
+    let mut cfg = FabricConfig::cedar();
+    let topologies = [(8, 2), (4, 2), (4, 3), (2, 4)];
+    let (radix, stages) = topologies[rng.next_below(topologies.len() as u64) as usize];
+    cfg.net.radix = radix;
+    cfg.net.stages = stages;
+    cfg.net.queue_words = 2 + rng.next_below(3) as usize;
+    cfg.net.exit_fifo_words = 2 + rng.next_below(3) as usize;
+    cfg.mem_modules = cfg.net.ports() / 2;
+    cfg.mem_service_net_cycles = 1 + rng.next_below(3);
+    cfg.module_buffer_requests = 1 + rng.next_below(3) as usize;
+    cfg
+}
+
+/// A random prefetch traffic shape, including hot-spot patterns (which
+/// exercise the per-issue RNG draw both engines must replay in the
+/// same order).
+fn random_traffic(rng: &mut SplitMix64) -> PrefetchTraffic {
+    let mut t = PrefetchTraffic::rk_aggressive(1 + rng.next_below(3) as u32);
+    t.block_len = 8 << rng.next_below(3);
+    t.window = 2 + rng.next_below(31) as u32;
+    t.gap_ce_cycles = rng.next_below(5);
+    t.streams = 1 + rng.next_below(4) as u32;
+    t.writes_per_read = [0.0, 0.5, 1.0][rng.next_below(3) as usize];
+    if rng.next_below(3) == 0 {
+        t.pattern = AddressPattern::HotSpot {
+            module: rng.next_below(4) as usize,
+            fraction: 0.25,
+        };
+    }
+    t
+}
+
+/// Runs the full experiment on the requested engine, checkpointing at
+/// `cut` driven net cycles. Returns the mid-run checkpoint bytes, the
+/// final report, and which engine actually drove the run.
+fn run_with_engine(
+    cfg: FabricConfig,
+    engine: EngineKind,
+    n_ces: usize,
+    traffic: PrefetchTraffic,
+    cut: u64,
+) -> (Vec<u8>, FabricReport, Option<&'static str>) {
+    let mut fabric = RoundTripFabric::new(cfg);
+    fabric.set_engine(engine);
+    let mut exp = fabric.begin_experiment(n_ces, traffic, MAX_NET_CYCLES);
+    fabric
+        .drive_experiment(&mut exp, None, Some(cut))
+        .expect("no watchdog attached");
+    let bytes = fabric.checkpoint_experiment(&exp);
+    fabric
+        .drive_experiment(&mut exp, None, None)
+        .expect("no watchdog attached");
+    let engine_ran = fabric.last_run_engine();
+    (bytes, fabric.finish_experiment(exp), engine_ran)
+}
+
+#[test]
+fn reference_shapes_match_across_engines() {
+    // The paper's reference shape plus traffic variants: the configs
+    // the perf suite actually measures must agree engine-to-engine,
+    // including the checkpoint taken mid-flight.
+    let mut aggressive = PrefetchTraffic::rk_aggressive(2);
+    aggressive.block_len = 64;
+    let mut hot = PrefetchTraffic::rk_aggressive(1);
+    hot.block_len = 32;
+    hot.pattern = AddressPattern::HotSpot {
+        module: 3,
+        fraction: 0.3,
+    };
+    let mut gappy = PrefetchTraffic::rk_aggressive(2);
+    gappy.block_len = 16;
+    gappy.gap_ce_cycles = 40;
+    for (case, traffic) in [aggressive, hot, gappy].into_iter().enumerate() {
+        let cfg = FabricConfig::cedar();
+        let (gen_bytes, gen_report, gen_engine) =
+            run_with_engine(cfg.clone(), EngineKind::Generic, 32, traffic, 5_000);
+        let (spec_bytes, spec_report, spec_engine) =
+            run_with_engine(cfg, EngineKind::Specialized, 32, traffic, 5_000);
+        assert_eq!(gen_engine, Some("generic"), "case {case}");
+        assert_eq!(spec_engine, Some("specialized"), "case {case}");
+        assert!(gen_report.completed(), "case {case} must drain");
+        assert_eq!(
+            gen_bytes, spec_bytes,
+            "case {case}: mid-run checkpoints diverged"
+        );
+        assert_eq!(gen_report, spec_report, "case {case}: reports diverged");
+    }
+}
+
+#[test]
+fn random_machines_match_across_engines() {
+    let mut rng = SplitMix64::new(0xD1FF_CEDA);
+    for case in 0..24 {
+        let cfg = random_config(&mut rng);
+        let traffic = random_traffic(&mut rng);
+        let n_ces = 1 + rng.next_below((cfg.net.ports() / 2) as u64) as usize;
+        let cut = rng.next_below(50_000);
+        let (gen_bytes, gen_report, _) =
+            run_with_engine(cfg.clone(), EngineKind::Generic, n_ces, traffic, cut);
+        let (spec_bytes, spec_report, spec_engine) =
+            run_with_engine(cfg, EngineKind::Specialized, n_ces, traffic, cut);
+        assert_eq!(
+            spec_engine,
+            Some("specialized"),
+            "case {case}: eligible config must not fall back"
+        );
+        assert!(gen_report.completed(), "case {case} must drain");
+        assert_eq!(
+            gen_bytes, spec_bytes,
+            "case {case}: mid-run checkpoints diverged (cut {cut}, {n_ces} CEs)"
+        );
+        assert_eq!(
+            gen_report, spec_report,
+            "case {case}: reports diverged ({n_ces} CEs)"
+        );
+    }
+}
+
+#[test]
+fn faulted_runs_fall_back_and_still_match() {
+    // Fault schedules are outside the specialized family: requesting
+    // the specialized engine must fall back to generic — loudly via
+    // `last_fallback` — and produce the exact generic result.
+    let mut rng = SplitMix64::new(0xFA11_CEDA);
+    for case in 0..6 {
+        let traffic = random_traffic(&mut rng);
+        let n_ces = 1 + rng.next_below(32) as usize;
+        let rate = [0.01, 0.02, 0.05][rng.next_below(3) as usize];
+        let seed = rng.next_below(u64::MAX);
+        let build = |engine: EngineKind| {
+            let plan =
+                FaultPlan::generate(&FaultConfig::degraded(seed, rate), &MachineShape::cedar())
+                    .expect("degraded config is valid");
+            let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+            fabric.attach_faults(plan, RetryPolicy::fabric());
+            fabric.set_engine(engine);
+            fabric
+        };
+        let mut generic = build(EngineKind::Generic);
+        let expected = generic.run_prefetch_experiment(n_ces, traffic, MAX_NET_CYCLES);
+        let mut wanted_spec = build(EngineKind::Specialized);
+        let actual = wanted_spec.run_prefetch_experiment(n_ces, traffic, MAX_NET_CYCLES);
+        assert_eq!(
+            wanted_spec.last_run_engine(),
+            Some("generic"),
+            "case {case}: faulted run must fall back"
+        );
+        assert_eq!(
+            wanted_spec.last_fallback(),
+            Some("fault schedule attached"),
+            "case {case}"
+        );
+        assert_eq!(
+            expected, actual,
+            "case {case}: fallback diverged from generic (seed {seed:#x}, rate {rate})"
+        );
+    }
+}
+
+#[test]
+fn fallback_is_obs_visible() {
+    // Telemetry itself blocks specialization (the hooks are compiled
+    // out of the fast path), so an obs-attached fabric asked for the
+    // specialized engine falls back — and says so on the
+    // `engine.fallback` counter.
+    let obs = Obs::new(ObsConfig::metrics_only());
+    let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+    fabric.set_obs(&obs);
+    fabric.set_engine(EngineKind::Specialized);
+    let mut traffic = PrefetchTraffic::rk_aggressive(1);
+    traffic.block_len = 16;
+    let with_obs = fabric.run_prefetch_experiment(8, traffic, MAX_NET_CYCLES);
+    assert_eq!(fabric.last_run_engine(), Some("generic"));
+    assert_eq!(fabric.last_fallback(), Some("telemetry attached"));
+    assert_eq!(
+        obs.counter_value("engine.fallback"),
+        1,
+        "one drive, one fallback tick"
+    );
+    // Attaching telemetry must not change the simulation itself, and
+    // the bare fabric runs specialized.
+    let mut bare = RoundTripFabric::new(FabricConfig::cedar());
+    bare.set_engine(EngineKind::Specialized);
+    let without_obs = bare.run_prefetch_experiment(8, traffic, MAX_NET_CYCLES);
+    assert_eq!(bare.last_run_engine(), Some("specialized"));
+    assert_eq!(with_obs, without_obs, "telemetry perturbed the simulation");
+}
+
+#[test]
+fn structural_fallback_names_the_blocker() {
+    let mut cfg = FabricConfig::cedar();
+    cfg.module_buffer_requests = 65; // past the specialized bound
+    let mut fabric = RoundTripFabric::new(cfg);
+    fabric.set_engine(EngineKind::Specialized);
+    let mut traffic = PrefetchTraffic::rk_aggressive(1);
+    traffic.block_len = 16;
+    fabric.run_prefetch_experiment(8, traffic, MAX_NET_CYCLES);
+    assert_eq!(fabric.last_run_engine(), Some("generic"));
+    assert_eq!(
+        fabric.last_fallback(),
+        Some("module buffers deeper than 64 requests")
+    );
+}
+
+#[test]
+fn watchdog_stalls_identically_across_engines() {
+    // A gap so long the watchdog's budget expires between blocks: both
+    // engines must trip at the same simulated cycle with the same
+    // diagnostic (the specialized fast-forward honors the same
+    // watchdog horizon as the generic one).
+    let mut traffic = PrefetchTraffic::rk_aggressive(2);
+    traffic.block_len = 16;
+    traffic.gap_ce_cycles = 50_000;
+    let stall = |engine: EngineKind| {
+        let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
+        fabric.set_engine(engine);
+        let mut dog = Watchdog::new(2_000, "engine differential");
+        let err = fabric
+            .run_watched_experiment(8, traffic, MAX_NET_CYCLES, &mut dog)
+            .expect_err("the gap must out-wait the watchdog");
+        format!("{err:?}")
+    };
+    assert_eq!(stall(EngineKind::Generic), stall(EngineKind::Specialized));
+}
+
+#[test]
+fn checkpoints_resume_across_engines() {
+    // A checkpoint written by one engine must be resumable by the
+    // other with a bit-identical final report — in both directions.
+    let mut rng = SplitMix64::new(0xC055_CEDA);
+    for case in 0..6 {
+        let cfg = random_config(&mut rng);
+        let traffic = random_traffic(&mut rng);
+        let n_ces = 1 + rng.next_below((cfg.net.ports() / 2) as u64) as usize;
+        let cut = rng.next_below(30_000);
+        let mut reference = RoundTripFabric::new(cfg.clone());
+        reference.set_engine(EngineKind::Generic);
+        let expected = reference.run_prefetch_experiment(n_ces, traffic, MAX_NET_CYCLES);
+        for (first, second) in [
+            (EngineKind::Generic, EngineKind::Specialized),
+            (EngineKind::Specialized, EngineKind::Generic),
+        ] {
+            let mut fabric = RoundTripFabric::new(cfg.clone());
+            fabric.set_engine(first);
+            let mut exp = fabric.begin_experiment(n_ces, traffic, MAX_NET_CYCLES);
+            fabric
+                .drive_experiment(&mut exp, None, Some(cut))
+                .expect("no watchdog attached");
+            let bytes = fabric.checkpoint_experiment(&exp);
+            let (mut resumed, mut exp2) =
+                RoundTripFabric::restore_experiment(&bytes).expect("checkpoint decodes");
+            resumed.set_engine(second);
+            resumed
+                .drive_experiment(&mut exp2, None, None)
+                .expect("no watchdog attached");
+            let report = resumed.finish_experiment(exp2);
+            assert_eq!(
+                expected, report,
+                "case {case}: {first:?}→{second:?} resume diverged (cut {cut}, {n_ces} CEs)"
+            );
+        }
+    }
+}

@@ -68,6 +68,10 @@ pub fn default_gates(threshold_pct: f64) -> Vec<GateSpec> {
     vec![
         GateSpec::higher("perf.table2_rk_prefetch.sim_cycles_per_sec", threshold_pct),
         GateSpec::higher("perf.faulted_trace.sim_cycles_per_sec", threshold_pct),
+        // The specialized-vs-generic ratio on the reference run: the
+        // specialized engine's reason to exist, gated so it cannot
+        // quietly erode while both absolute rates drift.
+        GateSpec::higher("perf.engine_speedup", threshold_pct),
         GateSpec::higher("perf.sweep.speedup", threshold_pct),
         GateSpec::higher("serve.closed.max_throughput_rps", threshold_pct),
         GateSpec::lower("serve.closed.peak_p99_us", threshold_pct),

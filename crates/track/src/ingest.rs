@@ -2,7 +2,7 @@
 //! flat history metrics.
 //!
 //! Each ingester accepts the report text its producer writes —
-//! `cedar-bench-perf/3` (`perf`), `cedar-bench-serve/3` (`loadgen`),
+//! `cedar-bench-perf/4` (`perf`), `cedar-bench-serve/3` (`loadgen`),
 //! `cedar-bench-cluster/1` (`cluster_chaos`), `cedar-bench-compare/1`
 //! (`perf --compare --compare-out`) — and returns an [`Ingested`]
 //! bundle: the run mode, a source tag, and `metric → value` pairs
@@ -73,9 +73,23 @@ fn put_obs(metrics: &mut BTreeMap<String, f64>, v: &Json, prefix: &str) {
 /// Returns a description when the text is not a well-formed perf
 /// report.
 pub fn perf_report(text: &str) -> Result<Ingested, String> {
-    let (v, _) = parse_report(text, &["cedar-bench-perf/3", "cedar-bench-perf/2"])?;
+    let (v, _) = parse_report(
+        text,
+        &[
+            "cedar-bench-perf/4",
+            "cedar-bench-perf/3",
+            "cedar-bench-perf/2",
+        ],
+    )?;
     let mut metrics = BTreeMap::new();
     let smoke = v.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+    // `/4` reports carry the specialized-vs-generic engine ratio on
+    // the reference run.
+    put(
+        &mut metrics,
+        "perf.engine_speedup",
+        num(&v, "engine_speedup"),
+    );
     if let Some(Json::Arr(runs)) = v.get("reference_runs") {
         for run in runs {
             let Some(name) = run.get("name").and_then(Json::as_str) else {
@@ -105,6 +119,7 @@ pub fn perf_report(text: &str) -> Result<Ingested, String> {
             num(sweep, "parallel_ms"),
         );
         put(&mut metrics, "perf.sweep.speedup", num(sweep, "speedup"));
+        put(&mut metrics, "perf.sweep.cores", num(sweep, "cores"));
     }
     put(&mut metrics, "perf.peak_rss_kb", num(&v, "peak_rss_kb"));
     if metrics.is_empty() {
@@ -328,17 +343,19 @@ mod tests {
     use super::*;
 
     const PERF: &str = r#"{
-  "schema": "cedar-bench-perf/3",
+  "schema": "cedar-bench-perf/4",
   "commit": "abc",
   "timestamp": "2026-08-08T00:00:00Z",
   "smoke": false,
   "threads": 1,
   "peak_rss_kb": 9512,
   "reference_runs": [
-    {"name": "table2_rk_prefetch", "wall_ms": 187.875, "sim_cycles": 16949, "sim_cycles_per_sec": 90214},
-    {"name": "hotspot_sweep", "wall_ms": 138.794, "sim_cycles": null, "sim_cycles_per_sec": null}
+    {"name": "table2_rk_prefetch", "engine": "specialized", "wall_ms": 45.875, "sim_cycles": 16949, "sim_cycles_per_sec": 369452},
+    {"name": "table2_rk_prefetch_generic", "engine": "generic", "wall_ms": 210.1, "sim_cycles": 16949, "sim_cycles_per_sec": 80671},
+    {"name": "hotspot_sweep", "engine": "n/a", "wall_ms": 138.794, "sim_cycles": null, "sim_cycles_per_sec": null}
   ],
-  "sweep_suite": {"name": "hotspot_sweep", "serial_ms": 133.5, "serial_threads": 1, "parallel_ms": 138.8, "threads": 4, "speedup": 0.962}
+  "engine_speedup": 4.580,
+  "sweep_suite": {"name": "hotspot_sweep", "serial_ms": 133.5, "serial_threads": 1, "parallel_ms": 138.8, "threads": 4, "cores": 4, "speedup": 0.962}
 }"#;
 
     #[test]
@@ -347,8 +364,14 @@ mod tests {
         assert_eq!(ing.mode, "full");
         assert_eq!(
             ing.metrics["perf.table2_rk_prefetch.sim_cycles_per_sec"],
-            90_214.0
+            369_452.0
         );
+        assert_eq!(
+            ing.metrics["perf.table2_rk_prefetch_generic.sim_cycles_per_sec"],
+            80_671.0
+        );
+        assert_eq!(ing.metrics["perf.engine_speedup"], 4.58);
+        assert_eq!(ing.metrics["perf.sweep.cores"], 4.0);
         assert_eq!(ing.metrics["perf.sweep.speedup"], 0.962);
         assert_eq!(ing.metrics["perf.peak_rss_kb"], 9512.0);
         // A null rate must simply be absent, not zero.
