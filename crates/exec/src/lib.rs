@@ -51,7 +51,9 @@ pub use cached::{
     run_sweep_cached, run_sweep_cached_cancellable, run_sweep_cached_cancellable_on,
     run_sweep_cached_on, sweep_keys,
 };
-pub use pool::{run_sweep_cancellable_on, run_sweep_on, CancelToken, Cancelled};
+pub use pool::{
+    run_sweep_cancellable_on, run_sweep_on, run_sweep_streaming_on, CancelToken, Cancelled,
+};
 
 /// The environment variable that pins the sweep pool size.
 pub const THREADS_ENV: &str = "CEDAR_THREADS";

@@ -128,14 +128,62 @@ where
     T: Send,
     F: Fn(I) -> T + Sync,
 {
+    run_sweep_streaming_on(threads, inputs, f, cancel, |_, _| {})
+}
+
+/// [`run_sweep_cancellable_on`] that additionally calls
+/// `notify(index, &result)` as each point completes, on whatever
+/// thread ran it, *before* the sweep as a whole finishes.
+///
+/// This is the streaming primitive behind the serving tier's
+/// dispatcher: per-job replies leave for the wire the moment their
+/// point completes instead of waiting for the batch barrier. The
+/// ordered `Vec` is still returned (bit-identical to serial) for
+/// callers that want both.
+///
+/// Contract:
+///
+/// * `notify` runs exactly once per *completed* point — never for a
+///   point that panicked or was skipped by cancellation.
+/// * Notification order is scheduling-dependent; only the returned
+///   `Vec` is input-ordered. `notify` must therefore derive everything
+///   from `(index, result)`.
+/// * On `Err(Cancelled)`, notifications already delivered stay
+///   delivered. Callers that must resolve *every* point (the serving
+///   tier's exactly-once reply guarantee) track notified indices in
+///   the closure and resolve the rest themselves.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fired before every point ran.
+///
+/// # Panics
+///
+/// A panicking point takes precedence over cancellation: the
+/// lowest-indexed panic among the points that ran is re-raised.
+pub fn run_sweep_streaming_on<I, T, F, N>(
+    threads: usize,
+    inputs: Vec<I>,
+    f: F,
+    cancel: &CancelToken,
+    notify: N,
+) -> Result<Vec<T>, Cancelled>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+    N: Fn(usize, &T) + Sync,
+{
     let n = inputs.len();
     if threads <= 1 || n <= 1 {
         let mut out = Vec::with_capacity(n);
-        for input in inputs {
+        for (idx, input) in inputs.into_iter().enumerate() {
             if cancel.is_cancelled() {
                 return Err(Cancelled);
             }
-            out.push(f(input));
+            let result = f(input);
+            notify(idx, &result);
+            out.push(result);
         }
         return Ok(out);
     }
@@ -154,6 +202,7 @@ where
     let (tx, rx) = mpsc::channel::<(usize, PointOutcome<T>)>();
     let deques = &deques;
     let f = &f;
+    let notify = &notify;
     std::thread::scope(|scope| {
         for me in 0..workers {
             let tx = tx.clone();
@@ -164,6 +213,9 @@ where
                         break;
                     };
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(input)));
+                    if let Ok(result) = &outcome {
+                        notify(idx, result);
+                    }
                     // A send can only fail if the receiver is gone,
                     // which means the caller is already unwinding.
                     let _ = tx.send((idx, outcome));
@@ -369,6 +421,82 @@ mod tests {
                 x
             },
             &token,
+        );
+    }
+
+    #[test]
+    fn streaming_notifies_every_point_exactly_once() {
+        for threads in [1, 4] {
+            let notified = Mutex::new(vec![0u32; 64]);
+            let out = run_sweep_streaming_on(
+                threads,
+                (0u64..64).collect(),
+                |x| x * 2,
+                &CancelToken::new(),
+                |idx, &result| {
+                    assert_eq!(result, (idx as u64) * 2, "notify sees the point's result");
+                    notified.lock().unwrap()[idx] += 1;
+                },
+            )
+            .unwrap();
+            assert_eq!(out, (0u64..64).map(|x| x * 2).collect::<Vec<_>>());
+            assert!(
+                notified.lock().unwrap().iter().all(|&n| n == 1),
+                "{threads} threads: every point notified exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_cancel_keeps_delivered_notifications() {
+        // Cancel fires mid-sweep; the sweep returns Err but the
+        // notifications already delivered are the caller's record of
+        // which points genuinely completed.
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let notified = Mutex::new(BTreeSet::new());
+            let result = run_sweep_streaming_on(
+                threads,
+                (0u64..64).collect(),
+                |x| {
+                    if x == 3 {
+                        token.cancel();
+                    }
+                    x
+                },
+                &token,
+                |idx, _| {
+                    notified.lock().unwrap().insert(idx);
+                },
+            );
+            assert_eq!(result, Err(Cancelled), "{threads} threads");
+            let seen = notified.lock().unwrap();
+            assert!(!seen.is_empty(), "the cancelling point itself completed");
+            assert!(seen.len() < 64, "cancellation stopped the sweep");
+        }
+    }
+
+    #[test]
+    fn streaming_never_notifies_a_panicked_point() {
+        let notified = Mutex::new(BTreeSet::new());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_sweep_streaming_on(
+                4,
+                (0u64..16).collect(),
+                |x| {
+                    assert!(x != 5, "point {x} exploded");
+                    x
+                },
+                &CancelToken::new(),
+                |idx, _| {
+                    notified.lock().unwrap().insert(idx);
+                },
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert!(
+            !notified.lock().unwrap().contains(&5),
+            "the panicked point must not have been notified"
         );
     }
 

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--addr-file PATH] [--smoke]
-//!         [--seed N] [--shutdown] [--out PATH]
+//!         [--seed N] [--conns N] [--shutdown] [--out PATH]
 //!         [--adversarial] [--line-timeout-ms N] [--track HISTORY]
 //! ```
 //!
-//! Drives the server through the dedup-burst, fault-mix, closed-loop
-//! and open-loop phases, asserts the serving invariants (exactly-one
-//! execution per identical burst, no healthy request lost to the fault
-//! mix, monotone saturation curve), and writes the report to `--out`
+//! Drives the server through the dedup-burst, fault-mix, closed-loop,
+//! open-loop and binary-protocol phases, asserts the serving
+//! invariants (exactly-one execution per identical burst, no healthy
+//! request lost to the fault mix, monotone saturation curve), and
+//! writes the report to `--out`. `--conns N` caps the binary-protocol
+//! connection sweep (default: 64 in smoke mode, 10000 in full mode)
 //! (default `BENCH_serve.json`). Exits non-zero the moment any
 //! invariant is violated. `--track HISTORY` additionally appends the
 //! finished report to the cedar-track benchmark history.
@@ -22,7 +24,8 @@ use cedar_serve::loadgen::{run, LoadgenConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--addr-file PATH] [--smoke] [--seed N] \
-         [--shutdown] [--out PATH] [--adversarial] [--line-timeout-ms N] [--track HISTORY]"
+         [--conns N] [--shutdown] [--out PATH] [--adversarial] [--line-timeout-ms N] \
+         [--track HISTORY]"
     );
     std::process::exit(2)
 }
@@ -60,6 +63,7 @@ fn main() -> ExitCode {
             }
             "--smoke" => cfg.smoke = true,
             "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--conns" => cfg.conns = value().parse().unwrap_or_else(|_| usage()),
             "--shutdown" => cfg.shutdown = true,
             "--adversarial" => cfg.adversarial = true,
             "--line-timeout-ms" => {
@@ -103,13 +107,15 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "loadgen: {} mode — dedup {}x→{} exec, mix {} req ({} degraded), \
-                 {} levels, report at {}",
+                 {} levels, binary peak {:.0} rps @ {} conns, report at {}",
                 report.mode,
                 report.dedup_burst,
                 report.dedup_executed,
                 report.mix_requests,
                 report.mix_degraded,
                 report.levels.len(),
+                report.binary.peak_rps,
+                report.conns,
                 out.display()
             );
             ExitCode::SUCCESS

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--queue N] [--workers N] [--batch N]
-//!       [--cache DIR] [--port-file PATH]
+//!       [--reactors N] [--cache DIR] [--port-file PATH]
 //!       [--line-timeout-ms N] [--write-timeout-ms N]
 //! ```
 //!
@@ -18,7 +18,8 @@ use cedar_serve::config::ServeConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--queue N] [--workers N] [--batch N] \
-         [--cache DIR] [--port-file PATH] [--line-timeout-ms N] [--write-timeout-ms N]"
+         [--reactors N] [--cache DIR] [--port-file PATH] [--line-timeout-ms N] \
+         [--write-timeout-ms N]"
     );
     std::process::exit(2)
 }
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
             "--queue" => cfg.queue_capacity = value().parse().unwrap_or_else(|_| usage()),
             "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| usage()),
             "--batch" => cfg.batch_max = value().parse().unwrap_or_else(|_| usage()),
+            "--reactors" => cfg.reactor_threads = value().parse().unwrap_or_else(|_| usage()),
             "--cache" => cfg.cache_dir = Some(PathBuf::from(value())),
             "--port-file" => port_file = Some(PathBuf::from(value())),
             "--line-timeout-ms" => {

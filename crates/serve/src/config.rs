@@ -34,6 +34,10 @@ pub struct ServeConfig {
     /// reading while the server owes it bytes is reaped once a write
     /// blocks this long.
     pub write_timeout: Duration,
+    /// Readiness-loop threads multiplexing the connections. Reactor 0
+    /// also owns the listener; two threads keep accept latency flat
+    /// while one core's worth of connections churns.
+    pub reactor_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +52,7 @@ impl Default for ServeConfig {
             reply_timeout: Duration::from_secs(60),
             line_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            reactor_threads: 2,
         }
     }
 }

@@ -2,12 +2,18 @@
 //!
 //! The Cedar paper's performance study is a pile of individual
 //! simulation experiments; this crate turns the repository's simulator
-//! into a long-lived service that runs them on demand. A `std::net`
-//! TCP listener speaks a line-delimited JSON protocol; admitted jobs
-//! flow through a bounded priority queue with per-job deadlines into a
+//! into a long-lived service that runs them on demand. A small fixed
+//! fleet of readiness-loop reactor threads (`poll(2)` over nonblocking
+//! sockets — no thread per connection) multiplexes every client;
+//! one listener speaks three protocols, sniffed from the first byte:
+//! the `b"CSRV"` length-prefixed binary protocol, the line-delimited
+//! JSON protocol, and one-shot HTTP scrapes. Admitted jobs flow
+//! through a bounded priority queue with per-job deadlines into a
 //! batching dispatcher that fans each batch across the `cedar-exec`
-//! deterministic pool; identical requests collapse in flight and
-//! memoize across runs through `cedar-snap`'s content-addressed cache.
+//! deterministic pool and streams completions back per job; identical
+//! requests collapse in flight and memoize across runs through
+//! `cedar-snap`'s content-addressed cache, whose sealed envelopes are
+//! forwarded verbatim as binary `Outcome` payloads.
 //!
 //! Three properties carry over from the rest of the workspace:
 //!
@@ -25,11 +31,15 @@
 //! `BENCH_serve.json`.
 
 pub mod config;
+pub mod conn;
 pub mod job;
 pub mod json;
 pub mod loadgen;
+pub mod proto;
 pub mod queue;
+pub(crate) mod reactor;
 pub mod server;
+pub mod sys;
 pub mod telemetry;
 
 pub use config::ServeConfig;

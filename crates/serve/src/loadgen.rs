@@ -21,18 +21,28 @@
 //!    vanish: every loris must be reaped with a typed `timeout` line
 //!    while an idle well-behaved connection opened before the wave
 //!    survives it untouched.
+//! 6. **Binary peak** — the `b"CSRV"` protocol under multiplexed,
+//!    pipelined load: a warm pass executes a small spec set to fill
+//!    the memoization cache, then a connection sweep (up to
+//!    `--conns`, default 10 000) replays those specs as cache hits
+//!    from a single-threaded `poll(2)` client reactor, producing the
+//!    connections-versus-p99 curve and the peak throughput figure.
 //!
 //! The seeded mix and arrival schedule make runs reproducible; only
 //! the measured latencies vary with the host.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
 
 use cedar_obs::export::{parse_prometheus, sanitize_name, validate_json};
 use cedar_sim::rng::SplitMix64;
 
+use crate::job::JobSpec;
 use crate::json::{self, Json};
+use crate::proto::{FrameScanner, Request, Response, MAX_RESPONSE_PAYLOAD};
+use crate::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
 
 /// Loadgen settings (see the `loadgen` binary for the flag surface).
 #[derive(Debug, Clone)]
@@ -53,6 +63,9 @@ pub struct LoadgenConfig {
     /// The `line_timeout` the *server* was started with, in ms — sets
     /// this harness's patience while waiting for loris reaps.
     pub line_timeout_ms: u64,
+    /// Top of the binary-phase connection sweep. `0` picks the mode
+    /// default: 64 in smoke, 10 000 in full.
+    pub conns: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -64,6 +77,7 @@ impl Default for LoadgenConfig {
             shutdown: false,
             adversarial: false,
             line_timeout_ms: 1_000,
+            conns: 0,
         }
     }
 }
@@ -83,6 +97,40 @@ pub struct LevelReport {
     pub p95_us: u64,
     /// 99th percentile latency, µs.
     pub p99_us: u64,
+}
+
+/// One binary-protocol connection-sweep level: `conns` multiplexed
+/// pipelined connections replaying memoized specs.
+#[derive(Debug, Clone)]
+pub struct ConnLevelReport {
+    /// Concurrent multiplexed connections.
+    pub conns: usize,
+    /// Requests completed across the sweep.
+    pub requests: usize,
+    /// Achieved throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Median latency, µs.
+    pub p50_us: u64,
+    /// 99th percentile latency, µs.
+    pub p99_us: u64,
+}
+
+/// Binary-protocol phase results (schema's `binary` object).
+#[derive(Debug, Clone)]
+pub struct BinaryReport {
+    /// Distinct specs executed by the warm pass (the replay set).
+    pub warm_jobs: usize,
+    /// Warm-pass throughput — lockstep, cold cache: the baseline the
+    /// peak figure is honestly *not* comparable to.
+    pub warm_rps: f64,
+    /// The connections-versus-latency curve, increasing `conns`.
+    pub curve: Vec<ConnLevelReport>,
+    /// Best throughput across the curve (memoized, pipelined).
+    pub peak_rps: f64,
+    /// p50 at the peak-throughput level, µs.
+    pub peak_p50_us: u64,
+    /// p99 at the peak-throughput level, µs.
+    pub peak_p99_us: u64,
 }
 
 /// Adversarial-phase measurements (schema's `adversarial` object).
@@ -135,6 +183,13 @@ pub struct LoadReport {
     pub open_p99_us: u64,
     /// Adversarial phase results; `None` when the phase was not run.
     pub adversarial: Option<AdversarialReport>,
+    /// Binary-protocol warm/peak phase and the connection curve.
+    pub binary: BinaryReport,
+    /// Top of the connection sweep (the `--conns` setting, resolved).
+    pub conns: usize,
+    /// The harness process's soft fd limit, for judging how honest the
+    /// sweep could be (10 000 connections need ≥ ~10 050 fds).
+    pub fd_limit: u64,
     /// End-of-run server observability snapshot: every `serve.*`
     /// series from the metrics exposition (sanitized names, `cedar_`
     /// prefix stripped), scraped over the control connection before
@@ -223,12 +278,102 @@ impl Client {
     }
 }
 
+/// One lockstep binary-protocol connection.
+pub struct BinClient {
+    stream: TcpStream,
+    scanner: FrameScanner,
+}
+
+impl BinClient {
+    /// Connects to `addr`, retrying briefly so a just-spawned server
+    /// can finish binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the server never becomes reachable.
+    pub fn connect(addr: &str) -> Result<BinClient, String> {
+        let stream = connect_retry(addr, Duration::from_secs(10))?;
+        let _ = stream.set_nodelay(true);
+        Ok(BinClient {
+            stream,
+            scanner: FrameScanner::new(MAX_RESPONSE_PAYLOAD),
+        })
+    }
+
+    /// Sends one request frame and reads the one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on I/O failure or a malformed frame —
+    /// both protocol violations on a healthy connection.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        self.stream
+            .write_all(&req.encode())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(payload) = self
+                .scanner
+                .next_frame()
+                .map_err(|e| format!("bad frame: {e}"))?
+            {
+                return Response::decode(&payload).map_err(|e| format!("bad response: {e}"));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("server closed the connection mid-request".to_owned()),
+                Ok(n) => self.scanner.extend(&chunk[..n]),
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+}
+
+fn connect_retry(addr: &str, patience: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            // Early connects can race the bind, and a mass sweep can
+            // transiently overflow the accept backlog; both heal.
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+/// The harness process's soft limit on open fds, from
+/// `/proc/self/limits` (0 if unreadable — non-Linux).
+fn fd_limit() -> u64 {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Linearly interpolated percentile over a sorted sample set — the
+/// standard "R-7" estimator. The old nearest-rank rounding overstated
+/// tail percentiles on the small per-level sample counts this harness
+/// collects (at 96 samples, `p99` rounded straight to the maximum);
+/// interpolation keeps adjacent levels comparable.
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
     }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx]
+    let rank = (sorted_us.len() - 1) as f64 * p.clamp(0.0, 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    let a = sorted_us[lo] as f64;
+    let b = sorted_us[hi] as f64;
+    (a + (b - a) * frac).round() as u64
 }
 
 fn status_of(reply: &Json) -> &str {
@@ -506,6 +651,21 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         None
     };
 
+    // Phase 6: binary warm pass and the multiplexed connection sweep,
+    // sharing the listener with the line-protocol control connection —
+    // which doubles as the mixed-protocol check under load.
+    let max_conns = if cfg.conns > 0 {
+        cfg.conns
+    } else if cfg.smoke {
+        64
+    } else {
+        10_000
+    };
+    let binary = run_binary_phase(cfg, max_conns)?;
+    if status_of(&control.request(r#"{"op":"ping"}"#)?) != "ok" {
+        return Err("line-protocol control connection broke during the binary sweep".to_owned());
+    }
+
     // Observability snapshot: scrape the full exposition once, before
     // shutdown tears the server down, and keep every serve.* series.
     let obs = scrape_obs(&mut control)?;
@@ -538,6 +698,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         open_p50_us: percentile(&open_latencies, 0.50),
         open_p99_us: percentile(&open_latencies, 0.99),
         adversarial,
+        binary,
+        conns: max_conns,
+        fd_limit: fd_limit(),
         obs,
         drained,
         commit: cedar_track::meta::commit_id(),
@@ -636,6 +799,238 @@ fn run_adversarial(cfg: &LoadgenConfig, control: &mut Client) -> Result<Adversar
     })
 }
 
+/// The replay spec set for the binary phase. `ces: 4` keeps these
+/// keys disjoint from the line-protocol phases' `ces: 2` hotspot jobs,
+/// so the warm pass measures real executions on a fresh server.
+fn binary_spec(i: usize) -> JobSpec {
+    JobSpec::Hotspot {
+        hot_ppm: 1 + (i as u32 % 900_000),
+        ces: 4,
+        blocks: 1,
+    }
+}
+
+/// Connection counts for the sweep: fixed low rungs for the curve's
+/// shape, topped by the configured maximum.
+fn curve_levels(smoke: bool, max_conns: usize) -> Vec<usize> {
+    let base: &[usize] = if smoke { &[4, 16] } else { &[16, 256, 2048] };
+    let mut levels: Vec<usize> = base.iter().copied().filter(|&c| c < max_conns).collect();
+    levels.push(max_conns);
+    levels
+}
+
+/// Phase 6: warm the memoization cache over one lockstep binary
+/// connection, then sweep multiplexed connection counts replaying the
+/// warmed specs — the connections-versus-p99 curve and the peak
+/// throughput figure, both on the zero-copy memoized path.
+fn run_binary_phase(cfg: &LoadgenConfig, max_conns: usize) -> Result<BinaryReport, String> {
+    let warm_jobs = if cfg.smoke { 16 } else { 32 };
+    let warm_started = Instant::now();
+    let mut warm = BinClient::connect(&cfg.addr)?;
+    for i in 0..warm_jobs {
+        let req = Request::Run {
+            corr: i as u64,
+            priority: 1,
+            deadline_ms: None,
+            spec: binary_spec(i),
+        };
+        match warm.request(&req)? {
+            Response::Outcome { corr, .. } if corr == i as u64 => {}
+            other => return Err(format!("warm request got {other:?}")),
+        }
+    }
+    let warm_rps = warm_jobs as f64 / warm_started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut curve = Vec::new();
+    for conns in curve_levels(cfg.smoke, max_conns) {
+        let total = if cfg.smoke {
+            (conns * 4).max(256)
+        } else {
+            (conns * 2).max(4_000)
+        };
+        curve.push(run_conn_level(&cfg.addr, conns, total, warm_jobs)?);
+    }
+    let peak = curve
+        .iter()
+        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+        .expect("curve has at least one level")
+        .clone();
+    Ok(BinaryReport {
+        warm_jobs,
+        warm_rps,
+        curve,
+        peak_rps: peak.throughput_rps,
+        peak_p50_us: peak.p50_us,
+        peak_p99_us: peak.p99_us,
+    })
+}
+
+/// One sweep level: `conns` nonblocking connections driven by a
+/// single-threaded `poll(2)` loop (the client-side mirror of the
+/// server's reactor), each pipelining up to a fixed window of
+/// requests. Latency is measured enqueue-to-decode per correlation id.
+fn run_conn_level(
+    addr: &str,
+    conns: usize,
+    total: usize,
+    warm_jobs: usize,
+) -> Result<ConnLevelReport, String> {
+    const WINDOW: usize = 4;
+    struct Mux {
+        stream: TcpStream,
+        scanner: FrameScanner,
+        outbox: Vec<u8>,
+        written: usize,
+        inflight: usize,
+    }
+    fn enqueue(m: &mut Mux, idx: usize, warm_jobs: usize, send_time: &mut Vec<Instant>) {
+        let req = Request::Run {
+            corr: idx as u64,
+            priority: 1,
+            deadline_ms: None,
+            spec: binary_spec(idx % warm_jobs),
+        };
+        m.outbox.extend_from_slice(&req.encode());
+        m.inflight += 1;
+        debug_assert_eq!(send_time.len(), idx, "corr must index send_time");
+        send_time.push(Instant::now());
+    }
+
+    let mut muxes = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let stream = connect_retry(addr, Duration::from_secs(30))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+        muxes.push(Mux {
+            stream,
+            scanner: FrameScanner::new(MAX_RESPONSE_PAYLOAD),
+            outbox: Vec::new(),
+            written: 0,
+            inflight: 0,
+        });
+    }
+
+    let mut send_time: Vec<Instant> = Vec::with_capacity(total);
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut next = 0usize;
+    let started = Instant::now();
+    for m in &mut muxes {
+        for _ in 0..WINDOW {
+            if next < total {
+                enqueue(m, next, warm_jobs, &mut send_time);
+                next += 1;
+            }
+        }
+    }
+
+    let deadline = started + Duration::from_secs(120);
+    let mut fds: Vec<PollFd> = Vec::with_capacity(conns);
+    let mut idxs: Vec<usize> = Vec::with_capacity(conns);
+    let mut chunk = [0u8; 16 * 1024];
+    while latencies.len() < total {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "connection sweep wedged: {}/{total} replies after 120s at {conns} conns",
+                latencies.len()
+            ));
+        }
+        fds.clear();
+        idxs.clear();
+        for (i, m) in muxes.iter().enumerate() {
+            let mut events = 0i16;
+            if m.written < m.outbox.len() {
+                events |= POLLOUT;
+            }
+            if m.inflight > 0 {
+                events |= POLLIN;
+            }
+            if events != 0 {
+                fds.push(PollFd::new(m.stream.as_raw_fd(), events));
+                idxs.push(i);
+            }
+        }
+        if fds.is_empty() {
+            return Err("connection sweep wedged: replies missing with no pending I/O".to_owned());
+        }
+        poll_fds(&mut fds, Some(Duration::from_secs(10))).map_err(|e| format!("poll: {e}"))?;
+        for (k, &ci) in idxs.iter().enumerate() {
+            let m = &mut muxes[ci];
+            if fds[k].ready(POLLOUT) && m.written < m.outbox.len() {
+                loop {
+                    match m.stream.write(&m.outbox[m.written..]) {
+                        Ok(0) => return Err("server closed mid-sweep".to_owned()),
+                        Ok(n) => {
+                            m.written += n;
+                            if m.written == m.outbox.len() {
+                                m.outbox.clear();
+                                m.written = 0;
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e) => return Err(format!("send: {e}")),
+                    }
+                }
+            }
+            if !fds[k].ready(POLLIN) {
+                continue;
+            }
+            loop {
+                match m.stream.read(&mut chunk) {
+                    Ok(0) => return Err("server closed mid-sweep".to_owned()),
+                    Ok(n) => {
+                        m.scanner.extend(&chunk[..n]);
+                        while let Some(payload) = m
+                            .scanner
+                            .next_frame()
+                            .map_err(|e| format!("bad frame: {e}"))?
+                        {
+                            match Response::decode(&payload)
+                                .map_err(|e| format!("bad response: {e}"))?
+                            {
+                                Response::Outcome { corr, .. } => {
+                                    let us = send_time[usize::try_from(corr)
+                                        .map_err(|_| "corr out of range".to_owned())?]
+                                    .elapsed()
+                                    .as_micros();
+                                    latencies.push(u64::try_from(us).unwrap_or(u64::MAX));
+                                    m.inflight -= 1;
+                                    if next < total {
+                                        enqueue(m, next, warm_jobs, &mut send_time);
+                                        next += 1;
+                                    }
+                                }
+                                Response::Error { status, reason, .. } => {
+                                    return Err(format!(
+                                        "sweep request failed: {} {reason:?}",
+                                        status.as_str()
+                                    ))
+                                }
+                                other => return Err(format!("unexpected response {other:?}")),
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(format!("recv: {e}")),
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    Ok(ConnLevelReport {
+        conns,
+        requests: latencies.len(),
+        throughput_rps: latencies.len() as f64 / elapsed,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    })
+}
+
 impl LoadReport {
     /// Renders the report as the `BENCH_serve.json` document. The
     /// output always passes [`cedar_obs::export::validate_json`].
@@ -649,7 +1044,7 @@ impl LoadReport {
             }
         }
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"schema\": \"cedar-bench-serve/3\",\n");
+        out.push_str("{\n  \"schema\": \"cedar-bench-serve/4\",\n");
         out.push_str(&format!(
             "  \"commit\": \"{}\",\n",
             cedar_obs::export::escape_json(&self.commit)
@@ -704,6 +1099,36 @@ impl LoadReport {
             )),
             None => out.push_str("  \"adversarial\": null,\n"),
         }
+        out.push_str(&format!(
+            "  \"binary\": {{\"warm_jobs\": {}, \"warm_rps\": {}, \"peak_rps\": {}, \
+             \"peak_p50_us\": {}, \"peak_p99_us\": {}, \"conn_curve\": [\n",
+            self.binary.warm_jobs,
+            f(self.binary.warm_rps),
+            f(self.binary.peak_rps),
+            self.binary.peak_p50_us,
+            self.binary.peak_p99_us
+        ));
+        for (i, level) in self.binary.curve.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"conns\": {}, \"requests\": {}, \"throughput_rps\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+                level.conns,
+                level.requests,
+                f(level.throughput_rps),
+                level.p50_us,
+                level.p99_us,
+                if i + 1 == self.binary.curve.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ]},\n");
+        out.push_str(&format!(
+            "  \"conns\": {}, \"fd_limit\": {},\n",
+            self.conns, self.fd_limit
+        ));
         out.push_str("  \"obs\": {");
         for (i, (name, value)) in self.obs.iter().enumerate() {
             if i > 0 {
@@ -733,13 +1158,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_pick_the_right_samples() {
+    fn percentiles_interpolate_between_ranks() {
         let v: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&v, 0.0), 1);
+        // Rank 49.5 over 1..=100: halfway between 50 and 51.
         assert_eq!(percentile(&v, 0.50), 51);
         assert_eq!(percentile(&v, 0.99), 99);
         assert_eq!(percentile(&v, 1.0), 100);
+        // The interpolation itself: p50 of [0, 10] is 5, not either
+        // endpoint, and p75 of [0, 10, 20, 30] lands between samples.
+        assert_eq!(percentile(&[0, 10], 0.50), 5);
+        assert_eq!(percentile(&[0, 10, 20, 30], 0.75), 23);
+        // A two-sample tail must not snap to the max (the old
+        // nearest-rank bug): p99 of [100, 200] is 199, not 200.
+        assert_eq!(percentile(&[100, 200], 0.99), 199);
         assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
     }
 
     #[test]
@@ -781,6 +1215,31 @@ mod tests {
                 partial_write_conns: 2,
                 idle_survived: true,
             }),
+            binary: BinaryReport {
+                warm_jobs: 16,
+                warm_rps: 850.0,
+                curve: vec![
+                    ConnLevelReport {
+                        conns: 4,
+                        requests: 256,
+                        throughput_rps: 9000.0,
+                        p50_us: 300,
+                        p99_us: 900,
+                    },
+                    ConnLevelReport {
+                        conns: 64,
+                        requests: 256,
+                        throughput_rps: 15000.0,
+                        p50_us: 400,
+                        p99_us: 2100,
+                    },
+                ],
+                peak_rps: 15000.0,
+                peak_p50_us: 400,
+                peak_p99_us: 2100,
+            },
+            conns: 64,
+            fd_limit: 1024,
             obs: vec![
                 ("serve_conn_reaped_read".to_owned(), 3.0),
                 ("serve_queue_shed".to_owned(), 0.0),
@@ -794,9 +1253,22 @@ mod tests {
         let parsed = json::parse(&text).unwrap();
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("cedar-bench-serve/3")
+            Some("cedar-bench-serve/4")
         );
         assert_eq!(parsed.get("commit").and_then(Json::as_str), Some("abc123"));
+        assert_eq!(
+            parsed
+                .get("binary")
+                .and_then(|b| b.get("peak_rps"))
+                .and_then(Json::as_f64),
+            Some(15000.0)
+        );
+        match parsed.get("binary").and_then(|b| b.get("conn_curve")) {
+            Some(Json::Arr(levels)) => assert_eq!(levels.len(), 2),
+            other => panic!("conn_curve should be a 2-entry array, got {other:?}"),
+        }
+        assert_eq!(parsed.get("conns").and_then(Json::as_u64), Some(64));
+        assert_eq!(parsed.get("fd_limit").and_then(Json::as_u64), Some(1024));
         assert_eq!(
             parsed
                 .get("obs")

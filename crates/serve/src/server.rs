@@ -1,48 +1,65 @@
-//! The cedar-serve server: accept loop, admission control, dedup,
+//! The cedar-serve server: reactor fleet, admission control, dedup,
 //! batching dispatcher, and graceful drain.
 //!
 //! # Request path
 //!
 //! ```text
-//! TCP line ──parse──▶ admission ──▶ JobQueue ──▶ dispatcher batch
-//!                        │  │                        │
-//!                        │  └─ dedup map (collapse)  └─ cedar-exec pool
-//!                        └─ CacheDir (memoize)             │
-//!                 ◀────────────── reply channel ◀──────────┘
+//! TCP bytes ──reactor──▶ Conn ──parse──▶ admission ──▶ JobQueue ──▶ dispatcher
+//!                         ▲                 │  │                        │
+//!                         │                 │  └─ dedup map (collapse)  └─ cedar-exec pool
+//!                         │                 └─ CacheDir (memoize)            │
+//!                         └──── ReactorLink (rendered reply bytes) ◀────────┘
 //! ```
+//!
+//! Connections are owned by a small fixed set of reactor threads (see
+//! [`crate::reactor`]); no thread is ever created per connection.
+//! Requests that cannot be answered immediately (a `run` that misses
+//! the cache, a `shutdown`) register a [`Waiter`] — reactor id,
+//! connection token, and enough protocol context to render the reply —
+//! and the dispatcher routes rendered bytes back through the owning
+//! reactor's inbox when the job completes. One connection can have any
+//! number of waiters outstanding; the binary protocol's correlation
+//! ids (and the line protocol's `id` field) let clients pipeline.
 //!
 //! Identical in-flight requests collapse onto one execution: the first
 //! arrival inserts an entry in the dedup map and queues a ticket, later
-//! arrivals just register a reply channel. Completed outcomes are
-//! memoized in a [`CacheDir`] keyed by the spec's content hash, so
-//! repeats across runs are cache hits that never touch the queue.
+//! arrivals just add their waiter. Completed outcomes are memoized in a
+//! [`CacheDir`] keyed by the spec's content hash — and because
+//! [`JobOutcome::to_snapshot_bytes`] *is* the cache entry, the sealed
+//! envelope is built once and shared (`Arc`) between the cache write
+//! and every binary `Outcome` response, which forwards it verbatim.
 //!
 //! # Shutdown
 //!
 //! Graceful drain (`shutdown` op or [`ServerHandle::shutdown`]) closes
 //! the queue: admission starts rejecting `run`s with a typed
 //! `draining` reason, the dispatcher finishes the backlog, every
-//! waiter gets its reply, and only then does the accept loop stop —
-//! deterministic in the sense that every admitted job completes and
-//! every connection sees a final line. [`ServerHandle::kill`] is the
-//! hard variant: the in-flight sweep stops at the next point boundary
-//! via `cedar-exec` cancellation and queued jobs answer `cancelled`.
+//! waiter gets its reply, the shutdown requesters get their acks, and
+//! only then do the reactors flush and exit — deterministic in the
+//! sense that every admitted job completes and every connection sees a
+//! final reply. [`ServerHandle::kill`] is the hard variant: the
+//! in-flight sweep stops at the next point boundary via `cedar-exec`
+//! cancellation and queued jobs answer `cancelled`.
 
 use std::collections::HashMap;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use cedar_exec::{run_sweep_cancellable_on, CancelToken, Cancelled};
+use cedar_exec::{run_sweep_streaming_on, CancelToken};
 use cedar_obs::export::escape_json;
-use cedar_snap::CacheDir;
+use cedar_snap::{CacheDir, Snapshot};
 
 use crate::config::ServeConfig;
+use crate::conn::{Conn, ConnToken, WireRequest};
 use crate::job::{JobError, JobOutcome, JobSpec};
 use crate::json::{self, Json};
+use crate::proto::{ErrStatus, Request, Response};
 use crate::queue::{JobQueue, JobTicket, PushError};
+use crate::reactor::{Reactor, ReactorLink, ReactorMsg};
 use crate::telemetry::ServeObs;
 
 /// The terminal state of one request.
@@ -59,8 +76,45 @@ pub enum JobReply {
     Failed(JobError),
 }
 
+/// Protocol context a waiter needs to render its reply later.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplyCtx {
+    /// Line-JSON: echo the request's `id`, observe latency from
+    /// `received_us`.
+    Json {
+        id: Option<String>,
+        received_us: u64,
+    },
+    /// Binary: echo the correlation id.
+    Binary { corr: u64, received_us: u64 },
+}
+
+/// One registered reply obligation: which connection (on which
+/// reactor) is owed an answer, and in what protocol.
+#[derive(Debug)]
+pub(crate) struct Waiter {
+    reactor: usize,
+    token: ConnToken,
+    ctx: ReplyCtx,
+    admitted_at: Instant,
+}
+
+/// How one admitted job resolved, shared by every waiter on its key.
+pub(crate) enum Resolution {
+    /// The job produced an outcome. `envelope` is the complete sealed
+    /// CSNP snapshot of it — cache-entry bytes — shared so binary
+    /// responses forward it without re-encoding.
+    Done {
+        outcome: JobOutcome,
+        envelope: Arc<Vec<u8>>,
+        cached: bool,
+    },
+    /// The job failed in a typed way.
+    Failed(JobError),
+}
+
 struct InFlight {
-    waiters: Vec<mpsc::Sender<JobReply>>,
+    waiters: Vec<Waiter>,
 }
 
 struct Lifecycle {
@@ -68,31 +122,184 @@ struct Lifecycle {
     done: Condvar,
 }
 
-struct Shared {
-    cfg: ServeConfig,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) obs: ServeObs,
     queue: JobQueue,
     dedup: Mutex<HashMap<String, InFlight>>,
-    obs: ServeObs,
+    shutdown_waiters: Mutex<Vec<Waiter>>,
     draining: AtomicBool,
-    stop_accept: AtomicBool,
     kill: CancelToken,
     cache: Option<CacheDir>,
     seq: AtomicU64,
+    next_token: AtomicU64,
+    next_reactor: AtomicUsize,
+    conns_open: AtomicU64,
+    links: OnceLock<Vec<ReactorLink>>,
     lifecycle: Lifecycle,
     addr: SocketAddr,
 }
 
 impl Shared {
+    pub(crate) fn link(&self, id: usize) -> &ReactorLink {
+        &self.links.get().expect("links initialized before spawn")[id]
+    }
+
+    fn links(&self) -> &[ReactorLink] {
+        self.links.get().expect("links initialized before spawn")
+    }
+
+    /// A fresh connection token, unique across all reactors.
+    pub(crate) fn mint_token(&self) -> ConnToken {
+        self.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Round-robin target reactor for a fresh connection.
+    pub(crate) fn route_accept(&self) -> usize {
+        self.next_reactor.fetch_add(1, Ordering::Relaxed) % self.links().len()
+    }
+
+    pub(crate) fn conn_opened(&self) {
+        let n = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.obs.set_gauge("serve.conns.open", n as f64);
+    }
+
+    pub(crate) fn conn_closed(&self) {
+        let n = self.conns_open.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.obs.set_gauge("serve.conns.open", n as f64);
+    }
+
+    fn route_reply(&self, reactor: usize, token: ConnToken, bytes: Vec<u8>, close_after: bool) {
+        self.link(reactor).send(ReactorMsg::Reply {
+            token,
+            bytes,
+            close_after,
+        });
+    }
+
+    /// Renders `res` for one waiter and routes the bytes to its
+    /// reactor. Response counters and the latency histogram tick here,
+    /// once per *reply*, exactly as the thread-per-connection server
+    /// counted them.
+    fn resolve_waiter(&self, waiter: &Waiter, res: &Resolution) {
+        let bytes = match &waiter.ctx {
+            ReplyCtx::Json { id, received_us } => {
+                render_resolution_json(id.as_deref(), res, self, *received_us).into_bytes()
+            }
+            ReplyCtx::Binary { corr, received_us } => {
+                render_resolution_binary(*corr, res, self, *received_us)
+            }
+        };
+        self.route_reply(waiter.reactor, waiter.token, bytes, false);
+    }
+
     /// Resolves `key` for every registered waiter and retires it from
     /// the dedup map.
-    fn complete(&self, key: &str, reply: &JobReply) {
+    fn complete(&self, key: &str, res: &Resolution) {
         let entry = self.dedup.lock().expect("dedup lock poisoned").remove(key);
         if let Some(inflight) = entry {
-            for waiter in inflight.waiters {
-                // A waiter that timed out or hung up is its own
-                // problem; everyone else still gets the reply.
-                let _ = waiter.send(reply.clone());
+            for waiter in &inflight.waiters {
+                self.resolve_waiter(waiter, res);
             }
+        }
+    }
+
+    /// Tells every waiter's connection that its job entered execution,
+    /// so the conn state machine can report `Executing`.
+    fn notify_started(&self, key: &str) {
+        let dedup = self.dedup.lock().expect("dedup lock poisoned");
+        if let Some(inflight) = dedup.get(key) {
+            for waiter in &inflight.waiters {
+                self.link(waiter.reactor).send(ReactorMsg::Started {
+                    token: waiter.token,
+                });
+            }
+        }
+    }
+
+    /// Resolves every waiter that has been pending longer than
+    /// `reply_timeout` with a typed `Stalled` — the backstop for a
+    /// wedged dispatcher. The dedup entry itself stays: the ticket may
+    /// still complete for waiters that arrive later.
+    pub(crate) fn sweep_stalled(&self, now: Instant) {
+        let timeout = self.cfg.reply_timeout;
+        let mut stalled = Vec::new();
+        {
+            let mut dedup = self.dedup.lock().expect("dedup lock poisoned");
+            for inflight in dedup.values_mut() {
+                let mut i = 0;
+                while i < inflight.waiters.len() {
+                    if now.duration_since(inflight.waiters[i].admitted_at) >= timeout {
+                        stalled.push(inflight.waiters.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if stalled.is_empty() {
+            return;
+        }
+        let res = Resolution::Failed(JobError::Stalled(
+            "reply channel timed out — dispatcher wedged?".into(),
+        ));
+        for waiter in &stalled {
+            self.resolve_waiter(waiter, &res);
+        }
+    }
+
+    /// The earliest instant [`sweep_stalled`](Shared::sweep_stalled)
+    /// could have work, for sizing reactor 0's poll timeout.
+    pub(crate) fn next_waiter_deadline(&self) -> Option<Instant> {
+        let timeout = self.cfg.reply_timeout;
+        let dedup = self.dedup.lock().expect("dedup lock poisoned");
+        dedup
+            .values()
+            .flat_map(|inflight| &inflight.waiters)
+            .map(|w| w.admitted_at + timeout)
+            .min()
+    }
+
+    /// Registers a `shutdown` requester and starts the drain. Acks go
+    /// out when the dispatcher reports drained — or immediately, if it
+    /// already has.
+    fn register_shutdown(&self, waiter: Waiter) {
+        self.shutdown_waiters
+            .lock()
+            .expect("shutdown waiters poisoned")
+            .push(waiter);
+        self.begin_drain();
+        if *self
+            .lifecycle
+            .drained
+            .lock()
+            .expect("lifecycle lock poisoned")
+        {
+            self.flush_shutdown_acks();
+        }
+    }
+
+    /// Answers every pending `shutdown` requester and closes their
+    /// connections after the ack flushes.
+    fn flush_shutdown_acks(&self) {
+        let waiters = std::mem::take(
+            &mut *self
+                .shutdown_waiters
+                .lock()
+                .expect("shutdown waiters poisoned"),
+        );
+        for waiter in waiters {
+            let bytes = match waiter.ctx {
+                ReplyCtx::Json { .. } => {
+                    b"{\"status\":\"ok\",\"op\":\"shutdown\",\"drained\":true}\n".to_vec()
+                }
+                ReplyCtx::Binary { corr, .. } => Response::ShutdownAck {
+                    corr,
+                    drained: true,
+                }
+                .encode(),
+            };
+            self.route_reply(waiter.reactor, waiter.token, bytes, true);
         }
     }
 
@@ -126,19 +333,13 @@ impl Shared {
         self.draining.store(true, Ordering::SeqCst);
         self.queue.close();
     }
-
-    /// Unblocks the accept loop so it can observe the stop flag.
-    fn poke_accept(&self) {
-        self.stop_accept.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-    }
 }
 
 /// A running server and the handles to stop it.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<std::thread::JoinHandle<()>>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
+    reactors: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -155,11 +356,10 @@ impl ServerHandle {
     }
 
     /// Gracefully drains and stops the server: queued jobs finish,
-    /// waiters get replies, then the accept loop exits.
+    /// waiters get replies, then the reactors flush and exit.
     pub fn shutdown(mut self) {
         self.shared.begin_drain();
         self.shared.wait_drained();
-        self.shared.poke_accept();
         self.join_threads();
     }
 
@@ -176,15 +376,14 @@ impl ServerHandle {
         self.shared.kill.cancel();
         self.shared.begin_drain();
         self.shared.wait_drained();
-        self.shared.poke_accept();
         self.join_threads();
     }
 
     fn join_threads(&mut self) {
-        if let Some(t) = self.accept.take() {
+        if let Some(t) = self.dispatcher.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.dispatcher.take() {
+        for t in self.reactors.drain(..) {
             let _ = t.join();
         }
     }
@@ -192,38 +391,52 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept.is_some() {
+        if self.dispatcher.is_some() || !self.reactors.is_empty() {
             self.shared.kill.cancel();
             self.shared.begin_drain();
             self.shared.wait_drained();
-            self.shared.poke_accept();
             self.join_threads();
         }
     }
 }
 
-/// Binds, spawns the accept loop and dispatcher, and returns.
+/// Binds, spawns the dispatcher and the reactor fleet, and returns.
 ///
 /// # Errors
 ///
-/// Returns the underlying I/O error if the bind or the cache directory
-/// fails.
+/// Returns the underlying I/O error if the bind, the wakeup pipes, or
+/// the cache directory fails.
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let cache = match &cfg.cache_dir {
         Some(dir) => Some(CacheDir::new(dir.clone())?),
         None => None,
     };
+    let reactors_n = cfg.reactor_threads.max(1);
+    let mut links = Vec::with_capacity(reactors_n);
+    let mut wake_rxs = Vec::with_capacity(reactors_n);
+    for _ in 0..reactors_n {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        links.push(ReactorLink::new(tx));
+        wake_rxs.push(rx);
+    }
     let shared = Arc::new(Shared {
         queue: JobQueue::new(cfg.queue_capacity),
-        dedup: Mutex::new(HashMap::new()),
         obs: ServeObs::new(),
+        dedup: Mutex::new(HashMap::new()),
+        shutdown_waiters: Mutex::new(Vec::new()),
         draining: AtomicBool::new(false),
-        stop_accept: AtomicBool::new(false),
         kill: CancelToken::new(),
         cache,
         seq: AtomicU64::new(0),
+        next_token: AtomicU64::new(0),
+        next_reactor: AtomicUsize::new(0),
+        conns_open: AtomicU64::new(0),
+        links: OnceLock::new(),
         lifecycle: Lifecycle {
             drained: Mutex::new(false),
             done: Condvar::new(),
@@ -231,6 +444,9 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         addr,
         cfg,
     });
+    let Ok(()) = shared.links.set(links) else {
+        unreachable!("links set exactly once at startup")
+    };
 
     let dispatcher = {
         let shared = Arc::clone(&shared);
@@ -238,319 +454,280 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
             .name("serve-dispatch".into())
             .spawn(move || dispatch_loop(&shared))?
     };
-    let accept = {
+    let mut reactors = Vec::with_capacity(reactors_n);
+    let mut listener = Some(listener);
+    for (id, wake_rx) in wake_rxs.into_iter().enumerate() {
         let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("serve-accept".into())
-            .spawn(move || accept_loop(&listener, &shared))?
-    };
+        // Reactor 0 owns the listener and deals accepts to the rest.
+        let listener = listener.take();
+        reactors.push(
+            std::thread::Builder::new()
+                .name(format!("serve-reactor-{id}"))
+                .spawn(move || Reactor::new(shared, id, listener, wake_rx).run())?,
+        );
+    }
 
     Ok(ServerHandle {
         shared,
-        accept: Some(accept),
         dispatcher: Some(dispatcher),
+        reactors,
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.stop_accept.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        // One thread per connection: clients are few (a loadgen, a
-        // scraper, an operator with nc) and the queue, not the accept
-        // tier, is the concurrency limiter.
-        let _ = std::thread::Builder::new()
-            .name("serve-conn".into())
-            .spawn(move || handle_connection(stream, &shared));
-    }
+/// How admission answered one `run`.
+enum Admission {
+    /// Answer now (spec error, draining, cache hit).
+    Immediate(Resolution),
+    /// A waiter is registered; the reply arrives via the reactor
+    /// inbox. The caller must mark the connection `admitted`.
+    Pending,
 }
 
-/// What [`TimedLineReader::next_line`] observed on the wire.
-enum NextLine {
-    /// One complete request line (newline stripped by the caller's
-    /// `trim`).
-    Line(String),
-    /// A partial line sat unfinished past the line timeout.
-    TimedOut,
-    /// Clean EOF or a connection-level I/O error.
-    Closed,
-}
-
-/// A line reader that distinguishes *idle* from *stalled mid-line*.
-///
-/// The kernel read timeout is only a polling quantum: waking up with
-/// no bytes is fine forever as long as no request line is in progress.
-/// The reap clock starts at the first byte of a line and stops at its
-/// newline, so a slow-loris dripping bytes cannot keep a line open past
-/// `line_timeout`, while a control connection that pings once a minute
-/// lives as long as it likes.
-struct TimedLineReader {
-    stream: TcpStream,
-    pending: Vec<u8>,
-    partial_since: Option<Instant>,
-    line_timeout: Duration,
-}
-
-impl TimedLineReader {
-    fn new(stream: TcpStream, line_timeout: Duration) -> std::io::Result<Self> {
-        let quantum =
-            (line_timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(100));
-        stream.set_read_timeout(Some(quantum))?;
-        Ok(TimedLineReader {
-            stream,
-            pending: Vec::new(),
-            partial_since: None,
-            line_timeout,
-        })
-    }
-
-    fn next_line(&mut self) -> NextLine {
-        let mut chunk = [0u8; 4096];
-        loop {
-            if let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
-                let raw: Vec<u8> = self.pending.drain(..=nl).collect();
-                // Bytes past the newline are the next line already in
-                // progress; its budget starts now.
-                self.partial_since = (!self.pending.is_empty()).then(Instant::now);
-                return NextLine::Line(String::from_utf8_lossy(&raw).into_owned());
-            }
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return NextLine::Closed,
-                Ok(n) => {
-                    if self.partial_since.is_none() {
-                        self.partial_since = Some(Instant::now());
-                    }
-                    self.pending.extend_from_slice(&chunk[..n]);
-                }
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if self
-                        .partial_since
-                        .is_some_and(|t| t.elapsed() >= self.line_timeout)
-                    {
-                        return NextLine::TimedOut;
-                    }
-                }
-                Err(_) => return NextLine::Closed,
-            }
-        }
-    }
-}
-
-/// Writes one reply line; on a send-timeout (the client stopped
-/// reading) counts the reap. Returns false when the connection is done.
-fn send_reply(writer: &mut TcpStream, reply: &str, shared: &Shared) -> bool {
-    match writer
-        .write_all(reply.as_bytes())
-        .and_then(|()| writer.flush())
-    {
-        Ok(()) => true,
-        Err(e) => {
-            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
-                shared.obs.inc("serve.conn.reaped_write");
-            }
-            false
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    // One-line requests and replies are far smaller than a segment;
-    // letting Nagle batch them just adds delayed-ACK stalls (~40ms per
-    // round trip on a reused connection) to every latency sample.
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    let mut reader = match stream
-        .try_clone()
-        .and_then(|s| TimedLineReader::new(s, shared.cfg.line_timeout))
-    {
-        Ok(r) => r,
-        Err(_) => return,
-    };
-    let mut writer = stream;
-    let mut first = true;
-    loop {
-        let line = match reader.next_line() {
-            NextLine::Line(l) => l,
-            NextLine::TimedOut => {
-                shared.obs.inc("serve.conn.reaped_read");
-                let _ = send_reply(
-                    &mut writer,
-                    "{\"status\":\"timeout\",\"reason\":\"request line stalled; connection reaped\"}\n",
-                    shared,
-                );
-                return;
-            }
-            NextLine::Closed => return,
-        };
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        // A plain HTTP scraper is welcome: sniff the request line and
-        // answer one exposition, then close (Connection: close).
-        if first && trimmed.starts_with("GET ") {
-            serve_http(&mut reader, &mut writer, trimmed, shared);
-            return;
-        }
-        first = false;
-        let (reply, was_shutdown) = handle_line(trimmed, shared);
-        if !send_reply(&mut writer, &reply, shared) {
-            return;
-        }
-        if was_shutdown {
-            // The drain this connection requested is complete; stop
-            // accepting and let the process exit.
-            shared.poke_accept();
-            return;
-        }
-    }
-}
-
-fn serve_http(
-    reader: &mut TimedLineReader,
-    writer: &mut TcpStream,
-    request_line: &str,
+/// Routes one parsed request from a reactor thread. Immediate answers
+/// are buffered straight onto the connection; queued work registers a
+/// waiter and returns, leaving the connection free to pipeline.
+pub(crate) fn handle_wire_request(
     shared: &Arc<Shared>,
+    reactor_id: usize,
+    conn: &mut Conn,
+    request: WireRequest,
 ) {
-    // Drain the header block so the client sees a clean close; a
-    // scraper stalling mid-header gets the same partial-line reaping
-    // as the line protocol.
-    loop {
-        match reader.next_line() {
-            NextLine::Line(hdr) if hdr.trim().is_empty() => break,
-            NextLine::Line(_) => {}
-            NextLine::TimedOut => {
-                shared.obs.inc("serve.conn.reaped_read");
-                return;
-            }
-            NextLine::Closed => return,
+    let now = Instant::now();
+    match request {
+        WireRequest::Http(path) => {
+            // A plain HTTP scraper is welcome: one exposition per
+            // connection, then close (Connection: close). Scrapes are
+            // not requests in the serving sense and stay out of
+            // `serve.requests.received`.
+            let (status, ctype, body) = match path.as_str() {
+                "/metrics" => (
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    shared.obs.prometheus(),
+                ),
+                "/trace" => ("200 OK", "application/json", shared.obs.chrome_trace()),
+                _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+            };
+            let mut reply = Vec::with_capacity(body.len() + 128);
+            let _ = write!(
+                reply,
+                "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            conn.respond(&reply, now);
+            conn.mark_close_after_flush();
         }
+        WireRequest::Line(line) => handle_line(shared, reactor_id, conn, &line, now),
+        WireRequest::Binary(req) => handle_binary(shared, reactor_id, conn, req, now),
     }
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, ctype, body) = match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4",
-            shared.obs.prometheus(),
-        ),
-        "/trace" => ("200 OK", "application/json", shared.obs.chrome_trace()),
-        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
-    };
-    let _ = write!(
-        writer,
-        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = writer.flush();
 }
 
-fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+fn handle_line(shared: &Arc<Shared>, reactor_id: usize, conn: &mut Conn, line: &str, now: Instant) {
     let received_us = shared.obs.now_us();
     shared.obs.inc("serve.requests.received");
     let parsed = match json::parse(line) {
         Ok(v) => v,
         Err(e) => {
             shared.obs.inc("serve.responses.invalid");
-            return (
-                render_error(None, &JobError::Invalid(format!("bad json: {e}"))),
-                false,
-            );
+            let reply = render_error(None, &JobError::Invalid(format!("bad json: {e}")));
+            conn.respond(reply.as_bytes(), now);
+            return;
         }
     };
     let id = parsed.get("id").and_then(Json::as_str).map(str::to_owned);
     let op = parsed.get("op").and_then(Json::as_str).unwrap_or("run");
-    let reply = match op {
-        "ping" => format!(
-            "{{\"status\":\"ok\",\"op\":\"ping\",\"draining\":{}}}\n",
-            shared.draining.load(Ordering::SeqCst)
-        ),
-        "metrics" => format!(
-            "{{\"status\":\"ok\",\"op\":\"metrics\",\"prometheus\":\"{}\"}}\n",
-            escape_json(&shared.obs.prometheus())
-        ),
-        "trace" => format!(
-            "{{\"status\":\"ok\",\"op\":\"trace\",\"chrome_trace\":{}}}\n",
-            // The exporter pretty-prints one event per line; the line
-            // protocol needs one line total. Newlines outside strings
-            // are insignificant JSON whitespace (escape_json encodes
-            // the ones inside), so flattening is loss-free.
-            shared.obs.chrome_trace().replace('\n', " ")
-        ),
-        "shutdown" => {
-            shared.begin_drain();
-            shared.wait_drained();
-            return (
-                "{\"status\":\"ok\",\"op\":\"shutdown\",\"drained\":true}\n".to_owned(),
-                true,
+    match op {
+        "ping" => {
+            let reply = format!(
+                "{{\"status\":\"ok\",\"op\":\"ping\",\"draining\":{}}}\n",
+                shared.draining.load(Ordering::SeqCst)
             );
+            conn.respond(reply.as_bytes(), now);
+        }
+        "metrics" => {
+            let reply = format!(
+                "{{\"status\":\"ok\",\"op\":\"metrics\",\"prometheus\":\"{}\"}}\n",
+                escape_json(&shared.obs.prometheus())
+            );
+            conn.respond(reply.as_bytes(), now);
+        }
+        "trace" => {
+            let reply = format!(
+                "{{\"status\":\"ok\",\"op\":\"trace\",\"chrome_trace\":{}}}\n",
+                // The exporter pretty-prints one event per line; the
+                // line protocol needs one line total. Newlines outside
+                // strings are insignificant JSON whitespace
+                // (escape_json encodes the ones inside), so flattening
+                // is loss-free.
+                shared.obs.chrome_trace().replace('\n', " ")
+            );
+            conn.respond(reply.as_bytes(), now);
+        }
+        "shutdown" => {
+            conn.admitted();
+            shared.register_shutdown(Waiter {
+                reactor: reactor_id,
+                token: conn.token(),
+                ctx: ReplyCtx::Json { id, received_us },
+                admitted_at: now,
+            });
         }
         "run" => {
-            let run_reply = admit_and_wait(&parsed, shared);
-            render_run_reply(id.as_deref(), &run_reply, shared, received_us)
+            let spec = match parsed.get("job") {
+                Some(job) => JobSpec::from_json(job),
+                None => Err(JobError::Invalid("job object missing".into())),
+            };
+            let priority = parsed
+                .get("priority")
+                .and_then(Json::as_u64)
+                .map_or(1, |p| u8::try_from(p.min(2)).expect("clamped"));
+            let deadline_ms = parsed.get("deadline_ms").and_then(Json::as_u64);
+            let waiter = Waiter {
+                reactor: reactor_id,
+                token: conn.token(),
+                ctx: ReplyCtx::Json {
+                    id: id.clone(),
+                    received_us,
+                },
+                admitted_at: now,
+            };
+            match admit_run(shared, spec, priority, deadline_ms, waiter) {
+                Admission::Immediate(res) => {
+                    let reply = render_resolution_json(id.as_deref(), &res, shared, received_us);
+                    conn.respond(reply.as_bytes(), now);
+                }
+                Admission::Pending => conn.admitted(),
+            }
         }
         other => {
             shared.obs.inc("serve.responses.invalid");
-            render_error(
+            let reply = render_error(
                 id.as_deref(),
                 &JobError::Invalid(format!("unknown op {other:?}")),
-            )
+            );
+            conn.respond(reply.as_bytes(), now);
         }
-    };
-    (reply, false)
+    }
 }
 
-fn admit_and_wait(parsed: &Json, shared: &Arc<Shared>) -> JobReply {
-    let Some(job) = parsed.get("job") else {
-        return JobReply::Failed(JobError::Invalid("job object missing".into()));
-    };
-    let spec = match JobSpec::from_json(job) {
+fn handle_binary(
+    shared: &Arc<Shared>,
+    reactor_id: usize,
+    conn: &mut Conn,
+    req: Request,
+    now: Instant,
+) {
+    let received_us = shared.obs.now_us();
+    shared.obs.inc("serve.requests.received");
+    match req {
+        Request::Ping { corr } => {
+            let frame = Response::Pong {
+                corr,
+                draining: shared.draining.load(Ordering::SeqCst),
+            }
+            .encode();
+            conn.respond(&frame, now);
+        }
+        Request::Metrics { corr } => {
+            let frame = Response::MetricsText {
+                corr,
+                prometheus: shared.obs.prometheus(),
+            }
+            .encode();
+            conn.respond(&frame, now);
+        }
+        Request::Shutdown { corr } => {
+            conn.admitted();
+            shared.register_shutdown(Waiter {
+                reactor: reactor_id,
+                token: conn.token(),
+                ctx: ReplyCtx::Binary { corr, received_us },
+                admitted_at: now,
+            });
+        }
+        Request::Run {
+            corr,
+            priority,
+            deadline_ms,
+            spec,
+        } => {
+            // The codec restored the shape; the bounds still need the
+            // same validation the JSON path gets from `from_json`.
+            let spec = spec.validate().map(|()| spec);
+            let waiter = Waiter {
+                reactor: reactor_id,
+                token: conn.token(),
+                ctx: ReplyCtx::Binary { corr, received_us },
+                admitted_at: now,
+            };
+            match admit_run(shared, spec, priority.min(2), deadline_ms, waiter) {
+                Admission::Immediate(res) => {
+                    let frame = render_resolution_binary(corr, &res, shared, received_us);
+                    conn.respond(&frame, now);
+                }
+                Admission::Pending => conn.admitted(),
+            }
+        }
+    }
+}
+
+/// Admission control for one `run`, shared by both protocols: spec
+/// errors, the draining gate, the memoization cache, the dedup map,
+/// and finally the queue.
+fn admit_run(
+    shared: &Arc<Shared>,
+    spec: Result<JobSpec, JobError>,
+    priority: u8,
+    deadline_ms: Option<u64>,
+    waiter: Waiter,
+) -> Admission {
+    let spec = match spec {
         Ok(s) => s,
-        Err(e) => return JobReply::Failed(e),
+        Err(e) => return Admission::Immediate(Resolution::Failed(e)),
     };
     if shared.draining.load(Ordering::SeqCst) {
-        return JobReply::Failed(JobError::Rejected("draining".into()));
+        return Admission::Immediate(Resolution::Failed(JobError::Rejected("draining".into())));
     }
     let key = spec.key();
 
-    // Memoized? Serve from disk without touching the queue.
+    // Memoized? Serve the stored envelope without touching the queue.
+    // The bytes come back checksum-verified; a decode failure (schema
+    // skew from an older build) is just a miss.
     if let Some(cache) = &shared.cache {
-        if let Some(outcome) = cache.load::<JobOutcome>(&key) {
-            shared.obs.inc("serve.cache.hits");
-            return JobReply::Done {
-                outcome,
-                cached: true,
-            };
+        if let Some(bytes) = cache.load_bytes(&key) {
+            if let Ok(outcome) = JobOutcome::from_snapshot_bytes(&bytes) {
+                shared.obs.inc("serve.cache.hits");
+                return Admission::Immediate(Resolution::Done {
+                    outcome,
+                    envelope: Arc::new(bytes),
+                    cached: true,
+                });
+            }
         }
     }
 
-    let (tx, rx) = mpsc::channel();
     let mut owner = false;
     {
         let mut dedup = shared.dedup.lock().expect("dedup lock poisoned");
         match dedup.get_mut(&key) {
             Some(inflight) => {
-                inflight.waiters.push(tx);
+                inflight.waiters.push(waiter);
                 shared.obs.inc("serve.dedup.coalesced");
             }
             None => {
-                dedup.insert(key.clone(), InFlight { waiters: vec![tx] });
+                dedup.insert(
+                    key.clone(),
+                    InFlight {
+                        waiters: vec![waiter],
+                    },
+                );
                 owner = true;
             }
         }
     }
     if owner {
         let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
-        let priority = parsed
-            .get("priority")
-            .and_then(Json::as_u64)
-            .map_or(1, |p| u8::try_from(p.min(2)).expect("clamped"));
-        let deadline = parsed
-            .get("deadline_ms")
-            .and_then(Json::as_u64)
-            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let ticket = JobTicket {
             seq,
             key: key.clone(),
@@ -565,19 +742,16 @@ fn admit_and_wait(parsed: &Json, shared: &Arc<Shared>) -> JobReply {
                 PushError::Closed => "draining",
             };
             shared.obs.inc("serve.queue.rejected");
-            shared.complete(&key, &JobReply::Failed(JobError::Rejected(reason.into())));
+            // Resolves the waiter registered just above, through the
+            // reactor inbox like any other completion.
+            shared.complete(&key, &Resolution::Failed(JobError::Rejected(reason.into())));
         } else {
             shared
                 .obs
                 .set_gauge("serve.queue.depth", shared.queue.depth() as f64);
         }
     }
-    match rx.recv_timeout(shared.cfg.reply_timeout) {
-        Ok(reply) => reply,
-        Err(_) => JobReply::Failed(JobError::Stalled(
-            "reply channel timed out — dispatcher wedged?".into(),
-        )),
-    }
+    Admission::Pending
 }
 
 fn dispatch_loop(shared: &Arc<Shared>) {
@@ -600,7 +774,7 @@ fn dispatch_loop(shared: &Arc<Shared>) {
             );
             if ticket.deadline.is_some_and(|d| d <= now) {
                 shared.obs.inc("serve.jobs.expired");
-                shared.complete(&ticket.key, &JobReply::Failed(JobError::Expired));
+                shared.complete(&ticket.key, &Resolution::Failed(JobError::Expired));
             } else {
                 live.push(ticket);
             }
@@ -608,66 +782,50 @@ fn dispatch_loop(shared: &Arc<Shared>) {
         if live.is_empty() {
             continue;
         }
+        for ticket in &live {
+            shared.notify_started(&ticket.key);
+        }
         let max_net_cycles = shared.cfg.max_net_cycles;
-        let outcome = run_sweep_cancellable_on(
+        // Completions stream out one by one from worker threads — a
+        // fast job's waiters get their bytes while a slow batchmate is
+        // still executing. `finished` tracks which tickets the
+        // streaming callback already resolved so a cancelled sweep
+        // completes exactly the remainder: every ticket answers
+        // exactly once.
+        let finished: Vec<AtomicBool> = live.iter().map(|_| AtomicBool::new(false)).collect();
+        let outcome = run_sweep_streaming_on(
             shared.cfg.workers,
             live.clone(),
             |ticket| {
                 // The deadline may have passed while earlier batch
                 // members ran; re-check at the last possible moment.
                 if ticket.deadline.is_some_and(|d| d <= Instant::now()) {
-                    return (JobReply::Failed(JobError::Expired), 0);
+                    return (Err(JobError::Expired), 0);
                 }
                 let begin = Instant::now();
-                let reply = match ticket.spec.execute(max_net_cycles) {
-                    Ok(outcome) => JobReply::Done {
-                        outcome,
-                        cached: false,
-                    },
-                    Err(e) => JobReply::Failed(e),
-                };
+                let result = ticket.spec.execute(max_net_cycles);
                 let service_us = u64::try_from(begin.elapsed().as_micros()).unwrap_or(u64::MAX);
-                (reply, service_us)
+                (result, service_us)
             },
             &shared.kill,
+            |idx, (result, service_us)| {
+                finished[idx].store(true, Ordering::SeqCst);
+                finish_ticket(shared, &live[idx], result, *service_us);
+            },
         );
-        match outcome {
-            Ok(results) => {
-                for (ticket, (reply, service_us)) in live.iter().zip(results) {
-                    let end_us = shared.obs.now_us();
-                    match &reply {
-                        JobReply::Done { outcome, .. } => {
-                            shared.obs.inc("serve.jobs.executed");
-                            shared.obs.observe_us("serve.job.service_us", service_us);
-                            shared.obs.span(
-                                ticket.seq,
-                                "execute",
-                                end_us.saturating_sub(service_us),
-                                end_us,
-                            );
-                            if let Some(cache) = &shared.cache {
-                                if cache.store(&ticket.key, outcome).is_ok() {
-                                    shared.obs.inc("serve.cache.stores");
-                                }
-                            }
-                        }
-                        JobReply::Failed(JobError::Expired) => {
-                            shared.obs.inc("serve.jobs.expired");
-                        }
-                        JobReply::Failed(_) => {}
-                    }
-                    shared.complete(&ticket.key, &reply);
-                }
-            }
-            Err(Cancelled) => {
-                for ticket in &live {
-                    shared.complete(&ticket.key, &JobReply::Failed(JobError::Cancelled));
+        if outcome.is_err() {
+            // Cancelled mid-batch: points already streamed out above
+            // stay answered; everything else answers `cancelled`.
+            for (idx, ticket) in live.iter().enumerate() {
+                if !finished[idx].load(Ordering::SeqCst) {
+                    shared.complete(&ticket.key, &Resolution::Failed(JobError::Cancelled));
                 }
             }
         }
     }
     // Queue closed and empty: resolve any stragglers (admission lost a
-    // race with close) so no waiter blocks forever, then report drained.
+    // race with close) so no waiter blocks forever, then report
+    // drained, ack the shutdown requesters, and release the reactors.
     let keys: Vec<String> = shared
         .dedup
         .lock()
@@ -676,9 +834,56 @@ fn dispatch_loop(shared: &Arc<Shared>) {
         .cloned()
         .collect();
     for key in keys {
-        shared.complete(&key, &JobReply::Failed(JobError::Cancelled));
+        shared.complete(&key, &Resolution::Failed(JobError::Cancelled));
     }
     shared.mark_drained();
+    shared.flush_shutdown_acks();
+    for link in shared.links() {
+        link.send(ReactorMsg::DrainComplete);
+    }
+}
+
+/// Books one completed (or failed) execution: counters, trace span,
+/// cache write, waiter resolution. Runs on a worker thread, streamed
+/// per completion.
+fn finish_ticket(
+    shared: &Arc<Shared>,
+    ticket: &JobTicket,
+    result: &Result<JobOutcome, JobError>,
+    service_us: u64,
+) {
+    let end_us = shared.obs.now_us();
+    let res = match result {
+        Ok(outcome) => {
+            shared.obs.inc("serve.jobs.executed");
+            shared.obs.observe_us("serve.job.service_us", service_us);
+            shared.obs.span(
+                ticket.seq,
+                "execute",
+                end_us.saturating_sub(service_us),
+                end_us,
+            );
+            // One seal: the same envelope bytes become the cache entry
+            // and every binary response's payload.
+            let envelope = Arc::new(outcome.to_snapshot_bytes());
+            if let Some(cache) = &shared.cache {
+                if cache.store_bytes(&ticket.key, &envelope).is_ok() {
+                    shared.obs.inc("serve.cache.stores");
+                }
+            }
+            Resolution::Done {
+                outcome: *outcome,
+                envelope,
+                cached: false,
+            }
+        }
+        Err(JobError::Expired) => {
+            shared.obs.inc("serve.jobs.expired");
+            Resolution::Failed(JobError::Expired)
+        }
+        Err(e) => Resolution::Failed(e.clone()),
+    };
+    shared.complete(&ticket.key, &res);
 }
 
 fn num(f: f64) -> String {
@@ -689,18 +894,20 @@ fn num(f: f64) -> String {
     }
 }
 
-fn render_run_reply(
+fn render_resolution_json(
     id: Option<&str>,
-    reply: &JobReply,
-    shared: &Arc<Shared>,
+    res: &Resolution,
+    shared: &Shared,
     received_us: u64,
 ) -> String {
     let latency_us = shared.obs.now_us().saturating_sub(received_us);
     shared
         .obs
         .observe_us("serve.request.latency_us", latency_us);
-    match reply {
-        JobReply::Done { outcome, cached } => {
+    match res {
+        Resolution::Done {
+            outcome, cached, ..
+        } => {
             let status = if outcome.degraded { "degraded" } else { "ok" };
             shared.obs.inc(&format!("serve.responses.{status}"));
             let id_field = id.map_or(String::new(), |i| format!("\"id\":\"{}\",", escape_json(i)));
@@ -717,9 +924,46 @@ fn render_run_reply(
                 outcome.failed,
             )
         }
-        JobReply::Failed(err) => {
+        Resolution::Failed(err) => {
             shared.obs.inc(&format!("serve.responses.{}", err.status()));
             render_error(id, err)
+        }
+    }
+}
+
+fn render_resolution_binary(
+    corr: u64,
+    res: &Resolution,
+    shared: &Shared,
+    received_us: u64,
+) -> Vec<u8> {
+    let latency_us = shared.obs.now_us().saturating_sub(received_us);
+    shared
+        .obs
+        .observe_us("serve.request.latency_us", latency_us);
+    match res {
+        Resolution::Done {
+            outcome,
+            envelope,
+            cached,
+        } => {
+            let status = if outcome.degraded { "degraded" } else { "ok" };
+            shared.obs.inc(&format!("serve.responses.{status}"));
+            Response::Outcome {
+                corr,
+                cached: *cached,
+                envelope: envelope.as_ref().clone(),
+            }
+            .encode()
+        }
+        Resolution::Failed(err) => {
+            shared.obs.inc(&format!("serve.responses.{}", err.status()));
+            Response::Error {
+                corr,
+                status: ErrStatus::from_job_error(err),
+                reason: err.reason(),
+            }
+            .encode()
         }
     }
 }

@@ -1,0 +1,147 @@
+//! Thin `poll(2)` shim over `std::os::fd` — the only OS surface the
+//! readiness loop needs, declared directly against the C ABI so the
+//! workspace stays free of external crates. `std` already links libc
+//! on every Unix target, so the symbol is always present.
+//!
+//! The shim is deliberately tiny: one `#[repr(C)]` struct matching
+//! `struct pollfd`, the event bits the reactor uses, and a safe
+//! wrapper that retries `EINTR`. Everything else (nonblocking sockets,
+//! the wakeup pipe) comes from `std`.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// There is data to read.
+pub const POLLIN: i16 = 0x001;
+/// Writing will not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` fd set, layout-compatible with the
+/// kernel's `struct pollfd` on every Unix libc.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by
+    /// the kernel, which is how the reactor masks dead slots without
+    /// re-packing the array).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch entry for `fd` with the given interest set.
+    #[must_use]
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the kernel reported any of `mask` (or an error/hangup,
+    /// which readers and writers must both observe to reap the fd).
+    #[must_use]
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & (mask | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+// `nfds_t` is `unsigned long` on Linux and the BSDs; `c_ulong` matches
+// both LP64 and ILP32 targets.
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+}
+
+/// Blocks until at least one entry is ready, the timeout elapses
+/// (`Ok(0)`), or a signal other than `EINTR` interrupts. `None` waits
+/// forever — the reactor's wakeup pipe is always in the set, so a
+/// forever wait is still interruptible by design.
+///
+/// # Errors
+///
+/// Returns the underlying OS error (except `EINTR`, which retries).
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        // Round *up* so a 100µs deadline doesn't busy-spin on 0ms.
+        Some(t) => i32::try_from(t.as_millis().max(1).min(i32::MAX as u128)).expect("clamped"),
+        None => -1,
+    };
+    loop {
+        for f in fds.iter_mut() {
+            f.revents = 0;
+        }
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout entries for the duration of the
+        // call, and the kernel writes only within it.
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poll_reports_readable_after_a_write() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        // Nothing written yet: a zero timeout returns immediately dry.
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(1))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].ready(POLLIN));
+        a.write_all(b"x").unwrap();
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn poll_reports_writable_and_hangup() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1, "a fresh socket is writable");
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1, "hangup must wake a reader");
+        assert!(fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn negative_fd_entries_are_ignored() {
+        let (_a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(-1, POLLIN), PollFd::new(b.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(!fds[0].ready(POLLIN), "masked slot must stay silent");
+        assert!(fds[1].ready(POLLOUT));
+    }
+}

@@ -64,10 +64,14 @@ impl ServeObs {
             "serve.queue.rejected",
             "serve.conn.reaped_read",
             "serve.conn.reaped_write",
+            "serve.conns.accepted",
+            "serve.reactor.wakeups",
+            "serve.proto.corrupt",
         ] {
             m.counter(name);
         }
         m.gauge("serve.queue.depth");
+        m.gauge("serve.conns.open");
         for name in [
             "serve.queue.wait_us",
             "serve.job.service_us",

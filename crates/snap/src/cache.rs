@@ -78,6 +78,30 @@ impl CacheDir {
         }
     }
 
+    /// Loads the raw sealed envelope for `key`, validated but not
+    /// decoded.
+    ///
+    /// This is the zero-copy read path: the returned bytes are exactly
+    /// what [`store`](CacheDir::store) wrote — a complete checked
+    /// envelope — so a server can forward a memoized entry to the wire
+    /// without re-encoding it. The envelope checksum is verified here;
+    /// undecodable bytes quarantine and read as a miss exactly like
+    /// [`load`](CacheDir::load).
+    #[must_use]
+    pub fn load_bytes(&self, key: &str) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let bytes = fs::read(&path).ok()?;
+        match crate::codec::unseal(&bytes) {
+            Ok(_) => Some(bytes),
+            Err(_) => {
+                let mut quarantined = path.clone().into_os_string();
+                quarantined.push(".corrupt");
+                let _ = fs::rename(&path, PathBuf::from(quarantined));
+                None
+            }
+        }
+    }
+
     /// Lists quarantined entries (`*.corrupt` siblings left behind by
     /// [`load`](CacheDir::load) rejecting undecodable bytes). A healthy
     /// cache — and a healthy cluster run — leaves this empty.
@@ -279,6 +303,28 @@ mod tests {
             leftovers.is_empty(),
             "stray files left behind: {leftovers:?}"
         );
+        fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn load_bytes_returns_the_exact_stored_envelope() {
+        let cache = CacheDir::new(scratch("loadbytes")).unwrap();
+        let value: Vec<u64> = vec![9, 8, 7];
+        let key = value.snapshot_key("test");
+        assert_eq!(cache.load_bytes(&key), None);
+        cache.store(&key, &value).unwrap();
+        let bytes = cache.load_bytes(&key).expect("stored entry");
+        assert_eq!(bytes, fs::read(cache.entry_path(&key)).unwrap());
+        // The raw bytes decode to the stored value: the zero-copy path
+        // and the decoding path agree.
+        assert_eq!(Vec::<u64>::from_snapshot_bytes(&bytes).unwrap(), value);
+        // Corruption quarantines exactly like load().
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        fs::write(cache.entry_path(&key), &bad).unwrap();
+        assert_eq!(cache.load_bytes(&key), None);
+        assert_eq!(cache.corrupt_entries().unwrap().len(), 1);
         fs::remove_dir_all(cache.root()).unwrap();
     }
 

@@ -15,8 +15,17 @@ use std::fmt;
 /// from older builds invalidate themselves.
 pub const SNAP_VERSION: u8 = 1;
 
-/// Envelope magic bytes.
-const MAGIC: [u8; 4] = *b"CSNP";
+/// Envelope magic bytes for snapshots and the cluster wire format.
+pub const SNAP_MAGIC: [u8; 4] = *b"CSNP";
+
+/// Sealed-envelope header size: magic (4) + version (1) + length (8).
+pub const ENVELOPE_HEADER_LEN: usize = 13;
+
+/// Trailing envelope checksum size (FNV-1a of the payload).
+pub const ENVELOPE_CHECKSUM_LEN: usize = 8;
+
+/// Envelope overhead in bytes: header plus checksum.
+pub const ENVELOPE_OVERHEAD: usize = ENVELOPE_HEADER_LEN + ENVELOPE_CHECKSUM_LEN;
 
 /// Why a snapshot failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -320,8 +329,17 @@ pub trait Snapshot: Sized {
 /// [`Snapshot::to_snapshot_bytes`].
 #[must_use]
 pub fn seal(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 21);
-    out.extend_from_slice(&MAGIC);
+    seal_as(SNAP_MAGIC, payload)
+}
+
+/// [`seal`] with a caller-chosen magic: the same checked envelope
+/// (magic, version, length, payload, FNV-1a checksum) reused by other
+/// wire protocols — e.g. the serving tier's `b"CSRV"` frames — so they
+/// inherit the codec's corruption detection without inventing one.
+#[must_use]
+pub fn seal_as(magic: [u8; 4], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + ENVELOPE_OVERHEAD);
+    out.extend_from_slice(&magic);
     out.push(SNAP_VERSION);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
@@ -337,10 +355,20 @@ pub fn seal(payload: &[u8]) -> Vec<u8> {
 /// Returns the specific [`SnapError`] for bad magic, version skew,
 /// truncation, trailing bytes or a checksum mismatch.
 pub fn unseal(bytes: &[u8]) -> Result<&[u8], SnapError> {
-    if bytes.len() < 21 {
+    unseal_as(SNAP_MAGIC, bytes)
+}
+
+/// [`unseal`] with a caller-chosen magic, the inverse of [`seal_as`].
+///
+/// # Errors
+///
+/// Returns the specific [`SnapError`] for bad magic, version skew,
+/// truncation, trailing bytes or a checksum mismatch.
+pub fn unseal_as(magic: [u8; 4], bytes: &[u8]) -> Result<&[u8], SnapError> {
+    if bytes.len() < ENVELOPE_OVERHEAD {
         return Err(SnapError::Truncated);
     }
-    if bytes[0..4] != MAGIC {
+    if bytes[0..4] != magic {
         return Err(SnapError::BadMagic);
     }
     let version = bytes[4];
@@ -350,17 +378,19 @@ pub fn unseal(bytes: &[u8]) -> Result<&[u8], SnapError> {
             expected: SNAP_VERSION,
         });
     }
-    let len = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+    let len = u64::from_le_bytes(bytes[5..ENVELOPE_HEADER_LEN].try_into().unwrap());
     let len = usize::try_from(len).map_err(|_| SnapError::Truncated)?;
-    let end = 13usize.checked_add(len).ok_or(SnapError::Truncated)?;
-    if bytes.len() < end + 8 {
+    let end = ENVELOPE_HEADER_LEN
+        .checked_add(len)
+        .ok_or(SnapError::Truncated)?;
+    if bytes.len() < end + ENVELOPE_CHECKSUM_LEN {
         return Err(SnapError::Truncated);
     }
-    if bytes.len() > end + 8 {
+    if bytes.len() > end + ENVELOPE_CHECKSUM_LEN {
         return Err(SnapError::TrailingBytes);
     }
-    let payload = &bytes[13..end];
-    let checksum = u64::from_le_bytes(bytes[end..end + 8].try_into().unwrap());
+    let payload = &bytes[ENVELOPE_HEADER_LEN..end];
+    let checksum = u64::from_le_bytes(bytes[end..end + ENVELOPE_CHECKSUM_LEN].try_into().unwrap());
     if fnv1a(payload) != checksum {
         return Err(SnapError::BadChecksum);
     }
@@ -566,6 +596,20 @@ mod tests {
             c: vec!["x".into(), "yz".into()],
             d: Some(true),
         }
+    }
+
+    #[test]
+    fn seal_as_round_trips_and_keeps_magics_apart() {
+        let sealed = seal_as(*b"CSRV", b"hello");
+        assert_eq!(unseal_as(*b"CSRV", &sealed).unwrap(), b"hello");
+        // A CSRV envelope is not a CSNP envelope and vice versa.
+        assert_eq!(unseal(&sealed), Err(SnapError::BadMagic));
+        assert_eq!(
+            unseal_as(*b"CSRV", &seal(b"hello")),
+            Err(SnapError::BadMagic)
+        );
+        // seal() is exactly seal_as() with the snapshot magic.
+        assert_eq!(seal(b"hello"), seal_as(SNAP_MAGIC, b"hello"));
     }
 
     #[test]

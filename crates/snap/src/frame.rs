@@ -18,13 +18,10 @@
 
 use std::io::{Read, Write};
 
-use crate::codec::{seal, unseal, SnapError};
-
-/// Sealed-envelope header size: magic (4) + version (1) + length (8).
-const HEADER_LEN: usize = 13;
-
-/// Trailing checksum size.
-const CHECKSUM_LEN: usize = 8;
+use crate::codec::{
+    seal, unseal, SnapError, ENVELOPE_CHECKSUM_LEN as CHECKSUM_LEN,
+    ENVELOPE_HEADER_LEN as HEADER_LEN,
+};
 
 /// Default sanity cap on a frame's payload length. A corrupt or
 /// adversarial length field must fail fast, not allocate gigabytes.

@@ -53,5 +53,8 @@ pub mod codec;
 pub mod frame;
 
 pub use cache::{write_atomic, CacheDir};
-pub use codec::{fnv1a, seal, unseal, SnapError, SnapReader, SnapWriter, Snapshot, SNAP_VERSION};
+pub use codec::{
+    fnv1a, seal, seal_as, unseal, unseal_as, SnapError, SnapReader, SnapWriter, Snapshot,
+    ENVELOPE_CHECKSUM_LEN, ENVELOPE_HEADER_LEN, ENVELOPE_OVERHEAD, SNAP_MAGIC, SNAP_VERSION,
+};
 pub use frame::{read_frame, read_frame_limit, write_frame, FrameError, MAX_FRAME_PAYLOAD};

@@ -76,6 +76,10 @@ pub fn default_gates(threshold_pct: f64) -> Vec<GateSpec> {
         GateSpec::higher("serve.closed.max_throughput_rps", threshold_pct),
         GateSpec::lower("serve.closed.peak_p99_us", threshold_pct),
         GateSpec::lower("serve.open.p99_us", threshold_pct),
+        // The binary-protocol reactor path: peak pipelined throughput
+        // and tail latency at the widest connection sweep level.
+        GateSpec::higher("serve.binary.peak_rps", threshold_pct),
+        GateSpec::lower("serve.conn.peak_p99_us", threshold_pct),
         GateSpec::higher("cache.warm_speedup", threshold_pct),
         GateSpec::higher("cluster.points_per_sec", threshold_pct),
     ]

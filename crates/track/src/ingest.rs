@@ -2,7 +2,7 @@
 //! flat history metrics.
 //!
 //! Each ingester accepts the report text its producer writes —
-//! `cedar-bench-perf/4` (`perf`), `cedar-bench-serve/3` (`loadgen`),
+//! `cedar-bench-perf/4` (`perf`), `cedar-bench-serve/4` (`loadgen`),
 //! `cedar-bench-cluster/1` (`cluster_chaos`), `cedar-bench-compare/1`
 //! (`perf --compare --compare-out`) — and returns an [`Ingested`]
 //! bundle: the run mode, a source tag, and `metric → value` pairs
@@ -139,7 +139,14 @@ pub fn perf_report(text: &str) -> Result<Ingested, String> {
 /// Returns a description when the text is not a well-formed serve
 /// report.
 pub fn serve_report(text: &str) -> Result<Ingested, String> {
-    let (v, _) = parse_report(text, &["cedar-bench-serve/3", "cedar-bench-serve/2"])?;
+    let (v, _) = parse_report(
+        text,
+        &[
+            "cedar-bench-serve/4",
+            "cedar-bench-serve/3",
+            "cedar-bench-serve/2",
+        ],
+    )?;
     let mut metrics = BTreeMap::new();
     let mode = v
         .get("mode")
@@ -199,6 +206,48 @@ pub fn serve_report(text: &str) -> Result<Ingested, String> {
         put(&mut metrics, "serve.open.p50_us", num(open, "p50_us"));
         put(&mut metrics, "serve.open.p99_us", num(open, "p99_us"));
     }
+    // `/4` reports add the binary-protocol phase: a lockstep warm pass
+    // followed by a connections-vs-latency sweep on the `b"CSRV"` wire
+    // format. The curve flattens per level; the peak level (most
+    // connections) feeds the `serve.conn.peak_p99_us` gate.
+    if let Some(bin) = v.get("binary") {
+        put(&mut metrics, "serve.binary.warm_rps", num(bin, "warm_rps"));
+        put(&mut metrics, "serve.binary.peak_rps", num(bin, "peak_rps"));
+        put(
+            &mut metrics,
+            "serve.binary.peak_p50_us",
+            num(bin, "peak_p50_us"),
+        );
+        put(
+            &mut metrics,
+            "serve.binary.peak_p99_us",
+            num(bin, "peak_p99_us"),
+        );
+        if let Some(Json::Arr(levels)) = bin.get("conn_curve") {
+            let mut peak_conns = 0.0f64;
+            let mut peak_p99 = None;
+            for level in levels {
+                let Some(conns) = num(level, "conns") else {
+                    continue;
+                };
+                let tag = format!("serve.conn.c{}", conns as u64);
+                put(
+                    &mut metrics,
+                    &format!("{tag}.throughput_rps"),
+                    num(level, "throughput_rps"),
+                );
+                put(&mut metrics, &format!("{tag}.p50_us"), num(level, "p50_us"));
+                put(&mut metrics, &format!("{tag}.p99_us"), num(level, "p99_us"));
+                if conns >= peak_conns {
+                    peak_conns = conns;
+                    peak_p99 = num(level, "p99_us");
+                }
+            }
+            put(&mut metrics, "serve.conn.peak_p99_us", peak_p99);
+        }
+    }
+    put(&mut metrics, "serve.conns", num(&v, "conns"));
+    put(&mut metrics, "serve.fd_limit", num(&v, "fd_limit"));
     if let Some(adv) = v.get("adversarial") {
         put(
             &mut metrics,
@@ -404,6 +453,45 @@ mod tests {
         assert_eq!(ing.metrics["serve.closed.c4.p99_us"], 4354.0);
         assert_eq!(ing.metrics["serve.open.p99_us"], 1012.0);
         assert_eq!(ing.metrics["serve.obs.serve.conn.reaped_read"], 3.0);
+    }
+
+    #[test]
+    fn serve_v4_report_flattens_the_binary_curve() {
+        let text = r#"{
+  "schema": "cedar-bench-serve/4",
+  "mode": "full",
+  "dedup": {"burst": 8, "executed": 1, "cache_hits": 0, "coalesced": 7},
+  "closed_loop": [
+    {"clients": 4, "requests": 24, "throughput_rps": 1489.0, "p50_us": 2576, "p95_us": 2897, "p99_us": 4354}
+  ],
+  "binary": {
+    "warm_jobs": 32,
+    "warm_rps": 950.5,
+    "peak_rps": 21500.0,
+    "peak_p50_us": 1800,
+    "peak_p99_us": 9200,
+    "conn_curve": [
+      {"conns": 16, "requests": 4000, "throughput_rps": 18000.0, "p50_us": 300, "p99_us": 900},
+      {"conns": 10000, "requests": 20000, "throughput_rps": 21500.0, "p50_us": 1800, "p99_us": 9200}
+    ]
+  },
+  "conns": 10000,
+  "fd_limit": 20000,
+  "obs": {"serve.proto.corrupt": 0},
+  "drained": true
+}"#;
+        let ing = serve_report(text).unwrap();
+        assert_eq!(ing.mode, "full");
+        assert_eq!(ing.metrics["serve.binary.peak_rps"], 21500.0);
+        assert_eq!(ing.metrics["serve.binary.warm_rps"], 950.5);
+        assert_eq!(ing.metrics["serve.conn.c16.throughput_rps"], 18000.0);
+        assert_eq!(ing.metrics["serve.conn.c10000.p99_us"], 9200.0);
+        // The gate metric is the p99 at the *widest* level, not the
+        // best one.
+        assert_eq!(ing.metrics["serve.conn.peak_p99_us"], 9200.0);
+        assert_eq!(ing.metrics["serve.conns"], 10000.0);
+        assert_eq!(ing.metrics["serve.fd_limit"], 20000.0);
+        assert_eq!(ing.metrics["serve.obs.serve.proto.corrupt"], 0.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   ISO-8601 timestamp, host fingerprint, run mode, flat metric map),
 //!   with corrupt lines quarantined as warnings rather than crashes.
 //! - [`ingest`] — turns the benchmark bins' reports
-//!   (`cedar-bench-perf/3`, `cedar-bench-serve/3`,
+//!   (`cedar-bench-perf/3`, `cedar-bench-serve/4`,
 //!   `cedar-bench-cluster/1`, `cedar-bench-compare/1`) into one
 //!   stamped history entry.
 //! - [`gate`] — compares the newest entry against a trailing median of
