@@ -16,13 +16,23 @@
 //!   facts the paper states (band censuses, exception counts), and
 //!   flagged as reconstructions in EXPERIMENTS.md ([`ymp`],
 //!   [`cray1`], [`workstation`]).
+//!
+//! The machine zoo (ROADMAP item 4) extends the roster with two
+//! post-paper designs reconstructed from the related work in
+//! PAPERS.md: the Cray T3D MIMD NUMA message-passing machine,
+//! calibrated from its lattice-QCD performance study ([`t3d`]), and a
+//! SPARC T3-style massively multithreaded NUMA machine ([`t3`]).
 
 #![warn(missing_docs)]
 
 pub mod cm5;
 pub mod cray1;
+pub mod t3;
+pub mod t3d;
 pub mod workstation;
 pub mod ymp;
 
 pub use cm5::Cm5Model;
+pub use t3::T3Model;
+pub use t3d::T3dModel;
 pub use ymp::YmpModel;

@@ -1,0 +1,179 @@
+//! A SPARC T3-style baseline: massively multithreaded NUMA.
+//!
+//! A documented reconstruction following the SPARC T3 characterization
+//! (PAPERS.md): many simple cores, eight hardware threads per core
+//! hiding memory latency, one floating-point unit per core, and a
+//! glueless NUMA fabric. The design point is the inverse of the
+//! Crays': low peak rate per core, but almost no sensitivity to
+//! memory access patterns — the thread scheduler fills stall cycles
+//! with other threads' work, so delivered performance is *flat*
+//! across codes. That flatness is what the zoo measures: the T3-style
+//! machine is the modern heir of the paper's workstation stability
+//! anchors, with commodity parts and near-automatic threading.
+
+use crate::workstation::RELATIVE_RATES;
+
+/// T3-style machine constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct T3Model {
+    /// Cores (each with one FPU).
+    pub cores: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Sustained MFLOPS of one core with its threads saturated.
+    pub core_mflops: f64,
+    /// How far multithreading flattens the scalar per-code spread:
+    /// 0 keeps the workstation shape, 1 makes every code identical.
+    pub smoothing: f64,
+    /// Remote-memory penalty per doubling of active cores.
+    pub numa_penalty_per_doubling: f64,
+}
+
+impl T3Model {
+    /// The characterized configuration: 16 cores × 8 threads.
+    #[must_use]
+    pub fn paper() -> Self {
+        T3Model {
+            cores: 16,
+            threads_per_core: 8,
+            core_mflops: 9.0,
+            smoothing: 0.8,
+            numa_penalty_per_doubling: 0.04,
+        }
+    }
+
+    /// Hardware thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Per-code efficiency: the workstation scalar shape pulled
+    /// toward 1 by latency hiding.
+    fn code_efficiency(rel: f64, smoothing: f64) -> f64 {
+        let flat = 1.0;
+        rel + (flat - rel) * smoothing
+    }
+
+    /// The machine's Perfect ensemble in MFLOPS with automatic
+    /// threading — flat enough to be workstation-stable.
+    #[must_use]
+    pub fn rates(&self) -> Vec<f64> {
+        RELATIVE_RATES
+            .iter()
+            .map(|&rel| {
+                Self::code_efficiency(rel, self.smoothing)
+                    * self.core_mflops
+                    * self.cores as f64
+                    * self.parallel_efficiency(self.cores)
+            })
+            .collect()
+    }
+
+    /// The hand-tuned ensemble: explicit thread placement buys a
+    /// little over the automatic path, uniformly.
+    #[must_use]
+    pub fn tuned_rates(&self) -> Vec<f64> {
+        self.rates().iter().map(|r| r * 1.15).collect()
+    }
+
+    /// Parallel efficiency at `p` active cores under the NUMA
+    /// penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero.
+    #[must_use]
+    pub fn parallel_efficiency(&self, p: usize) -> f64 {
+        assert!(p > 0, "need at least one core");
+        let doublings = (p as f64).log2();
+        1.0 / (1.0 + self.numa_penalty_per_doubling * doublings)
+    }
+
+    /// Per-code speedups over one core at `p` cores: flat and
+    /// near-linear, because stalls are hidden rather than removed.
+    #[must_use]
+    pub fn speedups(&self, p: usize) -> Vec<f64> {
+        RELATIVE_RATES
+            .iter()
+            .map(|_| p as f64 * self.parallel_efficiency(p))
+            .collect()
+    }
+
+    /// Seconds to sweep a working set of `n` elements (one flop per
+    /// element, latency hidden) on `p` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero.
+    #[must_use]
+    pub fn sweep_seconds(&self, n: usize, p: usize) -> f64 {
+        assert!(p > 0, "need at least one core");
+        n as f64 / (self.core_mflops * 1e6 * p as f64 * self.parallel_efficiency(p))
+    }
+
+    /// Delivered MFLOPS on that sweep.
+    #[must_use]
+    pub fn sweep_mflops(&self, n: usize, p: usize) -> f64 {
+        n as f64 / self.sweep_seconds(n, p) / 1e6
+    }
+
+    /// Speedup of `p` cores over one on that sweep.
+    #[must_use]
+    pub fn speedup(&self, n: usize, p: usize) -> f64 {
+        self.sweep_seconds(n, 1) / self.sweep_seconds(n, p)
+    }
+}
+
+impl Default for T3Model {
+    fn default() -> Self {
+        T3Model::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_metrics::stability::instability;
+
+    #[test]
+    fn multithreading_delivers_workstation_stability() {
+        let m = T3Model::paper();
+        let inst = instability(&m.rates(), 0);
+        assert!(
+            inst <= 5.0,
+            "latency hiding must flatten the ensemble, got In(13,0) = {inst}"
+        );
+    }
+
+    #[test]
+    fn flatter_than_the_scalar_shape_it_starts_from() {
+        let m = T3Model::paper();
+        let scalar_inst = instability(&RELATIVE_RATES, 0);
+        assert!(instability(&m.rates(), 0) < scalar_inst);
+    }
+
+    #[test]
+    fn near_linear_core_scaling() {
+        let m = T3Model::paper();
+        let s = m.speedup(1_000_000, 16);
+        assert!(s > 13.0 && s < 16.0, "got {s}");
+        assert!(m.parallel_efficiency(16) > 0.8);
+    }
+
+    #[test]
+    fn low_peak_is_the_price_of_flatness() {
+        let m = T3Model::paper();
+        let max = m.rates().iter().cloned().fold(0.0, f64::max);
+        // Well under the Crays' hundreds of ensemble MFLOPS.
+        assert!(max < 200.0, "got {max}");
+    }
+
+    #[test]
+    fn tuning_buys_little() {
+        let m = T3Model::paper();
+        let auto: f64 = m.rates().iter().sum();
+        let tuned: f64 = m.tuned_rates().iter().sum();
+        assert!(tuned / auto < 1.3, "automatic threading must be close");
+    }
+}

@@ -39,5 +39,8 @@ pub mod stability;
 
 pub use bands::{classify, efficiency, speedup, BandCount, PerfBand};
 pub use fppp::{fppp_check, FpppVerdict, MachineEnsemble};
-pub use ppt::{Ppt1Verdict, Ppt2Verdict, Ppt4Verdict, ScalabilityPoint};
+pub use ppt::{
+    ModelComplexity, Ppt1Verdict, Ppt2Verdict, Ppt3Verdict, Ppt4Verdict, Ppt5Verdict, PptSummary,
+    ScalabilityPoint,
+};
 pub use stability::{instability, stability, StabilityReport};

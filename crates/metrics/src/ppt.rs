@@ -2,9 +2,14 @@
 //!
 //! PPT1 (Delivered Performance), PPT2 (Stable Performance), PPT3
 //! (Portability/Programmability — evaluated through restructuring
-//! efficiency, Table 6), and PPT4 (Code and Architecture Scalability).
-//! PPT5 (reimplementability) is a design property the paper defers,
-//! as do we.
+//! efficiency, Table 6), PPT4 (Code and Architecture Scalability),
+//! and PPT5 (Reimplementability). The paper defers PPT5 as a design
+//! property; the machine zoo scores it anyway, from model-complexity
+//! proxies ([`ModelComplexity`]) — how much of the machine is
+//! commodity parts versus calibrated custom mechanisms — so that
+//! every machine in the zoo gets a verdict on all five tests.
+//! [`PptSummary`] aggregates the five verdicts into the zoo's
+//! cross-machine efficiency score.
 
 use crate::bands::{classify, BandCount, PerfBand};
 use crate::stability::{stability, StabilityReport, STABLE_INSTABILITY_BOUND};
@@ -55,6 +60,175 @@ pub fn ppt2(rates: &[f64], e: usize) -> Ppt2Verdict {
         passes: report.instability <= STABLE_INSTABILITY_BOUND,
         exceptions: e,
         report,
+    }
+}
+
+/// PPT3: "The system supports a programming environment in which
+/// performance is portable" — evaluated, as the paper does with
+/// Table 6, through *restructuring efficiency*: how much of the
+/// best-known (manually tuned) rate the automatic/portable path
+/// recovers per code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt3Verdict {
+    /// Per-code `portable_rate / best_rate`, clamped to 1, in input
+    /// order.
+    pub ratios: Vec<f64>,
+    /// Codes whose portable path recovers at least half the tuned
+    /// rate.
+    pub recovered: usize,
+    /// Whether at least half of the codes recover half the tuned
+    /// rate through the portable path.
+    pub passes: bool,
+}
+
+/// Evaluates PPT3 over paired per-code rates: `portable` is the
+/// automatic/compiler path, `best` the manually tuned one.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or any best
+/// rate is non-positive.
+#[must_use]
+pub fn ppt3(portable: &[f64], best: &[f64]) -> Ppt3Verdict {
+    assert_eq!(portable.len(), best.len(), "rate vectors must pair up");
+    assert!(!portable.is_empty(), "need at least one code");
+    let ratios: Vec<f64> = portable
+        .iter()
+        .zip(best)
+        .map(|(&p, &b)| {
+            assert!(b > 0.0, "best rate must be positive, got {b}");
+            (p / b).min(1.0)
+        })
+        .collect();
+    let recovered = ratios.iter().filter(|&&r| r >= 0.5).count();
+    Ppt3Verdict {
+        passes: 2 * recovered >= ratios.len(),
+        recovered,
+        ratios,
+    }
+}
+
+/// Reimplementability proxies for PPT5: how buildable the machine is
+/// from parts someone else could buy, without re-deriving the
+/// original team's tuning.
+///
+/// The counts are structural facts about each model in the zoo: a
+/// calibrated parameter is a number that had to be measured or fit
+/// (clock ratios, service times, link rates); a custom mechanism is a
+/// hardware subsystem with no commodity equivalent (a combining
+/// switch, a global sync processor, a hand-built vector pipe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelComplexity {
+    /// Parameters that had to be calibrated against the real machine.
+    pub calibrated_parameters: usize,
+    /// Custom hardware mechanisms with no commodity equivalent.
+    pub custom_mechanisms: usize,
+    /// Percentage of the machine buildable from commodity parts.
+    pub commodity_parts_pct: u8,
+}
+
+/// PPT5: "The system is reimplementable in future technologies" —
+/// scored from [`ModelComplexity`] instead of deferred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt5Verdict {
+    /// Reimplementability score in (0, 1]: the commodity fraction
+    /// discounted by every custom mechanism and calibrated parameter.
+    pub score: f64,
+    /// Whether the score clears [`REIMPLEMENTABLE_SCORE`].
+    pub passes: bool,
+}
+
+/// PPT5 pass threshold: machines at or above this score are judged
+/// rebuildable in a future technology generation.
+pub const REIMPLEMENTABLE_SCORE: f64 = 0.4;
+
+/// Evaluates PPT5 from complexity proxies. Each custom mechanism
+/// costs a quarter of the commodity fraction, each calibrated
+/// parameter two percent — so a machine that is mostly commodity
+/// parts with one custom shell (a T3D) passes, while one whose
+/// performance lives in bespoke switches and a long calibration list
+/// (Cedar, the Ultracomputer) does not. This encodes the standard
+/// reimplementability objection to combining hardware.
+///
+/// # Panics
+///
+/// Panics if `commodity_parts_pct` exceeds 100.
+#[must_use]
+pub fn ppt5(complexity: &ModelComplexity) -> Ppt5Verdict {
+    assert!(
+        complexity.commodity_parts_pct <= 100,
+        "commodity percentage must be 0..=100, got {}",
+        complexity.commodity_parts_pct
+    );
+    let commodity = f64::from(complexity.commodity_parts_pct) / 100.0;
+    let penalty = 1.0
+        + 0.25 * complexity.custom_mechanisms as f64
+        + 0.02 * complexity.calibrated_parameters as f64;
+    let score = commodity / penalty;
+    Ppt5Verdict {
+        passes: score >= REIMPLEMENTABLE_SCORE,
+        score,
+    }
+}
+
+/// All five verdicts for one machine, plus the composite efficiency
+/// score the zoo report ranks machines by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PptSummary {
+    /// PPT1 over the machine's best-effort speedup ensemble.
+    pub ppt1: Ppt1Verdict,
+    /// PPT2 over the machine's rate ensemble.
+    pub ppt2: Ppt2Verdict,
+    /// PPT3 over the portable-vs-tuned rate pairs.
+    pub ppt3: Ppt3Verdict,
+    /// PPT4 over the (P, N) scalability grid.
+    pub ppt4: Ppt4Verdict,
+    /// PPT5 from the machine's complexity proxies.
+    pub ppt5: Ppt5Verdict,
+}
+
+impl PptSummary {
+    /// How many of the five tests the machine passes (PPT4 passes
+    /// when no cell is unacceptable and the rates are size-stable).
+    #[must_use]
+    pub fn passed(&self) -> usize {
+        [
+            self.ppt1.passes,
+            self.ppt2.passes,
+            self.ppt3.passes,
+            !self.ppt4.any_unacceptable && self.ppt4.size_stable,
+            self.ppt5.passes,
+        ]
+        .iter()
+        .filter(|&&p| p)
+        .count()
+    }
+
+    /// Composite efficiency score in [0, 1]: the mean of one
+    /// normalized component per test. Deterministic — a pure
+    /// function of the five verdicts.
+    #[must_use]
+    pub fn efficiency_score(&self) -> f64 {
+        let census = self.ppt1.bands;
+        let s1 = if census.total() == 0 {
+            0.0
+        } else {
+            (census.high + census.intermediate) as f64 / census.total() as f64
+        };
+        let s2 = (STABLE_INSTABILITY_BOUND / self.ppt2.report.instability).min(1.0);
+        let s3 = self.ppt3.ratios.iter().sum::<f64>() / self.ppt3.ratios.len() as f64;
+        let band = match self.ppt4.overall_band {
+            PerfBand::High => 1.0,
+            PerfBand::Intermediate => 0.6,
+            PerfBand::Unacceptable => 0.2,
+        };
+        let s4 = if self.ppt4.size_stable {
+            band
+        } else {
+            band * 0.8
+        };
+        let s5 = self.ppt5.score.min(1.0);
+        (s1 + s2 + s3 + s4 + s5) / 5.0
     }
 }
 
@@ -241,5 +415,197 @@ mod tests {
             }],
             &[],
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one point")]
+    fn ppt4_empty_grid_rejected() {
+        let _ = ppt4(&[], &[]);
+    }
+
+    #[test]
+    fn ppt4_single_cell_grid() {
+        // One cell: its band is the overall band, and with a single
+        // rate per processor count the size-stability check is
+        // vacuously true.
+        let point = ScalabilityPoint {
+            processors: 32,
+            problem_size: 10_000,
+            speedup: 17.0,
+        };
+        let v = ppt4(&[point], &[34.0]);
+        assert_eq!(v.bands.len(), 1);
+        assert_eq!(v.overall_band, PerfBand::High);
+        assert!(v.size_stable);
+        assert!(!v.any_unacceptable);
+    }
+
+    #[test]
+    fn ppt4_single_processor_machines_classify_high() {
+        // P = 1: classify() hits the high threshold (0.5) before the
+        // acceptable threshold's P >= 2 panic, so uniprocessor zoo
+        // rows are safe.
+        let point = ScalabilityPoint {
+            processors: 1,
+            problem_size: 1_000,
+            speedup: 1.0,
+        };
+        let v = ppt4(&[point], &[2.0]);
+        assert_eq!(v.overall_band, PerfBand::High);
+    }
+
+    /// Deterministic permutation schedule: rotate by one, swap ends.
+    fn permutations<T: Clone>(xs: &[T]) -> Vec<Vec<T>> {
+        let mut rotated = xs.to_vec();
+        rotated.rotate_left(1);
+        let mut swapped = xs.to_vec();
+        if swapped.len() >= 2 {
+            let last = swapped.len() - 1;
+            swapped.swap(0, last);
+        }
+        vec![rotated, swapped]
+    }
+
+    #[test]
+    fn ppt1_verdict_is_permutation_invariant() {
+        let speedups = [10.0, 8.0, 5.0, 4.0, 20.0, 2.0, 17.0, 1.0];
+        let base = ppt1(&speedups, 32);
+        for perm in permutations(&speedups) {
+            let v = ppt1(&perm, 32);
+            assert_eq!(v.bands, base.bands);
+            assert_eq!(v.passes, base.passes);
+        }
+    }
+
+    #[test]
+    fn ppt2_verdict_is_permutation_invariant() {
+        let rates = [0.5, 6.9, 8.2, 9.2, 11.2, 31.7, 3.3];
+        let base = ppt2(&rates, 2);
+        for perm in permutations(&rates) {
+            let v = ppt2(&perm, 2);
+            assert_eq!(v.passes, base.passes);
+            assert_eq!(v.report.instability, base.report.instability);
+        }
+    }
+
+    #[test]
+    fn ppt3_verdict_is_permutation_invariant() {
+        let portable = [5.0, 2.0, 8.0, 1.0];
+        let best = [10.0, 10.0, 8.0, 9.0];
+        let base = ppt3(&portable, &best);
+        // Permute the *pairs* together.
+        let pairs: Vec<(f64, f64)> = portable.iter().copied().zip(best).collect();
+        for perm in permutations(&pairs) {
+            let (p, b): (Vec<f64>, Vec<f64>) = perm.into_iter().unzip();
+            let v = ppt3(&p, &b);
+            assert_eq!(v.passes, base.passes);
+            assert_eq!(v.recovered, base.recovered);
+        }
+    }
+
+    #[test]
+    fn ppt4_aggregates_are_permutation_invariant() {
+        let points = [
+            ScalabilityPoint {
+                processors: 32,
+                problem_size: 10_000,
+                speedup: 17.0,
+            },
+            ScalabilityPoint {
+                processors: 32,
+                problem_size: 172_000,
+                speedup: 20.0,
+            },
+            ScalabilityPoint {
+                processors: 8,
+                problem_size: 10_000,
+                speedup: 2.0,
+            },
+        ];
+        let rates = [34.0, 48.0, 20.0];
+        let base = ppt4(&points, &rates);
+        let cells: Vec<(ScalabilityPoint, f64)> = points.iter().copied().zip(rates).collect();
+        for perm in permutations(&cells) {
+            let (p, r): (Vec<ScalabilityPoint>, Vec<f64>) = perm.into_iter().unzip();
+            let v = ppt4(&p, &r);
+            // Per-cell bands follow input order; the aggregates must
+            // not.
+            assert_eq!(v.any_unacceptable, base.any_unacceptable);
+            assert_eq!(v.size_stable, base.size_stable);
+            assert_eq!(v.overall_band, base.overall_band);
+        }
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_across_calls() {
+        let speedups = [10.0, 8.0, 5.0];
+        let rates = [6.9, 8.2, 9.2];
+        assert_eq!(ppt1(&speedups, 32), ppt1(&speedups, 32));
+        assert_eq!(ppt2(&rates, 1), ppt2(&rates, 1));
+        assert_eq!(ppt3(&rates, &rates), ppt3(&rates, &rates));
+    }
+
+    #[test]
+    fn ppt3_recovery_threshold() {
+        // 3 of 4 codes recover half the tuned rate: passes.
+        let v = ppt3(&[5.0, 5.0, 9.0, 1.0], &[10.0, 10.0, 9.0, 10.0]);
+        assert!(v.passes);
+        assert_eq!(v.recovered, 3);
+        assert_eq!(v.ratios[2], 1.0, "ratios clamp at 1");
+        // 1 of 4: fails.
+        let v = ppt3(&[1.0, 1.0, 9.0, 1.0], &[10.0, 10.0, 9.0, 10.0]);
+        assert!(!v.passes);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one code")]
+    fn ppt3_empty_rejected() {
+        let _ = ppt3(&[], &[]);
+    }
+
+    #[test]
+    fn ppt5_commodity_machines_pass_custom_ones_fail() {
+        // A workstation: all commodity, nothing calibrated.
+        let workstation = ppt5(&ModelComplexity {
+            calibrated_parameters: 2,
+            custom_mechanisms: 0,
+            commodity_parts_pct: 100,
+        });
+        assert!(workstation.passes);
+        // A combining-network machine: the classic objection.
+        let ultra = ppt5(&ModelComplexity {
+            calibrated_parameters: 6,
+            custom_mechanisms: 5,
+            commodity_parts_pct: 35,
+        });
+        assert!(!ultra.passes);
+        assert!(workstation.score > ultra.score);
+    }
+
+    #[test]
+    fn summary_counts_and_scores() {
+        let summary = PptSummary {
+            ppt1: ppt1(&[20.0, 10.0, 5.0, 1.0], 32),
+            ppt2: ppt2(&[6.9, 8.2, 9.2, 11.2], 0),
+            ppt3: ppt3(&[5.0, 9.0], &[10.0, 9.0]),
+            ppt4: ppt4(
+                &[ScalabilityPoint {
+                    processors: 32,
+                    problem_size: 10_000,
+                    speedup: 17.0,
+                }],
+                &[34.0],
+            ),
+            ppt5: ppt5(&ModelComplexity {
+                calibrated_parameters: 2,
+                custom_mechanisms: 0,
+                commodity_parts_pct: 100,
+            }),
+        };
+        assert_eq!(summary.passed(), 5);
+        let score = summary.efficiency_score();
+        assert!(score > 0.0 && score <= 1.0);
+        // Deterministic.
+        assert_eq!(score, summary.clone().efficiency_score());
     }
 }

@@ -1,0 +1,440 @@
+//! The Ultracomputer-style combining fabric.
+//!
+//! A round-trip hotspot experiment built from two [`OmegaNetwork`]s —
+//! a forward (request) net with fetch-and-add combining enabled at
+//! every switch, and a reverse (reply) net — plus memory modules with
+//! a finite service rate and CE-side hotspot traffic sources. This is
+//! the machinery behind the zoo's *Ultra* machine: the same crossbar
+//! stages Cedar uses, but with the NYU combining wait buffers switched
+//! on, evaluated on the workload where combining is decisive — many
+//! processors hammering one synchronization variable.
+//!
+//! With `combining_slots == 0` the identical machinery runs as a plain
+//! omega network; that run is the zoo's Cedar-side hotspot control, so
+//! the combining-vs-plain comparison differs in exactly one bit of
+//! configuration.
+//!
+//! Determinism: traffic is drawn from per-CE [`SplitMix64`] streams
+//! seeded by port, all stepping is sequential, and the report is a
+//! pure function of the config — byte-identical across runs, thread
+//! counts, and cache replays.
+
+use std::collections::VecDeque;
+
+use cedar_sim::rng::SplitMix64;
+
+use crate::config::NetworkConfig;
+use crate::network::OmegaNetwork;
+use crate::packet::{Packet, PacketId, PacketKind};
+
+/// Configuration of a combining hotspot experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombiningConfig {
+    /// Omega-network geometry shared by the forward and reverse nets.
+    pub net: NetworkConfig,
+    /// Per-switch combining wait-buffer slots; 0 runs the plain
+    /// omega control.
+    pub combining_slots: usize,
+    /// Memory-module service time per request, in network cycles.
+    pub mem_service_net_cycles: u64,
+    /// Requests a module will buffer before refusing arrivals (the
+    /// backpressure that produces tree saturation).
+    pub module_buffer_requests: usize,
+}
+
+impl CombiningConfig {
+    /// The plain-omega control: Cedar's network, no combining.
+    #[must_use]
+    pub fn plain() -> Self {
+        CombiningConfig {
+            net: NetworkConfig::cedar(),
+            combining_slots: 0,
+            mem_service_net_cycles: 4,
+            module_buffer_requests: 2,
+        }
+    }
+
+    /// The Ultra machine: the same network with `slots` wait-buffer
+    /// entries per switch.
+    #[must_use]
+    pub fn ultra(slots: usize) -> Self {
+        CombiningConfig {
+            combining_slots: slots,
+            ..CombiningConfig::plain()
+        }
+    }
+}
+
+/// Hotspot traffic shape: every CE issues `requests_per_ce` requests,
+/// each aimed at the hot module (port 0) with probability
+/// `hot_ppm / 1e6` as a single-word fetch-and-add, otherwise at a
+/// uniformly drawn module as a plain read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotspotTraffic {
+    /// Requests each CE issues in total.
+    pub requests_per_ce: u64,
+    /// Parts-per-million of requests aimed at the hot module.
+    pub hot_ppm: u32,
+    /// Maximum outstanding requests per CE (the CE's prefetch window).
+    pub window: usize,
+}
+
+/// What one hotspot run measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombiningReport {
+    /// CEs that generated traffic.
+    pub ces: usize,
+    /// Requests issued into the forward network.
+    pub issued: u64,
+    /// Replies received back at the CEs.
+    pub completed: u64,
+    /// Network cycles the run took.
+    pub net_cycles: u64,
+    /// Sync requests absorbed by combining switches.
+    pub words_combined: u64,
+    /// Sum of request round-trip latencies, in network cycles.
+    pub sum_latency: u64,
+    /// Network cycles per CE cycle (for unit conversions).
+    pub net_cycles_per_ce_cycle: u64,
+}
+
+impl CombiningReport {
+    /// Whether every issued request completed within the cycle budget.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.issued
+    }
+
+    /// Mean round-trip latency in CE cycles.
+    #[must_use]
+    pub fn mean_latency_ce(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.sum_latency as f64 / self.completed as f64 / self.net_cycles_per_ce_cycle as f64
+    }
+
+    /// Delivered bandwidth: completed requests per CE cycle, summed
+    /// over the whole machine.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        if self.net_cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * self.net_cycles_per_ce_cycle as f64 / self.net_cycles as f64
+    }
+}
+
+/// Per-module state: a bounded request buffer, a service timer, and
+/// an outgoing reply queue feeding the reverse network.
+struct Module {
+    pending: VecDeque<Packet>,
+    busy_until: u64,
+    outgoing: VecDeque<Packet>,
+    served: u64,
+}
+
+/// Per-CE state: the traffic stream and completion bookkeeping.
+struct Source {
+    rng: SplitMix64,
+    next_req: Option<Packet>,
+    issued: u64,
+    outstanding: usize,
+    issue_cycle: Vec<u64>,
+}
+
+/// The assembled experiment.
+pub struct CombiningFabric {
+    cfg: CombiningConfig,
+    forward: OmegaNetwork,
+    reverse: OmegaNetwork,
+    modules: Vec<Module>,
+    sources: Vec<Source>,
+    now: u64,
+    completed: u64,
+    sum_latency: u64,
+}
+
+/// Packet ids encode (CE port, sequence number) so a reply can be
+/// matched to its issue cycle.
+const SEQ_BITS: u32 = 32;
+
+impl CombiningFabric {
+    /// Builds the fabric with `ces` traffic sources on ports
+    /// `0..ces`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ces` is zero or exceeds the network's port count.
+    #[must_use]
+    pub fn new(cfg: CombiningConfig, ces: usize) -> Self {
+        let ports = cfg.net.ports();
+        assert!(ces > 0, "need at least one CE");
+        assert!(ces <= ports, "more CEs than network ports");
+        let mut forward = OmegaNetwork::new(cfg.net);
+        forward.enable_combining(cfg.combining_slots);
+        let reverse = OmegaNetwork::new(cfg.net);
+        CombiningFabric {
+            cfg,
+            forward,
+            reverse,
+            modules: (0..ports)
+                .map(|_| Module {
+                    pending: VecDeque::new(),
+                    busy_until: 0,
+                    outgoing: VecDeque::new(),
+                    served: 0,
+                })
+                .collect(),
+            sources: (0..ces)
+                .map(|port| Source {
+                    rng: SplitMix64::new(0xCEDA_2010 ^ ((port as u64) << 8)),
+                    next_req: None,
+                    issued: 0,
+                    outstanding: 0,
+                    issue_cycle: Vec::new(),
+                })
+                .collect(),
+            now: 0,
+            completed: 0,
+            sum_latency: 0,
+        }
+    }
+
+    /// Runs the hotspot workload to completion (or the cycle budget)
+    /// and reports what happened.
+    pub fn run(&mut self, traffic: HotspotTraffic, max_net_cycles: u64) -> CombiningReport {
+        let total = traffic.requests_per_ce * self.sources.len() as u64;
+        while self.completed < total && self.now < max_net_cycles {
+            self.step(traffic);
+        }
+        CombiningReport {
+            ces: self.sources.len(),
+            issued: self.sources.iter().map(|s| s.issued).sum(),
+            completed: self.completed,
+            net_cycles: self.now,
+            words_combined: self.forward.words_combined(),
+            sum_latency: self.sum_latency,
+            net_cycles_per_ce_cycle: self.cfg.net.net_cycles_per_ce_cycle,
+        }
+    }
+
+    /// One network cycle of the whole fabric.
+    fn step(&mut self, traffic: HotspotTraffic) {
+        self.now += 1;
+        self.forward.step();
+        self.reverse.step();
+        self.service_modules();
+        self.collect_replies();
+        if self
+            .now
+            .is_multiple_of(self.cfg.net.net_cycles_per_ce_cycle)
+        {
+            self.issue_requests(traffic);
+        }
+    }
+
+    /// Modules receive at most one request per cycle (bounded
+    /// buffer), serve at their fixed rate, and push replies — plus
+    /// the fanned-out replies of every request combined under the
+    /// served one — toward the reverse network.
+    fn service_modules(&mut self) {
+        let service = self.cfg.mem_service_net_cycles;
+        for (port, module) in self.modules.iter_mut().enumerate() {
+            // Arrival: refusing to pop when the buffer is full backs
+            // up the exit FIFO and, through it, the switch stages.
+            if module.pending.len() < self.cfg.module_buffer_requests {
+                if let Some((word, _)) = self.forward.pop_output(port) {
+                    module.pending.push_back(word.packet);
+                }
+            }
+            // Service completion -> reply generation.
+            if self.now >= module.busy_until {
+                if let Some(req) = module.pending.pop_front() {
+                    module.busy_until = self.now + service;
+                    module.served += 1;
+                    if let Some(reply) = req.reply() {
+                        module.outgoing.push_back(reply);
+                    }
+                    // Decombination: riders absorbed under this id
+                    // get their own replies, without ever having
+                    // traversed the congested stages.
+                    for rider in self.forward.take_combined(req.id) {
+                        if let Some(reply) = rider.reply() {
+                            module.outgoing.push_back(reply);
+                        }
+                    }
+                }
+            }
+            // One reply injection attempt per cycle.
+            if let Some(&reply) = module.outgoing.front() {
+                if self.reverse.try_inject(reply) {
+                    module.outgoing.pop_front();
+                }
+            }
+        }
+        self.forward.clear_delivered();
+    }
+
+    /// CEs drain the reverse network and record round-trip latency.
+    fn collect_replies(&mut self) {
+        for (port, source) in self.sources.iter_mut().enumerate() {
+            while let Some((word, _)) = self.reverse.pop_output(port) {
+                let seq = (word.packet.id.0 & ((1 << SEQ_BITS) - 1)) as usize;
+                let issued_at = source.issue_cycle[seq];
+                self.sum_latency += self.now - issued_at;
+                self.completed += 1;
+                source.outstanding -= 1;
+            }
+        }
+        self.reverse.clear_delivered();
+    }
+
+    /// Each CE issues at most one request per CE cycle, within its
+    /// outstanding-request window. A request refused by the inject
+    /// FIFO is retried verbatim next CE cycle, so the stream is
+    /// independent of congestion.
+    fn issue_requests(&mut self, traffic: HotspotTraffic) {
+        let ports = self.cfg.net.ports() as u64;
+        for (port, source) in self.sources.iter_mut().enumerate() {
+            if source.issued >= traffic.requests_per_ce || source.outstanding >= traffic.window {
+                continue;
+            }
+            let req = *source.next_req.get_or_insert_with(|| {
+                let seq = source.issued;
+                let id = PacketId(((port as u64) << SEQ_BITS) | seq);
+                let hot = source.rng.next_bool(f64::from(traffic.hot_ppm) / 1e6);
+                if hot {
+                    Packet::new(id, port, 0, 1, PacketKind::SyncOp)
+                } else {
+                    let dest = source.rng.next_below(ports) as usize;
+                    Packet::new(id, port, dest, 1, PacketKind::ReadRequest)
+                }
+            });
+            if self.forward.try_inject(req) {
+                source.next_req = None;
+                source.issue_cycle.push(self.now);
+                source.issued += 1;
+                source.outstanding += 1;
+            }
+        }
+    }
+}
+
+/// Runs one hotspot experiment from scratch: the zoo's cell kernel.
+#[must_use]
+pub fn run_hotspot(
+    cfg: CombiningConfig,
+    ces: usize,
+    traffic: HotspotTraffic,
+    max_net_cycles: u64,
+) -> CombiningReport {
+    CombiningFabric::new(cfg, ces).run(traffic, max_net_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(requests: u64, hot_ppm: u32) -> HotspotTraffic {
+        HotspotTraffic {
+            requests_per_ce: requests,
+            hot_ppm,
+            window: 4,
+        }
+    }
+
+    #[test]
+    fn every_request_is_answered_exactly_once() {
+        for slots in [0usize, 8] {
+            let report = run_hotspot(
+                CombiningConfig::ultra(slots),
+                16,
+                traffic(32, 500_000),
+                2_000_000,
+            );
+            assert!(report.all_completed(), "slots={slots}: {report:?}");
+            assert_eq!(report.issued, 16 * 32);
+        }
+    }
+
+    #[test]
+    fn combining_beats_plain_omega_on_the_hotspot() {
+        let plain = run_hotspot(
+            CombiningConfig::plain(),
+            32,
+            traffic(64, 500_000),
+            4_000_000,
+        );
+        let ultra = run_hotspot(
+            CombiningConfig::ultra(16),
+            32,
+            traffic(64, 500_000),
+            4_000_000,
+        );
+        assert!(plain.all_completed() && ultra.all_completed());
+        assert!(ultra.words_combined > 0, "combining never fired");
+        assert!(
+            ultra.net_cycles < plain.net_cycles,
+            "combining must finish the hotspot sooner: ultra {} vs plain {}",
+            ultra.net_cycles,
+            plain.net_cycles
+        );
+        assert!(ultra.bandwidth() > plain.bandwidth());
+    }
+
+    #[test]
+    fn plain_control_never_combines() {
+        let report = run_hotspot(
+            CombiningConfig::plain(),
+            8,
+            traffic(16, 1_000_000),
+            1_000_000,
+        );
+        assert_eq!(report.words_combined, 0);
+        assert!(report.all_completed());
+    }
+
+    #[test]
+    fn uniform_traffic_is_barely_combinable() {
+        // With no hot spot there are almost no same-destination sync
+        // pairs to merge, so combining changes little.
+        let plain = run_hotspot(CombiningConfig::plain(), 16, traffic(32, 0), 1_000_000);
+        let ultra = run_hotspot(CombiningConfig::ultra(16), 16, traffic(32, 0), 1_000_000);
+        assert_eq!(ultra.words_combined, 0, "reads never combine");
+        assert_eq!(plain.net_cycles, ultra.net_cycles);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = run_hotspot(
+            CombiningConfig::ultra(8),
+            16,
+            traffic(32, 250_000),
+            1_000_000,
+        );
+        let b = run_hotspot(
+            CombiningConfig::ultra(8),
+            16,
+            traffic(32, 250_000),
+            1_000_000,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hotter_traffic_degrades_the_plain_network_more() {
+        let mild = run_hotspot(CombiningConfig::plain(), 16, traffic(32, 50_000), 2_000_000);
+        let hot = run_hotspot(
+            CombiningConfig::plain(),
+            16,
+            traffic(32, 800_000),
+            2_000_000,
+        );
+        assert!(mild.all_completed() && hot.all_completed());
+        assert!(
+            hot.net_cycles > mild.net_cycles,
+            "tree saturation should bite"
+        );
+    }
+}

@@ -33,6 +33,9 @@
 //!   servers + reverse network, the measurement engine behind the
 //!   paper's Table 2 (first-word latency and interarrival time under
 //!   contention);
+//! * [`combining::CombiningFabric`] — the same stages with NYU
+//!   Ultracomputer fetch-and-add combining switched on, the zoo's
+//!   Ultra machine and its plain-omega hotspot control;
 //! * [`cedar32`] — the production 32×32 dual-link variant the real
 //!   machine shipped with (path diversity the regular omega lacks),
 //!   used by the fidelity study.
@@ -68,6 +71,7 @@
 #![warn(missing_docs)]
 
 pub mod cedar32;
+pub mod combining;
 pub mod config;
 pub mod fabric;
 pub mod network;
@@ -75,6 +79,9 @@ pub mod packet;
 pub mod switch;
 pub mod topology;
 
+pub use combining::{
+    run_hotspot, CombiningConfig, CombiningFabric, CombiningReport, HotspotTraffic,
+};
 pub use config::NetworkConfig;
 pub use fabric::specialized::{EngineKind, ENGINE_ENV};
 pub use fabric::{AddressPattern, FabricReport, PrefetchTraffic, RoundTripFabric};

@@ -16,7 +16,7 @@ use cedar_faults::{CedarError, FaultPlan, NetDirection};
 use cedar_obs::{CounterId, HistogramId, Obs};
 
 use crate::config::NetworkConfig;
-use crate::packet::{Packet, Word};
+use crate::packet::{Packet, PacketId, Word};
 use crate::switch::Crossbar;
 use crate::topology::{Hop, Topology};
 
@@ -555,6 +555,62 @@ impl OmegaNetwork {
     #[must_use]
     pub fn words_dropped(&self) -> u64 {
         self.words_dropped
+    }
+
+    /// Enables (nonzero `slots`) or disables (zero) Ultracomputer-style
+    /// fetch-and-add combining at every switch, with `slots` wait-buffer
+    /// entries per switch. See [`Crossbar::set_combining`].
+    pub fn enable_combining(&mut self, slots: usize) {
+        for stage in &mut self.stages {
+            for sw in stage {
+                sw.set_combining(slots);
+            }
+        }
+    }
+
+    /// Total sync requests absorbed by combining across all switches.
+    #[must_use]
+    pub fn words_combined(&self) -> u64 {
+        self.stages
+            .iter()
+            .flatten()
+            .map(Crossbar::words_combined)
+            .sum()
+    }
+
+    /// Absorbed packets still parked in switch wait buffers.
+    #[must_use]
+    pub fn combined_waiting(&self) -> usize {
+        self.stages
+            .iter()
+            .flatten()
+            .map(Crossbar::waiting_combined)
+            .sum()
+    }
+
+    /// Decombination: collects every packet absorbed under survivor
+    /// `id`, transitively — an absorbed packet may itself have
+    /// absorbed others at an earlier stage, and those riders follow
+    /// it out. Called by the fabric when the survivor's reply is
+    /// produced, so each collected packet gets its own reply.
+    pub fn take_combined(&mut self, id: PacketId) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let mut ids = vec![id];
+        let mut next = 0;
+        while next < ids.len() {
+            let id = ids[next];
+            next += 1;
+            for stage in &mut self.stages {
+                for sw in stage {
+                    let before = out.len();
+                    sw.take_combined_into(id, &mut out);
+                    for pkt in &out[before..] {
+                        ids.push(pkt.id);
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -8,10 +8,26 @@
 //! contiguously until the tail passes. Flow control between stages
 //! prevents queue overflow — a word moves only if the downstream
 //! queue has space.
+//!
+//! # Combining (Ultracomputer mode)
+//!
+//! With [`Crossbar::set_combining`] enabled, the switch additionally
+//! implements NYU Ultracomputer-style pairwise fetch-and-add
+//! combining: when a single-word [`SyncOp`](crate::packet::PacketKind)
+//! request is granted an output whose queue already holds a sync
+//! request to the same destination, the arriving packet is *absorbed*
+//! — parked in a bounded wait buffer keyed by the survivor's id
+//! instead of travelling further. When the survivor's reply is
+//! produced at the memory module, the fabric asks the switches for
+//! every packet absorbed under that id ([decombination]) and fans the
+//! reply back out. Combining is strictly opt-in: with zero slots the
+//! transfer path is word-for-word the plain crossbar.
+//!
+//! [decombination]: crate::network::OmegaNetwork::take_combined
 
 use std::collections::VecDeque;
 
-use crate::packet::Word;
+use crate::packet::{Packet, PacketId, PacketKind, Word};
 use crate::topology::Topology;
 
 /// An `r × r` crossbar switch with buffered, flow-controlled ports.
@@ -47,6 +63,15 @@ pub struct Crossbar {
     /// Per-output round-robin pointer: the input examined first.
     pub(crate) rr_next: Vec<usize>,
     pub(crate) words_switched: u64,
+    /// Wait-buffer capacity for combined packets; 0 disables
+    /// combining and leaves the transfer path bit-identical to the
+    /// plain crossbar.
+    pub(crate) combining_slots: usize,
+    /// Absorbed packets, keyed by the id of the surviving packet
+    /// that carries their request forward.
+    pub(crate) wait: Vec<(PacketId, Packet)>,
+    /// Sync requests absorbed by combining at this switch.
+    pub(crate) words_combined: u64,
 }
 
 impl Crossbar {
@@ -70,6 +95,40 @@ impl Crossbar {
             output_lock: vec![None; radix],
             rr_next: vec![0; radix],
             words_switched: 0,
+            combining_slots: 0,
+            wait: Vec::new(),
+            words_combined: 0,
+        }
+    }
+
+    /// Enables (nonzero) or disables (zero) fetch-and-add combining
+    /// with the given wait-buffer capacity.
+    pub fn set_combining(&mut self, slots: usize) {
+        self.combining_slots = slots;
+    }
+
+    /// Sync requests absorbed by combining at this switch.
+    #[must_use]
+    pub fn words_combined(&self) -> u64 {
+        self.words_combined
+    }
+
+    /// Absorbed packets currently parked in the wait buffer.
+    #[must_use]
+    pub fn waiting_combined(&self) -> usize {
+        self.wait.len()
+    }
+
+    /// Drains every packet absorbed under survivor `id` into `out`
+    /// (decombination). Entries keyed by other survivors stay parked.
+    pub fn take_combined_into(&mut self, id: PacketId, out: &mut Vec<Packet>) {
+        let mut i = 0;
+        while i < self.wait.len() {
+            if self.wait[i].0 == id {
+                out.push(self.wait.remove(i).1);
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -116,7 +175,8 @@ impl Crossbar {
     /// locks keep packets contiguous.
     pub fn transfer(&mut self, topo: &Topology) {
         for output in 0..self.radix {
-            if self.outputs[output].len() >= self.queue_words {
+            let full = self.outputs[output].len() >= self.queue_words;
+            if full && self.combining_slots == 0 {
                 continue; // output queue full: downstream backpressure
             }
             let source = match self.output_lock[output] {
@@ -127,6 +187,12 @@ impl Crossbar {
             let Some(word) = self.inputs[input].front().copied() else {
                 continue; // locked input has no word buffered yet
             };
+            if self.combining_slots > 0 && self.try_combine(output, input, &word) {
+                continue; // absorbed: the survivor carries it forward
+            }
+            if full {
+                continue; // no combining partner: backpressure stands
+            }
             if let Some((_, locked_id)) = self.output_lock[output] {
                 debug_assert_eq!(
                     word.packet.id, locked_id,
@@ -149,6 +215,41 @@ impl Crossbar {
             self.outputs[output].push_back(word);
             self.words_switched += 1;
         }
+    }
+
+    /// Attempts to combine `word` (about to enter `output`) with a
+    /// sync request already queued there. On success the arriving
+    /// packet is absorbed: removed from its input and parked in the
+    /// wait buffer under the survivor's id. Pairwise in the
+    /// Ultracomputer sense — a queued packet that already absorbed
+    /// someone cannot absorb again this hop, and only single-word
+    /// [`PacketKind::SyncOp`] requests to the same destination
+    /// combine (the model carries no addresses; the zoo's hotspot
+    /// workload aims every hot sync op at one module, so destination
+    /// equality is the combining criterion).
+    fn try_combine(&mut self, output: usize, input: usize, word: &Word) -> bool {
+        let pkt = word.packet;
+        if pkt.words != 1 || pkt.kind != PacketKind::SyncOp {
+            return false;
+        }
+        if self.wait.len() >= self.combining_slots {
+            return false;
+        }
+        let survivor = self.outputs[output].iter().find(|w| {
+            w.packet.words == 1
+                && w.packet.kind == PacketKind::SyncOp
+                && w.packet.dest == pkt.dest
+                && w.packet.id != pkt.id
+                && !self.wait.iter().any(|(sid, _)| *sid == w.packet.id)
+        });
+        let Some(survivor) = survivor else {
+            return false;
+        };
+        let sid = survivor.packet.id;
+        self.inputs[input].pop_front();
+        self.wait.push((sid, pkt));
+        self.words_combined += 1;
+        true
     }
 
     /// Round-robin selection of an input whose queued head word is a
@@ -218,6 +319,9 @@ cedar_snap::snapshot_struct!(Crossbar {
     output_lock,
     rr_next,
     words_switched,
+    combining_slots,
+    wait,
+    words_combined,
 });
 
 #[cfg(test)]
@@ -364,5 +468,96 @@ mod tests {
     #[should_panic(expected = "queue capacity must be nonzero")]
     fn rejects_zero_capacity() {
         let _ = Crossbar::new(8, 0, 0);
+    }
+
+    fn sync(src: usize, dest: usize, id: u64) -> Word {
+        Word::of_packet(Packet::new(PacketId(id), src, dest, 1, PacketKind::SyncOp))
+            .next()
+            .unwrap()
+    }
+
+    #[test]
+    fn combining_absorbs_same_dest_sync_ops() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 2, 0);
+        sw.set_combining(4);
+        sw.try_accept(0, sync(0, 0o00, 1));
+        sw.try_accept(1, sync(1, 0o00, 2));
+        sw.transfer(&t); // id 1 switches to output 0
+        sw.transfer(&t); // id 2 meets it there and is absorbed
+        assert_eq!(sw.words_combined(), 1);
+        assert_eq!(sw.waiting_combined(), 1);
+        assert_eq!(sw.words_in_outputs(), 1, "only the survivor travels");
+        let mut out = Vec::new();
+        sw.take_combined_into(PacketId(1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, PacketId(2));
+        assert_eq!(sw.waiting_combined(), 0);
+    }
+
+    #[test]
+    fn combining_is_pairwise_not_n_way() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 2, 0);
+        sw.set_combining(8);
+        sw.try_accept(0, sync(0, 0o00, 1));
+        sw.try_accept(1, sync(1, 0o00, 2));
+        sw.try_accept(2, sync(2, 0o00, 3));
+        sw.transfer(&t); // 1 switches
+        sw.transfer(&t); // 2 absorbed by 1
+        sw.transfer(&t); // 1 already absorbed once: 3 switches instead
+        assert_eq!(sw.words_combined(), 1);
+        assert_eq!(
+            sw.words_in_outputs(),
+            2,
+            "third sync op becomes a second survivor"
+        );
+    }
+
+    #[test]
+    fn combining_ignores_reads_and_mismatched_dests() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 2, 0);
+        sw.set_combining(4);
+        // Two plain reads to the same dest: no combining.
+        sw.try_accept(0, head(0, 0o00, 1));
+        sw.try_accept(1, head(1, 0o00, 2));
+        sw.transfer(&t);
+        sw.transfer(&t);
+        assert_eq!(sw.words_combined(), 0);
+        assert_eq!(sw.words_in_outputs(), 2);
+    }
+
+    #[test]
+    fn combining_respects_wait_capacity() {
+        let t = topo();
+        let mut sw = Crossbar::new(8, 4, 0);
+        sw.set_combining(1);
+        for id in 1..=4 {
+            sw.try_accept(id as usize - 1, sync(id as usize - 1, 0o00, id));
+        }
+        for _ in 0..8 {
+            sw.transfer(&t);
+        }
+        assert_eq!(sw.words_combined(), 1, "one slot: one absorption");
+    }
+
+    #[test]
+    fn zero_slots_is_bit_identical_to_plain_transfer() {
+        let t = topo();
+        let mut plain = Crossbar::new(8, 2, 0);
+        let mut off = Crossbar::new(8, 2, 0);
+        off.set_combining(0);
+        for id in 0..6u64 {
+            let w = sync(id as usize, 0o00, id);
+            plain.try_accept(id as usize % 8, w);
+            off.try_accept(id as usize % 8, w);
+        }
+        for _ in 0..4 {
+            plain.transfer(&t);
+            off.transfer(&t);
+            assert_eq!(plain.words_switched(), off.words_switched());
+            assert_eq!(plain.words_in_outputs(), off.words_in_outputs());
+        }
     }
 }

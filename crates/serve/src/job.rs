@@ -2,7 +2,8 @@
 //!
 //! A job is one self-contained simulation experiment — the same units
 //! the bench harness sweeps (Table-2 kernel cells, degraded-mode grid
-//! points, hot-spot fractions), sized by the request. Execution is a
+//! points, hot-spot fractions, machine-zoo hotspot cells), sized by
+//! the request. Execution is a
 //! pure function of the spec: same spec, same [`JobOutcome`], bit for
 //! bit, which is what makes request dedup and cross-run memoization
 //! sound.
@@ -37,6 +38,10 @@ pub const CACHE_NAMESPACE: &str = "serve.job/1";
 
 /// The Table-2 kernels a `table2` job may name.
 pub const KERNELS: [&str; 4] = ["TM", "CG", "VF", "RK"];
+
+/// Hard cap on a `zoo` job's per-CE request count, bounding the
+/// simulated machines' per-job cost.
+pub const MAX_ZOO_REQUESTS: u32 = 256;
 
 /// One request's simulation work. Rates and fractions are carried in
 /// parts-per-million so specs hash and compare exactly — two requests
@@ -74,6 +79,20 @@ pub enum JobSpec {
         ces: u32,
         /// Prefetch blocks per CE (job size).
         blocks: u32,
+    },
+    /// A machine-zoo hotspot point: one cell of the `cedar-zoo`
+    /// cross-machine study, on any machine of the roster. Cedar and
+    /// the combining Ultra run the real fabric; the analytic machines
+    /// evaluate their serialization curves.
+    Zoo {
+        /// [`cedar_zoo::Machine`] tag.
+        machine: u8,
+        /// Processors to drive (1..=32).
+        ces: u32,
+        /// Requests each CE issues (job size, 1..=[`MAX_ZOO_REQUESTS`]).
+        requests: u32,
+        /// Hot fraction in parts per million.
+        hot_ppm: u32,
     },
 }
 
@@ -193,6 +212,20 @@ impl JobSpec {
                 ces,
                 blocks,
             },
+            "zoo" => {
+                let name = job
+                    .get("machine")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| JobError::Invalid("job.machine missing".into()))?;
+                let machine = cedar_zoo::Machine::from_name(name)
+                    .ok_or_else(|| JobError::Invalid(format!("unknown machine {name:?}")))?;
+                JobSpec::Zoo {
+                    machine: machine.tag(),
+                    ces,
+                    requests: field_u32(job, "requests", 16)?,
+                    hot_ppm: field_ppm(job, "fraction")?,
+                }
+            }
             other => return Err(JobError::Invalid(format!("unknown job type {other:?}"))),
         };
         spec.validate()?;
@@ -205,20 +238,39 @@ impl JobSpec {
     ///
     /// Returns a [`JobError::Invalid`] naming the offending field.
     pub fn validate(&self) -> Result<(), JobError> {
-        let (ces, blocks) = match *self {
-            JobSpec::Table2 { ces, blocks, .. }
-            | JobSpec::Degraded { ces, blocks, .. }
-            | JobSpec::Hotspot { ces, blocks, .. } => (ces, blocks),
+        let ces = match *self {
+            JobSpec::Table2 { ces, .. }
+            | JobSpec::Degraded { ces, .. }
+            | JobSpec::Hotspot { ces, .. }
+            | JobSpec::Zoo { ces, .. } => ces,
         };
         if ces == 0 || ces > MAX_CES {
             return Err(JobError::Invalid(format!(
                 "job.ces must be in 1..={MAX_CES}, got {ces}"
             )));
         }
-        if blocks == 0 || blocks > MAX_BLOCKS {
-            return Err(JobError::Invalid(format!(
-                "job.blocks must be in 1..={MAX_BLOCKS}, got {blocks}"
-            )));
+        match *self {
+            JobSpec::Table2 { blocks, .. }
+            | JobSpec::Degraded { blocks, .. }
+            | JobSpec::Hotspot { blocks, .. } => {
+                if blocks == 0 || blocks > MAX_BLOCKS {
+                    return Err(JobError::Invalid(format!(
+                        "job.blocks must be in 1..={MAX_BLOCKS}, got {blocks}"
+                    )));
+                }
+            }
+            JobSpec::Zoo {
+                machine, requests, ..
+            } => {
+                if cedar_zoo::Machine::from_tag(machine).is_none() {
+                    return Err(JobError::Invalid(format!("unknown machine tag {machine}")));
+                }
+                if requests == 0 || requests > MAX_ZOO_REQUESTS {
+                    return Err(JobError::Invalid(format!(
+                        "job.requests must be in 1..={MAX_ZOO_REQUESTS}, got {requests}"
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -257,6 +309,15 @@ impl JobSpec {
                 ces,
                 blocks,
             } => format!("hotspot frac={hot_ppm}ppm ces={ces} blocks={blocks}"),
+            JobSpec::Zoo {
+                machine,
+                ces,
+                requests,
+                hot_ppm,
+            } => format!(
+                "zoo {} ces={ces} requests={requests} frac={hot_ppm}ppm",
+                cedar_zoo::Machine::from_tag(machine).map_or("?", cedar_zoo::Machine::name)
+            ),
         }
     }
 
@@ -277,6 +338,7 @@ impl JobSpec {
             JobSpec::Hotspot {
                 hot_ppm, blocks, ..
             } => PrefetchTraffic::sync_hotspot(blocks, f64::from(hot_ppm) / 1e6),
+            JobSpec::Zoo { .. } => unreachable!("zoo jobs run the combining fabric"),
         }
     }
 
@@ -288,10 +350,33 @@ impl JobSpec {
     /// Returns [`JobError::Stalled`] if the watchdog trips on a
     /// fault-injected run.
     pub fn execute(&self, max_net_cycles: u64) -> Result<JobOutcome, JobError> {
+        if let JobSpec::Zoo {
+            machine,
+            ces,
+            requests,
+            hot_ppm,
+        } = *self
+        {
+            let machine = cedar_zoo::Machine::from_tag(machine)
+                .ok_or_else(|| JobError::Invalid(format!("unknown machine tag {machine}")))?;
+            let point =
+                cedar_zoo::hotspot_point(machine, ces as usize, u64::from(requests), hot_ppm);
+            return Ok(JobOutcome {
+                degraded: false,
+                latency: point.latency_ce,
+                interarrival: 0.0,
+                bandwidth: point.bandwidth,
+                net_cycles: point.net_cycles,
+                words_dropped: 0,
+                retries: 0,
+                failed: 0,
+            });
+        }
         let ces = match *self {
             JobSpec::Table2 { ces, .. }
             | JobSpec::Degraded { ces, .. }
             | JobSpec::Hotspot { ces, .. } => ces as usize,
+            JobSpec::Zoo { .. } => unreachable!("handled above"),
         };
         let mut fabric = RoundTripFabric::new(FabricConfig::cedar());
         let report = match *self {
@@ -396,6 +481,18 @@ impl Snapshot for JobSpec {
                 w.put_u32(ces);
                 w.put_u32(blocks);
             }
+            JobSpec::Zoo {
+                machine,
+                ces,
+                requests,
+                hot_ppm,
+            } => {
+                w.put_u8(3);
+                w.put_u8(machine);
+                w.put_u32(ces);
+                w.put_u32(requests);
+                w.put_u32(hot_ppm);
+            }
         }
     }
 
@@ -416,6 +513,12 @@ impl Snapshot for JobSpec {
                 hot_ppm: r.get_u32()?,
                 ces: r.get_u32()?,
                 blocks: r.get_u32()?,
+            }),
+            3 => Ok(JobSpec::Zoo {
+                machine: r.get_u8()?,
+                ces: r.get_u32()?,
+                requests: r.get_u32()?,
+                hot_ppm: r.get_u32()?,
             }),
             _ => Err(SnapError::Invalid("unknown JobSpec tag")),
         }
@@ -461,6 +564,17 @@ mod tests {
                 blocks: 4
             }
         );
+        let z = spec(r#"{"type":"zoo","machine":"ultra","ces":8,"requests":32,"fraction":0.25}"#)
+            .unwrap();
+        assert_eq!(
+            z,
+            JobSpec::Zoo {
+                machine: 5,
+                ces: 8,
+                requests: 32,
+                hot_ppm: 250_000
+            }
+        );
     }
 
     #[test]
@@ -473,6 +587,13 @@ mod tests {
             r#"{"type":"hotspot","blocks":1000}"#,
             r#"{"type":"hotspot","fraction":1.5}"#,
             r#"{"type":"degraded","rate":-0.1}"#,
+            r#"{"type":"zoo"}"#,
+            r#"{"type":"zoo","machine":"cray2"}"#,
+            r#"{"type":"zoo","machine":"ultra","ces":64}"#,
+            r#"{"type":"zoo","machine":"ultra","ces":0}"#,
+            r#"{"type":"zoo","machine":"cedar","requests":0}"#,
+            r#"{"type":"zoo","machine":"cedar","requests":1000}"#,
+            r#"{"type":"zoo","machine":"t3d","fraction":2.0}"#,
         ] {
             let err = spec(bad).expect_err(bad);
             assert!(matches!(err, JobError::Invalid(_)), "{bad}: {err:?}");
@@ -489,11 +610,60 @@ mod tests {
     }
 
     #[test]
+    fn zoo_specs_dedup_on_content_not_spelling() {
+        let a = spec(r#"{"type":"zoo","machine":"ultra","ces":8,"requests":32,"fraction":0.25}"#)
+            .unwrap();
+        let b = spec(r#"{"type":"zoo","fraction":0.25,"requests":32,"ces":8,"machine":"ultra"}"#)
+            .unwrap();
+        assert_eq!(a.key(), b.key(), "field order must not matter");
+        for different in [
+            r#"{"type":"zoo","machine":"cedar","ces":8,"requests":32,"fraction":0.25}"#,
+            r#"{"type":"zoo","machine":"ultra","ces":16,"requests":32,"fraction":0.25}"#,
+            r#"{"type":"zoo","machine":"ultra","ces":8,"requests":64,"fraction":0.25}"#,
+        ] {
+            assert_ne!(a.key(), spec(different).unwrap().key(), "{different}");
+        }
+        // Zoo keys live in the same namespace as every other family
+        // and must never collide with a structurally similar hotspot.
+        let h = spec(r#"{"type":"hotspot","fraction":0.25,"ces":8,"blocks":32}"#).unwrap();
+        assert_ne!(a.key(), h.key());
+    }
+
+    #[test]
+    fn zoo_execution_is_deterministic_and_combining_shows_up() {
+        let ultra =
+            spec(r#"{"type":"zoo","machine":"ultra","ces":8,"requests":16,"fraction":0.25}"#)
+                .unwrap();
+        let a = ultra.execute(8_000_000).unwrap();
+        let b = ultra.execute(8_000_000).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.degraded);
+        assert!(a.bandwidth > 0.0 && a.net_cycles > 0);
+        let cedar =
+            spec(r#"{"type":"zoo","machine":"cedar","ces":8,"requests":16,"fraction":0.25}"#)
+                .unwrap()
+                .execute(8_000_000)
+                .unwrap();
+        assert!(
+            a.bandwidth > cedar.bandwidth,
+            "combining must beat the plain omega on hot traffic"
+        );
+        // Analytic machines answer instantly with their curve value.
+        let t3d = spec(r#"{"type":"zoo","machine":"t3d","ces":8,"requests":16,"fraction":0.25}"#)
+            .unwrap()
+            .execute(8_000_000)
+            .unwrap();
+        assert!(t3d.bandwidth > 0.0);
+        assert_eq!(t3d.net_cycles, 0);
+    }
+
+    #[test]
     fn specs_round_trip_through_snapshots() {
         for line in [
             r#"{"type":"table2","kernel":"TM","ces":16,"blocks":8}"#,
             r#"{"type":"degraded","rate":0.05,"ces":8,"blocks":2,"seed":99}"#,
             r#"{"type":"hotspot","fraction":0.25,"ces":32,"blocks":4}"#,
+            r#"{"type":"zoo","machine":"t3","ces":16,"requests":8,"fraction":0.5}"#,
         ] {
             let s = spec(line).unwrap();
             let bytes = s.to_snapshot_bytes();

@@ -82,6 +82,11 @@ pub fn default_gates(threshold_pct: f64) -> Vec<GateSpec> {
         GateSpec::lower("serve.conn.peak_p99_us", threshold_pct),
         GateSpec::higher("cache.warm_speedup", threshold_pct),
         GateSpec::higher("cluster.points_per_sec", threshold_pct),
+        // The machine zoo (ROADMAP item 4): sweep throughput, and the
+        // Cedar row's composite PPT efficiency — the paper's own
+        // machine may never quietly lose ground in its own zoo.
+        GateSpec::higher("zoo.points_per_sec", threshold_pct),
+        GateSpec::higher("zoo.cedar.efficiency_score", threshold_pct),
     ]
 }
 

@@ -3,10 +3,11 @@
 //!
 //! Each ingester accepts the report text its producer writes —
 //! `cedar-bench-perf/4` (`perf`), `cedar-bench-serve/4` (`loadgen`),
-//! `cedar-bench-cluster/1` (`cluster_chaos`), `cedar-bench-compare/1`
-//! (`perf --compare --compare-out`) — and returns an [`Ingested`]
-//! bundle: the run mode, a source tag, and `metric → value` pairs
-//! under a stable dotted namespace (`perf.*`, `serve.*`, `cluster.*`,
+//! `cedar-bench-cluster/1` (`cluster_chaos`), `cedar-bench-zoo/1`
+//! (`zoo`), `cedar-bench-compare/1` (`perf --compare --compare-out`)
+//! — and returns an [`Ingested`] bundle: the run mode, a source tag,
+//! and `metric → value` pairs under a stable dotted namespace
+//! (`perf.*`, `serve.*`, `cluster.*`, `zoo.*`,
 //! `cache.*`). The previous `/2` report schemas are still accepted;
 //! they simply carry no commit stamp of their own.
 
@@ -311,6 +312,57 @@ pub fn cluster_report(text: &str) -> Result<Ingested, String> {
     })
 }
 
+/// Ingests a `BENCH_zoo.json` machine-zoo report: sweep throughput,
+/// the combining gain, and every machine's row flattened to
+/// `zoo.<machine>.*` dotted metrics.
+///
+/// # Errors
+///
+/// Returns a description when the text is not a well-formed zoo
+/// report.
+pub fn zoo_report(text: &str) -> Result<Ingested, String> {
+    let (v, _) = parse_report(text, &["cedar-bench-zoo/1"])?;
+    let mut metrics = BTreeMap::new();
+    let smoke = v.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+    put(&mut metrics, "zoo.cells", num(&v, "cells"));
+    put(&mut metrics, "zoo.wall_ms", num(&v, "wall_ms"));
+    put(
+        &mut metrics,
+        "zoo.points_per_sec",
+        num(&v, "points_per_sec"),
+    );
+    put(
+        &mut metrics,
+        "zoo.combining_gain",
+        num(&v, "combining_gain"),
+    );
+    if let Some(Json::Arr(machines)) = v.get("machines") {
+        for m in machines {
+            let Some(name) = m.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            for key in [
+                "passed",
+                "efficiency_score",
+                "instability",
+                "ppt5_score",
+                "hotspot_retention",
+                "words_combined",
+            ] {
+                put(&mut metrics, &format!("zoo.{name}.{key}"), num(m, key));
+            }
+        }
+    }
+    if metrics.is_empty() {
+        return Err("zoo report contains no ingestible metrics".to_owned());
+    }
+    Ok(Ingested {
+        source: "zoo",
+        mode: if smoke { "smoke" } else { "full" }.to_owned(),
+        metrics,
+    })
+}
+
 /// Ingests a `perf --compare --compare-out` cold/warm cache report.
 ///
 /// # Errors
@@ -506,11 +558,57 @@ mod tests {
         assert_eq!(ing.metrics["cache.warm_speedup"], 416.6);
     }
 
+    const ZOO: &str = r#"{
+  "schema": "cedar-bench-zoo/1",
+  "commit": "abc",
+  "timestamp": "2026-08-08T00:00:00Z",
+  "smoke": true,
+  "threads": 4,
+  "cells": 32,
+  "wall_ms": 812.5,
+  "points_per_sec": 39.4,
+  "combining_gain": 2.31,
+  "machines": [
+    {"name": "cedar", "processors": 32, "ppt1": 1, "ppt2": 1, "ppt3": 1, "ppt4": 0, "ppt5": 0, "passed": 3, "efficiency_score": 0.7123, "instability": 4.1, "ppt5_score": 0.12, "hotspot_retention": 0.45, "words_combined": 0},
+    {"name": "ultra", "processors": 32, "ppt1": 1, "ppt2": 1, "ppt3": 1, "ppt4": 1, "ppt5": 0, "passed": 4, "efficiency_score": 0.8001, "instability": 3.9, "ppt5_score": 0.10, "hotspot_retention": 0.91, "words_combined": 1534}
+  ]
+}"#;
+
+    #[test]
+    fn zoo_report_flattens_each_machine_row() {
+        let ing = zoo_report(ZOO).unwrap();
+        assert_eq!(ing.source, "zoo");
+        assert_eq!(ing.mode, "smoke");
+        assert_eq!(ing.metrics["zoo.cells"], 32.0);
+        assert_eq!(ing.metrics["zoo.points_per_sec"], 39.4);
+        assert_eq!(ing.metrics["zoo.combining_gain"], 2.31);
+        assert_eq!(ing.metrics["zoo.cedar.efficiency_score"], 0.7123);
+        assert_eq!(ing.metrics["zoo.cedar.passed"], 3.0);
+        assert_eq!(ing.metrics["zoo.ultra.words_combined"], 1534.0);
+        assert_eq!(ing.metrics["zoo.ultra.hotspot_retention"], 0.91);
+    }
+
+    #[test]
+    fn zoo_gate_metrics_are_in_the_default_set() {
+        let gates = crate::gate::default_gates(10.0);
+        let ing = zoo_report(ZOO).unwrap();
+        let gated: Vec<&str> = gates
+            .iter()
+            .filter(|g| ing.metrics.contains_key(&g.metric))
+            .map(|g| g.metric.as_str())
+            .collect();
+        assert_eq!(
+            gated,
+            vec!["zoo.points_per_sec", "zoo.cedar.efficiency_score"]
+        );
+    }
+
     #[test]
     fn wrong_schema_is_rejected() {
         assert!(perf_report(r#"{"schema":"cedar-bench-serve/3"}"#).is_err());
         assert!(serve_report(r#"{"schema":"nope/1"}"#).is_err());
         assert!(cluster_report("{}").is_err());
+        assert!(zoo_report(r#"{"schema":"cedar-bench-perf/4"}"#).is_err());
     }
 
     #[test]

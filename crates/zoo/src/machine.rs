@@ -1,0 +1,187 @@
+//! The zoo roster: every machine the report judges.
+
+use cedar_metrics::ModelComplexity;
+
+/// A machine in the zoo. The first five are the paper's own cast;
+/// the last three extend it along the directions PAPERS.md names:
+/// the NYU Ultracomputer (Cedar's network with combining switched
+/// on), the Cray T3D (MIMD NUMA message passing), and a SPARC
+/// T3-style massively multithreaded NUMA machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// The simulated Cedar itself.
+    Cedar,
+    /// Cray YMP/8 (transcribed Table 3 ratios + reconstructions).
+    Ymp8,
+    /// Cray-1 (documented reconstruction).
+    Cray1,
+    /// Thinking Machines CM-5 (analytic banded-matvec model).
+    Cm5,
+    /// The RS/6000-class workstation stability anchor.
+    Workstation,
+    /// Ultracomputer-style: Cedar's stages with fetch-and-add
+    /// combining, simulated on the real `cedar-net` machinery.
+    Ultra,
+    /// Cray T3D-style MIMD NUMA message passing, QCD-calibrated.
+    T3d,
+    /// SPARC T3-style massively multithreaded NUMA.
+    T3,
+}
+
+/// Every machine, in report order.
+pub const MACHINES: [Machine; 8] = [
+    Machine::Cedar,
+    Machine::Ymp8,
+    Machine::Cray1,
+    Machine::Cm5,
+    Machine::Workstation,
+    Machine::Ultra,
+    Machine::T3d,
+    Machine::T3,
+];
+
+impl Machine {
+    /// Stable wire name (used by job specs, report JSON, and track
+    /// metrics).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Machine::Cedar => "cedar",
+            Machine::Ymp8 => "ymp8",
+            Machine::Cray1 => "cray1",
+            Machine::Cm5 => "cm5",
+            Machine::Workstation => "workstation",
+            Machine::Ultra => "ultra",
+            Machine::T3d => "t3d",
+            Machine::T3 => "t3",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Machine> {
+        MACHINES.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// Stable numeric tag for snapshots.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            Machine::Cedar => 0,
+            Machine::Ymp8 => 1,
+            Machine::Cray1 => 2,
+            Machine::Cm5 => 3,
+            Machine::Workstation => 4,
+            Machine::Ultra => 5,
+            Machine::T3d => 6,
+            Machine::T3 => 7,
+        }
+    }
+
+    /// The inverse of [`Machine::tag`].
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Machine> {
+        MACHINES.iter().copied().find(|m| m.tag() == tag)
+    }
+
+    /// Processor count used for band classification.
+    #[must_use]
+    pub fn processors(self) -> usize {
+        match self {
+            Machine::Cedar | Machine::Ultra | Machine::Cm5 => 32,
+            Machine::Ymp8 => 8,
+            Machine::Cray1 | Machine::Workstation => 1,
+            Machine::T3d => 64,
+            Machine::T3 => 16,
+        }
+    }
+
+    /// PPT5 reimplementability proxies. The counts are structural
+    /// facts about each model: how many numbers had to be calibrated,
+    /// how many mechanisms have no commodity equivalent, and how much
+    /// of the machine is off-the-shelf. Cedar and the Crays fail —
+    /// their performance lives in bespoke hardware — and the
+    /// combining machine fails hardest relative to its network
+    /// ambition, which is the classic objection to combining
+    /// switches. The commodity-node machines (CM-5 shell, T3D shell
+    /// around Alphas, T3, workstation) pass.
+    #[must_use]
+    pub fn complexity(self) -> ModelComplexity {
+        match self {
+            Machine::Cedar => ModelComplexity {
+                calibrated_parameters: 12,
+                custom_mechanisms: 4,
+                commodity_parts_pct: 40,
+            },
+            Machine::Ymp8 => ModelComplexity {
+                calibrated_parameters: 4,
+                custom_mechanisms: 3,
+                commodity_parts_pct: 10,
+            },
+            Machine::Cray1 => ModelComplexity {
+                calibrated_parameters: 2,
+                custom_mechanisms: 2,
+                commodity_parts_pct: 10,
+            },
+            Machine::Cm5 => ModelComplexity {
+                calibrated_parameters: 5,
+                custom_mechanisms: 2,
+                commodity_parts_pct: 70,
+            },
+            Machine::Workstation => ModelComplexity {
+                calibrated_parameters: 2,
+                custom_mechanisms: 0,
+                commodity_parts_pct: 100,
+            },
+            Machine::Ultra => ModelComplexity {
+                calibrated_parameters: 6,
+                custom_mechanisms: 5,
+                commodity_parts_pct: 35,
+            },
+            Machine::T3d => ModelComplexity {
+                calibrated_parameters: 6,
+                custom_mechanisms: 1,
+                commodity_parts_pct: 80,
+            },
+            Machine::T3 => ModelComplexity {
+                calibrated_parameters: 5,
+                custom_mechanisms: 1,
+                commodity_parts_pct: 85,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_metrics::ppt::ppt5;
+
+    #[test]
+    fn names_and_tags_round_trip() {
+        for m in MACHINES {
+            assert_eq!(Machine::from_name(m.name()), Some(m));
+            assert_eq!(Machine::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(Machine::from_name("cray2"), None);
+        assert_eq!(Machine::from_tag(200), None);
+    }
+
+    #[test]
+    fn ppt5_splits_commodity_from_custom() {
+        let pass: Vec<&str> = MACHINES
+            .iter()
+            .filter(|m| ppt5(&m.complexity()).passes)
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(pass, vec!["cm5", "workstation", "t3d", "t3"]);
+    }
+
+    #[test]
+    fn combining_machine_scores_below_cedar() {
+        // The reimplementability cost of combining hardware.
+        let cedar = ppt5(&Machine::Cedar.complexity()).score;
+        let ultra = ppt5(&Machine::Ultra.complexity()).score;
+        assert!(ultra < cedar);
+    }
+}

@@ -1,0 +1,61 @@
+//! The zoo's reproducibility contract: thread counts, cache state,
+//! and repeat runs must never change a single bit of the sweep.
+
+use cedar_snap::{CacheDir, Snapshot};
+use cedar_zoo::cell::{run_cached_on, specs, CACHE_NAMESPACE};
+use cedar_zoo::judge::{judge, render_report};
+
+fn scratch(name: &str) -> CacheDir {
+    let dir = std::env::temp_dir().join(format!("cedar-zoo-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    CacheDir::new(dir).unwrap()
+}
+
+fn cleanup(cache: &CacheDir) {
+    let _ = std::fs::remove_dir_all(cache.root());
+}
+
+fn sweep_bytes(cells: &[cedar_zoo::ZooCell]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for c in cells {
+        out.extend(c.to_snapshot_bytes());
+    }
+    out
+}
+
+#[test]
+fn one_thread_and_four_threads_agree_bit_for_bit() {
+    let serial = run_cached_on(1, None, true);
+    let parallel = run_cached_on(4, None, true);
+    assert_eq!(sweep_bytes(&serial), sweep_bytes(&parallel));
+}
+
+#[test]
+fn warm_cache_run_is_byte_identical_to_cold() {
+    let cache = scratch("warm");
+    let cold = run_cached_on(2, Some(&cache), true);
+    let warm = run_cached_on(2, Some(&cache), true);
+    assert_eq!(sweep_bytes(&cold), sweep_bytes(&warm));
+    // Verdicts and the rendered report follow suit.
+    assert_eq!(
+        render_report(&judge(&cold, true)),
+        render_report(&judge(&warm, true))
+    );
+    cleanup(&cache);
+}
+
+#[test]
+fn cache_population_matches_the_spec_matrix() {
+    let cache = scratch("census");
+    let cells = run_cached_on(2, Some(&cache), true);
+    let matrix = specs(true);
+    assert_eq!(cells.len(), matrix.len());
+    for spec in &matrix {
+        let key = spec.snapshot_key(CACHE_NAMESPACE);
+        assert!(
+            cache.load_bytes(&key).is_some(),
+            "cell {key} missing from the cache"
+        );
+    }
+    cleanup(&cache);
+}

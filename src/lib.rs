@@ -50,6 +50,7 @@
 //! | [`serve`] | `cedar-serve` | batching simulation service, job queue, loadgen |
 //! | [`cluster`] | `cedar-cluster` | supervised worker fleet, exactly-once sweeps |
 //! | [`track`] | `cedar-track` | benchmark history, regression gating, dashboard |
+//! | [`zoo`] | `cedar-zoo` | machine-model zoo judged by the PPTs |
 
 #![warn(missing_docs)]
 
@@ -70,3 +71,4 @@ pub use cedar_serve as serve;
 pub use cedar_sim as sim;
 pub use cedar_snap as snap;
 pub use cedar_track as track;
+pub use cedar_zoo as zoo;

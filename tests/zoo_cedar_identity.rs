@@ -1,0 +1,69 @@
+//! The zoo's Cedar row must be the *same* Cedar the repo already
+//! judges: its PPT1–PPT4 inputs and verdicts are bit-identical to the
+//! `examples/judging_machines` computations and to `cedar-bench`'s
+//! PPT4 study. Any drift here means the zoo is judging a different
+//! machine than the rest of the repo simulates.
+
+use cedar::core::{CedarParams, CedarSystem};
+use cedar::metrics::ppt::{ppt1, ppt2};
+use cedar::perfect::manual::{fig3_cedar_efficiencies, fig3_width, MACHINE_CES};
+use cedar::perfect::model::ExecutionModel;
+use cedar::zoo::cell::{run_cell, Workload, ZooCellSpec};
+use cedar::zoo::judge::{judge_machine, PPT2_EXCEPTIONS};
+use cedar::zoo::Machine;
+use cedar_bench::ppt4 as bench_ppt4;
+
+fn cedar_cells(smoke: bool) -> Vec<cedar::zoo::ZooCell> {
+    [
+        Workload::PerfectCompiled,
+        Workload::PerfectManual,
+        Workload::Scalability,
+        Workload::SyncHotspot,
+    ]
+    .into_iter()
+    .map(|w| {
+        run_cell(ZooCellSpec {
+            machine: Machine::Cedar.tag(),
+            workload: w.tag(),
+            smoke,
+        })
+    })
+    .collect()
+}
+
+#[test]
+fn zoo_cedar_ppt1_and_ppt2_match_judging_machines() {
+    let mut sys = CedarSystem::new(CedarParams::paper());
+    let model = ExecutionModel::calibrate(&mut sys);
+
+    // The judging_machines example, verbatim.
+    let speedups: Vec<f64> = fig3_cedar_efficiencies(&model)
+        .iter()
+        .map(|p| p.efficiency * fig3_width(p.name) as f64)
+        .collect();
+    let expected1 = ppt1(&speedups, MACHINE_CES);
+    let expected2 = ppt2(&model.cedar_mflops_ensemble(), PPT2_EXCEPTIONS);
+
+    let verdict = judge_machine(&cedar_cells(true), Machine::Cedar, true);
+    assert_eq!(verdict.summary.ppt1, expected1);
+    assert_eq!(verdict.summary.ppt2, expected2);
+}
+
+#[test]
+fn zoo_cedar_ppt4_matches_the_bench_study() {
+    let expected = bench_ppt4::cedar_verdict();
+    let verdict = judge_machine(&cedar_cells(true), Machine::Cedar, true);
+    assert_eq!(verdict.summary.ppt4, expected);
+    // The published conclusion, pinned: scalable, nothing
+    // unacceptable (rates are not size-stable across the full 1K-172K
+    // span — the small sizes fall off — and the zoo must report that
+    // exactly as the bench study does).
+    assert!(!verdict.summary.ppt4.any_unacceptable);
+    assert_eq!(verdict.summary.ppt4.size_stable, expected.size_stable);
+}
+
+#[test]
+fn zoo_cedar_grid_constants_match_the_bench_grid() {
+    assert_eq!(cedar::zoo::cell::CEDAR_PROCS, bench_ppt4::CEDAR_PROCS);
+    assert_eq!(cedar::zoo::cell::CEDAR_SIZES, bench_ppt4::CEDAR_SIZES);
+}
